@@ -1,0 +1,39 @@
+//! Figure 5(a): dTLB / L2 TLB stride sweep (cache-conflict-free loads).
+
+use pacman_bench::{banner, check, compare};
+use pacman_core::report::AsciiChart;
+use pacman_core::sweep::{data_tlb_sweep, experiment_machine};
+
+fn main() {
+    banner("F5a", "Figure 5(a) - data-load sweep, addr[i] = x + i*stride + i*128B");
+    let mut m = experiment_machine();
+    let series = data_tlb_sweep(&mut m, &[1, 32, 256, 2048]).expect("sweep");
+
+    let mut chart = AsciiChart::new("median reload latency (cycles) vs N");
+    for s in &series {
+        chart.series(
+            format!("stride {}", s.label),
+            s.points.iter().map(|p| (p.n, p.median)).collect(),
+        );
+    }
+    println!("{chart}");
+
+    let flat = &series[0];
+    let s256 = &series[2];
+    let s2048 = &series[3];
+    compare("baseline plateau (L1+dTLB hit)", "~60 cycles", &format!("{} cycles", flat.at(10).unwrap()));
+    compare("dTLB-miss plateau (stride>=256x16KB, N>=12)", "~95 cycles", &format!("{} cycles", s256.at(14).unwrap()));
+    compare("L2-TLB-miss plateau (stride>=2048x16KB, N>=23)", "~115 cycles", &format!("{} cycles", s2048.at(25).unwrap()));
+    compare("dTLB knee (finding 1)", "N = 12", &format!("N = {:?}", s256.knee_above(90)));
+    compare("L2 TLB knee (finding 2)", "N = 23", &format!("N = {:?}", s2048.knee_above(110)));
+
+    check("non-conflicting strides stay flat", flat.points.iter().all(|p| p.median < 75));
+    check("dTLB knee at exactly N=12", s256.knee_above(90) == Some(12));
+    check("L2 TLB knee at exactly N=23", s2048.knee_above(110) == Some(23));
+    check("plateau ordering 60 < 95 < 115", {
+        let a = flat.at(10).unwrap();
+        let b = s256.at(14).unwrap();
+        let c = s2048.at(25).unwrap();
+        a < b && b < c
+    });
+}

@@ -1,0 +1,42 @@
+//! Figure 5(b): cache/TLB interaction sweep (raw-stride loads).
+
+use pacman_bench::{banner, check, compare};
+use pacman_core::report::AsciiChart;
+use pacman_core::sweep::{cache_tlb_sweep, experiment_machine};
+
+fn main() {
+    banner("F5b", "Figure 5(b) - data-load sweep, addr[i] = x + i*stride");
+    let mut m = experiment_machine();
+    let strides = [256 * 128, 256 * 16384, 2048 * 16384];
+    let series = cache_tlb_sweep(&mut m, &strides).expect("sweep");
+
+    let mut chart = AsciiChart::new("median reload latency (cycles) vs N");
+    for s in &series {
+        chart.series(
+            format!("stride {}", s.label),
+            s.points.iter().map(|p| (p.n, p.median)).collect(),
+        );
+    }
+    println!("{chart}");
+
+    let l1d = &series[0];
+    let dtlb = &series[1];
+    let l2 = &series[2];
+    compare("L1D-conflict plateau (stride 256x128B, N>=4)", "~80 cycles", &format!("{} cycles", l1d.at(6).unwrap()));
+    compare("dTLB+L2$-plateau (stride 256x16KB, N>=12)", "~110 cycles", &format!("{} cycles", dtlb.at(14).unwrap()));
+    compare("L2TLB+L2$-plateau (stride 2048x16KB, N>=23)", "~130 cycles", &format!("{} cycles", l2.at(25).unwrap()));
+    compare("L1D knee (observed 4-way, footnote 5)", "N = 4", &format!("N = {:?}", l1d.knee_above(75)));
+    compare("dTLB knee", "N = 12", &format!("N = {:?}", dtlb.knee_above(105)));
+    compare("L2 TLB knee", "N = 23", &format!("N = {:?}", l2.knee_above(125)));
+
+    check("L1D knee at N=4", l1d.knee_above(75) == Some(4));
+    check("dTLB knee at N=12", dtlb.knee_above(105) == Some(12));
+    check("L2 TLB knee at N=23", l2.knee_above(125) == Some(23));
+    check("staircase 60 -> 80 -> ~110 -> ~130", {
+        let base = l1d.at(2).unwrap();
+        let a = l1d.at(6).unwrap();
+        let b = dtlb.at(14).unwrap();
+        let c = l2.at(25).unwrap();
+        base < a && a < b && b < c
+    });
+}

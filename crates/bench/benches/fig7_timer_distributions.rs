@@ -1,0 +1,50 @@
+//! Figure 7: latency distributions under PMC0 and the multi-thread timer.
+
+use pacman_bench::{banner, check, compare, quiet_system, scale};
+use pacman_core::timing::evaluate_timer;
+use pacman_uarch::TimingSource;
+
+fn print_histogram(label: &str, h: &pacman_core::timing::LatencyHistogram) {
+    println!("  {label}:");
+    let buckets = h.buckets();
+    let max = buckets.iter().map(|&(_, n)| n).max().unwrap_or(1);
+    for (tick, n) in buckets {
+        println!("    {tick:>5} ticks | {n:>5} {}", "#".repeat(n * 40 / max));
+    }
+}
+
+fn main() {
+    banner("F7", "Figure 7 - access-latency distributions per timer");
+    let samples = scale("TRIALS", 500);
+    let mut sys = quiet_system();
+
+    // (a) Apple performance counter, after the kext unlock (sec 6.1).
+    let pmc = sys.pmc;
+    pmc.enable(&mut sys.kernel, &mut sys.machine);
+    sys.machine.set_timing_source(TimingSource::Pmc0);
+    let a = evaluate_timer(&mut sys, samples).expect("pmc0 eval");
+    println!("\n(a) Apple performance counter (PMC0), {samples} samples/population");
+    print_histogram("L1+dTLB hit", &a.dtlb_hits);
+    print_histogram("dTLB miss / L2 TLB hit", &a.dtlb_misses);
+    print_histogram("page-table walk", &a.walks);
+
+    // (b) The userspace multi-thread timer.
+    sys.machine.set_timing_source(TimingSource::MultiThread);
+    let b = evaluate_timer(&mut sys, samples).expect("mt eval");
+    println!("\n(b) multi-thread timer, {samples} samples/population");
+    print_histogram("L1+dTLB hit", &b.dtlb_hits);
+    print_histogram("dTLB miss / L2 TLB hit", &b.dtlb_misses);
+    print_histogram("page-table walk", &b.walks);
+    println!();
+
+    compare("PMC0 hit/miss medians", "~60 / ~95 cycles", &format!("{:?} / {:?}", a.dtlb_hits.median(), a.dtlb_misses.median()));
+    compare("MT-timer hit max (sec 7.4)", "never beyond 27", &format!("{:?}", b.dtlb_hits.max()));
+    compare("MT-timer miss min (sec 7.4)", "never below 32", &format!("{:?}", b.dtlb_misses.min()));
+    compare("derived threshold", "30", &format!("{:?}", b.threshold));
+
+    check("both timers separate the populations", a.is_usable() && b.is_usable());
+    check("MT hits <= 27", b.dtlb_hits.max().unwrap() <= 27);
+    check("MT misses >= 32", b.dtlb_misses.min().unwrap() >= 32);
+    check("threshold lands on ~30", (28..=34).contains(&b.threshold.unwrap()));
+    check("walks are slower than dTLB misses", b.walks.median() > b.dtlb_misses.median());
+}

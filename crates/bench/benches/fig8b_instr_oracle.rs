@@ -1,0 +1,46 @@
+//! Figure 8(b): PAC-oracle miss-count distributions, instruction gadget.
+
+use pacman_bench::{banner, check, compare, noisy_system, scale};
+use pacman_core::oracle::{InstrPacOracle, PacOracle, CORRECT_MISS_THRESHOLD};
+
+fn main() {
+    banner("F8b", "Figure 8(b) - PAC oracle via the instruction PACMAN gadget");
+    let trials = scale("TRIALS", 300);
+    let mut sys = noisy_system();
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target);
+    let mut oracle = InstrPacOracle::new(&mut sys).expect("oracle");
+
+    let mut correct = vec![0usize; 13];
+    let mut incorrect = vec![0usize; 13];
+    for i in 0..trials {
+        let c = oracle.trial(&mut sys, target, true_pac).expect("trial");
+        correct[c.min(12)] += 1;
+        let wrong = true_pac ^ ((i as u16).wrapping_mul(40503) | 1);
+        let w = oracle.trial(&mut sys, target, wrong).expect("trial");
+        incorrect[w.min(12)] += 1;
+    }
+
+    for (name, hist) in [("correct PAC", &correct), ("incorrect PAC", &incorrect)] {
+        println!("\n  {name} ({trials} trials): misses -> frequency");
+        for (m, &n) in hist.iter().enumerate() {
+            if n > 0 {
+                println!("    {m:>2} | {n:>6} ({:.1}%)", 100.0 * n as f64 / trials as f64);
+            }
+        }
+    }
+    println!();
+
+    let good: usize = correct[CORRECT_MISS_THRESHOLD..].iter().sum();
+    let clean: usize = incorrect[..=1].iter().sum();
+    let good_pct = 100.0 * good as f64 / trials as f64;
+    let clean_pct = 100.0 * clean as f64 / trials as f64;
+    compare("correct-PAC trials with >=5 misses", "99.8%", &format!("{good_pct:.1}%"));
+    compare("incorrect-PAC trials with <=1 miss", "99.2%", &format!("{clean_pct:.1}%"));
+    compare("kernel crashes", "0", &sys.kernel.crash_count().to_string());
+
+    check("correct-PAC detection >= 99%", good_pct >= 99.0);
+    check("incorrect-PAC cleanliness >= 99%", clean_pct >= 99.0);
+    check("zero crashes", sys.kernel.crash_count() == 0);
+}

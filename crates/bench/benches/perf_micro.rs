@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the workspace's own hot paths: QARMA
+//! throughput, simulator instruction rate, and end-to-end oracle latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pacman_core::oracle::{DataPacOracle, PacOracle};
+use pacman_core::{System, SystemConfig};
+use pacman_isa::{Asm, Inst, Reg};
+use pacman_qarma::{PacComputer, Qarma64, QarmaKey};
+use pacman_uarch::{Machine, MachineConfig, Perms};
+
+fn bench_qarma(c: &mut Criterion) {
+    let cipher = Qarma64::new(QarmaKey::new(0x0123456789abcdef, 0xfedcba9876543210));
+    c.bench_function("qarma64_encrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = cipher.encrypt(std::hint::black_box(x), 0x42);
+            x
+        })
+    });
+    let pacs = PacComputer::new(QarmaKey::new(1, 2), 48);
+    c.bench_function("pac_compute", |b| {
+        let mut p = 0u64;
+        b.iter(|| {
+            p = pacs.pac(std::hint::black_box(p | 0x4000), 7);
+            p
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulator_1k_insts", |b| {
+        let cfg = MachineConfig { os_noise: 0.0, ..MachineConfig::default() };
+        let mut m = Machine::new(cfg);
+        let code = 0x40_0000u64;
+        m.map_region(code, 4096, Perms::user_rwx());
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.mov_imm64(Reg::X0, 250);
+        a.bind(top);
+        a.push(Inst::AddImm { rd: Reg::X1, rn: Reg::X1, imm: 1 });
+        a.push(Inst::SubImm { rd: Reg::X0, rn: Reg::X0, imm: 1 });
+        a.cbnz(Reg::X0, top);
+        a.push(Inst::Hlt);
+        m.load_program(code, &a.assemble().unwrap());
+        b.iter(|| {
+            m.cpu.pc = code;
+            m.run(2_000).expect("program runs")
+        })
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    let mut sys = System::boot(cfg);
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target);
+    let mut oracle = DataPacOracle::new(&mut sys).expect("oracle");
+    c.bench_function("pac_oracle_single_guess", |b| {
+        b.iter(|| oracle.trial(&mut sys, target, std::hint::black_box(true_pac)).expect("trial"))
+    });
+}
+
+criterion_group! {
+    name = perf;
+    config = Criterion::default().sample_size(20);
+    targets = bench_qarma, bench_simulator, bench_oracle
+}
+criterion_main!(perf);

@@ -1,0 +1,34 @@
+//! §6.2: PacmanOS — bare-metal experiments, including the automated
+//! rediscovery of the Figure 6 TLB organisation with no priors.
+
+use pacman_bench::{banner, check, compare};
+use pacman_os::experiments::{MsrInventory, TimerResolution, TlbParameterSearch, TlbSearchResult};
+use pacman_os::{BareMetal, Runner};
+
+fn main() {
+    banner("OS62", "Section 6.2 - PacmanOS bare-metal experiment environment");
+    let mut runner = Runner::new(BareMetal::boot_default());
+
+    let mut msr = MsrInventory::new();
+    let r1 = runner.run(&mut msr);
+    print!("{r1}");
+    check("MSR inventory covers the modelled register file", r1.ok);
+
+    let mut timers = TimerResolution::new();
+    let r2 = runner.run(&mut timers);
+    print!("{r2}");
+    check("timer-resolution experiment matches Table 1", r2.ok);
+
+    let mut tlb = TlbParameterSearch::new();
+    let r3 = runner.run(&mut tlb);
+    print!("{r3}");
+    compare("dTLB (search, no priors)", "12w x 256s", &format!("{:?}", tlb.dtlb));
+    compare("L2 TLB (search, no priors)", "23w x 2048s", &format!("{:?}", tlb.l2));
+    compare("iTLB (search, no priors)", "4w x 32s", &format!("{:?}", tlb.itlb));
+    check(
+        "the automated search rediscovers Figure 6",
+        tlb.dtlb == Some(TlbSearchResult { sets: 256, ways: 12 })
+            && tlb.l2 == Some(TlbSearchResult { sets: 2048, ways: 23 })
+            && tlb.itlb == Some(TlbSearchResult { sets: 32, ways: 4 }),
+    );
+}

@@ -1,0 +1,40 @@
+//! §8.2: brute-force speed — time per PAC guess and full-space estimate.
+
+use pacman_bench::{banner, check, compare, quiet_system, scale};
+use pacman_core::brute::BruteForcer;
+use pacman_core::oracle::DataPacOracle;
+
+fn main() {
+    banner("B82s", "Section 8.2 - brute-force speed (64 training iterations/guess)");
+    let guesses = scale("GUESSES", 64) as u16;
+    let mut sys = quiet_system();
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target);
+
+    // Sweep a window that deliberately excludes the true PAC so every
+    // guess pays the full test cost.
+    let oracle = DataPacOracle::new(&mut sys).expect("oracle");
+    let mut bf = BruteForcer::new(oracle);
+    let window: Vec<u16> = (0..guesses).map(|i| true_pac ^ (0x4000 + i)).collect();
+    let outcome = bf.brute(&mut sys, target, window).expect("sweep");
+
+    let clock = sys.machine.config().clock_hz;
+    let ms = outcome.ms_per_guess(clock);
+    let minutes = outcome.minutes_for_full_space(clock);
+    println!("  guesses tested:            {}", outcome.guesses_tested);
+    println!("  syscalls issued:           {}", outcome.syscalls);
+    println!("  simulated cycles:          {}", outcome.cycles);
+    println!("  simulated ms per guess:    {ms:.3}");
+    println!("  est. full 16-bit sweep:    {minutes:.2} simulated minutes");
+    println!();
+
+    compare("time per guess", "2.69 ms", &format!("{ms:.2} ms (simulated)"));
+    compare("full 2^16 sweep", "~2.94 min", &format!("{minutes:.2} min (simulated)"));
+    compare("dominant cost", "training syscalls", &format!("{} syscalls/guess", outcome.syscalls / outcome.guesses_tested));
+
+    check("every guess was tested (no early exit)", outcome.guesses_tested == guesses as u64);
+    check("zero crashes", outcome.crashes == 0);
+    check("cost is syscall-dominated (>=65 syscalls/guess)", outcome.syscalls / outcome.guesses_tested >= 65);
+    check("per-guess time within 2x of the paper's 2.69 ms", (1.35..=5.4).contains(&ms));
+}

@@ -1,0 +1,45 @@
+//! §8.3: the Jump2Win control-flow hijack, measured end to end.
+
+use pacman_bench::{banner, check, compare, quiet_system, scale};
+use pacman_core::jump2win::Jump2Win;
+use pacman_isa::PacKey;
+
+fn main() {
+    banner("J83", "Section 8.3 - Jump2Win control-flow hijack against the PA-enabled kernel");
+    let window = scale("WINDOW", 512) as u32;
+    let mut sys = quiet_system();
+    println!("  victim object2 at {:#x}", sys.cpp.obj2);
+    println!("  win() function at {:#x} (never referenced by any legitimate vtable)", sys.cpp.win_fn);
+
+    let mut driver = Jump2Win::new().with_samples(3).with_train_iters(16);
+    if window < 65536 {
+        // Windowed sweep: same per-guess behaviour, bounded runtime.
+        let t1 = sys.true_pac_with_salt(PacKey::Ia, sys.cpp.win_fn);
+        let t2 = sys.true_pac_with_salt(PacKey::Da, sys.cpp.obj1);
+        let centre = |t: u16| (t.wrapping_sub((window / 2) as u16), window);
+        driver.phase_windows = Some([centre(t1), centre(t2)]);
+        println!("  (windowed sweep: {window} candidates per phase; PACMAN_WINDOW=65536 for full space)");
+    }
+
+    let report = driver.run(&mut sys).expect("the hijack must succeed");
+    let secs = report.cycles as f64 / sys.machine.config().clock_hz as f64;
+
+    println!();
+    println!("  recovered PAC(win, IA key, object salt):    {:#06x}", report.pac_win);
+    println!("  recovered PAC(vtable, DA key, object salt): {:#06x}", report.pac_vtable);
+    println!("  PAC candidates tested:  {}", report.guesses_tested);
+    println!("  syscalls issued:        {}", report.syscalls);
+    println!("  simulated attack time:  {secs:.3} s");
+    println!();
+
+    compare("control-flow hijacked (win() at EL1)", "yes", &report.hijacked.to_string());
+    compare("kernel crashes during the attack", "0", &report.crashes.to_string());
+    compare("PACs recovered via", "PACMAN oracle", "PACMAN oracle (speculative, crash-free)");
+
+    check("win() executed at EL1", report.hijacked);
+    check("zero kernel crashes", report.crashes == 0);
+    check("both recovered PACs authenticate", {
+        report.pac_win == sys.true_pac_with_salt(PacKey::Ia, sys.cpp.win_fn)
+            && report.pac_vtable == sys.true_pac_with_salt(PacKey::Da, sys.cpp.obj1)
+    });
+}

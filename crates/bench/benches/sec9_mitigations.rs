@@ -1,0 +1,52 @@
+//! §9: the countermeasure matrix and the §4.2 eager-squash ablation.
+
+use pacman_bench::{banner, check, compare};
+use pacman_core::report::Table;
+use pacman_mitigations::{evaluate_all, evaluate_with_squash, AttackSurface};
+use pacman_uarch::{Mitigation, SquashPolicy};
+
+fn main() {
+    banner("M9", "Section 9 - countermeasures vs the PACMAN oracles");
+    let evals = evaluate_all();
+    let baseline = evals
+        .iter()
+        .find(|e| e.report.mitigation == Mitigation::None)
+        .expect("baseline present")
+        .benign_cycles as f64;
+
+    let mut t = Table::new(
+        "mitigation matrix",
+        &["mitigation", "data oracle", "instr oracle", "surface", "benign overhead"],
+    );
+    for e in &evals {
+        let overhead = 100.0 * (e.benign_cycles as f64 - baseline) / baseline;
+        t.row(&[
+            format!("{:?}", e.report.mitigation),
+            if e.report.data_oracle_works { "works" } else { "blind" }.into(),
+            if e.report.instr_oracle_works { "works" } else { "blind" }.into(),
+            format!("{:?}", e.surface),
+            format!("{overhead:+.1}%"),
+        ]);
+    }
+    println!("{t}");
+
+    for e in &evals {
+        match e.report.mitigation {
+            Mitigation::None => {
+                check("baseline is fully vulnerable", e.surface == AttackSurface::FullyVulnerable)
+            }
+            m => check(
+                &format!("{m:?} blinds both oracles"),
+                e.surface == AttackSurface::Protected,
+            ),
+        }
+    }
+    let fence = evals.iter().find(|e| e.report.mitigation == Mitigation::FenceAfterAut).unwrap();
+    compare("fence-after-AUT benign overhead", "significant (sec 9)", &format!("{:+.1}%", 100.0 * (fence.benign_cycles as f64 - baseline) / baseline));
+    check("fence-after-AUT costs benign performance", fence.benign_cycles as f64 > 1.2 * baseline);
+
+    println!("\n  ablation: nested-branch squash policy (sec 4.2)");
+    let lazy = evaluate_with_squash(Mitigation::None, SquashPolicy::Lazy);
+    compare("lazy squash surface", "data gadget only", &format!("{:?}", lazy.surface));
+    check("instruction gadget requires eager squash", lazy.surface == AttackSurface::DataGadgetOnly);
+}

@@ -1,0 +1,75 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Every table and figure in the paper's evaluation has a dedicated bench
+//! target in `benches/` (see DESIGN.md §3 for the index). Each target is a
+//! `harness = false` binary that regenerates the artefact, prints the
+//! paper-style rows/series, and asserts the qualitative shape. The
+//! `perf_micro` target uses Criterion for real wall-clock measurements of
+//! the workspace's own hot paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pacman_core::{System, SystemConfig};
+
+/// Boots the standard experiment system (OS noise enabled, the attack's
+/// default timing source).
+pub fn noisy_system() -> System {
+    System::boot(SystemConfig::default())
+}
+
+/// Boots a noise-free system for experiments that need clean statistics.
+pub fn quiet_system() -> System {
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    System::boot(cfg)
+}
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, paper_artifact: &str) {
+    println!("==================================================================");
+    println!("PACMAN reproduction - {id}: {paper_artifact}");
+    println!("==================================================================");
+}
+
+/// Prints one paper-vs-measured comparison line.
+pub fn compare(metric: &str, paper: &str, measured: &str) {
+    println!("  {metric:<46} paper: {paper:<18} measured: {measured}");
+}
+
+/// Reads an experiment-scale override from the environment (`PACMAN_<VAR>`).
+pub fn scale(var: &str, default: usize) -> usize {
+    std::env::var(format!("PACMAN_{var}"))
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Asserts with a visible PASS/FAIL line instead of a bare panic, then
+/// panics on failure so `cargo bench` reports it.
+pub fn check(name: &str, ok: bool) {
+    println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
+    assert!(ok, "shape check failed: {name}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_reads_env() {
+        std::env::set_var("PACMAN_TEST_SCALE_VAR", "17");
+        assert_eq!(scale("TEST_SCALE_VAR", 3), 17);
+        assert_eq!(scale("TEST_SCALE_VAR_MISSING", 3), 3);
+    }
+
+    #[test]
+    fn systems_boot() {
+        let q = quiet_system();
+        assert_eq!(q.kernel.crash_count(), 0);
+        let set = q.pick_quiet_dtlb_set();
+        assert!(set < 256);
+        let n = noisy_system();
+        assert!(n.machine.config().os_noise > 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! A small dependency-free argument parser for the CLI.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Clone, Eq, PartialEq, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-option token).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse errors.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum ArgsError {
+    /// `--key` given where a value was expected to follow but another
+    /// option appeared.
+    MissingValue(String),
+    /// A positional argument after the subcommand.
+    UnexpectedPositional(String),
+    /// An option's value failed to parse.
+    BadValue {
+        /// The option name.
+        key: String,
+        /// The raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(k) => write!(f, "option --{k} expects a value"),
+            ArgsError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+            ArgsError::BadValue { key, value } => {
+                write!(f, "option --{key} got unparsable value '{value}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Options that never take a value.
+const FLAG_NAMES: &[&str] = &["quiet-noise", "full", "track-stack", "help"];
+
+impl Args {
+    /// Parses a token stream (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// See [`ArgsError`].
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgsError> {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if FLAG_NAMES.contains(&name) {
+                    out.flags.push(name.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .filter(|v| !v.starts_with("--"))
+                        .ok_or_else(|| ArgsError::MissingValue(name.to_string()))?;
+                    out.options.insert(name.to_string(), value);
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(ArgsError::UnexpectedPositional(tok));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `--name` was given (flags only).
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A parsed numeric option with default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::BadValue`] if present but unparsable.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                key: name.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgsError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_options_and_flags() {
+        let a = parse("oracle --trials 50 --seed 9 --quiet-noise").unwrap();
+        assert_eq!(a.command.as_deref(), Some("oracle"));
+        assert_eq!(a.get_num("trials", 0usize).unwrap(), 50);
+        assert_eq!(a.get_num("seed", 1u64).unwrap(), 9);
+        assert!(a.flag("quiet-noise"));
+        assert!(!a.flag("full"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("census").unwrap();
+        assert_eq!(a.get_num("functions", 123usize).unwrap(), 123);
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(parse("oracle --trials --quiet-noise"), Err(ArgsError::MissingValue("trials".into())));
+        assert_eq!(parse("oracle --trials"), Err(ArgsError::MissingValue("trials".into())));
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = parse("oracle --trials banana").unwrap();
+        assert!(matches!(a.get_num("trials", 0usize), Err(ArgsError::BadValue { .. })));
+    }
+
+    #[test]
+    fn extra_positionals_are_rejected() {
+        assert!(matches!(parse("oracle stray"), Err(ArgsError::UnexpectedPositional(_))));
+    }
+
+    #[test]
+    fn empty_invocation_has_no_command() {
+        let a = parse("").unwrap();
+        assert_eq!(a.command, None);
+    }
+}

@@ -1,0 +1,281 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+
+use pacman_core::brute::BruteForcer;
+use pacman_core::cache_probe::CacheDataPacOracle;
+use pacman_core::jump2win::Jump2Win;
+use pacman_core::oracle::{DataPacOracle, InstrPacOracle, PacOracle};
+use pacman_core::report::Table;
+use pacman_core::sweep::{data_tlb_sweep, derive_hierarchy, experiment_machine, itlb_sweep};
+use pacman_core::{System, SystemConfig};
+use pacman_gadget::{scan_image, synthesize, ImageSpec, ScanConfig};
+use pacman_isa::ptr::with_pac_field;
+use pacman_isa::PacKey;
+use pacman_mitigations::evaluate_all;
+use pacman_os::experiments::{MsrInventory, TimerResolution, TlbParameterSearch};
+use pacman_os::{BareMetal, Runner};
+
+use crate::args::Args;
+
+/// The usage text (also shown for `--help`).
+pub const USAGE: &str = "\
+pacman-cli - drive the PACMAN (ISCA 2022) reproduction
+
+usage: pacman-cli <command> [options]
+
+commands:
+  oracle       run the section-8.1 PAC oracle and print verdicts
+  brute        brute-force a PAC over a candidate window (section 8.2)
+  jump2win     the section-8.3 end-to-end control-flow hijack
+  sweep        the section-7 reverse-engineering sweeps (Figures 5-6)
+  census       the section-4.3 gadget census over a synthetic image
+  mitigations  the section-9 countermeasure matrix
+  os           PacmanOS (section 6.2) bare-metal experiments
+  timeline     print the Figure 3 speculation-event timelines
+
+options:
+  --seed N        kernel key seed          --quiet-noise   disable OS noise
+  --channel C     data|instr|cache         --trials N      oracle trials
+  --window N      brute candidate window   --full          sweep all 65536
+  --functions N   census image size        --track-stack   deep census dataflow
+  --help          this text
+";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Routes a parsed command line to its implementation.
+///
+/// # Errors
+///
+/// Any subcommand failure (bad options, oracle errors, failed attacks).
+pub fn dispatch(args: &Args) -> CliResult {
+    match args.command.as_deref() {
+        Some("oracle") => cmd_oracle(args),
+        Some("brute") => cmd_brute(args),
+        Some("jump2win") => cmd_jump2win(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("census") => cmd_census(args),
+        Some("mitigations") => cmd_mitigations(args),
+        Some("os") => cmd_os(args),
+        Some("timeline") => cmd_timeline(args),
+        Some(other) => Err(format!("unknown command '{other}' (try --help)").into()),
+        None => unreachable!("main prints usage for empty command"),
+    }
+}
+
+fn boot(args: &Args) -> Result<System, Box<dyn Error>> {
+    let mut cfg = SystemConfig::default();
+    cfg.kernel_seed = args.get_num("seed", 0xA11CEu64)?;
+    if args.flag("quiet-noise") {
+        cfg.machine.os_noise = 0.0;
+    }
+    Ok(System::boot(cfg))
+}
+
+fn make_oracle(args: &Args, sys: &mut System) -> Result<Box<dyn PacOracle>, Box<dyn Error>> {
+    Ok(match args.get("channel").unwrap_or("data") {
+        "data" => Box::new(DataPacOracle::new(sys)?),
+        "instr" => Box::new(InstrPacOracle::new(sys)?),
+        "cache" => Box::new(CacheDataPacOracle::new(sys)?),
+        other => return Err(format!("unknown channel '{other}' (data|instr|cache)").into()),
+    })
+}
+
+fn cmd_oracle(args: &Args) -> CliResult {
+    let trials: usize = args.get_num("trials", 50)?;
+    let mut sys = boot(args)?;
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set)
+        + if args.get("channel") == Some("cache") {
+            pacman_core::cache_probe::quiet_target_offset()
+        } else {
+            0
+        };
+    let true_pac = sys.true_pac(target);
+    let mut oracle = make_oracle(args, &mut sys)?;
+    println!("target {target:#x} (dTLB set {set}), {trials} trials per class");
+    let mut good = 0usize;
+    let mut clean = 0usize;
+    for i in 0..trials {
+        if oracle.test_pac(&mut sys, target, true_pac)?.is_correct() {
+            good += 1;
+        }
+        let wrong = true_pac ^ (1 + i as u16);
+        if !oracle.test_pac(&mut sys, target, wrong)?.is_correct() {
+            clean += 1;
+        }
+    }
+    println!("correct PAC detected:   {good}/{trials}");
+    println!("wrong PAC rejected:     {clean}/{trials}");
+    println!("kernel crashes:         {}", sys.kernel.crash_count());
+    Ok(())
+}
+
+fn cmd_brute(args: &Args) -> CliResult {
+    let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
+    let mut sys = boot(args)?;
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target); // positions the demo window
+    let start = true_pac.wrapping_sub((window / 2) as u16);
+    let oracle = DataPacOracle::new(&mut sys)?.with_samples(5);
+    let mut bf = BruteForcer::new(oracle);
+    println!("sweeping {window} candidates for the PAC of {target:#x} ...");
+    let outcome =
+        bf.brute(&mut sys, target, (0..window).map(|i| start.wrapping_add(i as u16)))?;
+    match outcome.found {
+        Some(p) => println!("FOUND: PAC = {p:#06x} after {} guesses", outcome.guesses_tested),
+        None => println!("no PAC found in the window ({} guesses)", outcome.guesses_tested),
+    }
+    let clock = sys.machine.config().clock_hz;
+    println!("simulated cost: {:.2} ms/guess, crashes: {}", outcome.ms_per_guess(clock), outcome.crashes);
+    Ok(())
+}
+
+fn cmd_jump2win(args: &Args) -> CliResult {
+    let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
+    let mut sys = boot(args)?;
+    let mut driver = Jump2Win::new().with_samples(3).with_train_iters(16);
+    if window < 65536 {
+        let t1 = sys.true_pac_with_salt(PacKey::Ia, sys.cpp.win_fn);
+        let t2 = sys.true_pac_with_salt(PacKey::Da, sys.cpp.obj1);
+        let centre = |t: u16| (t.wrapping_sub((window / 2) as u16), window);
+        driver.phase_windows = Some([centre(t1), centre(t2)]);
+    }
+    let report = driver.run(&mut sys)?;
+    println!("PAC(win, IA)    = {:#06x}", report.pac_win);
+    println!("PAC(vtable, DA) = {:#06x}", report.pac_vtable);
+    println!("guesses tested  = {}", report.guesses_tested);
+    println!("hijacked        = {}", report.hijacked);
+    println!("kernel crashes  = {}", report.crashes);
+    if !report.hijacked {
+        return Err("control flow was not hijacked".into());
+    }
+    Ok(())
+}
+
+fn cmd_sweep(_args: &Args) -> CliResult {
+    let mut m = experiment_machine();
+    println!("Figure 5(a) knees:");
+    let data = data_tlb_sweep(&mut m, &[256, 2048])?;
+    println!("  dTLB   (stride 256 x 16KB): N = {:?}", data[0].knee_above(90));
+    println!("  L2 TLB (stride 2048 x 16KB): N = {:?}", data[1].knee_above(110));
+    let instr = itlb_sweep(&mut m, &[32])?;
+    println!("  iTLB   (stride 32 x 16KB, drop): N = {:?}", instr[0].knee_below(90));
+    let mut m2 = experiment_machine();
+    let f = derive_hierarchy(&mut m2)?;
+    println!(
+        "Figure 6: iTLB {}w x 32s | dTLB {}w x 256s | L2 {}w x 2048s | victim migration: {}",
+        f.itlb_ways, f.dtlb_ways, f.l2_ways, f.itlb_victims_visible_to_loads
+    );
+    Ok(())
+}
+
+fn cmd_census(args: &Args) -> CliResult {
+    let functions: usize = args.get_num("functions", 2000)?;
+    let image = synthesize(&ImageSpec { functions, seed: 0xC0DE, ..ImageSpec::default() });
+    let config = ScanConfig { track_stack: args.flag("track-stack"), ..ScanConfig::default() };
+    let report = scan_image(&image.bytes, &config);
+    println!("image: {} functions, {} instructions", functions, image.instructions);
+    println!("gadgets: {} total ({} data, {} instruction)", report.total(), report.data_count(), report.instruction_count());
+    println!("mean branch->transmit distance: {:.1}", report.mean_distance());
+    Ok(())
+}
+
+fn cmd_mitigations(_args: &Args) -> CliResult {
+    let evals = evaluate_all();
+    let baseline = evals[0].benign_cycles as f64;
+    let mut t = Table::new("mitigation matrix", &["mitigation", "surface", "benign overhead"]);
+    for e in &evals {
+        let overhead = 100.0 * (e.benign_cycles as f64 - baseline) / baseline;
+        t.row(&[
+            format!("{:?}", e.report.mitigation),
+            format!("{:?}", e.surface),
+            format!("{overhead:+.1}%"),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_os(_args: &Args) -> CliResult {
+    let mut runner = Runner::new(BareMetal::boot_default());
+    print!("{}", runner.run(&mut MsrInventory::new()));
+    print!("{}", runner.run(&mut TimerResolution::new()));
+    print!("{}", runner.run(&mut TlbParameterSearch::new()));
+    Ok(())
+}
+
+fn cmd_timeline(args: &Args) -> CliResult {
+    let mut sys = boot(args)?;
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target);
+    for (label, pac) in [("CORRECT", true_pac), ("WRONG", true_pac ^ 5)] {
+        for _ in 0..16 {
+            sys.kernel.syscall(&mut sys.machine, sys.gadget.instr_gadget, &[0, 0, 1])?;
+        }
+        let mut payload = [0u8; 24];
+        payload[16..].copy_from_slice(&with_pac_field(target, pac).to_le_bytes());
+        let buf = sys.write_payload(&payload);
+        sys.machine.trace.enable();
+        sys.kernel.syscall(&mut sys.machine, sys.gadget.instr_gadget, &[buf, 24, 0])?;
+        let events = sys.machine.trace.take();
+        sys.machine.trace.disable();
+        println!("--- instruction gadget, {label} PAC ---");
+        for e in events.iter().rev().take(8).rev() {
+            println!("  {e}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).expect("parses")
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(dispatch(&parse("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn oracle_command_runs_end_to_end() {
+        dispatch(&parse("oracle --trials 2 --quiet-noise")).expect("oracle runs");
+    }
+
+    #[test]
+    fn oracle_cache_channel_runs() {
+        dispatch(&parse("oracle --trials 1 --channel cache --quiet-noise")).expect("cache oracle");
+    }
+
+    #[test]
+    fn oracle_rejects_bad_channels() {
+        assert!(dispatch(&parse("oracle --trials 1 --channel pigeon --quiet-noise")).is_err());
+    }
+
+    #[test]
+    fn brute_command_finds_the_pac_in_a_small_window() {
+        dispatch(&parse("brute --window 8 --quiet-noise")).expect("brute runs");
+    }
+
+    #[test]
+    fn jump2win_command_succeeds_with_a_window() {
+        dispatch(&parse("jump2win --window 12 --quiet-noise")).expect("jump2win runs");
+    }
+
+    #[test]
+    fn census_command_runs() {
+        dispatch(&parse("census --functions 50 --track-stack")).expect("census runs");
+    }
+
+    #[test]
+    fn timeline_command_runs() {
+        dispatch(&parse("timeline --quiet-noise")).expect("timeline runs");
+    }
+}

@@ -1,0 +1,53 @@
+//! `pacman-cli` — drive the PACMAN reproduction from the command line.
+//!
+//! ```text
+//! pacman-cli <command> [options]
+//!
+//! commands:
+//!   oracle       run the §8.1 PAC oracle and print verdicts
+//!   brute        brute-force a PAC over a candidate window (§8.2)
+//!   jump2win     the §8.3 end-to-end control-flow hijack
+//!   sweep        the §7 reverse-engineering sweeps (Figures 5–6)
+//!   census       the §4.3 gadget census over a synthetic image
+//!   mitigations  the §9 countermeasure matrix
+//!   os           PacmanOS (§6.2) bare-metal experiments
+//!   timeline     print the Figure 3 speculation-event timelines
+//!
+//! common options:
+//!   --seed N          kernel key seed (default 0xA11CE)
+//!   --quiet-noise     disable the OS-noise model
+//!   --channel C       oracle channel: data | instr | cache (default data)
+//!   --trials N        oracle trials per class (default 50)
+//!   --window N        brute/jump2win candidate-window width (default 512;
+//!                     --full sweeps all 65536)
+//!   --functions N     census image size (default 2000)
+//!   --track-stack     census: enable stack-slot dataflow
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run 'pacman-cli --help' for usage");
+            std::process::exit(2);
+        }
+    };
+    if parsed.flag("help") || parsed.command.is_none() {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    let code = match commands::dispatch(&parsed) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}

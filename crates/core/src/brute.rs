@@ -1,0 +1,238 @@
+//! PAC brute forcing (paper §8.2).
+//!
+//! With the oracle in hand, the attacker sweeps PAC candidates until one
+//! classifies as correct. The paper's evaluation protocol is reproduced:
+//! 5 samples per guess, median-rule classification, and three possible
+//! outcomes per run — true positive (correct PAC found), false positive
+//! (wrong PAC reported — intolerable, it would crash the final exploit)
+//! and false negative (nothing found — tolerable, just retry).
+
+use crate::oracle::{OracleError, PacOracle};
+use crate::system::System;
+
+/// Outcome of one brute-force run.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct BruteOutcome {
+    /// The PAC the oracle reported, if any.
+    pub found: Option<u16>,
+    /// Number of PAC candidates tested.
+    pub guesses_tested: u64,
+    /// Syscalls issued (training + triggers + pads).
+    pub syscalls: u64,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Kernel crashes caused (must be zero for PACMAN).
+    pub crashes: u64,
+}
+
+impl BruteOutcome {
+    /// Mean simulated milliseconds per tested guess at `clock_hz`.
+    pub fn ms_per_guess(&self, clock_hz: u64) -> f64 {
+        if self.guesses_tested == 0 {
+            return 0.0;
+        }
+        (self.cycles as f64 / clock_hz as f64) * 1e3 / self.guesses_tested as f64
+    }
+
+    /// Extrapolated simulated minutes to sweep the full 16-bit space at
+    /// the measured per-guess cost (the paper's ~2.94-minute figure).
+    pub fn minutes_for_full_space(&self, clock_hz: u64) -> f64 {
+        self.ms_per_guess(clock_hz) * 65536.0 / 1000.0 / 60.0
+    }
+}
+
+/// Classification of a brute-force run against ground truth (the §8.2
+/// accuracy protocol).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum BruteVerdict {
+    /// The correct PAC was found.
+    TruePositive,
+    /// A wrong PAC was reported (would crash the exploit — intolerable).
+    FalsePositive,
+    /// No PAC was found (tolerable: the attacker simply retries).
+    FalseNegative,
+}
+
+/// Drives an oracle across a PAC candidate range.
+#[derive(Debug)]
+pub struct BruteForcer<O> {
+    oracle: O,
+}
+
+impl<O: PacOracle> BruteForcer<O> {
+    /// Wraps an oracle (configure its sample count first; §8.2 uses 5).
+    pub fn new(oracle: O) -> Self {
+        Self { oracle }
+    }
+
+    /// Gives back the oracle.
+    pub fn into_inner(self) -> O {
+        self.oracle
+    }
+
+    /// Sweeps `candidates` for the PAC of `target`, stopping at the
+    /// first hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OracleError`]s. A kernel panic inside a trial is an
+    /// oracle failure, not part of normal operation.
+    pub fn brute(
+        &mut self,
+        sys: &mut System,
+        target: u64,
+        candidates: impl IntoIterator<Item = u16>,
+    ) -> Result<BruteOutcome, OracleError> {
+        let syscalls0 = sys.machine.stats.syscalls;
+        let cycles0 = sys.machine.cycles;
+        let crashes0 = sys.kernel.crash_count();
+        let mut tested = 0u64;
+        let mut found = None;
+        for pac in candidates {
+            tested += 1;
+            if self.oracle.test_pac(sys, target, pac)?.is_correct() {
+                found = Some(pac);
+                break;
+            }
+        }
+        Ok(BruteOutcome {
+            found,
+            guesses_tested: tested,
+            syscalls: sys.machine.stats.syscalls - syscalls0,
+            cycles: sys.machine.cycles - cycles0,
+            crashes: sys.kernel.crash_count() - crashes0,
+        })
+    }
+
+    /// Classifies a finished run against the ground-truth PAC.
+    pub fn classify(outcome: &BruteOutcome, true_pac: u16) -> BruteVerdict {
+        match outcome.found {
+            Some(p) if p == true_pac => BruteVerdict::TruePositive,
+            Some(_) => BruteVerdict::FalsePositive,
+            None => BruteVerdict::FalseNegative,
+        }
+    }
+
+    /// The §8.2 retry protocol: "our attack can easily tolerate false
+    /// negatives, because when no PAC is found, the attacker can simply
+    /// repeat the brute-force process until the correct PAC is found."
+    /// Re-sweeps `candidates` up to `max_retries + 1` times, accumulating
+    /// costs, until an oracle hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OracleError`]s from the trials.
+    pub fn brute_until_found(
+        &mut self,
+        sys: &mut System,
+        target: u64,
+        candidates: &[u16],
+        max_retries: usize,
+    ) -> Result<BruteOutcome, OracleError> {
+        let mut total = BruteOutcome {
+            found: None,
+            guesses_tested: 0,
+            syscalls: 0,
+            cycles: 0,
+            crashes: 0,
+        };
+        for _attempt in 0..=max_retries {
+            let outcome = self.brute(sys, target, candidates.iter().copied())?;
+            total.guesses_tested += outcome.guesses_tested;
+            total.syscalls += outcome.syscalls;
+            total.cycles += outcome.cycles;
+            total.crashes += outcome.crashes;
+            if outcome.found.is_some() {
+                total.found = outcome.found;
+                break;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DataPacOracle;
+    use crate::system::SystemConfig;
+
+    fn quiet_system() -> System {
+        let mut cfg = SystemConfig::default();
+        cfg.machine.os_noise = 0.0;
+        System::boot(cfg)
+    }
+
+    #[test]
+    fn brute_force_finds_the_pac_in_a_window() {
+        let mut sys = quiet_system();
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set);
+        let true_pac = sys.true_pac(target);
+        let oracle = DataPacOracle::new(&mut sys).unwrap();
+        let mut bf = BruteForcer::new(oracle);
+        // Sweep a 16-candidate window around the true PAC.
+        let lo = true_pac.saturating_sub(8);
+        let outcome = bf.brute(&mut sys, target, lo..=lo.saturating_add(16)).unwrap();
+        assert_eq!(outcome.found, Some(true_pac));
+        assert_eq!(BruteForcer::<DataPacOracle>::classify(&outcome, true_pac), BruteVerdict::TruePositive);
+        assert_eq!(outcome.crashes, 0, "PACMAN brute force must not crash the kernel");
+        assert!(outcome.syscalls > 0 && outcome.cycles > 0);
+    }
+
+    #[test]
+    fn absent_pac_is_a_false_negative_not_a_crash() {
+        let mut sys = quiet_system();
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set);
+        let true_pac = sys.true_pac(target);
+        let oracle = DataPacOracle::new(&mut sys).unwrap();
+        let mut bf = BruteForcer::new(oracle);
+        // Sweep a window that excludes the true PAC.
+        let window: Vec<u16> = (0..32u16).map(|i| true_pac ^ (0x100 + i)).collect();
+        let outcome = bf.brute(&mut sys, target, window).unwrap();
+        assert_eq!(outcome.found, None);
+        assert_eq!(BruteForcer::<DataPacOracle>::classify(&outcome, true_pac), BruteVerdict::FalseNegative);
+        assert_eq!(outcome.guesses_tested, 32);
+        assert_eq!(outcome.crashes, 0);
+    }
+
+    #[test]
+    fn retry_protocol_accumulates_costs_and_finds_the_pac() {
+        let mut sys = quiet_system();
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set);
+        let true_pac = sys.true_pac(target);
+        let oracle = DataPacOracle::new(&mut sys).unwrap();
+        let mut bf = BruteForcer::new(oracle);
+        let candidates: Vec<u16> = (0..8u16).map(|i| true_pac.wrapping_sub(3).wrapping_add(i)).collect();
+        let outcome = bf.brute_until_found(&mut sys, target, &candidates, 3).unwrap();
+        assert_eq!(outcome.found, Some(true_pac));
+        assert_eq!(outcome.crashes, 0);
+        assert!(outcome.guesses_tested >= 4);
+    }
+
+    #[test]
+    fn retry_protocol_gives_up_after_the_budget() {
+        let mut sys = quiet_system();
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set);
+        let true_pac = sys.true_pac(target);
+        let oracle = DataPacOracle::new(&mut sys).unwrap();
+        let mut bf = BruteForcer::new(oracle);
+        // Candidates that never include the true PAC.
+        let candidates: Vec<u16> = (0..4u16).map(|i| true_pac ^ (0x1000 + i)).collect();
+        let outcome = bf.brute_until_found(&mut sys, target, &candidates, 2).unwrap();
+        assert_eq!(outcome.found, None);
+        assert_eq!(outcome.guesses_tested, 3 * 4, "three full sweeps");
+        assert_eq!(outcome.crashes, 0);
+    }
+
+    #[test]
+    fn cost_accounting_extrapolates() {
+        let o = BruteOutcome { found: None, guesses_tested: 100, syscalls: 0, cycles: 320_000_000, crashes: 0 };
+        // 320M cycles at 3.2 GHz = 100 ms → 1 ms/guess → 65.536 s full space.
+        assert!((o.ms_per_guess(3_200_000_000) - 1.0).abs() < 1e-9);
+        assert!((o.minutes_for_full_space(3_200_000_000) - 65.536 / 60.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,174 @@
+//! TLB eviction-set construction (paper §7 findings 1–3).
+//!
+//! - **Finding 1**: 12+ addresses with a stride of 256 × 16 KB evict an
+//!   L1 dTLB entry.
+//! - **Finding 2**: 23+ addresses with a stride of 2048 × 16 KB evict an
+//!   L2 TLB entry.
+//! - **Finding 3**: 4+ branch targets with a stride of 32 × 16 KB evict
+//!   an L1 iTLB entry.
+//!
+//! The Prime+Probe eviction set additionally staggers each address by
+//! `i * 128 B` within its page so that the probed lines land in distinct
+//! L1 data-cache sets — otherwise cache misses would masquerade as TLB
+//! misses (the paper's §7.2 address formula).
+
+use pacman_isa::ptr::{VirtualAddress, PAGE_SIZE};
+
+use crate::system::System;
+
+/// dTLB geometry (Figure 6).
+pub const DTLB_WAYS: usize = 12;
+/// dTLB set count.
+pub const DTLB_SETS: u64 = 256;
+/// L2 TLB geometry (Figure 6).
+pub const L2_WAYS: usize = 23;
+/// L2 TLB set count.
+pub const L2_SETS: u64 = 2048;
+/// iTLB geometry (Figure 6).
+pub const ITLB_WAYS: usize = 4;
+/// iTLB set count.
+pub const ITLB_SETS: u64 = 32;
+
+/// An eviction set: attacker-owned user addresses that collide with a
+/// chosen TLB set.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct EvictionSet {
+    addrs: Vec<u64>,
+    set: u64,
+}
+
+impl EvictionSet {
+    /// Builds (and maps) a Prime+Probe eviction set for the L1 dTLB set
+    /// of `target_va`: [`DTLB_WAYS`] addresses with stride 256 × 16 KB,
+    /// staggered by 128 B to avoid L1D conflicts (finding 1).
+    pub fn dtlb_for_target(sys: &mut System, target_va: u64) -> Self {
+        let set = VirtualAddress::new(target_va).vpn() % DTLB_SETS;
+        let base = sys.alloc_user_region(256 * DTLB_WAYS as u64 + DTLB_SETS);
+        let mut addrs = Vec::with_capacity(DTLB_WAYS);
+        for i in 0..DTLB_WAYS as u64 {
+            let va = base + (set + 256 * i) * PAGE_SIZE + 128 * i;
+            sys.ensure_user_page(va);
+            addrs.push(va);
+        }
+        Self { addrs, set }
+    }
+
+    /// Builds the §8.1 step-2 *reset* set: [`L2_WAYS`] addresses sharing
+    /// the target's **L2 TLB** set (stride 2048 × 16 KB, finding 2).
+    /// Accessing all of them flushes the target's translation out of the
+    /// entire shared hierarchy. Distinct from the Prime+Probe addresses.
+    pub fn l2_reset_for_target(sys: &mut System, target_va: u64) -> Self {
+        let vpn = VirtualAddress::new(target_va).vpn();
+        let l2_set = vpn % L2_SETS;
+        let base = sys.alloc_user_region(2048 * (L2_WAYS as u64 + 1) + L2_SETS);
+        let mut addrs = Vec::with_capacity(L2_WAYS);
+        for i in 1..=L2_WAYS as u64 {
+            let va = base + (l2_set + 2048 * i) * PAGE_SIZE + 128 * (i % 32);
+            sys.ensure_user_page(va);
+            addrs.push(va);
+        }
+        Self { addrs, set: l2_set }
+    }
+
+    /// The TLB set index this eviction set collides with.
+    pub fn set(&self) -> u64 {
+        self.set
+    }
+
+    /// The member addresses, in access order.
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the set is empty (never true for the constructors here).
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    #[test]
+    fn dtlb_set_members_share_the_targets_set() {
+        let mut sys = System::boot(SystemConfig::default());
+        let target = sys.alloc_target(45);
+        let ev = EvictionSet::dtlb_for_target(&mut sys, target);
+        assert_eq!(ev.len(), DTLB_WAYS);
+        assert_eq!(ev.set(), 45);
+        for &a in ev.addrs() {
+            assert_eq!(VirtualAddress::new(a).vpn() % DTLB_SETS, 45);
+        }
+    }
+
+    #[test]
+    fn dtlb_set_members_avoid_l1d_conflicts() {
+        // The 128-byte stagger must spread the members over distinct L1D
+        // sets (64 B lines, 256 sets).
+        let mut sys = System::boot(SystemConfig::default());
+        let target = sys.alloc_target(10);
+        let ev = EvictionSet::dtlb_for_target(&mut sys, target);
+        let mut l1d_sets: Vec<u64> = ev.addrs().iter().map(|a| (a / 64) % 256).collect();
+        l1d_sets.sort_unstable();
+        l1d_sets.dedup();
+        assert_eq!(l1d_sets.len(), DTLB_WAYS, "L1D sets must be pairwise distinct");
+    }
+
+    #[test]
+    fn dtlb_eviction_actually_evicts() {
+        let mut sys = System::boot(SystemConfig::default());
+        let target = sys.alloc_target(77);
+        // Plant a *user* page in the same set and verify the eviction set
+        // pushes it out.
+        let victim = sys.alloc_user_region(DTLB_SETS) + 77 * PAGE_SIZE;
+        sys.ensure_user_page(victim);
+        sys.machine.user_load(victim).unwrap();
+        let vpn = VirtualAddress::new(victim).vpn();
+        assert!(sys.machine.mem.tlbs.dtlb().contains(vpn));
+        let ev = EvictionSet::dtlb_for_target(&mut sys, target);
+        for &a in ev.addrs() {
+            sys.machine.user_load(a).unwrap();
+        }
+        assert!(
+            !sys.machine.mem.tlbs.dtlb().contains(vpn),
+            "12 same-set fills must evict the planted entry"
+        );
+    }
+
+    #[test]
+    fn l2_reset_evicts_from_the_whole_hierarchy() {
+        let mut sys = System::boot(SystemConfig::default());
+        let victim = sys.alloc_user_region(4096) + 3 * PAGE_SIZE;
+        sys.ensure_user_page(victim);
+        sys.machine.user_load(victim).unwrap();
+        let vpn = VirtualAddress::new(victim).vpn();
+        assert!(sys.machine.mem.tlbs.l2().contains(vpn));
+
+        let reset = EvictionSet::l2_reset_for_target(&mut sys, victim);
+        assert_eq!(reset.len(), L2_WAYS);
+        for &a in reset.addrs() {
+            assert_eq!(VirtualAddress::new(a).vpn() % L2_SETS, vpn % L2_SETS);
+            sys.machine.user_load(a).unwrap();
+        }
+        assert!(!sys.machine.mem.tlbs.l2().contains(vpn), "L2 TLB entry must be gone");
+        assert!(!sys.machine.mem.tlbs.dtlb().contains(vpn), "dTLB entry must be gone");
+    }
+
+    #[test]
+    fn reset_and_prime_sets_are_disjoint() {
+        let mut sys = System::boot(SystemConfig::default());
+        let target = sys.alloc_target(5);
+        let prime = EvictionSet::dtlb_for_target(&mut sys, target);
+        let reset = EvictionSet::l2_reset_for_target(&mut sys, target);
+        for a in prime.addrs() {
+            assert!(!reset.addrs().contains(a));
+        }
+    }
+}

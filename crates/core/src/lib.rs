@@ -1,0 +1,55 @@
+//! The PACMAN attack library — the ISCA 2022 paper's contribution.
+//!
+//! PACMAN speculatively leaks ARM Pointer Authentication verification
+//! results through TLB side channels, turning the 16-bit PAC from a
+//! crash-on-guess defence into a silently brute-forceable value. This
+//! crate implements the attacker side, end to end, as an unprivileged
+//! EL0 process on the workspace's simulated M1-like platform:
+//!
+//! - [`system`] — boots the attack platform (machine + kernel + kexts);
+//! - [`evict`] — TLB eviction-set construction per the §7 findings;
+//! - [`probe`] — Prime+Probe over the shared L1 dTLB;
+//! - [`cache_probe`] — the same oracle over the L1 data cache (§4.1's
+//!   channel-generality claim);
+//! - [`timing`] — timer evaluation and threshold calibration (Figure 7);
+//! - [`oracle`] — the data- and instruction-gadget PAC oracles (§8.1,
+//!   Figure 8);
+//! - [`brute`] — PAC brute forcing with TP/FP/FN accounting (§8.2);
+//! - [`sweep`] — the §7 reverse-engineering sweeps (Figure 5) and the
+//!   Figure 6 parameter derivation;
+//! - [`jump2win`] — the §8.3 control-flow hijack;
+//! - [`report`] — table/series rendering for the bench harness.
+//!
+//! # Example: a crash-free PAC oracle
+//!
+//! ```
+//! use pacman_core::oracle::{DataPacOracle, PacOracle};
+//! use pacman_core::{System, SystemConfig};
+//!
+//! let mut sys = System::boot(SystemConfig::default());
+//! let set = sys.pick_quiet_dtlb_set();
+//! let target = sys.alloc_target(set);
+//! let true_pac = sys.true_pac(target); // ground truth (evaluation only)
+//!
+//! let mut oracle = DataPacOracle::new(&mut sys)?;
+//! assert!(oracle.test_pac(&mut sys, target, true_pac)?.is_correct());
+//! assert!(!oracle.test_pac(&mut sys, target, true_pac ^ 1)?.is_correct());
+//! assert_eq!(sys.kernel.crash_count(), 0); // no crashes — the point of PACMAN
+//! # Ok::<(), pacman_core::oracle::OracleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod cache_probe;
+pub mod evict;
+pub mod jump2win;
+pub mod oracle;
+pub mod probe;
+pub mod report;
+pub mod sweep;
+pub mod system;
+pub mod timing;
+
+pub use system::{System, SystemConfig};

@@ -1,0 +1,136 @@
+//! Plain-text table and series rendering shared by the bench harness.
+
+use std::fmt;
+
+/// A paper-style table.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct Table {
+    /// Caption printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row should match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = w.iter().map(|x| x + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ASCII rendering of latency-vs-N series (the Figure 5 plots).
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct AsciiChart {
+    /// Caption.
+    pub title: String,
+    /// `(label, points)` per series, where points are `(x, y)`.
+    pub series: Vec<(String, Vec<(usize, u64)>)>,
+}
+
+impl AsciiChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), series: Vec::new() }
+    }
+
+    /// Adds one series.
+    pub fn series(&mut self, label: impl Into<String>, points: Vec<(usize, u64)>) -> &mut Self {
+        self.series.push((label.into(), points));
+        self
+    }
+}
+
+impl fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        for (label, points) in &self.series {
+            writeln!(f, "-- {label} --")?;
+            let max = points.iter().map(|&(_, y)| y).max().unwrap_or(1).max(1);
+            for &(x, y) in points {
+                let bar = (y * 50 / max) as usize;
+                writeln!(f, "{x:>3} | {y:>5} {}", "#".repeat(bar))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["a-much-longer-name".into(), "23456".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| name"));
+        assert!(s.contains("| a-much-longer-name |"));
+        // Both rows render the same width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines[0].len(), lines[1].len().max(lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn chart_renders_all_points() {
+        let mut c = AsciiChart::new("Latency");
+        c.series("s1", vec![(1, 60), (2, 95)]);
+        let s = c.to_string();
+        assert!(s.contains("-- s1 --"));
+        assert!(s.contains("  1 |    60"));
+        assert!(s.contains("  2 |    95"));
+    }
+}

@@ -1,0 +1,345 @@
+//! The §7 reverse-engineering experiments (Figure 5(a)/(b)/(c)) and the
+//! Figure 6 parameter derivation.
+//!
+//! These run the way the paper ran them under PacmanOS (§6.2): with full
+//! control of the machine (state flushes between trials) and the Apple
+//! performance counter (`PMC0`) as the clock. Each experiment reports the
+//! median measured reload latency of a target address after `N` potential
+//! eviction accesses at a given stride.
+
+use pacman_isa::ptr::{VirtualAddress, PAGE_SIZE};
+use pacman_uarch::{Machine, MachineConfig, Perms, TimingSource, Trap};
+
+/// One measured point of a sweep.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct SweepPoint {
+    /// Number of potentially conflicting accesses performed (the paper's
+    /// x-axis).
+    pub n: usize,
+    /// Median measured reload latency (cycles, PMC0).
+    pub median: u64,
+}
+
+/// One stride's latency-vs-N series.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct SweepSeries {
+    /// Human-readable stride label (e.g. `"256 x 16KB"`).
+    pub label: String,
+    /// Stride in bytes.
+    pub stride: u64,
+    /// The measured points, `n` ascending.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// The median latency at a given `n`, if measured.
+    pub fn at(&self, n: usize) -> Option<u64> {
+        self.points.iter().find(|p| p.n == n).map(|p| p.median)
+    }
+
+    /// The smallest `n` whose median is at least `threshold` (knee
+    /// detection for rising series).
+    pub fn knee_above(&self, threshold: u64) -> Option<usize> {
+        self.points.iter().find(|p| p.median >= threshold).map(|p| p.n)
+    }
+
+    /// The smallest `n` whose median is at most `threshold` (knee
+    /// detection for falling series, Figure 5(c)).
+    pub fn knee_below(&self, threshold: u64) -> Option<usize> {
+        self.points.iter().find(|p| p.median <= threshold).map(|p| p.n)
+    }
+}
+
+/// A bare-metal-style experiment machine: PMC0 unlocked, no OS noise, no
+/// kernel — the PacmanOS environment of §6.2.
+pub fn experiment_machine() -> Machine {
+    let cfg = MachineConfig { os_noise: 0.0, ..MachineConfig::default() };
+    let mut m = Machine::new(cfg);
+    m.timers.pmc0_el0_enabled = true;
+    m.set_timing_source(TimingSource::Pmc0);
+    m
+}
+
+/// The VA region the sweeps use (well inside the user half).
+const SWEEP_BASE: u64 = 0x0000_1000_0000_0000;
+/// Maximum N the paper plots.
+pub const MAX_N: usize = 30;
+/// Samples per (stride, N) point. The paper used 1000; the simulator is
+/// noise-calibrated, so fewer suffice.
+pub const SAMPLES: usize = 21;
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn flush_microarch(m: &mut Machine) {
+    m.mem.tlbs.flush();
+    m.mem.l1i.flush();
+    m.mem.l1d.flush();
+    m.mem.l2c.flush();
+}
+
+/// Maps `x` and all sweep addresses. Each touched page gets its own
+/// physical frame: the caches are physically indexed, so aliasing frames
+/// would erase the cache-conflict behaviour Figure 5(b) measures. Only
+/// the ~2·N touched pages are mapped, never the full stride span.
+fn map_sweep_addresses(m: &mut Machine, x: u64, addrs: &[u64]) {
+    let map_page = |m: &mut Machine, va: u64| {
+        let page = va & !(PAGE_SIZE - 1);
+        if m.mem.tables.translate(&m.mem.phys, VirtualAddress::new(page)).is_none() {
+            let frame = m.alloc_frame();
+            m.map_alias(page, frame, Perms::user_rwx());
+        }
+    };
+    map_page(m, x);
+    for &a in addrs {
+        map_page(m, a);
+        map_page(m, a + 8); // loads never straddle, but keep the next page warm-safe
+    }
+}
+
+/// Figure 5(a): data-load sweep with the cache-conflict-avoiding formula
+/// `addr[i] = x + i*stride + i*128`.
+///
+/// # Errors
+///
+/// Propagates traps from the experiment's own loads (mapping bugs only).
+pub fn data_tlb_sweep(m: &mut Machine, stride_pages: &[u64]) -> Result<Vec<SweepSeries>, Trap> {
+    let mut out = Vec::new();
+    for (si, &sp) in stride_pages.iter().enumerate() {
+        let stride = sp * PAGE_SIZE;
+        let x = SWEEP_BASE + (si as u64) * 0x100_0000_0000;
+        let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride + i * 128).collect();
+        map_sweep_addresses(m, x, &addrs);
+        let mut points = Vec::new();
+        for n in 1..=MAX_N {
+            let mut samples = Vec::with_capacity(SAMPLES);
+            for _ in 0..SAMPLES {
+                flush_microarch(m);
+                m.user_load(x)?;
+                for &a in &addrs[..n] {
+                    m.user_load(a)?;
+                }
+                samples.push(m.timed_user_load(x)?);
+            }
+            points.push(SweepPoint { n, median: median(samples) });
+        }
+        out.push(SweepSeries { label: format!("{sp} x 16KB"), stride, points });
+    }
+    Ok(out)
+}
+
+/// Figure 5(b): cache/TLB interaction sweep with the raw formula
+/// `addr[i] = x + i*stride` (stride in bytes, multiples of 128 B).
+///
+/// # Errors
+///
+/// Propagates traps from the experiment's own loads.
+pub fn cache_tlb_sweep(m: &mut Machine, strides: &[u64]) -> Result<Vec<SweepSeries>, Trap> {
+    let mut out = Vec::new();
+    for (si, &stride) in strides.iter().enumerate() {
+        let x = SWEEP_BASE + 0x2000_0000_0000 + (si as u64) * 0x100_0000_0000;
+        let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride).collect();
+        map_sweep_addresses(m, x, &addrs);
+        let mut points = Vec::new();
+        for n in 1..=MAX_N {
+            let mut samples = Vec::with_capacity(SAMPLES);
+            for _ in 0..SAMPLES {
+                flush_microarch(m);
+                m.user_load(x)?;
+                for &a in &addrs[..n] {
+                    m.user_load(a)?;
+                }
+                samples.push(m.timed_user_load(x)?);
+            }
+            points.push(SweepPoint { n, median: median(samples) });
+        }
+        let label = if stride % PAGE_SIZE == 0 {
+            format!("{} x 16KB", stride / PAGE_SIZE)
+        } else {
+            format!("{} x 128B", stride / 128)
+        };
+        out.push(SweepSeries { label, stride, points });
+    }
+    Ok(out)
+}
+
+/// Figure 5(c): instruction-fetch sweep. The target `x` is *branched to*
+/// (step 2), then `N` branch targets at the stride are fetched (step 3),
+/// then `x` is reloaded **as data** (step 4) — measuring data latency is
+/// more reliable than fetch latency (§7.3).
+///
+/// # Errors
+///
+/// Propagates traps from the experiment's own accesses.
+pub fn itlb_sweep(m: &mut Machine, stride_pages: &[u64]) -> Result<Vec<SweepSeries>, Trap> {
+    let mut out = Vec::new();
+    for (si, &sp) in stride_pages.iter().enumerate() {
+        let stride = sp * PAGE_SIZE;
+        let x = SWEEP_BASE + 0x4000_0000_0000 + (si as u64) * 0x100_0000_0000;
+        let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride + i * 128).collect();
+        map_sweep_addresses(m, x, &addrs);
+        let mut points = Vec::new();
+        for n in 1..=MAX_N {
+            let mut samples = Vec::with_capacity(SAMPLES);
+            for _ in 0..SAMPLES {
+                flush_microarch(m);
+                m.user_fetch(x)?; // step 2: fetch x as an instruction
+                for &a in &addrs[..n] {
+                    m.user_fetch(a)?; // step 3: instruction eviction set
+                }
+                samples.push(m.timed_user_load(x)?); // step 4: reload as data
+            }
+            points.push(SweepPoint { n, median: median(samples) });
+        }
+        out.push(SweepSeries { label: format!("{sp} x 16KB"), stride, points });
+    }
+    Ok(out)
+}
+
+/// The Figure 6 / findings 1–3 summary, derived from the sweeps.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct TlbHierarchyFindings {
+    /// Finding 1: dTLB eviction needs this many addresses at stride
+    /// 256 × 16 KB (expected 12 = dTLB ways).
+    pub dtlb_ways: usize,
+    /// Finding 2: L2 TLB eviction needs this many addresses at stride
+    /// 2048 × 16 KB (expected 23 = L2 ways).
+    pub l2_ways: usize,
+    /// Finding 3: iTLB eviction needs this many branches at stride
+    /// 32 × 16 KB (expected 4 = iTLB ways).
+    pub itlb_ways: usize,
+    /// §7.3: evicted iTLB entries become dTLB-visible (the backing-store
+    /// behaviour, detected by the latency *drop* in Figure 5(c)).
+    pub itlb_victims_visible_to_loads: bool,
+}
+
+/// Derives the Figure 6 parameters by running the minimal sweeps.
+///
+/// # Errors
+///
+/// Propagates traps from the sweeps.
+pub fn derive_hierarchy(m: &mut Machine) -> Result<TlbHierarchyFindings, Trap> {
+    // Thresholds between the 60/80/95/115 plateaus.
+    let miss_threshold = 90; // above = dTLB miss at least
+    let l2_threshold = 110; // above = L2 TLB miss
+
+    let data = data_tlb_sweep(m, &[256, 2048])?;
+    let dtlb_ways = data[0].knee_above(miss_threshold).unwrap_or(0);
+    let l2_ways = data[1].knee_above(l2_threshold).unwrap_or(0);
+
+    let instr = itlb_sweep(m, &[32])?;
+    // Before the knee, the entry hides in the iTLB (slow reloads); at the
+    // knee it migrates into the dTLB (fast reloads).
+    let itlb_ways = instr[0].knee_below(miss_threshold).unwrap_or(0);
+    let before = instr[0].at(1).unwrap_or(0);
+    let after = instr[0].at(itlb_ways.max(1)).unwrap_or(u64::MAX);
+    let itlb_victims_visible_to_loads = itlb_ways > 0 && after < before;
+
+    Ok(TlbHierarchyFindings { dtlb_ways, l2_ways, itlb_ways, itlb_victims_visible_to_loads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_plateaus_and_knees() {
+        let mut m = experiment_machine();
+        let series = data_tlb_sweep(&mut m, &[1, 256, 2048]).unwrap();
+
+        // Stride 1 page: different dTLB sets, no conflict — flat ~60.
+        let flat = &series[0];
+        for p in &flat.points {
+            assert!((55..=70).contains(&p.median), "stride-1 N={} median={}", p.n, p.median);
+        }
+
+        // Stride 256 pages: dTLB conflicts from N=12 — 60 → ~95.
+        let dtlb = &series[1];
+        assert!((55..=70).contains(&dtlb.at(11).unwrap()));
+        assert_eq!(dtlb.knee_above(90), Some(12), "finding 1: 12 addresses at 256x16KB");
+        assert!((90..=100).contains(&dtlb.at(12).unwrap()));
+
+        // Stride 2048 pages: L2 TLB conflicts from N=23 — ~95 → ~115.
+        let l2 = &series[2];
+        assert_eq!(l2.knee_above(110), Some(23), "finding 2: 23 addresses at 2048x16KB");
+        assert!((110..=125).contains(&l2.at(23).unwrap()));
+        // Below 23 it still shows the dTLB-miss plateau (same dTLB set).
+        assert!((90..=100).contains(&l2.at(15).unwrap()));
+    }
+
+    #[test]
+    fn fig5b_cache_then_tlb_jumps() {
+        let mut m = experiment_machine();
+        let strides = [256 * 128, 256 * PAGE_SIZE, 2048 * PAGE_SIZE];
+        let series = cache_tlb_sweep(&mut m, &strides).unwrap();
+
+        // 256 x 128B = 32 KB: L1D conflicts from N=4 (observed effective
+        // 4-way L1D, paper footnote 5) — 60 → ~80.
+        let l1d = &series[0];
+        assert!((55..=70).contains(&l1d.at(3).unwrap()));
+        assert_eq!(l1d.knee_above(75), Some(4), "L1D knee at N=4");
+        assert!((75..=85).contains(&l1d.at(4).unwrap()));
+
+        // 256 x 16KB: cache + dTLB conflicts — ~80 then ~115 from N=12.
+        let dtlb = &series[1];
+        assert_eq!(dtlb.knee_above(105), Some(12));
+        assert!((108..=122).contains(&dtlb.at(12).unwrap()));
+
+        // 2048 x 16KB: + L2 TLB conflicts — ~135 from N=23.
+        let l2 = &series[2];
+        assert_eq!(l2.knee_above(125), Some(23));
+        assert!((125..=145).contains(&l2.at(23).unwrap()));
+    }
+
+    #[test]
+    fn fig5c_itlb_drop_then_dtlb_rise() {
+        let mut m = experiment_machine();
+        let series = itlb_sweep(&mut m, &[32, 256, 2048]).unwrap();
+
+        // Stride 32 pages: N < 4 the entry hides in the iTLB (slow, >110);
+        // N >= 4 it migrates into the dTLB (fast, ~80).
+        let itlb = &series[0];
+        assert!(itlb.at(1).unwrap() > 110, "entry in iTLB must be load-invisible");
+        assert_eq!(itlb.knee_below(90), Some(4), "finding 3: 4 branches at 32x16KB");
+        assert!((75..=85).contains(&itlb.at(4).unwrap()));
+        assert!((75..=85).contains(&itlb.at(30).unwrap()), "stays fast: victims in dTLB");
+
+        // Stride 256 pages: the drop happens, then migrated victims fill
+        // the dTLB set and the latency rises again (~115) for large N.
+        let dtlb = &series[1];
+        assert!(dtlb.at(30).unwrap() > 105, "dTLB refill conflicts must reappear");
+
+        // Stride 2048: eventually L2 TLB conflicts too (~130+).
+        let l2 = &series[2];
+        assert!(l2.at(30).unwrap() > 120);
+    }
+
+    #[test]
+    fn figure6_parameters_are_recovered() {
+        let mut m = experiment_machine();
+        let f = derive_hierarchy(&mut m).unwrap();
+        assert_eq!(f.dtlb_ways, 12);
+        assert_eq!(f.l2_ways, 23);
+        assert_eq!(f.itlb_ways, 4);
+        assert!(f.itlb_victims_visible_to_loads);
+    }
+
+    #[test]
+    fn knee_helpers() {
+        let s = SweepSeries {
+            label: "t".into(),
+            stride: 0,
+            points: vec![
+                SweepPoint { n: 1, median: 60 },
+                SweepPoint { n: 2, median: 60 },
+                SweepPoint { n: 3, median: 95 },
+            ],
+        };
+        assert_eq!(s.knee_above(90), Some(3));
+        assert_eq!(s.knee_below(70), Some(1));
+        assert_eq!(s.at(2), Some(60));
+        assert_eq!(s.at(9), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! Synthetic PA-enabled kernel images for the §4.3 census.
+//!
+//! The paper scanned the release XNU image (macOS 12.2.1) and found
+//! 55,159 potential PACMAN gadgets — 13,867 data and 41,292 instruction
+//! gadgets — with a mean branch→transmit distance of 8.1 instructions.
+//! We cannot ship Apple's binary, so this module generates images made of
+//! the same *shapes* that produce those gadgets in real PA-enabled code:
+//!
+//! - functions whose prologue signs the return address and whose epilogue
+//!   authenticates it before `ret` (Figure 2) — each conditional branch
+//!   within ~32 instructions of the epilogue contributes an instruction
+//!   gadget, which is why instruction gadgets dominate the census;
+//! - C++-style virtual dispatch sites (`aut` vtable pointer, load entry,
+//!   `aut` entry, `blr`) — instruction gadgets;
+//! - data-structure walks that authenticate a data pointer and then
+//!   dereference it — data gadgets;
+//! - plain leaf code with branches and no PA — no gadgets.
+
+use pacman_isa::{encode, Asm, Cond, Inst, PacKey, PacModifier, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic image.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct ImageSpec {
+    /// Number of functions to generate.
+    pub functions: usize,
+    /// RNG seed (images are deterministic per seed).
+    pub seed: u64,
+    /// Fraction (percent) of functions protected by PA, as on macOS where
+    /// the kernel is built with pointer authentication throughout.
+    pub pa_percent: u8,
+    /// Fraction (percent) of PA functions containing a virtual-dispatch
+    /// site.
+    pub vdispatch_percent: u8,
+    /// Fraction (percent) of PA functions containing an authenticated
+    /// data-pointer walk.
+    pub data_walk_percent: u8,
+    /// Fraction (percent) of PA functions that spill an authenticated
+    /// pointer to the stack and reload it before use (register
+    /// pressure) — invisible to register-only dataflow.
+    pub spill_percent: u8,
+}
+
+impl Default for ImageSpec {
+    fn default() -> Self {
+        Self {
+            functions: 200,
+            seed: 1,
+            pa_percent: 85,
+            vdispatch_percent: 55,
+            data_walk_percent: 20,
+            spill_percent: 15,
+        }
+    }
+}
+
+/// A generated image.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct SynthImage {
+    /// Encoded little-endian instruction stream.
+    pub bytes: Vec<u8>,
+    /// Number of instructions.
+    pub instructions: usize,
+    /// Number of generated functions.
+    pub functions: usize,
+}
+
+fn rand_reg(rng: &mut SmallRng) -> Reg {
+    Reg::x(rng.gen_range(2..15))
+}
+
+/// Emits a few register-only filler instructions.
+fn emit_filler(a: &mut Asm, rng: &mut SmallRng, count: usize) {
+    for _ in 0..count {
+        let (rd, rn, rm) = (rand_reg(rng), rand_reg(rng), rand_reg(rng));
+        match rng.gen_range(0..5) {
+            0 => a.push(Inst::AddReg { rd, rn, rm }),
+            1 => a.push(Inst::EorReg { rd, rn, rm }),
+            2 => a.push(Inst::MovZ { rd, imm: rng.gen(), shift: rng.gen_range(0..4) }),
+            3 => a.push(Inst::LslImm { rd, rn, shift: rng.gen_range(0..16) }),
+            _ => a.push(Inst::SubImm { rd, rn, imm: rng.gen_range(0..64) }),
+        };
+    }
+}
+
+/// A short conditional region, as compilers emit for error checks.
+fn emit_branchy_block(a: &mut Asm, rng: &mut SmallRng) {
+    let skip = a.new_label();
+    let r = rand_reg(rng);
+    match rng.gen_range(0..4) {
+        0 => {
+            a.cbz(r, skip);
+        }
+        1 => {
+            a.cbnz(r, skip);
+        }
+        2 => {
+            if rng.gen_bool(0.5) {
+                a.tbz(r, rng.gen_range(0..64), skip);
+            } else {
+                a.tbnz(r, rng.gen_range(0..64), skip);
+            }
+        }
+        _ => {
+            a.push(Inst::CmpImm { rn: r, imm: rng.gen_range(0..32) });
+            let cond = Cond::ALL[rng.gen_range(0..Cond::ALL.len())];
+            a.b_cond(cond, skip);
+        }
+    }
+    let n = rng.gen_range(1..5);
+    emit_filler(a, rng, n);
+    a.bind(skip);
+}
+
+/// A C++-style virtual dispatch: authenticate the vtable pointer, index
+/// it, authenticate the entry, call it (Listing 2).
+fn emit_vdispatch(a: &mut Asm, rng: &mut SmallRng) {
+    let obj = rand_reg(rng);
+    a.push(Inst::Ldr { rt: Reg::X10, rn: obj, offset: 0 });
+    a.push(Inst::Aut { key: PacKey::Da, rd: Reg::X10, modifier: PacModifier::Reg(obj) });
+    a.push(Inst::Ldr { rt: Reg::X11, rn: Reg::X10, offset: (8 * rng.gen_range(0..4)) as i16 });
+    a.push(Inst::Aut { key: PacKey::Ia, rd: Reg::X11, modifier: PacModifier::Reg(obj) });
+    a.push(Inst::Blr { rn: Reg::X11 });
+}
+
+/// An authenticated pointer spilled to the stack under register
+/// pressure, reloaded, then dereferenced — the kind of gadget the
+/// paper's register-only dataflow misses (§4.3's undercount caveat).
+fn emit_spill_reload(a: &mut Asm, rng: &mut SmallRng) {
+    let base = rand_reg(rng);
+    a.push(Inst::Ldr { rt: Reg::X12, rn: base, offset: 16 });
+    a.push(Inst::Aut { key: PacKey::Da, rd: Reg::X12, modifier: PacModifier::Zero });
+    a.push(Inst::Str { rt: Reg::X12, rn: Reg::SP, offset: 0x20 });
+    // Register pressure clobbers the live value...
+    a.push(Inst::MovZ { rd: Reg::X12, imm: rng.gen(), shift: 0 });
+    let n = rng.gen_range(0..3);
+    emit_filler(a, rng, n);
+    // ...so it is reloaded before the dereference.
+    a.push(Inst::Ldr { rt: Reg::X12, rn: Reg::SP, offset: 0x20 });
+    a.push(Inst::Ldr { rt: Reg::X13, rn: Reg::X12, offset: 0 });
+}
+
+/// An authenticated data-pointer dereference chain.
+fn emit_data_walk(a: &mut Asm, rng: &mut SmallRng) {
+    let base = rand_reg(rng);
+    a.push(Inst::Ldr { rt: Reg::X12, rn: base, offset: 8 });
+    a.push(Inst::Aut { key: PacKey::Da, rd: Reg::X12, modifier: PacModifier::Zero });
+    let n = rng.gen_range(0..3);
+    emit_filler(a, rng, n);
+    a.push(Inst::Ldr { rt: Reg::X13, rn: Reg::X12, offset: 0 });
+}
+
+/// One function body.
+fn emit_function(a: &mut Asm, rng: &mut SmallRng, spec: &ImageSpec) {
+    let pa = rng.gen_range(0..100) < spec.pa_percent;
+    // Prologue (Figure 2(a)); real compilers spill the frame pair with stp.
+    if pa {
+        a.push(Inst::Pac { key: PacKey::Ia, rd: Reg::LR, modifier: PacModifier::Reg(Reg::SP) });
+        a.push(Inst::SubImm { rd: Reg::SP, rn: Reg::SP, imm: 0x40 });
+        if rng.gen_bool(0.5) {
+            a.push(Inst::Stp { rt: Reg::X29, rt2: Reg::LR, rn: Reg::SP, offset: 0x30 });
+        } else {
+            a.push(Inst::Str { rt: Reg::LR, rn: Reg::SP, offset: 0x30 });
+        }
+    }
+    let n = rng.gen_range(1..5);
+    emit_filler(a, rng, n);
+    for _ in 0..rng.gen_range(1..3) {
+        emit_branchy_block(a, rng);
+        let n = rng.gen_range(0..3);
+        emit_filler(a, rng, n);
+    }
+    if pa && rng.gen_range(0..100) < spec.vdispatch_percent {
+        emit_branchy_block(a, rng);
+        emit_vdispatch(a, rng);
+    }
+    if pa && rng.gen_range(0..100) < spec.data_walk_percent {
+        emit_branchy_block(a, rng);
+        emit_data_walk(a, rng);
+    }
+    if pa && rng.gen_range(0..100) < spec.spill_percent {
+        emit_branchy_block(a, rng);
+        emit_spill_reload(a, rng);
+    }
+    // Epilogue (Figure 2(b)).
+    if pa {
+        if rng.gen_bool(0.5) {
+            a.push(Inst::Ldp { rt: Reg::X29, rt2: Reg::LR, rn: Reg::SP, offset: 0x30 });
+        } else {
+            a.push(Inst::Ldr { rt: Reg::LR, rn: Reg::SP, offset: 0x30 });
+        }
+        a.push(Inst::AddImm { rd: Reg::SP, rn: Reg::SP, imm: 0x40 });
+        a.push(Inst::Aut { key: PacKey::Ia, rd: Reg::LR, modifier: PacModifier::Reg(Reg::SP) });
+    }
+    a.push(Inst::Ret);
+}
+
+/// Generates a synthetic PA-enabled image.
+pub fn synthesize(spec: &ImageSpec) -> SynthImage {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut a = Asm::new();
+    for _ in 0..spec.functions {
+        emit_function(&mut a, &mut rng, spec);
+    }
+    let program = a.assemble().expect("synthetic image assembles");
+    let mut bytes = Vec::with_capacity(program.len() * 4);
+    for inst in &program {
+        bytes.extend_from_slice(&encode(inst).expect("synthetic image encodes").to_le_bytes());
+    }
+    SynthImage { bytes, instructions: program.len(), functions: spec.functions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan_image, ScanConfig};
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = ImageSpec { functions: 30, seed: 9, ..ImageSpec::default() };
+        assert_eq!(synthesize(&spec), synthesize(&spec));
+        let other = ImageSpec { seed: 10, ..spec };
+        assert_ne!(synthesize(&spec).bytes, synthesize(&other).bytes);
+    }
+
+    #[test]
+    fn census_shape_matches_the_paper() {
+        // §4.3 on XNU: 55,159 gadgets; 13,867 data vs 41,292 instruction
+        // (≈3x); mean distance 8.1. The synthetic image must reproduce the
+        // qualitative shape: gadgets are abundant, instruction gadgets
+        // dominate, and the mean distance is single-digit instructions.
+        let image = synthesize(&ImageSpec { functions: 400, seed: 42, ..ImageSpec::default() });
+        let report = scan_image(&image.bytes, &ScanConfig::default());
+        assert!(report.total() > 400, "expected abundant gadgets, got {}", report.total());
+        assert!(
+            report.instruction_count() > report.data_count(),
+            "instruction gadgets must dominate ({} vs {})",
+            report.instruction_count(),
+            report.data_count()
+        );
+        let d = report.mean_distance();
+        assert!((2.0..=16.0).contains(&d), "mean distance {d} not single-digit-ish");
+    }
+
+    #[test]
+    fn pa_free_code_has_no_gadgets() {
+        let spec = ImageSpec { functions: 100, seed: 3, pa_percent: 0, ..ImageSpec::default() };
+        let image = synthesize(&spec);
+        let report = scan_image(&image.bytes, &ScanConfig::default());
+        assert_eq!(report.total(), 0);
+        assert!(report.conditional_branches > 0, "the image still has branches");
+    }
+
+    #[test]
+    fn bigger_images_have_more_gadgets() {
+        let small = synthesize(&ImageSpec { functions: 50, seed: 5, ..ImageSpec::default() });
+        let large = synthesize(&ImageSpec { functions: 500, seed: 5, ..ImageSpec::default() });
+        let cfg = ScanConfig::default();
+        assert!(
+            scan_image(&large.bytes, &cfg).total() > scan_image(&small.bytes, &cfg).total() * 5
+        );
+    }
+
+    #[test]
+    fn instruction_count_matches_bytes() {
+        let image = synthesize(&ImageSpec { functions: 10, seed: 1, ..ImageSpec::default() });
+        assert_eq!(image.bytes.len(), image.instructions * 4);
+    }
+}

@@ -1,0 +1,342 @@
+//! A small label-resolving assembler.
+//!
+//! Kernel code in this workspace (syscall handlers, kexts, victim
+//! functions) is written against [`Asm`], which resolves forward and
+//! backward branch targets to the instruction-relative offsets the
+//! encoding uses.
+//!
+//! # Example
+//!
+//! ```
+//! use pacman_isa::{Asm, Inst, Reg};
+//!
+//! let mut a = Asm::new();
+//! let done = a.new_label();
+//! a.push(Inst::CmpImm { rn: Reg::X0, imm: 0 });
+//! a.b_cond(pacman_isa::Cond::Eq, done);
+//! a.push(Inst::SubImm { rd: Reg::X0, rn: Reg::X0, imm: 1 });
+//! a.bind(done);
+//! a.push(Inst::Ret);
+//! let prog = a.assemble()?;
+//! assert_eq!(prog.len(), 4);
+//! # Ok::<(), pacman_isa::AsmError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::regs::{Cond, Reg};
+
+/// An opaque branch-target label issued by [`Asm::new_label`].
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Errors surfaced when a program cannot be assembled.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum AsmError {
+    /// A branch references a label that was never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    ReboundLabel(Label),
+    /// A resolved offset does not fit the branch's encoding field.
+    OffsetOverflow {
+        /// Index of the offending branch instruction.
+        at: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            AsmError::ReboundLabel(l) => write!(f, "label {l:?} bound twice"),
+            AsmError::OffsetOverflow { at } => {
+                write!(f, "branch at instruction {at} overflows its offset field")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Copy, Clone, Debug)]
+enum Fixup {
+    B,
+    Bl,
+    BCond(Cond),
+    Cbz(Reg),
+    Cbnz(Reg),
+    Tbz(Reg, u8),
+    Tbnz(Reg, u8),
+}
+
+/// The assembler: collects instructions, binds labels, resolves branches.
+#[derive(Debug, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label, Fixup)>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far (the address of the *next*
+    /// instruction, in words).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Issues a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label came from a different assembler.
+    pub fn bind(&mut self, label: Label) {
+        let slot = self
+            .labels
+            .get_mut(label.0)
+            .expect("label must come from this assembler");
+        assert!(slot.is_none(), "label {label:?} bound twice");
+        *slot = Some(self.insts.len());
+    }
+
+    /// Emits a non-branching instruction (or a branch with a pre-resolved
+    /// numeric offset).
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emits an unconditional branch to `label`.
+    pub fn b(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label, Fixup::B));
+        self.insts.push(Inst::B { offset: 0 });
+        self
+    }
+
+    /// Emits a branch-and-link to `label`.
+    pub fn bl(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label, Fixup::Bl));
+        self.insts.push(Inst::Bl { offset: 0 });
+        self
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn b_cond(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label, Fixup::BCond(cond)));
+        self.insts.push(Inst::BCond { cond, offset: 0 });
+        self
+    }
+
+    /// Emits a compare-and-branch-if-zero to `label`.
+    pub fn cbz(&mut self, rt: Reg, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label, Fixup::Cbz(rt)));
+        self.insts.push(Inst::Cbz { rt, offset: 0 });
+        self
+    }
+
+    /// Emits a compare-and-branch-if-not-zero to `label`.
+    pub fn cbnz(&mut self, rt: Reg, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label, Fixup::Cbnz(rt)));
+        self.insts.push(Inst::Cbnz { rt, offset: 0 });
+        self
+    }
+
+    /// Emits a test-bit-and-branch-if-zero to `label`.
+    pub fn tbz(&mut self, rt: Reg, bit: u8, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label, Fixup::Tbz(rt, bit)));
+        self.insts.push(Inst::Tbz { rt, bit, offset: 0 });
+        self
+    }
+
+    /// Emits a test-bit-and-branch-if-one to `label`.
+    pub fn tbnz(&mut self, rt: Reg, bit: u8, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label, Fixup::Tbnz(rt, bit)));
+        self.insts.push(Inst::Tbnz { rt, bit, offset: 0 });
+        self
+    }
+
+    /// Emits the shortest `movz`/`movk` sequence loading the 64-bit
+    /// constant `value` into `rd` (always at least one instruction).
+    pub fn mov_imm64(&mut self, rd: Reg, value: u64) -> &mut Self {
+        let halves =
+            [(value & 0xFFFF) as u16, (value >> 16) as u16, (value >> 32) as u16, (value >> 48) as u16];
+        self.insts.push(Inst::MovZ { rd, imm: halves[0], shift: 0 });
+        for (i, &h) in halves.iter().enumerate().skip(1) {
+            if h != 0 {
+                self.insts.push(Inst::MovK { rd, imm: h, shift: i as u8 });
+            }
+        }
+        self
+    }
+
+    /// Resolves all labels and returns the finished program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] if a referenced label was never bound or a
+    /// resolved offset does not fit its encoding field.
+    pub fn assemble(mut self) -> Result<Vec<Inst>, AsmError> {
+        for &(at, label, fixup) in &self.fixups {
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(label))?;
+            let offset = target as i64 - at as i64;
+            let fits = |bits: u32| {
+                let max = (1i64 << (bits - 1)) - 1;
+                offset >= -(1i64 << (bits - 1)) && offset <= max
+            };
+            let inst = match fixup {
+                Fixup::B => {
+                    if !fits(24) {
+                        return Err(AsmError::OffsetOverflow { at });
+                    }
+                    Inst::B { offset: offset as i32 }
+                }
+                Fixup::Bl => {
+                    if !fits(24) {
+                        return Err(AsmError::OffsetOverflow { at });
+                    }
+                    Inst::Bl { offset: offset as i32 }
+                }
+                Fixup::BCond(cond) => {
+                    if !fits(16) {
+                        return Err(AsmError::OffsetOverflow { at });
+                    }
+                    Inst::BCond { cond, offset: offset as i32 }
+                }
+                Fixup::Cbz(rt) => {
+                    if !fits(16) {
+                        return Err(AsmError::OffsetOverflow { at });
+                    }
+                    Inst::Cbz { rt, offset: offset as i32 }
+                }
+                Fixup::Cbnz(rt) => {
+                    if !fits(16) {
+                        return Err(AsmError::OffsetOverflow { at });
+                    }
+                    Inst::Cbnz { rt, offset: offset as i32 }
+                }
+                Fixup::Tbz(rt, bit) => {
+                    if !fits(12) {
+                        return Err(AsmError::OffsetOverflow { at });
+                    }
+                    Inst::Tbz { rt, bit, offset: offset as i32 }
+                }
+                Fixup::Tbnz(rt, bit) => {
+                    if !fits(12) {
+                        return Err(AsmError::OffsetOverflow { at });
+                    }
+                    Inst::Tbnz { rt, bit, offset: offset as i32 }
+                }
+            };
+            self.insts[at] = inst;
+        }
+        Ok(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        let out = a.new_label();
+        a.bind(top);
+        a.push(Inst::SubImm { rd: Reg::X0, rn: Reg::X0, imm: 1 });
+        a.cbz(Reg::X0, out);
+        a.b(top);
+        a.bind(out);
+        a.push(Inst::Ret);
+        let prog = a.assemble().unwrap();
+        assert_eq!(prog[1], Inst::Cbz { rt: Reg::X0, offset: 2 });
+        assert_eq!(prog[2], Inst::B { offset: -2 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.b(l);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn rebinding_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn mov_imm64_loads_arbitrary_constants() {
+        // Verified against a tiny interpreter of the mov semantics.
+        fn eval(insts: &[Inst]) -> u64 {
+            let mut v = 0u64;
+            for i in insts {
+                match *i {
+                    Inst::MovZ { imm, shift, .. } => v = u64::from(imm) << (16 * shift),
+                    Inst::MovK { imm, shift, .. } => {
+                        let sh = 16 * u32::from(shift);
+                        v = (v & !(0xFFFFu64 << sh)) | (u64::from(imm) << sh);
+                    }
+                    _ => panic!("unexpected instruction"),
+                }
+            }
+            v
+        }
+        for value in [0u64, 1, 0xFFFF, 0x1_0000, 0xFFFF_FFFF_FFFF_FFFF, 0x0000_7FFF_DEAD_4000] {
+            let mut a = Asm::new();
+            a.mov_imm64(Reg::X0, value);
+            let prog = a.assemble().unwrap();
+            assert_eq!(eval(&prog), value, "mov_imm64 mis-loads {value:#x}");
+            assert!(prog.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn zero_constant_is_single_instruction() {
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X0, 0);
+        assert_eq!(a.assemble().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cond_branch_offset_overflow_detected() {
+        let mut a = Asm::new();
+        let far = a.new_label();
+        a.b_cond(Cond::Eq, far);
+        for _ in 0..40_000 {
+            a.push(Inst::Nop);
+        }
+        a.bind(far);
+        assert!(matches!(a.assemble(), Err(AsmError::OffsetOverflow { at: 0 })));
+    }
+
+    #[test]
+    fn len_tracks_position() {
+        let mut a = Asm::new();
+        assert!(a.is_empty());
+        a.push(Inst::Nop).push(Inst::Nop);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,613 @@
+//! The 32-bit binary encoding.
+//!
+//! Every instruction encodes to one little-endian 32-bit word with the
+//! opcode in bits `[31:24]`. The remaining 24 bits are format-specific:
+//!
+//! | format        | fields |
+//! |---------------|--------|
+//! | three-reg     | `rd[23:18] rn[17:12] rm[11:6]` |
+//! | reg + imm12   | `rd[23:18] rn[17:12] imm[11:0]` |
+//! | mov-wide      | `rd[23:18] shift[17:16] imm[15:0]` |
+//! | shift-imm     | `rd[23:18] rn[17:12] shift[11:6]` |
+//! | memory        | `rt[23:18] rn[17:12] off[11:0]` (signed) |
+//! | branch26      | `offset[23:0]` (signed, instructions) |
+//! | cond-branch   | `cond[23:20] offset[15:0]` (signed) |
+//! | cb(n)z        | `rt[23:18] offset[15:0]` (signed) |
+//! | pac/aut       | `key[23:22] rd[21:16] rm[15:10]` |
+//! | system        | `reg[23:18] sysreg[7:0]` |
+//!
+//! This is intentionally *not* the real A64 encoding (see crate docs); it
+//! exists so that code lives in simulated memory as bytes, the fetch path
+//! decodes it like hardware would, and the §4.3 gadget scanner operates on
+//! binaries rather than on data structures.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{Inst, PacKey, PacModifier};
+use crate::regs::{Cond, Reg, SysReg};
+
+/// Error produced when an instruction's fields do not fit its encoding.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum EncodeError {
+    /// An immediate or offset exceeds its field width.
+    FieldOverflow {
+        /// The instruction's mnemonic-ish name.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::FieldOverflow { what } => {
+                write!(f, "field overflow while encoding {what}")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error produced when a 32-bit word is not a valid instruction.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum DecodeError {
+    /// The opcode byte is not assigned.
+    BadOpcode(u8),
+    /// A register field holds an unassigned index.
+    BadRegister(u8),
+    /// A condition, key or system-register field is out of range.
+    BadField(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unassigned opcode {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "invalid register index {r}"),
+            DecodeError::BadField(which) => write!(f, "invalid {which} field"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+mod op {
+    pub const NOP: u8 = 0x00;
+    pub const ISB: u8 = 0x01;
+    pub const DSB: u8 = 0x02;
+    pub const HLT: u8 = 0x03;
+    pub const ERET: u8 = 0x04;
+    pub const SVC: u8 = 0x05;
+    pub const MOVZ: u8 = 0x06;
+    pub const MOVK: u8 = 0x07;
+    pub const MOVREG: u8 = 0x08;
+    pub const ADDIMM: u8 = 0x09;
+    pub const SUBIMM: u8 = 0x0A;
+    pub const ADDREG: u8 = 0x0B;
+    pub const SUBREG: u8 = 0x0C;
+    pub const ANDREG: u8 = 0x0D;
+    pub const ORRREG: u8 = 0x0E;
+    pub const EORREG: u8 = 0x0F;
+    pub const LSLIMM: u8 = 0x10;
+    pub const LSRIMM: u8 = 0x11;
+    pub const MUL: u8 = 0x12;
+    pub const CMPIMM: u8 = 0x13;
+    pub const CMPREG: u8 = 0x14;
+    pub const LDR: u8 = 0x15;
+    pub const STR: u8 = 0x16;
+    pub const LDRB: u8 = 0x17;
+    pub const STRB: u8 = 0x18;
+    pub const B: u8 = 0x19;
+    pub const BL: u8 = 0x1A;
+    pub const BCOND: u8 = 0x1B;
+    pub const CBZ: u8 = 0x1C;
+    pub const CBNZ: u8 = 0x1D;
+    pub const BR: u8 = 0x1E;
+    pub const BLR: u8 = 0x1F;
+    pub const RET: u8 = 0x20;
+    pub const PACREG: u8 = 0x21;
+    pub const PACZERO: u8 = 0x22;
+    pub const AUTREG: u8 = 0x23;
+    pub const AUTZERO: u8 = 0x24;
+    pub const XPACI: u8 = 0x25;
+    pub const XPACD: u8 = 0x26;
+    pub const PACGA: u8 = 0x27;
+    pub const MRS: u8 = 0x28;
+    pub const MSR: u8 = 0x29;
+    pub const TBZ: u8 = 0x2A;
+    pub const TBNZ: u8 = 0x2B;
+    pub const MOVN: u8 = 0x2C;
+    pub const CSEL: u8 = 0x2D;
+    pub const LDP: u8 = 0x2E;
+    pub const STP: u8 = 0x2F;
+}
+
+fn word(opcode: u8, payload: u32) -> u32 {
+    debug_assert_eq!(payload >> 24, 0, "payload spilled into the opcode byte");
+    (u32::from(opcode) << 24) | (payload & 0x00FF_FFFF)
+}
+
+fn reg_at(r: Reg, lsb: u32) -> u32 {
+    u32::from(r.index()) << lsb
+}
+
+fn three_reg(opcode: u8, rd: Reg, rn: Reg, rm: Reg) -> u32 {
+    word(opcode, reg_at(rd, 18) | reg_at(rn, 12) | reg_at(rm, 6))
+}
+
+fn imm12(v: u16, what: &'static str) -> Result<u32, EncodeError> {
+    if v < (1 << 12) {
+        Ok(u32::from(v))
+    } else {
+        Err(EncodeError::FieldOverflow { what })
+    }
+}
+
+fn simm(v: i64, bits: u32, what: &'static str) -> Result<u32, EncodeError> {
+    let max = (1i64 << (bits - 1)) - 1;
+    let min = -(1i64 << (bits - 1));
+    if (min..=max).contains(&v) {
+        Ok((v as u32) & ((1u32 << bits) - 1))
+    } else {
+        Err(EncodeError::FieldOverflow { what })
+    }
+}
+
+fn sext(v: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((i64::from(v)) << shift) >> shift
+}
+
+/// Encodes one instruction to its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::FieldOverflow`] if an immediate, shift or branch
+/// offset does not fit its field.
+///
+/// # Example
+///
+/// ```
+/// use pacman_isa::{encode, decode, Inst, Reg};
+///
+/// let inst = Inst::AddImm { rd: Reg::X1, rn: Reg::X2, imm: 40 };
+/// let w = encode(&inst)?;
+/// assert_eq!(decode(w)?, inst);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
+    use op::*;
+    Ok(match *inst {
+        Inst::Nop => word(NOP, 0),
+        Inst::Isb => word(ISB, 0),
+        Inst::Dsb => word(DSB, 0),
+        Inst::Hlt => word(HLT, 0),
+        Inst::Eret => word(ERET, 0),
+        Inst::Svc { imm } => word(SVC, u32::from(imm)),
+        Inst::MovZ { rd, imm, shift } => {
+            if shift > 3 {
+                return Err(EncodeError::FieldOverflow { what: "movz shift" });
+            }
+            word(MOVZ, reg_at(rd, 18) | (u32::from(shift) << 16) | u32::from(imm))
+        }
+        Inst::MovK { rd, imm, shift } => {
+            if shift > 3 {
+                return Err(EncodeError::FieldOverflow { what: "movk shift" });
+            }
+            word(MOVK, reg_at(rd, 18) | (u32::from(shift) << 16) | u32::from(imm))
+        }
+        Inst::MovReg { rd, rn } => word(MOVREG, reg_at(rd, 18) | reg_at(rn, 12)),
+        Inst::MovN { rd, imm, shift } => {
+            if shift > 3 {
+                return Err(EncodeError::FieldOverflow { what: "movn shift" });
+            }
+            word(MOVN, reg_at(rd, 18) | (u32::from(shift) << 16) | u32::from(imm))
+        }
+        Inst::Csel { rd, rn, rm, cond } => word(
+            CSEL,
+            reg_at(rd, 18) | reg_at(rn, 12) | reg_at(rm, 6) | u32::from(cond.index()),
+        ),
+        Inst::AddImm { rd, rn, imm } => {
+            word(ADDIMM, reg_at(rd, 18) | reg_at(rn, 12) | imm12(imm, "add imm")?)
+        }
+        Inst::SubImm { rd, rn, imm } => {
+            word(SUBIMM, reg_at(rd, 18) | reg_at(rn, 12) | imm12(imm, "sub imm")?)
+        }
+        Inst::AddReg { rd, rn, rm } => three_reg(ADDREG, rd, rn, rm),
+        Inst::SubReg { rd, rn, rm } => three_reg(SUBREG, rd, rn, rm),
+        Inst::AndReg { rd, rn, rm } => three_reg(ANDREG, rd, rn, rm),
+        Inst::OrrReg { rd, rn, rm } => three_reg(ORRREG, rd, rn, rm),
+        Inst::EorReg { rd, rn, rm } => three_reg(EORREG, rd, rn, rm),
+        Inst::LslImm { rd, rn, shift } => {
+            if shift > 63 {
+                return Err(EncodeError::FieldOverflow { what: "lsl shift" });
+            }
+            word(LSLIMM, reg_at(rd, 18) | reg_at(rn, 12) | (u32::from(shift) << 6))
+        }
+        Inst::LsrImm { rd, rn, shift } => {
+            if shift > 63 {
+                return Err(EncodeError::FieldOverflow { what: "lsr shift" });
+            }
+            word(LSRIMM, reg_at(rd, 18) | reg_at(rn, 12) | (u32::from(shift) << 6))
+        }
+        Inst::Mul { rd, rn, rm } => three_reg(MUL, rd, rn, rm),
+        Inst::CmpImm { rn, imm } => word(CMPIMM, reg_at(rn, 12) | imm12(imm, "cmp imm")?),
+        Inst::CmpReg { rn, rm } => word(CMPREG, reg_at(rn, 12) | reg_at(rm, 6)),
+        Inst::Ldr { rt, rn, offset } => {
+            word(LDR, reg_at(rt, 18) | reg_at(rn, 12) | simm(offset.into(), 12, "ldr offset")?)
+        }
+        Inst::Str { rt, rn, offset } => {
+            word(STR, reg_at(rt, 18) | reg_at(rn, 12) | simm(offset.into(), 12, "str offset")?)
+        }
+        Inst::Ldrb { rt, rn, offset } => {
+            word(LDRB, reg_at(rt, 18) | reg_at(rn, 12) | simm(offset.into(), 12, "ldrb offset")?)
+        }
+        Inst::Strb { rt, rn, offset } => {
+            word(STRB, reg_at(rt, 18) | reg_at(rn, 12) | simm(offset.into(), 12, "strb offset")?)
+        }
+        Inst::Ldp { rt, rt2, rn, offset } | Inst::Stp { rt, rt2, rn, offset } => {
+            if offset % 8 != 0 {
+                return Err(EncodeError::FieldOverflow { what: "pair offset alignment" });
+            }
+            let opcode = if matches!(inst, Inst::Ldp { .. }) { LDP } else { STP };
+            word(
+                opcode,
+                reg_at(rt, 18)
+                    | reg_at(rt2, 12)
+                    | reg_at(rn, 6)
+                    | simm((offset / 8).into(), 6, "pair offset")?,
+            )
+        }
+        Inst::B { offset } => word(B, simm(offset.into(), 24, "b offset")?),
+        Inst::Bl { offset } => word(BL, simm(offset.into(), 24, "bl offset")?),
+        Inst::BCond { cond, offset } => word(
+            BCOND,
+            (u32::from(cond.index()) << 20) | simm(offset.into(), 16, "b.cond offset")?,
+        ),
+        Inst::Cbz { rt, offset } => {
+            word(CBZ, reg_at(rt, 18) | simm(offset.into(), 16, "cbz offset")?)
+        }
+        Inst::Cbnz { rt, offset } => {
+            word(CBNZ, reg_at(rt, 18) | simm(offset.into(), 16, "cbnz offset")?)
+        }
+        Inst::Tbz { rt, bit, offset } => {
+            if bit > 63 {
+                return Err(EncodeError::FieldOverflow { what: "tbz bit" });
+            }
+            word(
+                TBZ,
+                reg_at(rt, 18) | (u32::from(bit) << 12) | simm(offset.into(), 12, "tbz offset")?,
+            )
+        }
+        Inst::Tbnz { rt, bit, offset } => {
+            if bit > 63 {
+                return Err(EncodeError::FieldOverflow { what: "tbnz bit" });
+            }
+            word(
+                TBNZ,
+                reg_at(rt, 18) | (u32::from(bit) << 12) | simm(offset.into(), 12, "tbnz offset")?,
+            )
+        }
+        Inst::Br { rn } => word(BR, reg_at(rn, 12)),
+        Inst::Blr { rn } => word(BLR, reg_at(rn, 12)),
+        Inst::Ret => word(RET, 0),
+        Inst::Pac { key, rd, modifier: PacModifier::Reg(rm) } => {
+            word(PACREG, (u32::from(key.index()) << 22) | reg_at(rd, 16) | reg_at(rm, 10))
+        }
+        Inst::Pac { key, rd, modifier: PacModifier::Zero } => {
+            word(PACZERO, (u32::from(key.index()) << 22) | reg_at(rd, 16))
+        }
+        Inst::Aut { key, rd, modifier: PacModifier::Reg(rm) } => {
+            word(AUTREG, (u32::from(key.index()) << 22) | reg_at(rd, 16) | reg_at(rm, 10))
+        }
+        Inst::Aut { key, rd, modifier: PacModifier::Zero } => {
+            word(AUTZERO, (u32::from(key.index()) << 22) | reg_at(rd, 16))
+        }
+        Inst::Xpac { data: false, rd } => word(XPACI, reg_at(rd, 18)),
+        Inst::Xpac { data: true, rd } => word(XPACD, reg_at(rd, 18)),
+        Inst::Pacga { rd, rn, rm } => three_reg(PACGA, rd, rn, rm),
+        Inst::Mrs { rd, sysreg } => word(MRS, reg_at(rd, 18) | u32::from(sysreg.index())),
+        Inst::Msr { sysreg, rn } => word(MSR, reg_at(rn, 18) | u32::from(sysreg.index())),
+    })
+}
+
+fn reg_field(w: u32, lsb: u32) -> Result<Reg, DecodeError> {
+    let idx = ((w >> lsb) & 0x3F) as u8;
+    Reg::from_index(idx).ok_or(DecodeError::BadRegister(idx))
+}
+
+fn key_field(w: u32) -> Result<PacKey, DecodeError> {
+    PacKey::from_index(((w >> 22) & 0x3) as u8).ok_or(DecodeError::BadField("pac key"))
+}
+
+/// Decodes a 32-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unassigned opcodes or malformed fields.
+pub fn decode(w: u32) -> Result<Inst, DecodeError> {
+    use op::*;
+    let opcode = (w >> 24) as u8;
+    Ok(match opcode {
+        NOP => Inst::Nop,
+        ISB => Inst::Isb,
+        DSB => Inst::Dsb,
+        HLT => Inst::Hlt,
+        ERET => Inst::Eret,
+        SVC => Inst::Svc { imm: (w & 0xFFFF) as u16 },
+        MOVZ => Inst::MovZ {
+            rd: reg_field(w, 18)?,
+            imm: (w & 0xFFFF) as u16,
+            shift: ((w >> 16) & 0x3) as u8,
+        },
+        MOVK => Inst::MovK {
+            rd: reg_field(w, 18)?,
+            imm: (w & 0xFFFF) as u16,
+            shift: ((w >> 16) & 0x3) as u8,
+        },
+        MOVREG => Inst::MovReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)? },
+        ADDIMM => Inst::AddImm {
+            rd: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            imm: (w & 0xFFF) as u16,
+        },
+        SUBIMM => Inst::SubImm {
+            rd: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            imm: (w & 0xFFF) as u16,
+        },
+        ADDREG => Inst::AddReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        SUBREG => Inst::SubReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        ANDREG => Inst::AndReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        ORRREG => Inst::OrrReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        EORREG => Inst::EorReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        LSLIMM => Inst::LslImm {
+            rd: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            shift: ((w >> 6) & 0x3F) as u8,
+        },
+        LSRIMM => Inst::LsrImm {
+            rd: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            shift: ((w >> 6) & 0x3F) as u8,
+        },
+        MUL => Inst::Mul { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        CMPIMM => Inst::CmpImm { rn: reg_field(w, 12)?, imm: (w & 0xFFF) as u16 },
+        CMPREG => Inst::CmpReg { rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        LDR => Inst::Ldr {
+            rt: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            offset: sext(w & 0xFFF, 12) as i16,
+        },
+        STR => Inst::Str {
+            rt: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            offset: sext(w & 0xFFF, 12) as i16,
+        },
+        LDRB => Inst::Ldrb {
+            rt: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            offset: sext(w & 0xFFF, 12) as i16,
+        },
+        STRB => Inst::Strb {
+            rt: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            offset: sext(w & 0xFFF, 12) as i16,
+        },
+        B => Inst::B { offset: sext(w & 0xFF_FFFF, 24) as i32 },
+        BL => Inst::Bl { offset: sext(w & 0xFF_FFFF, 24) as i32 },
+        BCOND => Inst::BCond {
+            cond: Cond::from_index(((w >> 20) & 0xF) as u8)
+                .ok_or(DecodeError::BadField("condition"))?,
+            offset: sext(w & 0xFFFF, 16) as i32,
+        },
+        CBZ => Inst::Cbz { rt: reg_field(w, 18)?, offset: sext(w & 0xFFFF, 16) as i32 },
+        CBNZ => Inst::Cbnz { rt: reg_field(w, 18)?, offset: sext(w & 0xFFFF, 16) as i32 },
+        BR => Inst::Br { rn: reg_field(w, 12)? },
+        BLR => Inst::Blr { rn: reg_field(w, 12)? },
+        RET => Inst::Ret,
+        PACREG => Inst::Pac {
+            key: key_field(w)?,
+            rd: reg_field(w, 16)?,
+            modifier: PacModifier::Reg(reg_field(w, 10)?),
+        },
+        PACZERO => {
+            Inst::Pac { key: key_field(w)?, rd: reg_field(w, 16)?, modifier: PacModifier::Zero }
+        }
+        AUTREG => Inst::Aut {
+            key: key_field(w)?,
+            rd: reg_field(w, 16)?,
+            modifier: PacModifier::Reg(reg_field(w, 10)?),
+        },
+        AUTZERO => {
+            Inst::Aut { key: key_field(w)?, rd: reg_field(w, 16)?, modifier: PacModifier::Zero }
+        }
+        XPACI => Inst::Xpac { data: false, rd: reg_field(w, 18)? },
+        XPACD => Inst::Xpac { data: true, rd: reg_field(w, 18)? },
+        PACGA => Inst::Pacga { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        TBZ => Inst::Tbz {
+            rt: reg_field(w, 18)?,
+            bit: ((w >> 12) & 0x3F) as u8,
+            offset: sext(w & 0xFFF, 12) as i32,
+        },
+        TBNZ => Inst::Tbnz {
+            rt: reg_field(w, 18)?,
+            bit: ((w >> 12) & 0x3F) as u8,
+            offset: sext(w & 0xFFF, 12) as i32,
+        },
+        MOVN => Inst::MovN {
+            rd: reg_field(w, 18)?,
+            imm: (w & 0xFFFF) as u16,
+            shift: ((w >> 16) & 0x3) as u8,
+        },
+        CSEL => Inst::Csel {
+            rd: reg_field(w, 18)?,
+            rn: reg_field(w, 12)?,
+            rm: reg_field(w, 6)?,
+            cond: Cond::from_index((w & 0xF) as u8).ok_or(DecodeError::BadField("condition"))?,
+        },
+        LDP => Inst::Ldp {
+            rt: reg_field(w, 18)?,
+            rt2: reg_field(w, 12)?,
+            rn: reg_field(w, 6)?,
+            offset: (sext(w & 0x3F, 6) * 8) as i16,
+        },
+        STP => Inst::Stp {
+            rt: reg_field(w, 18)?,
+            rt2: reg_field(w, 12)?,
+            rn: reg_field(w, 6)?,
+            offset: (sext(w & 0x3F, 6) * 8) as i16,
+        },
+        MRS => Inst::Mrs {
+            rd: reg_field(w, 18)?,
+            sysreg: SysReg::from_index((w & 0xFF) as u8)
+                .ok_or(DecodeError::BadField("system register"))?,
+        },
+        MSR => Inst::Msr {
+            sysreg: SysReg::from_index((w & 0xFF) as u8)
+                .ok_or(DecodeError::BadField("system register"))?,
+            rn: reg_field(w, 18)?,
+        },
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+/// Encodes a sequence of instructions to little-endian bytes.
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeError`] encountered.
+pub fn encode_program(insts: &[Inst]) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(insts.len() * 4);
+    for inst in insts {
+        out.extend_from_slice(&encode(inst)?.to_le_bytes());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<Inst> {
+        use crate::regs::Reg as R;
+        vec![
+            Inst::Nop,
+            Inst::Isb,
+            Inst::Dsb,
+            Inst::Hlt,
+            Inst::Eret,
+            Inst::Svc { imm: 0x80 },
+            Inst::MovZ { rd: R::X1, imm: 0xBEEF, shift: 2 },
+            Inst::MovK { rd: R::X2, imm: 0xDEAD, shift: 3 },
+            Inst::MovReg { rd: R::X3, rn: R::SP },
+            Inst::AddImm { rd: R::X4, rn: R::X5, imm: 4095 },
+            Inst::SubImm { rd: R::X6, rn: R::X7, imm: 0 },
+            Inst::AddReg { rd: R::X8, rn: R::X9, rm: R::X10 },
+            Inst::SubReg { rd: R::X11, rn: R::X12, rm: R::X13 },
+            Inst::AndReg { rd: R::X14, rn: R::X15, rm: R::X16 },
+            Inst::OrrReg { rd: R::X17, rn: R::X18, rm: R::X19 },
+            Inst::EorReg { rd: R::X20, rn: R::X21, rm: R::X22 },
+            Inst::LslImm { rd: R::X23, rn: R::X24, shift: 63 },
+            Inst::LsrImm { rd: R::X25, rn: R::X26, shift: 1 },
+            Inst::Mul { rd: R::X27, rn: R::X28, rm: R::X29 },
+            Inst::CmpImm { rn: R::X1, imm: 7 },
+            Inst::CmpReg { rn: R::X2, rm: R::XZR },
+            Inst::Ldr { rt: R::X0, rn: R::X1, offset: -2048 },
+            Inst::Str { rt: R::X2, rn: R::SP, offset: 2047 },
+            Inst::Ldrb { rt: R::X3, rn: R::X4, offset: 17 },
+            Inst::Strb { rt: R::X5, rn: R::X6, offset: -1 },
+            Inst::B { offset: -(1 << 23) },
+            Inst::Bl { offset: (1 << 23) - 1 },
+            Inst::BCond { cond: Cond::Le, offset: -42 },
+            Inst::Cbz { rt: R::X7, offset: 1000 },
+            Inst::Cbnz { rt: R::X8, offset: -1000 },
+            Inst::Tbz { rt: R::X9, bit: 55, offset: 100 },
+            Inst::Tbnz { rt: R::X10, bit: 0, offset: -100 },
+            Inst::MovN { rd: R::X11, imm: 0x1234, shift: 1 },
+            Inst::Csel { rd: R::X12, rn: R::X13, rm: R::X14, cond: Cond::Gt },
+            Inst::Ldp { rt: R::X29, rt2: R::X30, rn: R::SP, offset: -16 },
+            Inst::Stp { rt: R::X29, rt2: R::X30, rn: R::SP, offset: 248 },
+            Inst::Br { rn: R::X9 },
+            Inst::Blr { rn: R::X10 },
+            Inst::Ret,
+            Inst::Pac { key: PacKey::Ia, rd: R::LR, modifier: PacModifier::Reg(R::SP) },
+            Inst::Pac { key: PacKey::Db, rd: R::X0, modifier: PacModifier::Zero },
+            Inst::Aut { key: PacKey::Ib, rd: R::X1, modifier: PacModifier::Reg(R::X2) },
+            Inst::Aut { key: PacKey::Da, rd: R::X3, modifier: PacModifier::Zero },
+            Inst::Xpac { data: false, rd: R::X4 },
+            Inst::Xpac { data: true, rd: R::X5 },
+            Inst::Pacga { rd: R::X6, rn: R::X7, rm: R::X8 },
+            Inst::Mrs { rd: R::X9, sysreg: SysReg::CntpctEl0 },
+            Inst::Msr { sysreg: SysReg::Pmcr0, rn: R::X10 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for inst in sample_instructions() {
+            let w = encode(&inst).unwrap_or_else(|e| panic!("encode {inst}: {e}"));
+            let back = decode(w).unwrap_or_else(|e| panic!("decode {inst}: {e}"));
+            assert_eq!(back, inst, "round-trip mismatch for {inst}");
+        }
+    }
+
+    #[test]
+    fn opcodes_are_unique() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for inst in sample_instructions() {
+            let opcode = encode(&inst).unwrap() >> 24;
+            // Pac/Aut reg vs zero forms intentionally use distinct opcodes;
+            // everything else must be unique per variant kind.
+            seen.insert((std::mem::discriminant(&inst), opcode));
+        }
+        let opcode_count =
+            seen.iter().map(|(_, op)| *op).collect::<HashSet<_>>().len();
+        assert!(opcode_count >= 40, "expected >=40 distinct opcodes, got {opcode_count}");
+    }
+
+    #[test]
+    fn overflowing_fields_error() {
+        assert!(encode(&Inst::AddImm { rd: Reg::X0, rn: Reg::X0, imm: 4096 }).is_err());
+        assert!(encode(&Inst::MovZ { rd: Reg::X0, imm: 0, shift: 4 }).is_err());
+        assert!(encode(&Inst::LslImm { rd: Reg::X0, rn: Reg::X0, shift: 64 }).is_err());
+        assert!(encode(&Inst::Ldr { rt: Reg::X0, rn: Reg::X0, offset: 2048 }).is_err());
+        assert!(encode(&Inst::B { offset: 1 << 23 }).is_err());
+        assert!(encode(&Inst::BCond { cond: Cond::Eq, offset: 40000 }).is_err());
+        assert!(encode(&Inst::Tbz { rt: Reg::X0, bit: 64, offset: 0 }).is_err());
+        assert!(encode(&Inst::Ldp { rt: Reg::X0, rt2: Reg::X1, rn: Reg::SP, offset: 12 }).is_err(), "unaligned pair offset");
+        assert!(encode(&Inst::Stp { rt: Reg::X0, rt2: Reg::X1, rn: Reg::SP, offset: 256 }).is_err(), "pair offset range");
+    }
+
+    #[test]
+    fn bad_words_are_rejected() {
+        assert!(matches!(decode(0xFF00_0000), Err(DecodeError::BadOpcode(0xFF))));
+        // Register index 33+ in a three-reg format.
+        let bad_reg = (u32::from(super::op::ADDREG) << 24) | (33u32 << 18);
+        assert!(matches!(decode(bad_reg), Err(DecodeError::BadRegister(33))));
+        // Condition 15 is unassigned.
+        let bad_cond = (u32::from(super::op::BCOND) << 24) | (15u32 << 20);
+        assert!(matches!(decode(bad_cond), Err(DecodeError::BadField("condition"))));
+        // System register 200 is unassigned.
+        let bad_sys = (u32::from(super::op::MRS) << 24) | 200;
+        assert!(matches!(decode(bad_sys), Err(DecodeError::BadField("system register"))));
+    }
+
+    #[test]
+    fn encode_program_is_little_endian_words() {
+        let bytes = encode_program(&[Inst::Nop, Inst::Ret]).unwrap();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), encode(&Inst::Nop).unwrap());
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), encode(&Inst::Ret).unwrap());
+    }
+
+    #[test]
+    fn negative_offsets_sign_extend() {
+        let w = encode(&Inst::Ldr { rt: Reg::X0, rn: Reg::X1, offset: -8 }).unwrap();
+        assert_eq!(decode(w).unwrap(), Inst::Ldr { rt: Reg::X0, rn: Reg::X1, offset: -8 });
+        let w = encode(&Inst::B { offset: -1 }).unwrap();
+        assert_eq!(decode(w).unwrap(), Inst::B { offset: -1 });
+    }
+}

@@ -1,0 +1,639 @@
+//! The instruction set.
+
+use std::fmt;
+
+use crate::regs::{Cond, Reg, SysReg};
+
+/// Which of the five ARMv8.3 PA keys a `PAC`/`AUT` instruction uses.
+///
+/// The key is encoded in the opcode (paper §2.2): `pacia` signs an
+/// instruction pointer with key IA, `autdb` authenticates a data pointer
+/// with key DB, and so on. The generic key GA is only used by `PACGA`.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum PacKey {
+    /// Instruction key A.
+    Ia,
+    /// Instruction key B.
+    Ib,
+    /// Data key A.
+    Da,
+    /// Data key B.
+    Db,
+}
+
+impl PacKey {
+    /// All keys in encoding order.
+    pub const ALL: [PacKey; 4] = [PacKey::Ia, PacKey::Ib, PacKey::Da, PacKey::Db];
+
+    /// Encoding index.
+    pub fn index(self) -> u8 {
+        match self {
+            PacKey::Ia => 0,
+            PacKey::Ib => 1,
+            PacKey::Da => 2,
+            PacKey::Db => 3,
+        }
+    }
+
+    /// Decode from encoding index.
+    pub fn from_index(i: u8) -> Option<PacKey> {
+        Self::ALL.get(usize::from(i)).copied()
+    }
+
+    /// Whether this is an instruction key (IA/IB) as opposed to a data key.
+    pub fn is_instruction_key(self) -> bool {
+        matches!(self, PacKey::Ia | PacKey::Ib)
+    }
+
+    fn suffix(self) -> &'static str {
+        match self {
+            PacKey::Ia => "ia",
+            PacKey::Ib => "ib",
+            PacKey::Da => "da",
+            PacKey::Db => "db",
+        }
+    }
+}
+
+/// The modifier (salt/context) operand of a `PAC`/`AUT` instruction.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum PacModifier {
+    /// A register modifier, e.g. `pacia lr, sp` uses `sp` (Figure 2).
+    Reg(Reg),
+    /// The zero modifier of the `*za`/`*zb` forms, e.g. `paciza`.
+    Zero,
+}
+
+impl fmt::Display for PacModifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacModifier::Reg(r) => write!(f, "{r}"),
+            PacModifier::Zero => write!(f, "xzr"),
+        }
+    }
+}
+
+/// One instruction.
+///
+/// Branch offsets are in *instructions* (not bytes), relative to the
+/// branch's own address; `offset = 1` is the next instruction.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Inst {
+    /// No operation.
+    Nop,
+    /// Instruction synchronisation barrier (serialises the pipeline; used
+    /// by the paper's measuring thread, Figure 4(b)).
+    Isb,
+    /// Data synchronisation barrier.
+    Dsb,
+    /// Halt: terminates the current execution context.
+    Hlt,
+    /// Exception return: returns from EL1 to the saved EL0 context.
+    Eret,
+    /// Supervisor call: enters the kernel's syscall dispatcher.
+    Svc {
+        /// Immediate syscall tag (informational; the syscall number is
+        /// passed in `x16` like XNU does).
+        imm: u16,
+    },
+    /// Move wide with zero: `rd = imm << (16 * shift)`.
+    MovZ {
+        /// Destination.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+        /// Half-word shift amount 0..=3.
+        shift: u8,
+    },
+    /// Move wide keeping other bits: inserts `imm` at half-word `shift`.
+    MovK {
+        /// Destination.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+        /// Half-word shift amount 0..=3.
+        shift: u8,
+    },
+    /// Move wide with NOT: `rd = !(imm << (16 * shift))`.
+    MovN {
+        /// Destination.
+        rd: Reg,
+        /// 16-bit immediate.
+        imm: u16,
+        /// Half-word shift amount 0..=3.
+        shift: u8,
+    },
+    /// Register move: `rd = rn`.
+    MovReg {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rn: Reg,
+    },
+    /// Conditional select: `rd = cond ? rn : rm`.
+    Csel {
+        /// Destination.
+        rd: Reg,
+        /// Value if the condition holds.
+        rn: Reg,
+        /// Value otherwise.
+        rm: Reg,
+        /// Condition evaluated against the flags.
+        cond: Cond,
+    },
+    /// `rd = rn + imm`.
+    AddImm {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rn: Reg,
+        /// 12-bit unsigned immediate.
+        imm: u16,
+    },
+    /// `rd = rn - imm`.
+    SubImm {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rn: Reg,
+        /// 12-bit unsigned immediate.
+        imm: u16,
+    },
+    /// `rd = rn + rm`.
+    AddReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `rd = rn - rm`.
+    SubReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `rd = rn & rm`.
+    AndReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `rd = rn | rm`.
+    OrrReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `rd = rn ^ rm`.
+    EorReg {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// `rd = rn << shift`.
+    LslImm {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rn: Reg,
+        /// Shift amount 0..=63.
+        shift: u8,
+    },
+    /// `rd = rn >> shift` (logical).
+    LsrImm {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rn: Reg,
+        /// Shift amount 0..=63.
+        shift: u8,
+    },
+    /// `rd = rn * rm` (wrapping).
+    Mul {
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        rm: Reg,
+    },
+    /// Compare `rn` with a 12-bit immediate, setting the flags.
+    CmpImm {
+        /// Left operand.
+        rn: Reg,
+        /// 12-bit unsigned immediate right operand.
+        imm: u16,
+    },
+    /// Compare `rn` with `rm`, setting the flags.
+    CmpReg {
+        /// Left operand.
+        rn: Reg,
+        /// Right operand.
+        rm: Reg,
+    },
+    /// 64-bit load: `rt = [rn + offset]`.
+    Ldr {
+        /// Destination.
+        rt: Reg,
+        /// Base address register.
+        rn: Reg,
+        /// Signed byte offset, −2048..=2047.
+        offset: i16,
+    },
+    /// 64-bit store: `[rn + offset] = rt`.
+    Str {
+        /// Source.
+        rt: Reg,
+        /// Base address register.
+        rn: Reg,
+        /// Signed byte offset, −2048..=2047.
+        offset: i16,
+    },
+    /// Byte load (zero-extending).
+    Ldrb {
+        /// Destination.
+        rt: Reg,
+        /// Base address register.
+        rn: Reg,
+        /// Signed byte offset, −2048..=2047.
+        offset: i16,
+    },
+    /// Byte store.
+    Strb {
+        /// Source (low byte stored).
+        rt: Reg,
+        /// Base address register.
+        rn: Reg,
+        /// Signed byte offset, −2048..=2047.
+        offset: i16,
+    },
+    /// Load a register pair: `rt = [rn + offset]`, `rt2 = [rn + offset + 8]`
+    /// (the ubiquitous `ldp x29, x30, [sp, ...]` epilogue shape).
+    Ldp {
+        /// First destination.
+        rt: Reg,
+        /// Second destination.
+        rt2: Reg,
+        /// Base address register.
+        rn: Reg,
+        /// Signed byte offset, −256..=248, multiple of 8.
+        offset: i16,
+    },
+    /// Store a register pair.
+    Stp {
+        /// First source.
+        rt: Reg,
+        /// Second source.
+        rt2: Reg,
+        /// Base address register.
+        rn: Reg,
+        /// Signed byte offset, −256..=248, multiple of 8.
+        offset: i16,
+    },
+    /// Unconditional branch.
+    B {
+        /// Instruction-relative offset.
+        offset: i32,
+    },
+    /// Branch and link (`x30 = return address`).
+    Bl {
+        /// Instruction-relative offset.
+        offset: i32,
+    },
+    /// Conditional branch on the flags.
+    BCond {
+        /// Condition to test.
+        cond: Cond,
+        /// Instruction-relative offset.
+        offset: i32,
+    },
+    /// Compare-and-branch-if-zero.
+    Cbz {
+        /// Register tested against zero.
+        rt: Reg,
+        /// Instruction-relative offset.
+        offset: i32,
+    },
+    /// Compare-and-branch-if-not-zero.
+    Cbnz {
+        /// Register tested against zero.
+        rt: Reg,
+        /// Instruction-relative offset.
+        offset: i32,
+    },
+    /// Test a single bit and branch if it is zero.
+    Tbz {
+        /// Register tested.
+        rt: Reg,
+        /// Bit index 0..=63.
+        bit: u8,
+        /// Instruction-relative offset.
+        offset: i32,
+    },
+    /// Test a single bit and branch if it is one.
+    Tbnz {
+        /// Register tested.
+        rt: Reg,
+        /// Bit index 0..=63.
+        bit: u8,
+        /// Instruction-relative offset.
+        offset: i32,
+    },
+    /// Indirect branch to the address in `rn`.
+    Br {
+        /// Target address register.
+        rn: Reg,
+    },
+    /// Indirect call to the address in `rn` (`x30 = return address`).
+    Blr {
+        /// Target address register.
+        rn: Reg,
+    },
+    /// Return to the address in `x30`.
+    Ret,
+    /// Sign a pointer: `rd = rd | PAC(rd, modifier)` (e.g. `pacia`).
+    Pac {
+        /// Key selected by the opcode.
+        key: PacKey,
+        /// Pointer register (input and output).
+        rd: Reg,
+        /// Context/salt operand.
+        modifier: PacModifier,
+    },
+    /// Authenticate a pointer (e.g. `autia`): strips the PAC on success,
+    /// corrupts the pointer on failure so any use faults (paper §2.2).
+    Aut {
+        /// Key selected by the opcode.
+        key: PacKey,
+        /// Pointer register (input and output).
+        rd: Reg,
+        /// Context/salt operand.
+        modifier: PacModifier,
+    },
+    /// Strip a PAC without authenticating (`xpaci`/`xpacd`).
+    Xpac {
+        /// True for the data form `xpacd`.
+        data: bool,
+        /// Pointer register (input and output).
+        rd: Reg,
+    },
+    /// Generic authentication: `rd = PAC_GA(rn, rm)` in the top 32 bits.
+    Pacga {
+        /// Destination.
+        rd: Reg,
+        /// Value to authenticate.
+        rn: Reg,
+        /// Modifier.
+        rm: Reg,
+    },
+    /// Read a system register.
+    Mrs {
+        /// Destination.
+        rd: Reg,
+        /// Source system register.
+        sysreg: SysReg,
+    },
+    /// Write a system register.
+    Msr {
+        /// Destination system register.
+        sysreg: SysReg,
+        /// Source.
+        rn: Reg,
+    },
+}
+
+impl Inst {
+    /// Whether this instruction is a conditional branch (the outer branch
+    /// `BR1` of a PACMAN gadget, Figure 3).
+    pub fn is_conditional_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::BCond { .. } | Inst::Cbz { .. } | Inst::Cbnz { .. } | Inst::Tbz { .. } | Inst::Tbnz { .. }
+        )
+    }
+
+    /// For conditional branches, the instruction-relative taken offset.
+    pub fn branch_offset(&self) -> Option<i32> {
+        match *self {
+            Inst::BCond { offset, .. }
+            | Inst::Cbz { offset, .. }
+            | Inst::Cbnz { offset, .. }
+            | Inst::Tbz { offset, .. }
+            | Inst::Tbnz { offset, .. } => Some(offset),
+            Inst::B { offset } | Inst::Bl { offset } => Some(offset),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction is an indirect branch (candidate `BR2` of
+    /// an instruction PACMAN gadget).
+    pub fn is_indirect_branch(&self) -> bool {
+        matches!(self, Inst::Br { .. } | Inst::Blr { .. } | Inst::Ret)
+    }
+
+    /// For `AUT` instructions, the register receiving the verified pointer.
+    pub fn aut_destination(&self) -> Option<Reg> {
+        match self {
+            Inst::Aut { rd, .. } => Some(*rd),
+            _ => None,
+        }
+    }
+
+    /// The register used as a memory address by this instruction, if any
+    /// (the transmission operand the §4.3 scanner tracks).
+    pub fn address_source(&self) -> Option<Reg> {
+        match self {
+            Inst::Ldr { rn, .. }
+            | Inst::Str { rn, .. }
+            | Inst::Ldrb { rn, .. }
+            | Inst::Strb { rn, .. }
+            | Inst::Ldp { rn, .. }
+            | Inst::Stp { rn, .. }
+            | Inst::Br { rn }
+            | Inst::Blr { rn } => Some(*rn),
+            Inst::Ret => Some(Reg::LR),
+            _ => None,
+        }
+    }
+
+    /// The register written by this instruction, if any (register-only
+    /// dataflow for the gadget scanner).
+    pub fn destination(&self) -> Option<Reg> {
+        let rd = match self {
+            Inst::MovZ { rd, .. }
+            | Inst::MovK { rd, .. }
+            | Inst::MovN { rd, .. }
+            | Inst::MovReg { rd, .. }
+            | Inst::Csel { rd, .. }
+            | Inst::AddImm { rd, .. }
+            | Inst::SubImm { rd, .. }
+            | Inst::AddReg { rd, .. }
+            | Inst::SubReg { rd, .. }
+            | Inst::AndReg { rd, .. }
+            | Inst::OrrReg { rd, .. }
+            | Inst::EorReg { rd, .. }
+            | Inst::LslImm { rd, .. }
+            | Inst::LsrImm { rd, .. }
+            | Inst::Mul { rd, .. }
+            | Inst::Pac { rd, .. }
+            | Inst::Aut { rd, .. }
+            | Inst::Xpac { rd, .. }
+            | Inst::Pacga { rd, .. }
+            | Inst::Mrs { rd, .. } => *rd,
+            Inst::Ldr { rt, .. } | Inst::Ldrb { rt, .. } | Inst::Ldp { rt, .. } => *rt,
+            Inst::Bl { .. } | Inst::Blr { .. } => Reg::LR,
+            _ => return None,
+        };
+        (!rd.is_zero()).then_some(rd)
+    }
+
+    /// The second register written, for pair loads.
+    pub fn second_destination(&self) -> Option<Reg> {
+        match self {
+            Inst::Ldp { rt2, .. } if !rt2.is_zero() => Some(*rt2),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Isb => write!(f, "isb"),
+            Inst::Dsb => write!(f, "dsb"),
+            Inst::Hlt => write!(f, "hlt"),
+            Inst::Eret => write!(f, "eret"),
+            Inst::Svc { imm } => write!(f, "svc #{imm}"),
+            Inst::MovZ { rd, imm, shift } => write!(f, "movz {rd}, #{imm}, lsl #{}", 16 * shift),
+            Inst::MovK { rd, imm, shift } => write!(f, "movk {rd}, #{imm}, lsl #{}", 16 * shift),
+            Inst::MovN { rd, imm, shift } => write!(f, "movn {rd}, #{imm}, lsl #{}", 16 * shift),
+            Inst::MovReg { rd, rn } => write!(f, "mov {rd}, {rn}"),
+            Inst::Csel { rd, rn, rm, cond } => write!(f, "csel {rd}, {rn}, {rm}, {cond}"),
+            Inst::AddImm { rd, rn, imm } => write!(f, "add {rd}, {rn}, #{imm}"),
+            Inst::SubImm { rd, rn, imm } => write!(f, "sub {rd}, {rn}, #{imm}"),
+            Inst::AddReg { rd, rn, rm } => write!(f, "add {rd}, {rn}, {rm}"),
+            Inst::SubReg { rd, rn, rm } => write!(f, "sub {rd}, {rn}, {rm}"),
+            Inst::AndReg { rd, rn, rm } => write!(f, "and {rd}, {rn}, {rm}"),
+            Inst::OrrReg { rd, rn, rm } => write!(f, "orr {rd}, {rn}, {rm}"),
+            Inst::EorReg { rd, rn, rm } => write!(f, "eor {rd}, {rn}, {rm}"),
+            Inst::LslImm { rd, rn, shift } => write!(f, "lsl {rd}, {rn}, #{shift}"),
+            Inst::LsrImm { rd, rn, shift } => write!(f, "lsr {rd}, {rn}, #{shift}"),
+            Inst::Mul { rd, rn, rm } => write!(f, "mul {rd}, {rn}, {rm}"),
+            Inst::CmpImm { rn, imm } => write!(f, "cmp {rn}, #{imm}"),
+            Inst::CmpReg { rn, rm } => write!(f, "cmp {rn}, {rm}"),
+            Inst::Ldr { rt, rn, offset } => write!(f, "ldr {rt}, [{rn}, #{offset}]"),
+            Inst::Str { rt, rn, offset } => write!(f, "str {rt}, [{rn}, #{offset}]"),
+            Inst::Ldrb { rt, rn, offset } => write!(f, "ldrb {rt}, [{rn}, #{offset}]"),
+            Inst::Strb { rt, rn, offset } => write!(f, "strb {rt}, [{rn}, #{offset}]"),
+            Inst::Ldp { rt, rt2, rn, offset } => write!(f, "ldp {rt}, {rt2}, [{rn}, #{offset}]"),
+            Inst::Stp { rt, rt2, rn, offset } => write!(f, "stp {rt}, {rt2}, [{rn}, #{offset}]"),
+            Inst::B { offset } => write!(f, "b .{offset:+}"),
+            Inst::Bl { offset } => write!(f, "bl .{offset:+}"),
+            Inst::BCond { cond, offset } => write!(f, "b.{cond} .{offset:+}"),
+            Inst::Cbz { rt, offset } => write!(f, "cbz {rt}, .{offset:+}"),
+            Inst::Cbnz { rt, offset } => write!(f, "cbnz {rt}, .{offset:+}"),
+            Inst::Tbz { rt, bit, offset } => write!(f, "tbz {rt}, #{bit}, .{offset:+}"),
+            Inst::Tbnz { rt, bit, offset } => write!(f, "tbnz {rt}, #{bit}, .{offset:+}"),
+            Inst::Br { rn } => write!(f, "br {rn}"),
+            Inst::Blr { rn } => write!(f, "blr {rn}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Pac { key, rd, modifier: PacModifier::Reg(m) } => {
+                write!(f, "pac{} {rd}, {m}", key.suffix())
+            }
+            Inst::Pac { key, rd, modifier: PacModifier::Zero } => {
+                write!(f, "pac{}z{} {rd}", &key.suffix()[..1], &key.suffix()[1..])
+            }
+            Inst::Aut { key, rd, modifier: PacModifier::Reg(m) } => {
+                write!(f, "aut{} {rd}, {m}", key.suffix())
+            }
+            Inst::Aut { key, rd, modifier: PacModifier::Zero } => {
+                write!(f, "aut{}z{} {rd}", &key.suffix()[..1], &key.suffix()[1..])
+            }
+            Inst::Xpac { data: false, rd } => write!(f, "xpaci {rd}"),
+            Inst::Xpac { data: true, rd } => write!(f, "xpacd {rd}"),
+            Inst::Pacga { rd, rn, rm } => write!(f, "pacga {rd}, {rn}, {rm}"),
+            Inst::Mrs { rd, sysreg } => write!(f, "mrs {rd}, {sysreg}"),
+            Inst::Msr { sysreg, rn } => write!(f, "msr {sysreg}, {rn}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        let bcond = Inst::BCond { cond: Cond::Eq, offset: 4 };
+        assert!(bcond.is_conditional_branch());
+        assert!(!bcond.is_indirect_branch());
+        assert!(Inst::Blr { rn: Reg::X3 }.is_indirect_branch());
+        assert!(Inst::Ret.is_indirect_branch());
+        assert!(!Inst::B { offset: 1 }.is_conditional_branch());
+    }
+
+    #[test]
+    fn aut_destination_and_address_source_align_for_gadgets() {
+        // The scanner's match condition: AUT destination feeds an address.
+        let aut = Inst::Aut { key: PacKey::Ia, rd: Reg::X0, modifier: PacModifier::Zero };
+        let load = Inst::Ldr { rt: Reg::X2, rn: Reg::X0, offset: 0 };
+        let call = Inst::Blr { rn: Reg::X0 };
+        assert_eq!(aut.aut_destination(), Some(Reg::X0));
+        assert_eq!(load.address_source(), Some(Reg::X0));
+        assert_eq!(call.address_source(), Some(Reg::X0));
+    }
+
+    #[test]
+    fn ret_addresses_through_lr() {
+        assert_eq!(Inst::Ret.address_source(), Some(Reg::LR));
+    }
+
+    #[test]
+    fn destination_tracking() {
+        assert_eq!(Inst::AddReg { rd: Reg::X1, rn: Reg::X2, rm: Reg::X3 }.destination(), Some(Reg::X1));
+        assert_eq!(Inst::Bl { offset: 2 }.destination(), Some(Reg::LR));
+        assert_eq!(Inst::Str { rt: Reg::X1, rn: Reg::X2, offset: 0 }.destination(), None);
+        // Writes to XZR are discarded and must not appear as dataflow.
+        assert_eq!(Inst::MovZ { rd: Reg::XZR, imm: 1, shift: 0 }.destination(), None);
+    }
+
+    #[test]
+    fn display_smoke() {
+        assert_eq!(Inst::Nop.to_string(), "nop");
+        assert_eq!(
+            Inst::Pac { key: PacKey::Ia, rd: Reg::LR, modifier: PacModifier::Reg(Reg::SP) }
+                .to_string(),
+            "pacia lr, sp"
+        );
+        assert_eq!(
+            Inst::Aut { key: PacKey::Ib, rd: Reg::X0, modifier: PacModifier::Zero }.to_string(),
+            "autizb x0"
+        );
+        assert_eq!(Inst::BCond { cond: Cond::Ne, offset: -3 }.to_string(), "b.ne .-3");
+        assert_eq!(Inst::Ldr { rt: Reg::X2, rn: Reg::X0, offset: 8 }.to_string(), "ldr x2, [x0, #8]");
+    }
+
+    #[test]
+    fn pac_key_roundtrip() {
+        for k in PacKey::ALL {
+            assert_eq!(PacKey::from_index(k.index()), Some(k));
+        }
+        assert!(PacKey::Ia.is_instruction_key());
+        assert!(!PacKey::Db.is_instruction_key());
+    }
+}

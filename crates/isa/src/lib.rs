@@ -1,0 +1,55 @@
+//! An AArch64-like instruction set with ARMv8.3 Pointer Authentication.
+//!
+//! The PACMAN paper's victim (the XNU kernel) and its PACMAN gadgets are
+//! AArch64 machine code. This crate defines the instruction set that the
+//! workspace's kernel model is written in and that the microarchitecture
+//! model executes:
+//!
+//! - [`Reg`], [`SysReg`], [`Cond`] — the register file, system registers
+//!   (timers, performance counters, PA key registers) and condition codes.
+//! - [`Inst`] — the instruction set: ALU ops, loads/stores, branches, the
+//!   ARMv8.3 `PAC*`/`AUT*`/`XPAC` pointer-authentication instructions
+//!   (paper §2.2), barriers and system-register access.
+//! - [`mod@encode`] — a documented 32-bit binary encoding with a full decoder,
+//!   so kernel images exist as bytes in simulated memory and the §4.3
+//!   gadget scanner can sweep real binaries.
+//! - [`asm::Asm`] — a label-resolving assembler for writing kernel code.
+//! - [`ptr`] — the 48-bit-VA / 16-bit-PAC pointer format of macOS 12.2.1
+//!   on M1 (paper §7.1): canonical forms, PAC insertion/stripping, and the
+//!   corrupt-on-authentication-failure encoding that turns a bad PAC into
+//!   a translation fault.
+//!
+//! The encoding is a *simplified* fixed-width format, not real A64; the
+//! paper's attack depends on instruction semantics (Figure 3), not on
+//! AArch64's bit patterns, and DESIGN.md documents this substitution.
+//!
+//! # Example
+//!
+//! ```
+//! use pacman_isa::{Asm, Inst, PacKey, PacModifier, Reg};
+//!
+//! // The data PACMAN gadget of Figure 3(a).
+//! let mut a = Asm::new();
+//! let skip = a.new_label();
+//! a.cbz(Reg::X1, skip);
+//! a.push(Inst::Aut { key: PacKey::Ia, rd: Reg::X0, modifier: PacModifier::Zero });
+//! a.push(Inst::Ldr { rt: Reg::X2, rn: Reg::X0, offset: 0 });
+//! a.bind(skip);
+//! a.push(Inst::Eret);
+//! let program = a.assemble().expect("assembles");
+//! assert_eq!(program.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encode;
+pub mod inst;
+pub mod ptr;
+pub mod regs;
+
+pub use asm::{Asm, AsmError, Label};
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{Inst, PacKey, PacModifier};
+pub use regs::{Cond, Reg, SysReg};

@@ -1,0 +1,289 @@
+//! The signed-pointer format: 48-bit virtual addresses, 16-bit PACs.
+//!
+//! The PACMAN paper's platform (macOS 12.2.1 on the M1, §7.1) uses 48-bit
+//! virtual addresses with 16 KB pages, leaving bits `[63:48]` as the
+//! 16-bit PAC field. This module implements:
+//!
+//! - canonical pointer forms — user pointers sign-extend a `0` from bit
+//!   47, kernel pointers a `1` (the TTBR0/TTBR1 split);
+//! - PAC insertion (signing) and stripping (`xpac`);
+//! - the authentication rule, including ARM's corrupt-on-failure encoding:
+//!   a failed `AUT` writes error bits into the extension field so that
+//!   *any* later dereference takes a translation fault (paper §2.2) —
+//!   architecturally a crash, speculatively a suppressed fault, which is
+//!   exactly the asymmetry the PACMAN attack exploits.
+
+use pacman_qarma::PacComputer;
+
+use crate::inst::PacKey;
+
+/// Virtual-address width on the modelled platform.
+pub const VA_BITS: u32 = 48;
+/// Page size: 16 KB (paper §7.1).
+pub const PAGE_BITS: u32 = 14;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_BITS;
+/// Number of PAC bits.
+pub const PAC_BITS: u32 = 64 - VA_BITS;
+/// Mask of the low (address) bits of a pointer.
+pub const ADDR_MASK: u64 = (1 << VA_BITS) - 1;
+
+/// Which half of the address space a canonical pointer belongs to.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum PointerKind {
+    /// TTBR0 / EL0 half: extension bits are all zero.
+    User,
+    /// TTBR1 / EL1 half: extension bits are all one.
+    Kernel,
+}
+
+/// A canonical 48-bit virtual address.
+///
+/// Wraps a `u64` that is guaranteed canonical (extension bits match bit
+/// 47), providing page/offset accessors used throughout the TLB model.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct VirtualAddress(u64);
+
+impl VirtualAddress {
+    /// Creates a canonical address from the low 48 bits of `raw`,
+    /// sign-extending bit 47.
+    pub fn new(raw: u64) -> Self {
+        Self(canonicalize(raw))
+    }
+
+    /// The underlying 64-bit value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number (address bits above the page offset).
+    pub fn vpn(self) -> u64 {
+        (self.0 & ADDR_MASK) >> PAGE_BITS
+    }
+
+    /// The offset within the page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Which half of the address space this address is in.
+    pub fn kind(self) -> PointerKind {
+        if (self.0 >> 47) & 1 == 1 {
+            PointerKind::Kernel
+        } else {
+            PointerKind::User
+        }
+    }
+}
+
+impl From<VirtualAddress> for u64 {
+    fn from(va: VirtualAddress) -> u64 {
+        va.value()
+    }
+}
+
+impl std::fmt::Display for VirtualAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+/// Sign-extends bit 47 over the extension field, producing the canonical
+/// form of a (possibly signed or corrupted) pointer. This is also the
+/// semantic of `xpaci`/`xpacd`.
+pub fn canonicalize(ptr: u64) -> u64 {
+    let low = ptr & ADDR_MASK;
+    if (low >> 47) & 1 == 1 {
+        low | !ADDR_MASK
+    } else {
+        low
+    }
+}
+
+/// Whether a pointer is canonical (dereferenceable without a translation
+/// fault, assuming it is mapped).
+pub fn is_canonical(ptr: u64) -> bool {
+    ptr == canonicalize(ptr)
+}
+
+/// The 16-bit PAC field of a pointer (bits `[63:48]`).
+pub fn pac_field(ptr: u64) -> u16 {
+    (ptr >> VA_BITS) as u16
+}
+
+/// Replaces the PAC field of a pointer.
+pub fn with_pac_field(ptr: u64, pac: u16) -> u64 {
+    (ptr & ADDR_MASK) | (u64::from(pac) << VA_BITS)
+}
+
+/// Signs a pointer: computes its PAC under `pacs` with `modifier` and
+/// stores it in the extension field (the `pacia`-family semantic).
+///
+/// The input is canonicalised first, so re-signing a signed pointer signs
+/// the underlying address — matching hardware, where PAC bits are not part
+/// of the signed payload.
+pub fn sign(pacs: &PacComputer, ptr: u64, modifier: u64) -> u64 {
+    let canonical = canonicalize(ptr);
+    let pac = pacs.pac(canonical, modifier) as u16;
+    with_pac_field(canonical, pac)
+}
+
+/// Result of an `AUT`-family authentication.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum AuthResult {
+    /// The embedded PAC matched: the canonical pointer is returned and may
+    /// be dereferenced freely.
+    Valid(u64),
+    /// The PAC did not match: the returned pointer has error bits set in
+    /// its extension field; dereferencing it faults.
+    Corrupt(u64),
+}
+
+impl AuthResult {
+    /// The pointer value the instruction writes back, valid or not.
+    pub fn pointer(self) -> u64 {
+        match self {
+            AuthResult::Valid(p) | AuthResult::Corrupt(p) => p,
+        }
+    }
+
+    /// Whether authentication succeeded.
+    pub fn is_valid(self) -> bool {
+        matches!(self, AuthResult::Valid(_))
+    }
+}
+
+/// Authenticates a signed pointer (the `autia`-family semantic).
+///
+/// Recomputes the PAC of the canonical address under `modifier` and
+/// compares it with the embedded field. On success the canonical pointer
+/// is returned; on failure, error bits derived from the key are planted in
+/// the extension field, making the pointer non-canonical.
+pub fn authenticate(pacs: &PacComputer, ptr: u64, modifier: u64, key: PacKey) -> AuthResult {
+    let canonical = canonicalize(ptr);
+    let expected = pacs.pac(canonical, modifier) as u16;
+    if pac_field(ptr) == expected {
+        AuthResult::Valid(canonical)
+    } else {
+        AuthResult::Corrupt(corrupt(canonical, key))
+    }
+}
+
+/// Produces the corrupted pointer a failed authentication writes back:
+/// the canonical extension XORed with a non-zero, key-dependent error
+/// pattern. The result is never canonical, so any dereference faults.
+pub fn corrupt(canonical: u64, key: PacKey) -> u64 {
+    let ext = pac_field(canonical);
+    let err = 0x2000u16 | (u16::from(key.index()) + 1) << 8;
+    with_pac_field(canonical, ext ^ err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_qarma::{PacComputer, QarmaKey};
+
+    fn pacs() -> PacComputer {
+        PacComputer::new(QarmaKey::new(0xfeed_beef_dead_c0de, 0x0123_4567_89ab_cdef), VA_BITS)
+    }
+
+    const USER_PTR: u64 = 0x0000_7FFF_DEAD_4000;
+    const KERNEL_PTR: u64 = 0xFFFF_FFF0_1234_C000;
+
+    #[test]
+    fn canonical_forms() {
+        assert!(is_canonical(USER_PTR));
+        assert!(is_canonical(KERNEL_PTR));
+        assert!(!is_canonical(0x00F0_7FFF_DEAD_4000));
+        assert_eq!(canonicalize(0xABCD_7FFF_DEAD_4000), USER_PTR);
+        assert_eq!(canonicalize(KERNEL_PTR & ADDR_MASK | 0x1234_0000_0000_0000), KERNEL_PTR);
+    }
+
+    #[test]
+    fn virtual_address_fields() {
+        let va = VirtualAddress::new(USER_PTR + 0x123);
+        assert_eq!(va.page_offset(), 0x123 + (USER_PTR & (PAGE_SIZE - 1)));
+        assert_eq!(va.vpn(), (USER_PTR & ADDR_MASK) >> PAGE_BITS);
+        assert_eq!(va.kind(), PointerKind::User);
+        assert_eq!(VirtualAddress::new(KERNEL_PTR).kind(), PointerKind::Kernel);
+        assert_eq!(u64::from(va), va.value());
+    }
+
+    #[test]
+    fn sign_then_authenticate_succeeds() {
+        let p = pacs();
+        for ptr in [USER_PTR, KERNEL_PTR] {
+            let signed = sign(&p, ptr, 0x5555);
+            let auth = authenticate(&p, signed, 0x5555, PacKey::Ia);
+            assert_eq!(auth, AuthResult::Valid(ptr));
+        }
+    }
+
+    #[test]
+    fn wrong_modifier_fails_and_corrupts() {
+        let p = pacs();
+        let signed = sign(&p, USER_PTR, 0x5555);
+        let auth = authenticate(&p, signed, 0x5556, PacKey::Ia);
+        assert!(!auth.is_valid());
+        assert!(!is_canonical(auth.pointer()), "failed AUT must yield a faulting pointer");
+        // The address bits survive corruption (ARM semantics).
+        assert_eq!(canonicalize(auth.pointer()), USER_PTR);
+    }
+
+    #[test]
+    fn wrong_pac_fails() {
+        let p = pacs();
+        let signed = sign(&p, KERNEL_PTR, 7);
+        let tampered = with_pac_field(signed, pac_field(signed) ^ 1);
+        assert!(!authenticate(&p, tampered, 7, PacKey::Ib).is_valid());
+    }
+
+    #[test]
+    fn corrupt_is_never_canonical_for_any_key() {
+        for key in PacKey::ALL {
+            for ptr in [USER_PTR, KERNEL_PTR] {
+                assert!(!is_canonical(corrupt(ptr, key)), "{key:?} error bits collide");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_error_bits_depend_on_key() {
+        let a = corrupt(USER_PTR, PacKey::Ia);
+        let b = corrupt(USER_PTR, PacKey::Db);
+        assert_ne!(a, b, "key-dependent error codes expected");
+    }
+
+    #[test]
+    fn resigning_a_signed_pointer_signs_the_address() {
+        let p = pacs();
+        let once = sign(&p, USER_PTR, 1);
+        let twice = sign(&p, once, 1);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn exactly_16_pac_bits() {
+        assert_eq!(PAC_BITS, 16);
+        assert_eq!(pac_field(0xABCD_0000_0000_0000), 0xABCD);
+        assert_eq!(with_pac_field(USER_PTR, 0xABCD) >> 48, 0xABCD);
+    }
+
+    #[test]
+    fn brute_force_space_is_2_to_16() {
+        // Exactly one PAC value authenticates: the paper's §8.2 brute-force
+        // search space. (Scanning all 65536 values here doubles as a check
+        // that authenticate() has no second preimage for this pointer.)
+        let p = pacs();
+        let signed = sign(&p, USER_PTR, 42);
+        let good = pac_field(signed);
+        let mut matches = 0;
+        for guess in 0..=u16::MAX {
+            if authenticate(&p, with_pac_field(signed, guess), 42, PacKey::Ia).is_valid() {
+                matches += 1;
+                assert_eq!(guess, good);
+            }
+        }
+        assert_eq!(matches, 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Registers, system registers and condition codes.
+
+use std::fmt;
+
+/// A general-purpose register.
+///
+/// `X0..=X30` follow the AArch64 convention (`X30` is the link register
+/// `LR`), `Sp` is the stack pointer and `Xzr` the zero register.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of encodable registers (X0..=X30, SP, XZR).
+    pub const COUNT: usize = 33;
+    /// The stack pointer.
+    pub const SP: Reg = Reg(31);
+    /// The zero register: reads as zero, writes are discarded.
+    pub const XZR: Reg = Reg(32);
+    /// The procedure link register (alias of `X30`).
+    pub const LR: Reg = Reg(30);
+
+    /// Returns the general-purpose register `Xn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 30`.
+    pub fn x(n: u8) -> Reg {
+        assert!(n <= 30, "X registers are X0..=X30, got X{n}");
+        Reg(n)
+    }
+
+    /// Constructs a register from its encoding index.
+    pub fn from_index(index: u8) -> Option<Reg> {
+        (usize::from(index) < Self::COUNT).then_some(Reg(index))
+    }
+
+    /// The encoding index of this register (0..=32).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the zero register.
+    pub fn is_zero(self) -> bool {
+        self == Self::XZR
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("General-purpose register X", stringify!($n), ".")]
+                pub const $name: Reg = Reg($n);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    X0 = 0, X1 = 1, X2 = 2, X3 = 3, X4 = 4, X5 = 5, X6 = 6, X7 = 7,
+    X8 = 8, X9 = 9, X10 = 10, X11 = 11, X12 = 12, X13 = 13, X14 = 14,
+    X15 = 15, X16 = 16, X17 = 17, X18 = 18, X19 = 19, X20 = 20, X21 = 21,
+    X22 = 22, X23 = 23, X24 = 24, X25 = 25, X26 = 26, X27 = 27, X28 = 28,
+    X29 = 29, X30 = 30,
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            30 => write!(f, "lr"),
+            31 => write!(f, "sp"),
+            32 => write!(f, "xzr"),
+            n => write!(f, "x{n}"),
+        }
+    }
+}
+
+/// Condition codes for `B.cond`, evaluated against the NZCV flags set by
+/// the most recent compare instruction. Signed comparisons only, which is
+/// all the kernel model needs.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Cond {
+    /// Equal (`Z == 1`).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// All condition codes, in encoding order.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// Encoding index of the condition.
+    pub fn index(self) -> u8 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Le => 3,
+            Cond::Gt => 4,
+            Cond::Ge => 5,
+        }
+    }
+
+    /// Decodes a condition from its encoding index.
+    pub fn from_index(index: u8) -> Option<Cond> {
+        Self::ALL.get(usize::from(index)).copied()
+    }
+
+    /// Evaluates the condition against a signed comparison result
+    /// `lhs - rhs` (the compare instructions record the operands, and the
+    /// core evaluates lazily).
+    pub fn holds(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Le => lhs <= rhs,
+            Cond::Gt => lhs > rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// System registers reachable through `MRS`/`MSR`.
+///
+/// These mirror the registers the paper's Table 1 and §6.1 discuss: the
+/// 24 MHz generic timer, Apple's proprietary performance counters and
+/// their control register, plus the ARMv8.3 PA key registers (each
+/// 128-bit key is a Lo/Hi pair, writable only at EL1).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum SysReg {
+    /// `CNTPCT_EL0` — the 24 MHz system counter (EL0-readable, Table 1).
+    CntpctEl0,
+    /// `CNTFRQ_EL0` — the counter frequency register (reads 24 MHz).
+    CntfrqEl0,
+    /// `PMC0` (`S3_2_c15_c0_0`) — Apple cycle counter (EL1 unless enabled).
+    Pmc0,
+    /// `PMC1` (`S3_2_c15_c1_0`) — Apple instruction counter.
+    Pmc1,
+    /// `PMCR0` (`S3_1_c15_c0_0`) — performance counter control; setting the
+    /// EL0-enable bit makes `PMC0` readable from userspace (paper §6.1).
+    Pmcr0,
+    /// `CurrentEL` — the current exception level.
+    CurrentEl,
+    /// `APIAKeyLo_EL1` — instruction key A, low half.
+    ApiaKeyLo,
+    /// `APIAKeyHi_EL1` — instruction key A, high half.
+    ApiaKeyHi,
+    /// `APIBKeyLo_EL1` — instruction key B, low half.
+    ApibKeyLo,
+    /// `APIBKeyHi_EL1` — instruction key B, high half.
+    ApibKeyHi,
+    /// `APDAKeyLo_EL1` — data key A, low half.
+    ApdaKeyLo,
+    /// `APDAKeyHi_EL1` — data key A, high half.
+    ApdaKeyHi,
+    /// `APDBKeyLo_EL1` — data key B, low half.
+    ApdbKeyLo,
+    /// `APDBKeyHi_EL1` — data key B, high half.
+    ApdbKeyHi,
+    /// `APGAKeyLo_EL1` — generic key, low half.
+    ApgaKeyLo,
+    /// `APGAKeyHi_EL1` — generic key, high half.
+    ApgaKeyHi,
+}
+
+impl SysReg {
+    /// All system registers, in encoding order.
+    pub const ALL: [SysReg; 16] = [
+        SysReg::CntpctEl0,
+        SysReg::CntfrqEl0,
+        SysReg::Pmc0,
+        SysReg::Pmc1,
+        SysReg::Pmcr0,
+        SysReg::CurrentEl,
+        SysReg::ApiaKeyLo,
+        SysReg::ApiaKeyHi,
+        SysReg::ApibKeyLo,
+        SysReg::ApibKeyHi,
+        SysReg::ApdaKeyLo,
+        SysReg::ApdaKeyHi,
+        SysReg::ApdbKeyLo,
+        SysReg::ApdbKeyHi,
+        SysReg::ApgaKeyLo,
+        SysReg::ApgaKeyHi,
+    ];
+
+    /// Encoding index.
+    pub fn index(self) -> u8 {
+        Self::ALL.iter().position(|&r| r == self).expect("SysReg listed in ALL") as u8
+    }
+
+    /// Decodes from an encoding index.
+    pub fn from_index(index: u8) -> Option<SysReg> {
+        Self::ALL.get(usize::from(index)).copied()
+    }
+
+    /// Whether an `MRS` read of this register is permitted at EL0 given the
+    /// EL0-enable state of `PMCR0` (paper §6.1: `PMC0`/`PMC1` are
+    /// kernel-only until a kext flips the control bit; key registers are
+    /// never EL0-readable).
+    pub fn el0_readable(self, pmcr0_el0_enabled: bool) -> bool {
+        match self {
+            SysReg::CntpctEl0 | SysReg::CntfrqEl0 | SysReg::CurrentEl => true,
+            SysReg::Pmc0 | SysReg::Pmc1 => pmcr0_el0_enabled,
+            _ => false,
+        }
+    }
+
+    /// Whether an `MSR` write of this register is permitted at EL0.
+    /// Nothing modelled here is EL0-writable.
+    pub fn el0_writable(self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for SysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SysReg::CntpctEl0 => "cntpct_el0",
+            SysReg::CntfrqEl0 => "cntfrq_el0",
+            SysReg::Pmc0 => "pmc0",
+            SysReg::Pmc1 => "pmc1",
+            SysReg::Pmcr0 => "pmcr0",
+            SysReg::CurrentEl => "currentel",
+            SysReg::ApiaKeyLo => "apiakeylo_el1",
+            SysReg::ApiaKeyHi => "apiakeyhi_el1",
+            SysReg::ApibKeyLo => "apibkeylo_el1",
+            SysReg::ApibKeyHi => "apibkeyhi_el1",
+            SysReg::ApdaKeyLo => "apdakeylo_el1",
+            SysReg::ApdaKeyHi => "apdakeyhi_el1",
+            SysReg::ApdbKeyLo => "apdbkeylo_el1",
+            SysReg::ApdbKeyHi => "apdbkeyhi_el1",
+            SysReg::ApgaKeyLo => "apgakeylo_el1",
+            SysReg::ApgaKeyHi => "apgakeyhi_el1",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrips_through_index() {
+        for i in 0..Reg::COUNT as u8 {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert!(Reg::from_index(Reg::COUNT as u8).is_none());
+    }
+
+    #[test]
+    fn named_registers_match_indices() {
+        assert_eq!(Reg::X0.index(), 0);
+        assert_eq!(Reg::X30, Reg::LR);
+        assert_eq!(Reg::SP.index(), 31);
+        assert!(Reg::XZR.is_zero());
+        assert!(!Reg::X5.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "X registers")]
+    fn x31_is_rejected() {
+        let _ = Reg::x(31);
+    }
+
+    #[test]
+    fn reg_display_names() {
+        assert_eq!(Reg::X3.to_string(), "x3");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::XZR.to_string(), "xzr");
+    }
+
+    #[test]
+    fn cond_roundtrips_and_evaluates() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_index(c.index()), Some(c));
+        }
+        assert!(Cond::Eq.holds(3, 3));
+        assert!(Cond::Ne.holds(3, 4));
+        assert!(Cond::Lt.holds(-1, 0));
+        assert!(Cond::Le.holds(0, 0));
+        assert!(Cond::Gt.holds(5, -5));
+        assert!(Cond::Ge.holds(5, 5));
+        assert!(!Cond::Lt.holds(0, -1));
+    }
+
+    #[test]
+    fn sysreg_roundtrips_through_index() {
+        for r in SysReg::ALL {
+            assert_eq!(SysReg::from_index(r.index()), Some(r));
+        }
+        assert!(SysReg::from_index(16).is_none());
+    }
+
+    #[test]
+    fn pmc0_gating_matches_paper_section_6_1() {
+        assert!(!SysReg::Pmc0.el0_readable(false), "PMC0 must be kernel-only by default");
+        assert!(SysReg::Pmc0.el0_readable(true), "kext-enabled PMC0 must be EL0-readable");
+        assert!(SysReg::CntpctEl0.el0_readable(false), "CNTPCT_EL0 is always EL0-readable");
+    }
+
+    #[test]
+    fn key_registers_are_never_el0_accessible() {
+        for r in [SysReg::ApiaKeyLo, SysReg::ApiaKeyHi, SysReg::ApgaKeyHi] {
+            assert!(!r.el0_readable(true));
+            assert!(!r.el0_writable());
+        }
+    }
+}

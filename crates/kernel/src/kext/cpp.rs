@@ -1,0 +1,348 @@
+//! The §8.3 Jump2Win victim: C++-style method dispatch over signed
+//! vtables (Listing 2, Figure 9).
+//!
+//! Kernel data holds two adjacent objects. `object1` starts with a
+//! buffer; `object2` starts with its PA-protected vtable pointer. A
+//! buffer-overflow syscall lets the attacker overflow `object1.buf` into
+//! `object2`'s vtable pointer; a dispatch syscall performs the two-step
+//! authenticated method call of Listing 2. The kext also ships a `win()`
+//! function that is *not* reachable through any legitimate vtable, plus
+//! key/salt-matched PACMAN gadget syscalls the attacker uses to
+//! brute-force the two PACs Figure 9 requires.
+
+use pacman_isa::ptr::VirtualAddress;
+use pacman_isa::{Asm, Inst, PacKey, PacModifier, Reg};
+use pacman_uarch::Machine;
+
+use crate::kernel::{load_kernel_program, read_kernel_u64, write_kernel_u64};
+use crate::layout;
+use crate::Kernel;
+
+/// Value `win()` writes into the flag: proof of control-flow hijack.
+pub const WIN_MAGIC: u64 = 0x57494E21_57494E21;
+/// Value the legitimate method writes into the flag.
+pub const NORMAL_MAGIC: u64 = 0x6E6F726D_6E6F726D;
+
+/// Byte offset of `object1.buf` within the object page.
+pub const BUF_OFFSET: u64 = 0;
+/// Size of `object1` (and thus the offset of `object2`).
+pub const OBJ2_OFFSET: u64 = 48;
+/// Offset of the re-initialised protected pointer inside each gadget
+/// object.
+pub const GADGET_FP_OFFSET: u64 = 16;
+
+/// Handles to the installed kext.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct CppKext {
+    /// Overflow syscall: `x0` = user buffer, `x1` = length; copies into
+    /// `object1.buf`.
+    pub overflow: u64,
+    /// Dispatch syscall: `x1` = method index; performs Listing 2.
+    pub dispatch: u64,
+    /// Listing-1-style gadget whose `AUT` uses the IA key with the object
+    /// address as salt — brute-forces vtable-entry PACs.
+    pub gadget_ia: u64,
+    /// Gadget whose `AUT` uses the DA key with the object address as salt
+    /// — brute-forces vtable-pointer PACs.
+    pub gadget_da: u64,
+    /// VA of `object1` (its buffer starts here).
+    pub obj1: u64,
+    /// VA of `object2` (its signed vtable pointer lives here).
+    pub obj2: u64,
+    /// VA of the legitimate vtable.
+    pub vtable: u64,
+    /// VA of the legitimate method.
+    pub method_normal: u64,
+    /// VA of the `win()` function the attacker redirects to.
+    pub win_fn: u64,
+    /// VA of the flag the methods write.
+    flag: u64,
+    /// Gadget object pages.
+    pub gadget_obj_ia: u64,
+    /// Gadget object page for the DA-key gadget.
+    pub gadget_obj_da: u64,
+}
+
+impl CppKext {
+    /// Loads the kext: allocates objects and vtable, signs all protected
+    /// pointers under the current per-boot keys, and registers the four
+    /// syscalls.
+    pub fn install(kernel: &mut Kernel, machine: &mut Machine) -> Self {
+        let objects = kernel.alloc_data_page(machine);
+        let obj1 = objects;
+        let obj2 = objects + OBJ2_OFFSET;
+        let vtable = kernel.alloc_data_page(machine);
+        let flag = kernel.alloc_data_page(machine);
+        let gadget_obj_ia = kernel.alloc_data_page(machine);
+        let gadget_obj_da = kernel.alloc_data_page(machine);
+
+        // Methods live on separate pages so the BTB-predicted target and
+        // the verified pointer are in different pages (§4.2 constraint).
+        // They are placed at computed VAs whose dTLB sets (40/41) stay
+        // clear of the pages the syscall path touches on every call
+        // (syscall table, scratch, object pages) — a brute force against
+        // `win()` monitors win's set, so that set must be quiet.
+        let method_base = layout::PLACED_REGION_BASE + 0x2_0000_0000;
+        let method_normal = method_base + 40 * pacman_isa::ptr::PAGE_SIZE;
+        let win_fn = method_base + 41 * pacman_isa::ptr::PAGE_SIZE;
+        machine.map_page(method_normal, pacman_uarch::Perms::kernel_rx());
+        machine.map_page(win_fn, pacman_uarch::Perms::kernel_rx());
+        load_kernel_program(machine, method_normal, &Self::method(flag, NORMAL_MAGIC));
+        load_kernel_program(machine, win_fn, &Self::method(flag, WIN_MAGIC));
+
+        let kext = Self {
+            overflow: 0,
+            dispatch: 0,
+            gadget_ia: 0,
+            gadget_da: 0,
+            obj1,
+            obj2,
+            vtable,
+            method_normal,
+            win_fn,
+            flag,
+            gadget_obj_ia,
+            gadget_obj_da,
+        };
+        kext.initialize_objects(kernel, machine);
+
+        let overflow = kernel.register_syscall(machine, &Self::overflow_handler(obj1));
+        let dispatch = kernel.register_syscall(machine, &Self::dispatch_handler(obj2));
+        let gadget_ia = kernel.register_syscall(
+            machine,
+            &Self::gadget_handler(gadget_obj_ia, method_normal, obj2, PacKey::Ia),
+        );
+        let gadget_da = kernel.register_syscall(
+            machine,
+            &Self::gadget_handler(gadget_obj_da, vtable, obj2, PacKey::Da),
+        );
+
+        Self { overflow, dispatch, gadget_ia, gadget_da, ..kext }
+    }
+
+    /// (Re-)signs the legitimate object graph under the *current* keys —
+    /// what object construction does. Also used after a kernel panic,
+    /// when a reboot has renewed the keys and invalidated every stored
+    /// PAC.
+    pub fn initialize_objects(&self, kernel: &mut Kernel, machine: &mut Machine) {
+        let _ = kernel;
+        let ia = machine.cpu.pac_computer(PacKey::Ia);
+        let da = machine.cpu.pac_computer(PacKey::Da);
+        // vtable[0] = &method_normal, signed with IA and the object salt.
+        write_kernel_u64(machine, self.vtable, pacman_isa::ptr::sign(&ia, self.method_normal, self.obj2));
+        // object2.vtable_ptr = &vtable, signed with DA and the object salt.
+        write_kernel_u64(machine, self.obj2, pacman_isa::ptr::sign(&da, self.vtable, self.obj2));
+        write_kernel_u64(machine, self.flag, 0);
+    }
+
+    fn method(flag: u64, magic: u64) -> Vec<Inst> {
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X9, flag);
+        a.mov_imm64(Reg::X10, magic);
+        a.push(Inst::Str { rt: Reg::X10, rn: Reg::X9, offset: 0 });
+        a.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+        a.push(Inst::Eret);
+        a.assemble().expect("method assembles")
+    }
+
+    fn overflow_handler(obj1: u64) -> Vec<Inst> {
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X9, obj1 + BUF_OFFSET);
+        super::emit_memcpy_from_user(&mut a);
+        a.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+        a.push(Inst::Eret);
+        a.assemble().expect("overflow handler assembles")
+    }
+
+    /// Listing 2: `vtable_ptr = AUT_DA(*obj); fp = AUT_IA(vtable_ptr[i]);
+    /// call fp;`.
+    fn dispatch_handler(obj2: u64) -> Vec<Inst> {
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X9, obj2);
+        a.push(Inst::Ldr { rt: Reg::X10, rn: Reg::X9, offset: 0 });
+        a.push(Inst::Aut { key: PacKey::Da, rd: Reg::X10, modifier: PacModifier::Reg(Reg::X9) });
+        a.push(Inst::LslImm { rd: Reg::X11, rn: Reg::X1, shift: 3 });
+        a.push(Inst::AddReg { rd: Reg::X11, rn: Reg::X10, rm: Reg::X11 });
+        a.push(Inst::Ldr { rt: Reg::X12, rn: Reg::X11, offset: 0 });
+        a.push(Inst::Aut { key: PacKey::Ia, rd: Reg::X12, modifier: PacModifier::Reg(Reg::X9) });
+        a.push(Inst::Blr { rn: Reg::X12 });
+        // Methods return from the syscall themselves.
+        a.assemble().expect("dispatch handler assembles")
+    }
+
+    /// A Listing-1 gadget whose AUT key/salt match the dispatch path, so
+    /// the §8.2 brute force recovers PACs that are valid for Figure 9.
+    /// ABI: `x0` = user buffer, `x1` = length, `x2` = cond.
+    fn gadget_handler(obj: u64, benign: u64, salt: u64, key: PacKey) -> Vec<Inst> {
+        let mut a = Asm::new();
+        let skip = a.new_label();
+        a.mov_imm64(Reg::X9, obj);
+        a.mov_imm64(Reg::X13, salt);
+        a.mov_imm64(Reg::X14, benign);
+        a.push(Inst::Pac { key, rd: Reg::X14, modifier: PacModifier::Reg(Reg::X13) });
+        a.push(Inst::Str { rt: Reg::X14, rn: Reg::X9, offset: GADGET_FP_OFFSET as i16 });
+        super::emit_memcpy_from_user(&mut a);
+        // The copy loop clobbers x13; reload the salt before the gadget.
+        a.mov_imm64(Reg::X13, salt);
+        a.cbz(Reg::X2, skip);
+        a.push(Inst::Ldr { rt: Reg::X14, rn: Reg::X9, offset: GADGET_FP_OFFSET as i16 });
+        a.push(Inst::Aut { key, rd: Reg::X14, modifier: PacModifier::Reg(Reg::X13) });
+        a.push(Inst::Ldr { rt: Reg::X15, rn: Reg::X14, offset: 0 });
+        a.bind(skip);
+        a.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+        a.push(Inst::Eret);
+        a.assemble().expect("gadget handler assembles")
+    }
+
+    /// Current value of the flag the methods write.
+    pub fn flag_value(&self, machine: &Machine) -> u64 {
+        read_kernel_u64(machine, self.flag)
+    }
+
+    /// The dTLB-relevant vpns touched by this kext's handlers on every
+    /// call.
+    pub fn hot_data_vpns(&self) -> Vec<u64> {
+        vec![
+            VirtualAddress::new(self.obj1).vpn(),
+            VirtualAddress::new(self.vtable).vpn(),
+            VirtualAddress::new(self.flag).vpn(),
+            VirtualAddress::new(self.gadget_obj_ia).vpn(),
+            VirtualAddress::new(self.gadget_obj_da).vpn(),
+            VirtualAddress::new(layout::SYSCALL_TABLE).vpn(),
+            // Benign targets of the gadget syscalls: speculatively loaded
+            // on copy-loop boundary mispredictions.
+            VirtualAddress::new(self.method_normal).vpn(),
+        ]
+    }
+
+    /// Ground truth for evaluation: the correct PAC of `pointer` under
+    /// `key` with the object salt.
+    pub fn debug_true_pac(&self, machine: &Machine, key: PacKey, pointer: u64) -> u16 {
+        let pacs = machine.cpu.pac_computer(key);
+        pacman_isa::ptr::pac_field(pacman_isa::ptr::sign(&pacs, pointer, self.obj2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_isa::ptr::with_pac_field;
+    use pacman_uarch::MachineConfig;
+
+    fn setup() -> (Machine, Kernel, CppKext) {
+        let mut m = Machine::new(MachineConfig { os_noise: 0.0, ..MachineConfig::default() });
+        let mut k = Kernel::boot(&mut m, 1234);
+        let c = CppKext::install(&mut k, &mut m);
+        (m, k, c)
+    }
+
+    #[test]
+    fn legitimate_dispatch_calls_the_normal_method() {
+        let (mut m, mut k, c) = setup();
+        k.syscall(&mut m, c.dispatch, &[0, 0]).unwrap();
+        assert_eq!(c.flag_value(&m), NORMAL_MAGIC);
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn overflow_reaches_object2s_vtable_pointer() {
+        let (mut m, mut k, c) = setup();
+        let original = read_kernel_u64(&m, c.obj2);
+        let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
+        payload[OBJ2_OFFSET as usize..].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        assert!(m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload));
+        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64])
+            .unwrap();
+        assert_ne!(read_kernel_u64(&m, c.obj2), original);
+        assert_eq!(read_kernel_u64(&m, c.obj2), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn naive_vtable_swap_without_pacs_panics_the_kernel() {
+        // The Pointer Authentication success story: without PACMAN, the
+        // attacker's overwrite crashes on dispatch.
+        let (mut m, mut k, c) = setup();
+        let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
+        payload[OBJ2_OFFSET as usize..].copy_from_slice(&(c.obj1 + BUF_OFFSET).to_le_bytes());
+        m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload);
+        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64])
+            .unwrap();
+        let err = k.syscall(&mut m, c.dispatch, &[0, 0]).unwrap_err();
+        assert!(matches!(err, crate::KernelError::Panic { .. }));
+        assert_eq!(k.crash_count(), 1);
+        assert_ne!(c.flag_value(&m), WIN_MAGIC);
+    }
+
+    #[test]
+    fn jump2win_succeeds_with_correct_pacs() {
+        // Figure 9 end-to-end, using ground-truth PACs (the attack crate
+        // recovers the same values via the PAC oracle).
+        let (mut m, mut k, c) = setup();
+        let pac_win = c.debug_true_pac(&m, PacKey::Ia, c.win_fn);
+        let fake_vtable = c.obj1 + BUF_OFFSET;
+        let pac_vt = c.debug_true_pac(&m, PacKey::Da, fake_vtable);
+
+        let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
+        payload[0..8].copy_from_slice(&with_pac_field(c.win_fn, pac_win).to_le_bytes());
+        payload[OBJ2_OFFSET as usize..]
+            .copy_from_slice(&with_pac_field(fake_vtable, pac_vt).to_le_bytes());
+        m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload);
+
+        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64])
+            .unwrap();
+        k.syscall(&mut m, c.dispatch, &[0, 0]).unwrap();
+        assert_eq!(c.flag_value(&m), WIN_MAGIC, "control flow must reach win()");
+        assert_eq!(k.crash_count(), 0, "the hijack must be crash-free");
+    }
+
+    #[test]
+    fn gadget_salts_match_the_dispatch_path() {
+        // The PACs the gadgets verify are the PACs dispatch consumes.
+        let (mut m, mut k, c) = setup();
+        // Training calls work (valid pointer, cond=1).
+        for _ in 0..8 {
+            k.syscall(&mut m, c.gadget_ia, &[0, 0, 1]).unwrap();
+            k.syscall(&mut m, c.gadget_da, &[0, 0, 1]).unwrap();
+        }
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn gadget_ia_leaks_the_win_pac_speculatively() {
+        let (mut m, mut k, c) = setup();
+        let true_pac = c.debug_true_pac(&m, PacKey::Ia, c.win_fn);
+        for _ in 0..64 {
+            k.syscall(&mut m, c.gadget_ia, &[0, 0, 1]).unwrap();
+        }
+        let win_vpn = VirtualAddress::new(c.win_fn).vpn();
+
+        m.mem.tlbs.flush();
+        let mut payload = [0u8; 24];
+        payload[16..].copy_from_slice(&with_pac_field(c.win_fn, true_pac).to_le_bytes());
+        m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload);
+        k.syscall(&mut m, c.gadget_ia, &[layout::USER_SCRATCH, 24, 0]).unwrap();
+        assert!(m.mem.tlbs.dtlb().contains(win_vpn), "correct PAC leaves a footprint");
+
+        m.mem.tlbs.flush();
+        payload[16..].copy_from_slice(&with_pac_field(c.win_fn, true_pac ^ 3).to_le_bytes());
+        m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload);
+        k.syscall(&mut m, c.gadget_ia, &[layout::USER_SCRATCH, 24, 0]).unwrap();
+        assert!(!m.mem.tlbs.dtlb().contains(win_vpn), "wrong PAC leaves none");
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn reinitialize_after_reboot_restores_dispatch() {
+        let (mut m, mut k, c) = setup();
+        // Crash the kernel (naive overwrite), then re-initialise.
+        let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
+        payload[OBJ2_OFFSET as usize..].copy_from_slice(&(c.obj1).to_le_bytes());
+        m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload);
+        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64])
+            .unwrap();
+        assert!(k.syscall(&mut m, c.dispatch, &[0, 0]).is_err());
+        c.initialize_objects(&mut k, &mut m);
+        k.syscall(&mut m, c.dispatch, &[0, 0]).unwrap();
+        assert_eq!(c.flag_value(&m), NORMAL_MAGIC);
+    }
+}

@@ -1,0 +1,407 @@
+//! The Listing-1 kext: a vulnerable syscall containing PACMAN gadgets.
+//!
+//! Each handler reproduces the paper's Listing 1 faithfully:
+//!
+//! 1. construct a fresh `obj_t` — re-sign the protected function pointer
+//!    (`obj = new obj_t`, line 7), so training calls always see a valid
+//!    pointer regardless of earlier corruption;
+//! 2. `memcpy(obj.buf, str, len)` — the buffer overflow (line 9), which
+//!    for `len > 16` overwrites the protected pointer;
+//! 3. `if (cond) { auted = AUT(obj.fp); transmit(auted) }` — the PACMAN
+//!    gadget (lines 11–14), with a load transmit (data gadget, Figure
+//!    3(a)) or an indirect call transmit (instruction gadget, Figure 3(b)).
+
+use pacman_isa::ptr::{VirtualAddress, PAGE_SIZE};
+use pacman_isa::{Asm, Inst, PacKey, PacModifier, Reg};
+use pacman_uarch::{Machine, Perms};
+
+use crate::kernel::read_kernel_u64;
+use crate::layout;
+use crate::Kernel;
+
+/// Byte offset of the protected function pointer inside `obj_t`
+/// (`char buf[10]` rounded up to alignment, Listing 1).
+pub const FP_OFFSET: u64 = 16;
+
+/// Handles to the installed gadget kext.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct GadgetKext {
+    /// Syscall number of the data-gadget handler (Figure 3(a)).
+    pub data_gadget: u64,
+    /// Syscall number of the instruction-gadget handler (Figure 3(b)).
+    pub instr_gadget: u64,
+    /// Syscall number of the store-transmit variant (paper §4.1: "The
+    /// transmission operation can be either a load or store instruction,
+    /// as long as the processor issues store requests speculatively").
+    pub store_gadget: u64,
+    /// Kernel VA of the data gadget's `obj_t`.
+    pub obj_data: u64,
+    /// Kernel VA of the instruction gadget's `obj_t`.
+    pub obj_instr: u64,
+    /// Benign kernel data page the data gadget's original pointer targets.
+    pub benign_data: u64,
+    /// Benign kernel function the instruction gadget's original pointer
+    /// targets (and the BTB-trained target of its `blr`).
+    pub benign_fn: u64,
+}
+
+impl GadgetKext {
+    /// Loads the kext: allocates the victim objects and registers both
+    /// gadget syscalls.
+    ///
+    /// Syscall ABI (both handlers): `x0` = user source buffer, `x1` =
+    /// copy length, `x2` = cond. A training call is `(0, 0, 1)`; a
+    /// PAC-test call passes a 24-byte payload whose last 8 bytes are the
+    /// guess-signed pointer, with `cond = 0`.
+    pub fn install(kernel: &mut Kernel, machine: &mut Machine) -> Self {
+        let obj_data = kernel.alloc_data_page(machine);
+        let obj_instr = kernel.alloc_data_page(machine);
+        let benign_data = kernel.alloc_data_page(machine);
+
+        // Benign function: just returns from the syscall.
+        let benign_fn = kernel.alloc_code_page(machine);
+        let mut b = Asm::new();
+        b.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+        b.push(Inst::Eret);
+        crate::kernel::load_kernel_program(machine, benign_fn, &b.assemble().expect("benign fn"));
+
+        let data_gadget = kernel.register_syscall(
+            machine,
+            &Self::handler(obj_data, benign_data, Transmit::Load),
+        );
+        let instr_gadget = kernel.register_syscall(
+            machine,
+            &Self::handler(obj_instr, benign_fn, Transmit::Call),
+        );
+        // The store variant shares the data gadget's object: its benign
+        // path must *store* to a writable page, which benign_data is.
+        let store_gadget = kernel.register_syscall(
+            machine,
+            &Self::handler(obj_data, benign_data, Transmit::Store),
+        );
+
+        Self { data_gadget, instr_gadget, store_gadget, obj_data, obj_instr, benign_data, benign_fn }
+    }
+
+    fn handler(obj_va: u64, benign_target: u64, transmit: Transmit) -> Vec<Inst> {
+        let mut a = Asm::new();
+        let skip = a.new_label();
+        // obj = new obj_t: re-sign the protected pointer in place.
+        a.mov_imm64(Reg::X9, obj_va);
+        a.mov_imm64(Reg::X14, benign_target);
+        a.push(Inst::Pac { key: PacKey::Ia, rd: Reg::X14, modifier: PacModifier::Zero });
+        a.push(Inst::Str { rt: Reg::X14, rn: Reg::X9, offset: FP_OFFSET as i16 });
+        // memcpy(obj.buf, str, strlen(str)) — the overflow.
+        super::emit_memcpy_from_user(&mut a);
+        // if (cond) { ... }  — BR1 of the PACMAN gadget.
+        a.cbz(Reg::X2, skip);
+        a.push(Inst::Ldr { rt: Reg::X14, rn: Reg::X9, offset: FP_OFFSET as i16 });
+        a.push(Inst::Aut { key: PacKey::Ia, rd: Reg::X14, modifier: PacModifier::Zero });
+        match transmit {
+            Transmit::Load => {
+                a.push(Inst::Ldr { rt: Reg::X15, rn: Reg::X14, offset: 0 });
+            }
+            Transmit::Store => {
+                a.push(Inst::Str { rt: Reg::XZR, rn: Reg::X14, offset: 0 });
+            }
+            Transmit::Call => {
+                a.push(Inst::Blr { rn: Reg::X14 });
+            }
+        }
+        a.bind(skip);
+        a.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+        a.push(Inst::Eret);
+        a.assemble().expect("gadget handler assembles")
+    }
+
+    /// Maps a fresh kernel page whose dTLB set index is exactly
+    /// `dtlb_set`, for use as an attack target pointer. Returns its VA.
+    /// Executable and readable, so it works with both gadget variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dtlb_set >= 256`.
+    pub fn alloc_target_page(machine: &mut Machine, dtlb_set: usize) -> u64 {
+        assert!(dtlb_set < 256, "the dTLB has 256 sets");
+        // 2 GiB into the placed region, which is 256-set aligned.
+        let base = layout::PLACED_REGION_BASE + 0x8000_0000;
+        debug_assert_eq!(VirtualAddress::new(base).vpn() % 256, 0);
+        let va = base + (dtlb_set as u64) * PAGE_SIZE;
+        machine.map_page(va, Perms::kernel_rwx());
+        va
+    }
+
+    /// The dTLB-relevant virtual page numbers this kext's handlers touch
+    /// on every invocation (object pages) — attack code must keep its
+    /// monitored set clear of these.
+    pub fn hot_data_vpns(&self) -> Vec<u64> {
+        vec![
+            VirtualAddress::new(self.obj_data).vpn(),
+            VirtualAddress::new(self.obj_instr).vpn(),
+            VirtualAddress::new(layout::SYSCALL_TABLE).vpn(),
+            // The copy loop's boundary misprediction speculatively runs the
+            // gadget with the freshly signed *benign* pointer, so the
+            // benign pages' sets see a fill on most calls too.
+            VirtualAddress::new(self.benign_data).vpn(),
+            VirtualAddress::new(self.benign_fn).vpn(),
+        ]
+    }
+
+    /// Reads the current (possibly corrupted) signed pointer stored in the
+    /// data-gadget object — evaluation helper.
+    pub fn debug_read_fp_data(&self, machine: &Machine) -> u64 {
+        read_kernel_u64(machine, self.obj_data + FP_OFFSET)
+    }
+}
+
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+enum Transmit {
+    Load,
+    Store,
+    Call,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_isa::ptr::{pac_field, with_pac_field};
+    use pacman_uarch::MachineConfig;
+
+    fn setup() -> (Machine, Kernel, GadgetKext) {
+        let mut m = Machine::new(MachineConfig { os_noise: 0.0, ..MachineConfig::default() });
+        let mut k = Kernel::boot(&mut m, 99);
+        let g = GadgetKext::install(&mut k, &mut m);
+        (m, k, g)
+    }
+
+    fn write_user_payload(m: &mut Machine, signed_ptr: u64) -> u64 {
+        let buf = layout::USER_SCRATCH;
+        let mut payload = [0u8; 24];
+        payload[16..24].copy_from_slice(&signed_ptr.to_le_bytes());
+        assert!(m.mem.debug_write_bytes(buf, &payload));
+        buf
+    }
+
+    #[test]
+    fn training_calls_never_crash() {
+        let (mut m, mut k, g) = setup();
+        for _ in 0..64 {
+            k.syscall(&mut m, g.data_gadget, &[0, 0, 1]).unwrap();
+            k.syscall(&mut m, g.instr_gadget, &[0, 0, 1]).unwrap();
+        }
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn object_is_reconstructed_each_call() {
+        let (mut m, mut k, g) = setup();
+        // Corrupt the object with garbage...
+        let buf = write_user_payload(&mut m, 0xBAD0_BAD0_BAD0_BAD0);
+        k.syscall(&mut m, g.data_gadget, &[buf, 24, 0]).unwrap();
+        assert_eq!(g.debug_read_fp_data(&m), 0xBAD0_BAD0_BAD0_BAD0);
+        // ...then a training call re-signs a valid pointer and survives.
+        k.syscall(&mut m, g.data_gadget, &[0, 0, 1]).unwrap();
+        assert_eq!(k.crash_count(), 0);
+        let fp = g.debug_read_fp_data(&m);
+        assert_eq!(pacman_isa::ptr::canonicalize(fp), g.benign_data);
+    }
+
+    #[test]
+    fn architectural_use_of_wrong_pac_still_crashes() {
+        // Sanity: the gadget only avoids crashes because cond=0 keeps the
+        // AUT speculative. With cond=1 and a bad PAC it panics — the
+        // security-by-crash baseline.
+        let (mut m, mut k, g) = setup();
+        let target = GadgetKext::alloc_target_page(&mut m, 7);
+        let true_pac = k.debug_true_pac(&m, target);
+        let wrong = with_pac_field(target, true_pac ^ 1);
+        let buf = write_user_payload(&mut m, wrong);
+        let err = k.syscall(&mut m, g.data_gadget, &[buf, 24, 1]).unwrap_err();
+        assert!(matches!(err, crate::KernelError::Panic { .. }));
+        assert_eq!(k.crash_count(), 1);
+    }
+
+    #[test]
+    fn speculative_use_of_wrong_pac_never_crashes() {
+        let (mut m, mut k, g) = setup();
+        let target = GadgetKext::alloc_target_page(&mut m, 7);
+        // Train the gadget branch taken.
+        for _ in 0..64 {
+            k.syscall(&mut m, g.data_gadget, &[0, 0, 1]).unwrap();
+        }
+        // 100 wrong guesses with cond=0: zero crashes.
+        for guess in 0..100u16 {
+            let buf = write_user_payload(&mut m, with_pac_field(target, guess));
+            k.syscall(&mut m, g.data_gadget, &[buf, 24, 0]).unwrap();
+        }
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn correct_pac_leaves_a_dtlb_footprint_and_wrong_pac_does_not() {
+        // The microarchitectural heart of Figure 8(a), without the
+        // Prime+Probe machinery: after a speculative gadget run with the
+        // correct PAC the target page's translation is in the dTLB; with a
+        // wrong PAC it is not.
+        let (mut m, mut k, g) = setup();
+        let target = GadgetKext::alloc_target_page(&mut m, 7);
+        let target_vpn = VirtualAddress::new(target).vpn();
+        let true_pac = k.debug_true_pac(&m, target);
+        for _ in 0..64 {
+            k.syscall(&mut m, g.data_gadget, &[0, 0, 1]).unwrap();
+        }
+
+        // Wrong PAC.
+        m.mem.tlbs.flush();
+        let buf = write_user_payload(&mut m, with_pac_field(target, true_pac ^ 0x10));
+        // Re-train after flush? The bimodal predictor survives a flush
+        // (it is not a TLB), so the branch is still predicted taken.
+        k.syscall(&mut m, g.data_gadget, &[buf, 24, 0]).unwrap();
+        assert!(
+            !m.mem.tlbs.dtlb().contains(target_vpn),
+            "wrong PAC must not touch the target translation"
+        );
+
+        // Correct PAC.
+        m.mem.tlbs.flush();
+        let buf = write_user_payload(&mut m, with_pac_field(target, true_pac));
+        k.syscall(&mut m, g.data_gadget, &[buf, 24, 0]).unwrap();
+        assert!(
+            m.mem.tlbs.dtlb().contains(target_vpn),
+            "correct PAC must load the target page speculatively"
+        );
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn instruction_gadget_footprint_lands_in_the_kernel_itlb() {
+        // Figure 3(d): with the correct PAC the eager squash fetches the
+        // verified pointer — visible in the kernel iTLB (not the user's).
+        let (mut m, mut k, g) = setup();
+        let target = GadgetKext::alloc_target_page(&mut m, 9);
+        let target_vpn = VirtualAddress::new(target).vpn();
+        let true_pac = k.debug_true_pac(&m, target);
+        for _ in 0..64 {
+            k.syscall(&mut m, g.instr_gadget, &[0, 0, 1]).unwrap();
+        }
+
+        m.mem.tlbs.flush();
+        let buf = write_user_payload(&mut m, with_pac_field(target, true_pac));
+        k.syscall(&mut m, g.instr_gadget, &[buf, 24, 0]).unwrap();
+        assert!(
+            m.mem.tlbs.itlb(pacman_uarch::FetchWorld::Kernel).contains(target_vpn),
+            "correct PAC must fetch the verified pointer into the kernel iTLB"
+        );
+
+        m.mem.tlbs.flush();
+        let buf = write_user_payload(&mut m, with_pac_field(target, true_pac ^ 0x800));
+        k.syscall(&mut m, g.instr_gadget, &[buf, 24, 0]).unwrap();
+        assert!(
+            !m.mem.tlbs.itlb(pacman_uarch::FetchWorld::Kernel).contains(target_vpn),
+            "wrong PAC must not fetch the verified pointer"
+        );
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn store_transmit_gadget_leaks_like_the_load_variant() {
+        // §4.1: speculative stores translate (filling the TLB) without
+        // committing data, so a store works as the transmit too.
+        let (mut m, mut k, g) = setup();
+        let target = GadgetKext::alloc_target_page(&mut m, 17);
+        let target_vpn = VirtualAddress::new(target).vpn();
+        let true_pac = k.debug_true_pac(&m, target);
+        for _ in 0..64 {
+            k.syscall(&mut m, g.store_gadget, &[0, 0, 1]).unwrap();
+        }
+        m.mem.tlbs.flush();
+        let buf = write_user_payload(&mut m, with_pac_field(target, true_pac));
+        let before = m.mem.debug_read_u64(target).unwrap();
+        k.syscall(&mut m, g.store_gadget, &[buf, 24, 0]).unwrap();
+        assert!(m.mem.tlbs.dtlb().contains(target_vpn), "store transmit must fill the dTLB");
+        assert_eq!(
+            m.mem.debug_read_u64(target).unwrap(),
+            before,
+            "a speculative store must never commit data"
+        );
+        m.mem.tlbs.flush();
+        let buf = write_user_payload(&mut m, with_pac_field(target, true_pac ^ 2));
+        k.syscall(&mut m, g.store_gadget, &[buf, 24, 0]).unwrap();
+        assert!(!m.mem.tlbs.dtlb().contains(target_vpn));
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn instruction_gadget_trace_matches_figure_3d() {
+        // The recorded speculation events must follow the paper's
+        // Figure 3(d) timeline: shadow opens, AUT verifies, BR2 fetches
+        // its BTB-predicted target, eager squash redirects to the
+        // verified pointer, shadow closes.
+        use pacman_uarch::SpecEvent;
+        let (mut m, mut k, g) = setup();
+        let target = GadgetKext::alloc_target_page(&mut m, 21);
+        let true_pac = k.debug_true_pac(&m, target);
+        for _ in 0..64 {
+            k.syscall(&mut m, g.instr_gadget, &[0, 0, 1]).unwrap();
+        }
+        m.trace.enable();
+        let buf = write_user_payload(&mut m, with_pac_field(target, true_pac));
+        k.syscall(&mut m, g.instr_gadget, &[buf, 24, 0]).unwrap();
+        let events = m.trace.take();
+        m.trace.disable();
+
+        let aut_valid = events
+            .iter()
+            .position(|e| matches!(e, SpecEvent::AutExecuted { valid: true, .. }));
+        let btb = events
+            .iter()
+            .position(|e| matches!(e, SpecEvent::BtbPredictedFetch { .. }));
+        let squash = events.iter().position(
+            |e| matches!(e, SpecEvent::EagerSquashRedirect { actual, .. } if *actual == target),
+        );
+        let (aut_valid, btb, squash) = (
+            aut_valid.expect("AUT must verify"),
+            btb.expect("BR2 must fetch the BTB prediction"),
+            squash.expect("eager squash must redirect to the verified pointer"),
+        );
+        assert!(aut_valid < squash, "AUT resolves before the redirect");
+        assert!(btb < squash, "BTB fetch precedes the eager squash");
+
+        // And with a wrong PAC the squash path faults instead.
+        m.trace.enable();
+        let buf = write_user_payload(&mut m, with_pac_field(target, true_pac ^ 7));
+        k.syscall(&mut m, g.instr_gadget, &[buf, 24, 0]).unwrap();
+        let events = m.trace.take();
+        assert!(
+            events.iter().any(|e| matches!(e, SpecEvent::AutExecuted { valid: false, .. })),
+            "wrong PAC must fail verification"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, SpecEvent::FaultSuppressed { .. })),
+            "the corrupt pointer must fault speculatively"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, SpecEvent::EagerSquashRedirect { actual, .. } if *actual == target)),
+            "no redirect to the target without a valid PAC"
+        );
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn target_pages_land_in_the_requested_dtlb_set() {
+        let (mut m, _k, _g) = setup();
+        for set in [0usize, 7, 130, 255] {
+            let va = GadgetKext::alloc_target_page(&mut m, set);
+            assert_eq!(VirtualAddress::new(va).vpn() % 256, set as u64);
+        }
+    }
+
+    #[test]
+    fn pac_field_of_debug_sign_matches_true_pac() {
+        let (m, k, _g) = setup();
+        let target = 0xFFFF_FFF1_8000_4000u64;
+        assert_eq!(pac_field(k.debug_sign_ia_zero(&m, target)), k.debug_true_pac(&m, target));
+    }
+}

@@ -1,0 +1,159 @@
+//! Jump-pad syscalls for kernel-iTLB self-eviction (§8.1).
+//!
+//! The L1 iTLBs are private per privilege level, so a userspace attacker
+//! cannot observe a kernel instruction fetch directly. The paper's trick:
+//! make the *kernel* evict the target entry from its own iTLB by invoking
+//! a few syscalls whose handlers live at kernel VAs in the same iTLB set
+//! (stride 32 × 16 KB). The evicted entry migrates into the shared L1
+//! dTLB, where userspace Prime+Probe can see it.
+
+use pacman_isa::ptr::{VirtualAddress, PAGE_SIZE};
+use pacman_isa::{Asm, Inst, Reg};
+use pacman_uarch::{Machine, Perms};
+
+use crate::layout;
+use crate::Kernel;
+
+/// Number of iTLB sets (Figure 6: 4 ways × 32 sets).
+const ITLB_SETS: u64 = 32;
+/// Number of dTLB sets (Figure 6).
+const DTLB_SETS: u64 = 256;
+
+/// A group of jump-pad syscalls targeting one iTLB set.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct JumpPads {
+    /// Syscall numbers of the pads, in eviction order.
+    pub syscalls: Vec<u64>,
+    /// The kernel VAs the pad handlers live at.
+    pub pad_vas: Vec<u64>,
+    itlb_set: u64,
+}
+
+impl JumpPads {
+    /// Installs `count` pads whose handlers map to the same kernel iTLB
+    /// set as `target_va`, while avoiding the target's *dTLB* set (so the
+    /// pads' own migrated entries do not pollute the probed set).
+    pub fn install_for_target(
+        kernel: &mut Kernel,
+        machine: &mut Machine,
+        target_va: u64,
+        count: usize,
+    ) -> Self {
+        let target_vpn = VirtualAddress::new(target_va).vpn();
+        let itlb_set = target_vpn % ITLB_SETS;
+        let target_dtlb_set = target_vpn % DTLB_SETS;
+
+        // Pads live 4 GiB into the placed region (disjoint from target
+        // pages), which is 256-set aligned.
+        let base = layout::PLACED_REGION_BASE + 0x1_0000_0000;
+        debug_assert_eq!(VirtualAddress::new(base).vpn() % DTLB_SETS, 0);
+
+        let mut pad_vas = Vec::with_capacity(count);
+        let mut k = 1u64;
+        while pad_vas.len() < count {
+            let vpn_offset = itlb_set + ITLB_SETS * k;
+            // Skip strides whose dTLB set collides with the target's.
+            if vpn_offset % DTLB_SETS != target_dtlb_set {
+                pad_vas.push(base + vpn_offset * PAGE_SIZE);
+            }
+            k += 1;
+        }
+
+        let mut handler = Asm::new();
+        handler.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+        handler.push(Inst::Eret);
+        let program = handler.assemble().expect("pad handler assembles");
+
+        let mut syscalls = Vec::with_capacity(count);
+        for &va in &pad_vas {
+            machine.map_page(va, Perms::kernel_rx());
+            syscalls.push(kernel.register_syscall_at(machine, va, &program));
+        }
+        Self { syscalls, pad_vas, itlb_set }
+    }
+
+    /// The kernel iTLB set these pads occupy.
+    pub fn itlb_set(&self) -> u64 {
+        self.itlb_set
+    }
+
+    /// Triggers every pad once, in order — the §8.1 step (5) eviction.
+    pub fn evict(&self, kernel: &mut Kernel, machine: &mut Machine) {
+        for &sc in &self.syscalls {
+            kernel
+                .syscall(machine, sc, &[])
+                .expect("jump pads are trivial handlers and cannot panic");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_uarch::{FetchWorld, MachineConfig, TlbEntry};
+
+    fn setup() -> (Machine, Kernel) {
+        let mut m = Machine::new(MachineConfig { os_noise: 0.0, ..MachineConfig::default() });
+        let k = Kernel::boot(&mut m, 5);
+        (m, k)
+    }
+
+    #[test]
+    fn pads_share_the_targets_itlb_set_but_not_its_dtlb_set() {
+        let (mut m, mut k) = setup();
+        let target = 0xFFFF_FFF1_8000_0000u64 + 37 * PAGE_SIZE;
+        let pads = JumpPads::install_for_target(&mut k, &mut m, target, 4);
+        let tvpn = VirtualAddress::new(target).vpn();
+        assert_eq!(pads.pad_vas.len(), 4);
+        for &va in &pads.pad_vas {
+            let vpn = VirtualAddress::new(va).vpn();
+            assert_eq!(vpn % 32, tvpn % 32, "pad must share the iTLB set");
+            assert_ne!(vpn % 256, tvpn % 256, "pad must avoid the target's dTLB set");
+            assert_ne!(vpn, tvpn);
+        }
+    }
+
+    #[test]
+    fn eviction_migrates_a_planted_itlb_entry_into_the_dtlb() {
+        let (mut m, mut k) = setup();
+        let target = 0xFFFF_FFF1_8000_0000u64 + 11 * PAGE_SIZE;
+        m.map_page(target, Perms::kernel_rwx());
+        let pads = JumpPads::install_for_target(&mut k, &mut m, target, 4);
+        let tvpn = VirtualAddress::new(target).vpn();
+
+        // Plant the target's translation in the kernel iTLB only — what a
+        // successful instruction-gadget speculation leaves behind.
+        m.mem.tlbs.fill_fetch(
+            FetchWorld::Kernel,
+            TlbEntry { vpn: tvpn, pfn: 1, perms: Perms::kernel_rwx() },
+        );
+        assert!(m.mem.tlbs.itlb(FetchWorld::Kernel).contains(tvpn));
+        assert!(!m.mem.tlbs.dtlb().contains(tvpn));
+
+        pads.evict(&mut k, &mut m);
+
+        assert!(
+            !m.mem.tlbs.itlb(FetchWorld::Kernel).contains(tvpn),
+            "pads must evict the target from the kernel iTLB"
+        );
+        assert!(
+            m.mem.tlbs.dtlb().contains(tvpn),
+            "the victim entry must re-home into the shared dTLB"
+        );
+        assert_eq!(k.crash_count(), 0);
+    }
+
+    #[test]
+    fn pads_skip_dtlb_colliding_strides() {
+        let (mut m, mut k) = setup();
+        // A target whose (vpn >> 5) & 7 residue would make stride k=2
+        // collide: vpn % 256 = itlb_set + 64.
+        let base = 0xFFFF_FFF1_8000_0000u64;
+        let target = base + (64 + 5) * PAGE_SIZE; // vpn%32 = 5, vpn%256 = 69
+        let pads = JumpPads::install_for_target(&mut k, &mut m, target, 4);
+        let tdtlb = VirtualAddress::new(target).vpn() % 256;
+        for &va in &pads.pad_vas {
+            assert_ne!(VirtualAddress::new(va).vpn() % 256, tdtlb);
+        }
+    }
+}

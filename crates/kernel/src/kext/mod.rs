@@ -1,0 +1,84 @@
+//! Loadable kernel extensions reproducing the paper's PoC victims.
+//!
+//! - [`GadgetKext`] — Listing 1: a syscall with a buffer overflow into a
+//!   freshly constructed object holding a PA-protected function pointer,
+//!   followed by a PACMAN gadget (data and instruction variants).
+//! - [`JumpPads`] — the §8.1 helper syscalls whose handlers live at
+//!   computed kernel VAs, used to self-evict a target entry from the
+//!   kernel L1 iTLB into the shared dTLB.
+//! - [`CppKext`] — §8.3: two adjacent objects with signed vtable
+//!   pointers, a C++-style method-dispatch syscall (Listing 2), a `win()`
+//!   function, and key/salt-matched PACMAN gadgets for the Jump2Win
+//!   brute-force phase.
+//! - [`PmcKext`] — §6.1: flips the `PMCR0` bit that exposes the `PMC0`
+//!   cycle counter to userspace.
+
+pub mod cpp;
+pub mod gadget;
+pub mod jumppad;
+pub mod pmc;
+
+pub use cpp::CppKext;
+pub use gadget::GadgetKext;
+pub use jumppad::JumpPads;
+pub use pmc::PmcKext;
+
+use pacman_isa::{Asm, Inst, Reg};
+
+/// Emits the byte-wise `memcpy(dst_base, src = x0, len = x1)` loop used by
+/// the vulnerable handlers (the paper's Listing 1 line 9). `dst` must
+/// already be in `x9`. Clobbers `x10..=x13`.
+pub(crate) fn emit_memcpy_from_user(a: &mut Asm) {
+    let done = a.new_label();
+    let top = a.new_label();
+    a.push(Inst::MovZ { rd: Reg::X10, imm: 0, shift: 0 });
+    a.bind(top);
+    a.push(Inst::CmpReg { rn: Reg::X10, rm: Reg::X1 });
+    a.b_cond(pacman_isa::Cond::Ge, done);
+    a.push(Inst::AddReg { rd: Reg::X11, rn: Reg::X0, rm: Reg::X10 });
+    a.push(Inst::Ldrb { rt: Reg::X12, rn: Reg::X11, offset: 0 });
+    a.push(Inst::AddReg { rd: Reg::X13, rn: Reg::X9, rm: Reg::X10 });
+    a.push(Inst::Strb { rt: Reg::X12, rn: Reg::X13, offset: 0 });
+    a.push(Inst::AddImm { rd: Reg::X10, rn: Reg::X10, imm: 1 });
+    a.b(top);
+    a.bind(done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use pacman_uarch::{Machine, MachineConfig};
+
+    #[test]
+    fn memcpy_loop_copies_user_bytes_into_kernel_memory() {
+        let mut m = Machine::new(MachineConfig { os_noise: 0.0, ..MachineConfig::default() });
+        let mut k = Kernel::boot(&mut m, 1);
+        let dst = k.alloc_data_page(&mut m);
+
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X9, dst);
+        emit_memcpy_from_user(&mut a);
+        a.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+        a.push(Inst::Eret);
+        let sc = k.register_syscall(&mut m, &a.assemble().unwrap());
+
+        // User buffer with a recognisable pattern.
+        let ubuf = crate::layout::USER_SCRATCH;
+        for (i, b) in (0u8..24).enumerate() {
+            let pa = m
+                .mem
+                .tables
+                .translate(&m.mem.phys, pacman_isa::ptr::VirtualAddress::new(ubuf + i as u64))
+                .unwrap();
+            m.mem.phys.write_u8(pa, b.wrapping_mul(3));
+        }
+        k.syscall(&mut m, sc, &[ubuf, 24]).unwrap();
+        for i in 0..24u64 {
+            let got = m.mem.debug_read_u8(dst + i).unwrap();
+            assert_eq!(got, (i as u8).wrapping_mul(3), "byte {i} miscopied");
+        }
+        // Zero-length copy is a no-op.
+        k.syscall(&mut m, sc, &[ubuf, 0]).unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! The §6.1 kext exposing Apple performance counters to userspace.
+//!
+//! `PMC0` is kernel-only by default (Table 1). The paper's reverse
+//! engineering used a kext that writes the `PMCR0` control register to
+//! make it readable at EL0. The actual attacks do *not* rely on this —
+//! they use the multi-thread timer — but the Figure 5/7 experiments do.
+
+use pacman_isa::{Asm, Inst, Reg, SysReg};
+use pacman_uarch::Machine;
+
+use crate::Kernel;
+
+/// Handle to the installed PMC kext.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct PmcKext {
+    /// Syscall that sets the `PMCR0` EL0-enable bit (`x0` = 1 to enable,
+    /// 0 to disable).
+    pub set_el0_access: u64,
+}
+
+impl PmcKext {
+    /// Loads the kext.
+    pub fn install(kernel: &mut Kernel, machine: &mut Machine) -> Self {
+        let mut a = Asm::new();
+        a.push(Inst::Msr { sysreg: SysReg::Pmcr0, rn: Reg::X0 });
+        a.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+        a.push(Inst::Eret);
+        let set_el0_access = kernel.register_syscall(machine, &a.assemble().expect("pmc kext"));
+        Self { set_el0_access }
+    }
+
+    /// Enables EL0 reads of `PMC0` (what the paper's reverse-engineering
+    /// setup does).
+    pub fn enable(&self, kernel: &mut Kernel, machine: &mut Machine) {
+        kernel
+            .syscall(machine, self.set_el0_access, &[1])
+            .expect("PMCR0 write cannot fault");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_uarch::{MachineConfig, TimingSource};
+
+    #[test]
+    fn kext_unlocks_pmc0_for_userspace() {
+        let mut m = Machine::new(MachineConfig { os_noise: 0.0, ..MachineConfig::default() });
+        let mut k = Kernel::boot(&mut m, 3);
+        let pmc = PmcKext::install(&mut k, &mut m);
+
+        m.set_timing_source(TimingSource::Pmc0);
+        assert!(m.read_timer().is_none(), "PMC0 must start EL0-inaccessible");
+        pmc.enable(&mut k, &mut m);
+        assert!(m.read_timer().is_some(), "kext must unlock PMC0 at EL0");
+    }
+}

@@ -1,0 +1,73 @@
+//! Kernel address-space layout.
+//!
+//! All kernel virtual addresses live in the TTBR1 half (bit 47 set, so
+//! canonical kernel pointers read `0xFFFF_...`). The regions below are
+//! chosen so that their dTLB set indices stay out of the way of attack
+//! experiments unless an experiment deliberately collides with them.
+
+use pacman_isa::ptr::PAGE_SIZE;
+
+/// Entry point of the syscall dispatcher (the exception vector).
+pub const SYSCALL_VECTOR: u64 = 0xFFFF_FFF0_0000_0000;
+
+/// Base of the syscall handler table (one 8-byte entry per syscall).
+pub const SYSCALL_TABLE: u64 = 0xFFFF_FFF0_0001_0000;
+
+/// Base of the bump-allocated kext code region.
+pub const KEXT_TEXT_BASE: u64 = 0xFFFF_FFF0_0100_0000;
+
+/// Base of the bump-allocated kernel data region.
+pub const KERNEL_DATA_BASE: u64 = 0xFFFF_FFF0_2000_0000;
+
+/// Region reserved for pages placed at *computed* virtual addresses
+/// (jump pads, attack targets). 1 GiB wide.
+pub const PLACED_REGION_BASE: u64 = 0xFFFF_FFF1_0000_0000;
+
+/// Userspace address of the syscall stub (`svc; hlt`) every simulated
+/// process uses to enter the kernel.
+pub const USER_SYSCALL_STUB: u64 = 0x0000_0000_003F_C000;
+
+/// Userspace scratch page used by the stub-driven syscall path.
+pub const USER_SCRATCH: u64 = 0x0000_0000_003E_0000;
+
+/// Number of bytes reserved for the syscall table (bounds the number of
+/// registrable syscalls).
+pub const SYSCALL_TABLE_BYTES: u64 = PAGE_SIZE;
+
+/// Maximum number of syscalls.
+pub const MAX_SYSCALLS: u64 = SYSCALL_TABLE_BYTES / 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_isa::ptr::{is_canonical, PointerKind, VirtualAddress};
+
+    #[test]
+    fn kernel_addresses_are_canonical_kernel_pointers() {
+        for va in [SYSCALL_VECTOR, SYSCALL_TABLE, KEXT_TEXT_BASE, KERNEL_DATA_BASE, PLACED_REGION_BASE] {
+            assert!(is_canonical(va), "{va:#x} not canonical");
+            assert_eq!(VirtualAddress::new(va).kind(), PointerKind::Kernel);
+        }
+    }
+
+    #[test]
+    fn user_addresses_are_canonical_user_pointers() {
+        for va in [USER_SYSCALL_STUB, USER_SCRATCH] {
+            assert!(is_canonical(va));
+            assert_eq!(VirtualAddress::new(va).kind(), PointerKind::User);
+        }
+    }
+
+    #[test]
+    fn regions_are_page_aligned_and_disjoint() {
+        let regions = [SYSCALL_VECTOR, SYSCALL_TABLE, KEXT_TEXT_BASE, KERNEL_DATA_BASE, PLACED_REGION_BASE];
+        for r in regions {
+            assert_eq!(r % PAGE_SIZE, 0, "{r:#x} not page-aligned");
+        }
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! An XNU-like kernel model for the PACMAN reproduction.
+//!
+//! The paper's victim is the macOS kernel: PA-protected, reachable through
+//! syscalls, extensible through kexts, and fatally allergic to PAC
+//! failures (a failed `AUT` whose result is dereferenced architecturally
+//! panics the machine, renewing the per-boot PA keys — the
+//! security-by-crash property the PACMAN attack defeats).
+//!
+//! This crate provides:
+//!
+//! - [`Kernel`] — boots on a [`pacman_uarch::Machine`]: installs per-boot
+//!   random PA keys, maps the syscall vector and a userspace syscall stub,
+//!   dispatches syscalls by running real EL1 code on the simulated core,
+//!   and converts EL1 traps into panics + reboots (with key renewal and
+//!   crash accounting).
+//! - [`kext`] — loadable kernel extensions mirroring the paper's PoC
+//!   setup: the §8.1 PACMAN-gadget kext (data and instruction variants,
+//!   Listing 1), the iTLB jump-pad kext, the §8.3 C++-style
+//!   signed-vtable kext with a `win()` function, and the §6.1 kext that
+//!   exposes `PMC0` to userspace.
+//!
+//! # Example
+//!
+//! ```
+//! use pacman_kernel::{Kernel, kext::GadgetKext};
+//! use pacman_uarch::{Machine, MachineConfig};
+//!
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let mut kernel = Kernel::boot(&mut machine, 7);
+//! let kext = GadgetKext::install(&mut kernel, &mut machine);
+//! // Training call: branch taken, kext-internal valid pointer — no crash.
+//! kernel
+//!     .syscall(&mut machine, kext.data_gadget, &[0, 0, 1])
+//!     .expect("training call must not panic the kernel");
+//! assert_eq!(kernel.crash_count(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kext;
+mod kernel;
+pub mod layout;
+
+pub use kernel::{Kernel, KernelError};

@@ -1,0 +1,17 @@
+//! Built-in PacmanOS experiments.
+//!
+//! - [`MsrInventory`] — which system registers are accessible, and what
+//!   they read (the paper's "probing model-specific registers");
+//! - [`TimerResolution`] — effective resolution of every timing source
+//!   (the §6.1 investigation that motivated the custom timers);
+//! - [`TlbParameterSearch`] — an *automated* rediscovery of the Figure 6
+//!   TLB organisation: it is told nothing about strides or ways and
+//!   searches the space the way the paper's manual sweeps did.
+
+mod msr;
+mod timer_res;
+mod tlb_search;
+
+pub use msr::MsrInventory;
+pub use timer_res::TimerResolution;
+pub use tlb_search::{TlbParameterSearch, TlbSearchResult};

@@ -1,0 +1,166 @@
+//! Cell-level state manipulation for QARMA-64.
+//!
+//! The 64-bit state is viewed as sixteen 4-bit cells. Cell 0 is the most
+//! significant nibble, cell 15 the least significant, matching the QARMA
+//! paper's internal-state convention. Cells are arranged row-major into a
+//! 4x4 matrix for the MixColumns step: cell index `4 * row + col`.
+
+/// Sixteen 4-bit cells unpacked from a 64-bit state word.
+pub(crate) type Cells = [u8; 16];
+
+/// Unpacks a 64-bit state into cells (cell 0 = most significant nibble).
+pub(crate) fn unpack(x: u64) -> Cells {
+    let mut cells = [0u8; 16];
+    for (i, cell) in cells.iter_mut().enumerate() {
+        *cell = ((x >> (60 - 4 * i)) & 0xF) as u8;
+    }
+    cells
+}
+
+/// Packs sixteen 4-bit cells back into a 64-bit state word.
+///
+/// Cells must each fit in 4 bits; upper bits are masked defensively.
+pub(crate) fn pack(cells: &Cells) -> u64 {
+    let mut x = 0u64;
+    for (i, &cell) in cells.iter().enumerate() {
+        x |= u64::from(cell & 0xF) << (60 - 4 * i);
+    }
+    x
+}
+
+/// The MIDORI cell shuffle tau used by QARMA's ShuffleCells step.
+///
+/// `new[i] = old[TAU[i]]`.
+pub(crate) const TAU: [usize; 16] = [0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2];
+
+/// Inverse of [`TAU`], computed once for clarity in tests and decryption.
+pub(crate) const TAU_INV: [usize; 16] = [0, 5, 15, 10, 13, 8, 2, 7, 11, 14, 4, 1, 6, 3, 9, 12];
+
+/// Applies a cell permutation `perm` to the state: `new[i] = old[perm[i]]`.
+pub(crate) fn permute(cells: &Cells, perm: &[usize; 16]) -> Cells {
+    let mut out = [0u8; 16];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = cells[perm[i]];
+    }
+    out
+}
+
+/// Left-rotates a 4-bit cell by `r` bits.
+pub(crate) fn rot4(cell: u8, r: u32) -> u8 {
+    let c = u32::from(cell & 0xF);
+    (((c << r) | (c >> (4 - r))) & 0xF) as u8
+}
+
+/// Exponent row of the involutory QARMA-64 MixColumns matrix
+/// `M = circ(0, rho^1, rho^2, rho^1)`.
+///
+/// Entry 0 denotes the zero element of the ring (no contribution), not the
+/// identity rotation; entries 1 and 2 are rotations by that many bits.
+const MIX_EXP: [u32; 4] = [0, 1, 2, 1];
+
+/// MixColumns with the involutory matrix `M = circ(0, rho, rho^2, rho)`.
+///
+/// Operates column-wise on the row-major 4x4 cell matrix. Because the first
+/// circulant entry is the ring's zero, each output cell is the XOR of the
+/// *other three* cells of its column, each rotated.
+pub(crate) fn mix_columns(cells: &Cells) -> Cells {
+    let mut out = [0u8; 16];
+    for col in 0..4 {
+        for row in 0..4 {
+            let mut acc = 0u8;
+            for (j, &exp) in MIX_EXP.iter().enumerate() {
+                if j == 0 {
+                    continue; // zero coefficient on the diagonal
+                }
+                let src = cells[4 * ((row + j) % 4) + col];
+                acc ^= rot4(src, exp);
+            }
+            out[4 * row + col] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for &x in &[0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 0xDEAD_BEEF_CAFE_F00D] {
+            assert_eq!(pack(&unpack(x)), x);
+        }
+    }
+
+    #[test]
+    fn cell_zero_is_most_significant_nibble() {
+        let cells = unpack(0xF000_0000_0000_0001);
+        assert_eq!(cells[0], 0xF);
+        assert_eq!(cells[15], 0x1);
+    }
+
+    #[test]
+    fn tau_inv_inverts_tau() {
+        for i in 0..16 {
+            assert_eq!(TAU_INV[TAU[i]], i, "TAU_INV is not the inverse at {i}");
+        }
+        let state = unpack(0x0123_4567_89AB_CDEF);
+        let shuffled = permute(&state, &TAU);
+        assert_eq!(permute(&shuffled, &TAU_INV), state);
+    }
+
+    #[test]
+    fn tau_is_a_permutation() {
+        let mut seen = [false; 16];
+        for &t in &TAU {
+            assert!(!seen[t], "duplicate index {t} in TAU");
+            seen[t] = true;
+        }
+    }
+
+    #[test]
+    fn rot4_behaves_as_4bit_rotation() {
+        assert_eq!(rot4(0b0001, 1), 0b0010);
+        assert_eq!(rot4(0b1000, 1), 0b0001);
+        assert_eq!(rot4(0b1001, 2), 0b0110);
+        for c in 0..16u8 {
+            assert_eq!(rot4(rot4(c, 1), 3), c);
+        }
+    }
+
+    #[test]
+    fn mix_columns_is_involutory() {
+        // M is self-inverse; this is what lets QARMA share circuitry between
+        // encryption and decryption, and what `cipher.rs` relies on.
+        for &x in &[
+            0u64,
+            0x0123_4567_89AB_CDEF,
+            0xFFFF_0000_FFFF_0000,
+            0x1111_2222_3333_4444,
+            u64::MAX,
+        ] {
+            let cells = unpack(x);
+            let twice = mix_columns(&mix_columns(&cells));
+            assert_eq!(twice, cells, "M^2 != I for state {x:#x}");
+        }
+    }
+
+    #[test]
+    fn mix_columns_diffuses_within_column() {
+        // A single-cell difference must spread to the other three cells of
+        // its column and nowhere else.
+        let zero = [0u8; 16];
+        let mut one = zero;
+        one[0] = 0x1; // row 0, col 0
+        let mixed = mix_columns(&one);
+        assert_eq!(mixed[0], 0, "diagonal coefficient must be zero");
+        assert_ne!(mixed[4], 0);
+        assert_ne!(mixed[8], 0);
+        assert_ne!(mixed[12], 0);
+        for col in 1..4 {
+            for row in 0..4 {
+                assert_eq!(mixed[4 * row + col], 0, "difference leaked across columns");
+            }
+        }
+    }
+}

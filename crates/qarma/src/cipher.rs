@@ -1,0 +1,338 @@
+//! The QARMA-64 cipher core: whitening, forward rounds, central
+//! pseudo-reflector, and backward rounds.
+
+use crate::cells::{mix_columns, pack, permute, unpack, TAU, TAU_INV};
+use crate::sbox::{sub_cells, Sigma};
+use crate::tweak;
+
+/// Round constants, taken from the digits of pi as in the PRINCE/QARMA
+/// lineage. `C[0]` is zero so the first round is the "short" round.
+const C: [u64; 8] = [
+    0x0000000000000000,
+    0x13198A2E03707344,
+    0xA4093822299F31D0,
+    0x082EFA98EC4E6C89,
+    0x452821E638D01377,
+    0xBE5466CF34E90C6C,
+    0x3F84D5B5B5470917,
+    0x9216D5D98979FB1B,
+];
+
+/// The reflection constant alpha that breaks the alpha-reflection symmetry
+/// between the forward and backward halves.
+const ALPHA: u64 = 0xC0AC29B7C97C50DD;
+
+/// Number of forward rounds (the cipher runs `2r + 2` S-box layers total).
+///
+/// The QARMA paper proposes r in {5, 6, 7} for QARMA-64; ARM PAC
+/// implementations use a short-round variant. We default to 7 (full
+/// security margin) and keep 5 available for throughput experiments.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum Rounds {
+    /// 5 forward rounds (the lightweight proposal).
+    R5,
+    /// 7 forward rounds (the conservative proposal; default).
+    #[default]
+    R7,
+}
+
+impl Rounds {
+    fn count(self) -> usize {
+        match self {
+            Rounds::R5 => 5,
+            Rounds::R7 => 7,
+        }
+    }
+}
+
+/// A 128-bit QARMA key split into the whitening key `w0` and core key `k0`.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct QarmaKey {
+    w0: u64,
+    k0: u64,
+}
+
+impl QarmaKey {
+    /// Creates a key from its whitening half `w0` and core half `k0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pacman_qarma::QarmaKey;
+    /// let key = QarmaKey::new(0x1111, 0x2222);
+    /// assert_eq!(key.w0(), 0x1111);
+    /// assert_eq!(key.k0(), 0x2222);
+    /// ```
+    pub fn new(w0: u64, k0: u64) -> Self {
+        Self { w0, k0 }
+    }
+
+    /// Creates a key from a single 128-bit value (high half = `w0`).
+    pub fn from_u128(key: u128) -> Self {
+        Self { w0: (key >> 64) as u64, k0: key as u64 }
+    }
+
+    /// The whitening key half.
+    pub fn w0(&self) -> u64 {
+        self.w0
+    }
+
+    /// The core key half.
+    pub fn k0(&self) -> u64 {
+        self.k0
+    }
+
+    /// Packs the key back into a 128-bit value (high half = `w0`).
+    pub fn to_u128(self) -> u128 {
+        (u128::from(self.w0) << 64) | u128::from(self.k0)
+    }
+
+    /// The derived second whitening key `w1 = o(w0)`, where `o` is the
+    /// orthomorphism `o(x) = (x >>> 1) XOR (x >> 63)`.
+    fn w1(&self) -> u64 {
+        self.w0.rotate_right(1) ^ (self.w0 >> 63)
+    }
+
+    /// The derived reflector key `k1 = M * k0`.
+    fn k1(&self) -> u64 {
+        pack(&mix_columns(&unpack(self.k0)))
+    }
+}
+
+/// A QARMA-64 tweakable block cipher instance.
+///
+/// Encrypts 64-bit blocks under a 64-bit tweak. See the crate docs for the
+/// fidelity statement; see [`crate::PacComputer`] for the PAC-specific
+/// truncation wrapper.
+///
+/// # Example
+///
+/// ```
+/// use pacman_qarma::{Qarma64, QarmaKey, Rounds, Sigma};
+///
+/// let cipher = Qarma64::with_params(QarmaKey::new(1, 2), Rounds::R5, Sigma::Sigma0);
+/// let ct = cipher.encrypt(42, 7);
+/// assert_eq!(cipher.decrypt(ct, 7), 42);
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct Qarma64 {
+    key: QarmaKey,
+    rounds: Rounds,
+    sbox: [u8; 16],
+    sbox_inv: [u8; 16],
+}
+
+impl Qarma64 {
+    /// Creates a cipher with the default parameters (r = 7, sigma1).
+    pub fn new(key: QarmaKey) -> Self {
+        Self::with_params(key, Rounds::default(), Sigma::default())
+    }
+
+    /// Creates a cipher with explicit round count and S-box choice.
+    pub fn with_params(key: QarmaKey, rounds: Rounds, sigma: Sigma) -> Self {
+        Self { key, rounds, sbox: *sigma.table(), sbox_inv: sigma.inverse_table() }
+    }
+
+    /// The key this instance was constructed with.
+    pub fn key(&self) -> QarmaKey {
+        self.key
+    }
+
+    /// One forward round: add round tweakey, then (except in the short
+    /// round) ShuffleCells and MixColumns, then SubCells.
+    fn forward_round(&self, state: u64, tweakey: u64, short: bool) -> u64 {
+        let mut cells = unpack(state ^ tweakey);
+        if !short {
+            cells = mix_columns(&permute(&cells, &TAU));
+        }
+        cells = sub_cells(&cells, &self.sbox);
+        pack(&cells)
+    }
+
+    /// Exact inverse of [`Self::forward_round`].
+    fn backward_round(&self, state: u64, tweakey: u64, short: bool) -> u64 {
+        let mut cells = sub_cells(&unpack(state), &self.sbox_inv);
+        if !short {
+            cells = permute(&mix_columns(&cells), &TAU_INV);
+        }
+        pack(&cells) ^ tweakey
+    }
+
+    /// The central pseudo-reflector: shuffle, multiply by the involutory
+    /// matrix, add the reflector key, unshuffle.
+    fn pseudo_reflect(&self, state: u64, k1: u64) -> u64 {
+        let cells = permute(&unpack(state), &TAU);
+        let mixed = mix_columns(&cells);
+        let keyed = unpack(pack(&mixed) ^ k1);
+        pack(&permute(&keyed, &TAU_INV))
+    }
+
+    /// Exact inverse of [`Self::pseudo_reflect`]. Although the MixColumns
+    /// matrix is involutory, the reflector as a whole is not (the key is
+    /// added *after* the matrix), so decryption needs the explicit inverse:
+    /// unshuffle happens by first re-shuffling, removing the key, then
+    /// applying `M` again.
+    fn pseudo_reflect_inv(&self, state: u64, k1: u64) -> u64 {
+        let cells = unpack(pack(&permute(&unpack(state), &TAU)) ^ k1);
+        let unmixed = mix_columns(&cells);
+        pack(&permute(&unmixed, &TAU_INV))
+    }
+
+    /// Encrypts one 64-bit block under the given tweak.
+    #[allow(clippy::needless_range_loop)] // indexing C alongside the tweak mutation reads clearer
+    pub fn encrypt(&self, plaintext: u64, tweak: u64) -> u64 {
+        let r = self.rounds.count();
+        let (w0, k0) = (self.key.w0, self.key.k0);
+        let (w1, k1) = (self.key.w1(), self.key.k1());
+
+        let mut s = plaintext ^ w0;
+        let mut t = tweak;
+        for i in 0..r {
+            s = self.forward_round(s, k0 ^ t ^ C[i], i == 0);
+            t = tweak::update(t);
+        }
+        // Whitening round into the reflector.
+        s = self.forward_round(s, w1 ^ t, false);
+        s = self.pseudo_reflect(s, k1);
+        s = self.backward_round(s, w0 ^ t, false);
+        for i in (0..r).rev() {
+            t = tweak::downdate(t);
+            s = self.backward_round(s, k0 ^ ALPHA ^ t ^ C[i], i == 0);
+        }
+        s ^ w1
+    }
+
+    /// Decrypts one 64-bit block under the given tweak.
+    ///
+    /// Exact inverse of [`Self::encrypt`] for the same key and tweak.
+    #[allow(clippy::needless_range_loop)]
+    pub fn decrypt(&self, ciphertext: u64, tweak: u64) -> u64 {
+        let r = self.rounds.count();
+        let (w0, k0) = (self.key.w0, self.key.k0);
+        let (w1, k1) = (self.key.w1(), self.key.k1());
+
+        let mut s = ciphertext ^ w1;
+        let mut t = tweak;
+        // Replay the backward half forwards (inverting it), tracking the
+        // tweak through the same schedule positions encryption used.
+        for i in 0..r {
+            s = self.forward_round(s, k0 ^ ALPHA ^ t ^ C[i], i == 0);
+            t = tweak::update(t);
+        }
+        s = self.forward_round(s, w0 ^ t, false);
+        s = self.pseudo_reflect_inv(s, k1);
+        s = self.backward_round(s, w1 ^ t, false);
+        for i in (0..r).rev() {
+            t = tweak::downdate(t);
+            s = self.backward_round(s, k0 ^ t ^ C[i], i == 0);
+        }
+        s ^ w0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher() -> Qarma64 {
+        Qarma64::new(QarmaKey::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9))
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_on_fixed_cases() {
+        let c = cipher();
+        for (pt, tw) in [
+            (0u64, 0u64),
+            (u64::MAX, u64::MAX),
+            (0xfb623599da6e8127, 0x477d469dec0b8762),
+            (0x0123456789abcdef, 0xfedcba9876543210),
+        ] {
+            assert_eq!(c.decrypt(c.encrypt(pt, tw), tw), pt);
+        }
+    }
+
+    #[test]
+    fn r5_variant_also_roundtrips() {
+        let c = Qarma64::with_params(QarmaKey::new(3, 9), Rounds::R5, Sigma::Sigma2);
+        let ct = c.encrypt(0x1122334455667788, 0x99aabbccddeeff00);
+        assert_eq!(c.decrypt(ct, 0x99aabbccddeeff00), 0x1122334455667788);
+    }
+
+    #[test]
+    fn frozen_regression_vectors() {
+        // Golden outputs frozen from this implementation. If these change,
+        // every PAC ever minted by the kernel model changes too, which would
+        // silently invalidate recorded experiment transcripts.
+        let c = cipher();
+        let v1 = c.encrypt(0xfb623599da6e8127, 0x477d469dec0b8762);
+        let v2 = c.encrypt(0x0000000000000000, 0x0000000000000000);
+        let v3 = c.encrypt(0xffffffffffffffff, 0x0000000000000001);
+        // The actual constants are asserted in `tests/regression.rs` after
+        // first generation; here we only pin mutual distinctness and
+        // determinism.
+        assert_eq!(v1, c.encrypt(0xfb623599da6e8127, 0x477d469dec0b8762));
+        assert_ne!(v1, v2);
+        assert_ne!(v2, v3);
+        assert_ne!(v1, v3);
+    }
+
+    #[test]
+    fn tweak_matters() {
+        let c = cipher();
+        let pt = 0xdead_beef_cafe_f00d;
+        assert_ne!(c.encrypt(pt, 1), c.encrypt(pt, 2));
+    }
+
+    #[test]
+    fn key_matters() {
+        let c1 = Qarma64::new(QarmaKey::new(1, 2));
+        let c2 = Qarma64::new(QarmaKey::new(1, 3));
+        let c3 = Qarma64::new(QarmaKey::new(2, 2));
+        let pt = 0x0102_0304_0506_0708;
+        assert_ne!(c1.encrypt(pt, 0), c2.encrypt(pt, 0));
+        assert_ne!(c1.encrypt(pt, 0), c3.encrypt(pt, 0));
+    }
+
+    #[test]
+    fn plaintext_avalanche() {
+        // Flipping one plaintext bit should flip roughly half the
+        // ciphertext bits (we accept a generous 16..48 window).
+        let c = cipher();
+        let tw = 0x1111_2222_3333_4444;
+        let base = c.encrypt(0x5555_5555_5555_5555, tw);
+        let mut min_flips = 64;
+        for bit in 0..64 {
+            let flipped = c.encrypt(0x5555_5555_5555_5555 ^ (1u64 << bit), tw);
+            let flips = (base ^ flipped).count_ones();
+            min_flips = min_flips.min(flips);
+        }
+        assert!(min_flips >= 16, "weak diffusion: only {min_flips} output bits flipped");
+    }
+
+    #[test]
+    fn tweak_avalanche() {
+        let c = cipher();
+        let pt = 0x5555_5555_5555_5555;
+        let base = c.encrypt(pt, 0);
+        for bit in 0..64 {
+            let flips = (base ^ c.encrypt(pt, 1u64 << bit)).count_ones();
+            assert!(flips >= 16, "tweak bit {bit} flipped only {flips} output bits");
+        }
+    }
+
+    #[test]
+    fn key_halves_roundtrip_through_u128() {
+        let k = QarmaKey::new(0xAAAA_BBBB_CCCC_DDDD, 0x1111_2222_3333_4444);
+        assert_eq!(QarmaKey::from_u128(k.to_u128()), k);
+    }
+
+    #[test]
+    fn encryption_is_a_bijection_over_a_sample() {
+        use std::collections::HashSet;
+        let c = cipher();
+        let mut seen = HashSet::new();
+        for i in 0..4096u64 {
+            assert!(seen.insert(c.encrypt(i, 7)), "collision at input {i}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! PAC computation: truncating QARMA ciphertext into a pointer's spare bits.
+//!
+//! ARMv8.3 computes `PAC = trunc(QARMA_K(pointer, modifier))` where the
+//! modifier (salt) is, e.g., the stack pointer for return addresses or the
+//! object address for vtable entries. The PACMAN paper's platform (macOS
+//! 12.2.1 on M1) uses 48-bit virtual addresses with 16 KB pages, leaving a
+//! 16-bit PAC field (paper §7.1).
+
+use crate::cipher::{Qarma64, QarmaKey};
+
+/// Returns the number of PAC bits available for a given virtual-address
+/// width, matching the ARMv8.3 layout where the PAC occupies bits
+/// `[va_bits, 63]` of the pointer (sign/select bit folded in).
+///
+/// # Example
+///
+/// ```
+/// // macOS 12.2.1 on M1: 48-bit VAs => 16-bit PACs (paper §7.1).
+/// assert_eq!(pacman_qarma::pac_field_bits(48), 16);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `va_bits` is not in `33..=63`.
+pub fn pac_field_bits(va_bits: u32) -> u32 {
+    assert!((33..=63).contains(&va_bits), "va_bits must be in 33..=63");
+    64 - va_bits
+}
+
+/// Computes PACs for pointers under one 128-bit key.
+///
+/// This is the hardware PAC unit's datapath: one QARMA-64 instance plus the
+/// truncation rule. The microarchitecture model calls [`PacComputer::pac`]
+/// from its `PACxx` instructions and compares against the embedded field in
+/// `AUTxx`.
+///
+/// # Example
+///
+/// ```
+/// use pacman_qarma::{PacComputer, QarmaKey};
+///
+/// let pacs = PacComputer::new(QarmaKey::new(0xabc, 0xdef), 48);
+/// let pac = pacs.pac(0x0000_7fff_dead_0000, 0x1234);
+/// assert!(pac < (1 << 16));
+/// // Deterministic: same pointer + same modifier => same PAC.
+/// assert_eq!(pac, pacs.pac(0x0000_7fff_dead_0000, 0x1234));
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct PacComputer {
+    cipher: Qarma64,
+    va_bits: u32,
+}
+
+impl PacComputer {
+    /// Creates a PAC unit for `va_bits`-wide virtual addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va_bits` is not in `33..=63`.
+    pub fn new(key: QarmaKey, va_bits: u32) -> Self {
+        let _ = pac_field_bits(va_bits); // validate
+        Self { cipher: Qarma64::new(key), va_bits }
+    }
+
+    /// The virtual-address width this unit was configured for.
+    pub fn va_bits(&self) -> u32 {
+        self.va_bits
+    }
+
+    /// Number of bits in the PAC field.
+    pub fn pac_bits(&self) -> u32 {
+        pac_field_bits(self.va_bits)
+    }
+
+    /// Bit mask covering the PAC field within a 64-bit pointer.
+    pub fn pac_mask(&self) -> u64 {
+        (u64::MAX >> self.va_bits) << self.va_bits
+    }
+
+    /// Computes the PAC for a pointer and modifier.
+    ///
+    /// Only the low `va_bits` of the pointer participate (the PAC field is
+    /// masked out before encryption, since it is where the PAC will be
+    /// stored), mirroring the hardware behaviour of signing the canonical
+    /// address.
+    pub fn pac(&self, pointer: u64, modifier: u64) -> u64 {
+        let canonical = pointer & !self.pac_mask();
+        let ct = self.cipher.encrypt(canonical, modifier);
+        // Fold the full ciphertext into the field width so every ciphertext
+        // bit influences the PAC (hardware truncates; folding keeps the
+        // 16-bit PAC sensitive to all 64 output bits, strictly stronger).
+        let bits = self.pac_bits();
+        let mut folded = ct;
+        let mut width = 64;
+        while width > bits {
+            width /= 2;
+            folded = (folded ^ (folded >> width)) & ((1u64 << width) - 1);
+        }
+        folded & ((1u64 << bits) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> PacComputer {
+        PacComputer::new(QarmaKey::new(0x1020_3040_5060_7080, 0x0a0b_0c0d_0e0f_1011), 48)
+    }
+
+    #[test]
+    fn pac_fits_in_field() {
+        let u = unit();
+        for p in [0u64, 0xFFFF_FFFF_FFFF, 0x7000_0000_0000, 0x1234_5678_9ABC] {
+            assert!(u.pac(p, 0) < (1 << 16));
+        }
+    }
+
+    #[test]
+    fn pac_mask_covers_upper_16_bits_for_48bit_va() {
+        assert_eq!(unit().pac_mask(), 0xFFFF_0000_0000_0000);
+    }
+
+    #[test]
+    fn pac_ignores_existing_pac_field_bits() {
+        // Signing an already-signed (or corrupted) pointer must depend only
+        // on the canonical address bits.
+        let u = unit();
+        let p = 0x0000_7fff_0000_1234;
+        assert_eq!(u.pac(p, 9), u.pac(p | 0xABCD_0000_0000_0000, 9));
+    }
+
+    #[test]
+    fn modifier_changes_pac_with_high_probability() {
+        let u = unit();
+        let p = 0x0000_7fff_0000_1234;
+        let mut distinct = 0;
+        for m in 0..64u64 {
+            if u.pac(p, m) != u.pac(p, m + 1) {
+                distinct += 1;
+            }
+        }
+        // With a 16-bit PAC, accidental collisions happen with probability
+        // 2^-16 per pair; 64 consecutive collisions would be a bug.
+        assert!(distinct >= 60, "modifier barely affects PAC ({distinct}/64 changed)");
+    }
+
+    #[test]
+    fn pointer_low_bits_change_pac() {
+        let u = unit();
+        let mut distinct = 0;
+        for bit in 0..48 {
+            if u.pac(1u64 << bit, 0) != u.pac(0, 0) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 44, "pointer bits barely affect PAC ({distinct}/48)");
+    }
+
+    #[test]
+    fn different_keys_give_different_pacs() {
+        let a = PacComputer::new(QarmaKey::new(1, 2), 48);
+        let b = PacComputer::new(QarmaKey::new(1, 3), 48);
+        let mut same = 0;
+        for p in 0..256u64 {
+            if a.pac(p << 14, 0) == b.pac(p << 14, 0) {
+                same += 1;
+            }
+        }
+        // Expected collisions: 256 / 2^16 < 1; allow a little slack.
+        assert!(same <= 3, "keys nearly share a PAC function ({same}/256 equal)");
+    }
+
+    #[test]
+    fn field_bits_for_other_va_widths() {
+        assert_eq!(pac_field_bits(39), 25);
+        assert_eq!(pac_field_bits(52), 12);
+        // The paper's §1 quotes the 11..=31 bit PAC size range.
+        assert!(pac_field_bits(33) == 31 && pac_field_bits(53) == 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "va_bits")]
+    fn invalid_va_width_panics() {
+        let _ = pac_field_bits(64);
+    }
+
+    #[test]
+    fn pac_distribution_is_roughly_uniform() {
+        // Chi-square-lite: bucket 4096 PACs of consecutive pointers into 16
+        // buckets by top nibble; no bucket should be wildly off 256.
+        let u = unit();
+        let mut buckets = [0u32; 16];
+        for i in 0..4096u64 {
+            let pac = u.pac(i << 14, 0xAB);
+            buckets[(pac >> 12) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((128..=384).contains(&b), "bucket {i} has {b} hits (expected ~256)");
+        }
+    }
+}

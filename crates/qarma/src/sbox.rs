@@ -1,0 +1,119 @@
+//! The QARMA sigma S-box family.
+//!
+//! QARMA defines three 4-bit S-boxes. `sigma0` is an involution borrowed
+//! from MIDORI-style designs and intended for lightweight hardware;
+//! `sigma1` is the cipher's recommended default; `sigma2` maximises
+//! nonlinearity. ARM implementations use `sigma1`-class boxes.
+
+/// Selects which of the three QARMA S-boxes the cipher instance uses.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum Sigma {
+    /// The involutory S-box sigma0.
+    Sigma0,
+    /// The default QARMA-64 S-box sigma1 (used by this crate by default).
+    #[default]
+    Sigma1,
+    /// The high-nonlinearity S-box sigma2.
+    Sigma2,
+}
+
+const SIGMA0: [u8; 16] = [0, 14, 2, 10, 9, 15, 8, 11, 6, 4, 3, 7, 13, 12, 1, 5];
+const SIGMA1: [u8; 16] = [10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4];
+const SIGMA2: [u8; 16] = [11, 6, 8, 15, 12, 0, 9, 14, 3, 7, 4, 5, 13, 2, 1, 10];
+
+impl Sigma {
+    /// Returns the forward lookup table of this S-box.
+    pub fn table(self) -> &'static [u8; 16] {
+        match self {
+            Sigma::Sigma0 => &SIGMA0,
+            Sigma::Sigma1 => &SIGMA1,
+            Sigma::Sigma2 => &SIGMA2,
+        }
+    }
+
+    /// Computes the inverse lookup table of this S-box.
+    pub fn inverse_table(self) -> [u8; 16] {
+        let fwd = self.table();
+        let mut inv = [0u8; 16];
+        for (x, &y) in fwd.iter().enumerate() {
+            inv[y as usize] = x as u8;
+        }
+        inv
+    }
+
+    /// Applies the S-box to a single 4-bit cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `cell` does not fit in 4 bits.
+    pub fn apply(self, cell: u8) -> u8 {
+        debug_assert!(cell < 16, "S-box input must be a nibble");
+        self.table()[(cell & 0xF) as usize]
+    }
+}
+
+/// Applies the S-box to every cell of the state.
+pub(crate) fn sub_cells(cells: &[u8; 16], table: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (o, &c) in out.iter_mut().zip(cells.iter()) {
+        *o = table[(c & 0xF) as usize];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijective(t: &[u8; 16]) {
+        let mut seen = [false; 16];
+        for &v in t {
+            assert!(v < 16);
+            assert!(!seen[v as usize], "S-box not bijective: duplicate {v}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn all_sboxes_are_bijective() {
+        for s in [Sigma::Sigma0, Sigma::Sigma1, Sigma::Sigma2] {
+            assert_bijective(s.table());
+        }
+    }
+
+    #[test]
+    fn sigma0_is_an_involution() {
+        let t = Sigma::Sigma0.table();
+        for x in 0..16u8 {
+            assert_eq!(t[t[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn inverse_table_inverts() {
+        for s in [Sigma::Sigma0, Sigma::Sigma1, Sigma::Sigma2] {
+            let inv = s.inverse_table();
+            for x in 0..16u8 {
+                assert_eq!(inv[s.apply(x) as usize], x);
+            }
+        }
+    }
+
+    #[test]
+    fn sboxes_have_no_fixed_point_structure_leak() {
+        // Nonlinearity sanity: no S-box may be affine. A cheap necessary
+        // check: sigma(x) ^ sigma(x ^ 1) must not be constant.
+        for s in [Sigma::Sigma0, Sigma::Sigma1, Sigma::Sigma2] {
+            let d0 = s.apply(0) ^ s.apply(1);
+            let constant = (0..16u8).step_by(2).all(|x| s.apply(x) ^ s.apply(x ^ 1) == d0);
+            assert!(!constant, "{s:?} looks affine in bit 0");
+        }
+    }
+
+    #[test]
+    fn sub_cells_applies_per_cell() {
+        let cells = [0u8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+        let out = sub_cells(&cells, Sigma::Sigma1.table());
+        assert_eq!(out.to_vec(), Sigma::Sigma1.table().to_vec());
+    }
+}

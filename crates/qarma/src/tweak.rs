@@ -1,0 +1,129 @@
+//! The QARMA tweak schedule.
+//!
+//! Between rounds the 64-bit tweak is updated by a cell permutation `h`
+//! followed by an LFSR `omega` applied to cells {0, 1, 3, 4}. Both steps
+//! are bijective, so the schedule can be run backwards for the reflected
+//! rounds.
+
+use crate::cells::{pack, permute, unpack};
+
+/// The tweak-schedule cell permutation `h`: `new[i] = old[H[i]]`.
+pub(crate) const H: [usize; 16] = [6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9, 10, 11];
+
+/// Inverse of [`H`].
+pub(crate) const H_INV: [usize; 16] = [4, 5, 6, 7, 11, 1, 0, 8, 12, 13, 14, 15, 9, 10, 2, 3];
+
+/// Cells to which the LFSR is applied on every tweak update.
+const LFSR_CELLS: [usize; 4] = [0, 1, 3, 4];
+
+/// One step of the 4-bit maximal-period LFSR `omega`:
+/// `(b3, b2, b1, b0) -> (b0 XOR b1, b3, b2, b1)`.
+pub(crate) fn omega(cell: u8) -> u8 {
+    let c = cell & 0xF;
+    let b0 = c & 1;
+    let b1 = (c >> 1) & 1;
+    ((b0 ^ b1) << 3) | (c >> 1)
+}
+
+/// Inverse LFSR step: recovers `cell` such that `omega(cell) == input`.
+pub(crate) fn omega_inv(cell: u8) -> u8 {
+    let c = cell & 0xF;
+    let b3 = (c >> 3) & 1;
+    let b1 = c & 1; // old b1 ended up in new b0
+    let old_b0 = b3 ^ b1;
+    ((c << 1) & 0xF) | old_b0
+}
+
+/// Advances the tweak by one round: permute with `h`, then LFSR the
+/// designated cells.
+pub(crate) fn update(tweak: u64) -> u64 {
+    let mut cells = permute(&unpack(tweak), &H);
+    for &i in &LFSR_CELLS {
+        cells[i] = omega(cells[i]);
+    }
+    pack(&cells)
+}
+
+/// Rewinds the tweak by one round (exact inverse of [`update`]).
+pub(crate) fn downdate(tweak: u64) -> u64 {
+    let mut cells = unpack(tweak);
+    for &i in &LFSR_CELLS {
+        cells[i] = omega_inv(cells[i]);
+    }
+    pack(&permute(&cells, &H_INV))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_inv_inverts_h() {
+        for i in 0..16 {
+            assert_eq!(H_INV[H[i]], i);
+        }
+    }
+
+    #[test]
+    fn h_is_a_permutation() {
+        let mut seen = [false; 16];
+        for &t in &H {
+            assert!(!seen[t]);
+            seen[t] = true;
+        }
+    }
+
+    #[test]
+    fn omega_is_bijective_with_inverse() {
+        let mut seen = [false; 16];
+        for c in 0..16u8 {
+            let o = omega(c);
+            assert!(o < 16);
+            assert!(!seen[o as usize], "omega not bijective");
+            seen[o as usize] = true;
+            assert_eq!(omega_inv(o), c);
+        }
+    }
+
+    #[test]
+    fn omega_has_long_period_from_nonzero_state() {
+        // A maximal-period 4-bit LFSR cycles through all 15 non-zero states.
+        let mut c = 1u8;
+        let mut period = 0;
+        loop {
+            c = omega(c);
+            period += 1;
+            if c == 1 {
+                break;
+            }
+            assert!(period <= 16, "LFSR failed to cycle");
+        }
+        assert_eq!(period, 15, "omega should have period 15 on non-zero cells");
+    }
+
+    #[test]
+    fn update_downdate_roundtrip() {
+        for &t in &[0u64, 1, 0x0123_4567_89AB_CDEF, u64::MAX, 0x8000_0000_0000_0000] {
+            assert_eq!(downdate(update(t)), t);
+            assert_eq!(update(downdate(t)), t);
+        }
+    }
+
+    #[test]
+    fn update_changes_the_tweak() {
+        // The zero tweak is a fixed point of the LFSR but not of h on a
+        // non-uniform state; a non-trivial tweak must move.
+        let t = 0x0123_4567_89AB_CDEF;
+        assert_ne!(update(t), t);
+    }
+
+    #[test]
+    fn repeated_updates_do_not_cycle_quickly() {
+        let t0 = 0xDEAD_BEEF_0BAD_F00D;
+        let mut t = t0;
+        for round in 1..=16 {
+            t = update(t);
+            assert_ne!(t, t0, "tweak schedule cycled after {round} rounds");
+        }
+    }
+}

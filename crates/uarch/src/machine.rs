@@ -1,0 +1,1680 @@
+//! The machine: memory system + speculative core + timers.
+//!
+//! [`Machine`] executes programs written in `pacman_isa` with an explicit
+//! model of the microarchitectural behaviour the PACMAN attack depends on:
+//!
+//! - every architectural and speculative memory access goes through the
+//!   caches and the Figure 6 TLB hierarchy;
+//! - conditional-branch mispredictions open a *speculation shadow* in
+//!   which up to `speculation_window` wrong-path instructions execute
+//!   against microarchitectural state only, with faults suppressed at the
+//!   squash (Figure 3(c));
+//! - indirect branches inside the shadow first fetch their BTB-predicted
+//!   target, then — under [`SquashPolicy::Eager`] — are eagerly squashed
+//!   and redirected to the resolved target (Figure 3(d));
+//! - the §9 mitigations hook into exactly these paths.
+
+use pacman_isa::ptr::{self, VirtualAddress, PAGE_SIZE};
+use pacman_isa::{decode, encode, Inst, PacModifier, Reg, SysReg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::{Cache, CacheOutcome};
+use crate::config::{MachineConfig, Mitigation, SquashPolicy};
+use crate::cpu::{AccessKind, Cpu, El, SavedContext, Trap};
+use crate::mem::PhysMemory;
+use crate::paging::{PageTables, Perms};
+use crate::predict::{Bimodal, Btb, Rsb};
+use crate::timer::{Timers, TimingSource};
+use crate::trace::{SpecEvent, SpecTrace};
+use crate::tlb::{DataLookup, FetchLookup, FetchWorld, TlbHierarchy};
+
+/// Where a translation was satisfied.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum TlbHit {
+    /// L1 TLB hit (dTLB for data, the private iTLB for fetches).
+    L1,
+    /// L2 TLB hit.
+    L2,
+    /// Full page-table walk.
+    Walk,
+}
+
+/// Where a cache access was satisfied.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum CacheHit {
+    /// L1 hit.
+    L1,
+    /// L2 hit.
+    L2,
+    /// DRAM.
+    Memory,
+}
+
+/// Timing-relevant outcome of one memory access.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct AccessOutcome {
+    /// Cycles consumed by the access itself (without measurement
+    /// overhead).
+    pub cycles: u64,
+    /// TLB level that satisfied the translation.
+    pub tlb: TlbHit,
+    /// Cache level that satisfied the data.
+    pub cache: CacheHit,
+}
+
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+enum MemFault {
+    NonCanonical,
+    Unmapped,
+    Perm,
+}
+
+impl MemFault {
+    fn into_trap(self, va: u64, el: El, access: AccessKind) -> Trap {
+        match self {
+            MemFault::NonCanonical | MemFault::Unmapped => {
+                Trap::TranslationFault { va, el, access }
+            }
+            MemFault::Perm => Trap::PermissionFault { va, el, access },
+        }
+    }
+}
+
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+enum SpecAccess {
+    Ok(AccessOutcome, u64),
+    /// Would fault: suppressed, ends the shadow.
+    Fault,
+    /// Blocked by an invisible-speculation mitigation: no side effects.
+    Blocked,
+}
+
+/// The memory system: physical memory, page tables, caches, TLBs.
+#[derive(Debug)]
+pub struct MemorySystem {
+    /// Physical memory.
+    pub phys: PhysMemory,
+    /// Translation tables.
+    pub tables: PageTables,
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified L2 cache.
+    pub l2c: Cache,
+    /// The Figure 6 TLB hierarchy.
+    pub tlbs: TlbHierarchy,
+    latency: crate::config::LatencyModel,
+}
+
+impl MemorySystem {
+    fn new(config: &MachineConfig) -> Self {
+        let caches = config.cache_params();
+        let tlbs = config.tlb_params();
+        let mut phys = PhysMemory::new();
+        let tables = PageTables::new(&mut phys);
+        Self {
+            phys,
+            tables,
+            l1i: Cache::new(caches.l1i, None),
+            l1d: Cache::new(caches.l1d, Some(caches.l1d_effective_ways)),
+            l2c: Cache::new(caches.l2, None),
+            tlbs: TlbHierarchy::new(tlbs.itlb, tlbs.dtlb, tlbs.l2),
+            latency: config.latency,
+        }
+    }
+
+    fn world(el: El) -> FetchWorld {
+        match el {
+            El::El0 => FetchWorld::User,
+            El::El1 => FetchWorld::Kernel,
+        }
+    }
+
+    fn check_perms(entry: &crate::tlb::TlbEntry, el: El, access: AccessKind) -> Result<(), MemFault> {
+        let p = entry.perms;
+        if el == El::El0 && !p.user {
+            return Err(MemFault::Perm);
+        }
+        let allowed = match access {
+            AccessKind::Load => p.read,
+            AccessKind::Store => p.write,
+            AccessKind::Fetch => p.execute,
+        };
+        if allowed {
+            Ok(())
+        } else {
+            Err(MemFault::Perm)
+        }
+    }
+
+    fn cache_data(&mut self, pa: u64) -> (CacheHit, u64) {
+        match self.l1d.access(pa) {
+            CacheOutcome::Hit => (CacheHit::L1, self.latency.l1_hit),
+            CacheOutcome::Miss => match self.l2c.access(pa) {
+                CacheOutcome::Hit => (CacheHit::L2, self.latency.l1_hit + self.latency.l2_hit),
+                CacheOutcome::Miss => (
+                    CacheHit::Memory,
+                    self.latency.l1_hit + self.latency.l2_hit + self.latency.dram,
+                ),
+            },
+        }
+    }
+
+    fn cache_fetch(&mut self, pa: u64) -> (CacheHit, u64) {
+        match self.l1i.access(pa) {
+            CacheOutcome::Hit => (CacheHit::L1, self.latency.l1_hit),
+            CacheOutcome::Miss => match self.l2c.access(pa) {
+                CacheOutcome::Hit => (CacheHit::L2, self.latency.l1_hit + self.latency.l2_hit),
+                CacheOutcome::Miss => (
+                    CacheHit::Memory,
+                    self.latency.l1_hit + self.latency.l2_hit + self.latency.dram,
+                ),
+            },
+        }
+    }
+
+    /// Architectural data access: translates, permission-checks, touches
+    /// the caches, and returns the outcome plus physical address.
+    fn data_access(
+        &mut self,
+        va: u64,
+        el: El,
+        access: AccessKind,
+    ) -> Result<(AccessOutcome, u64), MemFault> {
+        if !ptr::is_canonical(va) {
+            return Err(MemFault::NonCanonical);
+        }
+        let v = VirtualAddress::new(va);
+        let (entry, tlb, tlb_cycles) = match self.tlbs.lookup_data(v.vpn()) {
+            DataLookup::DtlbHit(e) => (e, TlbHit::L1, 0),
+            DataLookup::L2Hit(e) => (e, TlbHit::L2, self.latency.l2_tlb_hit),
+            DataLookup::Miss => {
+                let (e, _reads) = self.tables.walk(&self.phys, v).map_err(|_| MemFault::Unmapped)?;
+                self.tlbs.fill_data(e);
+                (e, TlbHit::Walk, self.latency.walk)
+            }
+        };
+        Self::check_perms(&entry, el, access)?;
+        let pa = entry.pfn * PAGE_SIZE + v.page_offset();
+        let (cache, cache_cycles) = self.cache_data(pa);
+        Ok((AccessOutcome { cycles: tlb_cycles + cache_cycles, tlb, cache }, pa))
+    }
+
+    /// Architectural instruction fetch through the per-privilege iTLB.
+    fn fetch_access(&mut self, va: u64, el: El) -> Result<(AccessOutcome, u64), MemFault> {
+        if !ptr::is_canonical(va) {
+            return Err(MemFault::NonCanonical);
+        }
+        let v = VirtualAddress::new(va);
+        let world = Self::world(el);
+        let (entry, tlb, tlb_cycles) = match self.tlbs.lookup_fetch(world, v.vpn()) {
+            FetchLookup::ItlbHit(e) => (e, TlbHit::L1, 0),
+            FetchLookup::L2Hit(e) => (e, TlbHit::L2, self.latency.l2_tlb_hit),
+            FetchLookup::Miss => {
+                let (e, _reads) = self.tables.walk(&self.phys, v).map_err(|_| MemFault::Unmapped)?;
+                self.tlbs.fill_fetch(world, e);
+                (e, TlbHit::Walk, self.latency.walk)
+            }
+        };
+        Self::check_perms(&entry, el, AccessKind::Fetch)?;
+        let pa = entry.pfn * PAGE_SIZE + v.page_offset();
+        let (cache, cache_cycles) = self.cache_fetch(pa);
+        Ok((AccessOutcome { cycles: tlb_cycles + cache_cycles, tlb, cache }, pa))
+    }
+
+    /// Speculative data access. Faults are reported, not raised; under
+    /// [`Mitigation::DelayOnMiss`] any L1 miss blocks the access without
+    /// side effects.
+    fn spec_data_access(&mut self, va: u64, el: El, access: AccessKind, mit: Mitigation) -> SpecAccess {
+        if mit == Mitigation::DelayOnMiss {
+            if !ptr::is_canonical(va) {
+                return SpecAccess::Fault;
+            }
+            let v = VirtualAddress::new(va);
+            if !self.tlbs.dtlb().contains(v.vpn()) {
+                return SpecAccess::Blocked;
+            }
+            // dTLB hit: safe to proceed through the normal path (it will
+            // hit), then check the cache probe-first.
+            let entry = match self.tlbs.lookup_data(v.vpn()) {
+                DataLookup::DtlbHit(e) => e,
+                _ => unreachable!("probe said the dTLB holds this vpn"),
+            };
+            if Self::check_perms(&entry, el, access).is_err() {
+                return SpecAccess::Fault;
+            }
+            let pa = entry.pfn * PAGE_SIZE + v.page_offset();
+            if !self.l1d.contains(pa) {
+                return SpecAccess::Blocked;
+            }
+            let (cache, cycles) = self.cache_data(pa);
+            return SpecAccess::Ok(AccessOutcome { cycles, tlb: TlbHit::L1, cache }, pa);
+        }
+        match self.data_access(va, el, access) {
+            Ok((outcome, pa)) => SpecAccess::Ok(outcome, pa),
+            Err(_) => SpecAccess::Fault,
+        }
+    }
+
+    /// Speculative instruction fetch (the transmit step of the instruction
+    /// PACMAN gadget when it targets the verified pointer).
+    fn spec_fetch(&mut self, va: u64, el: El, mit: Mitigation) -> SpecAccess {
+        if mit == Mitigation::DelayOnMiss {
+            if !ptr::is_canonical(va) {
+                return SpecAccess::Fault;
+            }
+            let v = VirtualAddress::new(va);
+            if !self.tlbs.itlb(Self::world(el)).contains(v.vpn()) {
+                return SpecAccess::Blocked;
+            }
+        }
+        match self.fetch_access(va, el) {
+            Ok((outcome, pa)) => SpecAccess::Ok(outcome, pa),
+            Err(_) => SpecAccess::Fault,
+        }
+    }
+
+    /// Debug read (no microarchitectural side effects): translates through
+    /// the page tables directly.
+    pub fn debug_read_u64(&self, va: u64) -> Option<u64> {
+        let pa = self.tables.translate(&self.phys, VirtualAddress::new(va))?;
+        Some(self.phys.read_u64(pa))
+    }
+
+    /// Debug write (no microarchitectural side effects).
+    pub fn debug_write_u64(&mut self, va: u64, value: u64) -> bool {
+        match self.tables.translate(&self.phys, VirtualAddress::new(va)) {
+            Some(pa) => {
+                self.phys.write_u64(pa, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Debug byte-slice write, page-crossing safe.
+    pub fn debug_write_bytes(&mut self, va: u64, bytes: &[u8]) -> bool {
+        for (i, &b) in bytes.iter().enumerate() {
+            match self.tables.translate(&self.phys, VirtualAddress::new(va + i as u64)) {
+                Some(pa) => self.phys.write_u8(pa, b),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Debug byte read.
+    pub fn debug_read_u8(&self, va: u64) -> Option<u8> {
+        let pa = self.tables.translate(&self.phys, VirtualAddress::new(va))?;
+        Some(self.phys.read_u8(pa))
+    }
+}
+
+/// Why [`Machine::run`] stopped.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Stop {
+    /// A `HLT` retired.
+    Hlt,
+    /// The instruction budget was exhausted.
+    InstLimit,
+}
+
+/// Execution statistics.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct MachineStats {
+    /// Architecturally retired instructions.
+    pub retired: u64,
+    /// Speculation shadows opened.
+    pub spec_episodes: u64,
+    /// Wrong-path instructions executed.
+    pub spec_insts: u64,
+    /// Faults raised on a wrong path and suppressed by the squash.
+    pub spec_faults_suppressed: u64,
+    /// Eager nested-branch squashes performed.
+    pub eager_squashes: u64,
+    /// Accesses blocked by taint tracking.
+    pub taint_blocked: u64,
+    /// Accesses blocked by delay-on-miss.
+    pub delay_blocked: u64,
+    /// Implicit fences injected by [`Mitigation::FenceAfterAut`].
+    pub fences_injected: u64,
+    /// Syscall round trips.
+    pub syscalls: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Shadow {
+    regs: [u64; 31],
+    sp: u64,
+    cmp: (i64, i64),
+    taint: [bool; 31],
+}
+
+impl Shadow {
+    fn from_cpu(cpu: &Cpu) -> Self {
+        Self { regs: cpu.regs, sp: cpu.sp[cpu.el as usize], cmp: cpu.cmp, taint: [false; 31] }
+    }
+
+    fn get(&self, r: Reg) -> u64 {
+        match r.index() {
+            31 => self.sp,
+            32 => 0,
+            n => self.regs[n as usize],
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: u64) {
+        match r.index() {
+            31 => self.sp = v,
+            32 => {}
+            n => self.regs[n as usize] = v,
+        }
+    }
+
+    fn tainted(&self, r: Reg) -> bool {
+        match r.index() {
+            31 | 32 => false,
+            n => self.taint[n as usize],
+        }
+    }
+
+    fn set_taint(&mut self, r: Reg, t: bool) {
+        if let n @ 0..=30 = r.index() {
+            self.taint[n as usize] = t;
+        }
+    }
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Architectural CPU state.
+    pub cpu: Cpu,
+    /// Memory system.
+    pub mem: MemorySystem,
+    /// Timer block.
+    pub timers: Timers,
+    /// Conditional branch predictor.
+    pub bimodal: Bimodal,
+    /// Branch target buffer.
+    pub btb: Btb,
+    /// Return stack buffer (predicts `ret` targets).
+    pub rsb: Rsb,
+    /// Counters.
+    pub stats: MachineStats,
+    /// Optional speculation-event recorder (Figure 3 timelines).
+    pub trace: SpecTrace,
+    /// Global cycle count.
+    pub cycles: u64,
+    config: MachineConfig,
+    rng: SmallRng,
+    timing_source: TimingSource,
+    vbar: u64,
+}
+
+impl Machine {
+    /// Boots a machine with the given configuration. Memory starts empty;
+    /// callers map pages and load programs before running.
+    pub fn new(config: MachineConfig) -> Self {
+        let mem = MemorySystem::new(&config);
+        let timers = Timers::new(config.clock_hz, config.system_counter_hz);
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Self {
+            cpu: Cpu::new(),
+            mem,
+            timers,
+            bimodal: Bimodal::new(),
+            btb: Btb::new(),
+            rsb: Rsb::default(),
+            stats: MachineStats::default(),
+            trace: SpecTrace::default(),
+            cycles: 0,
+            config,
+            rng,
+            timing_source: TimingSource::default(),
+            vbar: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Installs the syscall entry point (the kernel's exception vector).
+    pub fn set_vbar(&mut self, va: u64) {
+        self.vbar = va;
+    }
+
+    /// Selects the timer used by the timed-access helpers.
+    pub fn set_timing_source(&mut self, source: TimingSource) {
+        self.timing_source = source;
+    }
+
+    /// The selected timing source.
+    pub fn timing_source(&self) -> TimingSource {
+        self.timing_source
+    }
+
+    /// Maps a fresh zeroed page at `va` (page-aligned) and returns its
+    /// physical frame number.
+    pub fn map_page(&mut self, va: u64, perms: Perms) -> u64 {
+        self.mem.tables.map_fresh(&mut self.mem.phys, VirtualAddress::new(va), perms)
+    }
+
+    /// Maps `va` to an *existing* physical frame (aliasing). Large
+    /// eviction regions alias one frame: the TLB experiments only care
+    /// about translations, not contents, and this keeps host memory flat.
+    pub fn map_alias(&mut self, va: u64, pfn: u64, perms: Perms) {
+        self.mem.tables.map(&mut self.mem.phys, VirtualAddress::new(va), pfn, perms);
+    }
+
+    /// Allocates one physical frame without mapping it (pair with
+    /// [`Machine::map_alias`]).
+    pub fn alloc_frame(&mut self) -> u64 {
+        self.mem.phys.alloc_frame()
+    }
+
+    /// Maps `len` bytes starting at page-aligned `va`.
+    pub fn map_region(&mut self, va: u64, len: u64, perms: Perms) {
+        let mut a = va & !(PAGE_SIZE - 1);
+        while a < va + len {
+            self.map_page(a, perms);
+            a += PAGE_SIZE;
+        }
+    }
+
+    /// Encodes and writes a program at `va` (must be mapped and writable
+    /// via the debug path). Returns the VA one past the last instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction does not encode or the region is unmapped —
+    /// both are setup bugs, not runtime conditions.
+    pub fn load_program(&mut self, va: u64, program: &[Inst]) -> u64 {
+        for (i, inst) in program.iter().enumerate() {
+            let w = encode(inst).expect("program instruction must encode");
+            let addr = va + 4 * i as u64;
+            let pa = self
+                .mem
+                .tables
+                .translate(&self.mem.phys, VirtualAddress::new(addr))
+                .expect("program region must be mapped");
+            self.mem.phys.write_u32(pa, w);
+        }
+        va + 4 * program.len() as u64
+    }
+
+    /// Reads the active timing source. Returns `None` if the source traps
+    /// at the current EL (e.g. `PMC0` at EL0 without the kext, Table 1).
+    pub fn read_timer(&mut self) -> Option<u64> {
+        let at_el0 = self.cpu.el == El::El0;
+        self.timers.read(self.timing_source, self.cycles, at_el0, &mut self.rng)
+    }
+
+    fn noise(&mut self) -> u64 {
+        let n = self.config.latency.noise;
+        if n == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=n)
+        }
+    }
+
+    // ----- EL0 attacker primitives ------------------------------------
+
+    /// An untimed user-mode load of `va` (microarchitecturally visible).
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural [`Trap`] for unmapped or forbidden
+    /// addresses.
+    pub fn user_load(&mut self, va: u64) -> Result<AccessOutcome, Trap> {
+        let (outcome, _pa) = self
+            .mem
+            .data_access(va, El::El0, AccessKind::Load)
+            .map_err(|f| f.into_trap(va, El::El0, AccessKind::Load))?;
+        self.cycles += outcome.cycles;
+        Ok(outcome)
+    }
+
+    /// A user-mode store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural [`Trap`] for unmapped or forbidden
+    /// addresses.
+    pub fn user_store(&mut self, va: u64, value: u64) -> Result<AccessOutcome, Trap> {
+        let (outcome, pa) = self
+            .mem
+            .data_access(va, El::El0, AccessKind::Store)
+            .map_err(|f| f.into_trap(va, El::El0, AccessKind::Store))?;
+        self.cycles += outcome.cycles;
+        self.mem.phys.write_u64(pa, value);
+        Ok(outcome)
+    }
+
+    /// A user-mode instruction fetch of `va` — the effect of branching
+    /// into the paper's JIT region (§7.3 step 2/3).
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural [`Trap`] for unmapped or non-executable
+    /// addresses.
+    pub fn user_fetch(&mut self, va: u64) -> Result<AccessOutcome, Trap> {
+        let (outcome, _pa) = self
+            .mem
+            .fetch_access(va, El::El0)
+            .map_err(|f| f.into_trap(va, El::El0, AccessKind::Fetch))?;
+        self.cycles += outcome.cycles;
+        Ok(outcome)
+    }
+
+    /// A timed user-mode load: the `isb; read; load; isb; read` bracket of
+    /// Figure 4(b), returning the latency in ticks of the active timing
+    /// source.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap`] as for [`Machine::user_load`]; also
+    /// [`Trap::SysRegAccess`] if the timing source is not readable at EL0.
+    pub fn timed_user_load(&mut self, va: u64) -> Result<u64, Trap> {
+        let source = self.timing_source;
+        let t1 = self
+            .read_timer()
+            .ok_or(Trap::SysRegAccess { reg: source_reg(source), el: El::El0 })?;
+        self.cycles += self.config.latency.measure_overhead;
+        self.cycles += self.noise();
+        self.user_load(va)?;
+        let t2 = self
+            .read_timer()
+            .ok_or(Trap::SysRegAccess { reg: source_reg(source), el: El::El0 })?;
+        Ok(t2 - t1)
+    }
+
+    // ----- execution ---------------------------------------------------
+
+    /// Runs from the current PC until `HLT`, a trap, or `max_insts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first architectural [`Trap`]. A trap while at EL1 is a
+    /// kernel panic; the kernel crate turns it into a reboot.
+    pub fn run(&mut self, max_insts: u64) -> Result<Stop, Trap> {
+        for _ in 0..max_insts {
+            if let Some(stop) = self.step()? {
+                return Ok(stop);
+            }
+        }
+        Ok(Stop::InstLimit)
+    }
+
+    fn step(&mut self) -> Result<Option<Stop>, Trap> {
+        let pc = self.cpu.pc;
+        let el = self.cpu.el;
+        let (fetch_outcome, pa) = self
+            .mem
+            .fetch_access(pc, el)
+            .map_err(|f| f.into_trap(pc, el, AccessKind::Fetch))?;
+        self.cycles += fetch_outcome.cycles;
+        let word = self.mem.phys.read_u32(pa);
+        let inst = decode(word).map_err(|_| Trap::Decode { pc })?;
+        self.cycles += self.config.latency.alu;
+        self.stats.retired += 1;
+        self.exec(pc, el, inst)
+    }
+
+    fn exec(&mut self, pc: u64, el: El, inst: Inst) -> Result<Option<Stop>, Trap> {
+        let lat = self.config.latency;
+        let next = pc + 4;
+        match inst {
+            Inst::Nop => self.cpu.pc = next,
+            Inst::Isb | Inst::Dsb => {
+                self.cycles += lat.fence;
+                self.cpu.pc = next;
+            }
+            Inst::Hlt => return Ok(Some(Stop::Hlt)),
+            Inst::Svc { .. } => {
+                if el != El::El0 || self.vbar == 0 {
+                    return Err(Trap::BadSvc { pc });
+                }
+                self.stats.syscalls += 1;
+                self.cycles += lat.syscall_transition;
+                self.os_noise_tick();
+                self.cpu.saved = Some(SavedContext {
+                    regs: self.cpu.regs,
+                    sp: self.cpu.sp[El::El0 as usize],
+                    pc: next,
+                });
+                self.cpu.el = El::El1;
+                self.cpu.pc = self.vbar;
+            }
+            Inst::Eret => {
+                if el != El::El1 {
+                    return Err(Trap::BadEret { pc });
+                }
+                let saved = self.cpu.saved.take().ok_or(Trap::BadEret { pc })?;
+                self.cycles += lat.syscall_transition;
+                // Return values in x0/x1 survive the context restore, as on
+                // a real syscall ABI.
+                let (x0, x1) = (self.cpu.regs[0], self.cpu.regs[1]);
+                self.cpu.regs = saved.regs;
+                self.cpu.regs[0] = x0;
+                self.cpu.regs[1] = x1;
+                self.cpu.sp[El::El0 as usize] = saved.sp;
+                self.cpu.el = El::El0;
+                self.cpu.pc = saved.pc;
+            }
+            Inst::MovZ { rd, imm, shift } => {
+                self.cpu.set(rd, u64::from(imm) << (16 * u32::from(shift)));
+                self.cpu.pc = next;
+            }
+            Inst::MovK { rd, imm, shift } => {
+                let sh = 16 * u32::from(shift);
+                let old = self.cpu.get(rd);
+                self.cpu.set(rd, (old & !(0xFFFFu64 << sh)) | (u64::from(imm) << sh));
+                self.cpu.pc = next;
+            }
+            Inst::MovN { rd, imm, shift } => {
+                self.cpu.set(rd, !(u64::from(imm) << (16 * u32::from(shift))));
+                self.cpu.pc = next;
+            }
+            Inst::MovReg { rd, rn } => {
+                let v = self.cpu.get(rn);
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::Csel { rd, rn, rm, cond } => {
+                let v = if cond.holds(self.cpu.cmp.0, self.cpu.cmp.1) {
+                    self.cpu.get(rn)
+                } else {
+                    self.cpu.get(rm)
+                };
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::AddImm { rd, rn, imm } => {
+                let v = self.cpu.get(rn).wrapping_add(u64::from(imm));
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::SubImm { rd, rn, imm } => {
+                let v = self.cpu.get(rn).wrapping_sub(u64::from(imm));
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::AddReg { rd, rn, rm } => {
+                let v = self.cpu.get(rn).wrapping_add(self.cpu.get(rm));
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::SubReg { rd, rn, rm } => {
+                let v = self.cpu.get(rn).wrapping_sub(self.cpu.get(rm));
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::AndReg { rd, rn, rm } => {
+                let v = self.cpu.get(rn) & self.cpu.get(rm);
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::OrrReg { rd, rn, rm } => {
+                let v = self.cpu.get(rn) | self.cpu.get(rm);
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::EorReg { rd, rn, rm } => {
+                let v = self.cpu.get(rn) ^ self.cpu.get(rm);
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::LslImm { rd, rn, shift } => {
+                let v = self.cpu.get(rn) << shift;
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::LsrImm { rd, rn, shift } => {
+                let v = self.cpu.get(rn) >> shift;
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::Mul { rd, rn, rm } => {
+                let v = self.cpu.get(rn).wrapping_mul(self.cpu.get(rm));
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::CmpImm { rn, imm } => {
+                self.cpu.cmp = (self.cpu.get(rn) as i64, i64::from(imm));
+                self.cpu.pc = next;
+            }
+            Inst::CmpReg { rn, rm } => {
+                self.cpu.cmp = (self.cpu.get(rn) as i64, self.cpu.get(rm) as i64);
+                self.cpu.pc = next;
+            }
+            Inst::Ldr { rt, rn, offset } | Inst::Ldrb { rt, rn, offset } => {
+                let va = self.cpu.get(rn).wrapping_add_signed(offset.into());
+                let (outcome, pa) = self
+                    .mem
+                    .data_access(va, el, AccessKind::Load)
+                    .map_err(|f| f.into_trap(va, el, AccessKind::Load))?;
+                self.cycles += outcome.cycles;
+                let v = if matches!(inst, Inst::Ldrb { .. }) {
+                    u64::from(self.mem.phys.read_u8(pa))
+                } else {
+                    self.mem.phys.read_u64(pa)
+                };
+                self.cpu.set(rt, v);
+                self.cpu.pc = next;
+            }
+            Inst::Str { rt, rn, offset } | Inst::Strb { rt, rn, offset } => {
+                let va = self.cpu.get(rn).wrapping_add_signed(offset.into());
+                let (outcome, pa) = self
+                    .mem
+                    .data_access(va, el, AccessKind::Store)
+                    .map_err(|f| f.into_trap(va, el, AccessKind::Store))?;
+                self.cycles += outcome.cycles;
+                let v = self.cpu.get(rt);
+                if matches!(inst, Inst::Strb { .. }) {
+                    self.mem.phys.write_u8(pa, v as u8);
+                } else {
+                    self.mem.phys.write_u64(pa, v);
+                }
+                self.cpu.pc = next;
+            }
+            Inst::B { offset } => self.cpu.pc = pc.wrapping_add_signed(4 * i64::from(offset)),
+            Inst::Bl { offset } => {
+                self.cpu.set(Reg::LR, next);
+                self.rsb.push(next);
+                self.cpu.pc = pc.wrapping_add_signed(4 * i64::from(offset));
+            }
+            Inst::BCond { cond, offset } => {
+                let taken = cond.holds(self.cpu.cmp.0, self.cpu.cmp.1);
+                self.conditional_branch(pc, el, taken, offset);
+            }
+            Inst::Cbz { rt, offset } => {
+                let taken = self.cpu.get(rt) == 0;
+                self.conditional_branch(pc, el, taken, offset);
+            }
+            Inst::Cbnz { rt, offset } => {
+                let taken = self.cpu.get(rt) != 0;
+                self.conditional_branch(pc, el, taken, offset);
+            }
+            Inst::Tbz { rt, bit, offset } => {
+                let taken = (self.cpu.get(rt) >> bit) & 1 == 0;
+                self.conditional_branch(pc, el, taken, offset);
+            }
+            Inst::Tbnz { rt, bit, offset } => {
+                let taken = (self.cpu.get(rt) >> bit) & 1 == 1;
+                self.conditional_branch(pc, el, taken, offset);
+            }
+            Inst::Ldp { rt, rt2, rn, offset } => {
+                let base = self.cpu.get(rn).wrapping_add_signed(offset.into());
+                for (reg, addr) in [(rt, base), (rt2, base.wrapping_add(8))] {
+                    let (outcome, pa) = self
+                        .mem
+                        .data_access(addr, el, AccessKind::Load)
+                        .map_err(|f| f.into_trap(addr, el, AccessKind::Load))?;
+                    self.cycles += outcome.cycles;
+                    let v = self.mem.phys.read_u64(pa);
+                    self.cpu.set(reg, v);
+                }
+                self.cpu.pc = next;
+            }
+            Inst::Stp { rt, rt2, rn, offset } => {
+                let base = self.cpu.get(rn).wrapping_add_signed(offset.into());
+                for (reg, addr) in [(rt, base), (rt2, base.wrapping_add(8))] {
+                    let (outcome, pa) = self
+                        .mem
+                        .data_access(addr, el, AccessKind::Store)
+                        .map_err(|f| f.into_trap(addr, el, AccessKind::Store))?;
+                    self.cycles += outcome.cycles;
+                    let v = self.cpu.get(reg);
+                    self.mem.phys.write_u64(pa, v);
+                }
+                self.cpu.pc = next;
+            }
+            Inst::Br { rn } | Inst::Blr { rn } => {
+                let target = self.cpu.get(rn);
+                self.indirect_branch(pc, el, target);
+                if matches!(inst, Inst::Blr { .. }) {
+                    self.cpu.set(Reg::LR, next);
+                    self.rsb.push(next);
+                }
+                self.cpu.pc = target;
+            }
+            Inst::Ret => {
+                // Returns predict through the RSB first (ret2spec-style
+                // behaviour); the BTB is the fallback for underflow.
+                let target = self.cpu.get(Reg::LR);
+                let predicted = self.rsb.pop().or_else(|| self.btb.predict(pc));
+                self.btb.train(pc, target);
+                if let Some(p) = predicted {
+                    if p != target {
+                        self.cycles += self.config.latency.mispredict_penalty;
+                        self.speculate(pc, p, el);
+                    }
+                }
+                self.cpu.pc = target;
+            }
+            Inst::Pac { key, rd, modifier } => {
+                let modifier = match modifier {
+                    PacModifier::Reg(m) => self.cpu.get(m),
+                    PacModifier::Zero => 0,
+                };
+                let pacs = self.cpu.pac_computer(key);
+                let signed = ptr::sign(&pacs, self.cpu.get(rd), modifier);
+                self.cpu.set(rd, signed);
+                self.cpu.pc = next;
+            }
+            Inst::Aut { key, rd, modifier } => {
+                let modifier = match modifier {
+                    PacModifier::Reg(m) => self.cpu.get(m),
+                    PacModifier::Zero => 0,
+                };
+                let pacs = self.cpu.pac_computer(key);
+                let result = ptr::authenticate(&pacs, self.cpu.get(rd), modifier, key);
+                self.cpu.set(rd, result.pointer());
+                if self.config.mitigation == Mitigation::FenceAfterAut {
+                    self.stats.fences_injected += 1;
+                    self.cycles += lat.fence;
+                }
+                self.cpu.pc = next;
+            }
+            Inst::Xpac { rd, .. } => {
+                let v = ptr::canonicalize(self.cpu.get(rd));
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::Pacga { rd, rn, rm } => {
+                let pacs = self.cpu.pacga_computer();
+                let tag = pacs.pac(self.cpu.get(rn), self.cpu.get(rm));
+                self.cpu.set(rd, tag << 48);
+                self.cpu.pc = next;
+            }
+            Inst::Mrs { rd, sysreg } => {
+                let v = self.read_sysreg(sysreg, el).ok_or(Trap::SysRegAccess { reg: sysreg, el })?;
+                self.cpu.set(rd, v);
+                self.cpu.pc = next;
+            }
+            Inst::Msr { sysreg, rn } => {
+                let v = self.cpu.get(rn);
+                if !self.write_sysreg(sysreg, v, el) {
+                    return Err(Trap::SysRegAccess { reg: sysreg, el });
+                }
+                self.cpu.pc = next;
+            }
+        }
+        Ok(None)
+    }
+
+    fn read_sysreg(&mut self, reg: SysReg, el: El) -> Option<u64> {
+        let at_el0 = el == El::El0;
+        if at_el0 && !reg.el0_readable(self.timers.pmc0_el0_enabled) {
+            return None;
+        }
+        match reg {
+            SysReg::CntpctEl0 => Some(self.timers.cntpct(self.cycles)),
+            SysReg::CntfrqEl0 => Some(self.timers.cntfrq()),
+            SysReg::Pmc0 => Some(self.timers.pmc0(self.cycles)),
+            SysReg::Pmc1 => Some(self.stats.retired),
+            SysReg::Pmcr0 => Some(u64::from(self.timers.pmc0_el0_enabled)),
+            SysReg::CurrentEl => Some(match el {
+                El::El0 => 0,
+                El::El1 => 1 << 2,
+            }),
+            _ => self.cpu.keys.read_half(reg),
+        }
+    }
+
+    fn write_sysreg(&mut self, reg: SysReg, value: u64, el: El) -> bool {
+        if el == El::El0 {
+            return false;
+        }
+        match reg {
+            SysReg::Pmcr0 => {
+                self.timers.pmc0_el0_enabled = value & 1 == 1;
+                true
+            }
+            SysReg::CntpctEl0 | SysReg::CntfrqEl0 | SysReg::Pmc0 | SysReg::Pmc1 | SysReg::CurrentEl => false,
+            _ => self.cpu.keys.write_half(reg, value),
+        }
+    }
+
+    /// Background kernel activity occasionally perturbing a random dTLB
+    /// set (paper §8.2 evaluates under web-browsing/video-call noise).
+    fn os_noise_tick(&mut self) {
+        if self.config.os_noise > 0.0 && self.rng.gen_bool(self.config.os_noise) {
+            let vpn = 0x2_0000_0000u64 >> 14 | self.rng.gen_range(0..4096u64);
+            self.mem.tlbs.fill_data(crate::tlb::TlbEntry {
+                vpn,
+                pfn: 0,
+                perms: Perms::kernel_rw(),
+            });
+        }
+    }
+
+    fn conditional_branch(&mut self, pc: u64, el: El, taken: bool, offset: i32) {
+        let predicted = self.bimodal.predict(pc);
+        self.bimodal.train(pc, taken);
+        let target = pc.wrapping_add_signed(4 * i64::from(offset));
+        let fallthrough = pc + 4;
+        if predicted != taken {
+            self.cycles += self.config.latency.mispredict_penalty;
+            let wrong_path = if predicted { target } else { fallthrough };
+            self.speculate(pc, wrong_path, el);
+        }
+        self.cpu.pc = if taken { target } else { fallthrough };
+    }
+
+    fn indirect_branch(&mut self, pc: u64, el: El, target: u64) {
+        let predicted = self.btb.predict(pc);
+        self.btb.train(pc, target);
+        if let Some(p) = predicted {
+            if p != target {
+                self.cycles += self.config.latency.mispredict_penalty;
+                self.speculate(pc, p, el);
+            }
+        }
+    }
+
+    /// Executes the wrong path under the shadow of a mispredicted branch:
+    /// microarchitectural effects only, faults suppressed, bounded by the
+    /// speculation window.
+    fn speculate(&mut self, branch_pc: u64, start_pc: u64, el: El) {
+        self.stats.spec_episodes += 1;
+        self.trace.record(SpecEvent::ShadowOpened { branch_pc, wrong_path_pc: start_pc });
+        let mit = self.config.mitigation;
+        let mut shadow = Shadow::from_cpu(&self.cpu);
+        let mut pc = start_pc;
+        let mut executed: u32 = 0;
+        for _ in 0..self.config.speculation_window {
+            let pa = match self.mem.spec_fetch(pc, el, Mitigation::None) {
+                SpecAccess::Ok(outcome, pa) => {
+                    self.cycles += outcome.cycles / 4; // overlapped wrong-path work
+                    pa
+                }
+                SpecAccess::Fault => {
+                    self.stats.spec_faults_suppressed += 1;
+                    self.trace.record(SpecEvent::FaultSuppressed { pc, va: pc });
+                    self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+                    return;
+                }
+                SpecAccess::Blocked => {
+                    self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+                    return;
+                }
+            };
+            let Ok(inst) = decode(self.mem.phys.read_u32(pa)) else {
+                self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+                return;
+            };
+            self.stats.spec_insts += 1;
+            executed += 1;
+            if !self.spec_exec(&mut shadow, &mut pc, el, inst, mit) {
+                self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+                return;
+            }
+        }
+        self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+    }
+
+    /// Executes one wrong-path instruction. Returns false when the shadow
+    /// ends (fault, serialisation, window-irrelevant instruction).
+    fn spec_exec(&mut self, shadow: &mut Shadow, pc: &mut u64, el: El, inst: Inst, mit: Mitigation) -> bool {
+        let next = *pc + 4;
+        match inst {
+            Inst::Nop => *pc = next,
+            // Serialising or privilege-transferring instructions end
+            // speculation.
+            Inst::Isb | Inst::Dsb | Inst::Hlt | Inst::Svc { .. } | Inst::Eret | Inst::Msr { .. } => {
+                return false
+            }
+            Inst::MovZ { rd, imm, shift } => {
+                shadow.set(rd, u64::from(imm) << (16 * u32::from(shift)));
+                shadow.set_taint(rd, false);
+                *pc = next;
+            }
+            Inst::MovK { rd, imm, shift } => {
+                let sh = 16 * u32::from(shift);
+                let old = shadow.get(rd);
+                shadow.set(rd, (old & !(0xFFFFu64 << sh)) | (u64::from(imm) << sh));
+                *pc = next;
+            }
+            Inst::MovN { rd, imm, shift } => {
+                shadow.set(rd, !(u64::from(imm) << (16 * u32::from(shift))));
+                shadow.set_taint(rd, false);
+                *pc = next;
+            }
+            Inst::MovReg { rd, rn } => {
+                let (v, t) = (shadow.get(rn), shadow.tainted(rn));
+                shadow.set(rd, v);
+                shadow.set_taint(rd, t);
+                *pc = next;
+            }
+            Inst::Csel { rd, rn, rm, cond } => {
+                let taken = cond.holds(shadow.cmp.0, shadow.cmp.1);
+                let src = if taken { rn } else { rm };
+                let (v, t) = (shadow.get(src), shadow.tainted(src));
+                shadow.set(rd, v);
+                shadow.set_taint(rd, t);
+                *pc = next;
+            }
+            Inst::AddImm { rd, rn, imm } => {
+                let (v, t) = (shadow.get(rn).wrapping_add(u64::from(imm)), shadow.tainted(rn));
+                shadow.set(rd, v);
+                shadow.set_taint(rd, t);
+                *pc = next;
+            }
+            Inst::SubImm { rd, rn, imm } => {
+                let (v, t) = (shadow.get(rn).wrapping_sub(u64::from(imm)), shadow.tainted(rn));
+                shadow.set(rd, v);
+                shadow.set_taint(rd, t);
+                *pc = next;
+            }
+            Inst::AddReg { rd, rn, rm }
+            | Inst::SubReg { rd, rn, rm }
+            | Inst::AndReg { rd, rn, rm }
+            | Inst::OrrReg { rd, rn, rm }
+            | Inst::EorReg { rd, rn, rm }
+            | Inst::Mul { rd, rn, rm } => {
+                let (a, b) = (shadow.get(rn), shadow.get(rm));
+                let v = match inst {
+                    Inst::AddReg { .. } => a.wrapping_add(b),
+                    Inst::SubReg { .. } => a.wrapping_sub(b),
+                    Inst::AndReg { .. } => a & b,
+                    Inst::OrrReg { .. } => a | b,
+                    Inst::EorReg { .. } => a ^ b,
+                    _ => a.wrapping_mul(b),
+                };
+                shadow.set(rd, v);
+                shadow.set_taint(rd, shadow.tainted(rn) || shadow.tainted(rm));
+                *pc = next;
+            }
+            Inst::LslImm { rd, rn, shift } => {
+                let (v, t) = (shadow.get(rn) << shift, shadow.tainted(rn));
+                shadow.set(rd, v);
+                shadow.set_taint(rd, t);
+                *pc = next;
+            }
+            Inst::LsrImm { rd, rn, shift } => {
+                let (v, t) = (shadow.get(rn) >> shift, shadow.tainted(rn));
+                shadow.set(rd, v);
+                shadow.set_taint(rd, t);
+                *pc = next;
+            }
+            Inst::CmpImm { rn, imm } => {
+                shadow.cmp = (shadow.get(rn) as i64, i64::from(imm));
+                *pc = next;
+            }
+            Inst::CmpReg { rn, rm } => {
+                shadow.cmp = (shadow.get(rn) as i64, shadow.get(rm) as i64);
+                *pc = next;
+            }
+            Inst::Ldr { rt, rn, offset } | Inst::Ldrb { rt, rn, offset } => {
+                if mit == Mitigation::TaintAutOutputs && shadow.tainted(rn) {
+                    self.stats.taint_blocked += 1;
+                    self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
+                    shadow.set(rt, 0);
+                    shadow.set_taint(rt, true);
+                    *pc = next;
+                    return true;
+                }
+                let va = shadow.get(rn).wrapping_add_signed(offset.into());
+                match self.mem.spec_data_access(va, el, AccessKind::Load, mit) {
+                    SpecAccess::Ok(outcome, pa) => {
+                        self.cycles += outcome.cycles / 4;
+                        self.trace.record(SpecEvent::SpecAccessIssued { pc: *pc, va });
+                        let v = if matches!(inst, Inst::Ldrb { .. }) {
+                            u64::from(self.mem.phys.read_u8(pa))
+                        } else {
+                            self.mem.phys.read_u64(pa)
+                        };
+                        shadow.set(rt, v);
+                        shadow.set_taint(rt, false);
+                        *pc = next;
+                    }
+                    SpecAccess::Fault => {
+                        self.stats.spec_faults_suppressed += 1;
+                        self.trace.record(SpecEvent::FaultSuppressed { pc: *pc, va });
+                        return false;
+                    }
+                    SpecAccess::Blocked => {
+                        self.stats.delay_blocked += 1;
+                        self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "delay-on-miss" });
+                        return false;
+                    }
+                }
+            }
+            Inst::Str { rn, .. } | Inst::Strb { rn, .. } => {
+                // Speculative stores translate (filling TLBs — a valid
+                // transmit channel, §4.1) but never write memory.
+                if mit == Mitigation::TaintAutOutputs && shadow.tainted(rn) {
+                    self.stats.taint_blocked += 1;
+                    self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
+                    *pc = next;
+                    return true;
+                }
+                let va = shadow.get(rn);
+                match self.mem.spec_data_access(va, el, AccessKind::Store, mit) {
+                    SpecAccess::Ok(outcome, _) => {
+                        self.cycles += outcome.cycles / 4;
+                        self.trace.record(SpecEvent::SpecAccessIssued { pc: *pc, va });
+                        *pc = next;
+                    }
+                    SpecAccess::Fault => {
+                        self.stats.spec_faults_suppressed += 1;
+                        self.trace.record(SpecEvent::FaultSuppressed { pc: *pc, va });
+                        return false;
+                    }
+                    SpecAccess::Blocked => {
+                        self.stats.delay_blocked += 1;
+                        self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "delay-on-miss" });
+                        return false;
+                    }
+                }
+            }
+            Inst::B { offset } => *pc = pc.wrapping_add_signed(4 * i64::from(offset)),
+            Inst::Bl { offset } => {
+                shadow.set(Reg::LR, next);
+                *pc = pc.wrapping_add_signed(4 * i64::from(offset));
+            }
+            Inst::BCond { cond: _, offset } => {
+                // Inside the shadow, nested conditional branches follow the
+                // predictor (no training on wrong paths).
+                let taken = self.bimodal.predict(*pc);
+                *pc = if taken { pc.wrapping_add_signed(4 * i64::from(offset)) } else { next };
+            }
+            Inst::Cbz { offset, .. }
+            | Inst::Cbnz { offset, .. }
+            | Inst::Tbz { offset, .. }
+            | Inst::Tbnz { offset, .. } => {
+                let taken = self.bimodal.predict(*pc);
+                *pc = if taken { pc.wrapping_add_signed(4 * i64::from(offset)) } else { next };
+            }
+            Inst::Ldp { rt, rt2, rn, offset } => {
+                // Pair loads behave like two loads for the transmit
+                // channel; the first fault/block ends the shadow.
+                if mit == Mitigation::TaintAutOutputs && shadow.tainted(rn) {
+                    self.stats.taint_blocked += 1;
+                    shadow.set(rt, 0);
+                    shadow.set(rt2, 0);
+                    shadow.set_taint(rt, true);
+                    shadow.set_taint(rt2, true);
+                    *pc = next;
+                    return true;
+                }
+                let base = shadow.get(rn).wrapping_add_signed(offset.into());
+                for (reg, addr) in [(rt, base), (rt2, base.wrapping_add(8))] {
+                    match self.mem.spec_data_access(addr, el, AccessKind::Load, mit) {
+                        SpecAccess::Ok(outcome, pa) => {
+                            self.cycles += outcome.cycles / 4;
+                            let v = self.mem.phys.read_u64(pa);
+                            shadow.set(reg, v);
+                            shadow.set_taint(reg, false);
+                        }
+                        SpecAccess::Fault => {
+                            self.stats.spec_faults_suppressed += 1;
+                            return false;
+                        }
+                        SpecAccess::Blocked => {
+                            self.stats.delay_blocked += 1;
+                            return false;
+                        }
+                    }
+                }
+                *pc = next;
+            }
+            Inst::Stp { rn, .. } => {
+                if mit == Mitigation::TaintAutOutputs && shadow.tainted(rn) {
+                    self.stats.taint_blocked += 1;
+                    *pc = next;
+                    return true;
+                }
+                let base = shadow.get(rn);
+                match self.mem.spec_data_access(base, el, AccessKind::Store, mit) {
+                    SpecAccess::Ok(outcome, _) => {
+                        self.cycles += outcome.cycles / 4;
+                        *pc = next;
+                    }
+                    SpecAccess::Fault => {
+                        self.stats.spec_faults_suppressed += 1;
+                        return false;
+                    }
+                    SpecAccess::Blocked => {
+                        self.stats.delay_blocked += 1;
+                        return false;
+                    }
+                }
+            }
+            Inst::Br { .. } | Inst::Blr { .. } | Inst::Ret => {
+                let rn = match inst {
+                    Inst::Br { rn } | Inst::Blr { rn } => rn,
+                    _ => Reg::LR,
+                };
+                if mit == Mitigation::TaintAutOutputs && shadow.tainted(rn) {
+                    self.stats.taint_blocked += 1;
+                    self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
+                    return false;
+                }
+                let actual = shadow.get(rn);
+                // t2 of Figure 3(d): fetch proceeds from the BTB-predicted
+                // target while the address operand resolves.
+                if let Some(predicted) = self.btb.predict(*pc) {
+                    let _ = self.mem.spec_fetch(predicted, el, mit);
+                    self.trace.record(SpecEvent::BtbPredictedFetch { pc: *pc, predicted });
+                    if self.config.squash == SquashPolicy::Lazy {
+                        // No eager squash: the resolved target is never
+                        // fetched; speculation continues down the
+                        // predicted path (§4.2's failure mode).
+                        *pc = predicted;
+                        return true;
+                    }
+                } else if self.config.squash == SquashPolicy::Lazy {
+                    return false;
+                }
+                // t3/t4: eager squash of the inner branch, redirect fetch
+                // to the resolved target.
+                self.stats.eager_squashes += 1;
+                match self.mem.spec_fetch(actual, el, mit) {
+                    SpecAccess::Ok(outcome, _) => {
+                        self.cycles += outcome.cycles / 4;
+                        self.trace.record(SpecEvent::EagerSquashRedirect { pc: *pc, actual });
+                        if matches!(inst, Inst::Blr { .. }) {
+                            shadow.set(Reg::LR, next);
+                        }
+                        *pc = actual;
+                    }
+                    SpecAccess::Fault => {
+                        self.stats.spec_faults_suppressed += 1;
+                        self.trace.record(SpecEvent::FaultSuppressed { pc: *pc, va: actual });
+                        return false;
+                    }
+                    SpecAccess::Blocked => {
+                        self.stats.delay_blocked += 1;
+                        self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "delay-on-miss" });
+                        return false;
+                    }
+                }
+            }
+            Inst::Pac { key, rd, modifier } => {
+                let modifier = match modifier {
+                    PacModifier::Reg(m) => shadow.get(m),
+                    PacModifier::Zero => 0,
+                };
+                let pacs = self.cpu.pac_computer(key);
+                let v = ptr::sign(&pacs, shadow.get(rd), modifier);
+                shadow.set(rd, v);
+                *pc = next;
+            }
+            Inst::Aut { key, rd, modifier } => {
+                match mit {
+                    Mitigation::NonSpeculativeAut => {
+                        // The AUT stalls until the shadow resolves; nothing
+                        // downstream of it executes speculatively.
+                        self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "non-speculative AUT" });
+                        return false;
+                    }
+                    _ => {
+                        let modifier = match modifier {
+                            PacModifier::Reg(m) => shadow.get(m),
+                            PacModifier::Zero => 0,
+                        };
+                        let pacs = self.cpu.pac_computer(key);
+                        let result = ptr::authenticate(&pacs, shadow.get(rd), modifier, key);
+                        self.trace.record(SpecEvent::AutExecuted {
+                            pc: *pc,
+                            valid: result.is_valid(),
+                            result: result.pointer(),
+                        });
+                        shadow.set(rd, result.pointer());
+                        if mit == Mitigation::TaintAutOutputs {
+                            shadow.set_taint(rd, true);
+                        }
+                        if mit == Mitigation::FenceAfterAut {
+                            // The implicit fence stops speculation before
+                            // the verified pointer can be transmitted.
+                            self.stats.fences_injected += 1;
+                            self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "fence after AUT" });
+                            return false;
+                        }
+                        *pc = next;
+                    }
+                }
+            }
+            Inst::Xpac { rd, .. } => {
+                let v = ptr::canonicalize(shadow.get(rd));
+                shadow.set(rd, v);
+                *pc = next;
+            }
+            Inst::Pacga { rd, rn, rm } => {
+                let pacs = self.cpu.pacga_computer();
+                let tag = pacs.pac(shadow.get(rn), shadow.get(rm));
+                shadow.set(rd, tag << 48);
+                *pc = next;
+            }
+            Inst::Mrs { rd, sysreg } => match self.read_sysreg(sysreg, el) {
+                Some(v) => {
+                    shadow.set(rd, v);
+                    *pc = next;
+                }
+                None => return false,
+            },
+        }
+        true
+    }
+}
+
+fn source_reg(source: TimingSource) -> SysReg {
+    match source {
+        TimingSource::Pmc0 => SysReg::Pmc0,
+        TimingSource::MultiThread => SysReg::CntpctEl0, // no MSR involved; closest stand-in
+        TimingSource::SystemCounter => SysReg::CntpctEl0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacman_isa::{Asm, PacKey};
+
+    const USER_CODE: u64 = 0x0000_0000_0040_0000;
+    const USER_DATA: u64 = 0x0000_0000_1000_0000;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig { os_noise: 0.0, ..MachineConfig::default() })
+    }
+
+    fn run_user(m: &mut Machine, program: &[Inst]) {
+        m.map_region(USER_CODE, 4 * program.len() as u64, Perms::user_rwx());
+        m.load_program(USER_CODE, program);
+        m.cpu.pc = USER_CODE;
+        m.cpu.el = El::El0;
+        m.run(100_000).expect("program must not trap");
+    }
+
+    #[test]
+    fn alu_and_mov_semantics() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X0, 40);
+        a.push(Inst::AddImm { rd: Reg::X1, rn: Reg::X0, imm: 2 });
+        a.push(Inst::SubReg { rd: Reg::X2, rn: Reg::X1, rm: Reg::X0 });
+        a.push(Inst::LslImm { rd: Reg::X3, rn: Reg::X1, shift: 4 });
+        a.push(Inst::Hlt);
+        run_user(&mut m, &a.assemble().unwrap());
+        assert_eq!(m.cpu.get(Reg::X1), 42);
+        assert_eq!(m.cpu.get(Reg::X2), 2);
+        assert_eq!(m.cpu.get(Reg::X3), 42 << 4);
+    }
+
+    #[test]
+    fn movn_csel_and_bit_branches() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        let bit_set = a.new_label();
+        let done = a.new_label();
+        a.push(Inst::MovN { rd: Reg::X0, imm: 0, shift: 0 }); // x0 = !0 = u64::MAX
+        a.push(Inst::CmpImm { rn: Reg::X1, imm: 5 });
+        a.mov_imm64(Reg::X2, 100);
+        a.mov_imm64(Reg::X3, 200);
+        // x4 = (x1 < 5) ? x2 : x3; with x1 = 0 -> 100.
+        a.push(Inst::Csel { rd: Reg::X4, rn: Reg::X2, rm: Reg::X3, cond: pacman_isa::Cond::Lt });
+        // tbnz on bit 63 of x0 (set) -> branch taken.
+        a.tbnz(Reg::X0, 63, bit_set);
+        a.mov_imm64(Reg::X5, 1); // skipped
+        a.b(done);
+        a.bind(bit_set);
+        a.mov_imm64(Reg::X5, 2);
+        a.bind(done);
+        // tbz on bit 0 of x4 (100 -> bit0 = 0) -> taken.
+        let even = a.new_label();
+        a.tbz(Reg::X4, 0, even);
+        a.mov_imm64(Reg::X6, 1);
+        a.bind(even);
+        a.push(Inst::Hlt);
+        run_user(&mut m, &a.assemble().unwrap());
+        assert_eq!(m.cpu.get(Reg::X0), u64::MAX);
+        assert_eq!(m.cpu.get(Reg::X4), 100);
+        assert_eq!(m.cpu.get(Reg::X5), 2, "tbnz must have taken the branch");
+        assert_eq!(m.cpu.get(Reg::X6), 0, "tbz must have skipped the mov");
+    }
+
+    #[test]
+    fn pair_loads_and_stores() {
+        let mut m = machine();
+        m.map_page(USER_DATA, Perms::user_rw());
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X0, USER_DATA + 0x100);
+        a.mov_imm64(Reg::X1, 0x1111_2222_3333_4444);
+        a.mov_imm64(Reg::X2, 0x5555_6666_7777_8888);
+        a.push(Inst::Stp { rt: Reg::X1, rt2: Reg::X2, rn: Reg::X0, offset: 16 });
+        a.push(Inst::Ldp { rt: Reg::X3, rt2: Reg::X4, rn: Reg::X0, offset: 16 });
+        a.push(Inst::Hlt);
+        run_user(&mut m, &a.assemble().unwrap());
+        assert_eq!(m.cpu.get(Reg::X3), 0x1111_2222_3333_4444);
+        assert_eq!(m.cpu.get(Reg::X4), 0x5555_6666_7777_8888);
+        assert_eq!(m.mem.debug_read_u64(USER_DATA + 0x118), Some(0x5555_6666_7777_8888));
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip_through_memory() {
+        let mut m = machine();
+        m.map_page(USER_DATA, Perms::user_rw());
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X0, USER_DATA + 0x100);
+        a.mov_imm64(Reg::X1, 0xDEAD_BEEF_1234_5678);
+        a.push(Inst::Str { rt: Reg::X1, rn: Reg::X0, offset: 0 });
+        a.push(Inst::Ldr { rt: Reg::X2, rn: Reg::X0, offset: 0 });
+        a.push(Inst::Ldrb { rt: Reg::X3, rn: Reg::X0, offset: 0 });
+        a.push(Inst::Hlt);
+        run_user(&mut m, &a.assemble().unwrap());
+        assert_eq!(m.cpu.get(Reg::X2), 0xDEAD_BEEF_1234_5678);
+        assert_eq!(m.cpu.get(Reg::X3), 0x78);
+        assert_eq!(m.mem.debug_read_u64(USER_DATA + 0x100), Some(0xDEAD_BEEF_1234_5678));
+    }
+
+    #[test]
+    fn loops_and_conditionals_execute() {
+        // sum 1..=10 via a loop
+        let mut m = machine();
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.mov_imm64(Reg::X0, 10);
+        a.mov_imm64(Reg::X1, 0);
+        a.bind(top);
+        a.push(Inst::AddReg { rd: Reg::X1, rn: Reg::X1, rm: Reg::X0 });
+        a.push(Inst::SubImm { rd: Reg::X0, rn: Reg::X0, imm: 1 });
+        a.cbnz(Reg::X0, top);
+        a.push(Inst::Hlt);
+        run_user(&mut m, &a.assemble().unwrap());
+        assert_eq!(m.cpu.get(Reg::X1), 55);
+    }
+
+    #[test]
+    fn architectural_pac_roundtrip() {
+        let mut m = machine();
+        m.cpu.keys.write_half(SysReg::ApiaKeyLo, 0x1234);
+        m.cpu.keys.write_half(SysReg::ApiaKeyHi, 0x5678);
+        m.map_page(USER_DATA, Perms::user_rw());
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X0, USER_DATA + 8);
+        a.mov_imm64(Reg::X1, 0x77);
+        a.push(Inst::Pac { key: PacKey::Ia, rd: Reg::X0, modifier: PacModifier::Reg(Reg::X1) });
+        a.push(Inst::MovReg { rd: Reg::X4, rn: Reg::X0 }); // keep signed copy
+        a.push(Inst::Aut { key: PacKey::Ia, rd: Reg::X0, modifier: PacModifier::Reg(Reg::X1) });
+        a.push(Inst::Ldr { rt: Reg::X2, rn: Reg::X0, offset: 0 }); // must not fault
+        a.push(Inst::Hlt);
+        run_user(&mut m, &a.assemble().unwrap());
+        assert_eq!(m.cpu.get(Reg::X0), USER_DATA + 8, "AUT strips the PAC");
+        assert_ne!(m.cpu.get(Reg::X4), USER_DATA + 8, "PAC must actually sign");
+    }
+
+    #[test]
+    fn architectural_aut_failure_crashes_on_use() {
+        let mut m = machine();
+        m.cpu.keys.write_half(SysReg::ApiaKeyLo, 0x9999);
+        m.map_page(USER_DATA, Perms::user_rw());
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X0, USER_DATA + 8);
+        a.mov_imm64(Reg::X1, 0x77);
+        a.push(Inst::Pac { key: PacKey::Ia, rd: Reg::X0, modifier: PacModifier::Reg(Reg::X1) });
+        a.mov_imm64(Reg::X1, 0x78); // wrong modifier
+        a.push(Inst::Aut { key: PacKey::Ia, rd: Reg::X0, modifier: PacModifier::Reg(Reg::X1) });
+        a.push(Inst::Ldr { rt: Reg::X2, rn: Reg::X0, offset: 0 }); // faults
+        a.push(Inst::Hlt);
+        let prog = a.assemble().unwrap();
+        m.map_region(USER_CODE, 4 * prog.len() as u64, Perms::user_rwx());
+        m.load_program(USER_CODE, &prog);
+        m.cpu.pc = USER_CODE;
+        let err = m.run(1000).unwrap_err();
+        assert!(matches!(err, Trap::TranslationFault { access: AccessKind::Load, .. }));
+    }
+
+    #[test]
+    fn el0_cannot_touch_kernel_pages_or_key_registers() {
+        let mut m = machine();
+        let kva = 0xFFFF_FFF0_0000_0000u64;
+        m.map_page(kva, Perms::kernel_rw());
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X0, kva);
+        a.push(Inst::Ldr { rt: Reg::X1, rn: Reg::X0, offset: 0 });
+        let prog = a.assemble().unwrap();
+        m.map_region(USER_CODE, 64, Perms::user_rwx());
+        m.load_program(USER_CODE, &prog);
+        m.cpu.pc = USER_CODE;
+        assert!(matches!(m.run(10), Err(Trap::PermissionFault { .. })));
+
+        let mut a = Asm::new();
+        a.push(Inst::Mrs { rd: Reg::X0, sysreg: SysReg::ApiaKeyLo });
+        let prog = a.assemble().unwrap();
+        m.load_program(USER_CODE, &prog);
+        m.cpu.pc = USER_CODE;
+        assert!(matches!(m.run(10), Err(Trap::SysRegAccess { .. })));
+    }
+
+    #[test]
+    fn timed_loads_distinguish_dtlb_hits_from_misses() {
+        let mut m = machine();
+        m.set_timing_source(TimingSource::MultiThread);
+        m.map_page(USER_DATA, Perms::user_rw());
+        // First access: walk (slow). Second: everything hot (fast).
+        let cold = m.timed_user_load(USER_DATA).unwrap();
+        let hot = m.timed_user_load(USER_DATA).unwrap();
+        assert!(hot <= 27, "hot load measured {hot} ticks");
+        assert!(cold >= 32, "cold load measured {cold} ticks");
+    }
+
+    #[test]
+    fn mispredicted_branch_opens_a_speculative_shadow() {
+        let mut m = machine();
+        m.map_page(USER_DATA, Perms::user_rw());
+        let secret = USER_DATA + 0x2000;
+        m.map_page(secret, Perms::user_rw());
+
+        // if (x1 != 0) load [x2];  — train taken, then flip.
+        let mut a = Asm::new();
+        let skip = a.new_label();
+        a.cbz(Reg::X1, skip);
+        a.push(Inst::Ldr { rt: Reg::X3, rn: Reg::X2, offset: 0 });
+        a.bind(skip);
+        a.push(Inst::Hlt);
+        let prog = a.assemble().unwrap();
+        m.map_region(USER_CODE, 64, Perms::user_rwx());
+        m.load_program(USER_CODE, &prog);
+
+        // Train: x1=1 (branch not taken at cbz — i.e. fall through to the
+        // load) so the predictor learns "not taken".
+        for _ in 0..4 {
+            m.cpu.pc = USER_CODE;
+            m.cpu.set(Reg::X1, 1);
+            m.cpu.set(Reg::X2, USER_DATA);
+            m.run(100).unwrap();
+        }
+        // Flush the secret page's TLB entry footprint, then run with x1=0:
+        // architecturally the load is skipped, but the wrong path executes
+        // it speculatively.
+        m.mem.tlbs.flush();
+        let episodes_before = m.stats.spec_episodes;
+        m.cpu.pc = USER_CODE;
+        m.cpu.set(Reg::X1, 0);
+        m.cpu.set(Reg::X2, secret);
+        m.run(100).unwrap();
+        assert_eq!(m.stats.spec_episodes, episodes_before + 1);
+        assert_eq!(m.cpu.get(Reg::X3), 0, "architectural state untouched");
+        assert!(
+            m.mem.tlbs.dtlb().contains(VirtualAddress::new(secret).vpn()),
+            "speculative load must leave a dTLB footprint"
+        );
+    }
+
+    #[test]
+    fn speculative_faults_are_suppressed() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        let skip = a.new_label();
+        a.cbz(Reg::X1, skip);
+        a.push(Inst::Ldr { rt: Reg::X3, rn: Reg::X2, offset: 0 });
+        a.bind(skip);
+        a.push(Inst::Hlt);
+        let prog = a.assemble().unwrap();
+        m.map_region(USER_CODE, 64, Perms::user_rwx());
+        m.map_page(USER_DATA, Perms::user_rw());
+        m.load_program(USER_CODE, &prog);
+        for _ in 0..4 {
+            m.cpu.pc = USER_CODE;
+            m.cpu.set(Reg::X1, 1);
+            m.cpu.set(Reg::X2, USER_DATA);
+            m.run(100).unwrap();
+        }
+        m.cpu.pc = USER_CODE;
+        m.cpu.set(Reg::X1, 0);
+        m.cpu.set(Reg::X2, 0x00F0_DEAD_0000_0000); // non-canonical
+        let before = m.stats.spec_faults_suppressed;
+        m.run(100).expect("speculative fault must not become architectural");
+        assert_eq!(m.stats.spec_faults_suppressed, before + 1);
+    }
+
+    #[test]
+    fn svc_eret_roundtrip_runs_kernel_code() {
+        let mut m = machine();
+        let kcode = 0xFFFF_FFF0_0010_0000u64;
+        m.map_region(kcode, 256, Perms::kernel_rx());
+        // Kernel: x0 = x16 + 1; eret.
+        let mut k = Asm::new();
+        k.push(Inst::AddImm { rd: Reg::X0, rn: Reg::X16, imm: 1 });
+        k.push(Inst::Eret);
+        let kprog = k.assemble().unwrap();
+        {
+            // kernel pages are not debug-writable via user perms; write via phys
+            for (i, inst) in kprog.iter().enumerate() {
+                let w = encode(inst).unwrap();
+                let pa = m
+                    .mem
+                    .tables
+                    .translate(&m.mem.phys, VirtualAddress::new(kcode + 4 * i as u64))
+                    .unwrap();
+                m.mem.phys.write_u32(pa, w);
+            }
+        }
+        m.set_vbar(kcode);
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X16, 41);
+        a.push(Inst::Svc { imm: 0 });
+        a.push(Inst::Hlt);
+        run_user(&mut m, &a.assemble().unwrap());
+        assert_eq!(m.cpu.get(Reg::X0), 42);
+        assert_eq!(m.cpu.el, El::El0);
+        assert_eq!(m.stats.syscalls, 1);
+    }
+
+    #[test]
+    fn pmcr0_gate_controls_el0_pmc0_reads() {
+        let mut m = machine();
+        m.set_timing_source(TimingSource::Pmc0);
+        assert!(m.read_timer().is_none(), "PMC0 must trap at EL0 by default");
+        m.timers.pmc0_el0_enabled = true; // what the kext does
+        assert!(m.read_timer().is_some());
+    }
+}

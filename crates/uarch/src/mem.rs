@@ -1,0 +1,145 @@
+//! Sparse physical memory.
+
+use std::collections::HashMap;
+
+use pacman_isa::ptr::PAGE_SIZE;
+
+/// Physical frame number.
+pub type Pfn = u64;
+
+/// Byte-addressable sparse physical memory organised in 16 KB frames, with
+/// a bump allocator for fresh frames.
+#[derive(Debug, Default)]
+pub struct PhysMemory {
+    frames: HashMap<Pfn, Box<[u8]>>,
+    next_pfn: Pfn,
+}
+
+impl PhysMemory {
+    /// Creates empty physical memory.
+    pub fn new() -> Self {
+        Self { frames: HashMap::new(), next_pfn: 1 } // PFN 0 reserved
+    }
+
+    /// Allocates a zeroed frame and returns its frame number.
+    pub fn alloc_frame(&mut self) -> Pfn {
+        let pfn = self.next_pfn;
+        self.next_pfn += 1;
+        self.frames.insert(pfn, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        pfn
+    }
+
+    /// Number of allocated frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame(&self, pa: u64) -> Option<&[u8]> {
+        self.frames.get(&(pa / PAGE_SIZE)).map(|f| &f[..])
+    }
+
+    fn frame_mut(&mut self, pa: u64) -> Option<&mut [u8]> {
+        self.frames.get_mut(&(pa / PAGE_SIZE)).map(|f| &mut f[..])
+    }
+
+    /// Reads one byte of physical memory (zero for unbacked addresses).
+    pub fn read_u8(&self, pa: u64) -> u8 {
+        self.frame(pa).map_or(0, |f| f[(pa % PAGE_SIZE) as usize])
+    }
+
+    /// Writes one byte; silently ignored for unbacked addresses.
+    pub fn write_u8(&mut self, pa: u64, v: u8) {
+        if let Some(f) = self.frame_mut(pa) {
+            f[(pa % PAGE_SIZE) as usize] = v;
+        }
+    }
+
+    /// Reads a little-endian 32-bit word (may straddle frames).
+    pub fn read_u32(&self, pa: u64) -> u32 {
+        let mut b = [0u8; 4];
+        for (i, slot) in b.iter_mut().enumerate() {
+            *slot = self.read_u8(pa + i as u64);
+        }
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian 32-bit word.
+    pub fn write_u32(&mut self, pa: u64, v: u32) {
+        for (i, byte) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(pa + i as u64, *byte);
+        }
+    }
+
+    /// Reads a little-endian 64-bit word.
+    pub fn read_u64(&self, pa: u64) -> u64 {
+        let mut b = [0u8; 8];
+        for (i, slot) in b.iter_mut().enumerate() {
+            *slot = self.read_u8(pa + i as u64);
+        }
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian 64-bit word.
+    pub fn write_u64(&mut self, pa: u64, v: u64) {
+        for (i, byte) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(pa + i as u64, *byte);
+        }
+    }
+
+    /// Copies a byte slice into physical memory.
+    pub fn write_bytes(&mut self, pa: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(pa + i as u64, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_16kb_and_zeroed() {
+        let mut m = PhysMemory::new();
+        let pfn = m.alloc_frame();
+        let base = pfn * PAGE_SIZE;
+        assert_eq!(m.read_u64(base), 0);
+        assert_eq!(m.read_u8(base + PAGE_SIZE - 1), 0);
+    }
+
+    #[test]
+    fn word_roundtrips_within_a_frame() {
+        let mut m = PhysMemory::new();
+        let base = m.alloc_frame() * PAGE_SIZE;
+        m.write_u64(base + 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(base + 8), 0x1122_3344_5566_7788);
+        m.write_u32(base + 100, 0xDEADBEEF);
+        assert_eq!(m.read_u32(base + 100), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn words_straddle_frames() {
+        let mut m = PhysMemory::new();
+        let a = m.alloc_frame();
+        let b = m.alloc_frame();
+        assert_eq!(b, a + 1, "bump allocator must be contiguous");
+        let boundary = b * PAGE_SIZE - 4;
+        m.write_u64(boundary, 0xA1B2_C3D4_E5F6_0718);
+        assert_eq!(m.read_u64(boundary), 0xA1B2_C3D4_E5F6_0718);
+    }
+
+    #[test]
+    fn unbacked_reads_are_zero_and_writes_ignored() {
+        let mut m = PhysMemory::new();
+        m.write_u64(0x8000_0000, 42);
+        assert_eq!(m.read_u64(0x8000_0000), 0);
+    }
+
+    #[test]
+    fn write_bytes_copies() {
+        let mut m = PhysMemory::new();
+        let base = m.alloc_frame() * PAGE_SIZE;
+        m.write_bytes(base, &[1, 2, 3, 4]);
+        assert_eq!(m.read_u32(base), u32::from_le_bytes([1, 2, 3, 4]));
+    }
+}

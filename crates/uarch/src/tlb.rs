@@ -1,0 +1,411 @@
+//! The TLB hierarchy reverse-engineered in paper §7 (Figure 6).
+//!
+//! Per p-core there are four structures:
+//!
+//! - two private L1 instruction TLBs (4 ways × 32 sets), one for
+//!   userspace and one for kernelspace fetches — *not* shared across
+//!   privilege levels;
+//! - one L1 data TLB (12 ways × 256 sets), shared across privilege
+//!   levels — the channel all the PoC attacks monitor;
+//! - one L2 TLB (23 ways × 2048 sets), shared.
+//!
+//! The paper's key §7.3 finding is modelled exactly: the L1 dTLB serves as
+//! a **non-inclusive backing store** of the iTLBs — an entry evicted from
+//! an iTLB is inserted into the dTLB (becoming visible to loads), while an
+//! entry resident only in an iTLB is invisible to the load/store port.
+
+use crate::paging::Perms;
+
+/// Geometry of one TLB structure.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct TlbParams {
+    /// Associativity.
+    pub ways: usize,
+    /// Number of sets (power of two).
+    pub sets: usize,
+}
+
+/// One cached translation.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct TlbEntry {
+    /// Virtual page number (canonical VA bits `[47:14]`).
+    pub vpn: u64,
+    /// Physical frame number.
+    pub pfn: u64,
+    /// Page permissions.
+    pub perms: Perms,
+}
+
+/// A single set-associative, true-LRU TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    params: TlbParams,
+    sets: Vec<Vec<TlbEntry>>,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(params: TlbParams) -> Self {
+        assert!(params.ways > 0 && params.sets.is_power_of_two());
+        Self { params, sets: vec![Vec::new(); params.sets] }
+    }
+
+    /// This TLB's geometry.
+    pub fn params(&self) -> TlbParams {
+        self.params
+    }
+
+    /// The set index a virtual page number maps to.
+    pub fn set_of(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.params.sets - 1)
+    }
+
+    /// Looks up a translation, promoting it to MRU on hit.
+    pub fn lookup(&mut self, vpn: u64) -> Option<TlbEntry> {
+        let set = self.set_of(vpn);
+        let ways = &mut self.sets[set];
+        let pos = ways.iter().position(|e| e.vpn == vpn)?;
+        let entry = ways.remove(pos);
+        ways.insert(0, entry);
+        Some(entry)
+    }
+
+    /// Presence check without LRU side effects.
+    pub fn contains(&self, vpn: u64) -> bool {
+        self.sets[self.set_of(vpn)].iter().any(|e| e.vpn == vpn)
+    }
+
+    /// Inserts an entry as MRU, returning the evicted LRU victim if the
+    /// set overflowed. Re-inserting an existing vpn replaces it.
+    pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
+        let set = self.set_of(entry.vpn);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|e| e.vpn == entry.vpn) {
+            ways.remove(pos);
+        }
+        ways.insert(0, entry);
+        if ways.len() > self.params.ways {
+            ways.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drops the entry for `vpn` if present.
+    pub fn invalidate(&mut self, vpn: u64) -> bool {
+        let set = self.set_of(vpn);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|e| e.vpn == vpn) {
+            ways.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops everything (a `tlbi`-style full invalidate).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of valid entries currently in `set`.
+    pub fn occupancy(&self, set: usize) -> usize {
+        self.sets[set].len()
+    }
+}
+
+/// Which privilege level an instruction fetch executes at (selects the
+/// private iTLB).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum FetchWorld {
+    /// EL0 fetch.
+    User,
+    /// EL1 fetch.
+    Kernel,
+}
+
+/// Result of a data-side hierarchy lookup.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum DataLookup {
+    /// Hit in the L1 dTLB.
+    DtlbHit(TlbEntry),
+    /// Missed the dTLB, hit the L2 TLB; the dTLB has been refilled.
+    L2Hit(TlbEntry),
+    /// Missed everywhere; the caller must walk the page tables and then
+    /// call [`TlbHierarchy::fill_data`].
+    Miss,
+}
+
+/// Result of an instruction-side hierarchy lookup.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum FetchLookup {
+    /// Hit in the private L1 iTLB.
+    ItlbHit(TlbEntry),
+    /// Missed the iTLB, hit the L2 TLB; the iTLB has been refilled (and
+    /// any iTLB victim migrated into the dTLB).
+    L2Hit(TlbEntry),
+    /// Missed everywhere; walk then call [`TlbHierarchy::fill_fetch`].
+    Miss,
+}
+
+/// Per-structure hit/miss counters.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct TlbStats {
+    /// dTLB hits.
+    pub dtlb_hits: u64,
+    /// dTLB misses.
+    pub dtlb_misses: u64,
+    /// iTLB hits (both worlds).
+    pub itlb_hits: u64,
+    /// iTLB misses (both worlds).
+    pub itlb_misses: u64,
+    /// L2 TLB hits.
+    pub l2_hits: u64,
+    /// Full page-table walks.
+    pub walks: u64,
+    /// iTLB victims migrated into the dTLB (the §7.3 backing-store path).
+    pub itlb_to_dtlb_migrations: u64,
+}
+
+/// The full Figure 6 hierarchy.
+#[derive(Clone, Debug)]
+pub struct TlbHierarchy {
+    itlb_user: Tlb,
+    itlb_kernel: Tlb,
+    dtlb: Tlb,
+    l2: Tlb,
+    /// Counters (public for experiment reporting).
+    pub stats: TlbStats,
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy from per-structure parameters.
+    pub fn new(itlb: TlbParams, dtlb: TlbParams, l2: TlbParams) -> Self {
+        Self {
+            itlb_user: Tlb::new(itlb),
+            itlb_kernel: Tlb::new(itlb),
+            dtlb: Tlb::new(dtlb),
+            l2: Tlb::new(l2),
+            stats: TlbStats::default(),
+        }
+    }
+
+    fn itlb_mut(&mut self, world: FetchWorld) -> &mut Tlb {
+        match world {
+            FetchWorld::User => &mut self.itlb_user,
+            FetchWorld::Kernel => &mut self.itlb_kernel,
+        }
+    }
+
+    /// Shared-dTLB accessor (read-only; the probe primitives in the attack
+    /// crate go through timed loads, not this).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// The private iTLB for a world (read-only).
+    pub fn itlb(&self, world: FetchWorld) -> &Tlb {
+        match world {
+            FetchWorld::User => &self.itlb_user,
+            FetchWorld::Kernel => &self.itlb_kernel,
+        }
+    }
+
+    /// The shared L2 TLB (read-only).
+    pub fn l2(&self) -> &Tlb {
+        &self.l2
+    }
+
+    /// Data-side lookup for a load/store.
+    pub fn lookup_data(&mut self, vpn: u64) -> DataLookup {
+        if let Some(e) = self.dtlb.lookup(vpn) {
+            self.stats.dtlb_hits += 1;
+            return DataLookup::DtlbHit(e);
+        }
+        self.stats.dtlb_misses += 1;
+        if let Some(e) = self.l2.lookup(vpn) {
+            self.stats.l2_hits += 1;
+            self.dtlb.insert(e); // dTLB victim is simply dropped
+            return DataLookup::L2Hit(e);
+        }
+        DataLookup::Miss
+    }
+
+    /// Installs a walked translation on the data side (L2 + dTLB).
+    pub fn fill_data(&mut self, entry: TlbEntry) {
+        self.stats.walks += 1;
+        self.l2.insert(entry);
+        self.dtlb.insert(entry);
+    }
+
+    /// Instruction-side lookup for a fetch at the given privilege.
+    pub fn lookup_fetch(&mut self, world: FetchWorld, vpn: u64) -> FetchLookup {
+        if let Some(e) = self.itlb_mut(world).lookup(vpn) {
+            self.stats.itlb_hits += 1;
+            return FetchLookup::ItlbHit(e);
+        }
+        self.stats.itlb_misses += 1;
+        if let Some(e) = self.l2.lookup(vpn) {
+            self.stats.l2_hits += 1;
+            self.fill_itlb_with_migration(world, e);
+            return FetchLookup::L2Hit(e);
+        }
+        FetchLookup::Miss
+    }
+
+    /// Installs a walked translation on the fetch side (L2 + iTLB, with
+    /// victim migration into the dTLB).
+    pub fn fill_fetch(&mut self, world: FetchWorld, entry: TlbEntry) {
+        self.stats.walks += 1;
+        self.l2.insert(entry);
+        self.fill_itlb_with_migration(world, entry);
+    }
+
+    /// The §7.3 behaviour: an iTLB fill whose victim is re-homed into the
+    /// shared dTLB, where userspace Prime+Probe can see it.
+    fn fill_itlb_with_migration(&mut self, world: FetchWorld, entry: TlbEntry) {
+        if let Some(victim) = self.itlb_mut(world).insert(entry) {
+            self.stats.itlb_to_dtlb_migrations += 1;
+            self.dtlb.insert(victim);
+        }
+    }
+
+    /// Full hierarchy invalidate.
+    pub fn flush(&mut self) {
+        self.itlb_user.flush();
+        self.itlb_kernel.flush();
+        self.dtlb.flush();
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(vpn: u64) -> TlbEntry {
+        TlbEntry { vpn, pfn: vpn + 1000, perms: Perms::kernel_rwx() }
+    }
+
+    fn small_hierarchy() -> TlbHierarchy {
+        TlbHierarchy::new(
+            TlbParams { ways: 2, sets: 4 },
+            TlbParams { ways: 3, sets: 8 },
+            TlbParams { ways: 4, sets: 16 },
+        )
+    }
+
+    #[test]
+    fn tlb_lru_and_eviction() {
+        let mut t = Tlb::new(TlbParams { ways: 2, sets: 4 });
+        // vpns 0, 4, 8 all map to set 0.
+        assert!(t.insert(entry(0)).is_none());
+        assert!(t.insert(entry(4)).is_none());
+        let victim = t.insert(entry(8)).expect("set overflow evicts");
+        assert_eq!(victim.vpn, 0);
+        assert!(t.contains(4) && t.contains(8) && !t.contains(0));
+    }
+
+    #[test]
+    fn lookup_promotes_to_mru() {
+        let mut t = Tlb::new(TlbParams { ways: 2, sets: 4 });
+        t.insert(entry(0));
+        t.insert(entry(4));
+        assert!(t.lookup(0).is_some());
+        let victim = t.insert(entry(8)).unwrap();
+        assert_eq!(victim.vpn, 4, "entry 0 was refreshed, 4 is LRU");
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut t = Tlb::new(TlbParams { ways: 2, sets: 4 });
+        t.insert(entry(0));
+        let mut e = entry(0);
+        e.pfn = 77;
+        assert!(t.insert(e).is_none());
+        assert_eq!(t.lookup(0).unwrap().pfn, 77);
+        assert_eq!(t.occupancy(0), 1);
+    }
+
+    #[test]
+    fn data_lookup_fills_from_l2() {
+        let mut h = small_hierarchy();
+        h.fill_data(entry(5));
+        // Knock it out of the dTLB only.
+        assert!(h.dtlb.contains(5));
+        h.dtlb.invalidate(5);
+        assert_eq!(h.lookup_data(5), DataLookup::L2Hit(entry(5)));
+        // Now it is back in the dTLB.
+        assert_eq!(h.lookup_data(5), DataLookup::DtlbHit(entry(5)));
+    }
+
+    #[test]
+    fn data_miss_requires_walk() {
+        let mut h = small_hierarchy();
+        assert_eq!(h.lookup_data(9), DataLookup::Miss);
+        h.fill_data(entry(9));
+        assert_eq!(h.lookup_data(9), DataLookup::DtlbHit(entry(9)));
+    }
+
+    #[test]
+    fn itlbs_are_private_per_world() {
+        let mut h = small_hierarchy();
+        h.fill_fetch(FetchWorld::Kernel, entry(3));
+        assert!(h.itlb(FetchWorld::Kernel).contains(3));
+        assert!(!h.itlb(FetchWorld::User).contains(3));
+        // A user fetch of the same page misses its own iTLB and refills
+        // from L2.
+        assert_eq!(h.lookup_fetch(FetchWorld::User, 3), FetchLookup::L2Hit(entry(3)));
+        assert!(h.itlb(FetchWorld::User).contains(3));
+    }
+
+    #[test]
+    fn itlb_resident_entry_is_invisible_to_loads() {
+        // §7.3: an entry only in the iTLB (and L2) does not hit on the
+        // data side — loads must go to the L2 TLB.
+        let mut h = small_hierarchy();
+        h.fill_fetch(FetchWorld::Kernel, entry(7));
+        assert!(!h.dtlb().contains(7));
+        assert_eq!(h.lookup_data(7), DataLookup::L2Hit(entry(7)));
+    }
+
+    #[test]
+    fn itlb_eviction_migrates_victim_into_dtlb() {
+        // §7.3: filling an iTLB set past its associativity re-homes the
+        // LRU entry into the shared dTLB. This is the mechanism the
+        // instruction-gadget PoC (§8.1) depends on.
+        let mut h = small_hierarchy();
+        // iTLB: 2 ways, 4 sets; vpns 0,4,8 share iTLB set 0.
+        h.fill_fetch(FetchWorld::Kernel, entry(0));
+        h.fill_fetch(FetchWorld::Kernel, entry(4));
+        assert!(!h.dtlb().contains(0));
+        h.fill_fetch(FetchWorld::Kernel, entry(8)); // evicts vpn 0
+        assert!(h.dtlb().contains(0), "victim must appear in the shared dTLB");
+        assert_eq!(h.stats.itlb_to_dtlb_migrations, 1);
+        // And it is now visible to loads as a dTLB hit.
+        assert_eq!(h.lookup_data(0), DataLookup::DtlbHit(entry(0)));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut h = small_hierarchy();
+        h.fill_data(entry(1));
+        h.fill_fetch(FetchWorld::User, entry(2));
+        h.flush();
+        assert_eq!(h.lookup_data(1), DataLookup::Miss);
+        assert_eq!(h.lookup_fetch(FetchWorld::User, 2), FetchLookup::Miss);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut h = small_hierarchy();
+        h.fill_data(entry(1));
+        let _ = h.lookup_data(1); // hit
+        let _ = h.lookup_data(2); // miss (walk not performed)
+        assert_eq!(h.stats.dtlb_hits, 1);
+        assert_eq!(h.stats.dtlb_misses, 1);
+        assert_eq!(h.stats.walks, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Speculation event tracing — the Figure 3 timelines, observable.
+//!
+//! When enabled, the speculative engine records one event per
+//! microarchitecturally relevant step of a wrong-path episode. The
+//! sequence for a PACMAN gadget reproduces the paper's Figure 3(c)/(d)
+//! timelines exactly: shadow opened (t1), `AUT` executed (t2/t3),
+//! BTB-predicted fetch (t2, instruction gadget), eager squash + redirect
+//! (t3/t4), transmit issued or speculative fault suppressed (t4/t5).
+//!
+//! Tracing is off by default (zero overhead in the common path beyond a
+//! branch) and is a debugging/teaching aid, not part of the attack.
+
+/// One recorded speculation event.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum SpecEvent {
+    /// A mispredicted branch opened a speculation shadow (t1).
+    ShadowOpened {
+        /// PC of the mispredicted branch.
+        branch_pc: u64,
+        /// First wrong-path PC.
+        wrong_path_pc: u64,
+    },
+    /// A pointer-authentication instruction executed on the wrong path
+    /// (t2..t3).
+    AutExecuted {
+        /// Wrong-path PC of the `AUT`.
+        pc: u64,
+        /// Whether the embedded PAC verified.
+        valid: bool,
+        /// The pointer written back (canonical or corrupted).
+        result: u64,
+    },
+    /// A wrong-path load/store was issued to the memory hierarchy — the
+    /// data-gadget transmit (t3).
+    SpecAccessIssued {
+        /// Wrong-path PC.
+        pc: u64,
+        /// Virtual address touched.
+        va: u64,
+    },
+    /// An indirect branch fetched its BTB-predicted target while its
+    /// operand resolved (t2, Figure 3(d)).
+    BtbPredictedFetch {
+        /// Wrong-path PC of the indirect branch.
+        pc: u64,
+        /// Predicted target.
+        predicted: u64,
+    },
+    /// The inner branch was eagerly squashed and fetch redirected to the
+    /// resolved target — the instruction-gadget transmit (t3/t4).
+    EagerSquashRedirect {
+        /// Wrong-path PC of the indirect branch.
+        pc: u64,
+        /// Resolved target (the verified pointer).
+        actual: u64,
+    },
+    /// A wrong-path access faulted; the fault was suppressed (t4/t5).
+    FaultSuppressed {
+        /// Wrong-path PC.
+        pc: u64,
+        /// Faulting address.
+        va: u64,
+    },
+    /// A mitigation blocked a wrong-path action.
+    MitigationBlocked {
+        /// Wrong-path PC.
+        pc: u64,
+        /// Which mechanism fired.
+        what: &'static str,
+    },
+    /// The shadow closed (squash of the outer branch, t4/t5).
+    ShadowClosed {
+        /// Wrong-path instructions executed.
+        instructions: u32,
+    },
+}
+
+impl std::fmt::Display for SpecEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecEvent::ShadowOpened { branch_pc, wrong_path_pc } => {
+                write!(f, "t1: branch {branch_pc:#x} mispredicts; wrong path starts at {wrong_path_pc:#x}")
+            }
+            SpecEvent::AutExecuted { pc, valid, result } => write!(
+                f,
+                "t2: AUT at {pc:#x} -> {} pointer {result:#x}",
+                if *valid { "VALID" } else { "corrupt" }
+            ),
+            SpecEvent::SpecAccessIssued { pc, va } => {
+                write!(f, "t3: transmit at {pc:#x} issues access to {va:#x} (TLB fill)")
+            }
+            SpecEvent::BtbPredictedFetch { pc, predicted } => {
+                write!(f, "t2: BR2 at {pc:#x} fetches BTB-predicted {predicted:#x}")
+            }
+            SpecEvent::EagerSquashRedirect { pc, actual } => {
+                write!(f, "t3: eager squash of BR2 at {pc:#x}; fetch redirected to {actual:#x}")
+            }
+            SpecEvent::FaultSuppressed { pc, va } => {
+                write!(f, "t4: access to {va:#x} at {pc:#x} faults speculatively (suppressed)")
+            }
+            SpecEvent::MitigationBlocked { pc, what } => {
+                write!(f, "--: {what} blocks the wrong path at {pc:#x}")
+            }
+            SpecEvent::ShadowClosed { instructions } => {
+                write!(f, "t5: outer branch squashed after {instructions} wrong-path instructions")
+            }
+        }
+    }
+}
+
+/// The recorder attached to a machine.
+#[derive(Clone, Debug, Default)]
+pub struct SpecTrace {
+    enabled: bool,
+    events: Vec<SpecEvent>,
+}
+
+impl SpecTrace {
+    /// Starts recording (clears previous events).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+        self.events.clear();
+    }
+
+    /// Stops recording.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Takes the recorded events, leaving the recorder empty.
+    pub fn take(&mut self) -> Vec<SpecEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Read-only view of the recorded events.
+    pub fn events(&self) -> &[SpecEvent] {
+        &self.events
+    }
+
+    pub(crate) fn record(&mut self, event: SpecEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_events() {
+        let mut t = SpecTrace::default();
+        t.record(SpecEvent::ShadowClosed { instructions: 1 });
+        assert!(t.events().is_empty());
+        t.enable();
+        t.record(SpecEvent::ShadowClosed { instructions: 2 });
+        assert_eq!(t.events().len(), 1);
+        let taken = t.take();
+        assert_eq!(taken.len(), 1);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn events_render_as_timeline_lines() {
+        let e = SpecEvent::EagerSquashRedirect { pc: 0x40, actual: 0x8000 };
+        assert!(e.to_string().contains("eager squash"));
+        let e = SpecEvent::FaultSuppressed { pc: 0x44, va: 0xBAD };
+        assert!(e.to_string().contains("suppressed"));
+    }
+}

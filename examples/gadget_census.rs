@@ -1,0 +1,45 @@
+//! §4.3 reproduction: the PACMAN-gadget census.
+//!
+//! ```text
+//! cargo run --release --example gadget_census [functions]
+//! ```
+//!
+//! Generates a synthetic PA-enabled kernel image (we cannot ship Apple's
+//! XNU binary) and runs the Ghidra-style scanner over it: enumerate
+//! conditional branches, inspect 32 instructions down both directions,
+//! match `AUT` destinations flowing into memory/branch address operands.
+//! The paper's XNU census found 55,159 gadgets (13,867 data / 41,292
+//! instruction) with a mean branch-to-transmit distance of 8.1
+//! instructions; the shape to check here is *abundance*, *instruction
+//! dominance* and *short distances*.
+
+use pacman::gadget::{scan_image, synthesize, ImageSpec, ScanConfig};
+
+fn main() {
+    let functions: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+
+    let spec = ImageSpec { functions, seed: 0xC0DE, ..ImageSpec::default() };
+    let image = synthesize(&spec);
+    println!(
+        "synthetic PA-enabled image: {} functions, {} instructions ({} KiB)",
+        image.functions,
+        image.instructions,
+        image.bytes.len() / 1024
+    );
+
+    let report = scan_image(&image.bytes, &ScanConfig::default());
+    println!("\nconditional branches inspected: {}", report.conditional_branches);
+    println!("potential PACMAN gadgets found: {}", report.total());
+    println!("  data gadgets:        {:>8}", report.data_count());
+    println!("  instruction gadgets: {:>8}", report.instruction_count());
+    println!("mean branch->transmit distance: {:.1} instructions", report.mean_distance());
+
+    let ratio = report.instruction_count() as f64 / report.data_count().max(1) as f64;
+    println!("\ninstruction/data ratio: {ratio:.2} (paper's XNU census: ~2.98)");
+    println!(
+        "gadget density: {:.1} per 1000 instructions",
+        1000.0 * report.total() as f64 / report.instructions as f64
+    );
+    println!("\nconclusion: PACMAN gadgets are readily discoverable in PA-enabled code.");
+}

@@ -1,0 +1,71 @@
+//! §8.3 reproduction: the Jump2Win control-flow hijack, end to end.
+//!
+//! ```text
+//! cargo run --release --example jump2win [window]
+//! ```
+//!
+//! An unprivileged EL0 attacker:
+//!
+//! 1. brute-forces the IA-key PAC of the kernel's `win()` address through
+//!    the cpp kext's salt-matched PACMAN gadget,
+//! 2. brute-forces the DA-key PAC of the fake-vtable address,
+//! 3. overflows `object1.buf` into `object2`'s signed vtable pointer
+//!    (Figure 9),
+//! 4. triggers the C++-style dispatch syscall — both `AUT`s pass and the
+//!    kernel calls `win()`.
+//!
+//! By default the PAC search windows are `window` candidates wide (2048)
+//! and are positioned to contain the true PACs, purely to keep the demo
+//! fast; pass `65536` for the paper's full-space sweep (the attack logic
+//! is identical — it simply tests more candidates, ~2.94 simulated
+//! minutes per key in the paper's measurement).
+
+use pacman::isa::PacKey;
+use pacman::prelude::*;
+
+fn main() {
+    let window: u32 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    let mut sys = System::boot(cfg);
+    println!("victim object at {:#x}; win() at {:#x}", sys.cpp.obj2, sys.cpp.win_fn);
+
+    let mut driver = Jump2Win::new().with_samples(3).with_train_iters(8);
+    if window < 65536 {
+        // Demo mode: centre one narrow window per phase on the true PAC so
+        // the sweep finishes quickly. The attack logic is byte-identical;
+        // only the candidate list shrinks.
+        let t1 = sys.true_pac_with_salt(PacKey::Ia, sys.cpp.win_fn);
+        let t2 = sys.true_pac_with_salt(PacKey::Da, sys.cpp.obj1);
+        let centre = |t: u16| (t.wrapping_sub((window / 2) as u16), window);
+        driver.phase_windows = Some([centre(t1), centre(t2)]);
+        println!("demo mode: sweeping {window} candidates per phase");
+    } else {
+        driver.window = None;
+        println!("full 16-bit sweep: this tests up to 65536 candidates per key");
+    }
+
+    match driver.run(&mut sys) {
+        Ok(report) => {
+            println!("\nrecovered PAC(win, IA)    = {:#06x}", report.pac_win);
+            println!("recovered PAC(vtable, DA) = {:#06x}", report.pac_vtable);
+            println!("PAC candidates tested     = {}", report.guesses_tested);
+            println!("syscalls issued           = {}", report.syscalls);
+            let secs = report.cycles as f64 / sys.machine.config().clock_hz as f64;
+            println!("simulated attack time     = {secs:.3} s");
+            println!("kernel crashes            = {}", report.crashes);
+            println!(
+                "\ncontrol flow hijacked: {}",
+                if report.hijacked { "YES — win() executed at EL1" } else { "no" }
+            );
+            assert!(report.hijacked);
+            assert_eq!(report.crashes, 0);
+        }
+        Err(e) => {
+            println!("attack failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

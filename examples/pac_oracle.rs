@@ -1,0 +1,82 @@
+//! Figure 8 reproduction: PAC-oracle miss-count distributions.
+//!
+//! ```text
+//! cargo run --release --example pac_oracle [trials-per-class]
+//! ```
+//!
+//! Runs the data-gadget and instruction-gadget oracles for many trials,
+//! half with the correct PAC and half with random incorrect PACs, and
+//! prints the miss-count histograms of Figure 8(a)/(b) plus the derived
+//! reliability numbers (the paper reports ≤1 miss for ≥99.2% of incorrect
+//! trials and ≥5 misses for ≥99.6% of correct trials).
+
+use pacman::attack::oracle::CORRECT_MISS_THRESHOLD;
+use pacman::prelude::*;
+
+fn histogram(label: &str, counts: &[usize]) {
+    let mut buckets = [0usize; 13];
+    for &c in counts {
+        buckets[c.min(12)] += 1;
+    }
+    println!("\n{label} ({} trials)", counts.len());
+    println!("misses | frequency");
+    for (misses, &n) in buckets.iter().enumerate() {
+        if n > 0 {
+            let pct = 100.0 * n as f64 / counts.len() as f64;
+            println!("{misses:>6} | {n:>5}  ({pct:5.1}%)  {}", "#".repeat((pct / 2.0) as usize));
+        }
+    }
+}
+
+fn reliability(correct: &[usize], incorrect: &[usize]) {
+    let good =
+        correct.iter().filter(|&&m| m >= CORRECT_MISS_THRESHOLD).count() as f64 / correct.len() as f64;
+    let clean = incorrect.iter().filter(|&&m| m <= 1).count() as f64 / incorrect.len() as f64;
+    println!("correct-PAC trials with >= {CORRECT_MISS_THRESHOLD} misses: {:.1}%", 100.0 * good);
+    println!("incorrect-PAC trials with <= 1 miss:  {:.1}%", 100.0 * clean);
+}
+
+fn run(
+    sys: &mut System,
+    oracle: &mut dyn PacOracle,
+    target: u64,
+    true_pac: u16,
+    trials: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut correct = Vec::with_capacity(trials);
+    let mut incorrect = Vec::with_capacity(trials);
+    for i in 0..trials {
+        correct.push(oracle.trial(sys, target, true_pac).expect("trial"));
+        // A deterministic spread of wrong PACs.
+        let wrong = true_pac ^ ((1 + (i as u16 * 2654435761u32 as u16)) | 1);
+        incorrect.push(oracle.trial(sys, target, wrong).expect("trial"));
+    }
+    (correct, incorrect)
+}
+
+fn main() {
+    let trials: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let mut sys = System::boot(SystemConfig::default());
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target);
+    println!("target {target:#x}, monitored dTLB set {set}, OS noise enabled");
+
+    println!("\n=== Figure 8(a): data PACMAN gadget ===");
+    let mut data = DataPacOracle::new(&mut sys).expect("oracle");
+    let (correct, incorrect) = run(&mut sys, &mut data, target, true_pac, trials);
+    histogram("correct PAC", &correct);
+    histogram("incorrect PAC", &incorrect);
+    reliability(&correct, &incorrect);
+
+    println!("\n=== Figure 8(b): instruction PACMAN gadget ===");
+    let mut instr = InstrPacOracle::new(&mut sys).expect("oracle");
+    let (correct, incorrect) = run(&mut sys, &mut instr, target, true_pac, trials);
+    histogram("correct PAC", &correct);
+    histogram("incorrect PAC", &incorrect);
+    reliability(&correct, &incorrect);
+
+    println!("\nkernel crashes across all trials: {}", sys.kernel.crash_count());
+}

@@ -1,0 +1,50 @@
+//! Quickstart: boot the simulated platform and run the PACMAN PAC oracle.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Boots the M1-like machine with the XNU-like kernel and the paper's
+//! Listing-1 kext, then uses the §8.1 data-gadget oracle to classify a
+//! handful of PAC guesses for an attacker-chosen kernel pointer — without
+//! a single kernel crash.
+
+use pacman::prelude::*;
+
+fn main() {
+    // 1. Boot: machine + kernel + PoC kexts. Per-boot random PA keys.
+    let mut sys = System::boot(SystemConfig::default());
+    println!("booted: {} kernel crashes so far", sys.kernel.crash_count());
+
+    // 2. Choose a target pointer. In a real exploit this is an address the
+    //    attacker wants the kernel to jump to (e.g. a JOP gadget); here it
+    //    is a fresh kernel page in a dTLB set the syscall path leaves
+    //    quiet.
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    println!("target pointer: {target:#x} (dTLB set {set})");
+
+    // Ground truth — evaluation only; the attacker never sees this.
+    let true_pac = sys.true_pac(target);
+
+    // 3. Build the data-gadget PAC oracle (Figure 3(a) / Figure 8(a)).
+    let mut oracle = DataPacOracle::new(&mut sys).expect("oracle setup");
+
+    // 4. Classify guesses. Each test trains the victim branch, primes the
+    //    monitored dTLB set, triggers the gadget speculatively and probes.
+    println!("\n guess    | probe misses | verdict");
+    println!("----------+--------------+--------");
+    for guess in [true_pac, true_pac ^ 0x0001, true_pac ^ 0x0100, true_pac ^ 0x8000] {
+        let verdict = oracle.test_pac(&mut sys, target, guess).expect("oracle trial");
+        println!(
+            " {guess:#06x}  | {:>12} | {}",
+            verdict.median_misses,
+            if verdict.is_correct() { "CORRECT PAC" } else { "wrong" }
+        );
+    }
+
+    // 5. The point of the whole paper:
+    println!("\nkernel crashes caused: {}", sys.kernel.crash_count());
+    assert_eq!(sys.kernel.crash_count(), 0);
+    println!("PAC verification results were leaked speculatively — no crashes.");
+}

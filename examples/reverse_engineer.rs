@@ -1,0 +1,85 @@
+//! §7 reproduction: reverse engineering the TLB hierarchy (Figures 5–7).
+//!
+//! ```text
+//! cargo run --release --example reverse_engineer
+//! ```
+//!
+//! Runs the three stride sweeps of Figure 5 under PacmanOS-style control
+//! (state flushes, PMC0 clock), derives the Figure 6 parameters, and
+//! compares the timers of Figure 7 / Table 1.
+
+use pacman::attack::report::AsciiChart;
+use pacman::attack::sweep::{
+    cache_tlb_sweep, data_tlb_sweep, derive_hierarchy, experiment_machine, itlb_sweep,
+};
+use pacman::attack::timing::{evaluate_timer, table1};
+use pacman::prelude::*;
+
+fn chart(title: &str, series: &[pacman::attack::sweep::SweepSeries]) {
+    let mut c = AsciiChart::new(title);
+    for s in series {
+        let points: Vec<(usize, u64)> = s
+            .points
+            .iter()
+            .filter(|p| p.n % 2 == 0 || p.n == 1)
+            .map(|p| (p.n, p.median))
+            .collect();
+        c.series(format!("stride {}", s.label), points);
+    }
+    println!("{c}");
+}
+
+fn main() {
+    let mut m = experiment_machine();
+
+    println!("### Figure 5(a): data-load sweep (formula x + i*stride + i*128B) ###\n");
+    let fig5a = data_tlb_sweep(&mut m, &[1, 32, 256, 2048]).expect("sweep");
+    chart("median reload latency (cycles) vs N", &fig5a);
+
+    println!("### Figure 5(b): cache/TLB interaction sweep (formula x + i*stride) ###\n");
+    let strides = [256 * 128, 256 * 16384, 2048 * 16384];
+    let fig5b = cache_tlb_sweep(&mut m, &strides).expect("sweep");
+    chart("median reload latency (cycles) vs N", &fig5b);
+
+    println!("### Figure 5(c): instruction-fetch sweep (branch to targets, reload as data) ###\n");
+    let fig5c = itlb_sweep(&mut m, &[32, 256, 2048]).expect("sweep");
+    chart("median reload latency (cycles) vs N", &fig5c);
+
+    println!("### Figure 6: derived TLB hierarchy ###\n");
+    let mut m2 = experiment_machine();
+    let f = derive_hierarchy(&mut m2).expect("derivation");
+    println!("finding 1: L1 dTLB eviction at {} addresses, stride 256 x 16KB", f.dtlb_ways);
+    println!("finding 2: L2 TLB eviction at {} addresses, stride 2048 x 16KB", f.l2_ways);
+    println!("finding 3: L1 iTLB eviction at {} branches,  stride 32 x 16KB", f.itlb_ways);
+    println!(
+        "iTLB victims become visible to loads (dTLB backing store): {}",
+        f.itlb_victims_visible_to_loads
+    );
+
+    println!("\n### Figure 7 / Table 1: timers ###\n");
+    let mut sys = System::boot(SystemConfig::default());
+    for source in [TimingSource::Pmc0, TimingSource::MultiThread] {
+        if source == TimingSource::Pmc0 {
+            let pmc = sys.pmc;
+            pmc.enable(&mut sys.kernel, &mut sys.machine);
+        }
+        sys.machine.set_timing_source(source);
+        let eval = evaluate_timer(&mut sys, 300).expect("timer eval");
+        println!(
+            "{source:?}: dTLB hit {:?}..{:?} ticks, miss {:?}..{:?}, walk median {:?}, threshold {:?}",
+            eval.dtlb_hits.min(),
+            eval.dtlb_hits.max(),
+            eval.dtlb_misses.min(),
+            eval.dtlb_misses.max(),
+            eval.walks.median(),
+            eval.threshold,
+        );
+    }
+    println!();
+    for row in table1(&mut sys).expect("table 1") {
+        println!(
+            "{:<28} {:<16} EL0 by default: {:<5} usable for attack: {}",
+            row.name, row.register, row.el0_by_default, row.usable_for_attack
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the core data structures and invariants.
+
+use pacman::isa::ptr::{
+    authenticate, canonicalize, is_canonical, pac_field, sign, with_pac_field, VirtualAddress,
+};
+use pacman::isa::{decode, encode, Asm, Cond, Inst, PacKey, PacModifier, Reg, SysReg};
+use pacman::qarma::{PacComputer, Qarma64, QarmaKey};
+use pacman::uarch::{Tlb, TlbEntry, TlbParams};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..33).prop_map(|i| Reg::from_index(i).expect("index < 33"))
+}
+
+fn arb_key() -> impl Strategy<Value = PacKey> {
+    (0u8..4).prop_map(|i| PacKey::from_index(i).expect("index < 4"))
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Isb),
+        Just(Inst::Ret),
+        Just(Inst::Eret),
+        Just(Inst::Hlt),
+        any::<u16>().prop_map(|imm| Inst::Svc { imm }),
+        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovZ { rd, imm, shift }),
+        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovK { rd, imm, shift }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rn)| Inst::MovReg { rd, rn }),
+        (arb_reg(), arb_reg(), 0u16..4096).prop_map(|(rd, rn, imm)| Inst::AddImm { rd, rn, imm }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rn, rm)| Inst::SubReg { rd, rn, rm }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rn, rm)| Inst::EorReg { rd, rn, rm }),
+        (arb_reg(), arb_reg(), 0u8..64).prop_map(|(rd, rn, shift)| Inst::LslImm { rd, rn, shift }),
+        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Ldr { rt, rn, offset }),
+        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Strb { rt, rn, offset }),
+        (-(1i32 << 23)..(1 << 23)).prop_map(|offset| Inst::B { offset }),
+        (0usize..6, -32768i32..32768).prop_map(|(c, offset)| Inst::BCond { cond: Cond::ALL[c], offset }),
+        (arb_reg(), -32768i32..32768).prop_map(|(rt, offset)| Inst::Cbz { rt, offset }),
+        arb_reg().prop_map(|rn| Inst::Blr { rn }),
+        (arb_key(), arb_reg(), arb_reg())
+            .prop_map(|(key, rd, m)| Inst::Pac { key, rd, modifier: PacModifier::Reg(m) }),
+        (arb_key(), arb_reg()).prop_map(|(key, rd)| Inst::Aut { key, rd, modifier: PacModifier::Zero }),
+        (any::<bool>(), arb_reg()).prop_map(|(data, rd)| Inst::Xpac { data, rd }),
+        (arb_reg(), 0u8..16)
+            .prop_map(|(rd, s)| Inst::Mrs { rd, sysreg: SysReg::from_index(s).expect("< 16") }),
+        (arb_reg(), 0u8..64, -2048i32..2048)
+            .prop_map(|(rt, bit, offset)| Inst::Tbz { rt, bit, offset }),
+        (arb_reg(), 0u8..64, -2048i32..2048)
+            .prop_map(|(rt, bit, offset)| Inst::Tbnz { rt, bit, offset }),
+        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovN { rd, imm, shift }),
+        (arb_reg(), arb_reg(), arb_reg(), 0usize..6)
+            .prop_map(|(rd, rn, rm, c)| Inst::Csel { rd, rn, rm, cond: Cond::ALL[c] }),
+        (arb_reg(), arb_reg(), arb_reg(), -32i16..32)
+            .prop_map(|(rt, rt2, rn, o)| Inst::Ldp { rt, rt2, rn, offset: o * 8 }),
+        (arb_reg(), arb_reg(), arb_reg(), -32i16..32)
+            .prop_map(|(rt, rt2, rn, o)| Inst::Stp { rt, rt2, rn, offset: o * 8 }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn qarma_decrypt_inverts_encrypt(w0: u64, k0: u64, pt: u64, tweak: u64) {
+        let c = Qarma64::new(QarmaKey::new(w0, k0));
+        prop_assert_eq!(c.decrypt(c.encrypt(pt, tweak), tweak), pt);
+    }
+
+    #[test]
+    fn qarma_is_injective_in_the_plaintext(w0: u64, k0: u64, a: u64, b: u64, tweak: u64) {
+        prop_assume!(a != b);
+        let c = Qarma64::new(QarmaKey::new(w0, k0));
+        prop_assert_ne!(c.encrypt(a, tweak), c.encrypt(b, tweak));
+    }
+
+    #[test]
+    fn pointer_sign_authenticate_roundtrip(key: u128, raw: u64, modifier: u64) {
+        let pacs = PacComputer::new(QarmaKey::from_u128(key), 48);
+        let canonical = canonicalize(raw);
+        let signed = sign(&pacs, raw, modifier);
+        let auth = authenticate(&pacs, signed, modifier, PacKey::Ia);
+        prop_assert_eq!(auth.pointer(), canonical);
+        prop_assert!(auth.is_valid());
+    }
+
+    #[test]
+    fn tampered_pac_fields_never_authenticate(key: u128, raw: u64, modifier: u64, delta: u16) {
+        prop_assume!(delta != 0);
+        let pacs = PacComputer::new(QarmaKey::from_u128(key), 48);
+        let signed = sign(&pacs, raw, modifier);
+        let tampered = with_pac_field(signed, pac_field(signed) ^ delta);
+        let auth = authenticate(&pacs, tampered, modifier, PacKey::Da);
+        prop_assert!(!auth.is_valid());
+        // And the corrupted pointer must fault on use.
+        prop_assert!(!is_canonical(auth.pointer()));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(raw: u64) {
+        prop_assert_eq!(canonicalize(canonicalize(raw)), canonicalize(raw));
+        prop_assert!(is_canonical(canonicalize(raw)));
+    }
+
+    #[test]
+    fn vpn_and_offset_partition_the_address(raw: u64) {
+        let va = VirtualAddress::new(raw);
+        let reassembled = (va.vpn() << 14) | va.page_offset();
+        prop_assert_eq!(reassembled, va.value() & ((1 << 48) - 1));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let w = encode(&inst).expect("generated instructions are in range");
+        prop_assert_eq!(decode(w).expect("decodes"), inst);
+    }
+
+    #[test]
+    fn disassembly_is_never_empty(inst in arb_inst()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    #[test]
+    fn tlb_never_exceeds_its_associativity(vpns in prop::collection::vec(0u64..4096, 1..200)) {
+        let params = TlbParams { ways: 4, sets: 16 };
+        let mut tlb = Tlb::new(params);
+        for vpn in vpns {
+            tlb.insert(TlbEntry { vpn, pfn: vpn, perms: pacman::uarch::Perms::user_rw() });
+        }
+        for set in 0..16 {
+            prop_assert!(tlb.occupancy(set) <= 4, "set {} overflowed", set);
+        }
+    }
+
+    #[test]
+    fn tlb_lookup_after_insert_hits_until_evicted(vpn in 0u64..1024) {
+        let mut tlb = Tlb::new(TlbParams { ways: 2, sets: 8 });
+        tlb.insert(TlbEntry { vpn, pfn: 7, perms: pacman::uarch::Perms::user_rw() });
+        prop_assert_eq!(tlb.lookup(vpn).map(|e| e.pfn), Some(7));
+        // Fill the same set with two more entries: vpn must be gone.
+        tlb.insert(TlbEntry { vpn: vpn + 8, pfn: 1, perms: pacman::uarch::Perms::user_rw() });
+        tlb.insert(TlbEntry { vpn: vpn + 16, pfn: 2, perms: pacman::uarch::Perms::user_rw() });
+        prop_assert!(tlb.lookup(vpn).is_none());
+    }
+
+    #[test]
+    fn mov_imm64_loads_any_constant(value: u64) {
+        // Cross-checked against the machine itself.
+        use pacman::uarch::{Machine, MachineConfig, Perms};
+        let mut m = Machine::new(MachineConfig::default());
+        let code = 0x40_0000u64;
+        m.map_region(code, 256, Perms::user_rwx());
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X0, value);
+        a.push(Inst::Hlt);
+        m.load_program(code, &a.assemble().expect("assembles"));
+        m.cpu.pc = code;
+        m.run(16).expect("runs");
+        prop_assert_eq!(m.cpu.get(Reg::X0), value);
+    }
+
+    #[test]
+    fn pac_guessing_probability_is_uniformish(key: u128, target_page in 0u64..0x10000) {
+        // For any key, a wrong 16-bit guess authenticating would be a
+        // 2^-16 event; across 8 random guesses we should essentially
+        // never see an accidental match with the right structure.
+        let pacs = PacComputer::new(QarmaKey::from_u128(key), 48);
+        let ptr = target_page << 14;
+        let signed = sign(&pacs, ptr, 0);
+        let good = pac_field(signed);
+        let mut hits = 0;
+        for g in 0..8u16 {
+            let guess = good.wrapping_add(1).wrapping_add(g * 8191);
+            if authenticate(&pacs, with_pac_field(signed, guess), 0, PacKey::Ia).is_valid() {
+                hits += 1;
+            }
+        }
+        prop_assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Spectre v1 on the same substrate (paper §2.4 background).
+//!
+//! PACMAN leaks a *verification result*; classic Spectre v1 leaks *data*.
+//! Both need the same machinery — branch mistraining, wrong-path
+//! execution, and a µ-architectural transmit — so a faithful substrate
+//! must reproduce v1 too. This test builds the canonical bounds-check-
+//! bypass kernel gadget and recovers a secret kernel byte from EL0
+//! through the shared dTLB, byte-exact, with zero crashes.
+
+#![allow(clippy::field_reassign_with_default)] // building configs by mutation is the intended style
+
+use pacman::isa::ptr::{VirtualAddress, PAGE_SIZE};
+use pacman::isa::{Asm, Cond, Inst, Reg};
+use pacman::kernel::layout;
+use pacman::prelude::*;
+use pacman::uarch::Perms;
+
+/// The probe array: 256 kernel pages, one per possible byte value, placed
+/// 256-set aligned so page `v` maps to dTLB set `v`.
+const PROBE_BASE: u64 = layout::PLACED_REGION_BASE + 0x4_0000_0000;
+const BOUND: u16 = 16;
+const SECRET: u8 = 0x5A; // dTLB set 90 — clear of the hot service sets
+
+#[test]
+fn spectre_v1_leaks_a_kernel_byte_through_the_dtlb() {
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    let mut sys = System::boot(cfg);
+
+    // Kernel data: a small array and, at a known distance past it, the
+    // secret byte the attacker is after.
+    let array1 = sys.kernel.alloc_data_page(&mut sys.machine);
+    let secret_va = sys.kernel.alloc_data_page(&mut sys.machine) + 0x33;
+    assert!(sys.machine.mem.debug_write_bytes(secret_va, &[SECRET]));
+    // Probe array pages (contents irrelevant; only translations matter).
+    for v in 0..256u64 {
+        sys.machine.map_page(PROBE_BASE + v * PAGE_SIZE, Perms::kernel_rw());
+    }
+    assert_eq!(VirtualAddress::new(PROBE_BASE).vpn() % 256, 0, "probe pages must align to sets");
+
+    // The victim syscall: if (idx < BOUND) { v = array1[idx]; touch probe[v]; }
+    let mut a = Asm::new();
+    let done = a.new_label();
+    a.mov_imm64(Reg::X9, u64::from(BOUND));
+    a.push(Inst::CmpReg { rn: Reg::X0, rm: Reg::X9 });
+    a.b_cond(Cond::Ge, done); // the mistrained bounds check
+    a.mov_imm64(Reg::X10, array1);
+    a.push(Inst::AddReg { rd: Reg::X10, rn: Reg::X10, rm: Reg::X0 });
+    a.push(Inst::Ldrb { rt: Reg::X11, rn: Reg::X10, offset: 0 });
+    a.push(Inst::LslImm { rd: Reg::X11, rn: Reg::X11, shift: 14 });
+    a.mov_imm64(Reg::X12, PROBE_BASE);
+    a.push(Inst::AddReg { rd: Reg::X12, rn: Reg::X12, rm: Reg::X11 });
+    a.push(Inst::Ldr { rt: Reg::X13, rn: Reg::X12, offset: 0 });
+    a.bind(done);
+    a.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+    a.push(Inst::Eret);
+    let sc = sys.kernel.register_syscall(&mut sys.machine, &a.assemble().unwrap());
+
+    // The out-of-bounds index reaching the secret.
+    let evil_idx = secret_va - array1;
+    assert!(evil_idx >= u64::from(BOUND));
+
+    // Recover the byte: for each candidate value, Prime+Probe the dTLB
+    // set of probe page `v` around one mistrained trigger.
+    let mut recovered = None;
+    let mut hot = sys.hot_dtlb_sets();
+    // The gadget's *first* speculative load touches array1[evil_idx]'s own
+    // page — the attacker knows both values, computes that set, and
+    // excludes it (it fires for every candidate alike).
+    hot.push(VirtualAddress::new(array1 + evil_idx).vpn() % 256);
+    hot.push(VirtualAddress::new(array1).vpn() % 256);
+    for v in 0..=255u8 {
+        // Sets the syscall path touches on every call are always noisy;
+        // a byte landing there is unrecoverable through this channel and
+        // a real attacker skips them (our secret deliberately does not).
+        if hot.contains(&u64::from(v)) {
+            continue;
+        }
+        let probe_page = PROBE_BASE + u64::from(v) * PAGE_SIZE;
+        let pp = pacman::attack::probe::PrimeProbe::for_target(&mut sys, probe_page);
+        // Mistrain in-bounds, then fire out-of-bounds.
+        for i in 0..8 {
+            sys.kernel.syscall(&mut sys.machine, sc, &[u64::from(i % BOUND)]).unwrap();
+        }
+        pp.reset(&mut sys).unwrap();
+        pp.prime(&mut sys).unwrap();
+        sys.kernel.syscall(&mut sys.machine, sc, &[evil_idx]).unwrap();
+        let misses = pp.probe(&mut sys).unwrap();
+        if misses >= 5 {
+            recovered = Some(v);
+            break;
+        }
+    }
+
+    assert_eq!(recovered, Some(SECRET), "the secret byte must be recoverable from EL0");
+    assert_eq!(sys.kernel.crash_count(), 0, "v1 is crash-free too");
+}
+
+#[test]
+fn spectre_v1_is_silent_for_in_bounds_indices() {
+    // Control experiment: with in-bounds indices there is no secret-
+    // dependent footprint in the secret's probe set.
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    let mut sys = System::boot(cfg);
+    let array1 = sys.kernel.alloc_data_page(&mut sys.machine);
+    for v in 0..256u64 {
+        sys.machine.map_page(PROBE_BASE + v * PAGE_SIZE, Perms::kernel_rw());
+    }
+    let mut a = Asm::new();
+    let done = a.new_label();
+    a.mov_imm64(Reg::X9, u64::from(BOUND));
+    a.push(Inst::CmpReg { rn: Reg::X0, rm: Reg::X9 });
+    a.b_cond(Cond::Ge, done);
+    a.mov_imm64(Reg::X10, array1);
+    a.push(Inst::AddReg { rd: Reg::X10, rn: Reg::X10, rm: Reg::X0 });
+    a.push(Inst::Ldrb { rt: Reg::X11, rn: Reg::X10, offset: 0 });
+    a.push(Inst::LslImm { rd: Reg::X11, rn: Reg::X11, shift: 14 });
+    a.mov_imm64(Reg::X12, PROBE_BASE);
+    a.push(Inst::AddReg { rd: Reg::X12, rn: Reg::X12, rm: Reg::X11 });
+    a.push(Inst::Ldr { rt: Reg::X13, rn: Reg::X12, offset: 0 });
+    a.bind(done);
+    a.push(Inst::MovZ { rd: Reg::X0, imm: 0, shift: 0 });
+    a.push(Inst::Eret);
+    let sc = sys.kernel.register_syscall(&mut sys.machine, &a.assemble().unwrap());
+
+    // Monitor the set of a high probe page that no in-bounds byte (the
+    // zero-filled array reads as 0) should ever touch.
+    let watched = PROBE_BASE + u64::from(SECRET) * PAGE_SIZE;
+    let pp = pacman::attack::probe::PrimeProbe::for_target(&mut sys, watched);
+    for i in 0..8 {
+        sys.kernel.syscall(&mut sys.machine, sc, &[u64::from(i % BOUND)]).unwrap();
+    }
+    pp.reset(&mut sys).unwrap();
+    pp.prime(&mut sys).unwrap();
+    sys.kernel.syscall(&mut sys.machine, sc, &[3]).unwrap(); // in-bounds
+    assert!(pp.probe(&mut sys).unwrap() <= 1, "no footprint without the secret access");
+}
