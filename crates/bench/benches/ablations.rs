@@ -100,7 +100,10 @@ fn main() {
     }
     println!("{t}");
     compare("PAC bits on the paper's platform", "16 (48-bit VA)", &pac_field_bits(48).to_string());
-    check("the paper's 11..=31-bit range is covered", pac_field_bits(53) == 11 && pac_field_bits(33) == 31);
+    check(
+        "the paper's 11..=31-bit range is covered",
+        pac_field_bits(53) == 11 && pac_field_bits(33) == 31,
+    );
 
     // 4. Scanner depth.
     println!("-- ablation 4: gadget-scanner dataflow depth --");
@@ -110,6 +113,10 @@ fn main() {
     let deep = scan_image(&image.bytes, &ScanConfig { track_stack: true, ..ScanConfig::default() });
     println!("  register-only dataflow (paper's tool): {} gadgets", plain.total());
     println!("  + stack-slot tracking:                 {} gadgets", deep.total());
-    compare("deeper analysis finds more gadgets", "predicted (sec 4.3)", &format!("+{}", deep.total() - plain.total()));
+    compare(
+        "deeper analysis finds more gadgets",
+        "predicted (sec 4.3)",
+        &format!("+{}", deep.total() - plain.total()),
+    );
     check("stack tracking never loses gadgets", deep.total() >= plain.total());
 }

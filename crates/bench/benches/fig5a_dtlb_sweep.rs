@@ -1,6 +1,6 @@
 //! Figure 5(a): dTLB / L2 TLB stride sweep (cache-conflict-free loads).
 
-use pacman_bench::{banner, check, compare};
+use pacman_bench::{banner, check, compare, Artifact};
 use pacman_core::report::AsciiChart;
 use pacman_core::sweep::{data_tlb_sweep, experiment_machine};
 
@@ -21,9 +21,35 @@ fn main() {
     let flat = &series[0];
     let s256 = &series[2];
     let s2048 = &series[3];
-    compare("baseline plateau (L1+dTLB hit)", "~60 cycles", &format!("{} cycles", flat.at(10).unwrap()));
-    compare("dTLB-miss plateau (stride>=256x16KB, N>=12)", "~95 cycles", &format!("{} cycles", s256.at(14).unwrap()));
-    compare("L2-TLB-miss plateau (stride>=2048x16KB, N>=23)", "~115 cycles", &format!("{} cycles", s2048.at(25).unwrap()));
+
+    let mut art = Artifact::new("fig5a", "Figure 5(a) - data-load dTLB/L2-TLB stride sweep");
+    art.chart("latency_vs_n", &chart);
+    art.num("baseline_plateau_cycles", flat.at(10).unwrap());
+    art.num("dtlb_miss_plateau_cycles", s256.at(14).unwrap());
+    art.num("l2_tlb_miss_plateau_cycles", s2048.at(25).unwrap());
+    if let Some(n) = s256.knee_above(90) {
+        art.num("dtlb_knee_n", n as u64);
+    }
+    if let Some(n) = s2048.knee_above(110) {
+        art.num("l2_tlb_knee_n", n as u64);
+    }
+    art.write();
+
+    compare(
+        "baseline plateau (L1+dTLB hit)",
+        "~60 cycles",
+        &format!("{} cycles", flat.at(10).unwrap()),
+    );
+    compare(
+        "dTLB-miss plateau (stride>=256x16KB, N>=12)",
+        "~95 cycles",
+        &format!("{} cycles", s256.at(14).unwrap()),
+    );
+    compare(
+        "L2-TLB-miss plateau (stride>=2048x16KB, N>=23)",
+        "~115 cycles",
+        &format!("{} cycles", s2048.at(25).unwrap()),
+    );
     compare("dTLB knee (finding 1)", "N = 12", &format!("N = {:?}", s256.knee_above(90)));
     compare("L2 TLB knee (finding 2)", "N = 23", &format!("N = {:?}", s2048.knee_above(110)));
 

@@ -22,10 +22,26 @@ fn main() {
     let l1d = &series[0];
     let dtlb = &series[1];
     let l2 = &series[2];
-    compare("L1D-conflict plateau (stride 256x128B, N>=4)", "~80 cycles", &format!("{} cycles", l1d.at(6).unwrap()));
-    compare("dTLB+L2$-plateau (stride 256x16KB, N>=12)", "~110 cycles", &format!("{} cycles", dtlb.at(14).unwrap()));
-    compare("L2TLB+L2$-plateau (stride 2048x16KB, N>=23)", "~130 cycles", &format!("{} cycles", l2.at(25).unwrap()));
-    compare("L1D knee (observed 4-way, footnote 5)", "N = 4", &format!("N = {:?}", l1d.knee_above(75)));
+    compare(
+        "L1D-conflict plateau (stride 256x128B, N>=4)",
+        "~80 cycles",
+        &format!("{} cycles", l1d.at(6).unwrap()),
+    );
+    compare(
+        "dTLB+L2$-plateau (stride 256x16KB, N>=12)",
+        "~110 cycles",
+        &format!("{} cycles", dtlb.at(14).unwrap()),
+    );
+    compare(
+        "L2TLB+L2$-plateau (stride 2048x16KB, N>=23)",
+        "~130 cycles",
+        &format!("{} cycles", l2.at(25).unwrap()),
+    );
+    compare(
+        "L1D knee (observed 4-way, footnote 5)",
+        "N = 4",
+        &format!("N = {:?}", l1d.knee_above(75)),
+    );
     compare("dTLB knee", "N = 12", &format!("N = {:?}", dtlb.knee_above(105)));
     compare("L2 TLB knee", "N = 23", &format!("N = {:?}", l2.knee_above(125)));
 

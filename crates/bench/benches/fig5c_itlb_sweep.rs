@@ -22,17 +22,29 @@ fn main() {
     let s256 = &series[1];
     let s2048 = &series[2];
     compare("iTLB-resident reload (N<4)", ">110 cycles", &format!("{} cycles", s32.at(1).unwrap()));
-    compare("after iTLB eviction (stride 32x16KB, N>=4)", "~80 cycles", &format!("{} cycles", s32.at(6).unwrap()));
+    compare(
+        "after iTLB eviction (stride 32x16KB, N>=4)",
+        "~80 cycles",
+        &format!("{} cycles", s32.at(6).unwrap()),
+    );
     compare("iTLB knee / drop (finding 3)", "N = 4", &format!("N = {:?}", s32.knee_below(90)));
-    compare("dTLB refill conflicts (stride 256x16KB, large N)", "~110 cycles", &format!("{} cycles", s256.at(30).unwrap()));
-    compare("L2 TLB conflicts (stride 2048x16KB, large N)", "~130 cycles", &format!("{} cycles", s2048.at(30).unwrap()));
+    compare(
+        "dTLB refill conflicts (stride 256x16KB, large N)",
+        "~110 cycles",
+        &format!("{} cycles", s256.at(30).unwrap()),
+    );
+    compare(
+        "L2 TLB conflicts (stride 2048x16KB, large N)",
+        "~130 cycles",
+        &format!("{} cycles", s2048.at(30).unwrap()),
+    );
 
     check("iTLB entries are invisible to loads (N=1 slow)", s32.at(1).unwrap() > 110);
-    check(
-        "latency DROPS at N=4: victims migrate into the dTLB",
-        s32.knee_below(90) == Some(4),
-    );
+    check("latency DROPS at N=4: victims migrate into the dTLB", s32.knee_below(90) == Some(4));
     check("victims stay dTLB-visible out to N=30", s32.at(30).unwrap() < 90);
-    check("migrated victims eventually thrash the dTLB set (stride 256)", s256.at(30).unwrap() > 105);
+    check(
+        "migrated victims eventually thrash the dTLB set (stride 256)",
+        s256.at(30).unwrap() > 105,
+    );
     check("and the L2 TLB set (stride 2048)", s2048.at(30).unwrap() > 120);
 }

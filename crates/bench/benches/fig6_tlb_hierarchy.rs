@@ -14,13 +14,20 @@ fn main() {
     println!("    L1 iTLB (per privilege): {} ways x 32 sets", f.itlb_ways);
     println!("    L1 dTLB (shared):        {} ways x 256 sets", f.dtlb_ways);
     println!("    L2 TLB  (shared):        {} ways x 2048 sets", f.l2_ways);
-    println!("    iTLB victims visible to loads (dTLB backing store): {}", f.itlb_victims_visible_to_loads);
+    println!(
+        "    iTLB victims visible to loads (dTLB backing store): {}",
+        f.itlb_victims_visible_to_loads
+    );
     println!();
 
     compare("L1 iTLB ways (finding 3)", "4", &f.itlb_ways.to_string());
     compare("L1 dTLB ways (finding 1)", "12", &f.dtlb_ways.to_string());
     compare("L2 TLB ways (finding 2)", "23", &f.l2_ways.to_string());
-    compare("iTLB -> dTLB victim migration (sec 7.3)", "yes", &f.itlb_victims_visible_to_loads.to_string());
+    compare(
+        "iTLB -> dTLB victim migration (sec 7.3)",
+        "yes",
+        &f.itlb_victims_visible_to_loads.to_string(),
+    );
 
     check("derived dTLB ways match the configured hierarchy", f.dtlb_ways == truth.dtlb.ways);
     check("derived L2 ways match", f.l2_ways == truth.l2.ways);

@@ -37,7 +37,11 @@ fn main() {
     print_histogram("page-table walk", &b.walks);
     println!();
 
-    compare("PMC0 hit/miss medians", "~60 / ~95 cycles", &format!("{:?} / {:?}", a.dtlb_hits.median(), a.dtlb_misses.median()));
+    compare(
+        "PMC0 hit/miss medians",
+        "~60 / ~95 cycles",
+        &format!("{:?} / {:?}", a.dtlb_hits.median(), a.dtlb_misses.median()),
+    );
     compare("MT-timer hit max (sec 7.4)", "never beyond 27", &format!("{:?}", b.dtlb_hits.max()));
     compare("MT-timer miss min (sec 7.4)", "never below 32", &format!("{:?}", b.dtlb_misses.min()));
     compare("derived threshold", "30", &format!("{:?}", b.threshold));

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pacman_core::oracle::{DataPacOracle, PacOracle};
+use pacman_core::telemetry::{recorded_test_pac, TrialLog};
 use pacman_core::{System, SystemConfig};
 use pacman_isa::{Asm, Inst, Reg};
 use pacman_qarma::{PacComputer, Qarma64, QarmaKey};
@@ -62,9 +63,59 @@ fn bench_oracle(c: &mut Criterion) {
     });
 }
 
+/// The same oracle hot path through [`recorded_test_pac`], with telemetry
+/// off (disabled log + registry: the one-branch fast path) and on
+/// (enabled registry + per-trial records). The off variant must track
+/// `pac_oracle_single_guess` — that is the "disabled path costs nothing"
+/// claim, measured.
+fn bench_oracle_telemetry(c: &mut Criterion) {
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    let mut sys = System::boot(cfg);
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target);
+    let mut oracle = DataPacOracle::new(&mut sys).expect("oracle");
+
+    let mut off_log = TrialLog::disabled();
+    c.bench_function("pac_oracle_single_guess_telemetry_off", |b| {
+        b.iter(|| {
+            recorded_test_pac(
+                &mut oracle,
+                &mut sys,
+                &mut off_log,
+                target,
+                std::hint::black_box(true_pac),
+                Some(true_pac),
+            )
+            .expect("trial")
+        })
+    });
+
+    sys.telemetry.set_enabled(true);
+    let mut on_log = TrialLog::new();
+    c.bench_function("pac_oracle_single_guess_telemetry_on", |b| {
+        b.iter(|| {
+            let v = recorded_test_pac(
+                &mut oracle,
+                &mut sys,
+                &mut on_log,
+                target,
+                std::hint::black_box(true_pac),
+                Some(true_pac),
+            )
+            .expect("trial");
+            // Drain per iteration so memory stays bounded; the take is
+            // part of the telemetry-on cost being measured.
+            std::hint::black_box(on_log.take());
+            v
+        })
+    });
+}
+
 criterion_group! {
     name = perf;
     config = Criterion::default().sample_size(20);
-    targets = bench_qarma, bench_simulator, bench_oracle
+    targets = bench_qarma, bench_simulator, bench_oracle, bench_oracle_telemetry
 }
 criterion_main!(perf);

@@ -12,7 +12,10 @@ fn main() {
     let report = scan_image(&image.bytes, &ScanConfig::default());
 
     let mut t = Table::new(
-        format!("census over {} synthetic functions ({} instructions)", functions, image.instructions),
+        format!(
+            "census over {} synthetic functions ({} instructions)",
+            functions, image.instructions
+        ),
         &["metric", "value"],
     );
     t.row(&["conditional branches inspected".into(), report.conditional_branches.to_string()]);
@@ -24,7 +27,11 @@ fn main() {
 
     let ratio = report.instruction_count() as f64 / report.data_count().max(1) as f64;
     compare("total gadgets (XNU 12.2.1)", "55,159", &report.total().to_string());
-    compare("data / instruction split", "13,867 / 41,292", &format!("{} / {}", report.data_count(), report.instruction_count()));
+    compare(
+        "data / instruction split",
+        "13,867 / 41,292",
+        &format!("{} / {}", report.data_count(), report.instruction_count()),
+    );
     compare("instruction:data ratio", "~2.98", &format!("{ratio:.2}"));
     compare("mean distance (instructions)", "8.1", &format!("{:.1}", report.mean_distance()));
 

@@ -23,9 +23,8 @@ fn main() {
         // full-space sweep visits it eventually; the window keeps the
         // bench minutes-long with identical per-guess behaviour).
         let start = true_pac.wrapping_sub(3).wrapping_add((run % 3) as u16);
-        let outcome = bf
-            .brute(&mut sys, target, (0..8u16).map(|i| start.wrapping_add(i)))
-            .expect("run");
+        let outcome =
+            bf.brute(&mut sys, target, (0..8u16).map(|i| start.wrapping_add(i))).expect("run");
         assert_eq!(outcome.crashes, 0, "run {run} crashed the kernel");
         match BruteForcer::<DataPacOracle>::classify(&outcome, true_pac) {
             BruteVerdict::TruePositive => tp += 1,
@@ -39,7 +38,11 @@ fn main() {
     println!("  false positives: {fp}");
     println!("  false negatives: {fneg}");
     println!();
-    compare("true-positive rate", "90% (45/50)", &format!("{:.0}% ({tp}/{runs})", 100.0 * tp as f64 / runs as f64));
+    compare(
+        "true-positive rate",
+        "90% (45/50)",
+        &format!("{:.0}% ({tp}/{runs})", 100.0 * tp as f64 / runs as f64),
+    );
     compare("false positives", "0 (intolerable)", &fp.to_string());
     compare("false negatives", "10% (tolerable, retry)", &format!("{fneg}"));
 

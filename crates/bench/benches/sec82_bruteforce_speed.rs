@@ -1,6 +1,6 @@
 //! §8.2: brute-force speed — time per PAC guess and full-space estimate.
 
-use pacman_bench::{banner, check, compare, quiet_system, scale};
+use pacman_bench::{banner, check, compare, quiet_system, scale, Artifact};
 use pacman_core::brute::BruteForcer;
 use pacman_core::oracle::DataPacOracle;
 
@@ -29,12 +29,29 @@ fn main() {
     println!("  est. full 16-bit sweep:    {minutes:.2} simulated minutes");
     println!();
 
+    let mut art = Artifact::new("sec82_speed", "Section 8.2 - brute-force speed");
+    art.num("guesses_tested", outcome.guesses_tested)
+        .num("syscalls", outcome.syscalls)
+        .num("cycles", outcome.cycles)
+        .num("crashes", outcome.crashes)
+        .num("syscalls_per_guess", outcome.syscalls / outcome.guesses_tested)
+        .float("ms_per_guess", ms)
+        .float("full_space_minutes", minutes);
+    art.write();
+
     compare("time per guess", "2.69 ms", &format!("{ms:.2} ms (simulated)"));
     compare("full 2^16 sweep", "~2.94 min", &format!("{minutes:.2} min (simulated)"));
-    compare("dominant cost", "training syscalls", &format!("{} syscalls/guess", outcome.syscalls / outcome.guesses_tested));
+    compare(
+        "dominant cost",
+        "training syscalls",
+        &format!("{} syscalls/guess", outcome.syscalls / outcome.guesses_tested),
+    );
 
     check("every guess was tested (no early exit)", outcome.guesses_tested == guesses as u64);
     check("zero crashes", outcome.crashes == 0);
-    check("cost is syscall-dominated (>=65 syscalls/guess)", outcome.syscalls / outcome.guesses_tested >= 65);
+    check(
+        "cost is syscall-dominated (>=65 syscalls/guess)",
+        outcome.syscalls / outcome.guesses_tested >= 65,
+    );
     check("per-guess time within 2x of the paper's 2.69 ms", (1.35..=5.4).contains(&ms));
 }

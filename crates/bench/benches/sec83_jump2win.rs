@@ -9,7 +9,10 @@ fn main() {
     let window = scale("WINDOW", 512) as u32;
     let mut sys = quiet_system();
     println!("  victim object2 at {:#x}", sys.cpp.obj2);
-    println!("  win() function at {:#x} (never referenced by any legitimate vtable)", sys.cpp.win_fn);
+    println!(
+        "  win() function at {:#x} (never referenced by any legitimate vtable)",
+        sys.cpp.win_fn
+    );
 
     let mut driver = Jump2Win::new().with_samples(3).with_train_iters(16);
     if window < 65536 {
@@ -18,7 +21,9 @@ fn main() {
         let t2 = sys.true_pac_with_salt(PacKey::Da, sys.cpp.obj1);
         let centre = |t: u16| (t.wrapping_sub((window / 2) as u16), window);
         driver.phase_windows = Some([centre(t1), centre(t2)]);
-        println!("  (windowed sweep: {window} candidates per phase; PACMAN_WINDOW=65536 for full space)");
+        println!(
+            "  (windowed sweep: {window} candidates per phase; PACMAN_WINDOW=65536 for full space)"
+        );
     }
 
     let report = driver.run(&mut sys).expect("the hijack must succeed");

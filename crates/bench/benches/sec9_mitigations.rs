@@ -1,6 +1,6 @@
 //! §9: the countermeasure matrix and the §4.2 eager-squash ablation.
 
-use pacman_bench::{banner, check, compare};
+use pacman_bench::{banner, check, compare, Artifact};
 use pacman_core::report::Table;
 use pacman_mitigations::{evaluate_all, evaluate_with_squash, AttackSurface};
 use pacman_uarch::{Mitigation, SquashPolicy};
@@ -30,23 +30,37 @@ fn main() {
     }
     println!("{t}");
 
+    let mut art = Artifact::new("sec9", "Section 9 - countermeasure matrix + squash ablation");
+    art.table("mitigation_matrix", &t);
+
     for e in &evals {
         match e.report.mitigation {
             Mitigation::None => {
                 check("baseline is fully vulnerable", e.surface == AttackSurface::FullyVulnerable)
             }
-            m => check(
-                &format!("{m:?} blinds both oracles"),
-                e.surface == AttackSurface::Protected,
-            ),
+            m => {
+                check(&format!("{m:?} blinds both oracles"), e.surface == AttackSurface::Protected)
+            }
         }
     }
     let fence = evals.iter().find(|e| e.report.mitigation == Mitigation::FenceAfterAut).unwrap();
-    compare("fence-after-AUT benign overhead", "significant (sec 9)", &format!("{:+.1}%", 100.0 * (fence.benign_cycles as f64 - baseline) / baseline));
+    let fence_overhead = 100.0 * (fence.benign_cycles as f64 - baseline) / baseline;
+    compare(
+        "fence-after-AUT benign overhead",
+        "significant (sec 9)",
+        &format!("{fence_overhead:+.1}%"),
+    );
     check("fence-after-AUT costs benign performance", fence.benign_cycles as f64 > 1.2 * baseline);
 
     println!("\n  ablation: nested-branch squash policy (sec 4.2)");
     let lazy = evaluate_with_squash(Mitigation::None, SquashPolicy::Lazy);
     compare("lazy squash surface", "data gadget only", &format!("{:?}", lazy.surface));
-    check("instruction gadget requires eager squash", lazy.surface == AttackSurface::DataGadgetOnly);
+    check(
+        "instruction gadget requires eager squash",
+        lazy.surface == AttackSurface::DataGadgetOnly,
+    );
+
+    art.float("fence_after_aut_overhead_pct", fence_overhead);
+    art.text("lazy_squash_surface", &format!("{:?}", lazy.surface));
+    art.write();
 }

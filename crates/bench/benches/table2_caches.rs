@@ -6,10 +6,8 @@ use pacman_uarch::{ClusterCaches, CoreKind};
 
 fn main() {
     banner("T2", "Table 2 - cache configurations via system registers");
-    let mut t = Table::new(
-        "Table 2: caches",
-        &["cluster", "level", "ways", "sets", "line", "total"],
-    );
+    let mut t =
+        Table::new("Table 2: caches", &["cluster", "level", "ways", "sets", "line", "total"]);
     for (name, core) in [("p-core", CoreKind::PCore), ("e-core", CoreKind::ECore)] {
         let c = ClusterCaches::for_core(core);
         for (level, p) in [("L1I", c.l1i), ("L1D", c.l1d), ("L2", c.l2)] {
@@ -27,11 +25,43 @@ fn main() {
 
     let p = ClusterCaches::for_core(CoreKind::PCore);
     let e = ClusterCaches::for_core(CoreKind::ECore);
-    compare("p-core L1I/L1D/L2", "192KB/128KB/12MB", &format!("{}KB/{}KB/{}MB", p.l1i.total_bytes() / 1024, p.l1d.total_bytes() / 1024, p.l2.total_bytes() / 1024 / 1024));
-    compare("e-core L1I/L1D/L2", "128KB/64KB/4MB", &format!("{}KB/{}KB/{}MB", e.l1i.total_bytes() / 1024, e.l1d.total_bytes() / 1024, e.l2.total_bytes() / 1024 / 1024));
-    compare("observed effective L1D ways (footnote 5)", "half of reported", &format!("{} of {}", p.l1d_effective_ways, p.l1d.ways));
+    compare(
+        "p-core L1I/L1D/L2",
+        "192KB/128KB/12MB",
+        &format!(
+            "{}KB/{}KB/{}MB",
+            p.l1i.total_bytes() / 1024,
+            p.l1d.total_bytes() / 1024,
+            p.l2.total_bytes() / 1024 / 1024
+        ),
+    );
+    compare(
+        "e-core L1I/L1D/L2",
+        "128KB/64KB/4MB",
+        &format!(
+            "{}KB/{}KB/{}MB",
+            e.l1i.total_bytes() / 1024,
+            e.l1d.total_bytes() / 1024,
+            e.l2.total_bytes() / 1024 / 1024
+        ),
+    );
+    compare(
+        "observed effective L1D ways (footnote 5)",
+        "half of reported",
+        &format!("{} of {}", p.l1d_effective_ways, p.l1d.ways),
+    );
 
-    check("p-core sizes match Table 2", p.l1i.total_bytes() == 192 * 1024 && p.l1d.total_bytes() == 128 * 1024 && p.l2.total_bytes() == 12 * 1024 * 1024);
-    check("e-core sizes match Table 2", e.l1i.total_bytes() == 128 * 1024 && e.l1d.total_bytes() == 64 * 1024 && e.l2.total_bytes() == 4 * 1024 * 1024);
+    check(
+        "p-core sizes match Table 2",
+        p.l1i.total_bytes() == 192 * 1024
+            && p.l1d.total_bytes() == 128 * 1024
+            && p.l2.total_bytes() == 12 * 1024 * 1024,
+    );
+    check(
+        "e-core sizes match Table 2",
+        e.l1i.total_bytes() == 128 * 1024
+            && e.l1d.total_bytes() == 64 * 1024
+            && e.l2.total_bytes() == 4 * 1024 * 1024,
+    );
     check("L1 lines are 64B, L2 lines are 128B", p.l1d.line == 64 && p.l2.line == 128);
 }

@@ -10,7 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pacman_core::report::{AsciiChart, Table};
 use pacman_core::{System, SystemConfig};
+use pacman_telemetry::json::Value;
 
 /// Boots the standard experiment system (OS noise enabled, the attack's
 /// default timing source).
@@ -39,10 +44,13 @@ pub fn compare(metric: &str, paper: &str, measured: &str) {
 
 /// Reads an experiment-scale override from the environment (`PACMAN_<VAR>`).
 pub fn scale(var: &str, default: usize) -> usize {
-    std::env::var(format!("PACMAN_{var}"))
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    scale_from(|k| std::env::var(k).ok(), var, default)
+}
+
+/// [`scale`] with an injected lookup, so tests can exercise the parsing
+/// without mutating process-global environment state.
+pub fn scale_from(lookup: impl Fn(&str) -> Option<String>, var: &str, default: usize) -> usize {
+    lookup(&format!("PACMAN_{var}")).and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 /// Asserts with a visible PASS/FAIL line instead of a bare panic, then
@@ -52,15 +60,188 @@ pub fn check(name: &str, ok: bool) {
     assert!(ok, "shape check failed: {name}");
 }
 
+/// A machine-readable companion to a bench target's printed output.
+///
+/// Experiments mirror the numbers they print into named fields (tables
+/// and charts are serialized cell-for-cell, so the artefact always
+/// matches the console report) and call [`Artifact::write`], which emits
+/// `BENCH_<id>.json` into the current directory — or `$PACMAN_BENCH_DIR`
+/// when set.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    id: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Artifact {
+    /// Starts an artefact for experiment `id` (used in the file name).
+    pub fn new(id: &str, description: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            fields: vec![
+                ("record".into(), Value::str("bench")),
+                ("experiment".into(), Value::str(id)),
+                ("description".into(), Value::str(description)),
+            ],
+        }
+    }
+
+    /// Adds an arbitrary JSON field.
+    pub fn field(&mut self, key: &str, value: Value) -> &mut Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds an unsigned-integer field (counters, cycles, knees).
+    pub fn num(&mut self, key: &str, value: u64) -> &mut Self {
+        self.field(key, Value::UInt(value))
+    }
+
+    /// Adds a floating-point field (overheads, milliseconds).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.field(key, Value::Float(value))
+    }
+
+    /// Adds a string field.
+    pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+        self.field(key, Value::str(value))
+    }
+
+    /// Adds a printed [`Table`] verbatim: title, headers and every row's
+    /// cells exactly as displayed.
+    pub fn table(&mut self, key: &str, table: &Table) -> &mut Self {
+        let strs = |v: &[String]| Value::Array(v.iter().map(Value::str).collect());
+        self.field(
+            key,
+            Value::Object(vec![
+                ("title".into(), Value::str(&table.title)),
+                ("headers".into(), strs(&table.headers)),
+                ("rows".into(), Value::Array(table.rows.iter().map(|r| strs(r)).collect())),
+            ]),
+        )
+    }
+
+    /// Adds a printed [`AsciiChart`]'s series as `{label, points:[{x,y}]}`
+    /// objects.
+    pub fn chart(&mut self, key: &str, chart: &AsciiChart) -> &mut Self {
+        let series = chart
+            .series
+            .iter()
+            .map(|(label, points)| {
+                Value::Object(vec![
+                    ("label".into(), Value::str(label)),
+                    (
+                        "points".into(),
+                        Value::Array(
+                            points
+                                .iter()
+                                .map(|&(x, y)| {
+                                    Value::Object(vec![
+                                        ("x".into(), Value::UInt(x as u64)),
+                                        ("y".into(), Value::UInt(y)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        self.field(
+            key,
+            Value::Object(vec![
+                ("title".into(), Value::str(&chart.title)),
+                ("series".into(), Value::Array(series)),
+            ]),
+        )
+    }
+
+    /// The artefact as one JSON object (field order = insertion order).
+    pub fn to_json(&self) -> Value {
+        Value::Object(self.fields.clone())
+    }
+
+    /// Writes `BENCH_<id>.json` under `dir` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`std::fs::write`] failure.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.id));
+        let mut text = self.to_json().to_string();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+
+    /// Writes the artefact to `$PACMAN_BENCH_DIR` (default: current
+    /// directory) and prints where it landed; failures are reported but
+    /// never fail the experiment.
+    pub fn write(&self) {
+        let dir = std::env::var("PACMAN_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        match self.write_to(Path::new(&dir)) {
+            Ok(path) => println!("  artefact: {}", path.display()),
+            Err(e) => eprintln!("  artefact: write failed ({e})"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn scale_reads_env() {
-        std::env::set_var("PACMAN_TEST_SCALE_VAR", "17");
-        assert_eq!(scale("TEST_SCALE_VAR", 3), 17);
-        assert_eq!(scale("TEST_SCALE_VAR_MISSING", 3), 3);
+    fn scale_parses_injected_overrides() {
+        // Injected lookup instead of std::env::set_var: mutating the
+        // process environment races with other tests in the same binary.
+        let env = |k: &str| (k == "PACMAN_TEST_SCALE_VAR").then(|| "17".to_string());
+        assert_eq!(scale_from(env, "TEST_SCALE_VAR", 3), 17);
+        assert_eq!(scale_from(env, "TEST_SCALE_VAR_MISSING", 3), 3);
+        assert_eq!(scale_from(|_| Some("banana".into()), "TEST_SCALE_VAR", 3), 3);
+        // The real environment of a test run carries no PACMAN_* vars, so
+        // the delegating wrapper falls through to the default.
+        assert_eq!(scale("TEST_SCALE_VAR_UNSET_IN_TESTS", 5), 5);
+    }
+
+    #[test]
+    fn artifact_serializes_tables_cell_for_cell() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".to_string(), "x,\"y\"".to_string()]);
+        let mut chart = AsciiChart::new("lat");
+        chart.series("stride 1".to_string(), vec![(1, 60), (12, 95)]);
+        let mut art = Artifact::new("demo", "serialization test");
+        art.num("count", 7).float("ratio", 0.5).text("note", "ok");
+        art.table("matrix", &t);
+        art.chart("sweep", &chart);
+
+        let parsed = pacman_telemetry::json::parse(&art.to_json().to_string()).expect("valid JSON");
+        assert_eq!(parsed.get("record").and_then(Value::as_str), Some("bench"));
+        assert_eq!(parsed.get("experiment").and_then(Value::as_str), Some("demo"));
+        assert_eq!(parsed.get("count").and_then(Value::as_u64), Some(7));
+        let matrix = parsed.get("matrix").expect("table field");
+        assert_eq!(matrix.get("title").and_then(Value::as_str), Some("demo"));
+        let rows = matrix.get("rows").and_then(Value::as_array).expect("rows");
+        assert_eq!(rows[0].as_array().unwrap()[1].as_str(), Some("x,\"y\""));
+        let series = parsed.get("sweep").and_then(|c| c.get("series")).unwrap();
+        let s0 = &series.as_array().unwrap()[0];
+        assert_eq!(s0.get("label").and_then(Value::as_str), Some("stride 1"));
+        let p1 = &s0.get("points").and_then(Value::as_array).unwrap()[1];
+        assert_eq!(p1.get("x").and_then(Value::as_u64), Some(12));
+        assert_eq!(p1.get("y").and_then(Value::as_u64), Some(95));
+    }
+
+    #[test]
+    fn artifact_write_to_produces_the_named_file() {
+        let dir = std::env::temp_dir().join(format!("pacman-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut art = Artifact::new("unit", "write test");
+        art.num("answer", 42);
+        let path = art.write_to(&dir).expect("write");
+        assert!(path.ends_with("BENCH_unit.json"));
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let parsed = pacman_telemetry::json::parse(text.trim()).expect("valid JSON");
+        assert_eq!(parsed.get("answer").and_then(Value::as_u64), Some(42));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

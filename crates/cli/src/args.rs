@@ -44,7 +44,7 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Options that never take a value.
-const FLAG_NAMES: &[&str] = &["quiet-noise", "full", "track-stack", "help"];
+const FLAG_NAMES: &[&str] = &["quiet-noise", "full", "track-stack", "json", "help"];
 
 impl Args {
     /// Parses a token stream (without the program name).
@@ -93,10 +93,9 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
         match self.options.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
-                key: name.to_string(),
-                value: v.clone(),
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError::BadValue { key: name.to_string(), value: v.clone() }),
         }
     }
 }
@@ -120,6 +119,14 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flags_parse() {
+        let a = parse("oracle --json --metrics-out out.jsonl --trials 3").unwrap();
+        assert!(a.flag("json"));
+        assert_eq!(a.get("metrics-out"), Some("out.jsonl"));
+        assert_eq!(a.get_num("trials", 0usize).unwrap(), 3);
+    }
+
+    #[test]
     fn defaults_apply_when_absent() {
         let a = parse("census").unwrap();
         assert_eq!(a.get_num("functions", 123usize).unwrap(), 123);
@@ -128,7 +135,10 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        assert_eq!(parse("oracle --trials --quiet-noise"), Err(ArgsError::MissingValue("trials".into())));
+        assert_eq!(
+            parse("oracle --trials --quiet-noise"),
+            Err(ArgsError::MissingValue("trials".into()))
+        );
         assert_eq!(parse("oracle --trials"), Err(ArgsError::MissingValue("trials".into())));
     }
 

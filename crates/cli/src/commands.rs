@@ -8,6 +8,7 @@ use pacman_core::jump2win::Jump2Win;
 use pacman_core::oracle::{DataPacOracle, InstrPacOracle, PacOracle};
 use pacman_core::report::Table;
 use pacman_core::sweep::{data_tlb_sweep, derive_hierarchy, experiment_machine, itlb_sweep};
+use pacman_core::telemetry::{recorded_test_pac, TrialLog};
 use pacman_core::{System, SystemConfig};
 use pacman_gadget::{scan_image, synthesize, ImageSpec, ScanConfig};
 use pacman_isa::ptr::with_pac_field;
@@ -15,6 +16,8 @@ use pacman_isa::PacKey;
 use pacman_mitigations::evaluate_all;
 use pacman_os::experiments::{MsrInventory, TimerResolution, TlbParameterSearch};
 use pacman_os::{BareMetal, Runner};
+use pacman_telemetry::json::{to_jsonl_line, Value};
+use pacman_telemetry::Snapshot;
 
 use crate::args::Args;
 
@@ -39,7 +42,12 @@ options:
   --channel C     data|instr|cache         --trials N      oracle trials
   --window N      brute candidate window   --full          sweep all 65536
   --functions N   census image size        --track-stack   deep census dataflow
+  --json          emit JSONL on stdout     --metrics-out F write JSONL to file F
   --help          this text
+
+With --json (or --metrics-out) the oracle, brute, sweep and timeline
+commands emit one JSON record per trial/event followed by a final
+'metrics' record holding the full counter/histogram snapshot.
 ";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -65,12 +73,66 @@ pub fn dispatch(args: &Args) -> CliResult {
 }
 
 fn boot(args: &Args) -> Result<System, Box<dyn Error>> {
-    let mut cfg = SystemConfig::default();
-    cfg.kernel_seed = args.get_num("seed", 0xA11CEu64)?;
+    let mut cfg =
+        SystemConfig { kernel_seed: args.get_num("seed", 0xA11CEu64)?, ..SystemConfig::default() };
     if args.flag("quiet-noise") {
         cfg.machine.os_noise = 0.0;
     }
     Ok(System::boot(cfg))
+}
+
+/// JSONL sink for `--json` (stdout) and `--metrics-out` (file). Inactive
+/// when neither was requested, at the cost of one branch per record.
+struct Emitter {
+    json_stdout: bool,
+    out_path: Option<String>,
+    lines: Vec<String>,
+}
+
+impl Emitter {
+    fn from_args(args: &Args) -> Self {
+        Self {
+            json_stdout: args.flag("json"),
+            out_path: args.get("metrics-out").map(String::from),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Whether any JSONL output was requested.
+    fn active(&self) -> bool {
+        self.json_stdout || self.out_path.is_some()
+    }
+
+    /// Whether the human-readable report should be suppressed (stdout is
+    /// reserved for JSONL).
+    fn quiet(&self) -> bool {
+        self.json_stdout
+    }
+
+    fn record(&mut self, value: &Value) {
+        if !self.active() {
+            return;
+        }
+        let line = to_jsonl_line(value);
+        if self.json_stdout {
+            print!("{line}");
+        }
+        self.lines.push(line);
+    }
+
+    /// Appends the final `metrics` record built from `snap`, then writes
+    /// the accumulated stream to `--metrics-out` if given.
+    fn finish(mut self, snap: &Snapshot) -> Result<(), Box<dyn Error>> {
+        let mut fields = vec![("record".to_string(), Value::str("metrics"))];
+        if let Value::Object(rest) = snap.to_json() {
+            fields.extend(rest);
+        }
+        self.record(&Value::Object(fields));
+        if let Some(path) = &self.out_path {
+            std::fs::write(path, self.lines.concat())?;
+        }
+        Ok(())
+    }
 }
 
 fn make_oracle(args: &Args, sys: &mut System) -> Result<Box<dyn PacOracle>, Box<dyn Error>> {
@@ -84,7 +146,11 @@ fn make_oracle(args: &Args, sys: &mut System) -> Result<Box<dyn PacOracle>, Box<
 
 fn cmd_oracle(args: &Args) -> CliResult {
     let trials: usize = args.get_num("trials", 50)?;
+    let mut emit = Emitter::from_args(args);
     let mut sys = boot(args)?;
+    if emit.active() {
+        sys.telemetry.set_enabled(true);
+    }
     let set = sys.pick_quiet_dtlb_set();
     let target = sys.alloc_target(set)
         + if args.get("channel") == Some("cache") {
@@ -94,43 +160,88 @@ fn cmd_oracle(args: &Args) -> CliResult {
         };
     let true_pac = sys.true_pac(target);
     let mut oracle = make_oracle(args, &mut sys)?;
-    println!("target {target:#x} (dTLB set {set}), {trials} trials per class");
+    let mut log = if emit.active() { TrialLog::new() } else { TrialLog::disabled() };
+    if !emit.quiet() {
+        println!("target {target:#x} (dTLB set {set}), {trials} trials per class");
+    }
     let mut good = 0usize;
     let mut clean = 0usize;
     for i in 0..trials {
-        if oracle.test_pac(&mut sys, target, true_pac)?.is_correct() {
+        let v = recorded_test_pac(
+            oracle.as_mut(),
+            &mut sys,
+            &mut log,
+            target,
+            true_pac,
+            Some(true_pac),
+        )?;
+        if v.is_correct() {
             good += 1;
         }
         let wrong = true_pac ^ (1 + i as u16);
-        if !oracle.test_pac(&mut sys, target, wrong)?.is_correct() {
+        let v =
+            recorded_test_pac(oracle.as_mut(), &mut sys, &mut log, target, wrong, Some(true_pac))?;
+        if !v.is_correct() {
             clean += 1;
         }
     }
-    println!("correct PAC detected:   {good}/{trials}");
-    println!("wrong PAC rejected:     {clean}/{trials}");
-    println!("kernel crashes:         {}", sys.kernel.crash_count());
-    Ok(())
+    for r in log.records() {
+        emit.record(&r.to_json());
+    }
+    if !emit.quiet() {
+        println!("correct PAC detected:   {good}/{trials}");
+        println!("wrong PAC rejected:     {clean}/{trials}");
+        println!("kernel crashes:         {}", sys.kernel.crash_count());
+    }
+    emit.finish(&sys.telemetry_snapshot())
 }
 
 fn cmd_brute(args: &Args) -> CliResult {
     let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
+    let mut emit = Emitter::from_args(args);
     let mut sys = boot(args)?;
+    if emit.active() {
+        sys.telemetry.set_enabled(true);
+    }
     let set = sys.pick_quiet_dtlb_set();
     let target = sys.alloc_target(set);
     let true_pac = sys.true_pac(target); // positions the demo window
     let start = true_pac.wrapping_sub((window / 2) as u16);
     let oracle = DataPacOracle::new(&mut sys)?.with_samples(5);
     let mut bf = BruteForcer::new(oracle);
-    println!("sweeping {window} candidates for the PAC of {target:#x} ...");
-    let outcome =
-        bf.brute(&mut sys, target, (0..window).map(|i| start.wrapping_add(i as u16)))?;
-    match outcome.found {
-        Some(p) => println!("FOUND: PAC = {p:#06x} after {} guesses", outcome.guesses_tested),
-        None => println!("no PAC found in the window ({} guesses)", outcome.guesses_tested),
+    if !emit.quiet() {
+        println!("sweeping {window} candidates for the PAC of {target:#x} ...");
     }
+    let outcome = bf.brute(&mut sys, target, (0..window).map(|i| start.wrapping_add(i as u16)))?;
     let clock = sys.machine.config().clock_hz;
-    println!("simulated cost: {:.2} ms/guess, crashes: {}", outcome.ms_per_guess(clock), outcome.crashes);
-    Ok(())
+    emit.record(&Value::Object(vec![
+        ("record".into(), Value::str("brute")),
+        ("target".into(), Value::UInt(target)),
+        (
+            "found".into(),
+            match outcome.found {
+                Some(p) => Value::UInt(u64::from(p)),
+                None => Value::Null,
+            },
+        ),
+        ("guesses_tested".into(), Value::UInt(outcome.guesses_tested)),
+        ("syscalls".into(), Value::UInt(outcome.syscalls)),
+        ("cycles".into(), Value::UInt(outcome.cycles)),
+        ("crashes".into(), Value::UInt(outcome.crashes)),
+        ("ms_per_guess".into(), Value::Float(outcome.ms_per_guess(clock))),
+    ]));
+    if !emit.quiet() {
+        match outcome.found {
+            Some(p) => println!("FOUND: PAC = {p:#06x} after {} guesses", outcome.guesses_tested),
+            None => println!("no PAC found in the window ({} guesses)", outcome.guesses_tested),
+        }
+        println!(
+            "simulated cost: {:.2} ms/guess, crashes: {}",
+            outcome.ms_per_guess(clock),
+            outcome.crashes
+        );
+    }
+    emit.finish(&sys.telemetry_snapshot())
 }
 
 fn cmd_jump2win(args: &Args) -> CliResult {
@@ -155,21 +266,62 @@ fn cmd_jump2win(args: &Args) -> CliResult {
     Ok(())
 }
 
-fn cmd_sweep(_args: &Args) -> CliResult {
+fn cmd_sweep(args: &Args) -> CliResult {
+    let mut emit = Emitter::from_args(args);
     let mut m = experiment_machine();
-    println!("Figure 5(a) knees:");
+    if !emit.quiet() {
+        println!("Figure 5(a) knees:");
+    }
     let data = data_tlb_sweep(&mut m, &[256, 2048])?;
-    println!("  dTLB   (stride 256 x 16KB): N = {:?}", data[0].knee_above(90));
-    println!("  L2 TLB (stride 2048 x 16KB): N = {:?}", data[1].knee_above(110));
     let instr = itlb_sweep(&mut m, &[32])?;
-    println!("  iTLB   (stride 32 x 16KB, drop): N = {:?}", instr[0].knee_below(90));
+    for series in data.iter().chain(instr.iter()) {
+        emit.record(&Value::Object(vec![
+            ("record".into(), Value::str("sweep_series")),
+            ("label".into(), Value::str(series.label.clone())),
+            ("stride".into(), Value::UInt(series.stride)),
+            (
+                "points".into(),
+                Value::Array(
+                    series
+                        .points
+                        .iter()
+                        .map(|p| {
+                            Value::Object(vec![
+                                ("n".into(), Value::UInt(p.n as u64)),
+                                ("median".into(), Value::UInt(p.median)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    if !emit.quiet() {
+        println!("  dTLB   (stride 256 x 16KB): N = {:?}", data[0].knee_above(90));
+        println!("  L2 TLB (stride 2048 x 16KB): N = {:?}", data[1].knee_above(110));
+        println!("  iTLB   (stride 32 x 16KB, drop): N = {:?}", instr[0].knee_below(90));
+    }
     let mut m2 = experiment_machine();
     let f = derive_hierarchy(&mut m2)?;
-    println!(
-        "Figure 6: iTLB {}w x 32s | dTLB {}w x 256s | L2 {}w x 2048s | victim migration: {}",
-        f.itlb_ways, f.dtlb_ways, f.l2_ways, f.itlb_victims_visible_to_loads
-    );
-    Ok(())
+    emit.record(&Value::Object(vec![
+        ("record".into(), Value::str("hierarchy")),
+        ("itlb_ways".into(), Value::UInt(f.itlb_ways as u64)),
+        ("dtlb_ways".into(), Value::UInt(f.dtlb_ways as u64)),
+        ("l2_ways".into(), Value::UInt(f.l2_ways as u64)),
+        ("itlb_victims_visible_to_loads".into(), Value::Bool(f.itlb_victims_visible_to_loads)),
+    ]));
+    if !emit.quiet() {
+        println!(
+            "Figure 6: iTLB {}w x 32s | dTLB {}w x 256s | L2 {}w x 2048s | victim migration: {}",
+            f.itlb_ways, f.dtlb_ways, f.l2_ways, f.itlb_victims_visible_to_loads
+        );
+    }
+    // The sweeps drive the machines directly (no System), so export their
+    // microarchitectural totals by hand for the final metrics record.
+    let mut reg = pacman_telemetry::Registry::new();
+    m.export_telemetry(&mut reg);
+    m2.export_telemetry(&mut reg);
+    emit.finish(&reg.snapshot())
 }
 
 fn cmd_census(args: &Args) -> CliResult {
@@ -178,7 +330,12 @@ fn cmd_census(args: &Args) -> CliResult {
     let config = ScanConfig { track_stack: args.flag("track-stack"), ..ScanConfig::default() };
     let report = scan_image(&image.bytes, &config);
     println!("image: {} functions, {} instructions", functions, image.instructions);
-    println!("gadgets: {} total ({} data, {} instruction)", report.total(), report.data_count(), report.instruction_count());
+    println!(
+        "gadgets: {} total ({} data, {} instruction)",
+        report.total(),
+        report.data_count(),
+        report.instruction_count()
+    );
     println!("mean branch->transmit distance: {:.1}", report.mean_distance());
     Ok(())
 }
@@ -208,27 +365,39 @@ fn cmd_os(_args: &Args) -> CliResult {
 }
 
 fn cmd_timeline(args: &Args) -> CliResult {
+    let mut emit = Emitter::from_args(args);
     let mut sys = boot(args)?;
     let set = sys.pick_quiet_dtlb_set();
     let target = sys.alloc_target(set);
     let true_pac = sys.true_pac(target);
+    let sc = sys.gadget.instr_gadget;
     for (label, pac) in [("CORRECT", true_pac), ("WRONG", true_pac ^ 5)] {
         for _ in 0..16 {
-            sys.kernel.syscall(&mut sys.machine, sys.gadget.instr_gadget, &[0, 0, 1])?;
+            sys.kernel.syscall(&mut sys.machine, sc, &[0, 0, 1])?;
         }
         let mut payload = [0u8; 24];
         payload[16..].copy_from_slice(&with_pac_field(target, pac).to_le_bytes());
         let buf = sys.write_payload(&payload);
-        sys.machine.trace.enable();
-        sys.kernel.syscall(&mut sys.machine, sys.gadget.instr_gadget, &[buf, 24, 0])?;
-        let events = sys.machine.trace.take();
-        sys.machine.trace.disable();
-        println!("--- instruction gadget, {label} PAC ---");
+        // Scoped tracing: enabled for exactly this syscall, previous
+        // recorder state restored afterwards.
+        let kernel = &mut sys.kernel;
+        let (result, events) = sys.machine.with_trace(|m| kernel.syscall(m, sc, &[buf, 24, 0]));
+        result?;
+        if !emit.quiet() {
+            println!("--- instruction gadget, {label} PAC ---");
+        }
         for e in events.iter().rev().take(8).rev() {
-            println!("  {e}");
+            emit.record(&Value::Object(vec![
+                ("record".into(), Value::str("spec_event")),
+                ("guess".into(), Value::str(label)),
+                ("event".into(), Value::str(e.to_string())),
+            ]));
+            if !emit.quiet() {
+                println!("  {e}");
+            }
         }
     }
-    Ok(())
+    emit.finish(&sys.telemetry_snapshot())
 }
 
 #[cfg(test)]
@@ -277,5 +446,68 @@ mod tests {
     #[test]
     fn timeline_command_runs() {
         dispatch(&parse("timeline --quiet-noise")).expect("timeline runs");
+    }
+
+    #[test]
+    fn oracle_metrics_out_writes_valid_jsonl() {
+        let path = std::env::temp_dir().join("pacman_cli_oracle_metrics_test.jsonl");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        dispatch(&parse(&format!("oracle --trials 2 --quiet-noise --metrics-out {path_str}")))
+            .expect("oracle runs");
+        let text = std::fs::read_to_string(&path).expect("metrics file written");
+        std::fs::remove_file(&path).ok();
+        let records = pacman_telemetry::json::parse_jsonl(&text).expect("valid JSONL");
+        // 2 trials per class = 4 trial records, then the metrics snapshot.
+        assert_eq!(records.len(), 5);
+        for r in &records[..4] {
+            assert_eq!(r.get("record").and_then(Value::as_str), Some("trial"));
+            assert_eq!(r.get("channel").and_then(Value::as_str), Some("dtlb-data"));
+            assert!(r.get("correct").and_then(Value::as_bool).is_some());
+            assert!(r.get("ground_truth").and_then(Value::as_bool).is_some());
+            assert!(r.get("cycles").and_then(Value::as_u64).unwrap() > 0);
+        }
+        let metrics = &records[4];
+        assert_eq!(metrics.get("record").and_then(Value::as_str), Some("metrics"));
+        let counters = metrics.get("counters").expect("counters object");
+        // Every modelled TLB and cache level must show activity.
+        for series in [
+            "tlb.itlb.user.hits",
+            "tlb.itlb.user.misses",
+            "tlb.itlb.kernel.hits",
+            "tlb.itlb.kernel.misses",
+            "tlb.dtlb.hits",
+            "tlb.dtlb.misses",
+            "tlb.l2.hits",
+            "tlb.l2.misses",
+            "cache.l1i.hits",
+            "cache.l1i.misses",
+            "cache.l1d.hits",
+            "cache.l1d.misses",
+            "cache.l2.hits",
+            "cache.l2.misses",
+            "oracle.trials",
+        ] {
+            let v = counters.get(series).and_then(Value::as_u64);
+            assert!(v.is_some_and(|v| v > 0), "counter {series} missing or zero: {v:?}");
+        }
+        assert!(metrics.get("histograms").and_then(|h| h.get("oracle.trial.cycles")).is_some());
+    }
+
+    #[test]
+    fn sweep_metrics_out_includes_series_and_machine_counters() {
+        let path = std::env::temp_dir().join("pacman_cli_sweep_metrics_test.jsonl");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        dispatch(&parse(&format!("sweep --metrics-out {path_str}"))).expect("sweep runs");
+        let text = std::fs::read_to_string(&path).expect("metrics file written");
+        std::fs::remove_file(&path).ok();
+        let records = pacman_telemetry::json::parse_jsonl(&text).expect("valid JSONL");
+        assert!(records
+            .iter()
+            .any(|r| r.get("record").and_then(Value::as_str) == Some("sweep_series")));
+        let metrics = records.last().expect("metrics record");
+        assert_eq!(metrics.get("record").and_then(Value::as_str), Some("metrics"));
+        let walks =
+            metrics.get("counters").and_then(|c| c.get("tlb.walks")).and_then(Value::as_u64);
+        assert!(walks.is_some_and(|w| w > 0), "sweeps must cause page walks: {walks:?}");
     }
 }

@@ -22,6 +22,9 @@
 //!                     --full sweeps all 65536)
 //!   --functions N     census image size (default 2000)
 //!   --track-stack     census: enable stack-slot dataflow
+//!   --json            emit JSONL records on stdout (one per trial/event,
+//!                     final metrics snapshot last)
+//!   --metrics-out F   write the same JSONL stream to file F
 //! ```
 
 mod args;

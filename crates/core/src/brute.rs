@@ -95,6 +95,11 @@ impl<O: PacOracle> BruteForcer<O> {
                 break;
             }
         }
+        sys.telemetry.incr("brute.sweeps");
+        sys.telemetry.incr_by("brute.guesses_tested", tested);
+        if found.is_some() {
+            sys.telemetry.incr("brute.hits");
+        }
         Ok(BruteOutcome {
             found,
             guesses_tested: tested,
@@ -129,13 +134,8 @@ impl<O: PacOracle> BruteForcer<O> {
         candidates: &[u16],
         max_retries: usize,
     ) -> Result<BruteOutcome, OracleError> {
-        let mut total = BruteOutcome {
-            found: None,
-            guesses_tested: 0,
-            syscalls: 0,
-            cycles: 0,
-            crashes: 0,
-        };
+        let mut total =
+            BruteOutcome { found: None, guesses_tested: 0, syscalls: 0, cycles: 0, crashes: 0 };
         for _attempt in 0..=max_retries {
             let outcome = self.brute(sys, target, candidates.iter().copied())?;
             total.guesses_tested += outcome.guesses_tested;
@@ -175,7 +175,10 @@ mod tests {
         let lo = true_pac.saturating_sub(8);
         let outcome = bf.brute(&mut sys, target, lo..=lo.saturating_add(16)).unwrap();
         assert_eq!(outcome.found, Some(true_pac));
-        assert_eq!(BruteForcer::<DataPacOracle>::classify(&outcome, true_pac), BruteVerdict::TruePositive);
+        assert_eq!(
+            BruteForcer::<DataPacOracle>::classify(&outcome, true_pac),
+            BruteVerdict::TruePositive
+        );
         assert_eq!(outcome.crashes, 0, "PACMAN brute force must not crash the kernel");
         assert!(outcome.syscalls > 0 && outcome.cycles > 0);
     }
@@ -192,7 +195,10 @@ mod tests {
         let window: Vec<u16> = (0..32u16).map(|i| true_pac ^ (0x100 + i)).collect();
         let outcome = bf.brute(&mut sys, target, window).unwrap();
         assert_eq!(outcome.found, None);
-        assert_eq!(BruteForcer::<DataPacOracle>::classify(&outcome, true_pac), BruteVerdict::FalseNegative);
+        assert_eq!(
+            BruteForcer::<DataPacOracle>::classify(&outcome, true_pac),
+            BruteVerdict::FalseNegative
+        );
         assert_eq!(outcome.guesses_tested, 32);
         assert_eq!(outcome.crashes, 0);
     }
@@ -205,7 +211,8 @@ mod tests {
         let true_pac = sys.true_pac(target);
         let oracle = DataPacOracle::new(&mut sys).unwrap();
         let mut bf = BruteForcer::new(oracle);
-        let candidates: Vec<u16> = (0..8u16).map(|i| true_pac.wrapping_sub(3).wrapping_add(i)).collect();
+        let candidates: Vec<u16> =
+            (0..8u16).map(|i| true_pac.wrapping_sub(3).wrapping_add(i)).collect();
         let outcome = bf.brute_until_found(&mut sys, target, &candidates, 3).unwrap();
         assert_eq!(outcome.found, Some(true_pac));
         assert_eq!(outcome.crashes, 0);
@@ -230,7 +237,13 @@ mod tests {
 
     #[test]
     fn cost_accounting_extrapolates() {
-        let o = BruteOutcome { found: None, guesses_tested: 100, syscalls: 0, cycles: 320_000_000, crashes: 0 };
+        let o = BruteOutcome {
+            found: None,
+            guesses_tested: 100,
+            syscalls: 0,
+            cycles: 320_000_000,
+            crashes: 0,
+        };
         // 320M cycles at 3.2 GHz = 100 ms → 1 ms/guess → 65.536 s full space.
         assert!((o.ms_per_guess(3_200_000_000) - 1.0).abs() < 1e-9);
         assert!((o.minutes_for_full_space(3_200_000_000) - 65.536 / 60.0).abs() < 1e-6);

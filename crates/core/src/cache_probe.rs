@@ -139,6 +139,10 @@ impl PacOracle for CacheDataPacOracle {
         self.samples
     }
 
+    fn channel(&self) -> &'static str {
+        "l1d-data"
+    }
+
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {
         let pp = self
             .probes

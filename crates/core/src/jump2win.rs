@@ -264,8 +264,7 @@ mod tests {
         // Now the planting + dispatch steps, reusing the driver's code
         // path by setting a window that hits immediately for both.
         let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
-        payload[0..8]
-            .copy_from_slice(&with_pac_field(sys.cpp.win_fn, found_win).to_le_bytes());
+        payload[0..8].copy_from_slice(&with_pac_field(sys.cpp.win_fn, found_win).to_le_bytes());
         payload[OBJ2_OFFSET as usize..]
             .copy_from_slice(&with_pac_field(sys.cpp.obj1, found_vt).to_le_bytes());
         let buf = sys.write_payload(&payload);

@@ -18,7 +18,9 @@
 //! - [`sweep`] — the §7 reverse-engineering sweeps (Figure 5) and the
 //!   Figure 6 parameter derivation;
 //! - [`jump2win`] — the §8.3 control-flow hijack;
-//! - [`report`] — table/series rendering for the bench harness.
+//! - [`report`] — table/series rendering for the bench harness;
+//! - [`telemetry`] — per-trial oracle records and the `oracle.*` /
+//!   `brute.*` metrics series (JSONL export via `pacman-cli --json`).
 //!
 //! # Example: a crash-free PAC oracle
 //!
@@ -50,6 +52,7 @@ pub mod probe;
 pub mod report;
 pub mod sweep;
 pub mod system;
+pub mod telemetry;
 pub mod timing;
 
 pub use system::{System, SystemConfig};

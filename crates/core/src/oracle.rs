@@ -125,6 +125,12 @@ pub trait PacOracle {
         1
     }
 
+    /// Short name of the transmission channel, used in telemetry records
+    /// (`"dtlb-data"`, `"itlb-instr"`, `"l1d-data"`).
+    fn channel(&self) -> &'static str {
+        "oracle"
+    }
+
     /// Tests one PAC guess for `target`, returning the verdict.
     ///
     /// # Errors
@@ -167,10 +173,7 @@ struct ProbeCache {
 
 impl ProbeCache {
     fn get(&mut self, sys: &mut System, target: u64) -> PrimeProbe {
-        self.by_target
-            .entry(target)
-            .or_insert_with(|| PrimeProbe::for_target(sys, target))
-            .clone()
+        self.by_target.entry(target).or_insert_with(|| PrimeProbe::for_target(sys, target)).clone()
     }
 }
 
@@ -202,6 +205,10 @@ impl DataPacOracle {
 impl PacOracle for DataPacOracle {
     fn samples(&self) -> usize {
         self.samples
+    }
+
+    fn channel(&self) -> &'static str {
+        "dtlb-data"
     }
 
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {
@@ -266,6 +273,10 @@ impl InstrPacOracle {
 impl PacOracle for InstrPacOracle {
     fn samples(&self) -> usize {
         self.samples
+    }
+
+    fn channel(&self) -> &'static str {
+        "itlb-instr"
     }
 
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {

@@ -3,6 +3,7 @@
 use pacman_isa::PacKey;
 use pacman_kernel::kext::{CppKext, GadgetKext, PmcKext};
 use pacman_kernel::{layout, Kernel};
+use pacman_telemetry::{Registry, Snapshot};
 use pacman_uarch::{Machine, MachineConfig, Perms, TimingSource};
 
 /// Configuration for [`System::boot`].
@@ -42,6 +43,9 @@ pub struct System {
     pub cpp: CppKext,
     /// The §6.1 performance-counter kext.
     pub pmc: PmcKext,
+    /// Attack-level metrics registry (disabled by default; enable with
+    /// [`Registry::set_enabled`] — e.g. for the CLI's `--json` mode).
+    pub telemetry: Registry,
     next_user_va: u64,
 }
 
@@ -58,7 +62,28 @@ impl System {
         let gadget = GadgetKext::install(&mut kernel, &mut machine);
         let cpp = CppKext::install(&mut kernel, &mut machine);
         let pmc = PmcKext::install(&mut kernel, &mut machine);
-        Self { machine, kernel, gadget, cpp, pmc, next_user_va: ATTACKER_REGION }
+        Self {
+            machine,
+            kernel,
+            gadget,
+            cpp,
+            pmc,
+            telemetry: Registry::disabled(),
+            next_user_va: ATTACKER_REGION,
+        }
+    }
+
+    /// A combined metrics snapshot: the attack-level `oracle.*` /
+    /// `brute.*` series recorded in [`System::telemetry`] plus the
+    /// machine's lifetime `tlb.*` / `cache.*` / `predict.*` / `spec.*`
+    /// totals. The machine export lands on an enabled clone, so the
+    /// microarchitectural series are present even when the attack-level
+    /// registry is disabled, and calling this twice never double-counts.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut reg = self.telemetry.clone();
+        reg.set_enabled(true);
+        self.machine.export_telemetry(&mut reg);
+        reg.snapshot()
     }
 
     /// Maps a fresh kernel page in the requested dTLB set and returns its
@@ -133,9 +158,7 @@ impl System {
     /// Picks a dTLB set that no per-syscall service page collides with.
     pub fn pick_quiet_dtlb_set(&self) -> usize {
         let hot = self.hot_dtlb_sets();
-        (0..256u64)
-            .find(|s| !hot.contains(s))
-            .expect("fewer than 256 hot sets") as usize
+        (0..256u64).find(|s| !hot.contains(s)).expect("fewer than 256 hot sets") as usize
     }
 }
 
@@ -149,9 +172,7 @@ mod tests {
         let mut sys = System::boot(SystemConfig::default());
         assert_eq!(sys.kernel.crash_count(), 0);
         // Training the gadget does not crash.
-        sys.kernel
-            .syscall(&mut sys.machine, sys.gadget.data_gadget, &[0, 0, 1])
-            .unwrap();
+        sys.kernel.syscall(&mut sys.machine, sys.gadget.data_gadget, &[0, 0, 1]).unwrap();
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Per-trial attack telemetry: oracle trial records and their JSON form.
+//!
+//! The oracles in [`crate::oracle`] answer one question per
+//! [`PacOracle::test_pac`] call. For evaluation (accuracy tables, the
+//! Figure 8 distributions, JSONL export from the CLI) each call can be
+//! recorded as a [`TrialRecord`]: which channel transmitted, what was
+//! guessed, what the probe measured, how the median rule classified it,
+//! and — simulator-only knowledge — whether the guess actually was the
+//! true PAC.
+//!
+//! Recording is opt-in. A disabled [`TrialLog`] reduces every `push` to
+//! one branch, and [`recorded_test_pac`] only pays for the extra
+//! bookkeeping (cycle deltas, record construction) when either the log
+//! or the system's metrics registry is enabled.
+
+use pacman_telemetry::json::Value;
+
+use crate::oracle::{OracleError, OracleVerdict, PacOracle};
+use crate::system::System;
+
+/// One recorded oracle test: a guess, its measurement and its verdict.
+#[derive(Clone, Debug)]
+pub struct TrialRecord {
+    /// Position in the log (0-based).
+    pub index: u64,
+    /// Transmission channel (see [`PacOracle::channel`]).
+    pub channel: &'static str,
+    /// The pointer whose PAC was guessed.
+    pub target: u64,
+    /// The guessed 16-bit PAC.
+    pub guess: u16,
+    /// Per-sample probe miss counts.
+    pub misses: Vec<usize>,
+    /// Median miss count used for classification.
+    pub median_misses: usize,
+    /// Channel-specific classification threshold.
+    pub threshold: usize,
+    /// The oracle's verdict: guess classified as the correct PAC.
+    pub correct: bool,
+    /// Ground truth (`guess == true PAC`), when the caller knows it.
+    /// `None` in attacker-realistic runs.
+    pub ground_truth: Option<bool>,
+    /// Simulated cycles the whole test consumed (its latency).
+    pub cycles: u64,
+}
+
+impl TrialRecord {
+    /// The record as an ordered JSON object (`"record": "trial"` first,
+    /// so JSONL consumers can route on it).
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("record".into(), Value::str("trial")),
+            ("index".into(), Value::UInt(self.index)),
+            ("channel".into(), Value::str(self.channel)),
+            ("target".into(), Value::UInt(self.target)),
+            ("guess".into(), Value::UInt(u64::from(self.guess))),
+            (
+                "misses".into(),
+                Value::Array(self.misses.iter().map(|&m| Value::UInt(m as u64)).collect()),
+            ),
+            ("median_misses".into(), Value::UInt(self.median_misses as u64)),
+            ("threshold".into(), Value::UInt(self.threshold as u64)),
+            ("correct".into(), Value::Bool(self.correct)),
+        ];
+        fields.push((
+            "ground_truth".into(),
+            match self.ground_truth {
+                Some(b) => Value::Bool(b),
+                None => Value::Null,
+            },
+        ));
+        fields.push(("cycles".into(), Value::UInt(self.cycles)));
+        Value::Object(fields)
+    }
+}
+
+/// An append-only log of [`TrialRecord`]s with an enabled gate.
+#[derive(Clone, Debug, Default)]
+pub struct TrialLog {
+    enabled: bool,
+    records: Vec<TrialRecord>,
+}
+
+impl TrialLog {
+    /// An enabled log.
+    pub fn new() -> Self {
+        Self { enabled: true, records: Vec::new() }
+    }
+
+    /// A disabled log: `push` is a no-op branch.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (dropped when disabled).
+    pub fn push(&mut self, record: TrialRecord) {
+        if self.enabled {
+            self.records.push(record);
+        }
+    }
+
+    /// Records kept so far.
+    pub fn records(&self) -> &[TrialRecord] {
+        &self.records
+    }
+
+    /// Number of records kept.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records have been kept.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Takes the records, leaving the log empty (still enabled).
+    pub fn take(&mut self) -> Vec<TrialRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// Runs [`PacOracle::test_pac`] and records the outcome: one
+/// [`TrialRecord`] in `log` plus the `oracle.*` counters and latency
+/// histograms in `sys.telemetry`.
+///
+/// `ground_truth` is the true PAC when the caller knows it (evaluation
+/// runs); pass `None` for attacker-realistic runs.
+///
+/// # Errors
+///
+/// Propagates [`OracleError`] from the underlying trial.
+pub fn recorded_test_pac<O: PacOracle + ?Sized>(
+    oracle: &mut O,
+    sys: &mut System,
+    log: &mut TrialLog,
+    target: u64,
+    guess: u16,
+    ground_truth: Option<u16>,
+) -> Result<OracleVerdict, OracleError> {
+    if !log.is_enabled() && !sys.telemetry.is_enabled() {
+        return oracle.test_pac(sys, target, guess);
+    }
+    let cycles0 = sys.machine.cycles;
+    let verdict = oracle.test_pac(sys, target, guess)?;
+    let cycles = sys.machine.cycles - cycles0;
+    let correct = verdict.is_correct();
+    let truth = ground_truth.map(|t| t == guess);
+
+    sys.telemetry.incr("oracle.trials");
+    sys.telemetry.incr(if correct { "oracle.verdict.correct" } else { "oracle.verdict.incorrect" });
+    if let Some(truth) = truth {
+        sys.telemetry.incr(match (truth, correct) {
+            (true, true) => "oracle.classified.true_positive",
+            (true, false) => "oracle.classified.false_negative",
+            (false, true) => "oracle.classified.false_positive",
+            (false, false) => "oracle.classified.true_negative",
+        });
+    }
+    sys.telemetry.observe("oracle.trial.cycles", cycles);
+    sys.telemetry.observe("oracle.trial.median_misses", verdict.median_misses as u64);
+
+    log.push(TrialRecord {
+        index: log.len() as u64,
+        channel: oracle.channel(),
+        target,
+        guess,
+        misses: verdict.misses.clone(),
+        median_misses: verdict.median_misses,
+        threshold: verdict.threshold,
+        correct,
+        ground_truth: truth,
+        cycles,
+    });
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DataPacOracle;
+    use crate::system::SystemConfig;
+    use pacman_telemetry::json;
+
+    fn quiet_system() -> System {
+        let mut cfg = SystemConfig::default();
+        cfg.machine.os_noise = 0.0;
+        System::boot(cfg)
+    }
+
+    #[test]
+    fn disabled_log_and_registry_record_nothing() {
+        let mut sys = quiet_system();
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set);
+        let true_pac = sys.true_pac(target);
+        let mut oracle = DataPacOracle::new(&mut sys).unwrap();
+        let mut log = TrialLog::disabled();
+        let v =
+            recorded_test_pac(&mut oracle, &mut sys, &mut log, target, true_pac, Some(true_pac))
+                .unwrap();
+        assert!(v.is_correct());
+        assert!(log.is_empty());
+        assert!(sys.telemetry.is_empty());
+    }
+
+    #[test]
+    fn records_carry_verdict_truth_and_latency() {
+        let mut sys = quiet_system();
+        sys.telemetry.set_enabled(true);
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set);
+        let true_pac = sys.true_pac(target);
+        let mut oracle = DataPacOracle::new(&mut sys).unwrap();
+        let mut log = TrialLog::new();
+        recorded_test_pac(&mut oracle, &mut sys, &mut log, target, true_pac, Some(true_pac))
+            .unwrap();
+        recorded_test_pac(&mut oracle, &mut sys, &mut log, target, true_pac ^ 1, Some(true_pac))
+            .unwrap();
+        assert_eq!(log.len(), 2);
+        let [good, bad] = log.records() else { panic!("two records") };
+        assert_eq!(good.channel, "dtlb-data");
+        assert!(good.correct && good.ground_truth == Some(true));
+        assert!(!bad.correct && bad.ground_truth == Some(false));
+        assert!(good.cycles > 0);
+        assert_eq!(sys.telemetry.counter_value("oracle.trials"), 2);
+        assert_eq!(sys.telemetry.counter_value("oracle.classified.true_positive"), 1);
+        assert_eq!(sys.telemetry.counter_value("oracle.classified.true_negative"), 1);
+    }
+
+    #[test]
+    fn trial_records_serialize_to_parseable_json() {
+        let r = TrialRecord {
+            index: 3,
+            channel: "dtlb-data",
+            target: 0xFFFF_FFF0_0000_4000,
+            guess: 0xBEEF,
+            misses: vec![12, 0, 11],
+            median_misses: 11,
+            threshold: 5,
+            correct: true,
+            ground_truth: None,
+            cycles: 123_456,
+        };
+        let parsed = json::parse(&r.to_json().to_string()).expect("valid JSON");
+        assert_eq!(parsed.get("record").and_then(Value::as_str), Some("trial"));
+        assert_eq!(parsed.get("guess").and_then(Value::as_u64), Some(0xBEEF));
+        assert_eq!(parsed.get("ground_truth"), Some(&Value::Null));
+        assert_eq!(parsed.get("misses").and_then(Value::as_array).map(<[Value]>::len), Some(3));
+    }
+}

@@ -271,8 +271,7 @@ mod tests {
         let mut sys = quiet_system();
         let rows = table1(&mut sys).unwrap();
         assert_eq!(rows.len(), 3);
-        let by_name: std::collections::HashMap<_, _> =
-            rows.iter().map(|r| (r.name, r)).collect();
+        let by_name: std::collections::HashMap<_, _> = rows.iter().map(|r| (r.name, r)).collect();
         assert!(!by_name["System Counter (24 MHz)"].usable_for_attack);
         assert!(by_name["Apple Performance Counter"].usable_for_attack);
         assert!(by_name["Multi-thread Counter"].usable_for_attack);

@@ -90,8 +90,7 @@ impl ScanReport {
         if self.gadgets.is_empty() {
             return 0.0;
         }
-        self.gadgets.iter().map(|g| g.distance()).sum::<usize>() as f64
-            / self.gadgets.len() as f64
+        self.gadgets.iter().map(|g| g.distance()).sum::<usize>() as f64 / self.gadgets.len() as f64
     }
 }
 
@@ -136,7 +135,13 @@ fn walk_path(
                 } else {
                     GadgetKind::Data
                 };
-                out.push(Gadget { branch_index, aut_index, transmit_index: idx, kind, on_taken_path });
+                out.push(Gadget {
+                    branch_index,
+                    aut_index,
+                    transmit_index: idx,
+                    kind,
+                    on_taken_path,
+                });
             }
         }
         // Stack dataflow (track_stack): spills of AUT results create
@@ -198,8 +203,7 @@ pub fn scan_image(bytes: &[u8], config: &ScanConfig) -> ScanReport {
             continue;
         }
         report.conditional_branches += 1;
-        let offset =
-            inst.branch_offset().expect("conditional branches carry an offset") as isize;
+        let offset = inst.branch_offset().expect("conditional branches carry an offset") as isize;
         // Taken direction.
         if let Some(taken) = i.checked_add_signed(offset) {
             walk_path(&insts, i, taken, config, true, &mut report.gadgets);
@@ -358,7 +362,8 @@ mod tests {
         use crate::synth::{synthesize, ImageSpec};
         let image = synthesize(&ImageSpec { functions: 300, seed: 77, ..ImageSpec::default() });
         let plain = scan_image(&image.bytes, &ScanConfig::default());
-        let deep = scan_image(&image.bytes, &ScanConfig { track_stack: true, ..ScanConfig::default() });
+        let deep =
+            scan_image(&image.bytes, &ScanConfig { track_stack: true, ..ScanConfig::default() });
         assert!(deep.total() >= plain.total(), "deeper analysis can only add gadgets");
     }
 

@@ -108,10 +108,7 @@ impl Asm {
     ///
     /// Panics if the label came from a different assembler.
     pub fn bind(&mut self, label: Label) {
-        let slot = self
-            .labels
-            .get_mut(label.0)
-            .expect("label must come from this assembler");
+        let slot = self.labels.get_mut(label.0).expect("label must come from this assembler");
         assert!(slot.is_none(), "label {label:?} bound twice");
         *slot = Some(self.insts.len());
     }
@@ -175,8 +172,12 @@ impl Asm {
     /// Emits the shortest `movz`/`movk` sequence loading the 64-bit
     /// constant `value` into `rd` (always at least one instruction).
     pub fn mov_imm64(&mut self, rd: Reg, value: u64) -> &mut Self {
-        let halves =
-            [(value & 0xFFFF) as u16, (value >> 16) as u16, (value >> 32) as u16, (value >> 48) as u16];
+        let halves = [
+            (value & 0xFFFF) as u16,
+            (value >> 16) as u16,
+            (value >> 32) as u16,
+            (value >> 48) as u16,
+        ];
         self.insts.push(Inst::MovZ { rd, imm: halves[0], shift: 0 });
         for (i, &h) in halves.iter().enumerate().skip(1) {
             if h != 0 {

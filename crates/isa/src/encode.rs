@@ -204,10 +204,9 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
             }
             word(MOVN, reg_at(rd, 18) | (u32::from(shift) << 16) | u32::from(imm))
         }
-        Inst::Csel { rd, rn, rm, cond } => word(
-            CSEL,
-            reg_at(rd, 18) | reg_at(rn, 12) | reg_at(rm, 6) | u32::from(cond.index()),
-        ),
+        Inst::Csel { rd, rn, rm, cond } => {
+            word(CSEL, reg_at(rd, 18) | reg_at(rn, 12) | reg_at(rm, 6) | u32::from(cond.index()))
+        }
         Inst::AddImm { rd, rn, imm } => {
             word(ADDIMM, reg_at(rd, 18) | reg_at(rn, 12) | imm12(imm, "add imm")?)
         }
@@ -261,10 +260,9 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
         }
         Inst::B { offset } => word(B, simm(offset.into(), 24, "b offset")?),
         Inst::Bl { offset } => word(BL, simm(offset.into(), 24, "bl offset")?),
-        Inst::BCond { cond, offset } => word(
-            BCOND,
-            (u32::from(cond.index()) << 20) | simm(offset.into(), 16, "b.cond offset")?,
-        ),
+        Inst::BCond { cond, offset } => {
+            word(BCOND, (u32::from(cond.index()) << 20) | simm(offset.into(), 16, "b.cond offset")?)
+        }
         Inst::Cbz { rt, offset } => {
             word(CBZ, reg_at(rt, 18) | simm(offset.into(), 16, "cbz offset")?)
         }
@@ -347,21 +345,27 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
             shift: ((w >> 16) & 0x3) as u8,
         },
         MOVREG => Inst::MovReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)? },
-        ADDIMM => Inst::AddImm {
-            rd: reg_field(w, 18)?,
-            rn: reg_field(w, 12)?,
-            imm: (w & 0xFFF) as u16,
-        },
-        SUBIMM => Inst::SubImm {
-            rd: reg_field(w, 18)?,
-            rn: reg_field(w, 12)?,
-            imm: (w & 0xFFF) as u16,
-        },
-        ADDREG => Inst::AddReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
-        SUBREG => Inst::SubReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
-        ANDREG => Inst::AndReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
-        ORRREG => Inst::OrrReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
-        EORREG => Inst::EorReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? },
+        ADDIMM => {
+            Inst::AddImm { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, imm: (w & 0xFFF) as u16 }
+        }
+        SUBIMM => {
+            Inst::SubImm { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, imm: (w & 0xFFF) as u16 }
+        }
+        ADDREG => {
+            Inst::AddReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? }
+        }
+        SUBREG => {
+            Inst::SubReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? }
+        }
+        ANDREG => {
+            Inst::AndReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? }
+        }
+        ORRREG => {
+            Inst::OrrReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? }
+        }
+        EORREG => {
+            Inst::EorReg { rd: reg_field(w, 18)?, rn: reg_field(w, 12)?, rm: reg_field(w, 6)? }
+        }
         LSLIMM => Inst::LslImm {
             rd: reg_field(w, 18)?,
             rn: reg_field(w, 12)?,
@@ -563,8 +567,7 @@ mod tests {
             // everything else must be unique per variant kind.
             seen.insert((std::mem::discriminant(&inst), opcode));
         }
-        let opcode_count =
-            seen.iter().map(|(_, op)| *op).collect::<HashSet<_>>().len();
+        let opcode_count = seen.iter().map(|(_, op)| *op).collect::<HashSet<_>>().len();
         assert!(opcode_count >= 40, "expected >=40 distinct opcodes, got {opcode_count}");
     }
 
@@ -577,8 +580,14 @@ mod tests {
         assert!(encode(&Inst::B { offset: 1 << 23 }).is_err());
         assert!(encode(&Inst::BCond { cond: Cond::Eq, offset: 40000 }).is_err());
         assert!(encode(&Inst::Tbz { rt: Reg::X0, bit: 64, offset: 0 }).is_err());
-        assert!(encode(&Inst::Ldp { rt: Reg::X0, rt2: Reg::X1, rn: Reg::SP, offset: 12 }).is_err(), "unaligned pair offset");
-        assert!(encode(&Inst::Stp { rt: Reg::X0, rt2: Reg::X1, rn: Reg::SP, offset: 256 }).is_err(), "pair offset range");
+        assert!(
+            encode(&Inst::Ldp { rt: Reg::X0, rt2: Reg::X1, rn: Reg::SP, offset: 12 }).is_err(),
+            "unaligned pair offset"
+        );
+        assert!(
+            encode(&Inst::Stp { rt: Reg::X0, rt2: Reg::X1, rn: Reg::SP, offset: 256 }).is_err(),
+            "pair offset range"
+        );
     }
 
     #[test]
@@ -599,8 +608,14 @@ mod tests {
     fn encode_program_is_little_endian_words() {
         let bytes = encode_program(&[Inst::Nop, Inst::Ret]).unwrap();
         assert_eq!(bytes.len(), 8);
-        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), encode(&Inst::Nop).unwrap());
-        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), encode(&Inst::Ret).unwrap());
+        assert_eq!(
+            u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+            encode(&Inst::Nop).unwrap()
+        );
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            encode(&Inst::Ret).unwrap()
+        );
     }
 
     #[test]

@@ -422,7 +422,11 @@ impl Inst {
     pub fn is_conditional_branch(&self) -> bool {
         matches!(
             self,
-            Inst::BCond { .. } | Inst::Cbz { .. } | Inst::Cbnz { .. } | Inst::Tbz { .. } | Inst::Tbnz { .. }
+            Inst::BCond { .. }
+                | Inst::Cbz { .. }
+                | Inst::Cbnz { .. }
+                | Inst::Tbz { .. }
+                | Inst::Tbnz { .. }
         )
     }
 
@@ -605,7 +609,10 @@ mod tests {
 
     #[test]
     fn destination_tracking() {
-        assert_eq!(Inst::AddReg { rd: Reg::X1, rn: Reg::X2, rm: Reg::X3 }.destination(), Some(Reg::X1));
+        assert_eq!(
+            Inst::AddReg { rd: Reg::X1, rn: Reg::X2, rm: Reg::X3 }.destination(),
+            Some(Reg::X1)
+        );
         assert_eq!(Inst::Bl { offset: 2 }.destination(), Some(Reg::LR));
         assert_eq!(Inst::Str { rt: Reg::X1, rn: Reg::X2, offset: 0 }.destination(), None);
         // Writes to XZR are discarded and must not appear as dataflow.
@@ -625,7 +632,10 @@ mod tests {
             "autizb x0"
         );
         assert_eq!(Inst::BCond { cond: Cond::Ne, offset: -3 }.to_string(), "b.ne .-3");
-        assert_eq!(Inst::Ldr { rt: Reg::X2, rn: Reg::X0, offset: 8 }.to_string(), "ldr x2, [x0, #8]");
+        assert_eq!(
+            Inst::Ldr { rt: Reg::X2, rn: Reg::X0, offset: 8 }.to_string(),
+            "ldr x2, [x0, #8]"
+        );
     }
 
     #[test]

@@ -186,7 +186,12 @@ impl Kernel {
     /// - [`KernelError::Panic`] if the handler traps at EL1 — the kernel
     ///   then *reboots*: keys are renewed, microarchitectural state is
     ///   flushed, and the crash counter increments.
-    pub fn syscall(&mut self, machine: &mut Machine, num: u64, args: &[u64]) -> Result<u64, KernelError> {
+    pub fn syscall(
+        &mut self,
+        machine: &mut Machine,
+        num: u64,
+        args: &[u64],
+    ) -> Result<u64, KernelError> {
         if num >= self.syscalls.len() as u64 {
             return Err(KernelError::BadSyscall { num });
         }

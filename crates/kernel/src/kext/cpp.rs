@@ -129,7 +129,11 @@ impl CppKext {
         let ia = machine.cpu.pac_computer(PacKey::Ia);
         let da = machine.cpu.pac_computer(PacKey::Da);
         // vtable[0] = &method_normal, signed with IA and the object salt.
-        write_kernel_u64(machine, self.vtable, pacman_isa::ptr::sign(&ia, self.method_normal, self.obj2));
+        write_kernel_u64(
+            machine,
+            self.vtable,
+            pacman_isa::ptr::sign(&ia, self.method_normal, self.obj2),
+        );
         // object2.vtable_ptr = &vtable, signed with DA and the object salt.
         write_kernel_u64(machine, self.obj2, pacman_isa::ptr::sign(&da, self.vtable, self.obj2));
         write_kernel_u64(machine, self.flag, 0);
@@ -251,8 +255,7 @@ mod tests {
         let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
         payload[OBJ2_OFFSET as usize..].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
         assert!(m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload));
-        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64])
-            .unwrap();
+        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64]).unwrap();
         assert_ne!(read_kernel_u64(&m, c.obj2), original);
         assert_eq!(read_kernel_u64(&m, c.obj2), 0xDEAD_BEEF);
     }
@@ -265,8 +268,7 @@ mod tests {
         let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
         payload[OBJ2_OFFSET as usize..].copy_from_slice(&(c.obj1 + BUF_OFFSET).to_le_bytes());
         m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload);
-        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64])
-            .unwrap();
+        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64]).unwrap();
         let err = k.syscall(&mut m, c.dispatch, &[0, 0]).unwrap_err();
         assert!(matches!(err, crate::KernelError::Panic { .. }));
         assert_eq!(k.crash_count(), 1);
@@ -288,8 +290,7 @@ mod tests {
             .copy_from_slice(&with_pac_field(fake_vtable, pac_vt).to_le_bytes());
         m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload);
 
-        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64])
-            .unwrap();
+        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64]).unwrap();
         k.syscall(&mut m, c.dispatch, &[0, 0]).unwrap();
         assert_eq!(c.flag_value(&m), WIN_MAGIC, "control flow must reach win()");
         assert_eq!(k.crash_count(), 0, "the hijack must be crash-free");
@@ -338,8 +339,7 @@ mod tests {
         let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
         payload[OBJ2_OFFSET as usize..].copy_from_slice(&(c.obj1).to_le_bytes());
         m.mem.debug_write_bytes(layout::USER_SCRATCH, &payload);
-        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64])
-            .unwrap();
+        k.syscall(&mut m, c.overflow, &[layout::USER_SCRATCH, payload.len() as u64]).unwrap();
         assert!(k.syscall(&mut m, c.dispatch, &[0, 0]).is_err());
         c.initialize_objects(&mut k, &mut m);
         k.syscall(&mut m, c.dispatch, &[0, 0]).unwrap();

@@ -65,22 +65,24 @@ impl GadgetKext {
         b.push(Inst::Eret);
         crate::kernel::load_kernel_program(machine, benign_fn, &b.assemble().expect("benign fn"));
 
-        let data_gadget = kernel.register_syscall(
-            machine,
-            &Self::handler(obj_data, benign_data, Transmit::Load),
-        );
-        let instr_gadget = kernel.register_syscall(
-            machine,
-            &Self::handler(obj_instr, benign_fn, Transmit::Call),
-        );
+        let data_gadget =
+            kernel.register_syscall(machine, &Self::handler(obj_data, benign_data, Transmit::Load));
+        let instr_gadget =
+            kernel.register_syscall(machine, &Self::handler(obj_instr, benign_fn, Transmit::Call));
         // The store variant shares the data gadget's object: its benign
         // path must *store* to a writable page, which benign_data is.
-        let store_gadget = kernel.register_syscall(
-            machine,
-            &Self::handler(obj_data, benign_data, Transmit::Store),
-        );
+        let store_gadget = kernel
+            .register_syscall(machine, &Self::handler(obj_data, benign_data, Transmit::Store));
 
-        Self { data_gadget, instr_gadget, store_gadget, obj_data, obj_instr, benign_data, benign_fn }
+        Self {
+            data_gadget,
+            instr_gadget,
+            store_gadget,
+            obj_data,
+            obj_instr,
+            benign_data,
+            benign_fn,
+        }
     }
 
     fn handler(obj_va: u64, benign_target: u64, transmit: Transmit) -> Vec<Inst> {
@@ -350,12 +352,9 @@ mod tests {
         let events = m.trace.take();
         m.trace.disable();
 
-        let aut_valid = events
-            .iter()
-            .position(|e| matches!(e, SpecEvent::AutExecuted { valid: true, .. }));
-        let btb = events
-            .iter()
-            .position(|e| matches!(e, SpecEvent::BtbPredictedFetch { .. }));
+        let aut_valid =
+            events.iter().position(|e| matches!(e, SpecEvent::AutExecuted { valid: true, .. }));
+        let btb = events.iter().position(|e| matches!(e, SpecEvent::BtbPredictedFetch { .. }));
         let squash = events.iter().position(
             |e| matches!(e, SpecEvent::EagerSquashRedirect { actual, .. } if *actual == target),
         );
@@ -381,9 +380,9 @@ mod tests {
             "the corrupt pointer must fault speculatively"
         );
         assert!(
-            !events
-                .iter()
-                .any(|e| matches!(e, SpecEvent::EagerSquashRedirect { actual, .. } if *actual == target)),
+            !events.iter().any(
+                |e| matches!(e, SpecEvent::EagerSquashRedirect { actual, .. } if *actual == target)
+            ),
             "no redirect to the target without a valid PAC"
         );
         assert_eq!(k.crash_count(), 0);

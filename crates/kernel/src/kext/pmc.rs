@@ -32,9 +32,7 @@ impl PmcKext {
     /// Enables EL0 reads of `PMC0` (what the paper's reverse-engineering
     /// setup does).
     pub fn enable(&self, kernel: &mut Kernel, machine: &mut Machine) {
-        kernel
-            .syscall(machine, self.set_el0_access, &[1])
-            .expect("PMCR0 write cannot fault");
+        kernel.syscall(machine, self.set_el0_access, &[1]).expect("PMCR0 write cannot fault");
     }
 }
 

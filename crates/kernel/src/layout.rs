@@ -44,7 +44,9 @@ mod tests {
 
     #[test]
     fn kernel_addresses_are_canonical_kernel_pointers() {
-        for va in [SYSCALL_VECTOR, SYSCALL_TABLE, KEXT_TEXT_BASE, KERNEL_DATA_BASE, PLACED_REGION_BASE] {
+        for va in
+            [SYSCALL_VECTOR, SYSCALL_TABLE, KEXT_TEXT_BASE, KERNEL_DATA_BASE, PLACED_REGION_BASE]
+        {
             assert!(is_canonical(va), "{va:#x} not canonical");
             assert_eq!(VirtualAddress::new(va).kind(), PointerKind::Kernel);
         }
@@ -60,7 +62,8 @@ mod tests {
 
     #[test]
     fn regions_are_page_aligned_and_disjoint() {
-        let regions = [SYSCALL_VECTOR, SYSCALL_TABLE, KEXT_TEXT_BASE, KERNEL_DATA_BASE, PLACED_REGION_BASE];
+        let regions =
+            [SYSCALL_VECTOR, SYSCALL_TABLE, KEXT_TEXT_BASE, KERNEL_DATA_BASE, PLACED_REGION_BASE];
         for r in regions {
             assert_eq!(r % PAGE_SIZE, 0, "{r:#x} not page-aligned");
         }

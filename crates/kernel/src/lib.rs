@@ -38,8 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod kext;
 mod kernel;
+pub mod kext;
 pub mod layout;
 
 pub use kernel::{Kernel, KernelError};

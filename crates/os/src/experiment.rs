@@ -17,7 +17,13 @@ pub struct ExperimentReport {
 
 impl std::fmt::Display for ExperimentReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "[PacmanOS] {} ({} cycles, {})", self.name, self.cycles, if self.ok { "ok" } else { "FAILED" })?;
+        writeln!(
+            f,
+            "[PacmanOS] {} ({} cycles, {})",
+            self.name,
+            self.cycles,
+            if self.ok { "ok" } else { "FAILED" }
+        )?;
         for l in &self.lines {
             writeln!(f, "    {l}")?;
         }

@@ -132,13 +132,9 @@ mod tests {
     fn mix_columns_is_involutory() {
         // M is self-inverse; this is what lets QARMA share circuitry between
         // encryption and decryption, and what `cipher.rs` relies on.
-        for &x in &[
-            0u64,
-            0x0123_4567_89AB_CDEF,
-            0xFFFF_0000_FFFF_0000,
-            0x1111_2222_3333_4444,
-            u64::MAX,
-        ] {
+        for &x in
+            &[0u64, 0x0123_4567_89AB_CDEF, 0xFFFF_0000_FFFF_0000, 0x1111_2222_3333_4444, u64::MAX]
+        {
             let cells = unpack(x);
             let twice = mix_columns(&mix_columns(&cells));
             assert_eq!(twice, cells, "M^2 != I for state {x:#x}");

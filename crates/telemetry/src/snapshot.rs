@@ -1,0 +1,152 @@
+//! Point-in-time captures of a [`Registry`](crate::Registry) with
+//! interval (diff) semantics.
+
+use crate::json::Value;
+use crate::registry::Histogram;
+use std::collections::BTreeMap;
+
+/// An immutable capture of every series in a registry. Two snapshots of
+/// the same registry can be [diffed](Snapshot::diff) to meter exactly one
+/// experiment phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (instantaneous, so diff keeps the later value).
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Counter value at capture time (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value at capture time (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The interval between `earlier` and `self`: counters and histograms
+    /// subtract (saturating, so series born after `earlier` pass through),
+    /// gauges keep the later value.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(e) => h.diff(e),
+                    None => h.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        Snapshot { counters, gauges: self.gauges.clone(), histograms }
+    }
+
+    /// Serializes the snapshot as a JSON object:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: summary}}`.
+    pub fn to_json(&self) -> Value {
+        let counters = self.counters.iter().map(|(k, &v)| (k.clone(), Value::UInt(v))).collect();
+        let gauges = self.gauges.iter().map(|(k, &v)| (k.clone(), Value::Int(v))).collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let s = h.summary();
+                (
+                    k.clone(),
+                    Value::Object(vec![
+                        ("count".into(), Value::UInt(s.count)),
+                        ("sum".into(), Value::UInt(s.sum)),
+                        ("min".into(), Value::UInt(s.min)),
+                        ("max".into(), Value::UInt(s.max)),
+                        ("mean".into(), Value::Float(s.mean)),
+                        ("p50".into(), Value::UInt(s.p50)),
+                        ("p95".into(), Value::UInt(s.p95)),
+                        ("p99".into(), Value::UInt(s.p99)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("histograms".into(), Value::Object(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.incr_by("tlb.dtlb.hits", 10);
+        r.incr_by("tlb.dtlb.misses", 3);
+        r.gauge("spec.depth", 4);
+        r.observe("lat", 100);
+        r.observe("lat", 200);
+        r
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_new_series() {
+        let mut r = sample_registry();
+        let before = r.snapshot();
+        r.incr_by("tlb.dtlb.hits", 5);
+        r.incr("fresh.counter");
+        r.observe("lat", 400);
+        let d = r.snapshot().diff(&before);
+        assert_eq!(d.counter("tlb.dtlb.hits"), 5);
+        assert_eq!(d.counter("tlb.dtlb.misses"), 0);
+        assert_eq!(d.counter("fresh.counter"), 1);
+        assert_eq!(d.histograms["lat"].count(), 1);
+        assert_eq!(d.histograms["lat"].sum(), 400);
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_zero() {
+        let r = sample_registry();
+        let s = r.snapshot();
+        let d = s.diff(&s.clone());
+        assert!(d.counters.values().all(|&v| v == 0));
+        assert!(d.histograms.values().all(|h| h.count() == 0));
+    }
+
+    #[test]
+    fn to_json_contains_every_series() {
+        let s = sample_registry().snapshot();
+        let v = s.to_json();
+        let counters = v.get("counters").expect("counters");
+        assert_eq!(counters.get("tlb.dtlb.hits").and_then(Value::as_u64), Some(10));
+        assert_eq!(
+            v.get("gauges").and_then(|g| g.get("spec.depth")).and_then(Value::as_i64),
+            Some(4)
+        );
+        let lat = v.get("histograms").and_then(|h| h.get("lat")).expect("lat");
+        assert_eq!(lat.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(lat.get("sum").and_then(Value::as_u64), Some(300));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let s = sample_registry().snapshot();
+        let text = s.to_json().to_string();
+        let parsed = crate::json::parse(&text).expect("valid json");
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("tlb.dtlb.misses")).and_then(Value::as_u64),
+            Some(3)
+        );
+    }
+}

@@ -82,7 +82,20 @@ impl SetAssoc {
             set.clear();
         }
     }
+}
 
+/// Always-on hit/miss/fill/eviction counters for one cache level (plain
+/// `u64` adds; exported into a telemetry registry at snapshot time).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found the line.
+    pub hits: u64,
+    /// Lookups that missed (and triggered a fill).
+    pub misses: u64,
+    /// Lines installed.
+    pub fills: u64,
+    /// Lines evicted by a fill into a full set.
+    pub evictions: u64,
 }
 
 /// A physically-indexed cache level.
@@ -91,6 +104,8 @@ pub struct Cache {
     params: CacheParams,
     inner: SetAssoc,
     line_shift: u32,
+    /// Access counters (public for experiment reporting).
+    pub stats: CacheStats,
 }
 
 /// Outcome of a cache lookup.
@@ -110,7 +125,12 @@ impl Cache {
     pub fn new(params: CacheParams, effective_ways: Option<usize>) -> Self {
         let ways = effective_ways.unwrap_or(params.ways);
         let line_shift = params.line.trailing_zeros();
-        Self { params, inner: SetAssoc::new(ways, params.sets), line_shift }
+        Self {
+            params,
+            inner: SetAssoc::new(ways, params.sets),
+            line_shift,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The reported geometry (what the configuration registers expose).
@@ -131,9 +151,14 @@ impl Cache {
     pub fn access(&mut self, pa: u64) -> CacheOutcome {
         let key = self.line_key(pa);
         if self.inner.touch(key) {
+            self.stats.hits += 1;
             CacheOutcome::Hit
         } else {
-            self.inner.insert(key);
+            self.stats.misses += 1;
+            self.stats.fills += 1;
+            if self.inner.insert(key).is_some() {
+                self.stats.evictions += 1;
+            }
             CacheOutcome::Miss
         }
     }
@@ -209,6 +234,17 @@ mod tests {
         c.access(stride);
         c.access(2 * stride);
         assert!(!c.contains(0), "third fill must evict with effective 2 ways");
+    }
+
+    #[test]
+    fn stats_count_every_outcome() {
+        let mut c = small();
+        let (a, b, d) = (0u64, 4 * 64, 8 * 64);
+        c.access(a); // miss + fill
+        c.access(a); // hit
+        c.access(b); // miss + fill
+        c.access(d); // miss + fill + eviction of a
+        assert_eq!(c.stats, CacheStats { hits: 1, misses: 3, fills: 3, evictions: 1 });
     }
 
     #[test]

@@ -208,7 +208,15 @@ impl Default for Cpu {
 impl Cpu {
     /// A reset CPU at EL0.
     pub fn new() -> Self {
-        Self { regs: [0; 31], sp: [0; 2], pc: 0, el: El::El0, cmp: (0, 0), keys: KeyStore::default(), saved: None }
+        Self {
+            regs: [0; 31],
+            sp: [0; 2],
+            pc: 0,
+            el: El::El0,
+            cmp: (0, 0),
+            keys: KeyStore::default(),
+            saved: None,
+        }
     }
 
     /// Reads a register (XZR reads zero, SP reads the current EL's stack

@@ -49,13 +49,14 @@ pub mod timer;
 pub mod tlb;
 pub mod trace;
 
-pub use cache::{Cache, CacheParams};
+pub use cache::{Cache, CacheParams, CacheStats};
 pub use config::{
     ClusterCaches, ClusterTlbs, CoreKind, LatencyModel, MachineConfig, Mitigation, SquashPolicy,
 };
 pub use cpu::{AccessKind, Cpu, El, Trap};
 pub use machine::{AccessOutcome, CacheHit, Machine, MachineStats, MemorySystem, Stop, TlbHit};
 pub use paging::{PageTables, Perms};
+pub use predict::{Bimodal, Btb, PredictStats, Rsb};
 pub use timer::{Timers, TimingSource};
-pub use tlb::{FetchWorld, Tlb, TlbEntry, TlbHierarchy, TlbParams};
+pub use tlb::{FetchWorld, Tlb, TlbEntry, TlbHierarchy, TlbParams, TlbStats};
 pub use trace::{SpecEvent, SpecTrace};

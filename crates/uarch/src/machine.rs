@@ -24,10 +24,11 @@ use crate::config::{MachineConfig, Mitigation, SquashPolicy};
 use crate::cpu::{AccessKind, Cpu, El, SavedContext, Trap};
 use crate::mem::PhysMemory;
 use crate::paging::{PageTables, Perms};
-use crate::predict::{Bimodal, Btb, Rsb};
+use crate::predict::{Bimodal, Btb, PredictStats, Rsb};
 use crate::timer::{Timers, TimingSource};
-use crate::trace::{SpecEvent, SpecTrace};
 use crate::tlb::{DataLookup, FetchLookup, FetchWorld, TlbHierarchy};
+use crate::trace::{SpecEvent, SpecTrace};
+use pacman_telemetry::{Histogram, Registry};
 
 /// Where a translation was satisfied.
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
@@ -132,7 +133,11 @@ impl MemorySystem {
         }
     }
 
-    fn check_perms(entry: &crate::tlb::TlbEntry, el: El, access: AccessKind) -> Result<(), MemFault> {
+    fn check_perms(
+        entry: &crate::tlb::TlbEntry,
+        el: El,
+        access: AccessKind,
+    ) -> Result<(), MemFault> {
         let p = entry.perms;
         if el == El::El0 && !p.user {
             return Err(MemFault::Perm);
@@ -191,7 +196,8 @@ impl MemorySystem {
             DataLookup::DtlbHit(e) => (e, TlbHit::L1, 0),
             DataLookup::L2Hit(e) => (e, TlbHit::L2, self.latency.l2_tlb_hit),
             DataLookup::Miss => {
-                let (e, _reads) = self.tables.walk(&self.phys, v).map_err(|_| MemFault::Unmapped)?;
+                let (e, _reads) =
+                    self.tables.walk(&self.phys, v).map_err(|_| MemFault::Unmapped)?;
                 self.tlbs.fill_data(e);
                 (e, TlbHit::Walk, self.latency.walk)
             }
@@ -213,7 +219,8 @@ impl MemorySystem {
             FetchLookup::ItlbHit(e) => (e, TlbHit::L1, 0),
             FetchLookup::L2Hit(e) => (e, TlbHit::L2, self.latency.l2_tlb_hit),
             FetchLookup::Miss => {
-                let (e, _reads) = self.tables.walk(&self.phys, v).map_err(|_| MemFault::Unmapped)?;
+                let (e, _reads) =
+                    self.tables.walk(&self.phys, v).map_err(|_| MemFault::Unmapped)?;
                 self.tlbs.fill_fetch(world, e);
                 (e, TlbHit::Walk, self.latency.walk)
             }
@@ -227,7 +234,13 @@ impl MemorySystem {
     /// Speculative data access. Faults are reported, not raised; under
     /// [`Mitigation::DelayOnMiss`] any L1 miss blocks the access without
     /// side effects.
-    fn spec_data_access(&mut self, va: u64, el: El, access: AccessKind, mit: Mitigation) -> SpecAccess {
+    fn spec_data_access(
+        &mut self,
+        va: u64,
+        el: El,
+        access: AccessKind,
+        mit: Mitigation,
+    ) -> SpecAccess {
         if mit == Mitigation::DelayOnMiss {
             if !ptr::is_canonical(va) {
                 return SpecAccess::Fault;
@@ -404,6 +417,10 @@ pub struct Machine {
     pub rsb: Rsb,
     /// Counters.
     pub stats: MachineStats,
+    /// Prediction-outcome counters (always on; plain adds).
+    pub predict_stats: PredictStats,
+    /// Wrong-path instructions per speculation shadow, log₂-bucketed.
+    pub spec_depth: Histogram,
     /// Optional speculation-event recorder (Figure 3 timelines).
     pub trace: SpecTrace,
     /// Global cycle count.
@@ -429,6 +446,8 @@ impl Machine {
             btb: Btb::new(),
             rsb: Rsb::default(),
             stats: MachineStats::default(),
+            predict_stats: PredictStats::default(),
+            spec_depth: Histogram::new(),
             trace: SpecTrace::default(),
             cycles: 0,
             config,
@@ -456,6 +475,90 @@ impl Machine {
     /// The selected timing source.
     pub fn timing_source(&self) -> TimingSource {
         self.timing_source
+    }
+
+    /// Runs `f` with speculation tracing enabled and returns its result
+    /// together with the events recorded during the call. Any prior trace
+    /// state (enabled flag and buffered events) is saved first and
+    /// restored afterwards, so this composes with manual
+    /// [`SpecTrace::enable`]/[`SpecTrace::take`] use.
+    pub fn with_trace<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, Vec<SpecEvent>) {
+        let saved = std::mem::take(&mut self.trace);
+        self.trace.enable();
+        let result = f(self);
+        let events = self.trace.take();
+        self.trace = saved;
+        (result, events)
+    }
+
+    /// Exports every microarchitectural counter into `reg` under the
+    /// canonical `tlb.*` / `cache.*` / `predict.*` / `spec.*` /
+    /// `mitigations.*` / `cpu.*` names.
+    ///
+    /// The exported values are *lifetime totals* added via
+    /// [`Registry::incr_by`], so exporting the same machine twice double
+    /// counts. Export once at the end of an experiment, or snapshot the
+    /// registry around an interval and diff.
+    pub fn export_telemetry(&self, reg: &mut Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        let t = &self.mem.tlbs.stats;
+        let p = &self.predict_stats;
+        let s = &self.stats;
+        let counters = [
+            ("tlb.itlb.user.hits", t.itlb_user_hits),
+            ("tlb.itlb.user.misses", t.itlb_user_misses),
+            ("tlb.itlb.user.fills", t.itlb_user_fills),
+            ("tlb.itlb.user.evictions", t.itlb_user_evictions),
+            ("tlb.itlb.kernel.hits", t.itlb_kernel_hits),
+            ("tlb.itlb.kernel.misses", t.itlb_kernel_misses),
+            ("tlb.itlb.kernel.fills", t.itlb_kernel_fills),
+            ("tlb.itlb.kernel.evictions", t.itlb_kernel_evictions),
+            ("tlb.dtlb.hits", t.dtlb_hits),
+            ("tlb.dtlb.misses", t.dtlb_misses),
+            ("tlb.dtlb.fills", t.dtlb_fills),
+            ("tlb.dtlb.evictions", t.dtlb_evictions),
+            ("tlb.l2.hits", t.l2_hits),
+            ("tlb.l2.misses", t.l2_misses),
+            ("tlb.l2.fills", t.l2_fills),
+            ("tlb.l2.evictions", t.l2_evictions),
+            ("tlb.walks", t.walks),
+            ("tlb.itlb_to_dtlb_migrations", t.itlb_to_dtlb_migrations),
+            ("predict.bimodal.correct", p.bimodal_correct),
+            ("predict.bimodal.mispredicts", p.bimodal_mispredicts),
+            ("predict.btb.hits", p.btb_hits),
+            ("predict.btb.misses", p.btb_misses),
+            ("predict.btb.mispredicts", p.btb_mispredicts),
+            ("predict.rsb.hits", p.rsb_hits),
+            ("predict.rsb.underflows", p.rsb_underflows),
+            ("predict.ret.mispredicts", p.ret_mispredicts),
+            ("spec.episodes", s.spec_episodes),
+            ("spec.insts", s.spec_insts),
+            ("spec.faults_suppressed", s.spec_faults_suppressed),
+            ("spec.eager_squashes", s.eager_squashes),
+            ("mitigations.taint_blocked", s.taint_blocked),
+            ("mitigations.delay_blocked", s.delay_blocked),
+            ("mitigations.fences_injected", s.fences_injected),
+            ("cpu.retired", s.retired),
+            ("cpu.syscalls", s.syscalls),
+        ];
+        for (name, value) in counters {
+            reg.incr_by(name, value);
+        }
+        for (name, cache) in [
+            ("cache.l1i", &self.mem.l1i),
+            ("cache.l1d", &self.mem.l1d),
+            ("cache.l2", &self.mem.l2c),
+        ] {
+            let c = cache.stats;
+            reg.incr_by(&format!("{name}.hits"), c.hits);
+            reg.incr_by(&format!("{name}.misses"), c.misses);
+            reg.incr_by(&format!("{name}.fills"), c.fills);
+            reg.incr_by(&format!("{name}.evictions"), c.evictions);
+        }
+        reg.gauge("cpu.cycles", i64::try_from(self.cycles).unwrap_or(i64::MAX));
+        reg.merge_histogram("spec.depth", &self.spec_depth);
     }
 
     /// Maps a fresh zeroed page at `va` (page-aligned) and returns its
@@ -582,15 +685,13 @@ impl Machine {
     /// [`Trap::SysRegAccess`] if the timing source is not readable at EL0.
     pub fn timed_user_load(&mut self, va: u64) -> Result<u64, Trap> {
         let source = self.timing_source;
-        let t1 = self
-            .read_timer()
-            .ok_or(Trap::SysRegAccess { reg: source_reg(source), el: El::El0 })?;
+        let t1 =
+            self.read_timer().ok_or(Trap::SysRegAccess { reg: source_reg(source), el: El::El0 })?;
         self.cycles += self.config.latency.measure_overhead;
         self.cycles += self.noise();
         self.user_load(va)?;
-        let t2 = self
-            .read_timer()
-            .ok_or(Trap::SysRegAccess { reg: source_reg(source), el: El::El0 })?;
+        let t2 =
+            self.read_timer().ok_or(Trap::SysRegAccess { reg: source_reg(source), el: El::El0 })?;
         Ok(t2 - t1)
     }
 
@@ -614,10 +715,8 @@ impl Machine {
     fn step(&mut self) -> Result<Option<Stop>, Trap> {
         let pc = self.cpu.pc;
         let el = self.cpu.el;
-        let (fetch_outcome, pa) = self
-            .mem
-            .fetch_access(pc, el)
-            .map_err(|f| f.into_trap(pc, el, AccessKind::Fetch))?;
+        let (fetch_outcome, pa) =
+            self.mem.fetch_access(pc, el).map_err(|f| f.into_trap(pc, el, AccessKind::Fetch))?;
         self.cycles += fetch_outcome.cycles;
         let word = self.mem.phys.read_u32(pa);
         let inst = decode(word).map_err(|_| Trap::Decode { pc })?;
@@ -848,10 +947,17 @@ impl Machine {
                 // Returns predict through the RSB first (ret2spec-style
                 // behaviour); the BTB is the fallback for underflow.
                 let target = self.cpu.get(Reg::LR);
-                let predicted = self.rsb.pop().or_else(|| self.btb.predict(pc));
+                let from_rsb = self.rsb.pop();
+                if from_rsb.is_some() {
+                    self.predict_stats.rsb_hits += 1;
+                } else {
+                    self.predict_stats.rsb_underflows += 1;
+                }
+                let predicted = from_rsb.or_else(|| self.btb.predict(pc));
                 self.btb.train(pc, target);
                 if let Some(p) = predicted {
                     if p != target {
+                        self.predict_stats.ret_mispredicts += 1;
                         self.cycles += self.config.latency.mispredict_penalty;
                         self.speculate(pc, p, el);
                     }
@@ -894,7 +1000,8 @@ impl Machine {
                 self.cpu.pc = next;
             }
             Inst::Mrs { rd, sysreg } => {
-                let v = self.read_sysreg(sysreg, el).ok_or(Trap::SysRegAccess { reg: sysreg, el })?;
+                let v =
+                    self.read_sysreg(sysreg, el).ok_or(Trap::SysRegAccess { reg: sysreg, el })?;
                 self.cpu.set(rd, v);
                 self.cpu.pc = next;
             }
@@ -937,7 +1044,11 @@ impl Machine {
                 self.timers.pmc0_el0_enabled = value & 1 == 1;
                 true
             }
-            SysReg::CntpctEl0 | SysReg::CntfrqEl0 | SysReg::Pmc0 | SysReg::Pmc1 | SysReg::CurrentEl => false,
+            SysReg::CntpctEl0
+            | SysReg::CntfrqEl0
+            | SysReg::Pmc0
+            | SysReg::Pmc1
+            | SysReg::CurrentEl => false,
             _ => self.cpu.keys.write_half(reg, value),
         }
     }
@@ -961,9 +1072,12 @@ impl Machine {
         let target = pc.wrapping_add_signed(4 * i64::from(offset));
         let fallthrough = pc + 4;
         if predicted != taken {
+            self.predict_stats.bimodal_mispredicts += 1;
             self.cycles += self.config.latency.mispredict_penalty;
             let wrong_path = if predicted { target } else { fallthrough };
             self.speculate(pc, wrong_path, el);
+        } else {
+            self.predict_stats.bimodal_correct += 1;
         }
         self.cpu.pc = if taken { target } else { fallthrough };
     }
@@ -972,10 +1086,14 @@ impl Machine {
         let predicted = self.btb.predict(pc);
         self.btb.train(pc, target);
         if let Some(p) = predicted {
+            self.predict_stats.btb_hits += 1;
             if p != target {
+                self.predict_stats.btb_mispredicts += 1;
                 self.cycles += self.config.latency.mispredict_penalty;
                 self.speculate(pc, p, el);
             }
+        } else {
+            self.predict_stats.btb_misses += 1;
         }
     }
 
@@ -998,39 +1116,56 @@ impl Machine {
                 SpecAccess::Fault => {
                     self.stats.spec_faults_suppressed += 1;
                     self.trace.record(SpecEvent::FaultSuppressed { pc, va: pc });
-                    self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+                    self.close_shadow(executed);
                     return;
                 }
                 SpecAccess::Blocked => {
-                    self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+                    self.close_shadow(executed);
                     return;
                 }
             };
             let Ok(inst) = decode(self.mem.phys.read_u32(pa)) else {
-                self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+                self.close_shadow(executed);
                 return;
             };
             self.stats.spec_insts += 1;
             executed += 1;
             if !self.spec_exec(&mut shadow, &mut pc, el, inst, mit) {
-                self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
+                self.close_shadow(executed);
                 return;
             }
         }
+        self.close_shadow(executed);
+    }
+
+    /// Ends a speculation shadow: records the squash in the trace and the
+    /// wrong-path depth in the episode histogram.
+    fn close_shadow(&mut self, executed: u32) {
+        self.spec_depth.observe(u64::from(executed));
         self.trace.record(SpecEvent::ShadowClosed { instructions: executed });
     }
 
     /// Executes one wrong-path instruction. Returns false when the shadow
     /// ends (fault, serialisation, window-irrelevant instruction).
-    fn spec_exec(&mut self, shadow: &mut Shadow, pc: &mut u64, el: El, inst: Inst, mit: Mitigation) -> bool {
+    fn spec_exec(
+        &mut self,
+        shadow: &mut Shadow,
+        pc: &mut u64,
+        el: El,
+        inst: Inst,
+        mit: Mitigation,
+    ) -> bool {
         let next = *pc + 4;
         match inst {
             Inst::Nop => *pc = next,
             // Serialising or privilege-transferring instructions end
             // speculation.
-            Inst::Isb | Inst::Dsb | Inst::Hlt | Inst::Svc { .. } | Inst::Eret | Inst::Msr { .. } => {
-                return false
-            }
+            Inst::Isb
+            | Inst::Dsb
+            | Inst::Hlt
+            | Inst::Svc { .. }
+            | Inst::Eret
+            | Inst::Msr { .. } => return false,
             Inst::MovZ { rd, imm, shift } => {
                 shadow.set(rd, u64::from(imm) << (16 * u32::from(shift)));
                 shadow.set_taint(rd, false);
@@ -1115,7 +1250,8 @@ impl Machine {
             Inst::Ldr { rt, rn, offset } | Inst::Ldrb { rt, rn, offset } => {
                 if mit == Mitigation::TaintAutOutputs && shadow.tainted(rn) {
                     self.stats.taint_blocked += 1;
-                    self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
+                    self.trace
+                        .record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
                     shadow.set(rt, 0);
                     shadow.set_taint(rt, true);
                     *pc = next;
@@ -1142,7 +1278,10 @@ impl Machine {
                     }
                     SpecAccess::Blocked => {
                         self.stats.delay_blocked += 1;
-                        self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "delay-on-miss" });
+                        self.trace.record(SpecEvent::MitigationBlocked {
+                            pc: *pc,
+                            what: "delay-on-miss",
+                        });
                         return false;
                     }
                 }
@@ -1152,7 +1291,8 @@ impl Machine {
                 // transmit channel, §4.1) but never write memory.
                 if mit == Mitigation::TaintAutOutputs && shadow.tainted(rn) {
                     self.stats.taint_blocked += 1;
-                    self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
+                    self.trace
+                        .record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
                     *pc = next;
                     return true;
                 }
@@ -1170,7 +1310,10 @@ impl Machine {
                     }
                     SpecAccess::Blocked => {
                         self.stats.delay_blocked += 1;
-                        self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "delay-on-miss" });
+                        self.trace.record(SpecEvent::MitigationBlocked {
+                            pc: *pc,
+                            what: "delay-on-miss",
+                        });
                         return false;
                     }
                 }
@@ -1255,7 +1398,8 @@ impl Machine {
                 };
                 if mit == Mitigation::TaintAutOutputs && shadow.tainted(rn) {
                     self.stats.taint_blocked += 1;
-                    self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
+                    self.trace
+                        .record(SpecEvent::MitigationBlocked { pc: *pc, what: "taint tracking" });
                     return false;
                 }
                 let actual = shadow.get(rn);
@@ -1293,7 +1437,10 @@ impl Machine {
                     }
                     SpecAccess::Blocked => {
                         self.stats.delay_blocked += 1;
-                        self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "delay-on-miss" });
+                        self.trace.record(SpecEvent::MitigationBlocked {
+                            pc: *pc,
+                            what: "delay-on-miss",
+                        });
                         return false;
                     }
                 }
@@ -1313,7 +1460,10 @@ impl Machine {
                     Mitigation::NonSpeculativeAut => {
                         // The AUT stalls until the shadow resolves; nothing
                         // downstream of it executes speculatively.
-                        self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "non-speculative AUT" });
+                        self.trace.record(SpecEvent::MitigationBlocked {
+                            pc: *pc,
+                            what: "non-speculative AUT",
+                        });
                         return false;
                     }
                     _ => {
@@ -1336,7 +1486,10 @@ impl Machine {
                             // The implicit fence stops speculation before
                             // the verified pointer can be transmitted.
                             self.stats.fences_injected += 1;
-                            self.trace.record(SpecEvent::MitigationBlocked { pc: *pc, what: "fence after AUT" });
+                            self.trace.record(SpecEvent::MitigationBlocked {
+                                pc: *pc,
+                                what: "fence after AUT",
+                            });
                             return false;
                         }
                         *pc = next;
@@ -1676,5 +1829,91 @@ mod tests {
         assert!(m.read_timer().is_none(), "PMC0 must trap at EL0 by default");
         m.timers.pmc0_el0_enabled = true; // what the kext does
         assert!(m.read_timer().is_some());
+    }
+
+    /// A sum-loop whose backward branch mispredicts on the cold first
+    /// iteration and again at the exit — two speculation shadows.
+    fn mispredicting_loop() -> Vec<Inst> {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.mov_imm64(Reg::X0, 10);
+        a.mov_imm64(Reg::X1, 0);
+        a.bind(top);
+        a.push(Inst::AddReg { rd: Reg::X1, rn: Reg::X1, rm: Reg::X0 });
+        a.push(Inst::SubImm { rd: Reg::X0, rn: Reg::X0, imm: 1 });
+        a.cbnz(Reg::X0, top);
+        a.push(Inst::Hlt);
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn predict_stats_count_conditional_outcomes() {
+        let mut m = machine();
+        run_user(&mut m, &mispredicting_loop());
+        let p = m.predict_stats;
+        // Ten cbnz executions: the cold weakly-not-taken counter misses
+        // the first taken iteration, and the saturated counter misses the
+        // final not-taken exit.
+        assert!(p.bimodal_mispredicts >= 2, "got {p:?}");
+        assert!(p.bimodal_correct >= 7, "got {p:?}");
+        assert_eq!(p.bimodal_correct + p.bimodal_mispredicts, 10);
+    }
+
+    #[test]
+    fn spec_depth_histogram_records_one_entry_per_shadow() {
+        let mut m = machine();
+        run_user(&mut m, &mispredicting_loop());
+        assert!(m.stats.spec_episodes > 0);
+        assert_eq!(m.spec_depth.count(), m.stats.spec_episodes);
+    }
+
+    #[test]
+    fn rsb_predicts_returns() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        let func = a.new_label();
+        let done = a.new_label();
+        a.bl(func);
+        a.b(done);
+        a.bind(func);
+        a.push(Inst::Ret);
+        a.bind(done);
+        a.push(Inst::Hlt);
+        run_user(&mut m, &a.assemble().unwrap());
+        assert_eq!(m.predict_stats.rsb_hits, 1);
+        assert_eq!(m.predict_stats.rsb_underflows, 0);
+        assert_eq!(m.predict_stats.ret_mispredicts, 0);
+    }
+
+    #[test]
+    fn export_telemetry_emits_canonical_counters() {
+        let mut m = machine();
+        run_user(&mut m, &mispredicting_loop());
+        let mut reg = Registry::new();
+        m.export_telemetry(&mut reg);
+        assert!(reg.counter_value("tlb.itlb.user.hits") > 0);
+        assert!(reg.counter_value("tlb.itlb.user.misses") > 0);
+        assert!(reg.counter_value("cache.l1i.hits") > 0);
+        assert_eq!(reg.counter_value("cpu.retired"), m.stats.retired);
+        assert_eq!(
+            reg.counter_value("predict.bimodal.mispredicts"),
+            m.predict_stats.bimodal_mispredicts
+        );
+        let h = reg.histogram("spec.depth").expect("depth histogram exported");
+        assert_eq!(h.count(), m.stats.spec_episodes);
+
+        let mut off = Registry::disabled();
+        m.export_telemetry(&mut off);
+        assert!(off.is_empty(), "a disabled registry must stay empty");
+    }
+
+    #[test]
+    fn with_trace_scopes_recording_and_restores_prior_state() {
+        let mut m = machine();
+        m.trace.enable();
+        let (_, events) = m.with_trace(|m| run_user(m, &mispredicting_loop()));
+        assert!(events.iter().any(|e| matches!(e, SpecEvent::ShadowOpened { .. })));
+        assert!(m.trace.is_enabled(), "prior enabled flag restored");
+        assert!(m.trace.events().is_empty(), "scoped events must not leak out");
     }
 }

@@ -176,11 +176,7 @@ impl PageTables {
     /// # Errors
     ///
     /// [`WalkError::Unmapped`] if any level is invalid.
-    pub fn walk(
-        &self,
-        mem: &PhysMemory,
-        va: VirtualAddress,
-    ) -> Result<(TlbEntry, u32), WalkError> {
+    pub fn walk(&self, mem: &PhysMemory, va: VirtualAddress) -> Result<(TlbEntry, u32), WalkError> {
         let mut table = self.root(va.kind());
         let idx = Self::indices(va);
         let mut reads = 0;

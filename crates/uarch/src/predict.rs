@@ -129,6 +129,30 @@ impl Rsb {
     }
 }
 
+/// Always-on prediction-outcome counters (plain `u64` adds in the
+/// branch-resolution paths; exported into a telemetry registry at
+/// snapshot time). The predictors themselves stay outcome-free — the
+/// machine resolves branches, so the machine counts.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct PredictStats {
+    /// Conditional branches the bimodal predictor called correctly.
+    pub bimodal_correct: u64,
+    /// Conditional branches it mispredicted (each opens a shadow).
+    pub bimodal_mispredicts: u64,
+    /// Indirect branches with a BTB-predicted target available.
+    pub btb_hits: u64,
+    /// Indirect branches with no BTB entry (no speculation possible).
+    pub btb_misses: u64,
+    /// BTB predictions that named the wrong target.
+    pub btb_mispredicts: u64,
+    /// Returns predicted from the RSB.
+    pub rsb_hits: u64,
+    /// Returns that underflowed the RSB and fell back to the BTB.
+    pub rsb_underflows: u64,
+    /// Returns whose predicted target (RSB or BTB) was wrong.
+    pub ret_mispredicts: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

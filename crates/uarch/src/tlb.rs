@@ -150,19 +150,47 @@ pub enum FetchLookup {
     Miss,
 }
 
-/// Per-structure hit/miss counters.
+/// Per-structure hit/miss/fill/eviction counters, always on (plain `u64`
+/// adds on paths that already do set scans; exported into a telemetry
+/// registry only at snapshot boundaries).
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
 pub struct TlbStats {
     /// dTLB hits.
     pub dtlb_hits: u64,
     /// dTLB misses.
     pub dtlb_misses: u64,
+    /// dTLB entry installs (refills, walks, and §7.3 migrations).
+    pub dtlb_fills: u64,
+    /// dTLB capacity evictions.
+    pub dtlb_evictions: u64,
     /// iTLB hits (both worlds).
     pub itlb_hits: u64,
     /// iTLB misses (both worlds).
     pub itlb_misses: u64,
+    /// User-world iTLB hits.
+    pub itlb_user_hits: u64,
+    /// User-world iTLB misses.
+    pub itlb_user_misses: u64,
+    /// User-world iTLB entry installs.
+    pub itlb_user_fills: u64,
+    /// User-world iTLB capacity evictions.
+    pub itlb_user_evictions: u64,
+    /// Kernel-world iTLB hits.
+    pub itlb_kernel_hits: u64,
+    /// Kernel-world iTLB misses.
+    pub itlb_kernel_misses: u64,
+    /// Kernel-world iTLB entry installs.
+    pub itlb_kernel_fills: u64,
+    /// Kernel-world iTLB capacity evictions.
+    pub itlb_kernel_evictions: u64,
     /// L2 TLB hits.
     pub l2_hits: u64,
+    /// L2 TLB misses (a full walk is required).
+    pub l2_misses: u64,
+    /// L2 TLB entry installs.
+    pub l2_fills: u64,
+    /// L2 TLB capacity evictions.
+    pub l2_evictions: u64,
     /// Full page-table walks.
     pub walks: u64,
     /// iTLB victims migrated into the dTLB (the §7.3 backing-store path).
@@ -227,31 +255,41 @@ impl TlbHierarchy {
         self.stats.dtlb_misses += 1;
         if let Some(e) = self.l2.lookup(vpn) {
             self.stats.l2_hits += 1;
-            self.dtlb.insert(e); // dTLB victim is simply dropped
+            self.dtlb_insert_counted(e);
             return DataLookup::L2Hit(e);
         }
+        self.stats.l2_misses += 1;
         DataLookup::Miss
     }
 
     /// Installs a walked translation on the data side (L2 + dTLB).
     pub fn fill_data(&mut self, entry: TlbEntry) {
         self.stats.walks += 1;
-        self.l2.insert(entry);
-        self.dtlb.insert(entry);
+        self.l2_insert_counted(entry);
+        self.dtlb_insert_counted(entry);
     }
 
     /// Instruction-side lookup for a fetch at the given privilege.
     pub fn lookup_fetch(&mut self, world: FetchWorld, vpn: u64) -> FetchLookup {
         if let Some(e) = self.itlb_mut(world).lookup(vpn) {
             self.stats.itlb_hits += 1;
+            match world {
+                FetchWorld::User => self.stats.itlb_user_hits += 1,
+                FetchWorld::Kernel => self.stats.itlb_kernel_hits += 1,
+            }
             return FetchLookup::ItlbHit(e);
         }
         self.stats.itlb_misses += 1;
+        match world {
+            FetchWorld::User => self.stats.itlb_user_misses += 1,
+            FetchWorld::Kernel => self.stats.itlb_kernel_misses += 1,
+        }
         if let Some(e) = self.l2.lookup(vpn) {
             self.stats.l2_hits += 1;
             self.fill_itlb_with_migration(world, e);
             return FetchLookup::L2Hit(e);
         }
+        self.stats.l2_misses += 1;
         FetchLookup::Miss
     }
 
@@ -259,16 +297,41 @@ impl TlbHierarchy {
     /// victim migration into the dTLB).
     pub fn fill_fetch(&mut self, world: FetchWorld, entry: TlbEntry) {
         self.stats.walks += 1;
-        self.l2.insert(entry);
+        self.l2_insert_counted(entry);
         self.fill_itlb_with_migration(world, entry);
     }
 
     /// The §7.3 behaviour: an iTLB fill whose victim is re-homed into the
     /// shared dTLB, where userspace Prime+Probe can see it.
     fn fill_itlb_with_migration(&mut self, world: FetchWorld, entry: TlbEntry) {
-        if let Some(victim) = self.itlb_mut(world).insert(entry) {
+        let victim = self.itlb_mut(world).insert(entry);
+        match world {
+            FetchWorld::User => {
+                self.stats.itlb_user_fills += 1;
+                self.stats.itlb_user_evictions += u64::from(victim.is_some());
+            }
+            FetchWorld::Kernel => {
+                self.stats.itlb_kernel_fills += 1;
+                self.stats.itlb_kernel_evictions += u64::from(victim.is_some());
+            }
+        }
+        if let Some(victim) = victim {
             self.stats.itlb_to_dtlb_migrations += 1;
-            self.dtlb.insert(victim);
+            self.dtlb_insert_counted(victim);
+        }
+    }
+
+    fn dtlb_insert_counted(&mut self, entry: TlbEntry) {
+        self.stats.dtlb_fills += 1;
+        if self.dtlb.insert(entry).is_some() {
+            self.stats.dtlb_evictions += 1;
+        }
+    }
+
+    fn l2_insert_counted(&mut self, entry: TlbEntry) {
+        self.stats.l2_fills += 1;
+        if self.l2.insert(entry).is_some() {
+            self.stats.l2_evictions += 1;
         }
     }
 
@@ -407,5 +470,31 @@ mod tests {
         assert_eq!(h.stats.dtlb_hits, 1);
         assert_eq!(h.stats.dtlb_misses, 1);
         assert_eq!(h.stats.walks, 1);
+        assert_eq!(h.stats.l2_misses, 1, "the full miss also missed L2");
+        assert_eq!(h.stats.dtlb_fills, 1);
+        assert_eq!(h.stats.l2_fills, 1);
+    }
+
+    #[test]
+    fn stats_split_itlb_worlds_and_count_evictions() {
+        let mut h = small_hierarchy();
+        h.fill_fetch(FetchWorld::Kernel, entry(0));
+        h.fill_fetch(FetchWorld::User, entry(0));
+        let _ = h.lookup_fetch(FetchWorld::Kernel, 0); // kernel hit
+        let _ = h.lookup_fetch(FetchWorld::User, 1); // user miss (L2 miss too)
+        assert_eq!(h.stats.itlb_kernel_hits, 1);
+        assert_eq!(h.stats.itlb_user_hits, 0);
+        assert_eq!(h.stats.itlb_user_misses, 1);
+        assert_eq!(h.stats.itlb_kernel_misses, 0);
+        assert_eq!(h.stats.itlb_kernel_fills, 1);
+        assert_eq!(h.stats.itlb_user_fills, 1);
+        // Overflow kernel iTLB set 0 (2 ways; vpns 0,4,8 share it).
+        h.fill_fetch(FetchWorld::Kernel, entry(4));
+        h.fill_fetch(FetchWorld::Kernel, entry(8));
+        assert_eq!(h.stats.itlb_kernel_evictions, 1);
+        assert_eq!(h.stats.itlb_user_evictions, 0);
+        // The migrated victim counts as a dTLB fill.
+        assert_eq!(h.stats.itlb_to_dtlb_migrations, 1);
+        assert!(h.stats.dtlb_fills >= 1);
     }
 }

@@ -132,6 +132,11 @@ impl SpecTrace {
         self.enabled
     }
 
+    /// Discards recorded events without changing the enabled flag.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// Takes the recorded events, leaving the recorder empty.
     pub fn take(&mut self) -> Vec<SpecEvent> {
         std::mem::take(&mut self.events)
@@ -164,6 +169,18 @@ mod tests {
         let taken = t.take();
         assert_eq!(taken.len(), 1);
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_recording() {
+        let mut t = SpecTrace::default();
+        t.enable();
+        t.record(SpecEvent::ShadowClosed { instructions: 1 });
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled(), "clear must not stop the recorder");
+        t.record(SpecEvent::ShadowClosed { instructions: 2 });
+        assert_eq!(t.events().len(), 1);
     }
 
     #[test]

@@ -16,8 +16,7 @@
 use pacman::gadget::{scan_image, synthesize, ImageSpec, ScanConfig};
 
 fn main() {
-    let functions: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let functions: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
 
     let spec = ImageSpec { functions, seed: 0xC0DE, ..ImageSpec::default() };
     let image = synthesize(&spec);

@@ -16,17 +16,13 @@ use pacman::prelude::*;
 fn show(title: &str, sys: &mut System, syscall: u64, signed: u64) {
     // Re-train between runs so the outer branch mispredicts.
     for _ in 0..16 {
-        sys.kernel
-            .syscall(&mut sys.machine, syscall, &[0, 0, 1])
-            .expect("training");
+        sys.kernel.syscall(&mut sys.machine, syscall, &[0, 0, 1]).expect("training");
     }
     let mut payload = [0u8; 24];
     payload[16..].copy_from_slice(&signed.to_le_bytes());
     let buf = sys.write_payload(&payload);
     sys.machine.trace.enable();
-    sys.kernel
-        .syscall(&mut sys.machine, syscall, &[buf, 24, 0])
-        .expect("trigger");
+    sys.kernel.syscall(&mut sys.machine, syscall, &[buf, 24, 0]).expect("trigger");
     let events = sys.machine.trace.take();
     sys.machine.trace.disable();
 
@@ -68,9 +64,24 @@ fn main() {
     let data = sys.gadget.data_gadget;
     let instr = sys.gadget.instr_gadget;
     show("Figure 3(c): data gadget, CORRECT PAC", &mut sys, data, with_pac_field(target, true_pac));
-    show("Figure 3(c): data gadget, WRONG PAC", &mut sys, data, with_pac_field(target, true_pac ^ 5));
-    show("Figure 3(d): instruction gadget, CORRECT PAC", &mut sys, instr, with_pac_field(target, true_pac));
-    show("Figure 3(d): instruction gadget, WRONG PAC", &mut sys, instr, with_pac_field(target, true_pac ^ 5));
+    show(
+        "Figure 3(c): data gadget, WRONG PAC",
+        &mut sys,
+        data,
+        with_pac_field(target, true_pac ^ 5),
+    );
+    show(
+        "Figure 3(d): instruction gadget, CORRECT PAC",
+        &mut sys,
+        instr,
+        with_pac_field(target, true_pac),
+    );
+    show(
+        "Figure 3(d): instruction gadget, WRONG PAC",
+        &mut sys,
+        instr,
+        with_pac_field(target, true_pac ^ 5),
+    );
 
     println!("\nkernel crashes: {}", sys.kernel.crash_count());
 }

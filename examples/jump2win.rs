@@ -24,8 +24,7 @@ use pacman::isa::PacKey;
 use pacman::prelude::*;
 
 fn main() {
-    let window: u32 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let window: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
 
     let mut cfg = SystemConfig::default();
     cfg.machine.os_noise = 0.0;

@@ -29,8 +29,8 @@ fn histogram(label: &str, counts: &[usize]) {
 }
 
 fn reliability(correct: &[usize], incorrect: &[usize]) {
-    let good =
-        correct.iter().filter(|&&m| m >= CORRECT_MISS_THRESHOLD).count() as f64 / correct.len() as f64;
+    let good = correct.iter().filter(|&&m| m >= CORRECT_MISS_THRESHOLD).count() as f64
+        / correct.len() as f64;
     let clean = incorrect.iter().filter(|&&m| m <= 1).count() as f64 / incorrect.len() as f64;
     println!("correct-PAC trials with >= {CORRECT_MISS_THRESHOLD} misses: {:.1}%", 100.0 * good);
     println!("incorrect-PAC trials with <= 1 miss:  {:.1}%", 100.0 * clean);
@@ -55,8 +55,7 @@ fn run(
 }
 
 fn main() {
-    let trials: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let trials: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
 
     let mut sys = System::boot(SystemConfig::default());
     let set = sys.pick_quiet_dtlb_set();

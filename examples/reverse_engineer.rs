@@ -18,12 +18,8 @@ use pacman::prelude::*;
 fn chart(title: &str, series: &[pacman::attack::sweep::SweepSeries]) {
     let mut c = AsciiChart::new(title);
     for s in series {
-        let points: Vec<(usize, u64)> = s
-            .points
-            .iter()
-            .filter(|p| p.n % 2 == 0 || p.n == 1)
-            .map(|p| (p.n, p.median))
-            .collect();
+        let points: Vec<(usize, u64)> =
+            s.points.iter().filter(|p| p.n % 2 == 0 || p.n == 1).map(|p| (p.n, p.median)).collect();
         c.series(format!("stride {}", s.label), points);
     }
     println!("{c}");

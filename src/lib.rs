@@ -54,8 +54,8 @@ pub use pacman_uarch as uarch;
 /// Convenience re-exports covering the common attack workflow.
 pub mod prelude {
     pub use pacman_core::brute::{BruteForcer, BruteOutcome, BruteVerdict};
-    pub use pacman_core::jump2win::{Jump2Win, Jump2WinReport};
     pub use pacman_core::cache_probe::CacheDataPacOracle;
+    pub use pacman_core::jump2win::{Jump2Win, Jump2WinReport};
     pub use pacman_core::oracle::{
         DataPacOracle, InstrPacOracle, OracleError, OracleVerdict, PacOracle,
     };

@@ -27,17 +27,37 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Hlt),
         Just(Inst::Eret),
         any::<u16>().prop_map(|imm| Inst::Svc { imm }),
-        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovZ { rd, imm, shift }),
-        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovN { rd, imm, shift }),
+        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovZ {
+            rd,
+            imm,
+            shift
+        }),
+        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovN {
+            rd,
+            imm,
+            shift
+        }),
         (arb_reg(), arb_reg(), 0u16..4096).prop_map(|(rd, rn, imm)| Inst::AddImm { rd, rn, imm }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rn, rm)| Inst::Mul { rd, rn, rm }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rn, rm)| Inst::EorReg { rd, rn, rm }),
         (arb_reg(), arb_reg(), 0u8..64).prop_map(|(rd, rn, shift)| Inst::LsrImm { rd, rn, shift }),
         (arb_reg(), 0u16..4096).prop_map(|(rn, imm)| Inst::CmpImm { rn, imm }),
-        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Ldr { rt, rn, offset }),
-        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Str { rt, rn, offset }),
-        (arb_reg(), arb_reg(), arb_reg(), -32i16..32)
-            .prop_map(|(rt, rt2, rn, o)| Inst::Ldp { rt, rt2, rn, offset: o * 8 }),
+        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Ldr {
+            rt,
+            rn,
+            offset
+        }),
+        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Str {
+            rt,
+            rn,
+            offset
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), -32i16..32).prop_map(|(rt, rt2, rn, o)| Inst::Ldp {
+            rt,
+            rt2,
+            rn,
+            offset: o * 8
+        }),
         (-8i32..8).prop_map(|offset| Inst::B { offset }),
         (-8i32..8).prop_map(|offset| Inst::Bl { offset }),
         (0usize..6, -8i32..8).prop_map(|(c, offset)| Inst::BCond { cond: Cond::ALL[c], offset }),

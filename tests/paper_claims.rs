@@ -56,8 +56,7 @@ fn figure5a_dtlb_and_l2tlb_knees() {
 #[test]
 fn figure5b_cache_then_tlb_staircase() {
     let mut m = experiment_machine();
-    let series =
-        cache_tlb_sweep(&mut m, &[256 * 128, 256 * 16384, 2048 * 16384]).expect("sweep");
+    let series = cache_tlb_sweep(&mut m, &[256 * 128, 256 * 16384, 2048 * 16384]).expect("sweep");
     assert_eq!(series[0].knee_above(75), Some(4), "L1D knee at N=4, stride 256x128B");
     assert_eq!(series[1].knee_above(105), Some(12));
     assert_eq!(series[2].knee_above(125), Some(23));
@@ -173,9 +172,8 @@ fn section82_brute_force_accuracy_protocol() {
     let mut fp = 0;
     for run in 0..10 {
         let start = true_pac.wrapping_sub(2).wrapping_add(run % 2);
-        let outcome = bf
-            .brute(&mut sys, target, (0..8u16).map(|i| start.wrapping_add(i)))
-            .expect("run");
+        let outcome =
+            bf.brute(&mut sys, target, (0..8u16).map(|i| start.wrapping_add(i))).expect("run");
         match BruteForcer::<DataPacOracle>::classify(&outcome, true_pac) {
             BruteVerdict::TruePositive => tp += 1,
             BruteVerdict::FalsePositive => fp += 1,

@@ -24,36 +24,82 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Eret),
         Just(Inst::Hlt),
         any::<u16>().prop_map(|imm| Inst::Svc { imm }),
-        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovZ { rd, imm, shift }),
-        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovK { rd, imm, shift }),
+        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovZ {
+            rd,
+            imm,
+            shift
+        }),
+        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovK {
+            rd,
+            imm,
+            shift
+        }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rn)| Inst::MovReg { rd, rn }),
         (arb_reg(), arb_reg(), 0u16..4096).prop_map(|(rd, rn, imm)| Inst::AddImm { rd, rn, imm }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rn, rm)| Inst::SubReg { rd, rn, rm }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rn, rm)| Inst::EorReg { rd, rn, rm }),
         (arb_reg(), arb_reg(), 0u8..64).prop_map(|(rd, rn, shift)| Inst::LslImm { rd, rn, shift }),
-        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Ldr { rt, rn, offset }),
-        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Strb { rt, rn, offset }),
+        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Ldr {
+            rt,
+            rn,
+            offset
+        }),
+        (arb_reg(), arb_reg(), -2048i16..2048).prop_map(|(rt, rn, offset)| Inst::Strb {
+            rt,
+            rn,
+            offset
+        }),
         (-(1i32 << 23)..(1 << 23)).prop_map(|offset| Inst::B { offset }),
-        (0usize..6, -32768i32..32768).prop_map(|(c, offset)| Inst::BCond { cond: Cond::ALL[c], offset }),
+        (0usize..6, -32768i32..32768)
+            .prop_map(|(c, offset)| Inst::BCond { cond: Cond::ALL[c], offset }),
         (arb_reg(), -32768i32..32768).prop_map(|(rt, offset)| Inst::Cbz { rt, offset }),
         arb_reg().prop_map(|rn| Inst::Blr { rn }),
-        (arb_key(), arb_reg(), arb_reg())
-            .prop_map(|(key, rd, m)| Inst::Pac { key, rd, modifier: PacModifier::Reg(m) }),
-        (arb_key(), arb_reg()).prop_map(|(key, rd)| Inst::Aut { key, rd, modifier: PacModifier::Zero }),
+        (arb_key(), arb_reg(), arb_reg()).prop_map(|(key, rd, m)| Inst::Pac {
+            key,
+            rd,
+            modifier: PacModifier::Reg(m)
+        }),
+        (arb_key(), arb_reg()).prop_map(|(key, rd)| Inst::Aut {
+            key,
+            rd,
+            modifier: PacModifier::Zero
+        }),
         (any::<bool>(), arb_reg()).prop_map(|(data, rd)| Inst::Xpac { data, rd }),
         (arb_reg(), 0u8..16)
             .prop_map(|(rd, s)| Inst::Mrs { rd, sysreg: SysReg::from_index(s).expect("< 16") }),
-        (arb_reg(), 0u8..64, -2048i32..2048)
-            .prop_map(|(rt, bit, offset)| Inst::Tbz { rt, bit, offset }),
-        (arb_reg(), 0u8..64, -2048i32..2048)
-            .prop_map(|(rt, bit, offset)| Inst::Tbnz { rt, bit, offset }),
-        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovN { rd, imm, shift }),
-        (arb_reg(), arb_reg(), arb_reg(), 0usize..6)
-            .prop_map(|(rd, rn, rm, c)| Inst::Csel { rd, rn, rm, cond: Cond::ALL[c] }),
-        (arb_reg(), arb_reg(), arb_reg(), -32i16..32)
-            .prop_map(|(rt, rt2, rn, o)| Inst::Ldp { rt, rt2, rn, offset: o * 8 }),
-        (arb_reg(), arb_reg(), arb_reg(), -32i16..32)
-            .prop_map(|(rt, rt2, rn, o)| Inst::Stp { rt, rt2, rn, offset: o * 8 }),
+        (arb_reg(), 0u8..64, -2048i32..2048).prop_map(|(rt, bit, offset)| Inst::Tbz {
+            rt,
+            bit,
+            offset
+        }),
+        (arb_reg(), 0u8..64, -2048i32..2048).prop_map(|(rt, bit, offset)| Inst::Tbnz {
+            rt,
+            bit,
+            offset
+        }),
+        (arb_reg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm, shift)| Inst::MovN {
+            rd,
+            imm,
+            shift
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), 0usize..6).prop_map(|(rd, rn, rm, c)| Inst::Csel {
+            rd,
+            rn,
+            rm,
+            cond: Cond::ALL[c]
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), -32i16..32).prop_map(|(rt, rt2, rn, o)| Inst::Ldp {
+            rt,
+            rt2,
+            rn,
+            offset: o * 8
+        }),
+        (arb_reg(), arb_reg(), arb_reg(), -32i16..32).prop_map(|(rt, rt2, rn, o)| Inst::Stp {
+            rt,
+            rt2,
+            rn,
+            offset: o * 8
+        }),
     ]
 }
 
