@@ -9,12 +9,13 @@
 //! 4. **Scanner depth** — register-only (the paper's tool) vs
 //!    stack-tracking dataflow.
 
-use pacman_bench::{banner, check, compare, scale};
+use pacman_bench::{banner, check, compare, scale, Artifact};
 use pacman_core::oracle::{DataPacOracle, PacOracle, CORRECT_MISS_THRESHOLD};
 use pacman_core::report::Table;
 use pacman_core::{System, SystemConfig};
 use pacman_gadget::{scan_image, synthesize, ImageSpec, ScanConfig};
 use pacman_qarma::pac_field_bits;
+use pacman_telemetry::json::Value;
 use pacman_uarch::TimingSource;
 
 fn oracle_works(sys: &mut System) -> bool {
@@ -119,4 +120,19 @@ fn main() {
         &format!("+{}", deep.total() - plain.total()),
     );
     check("stack tracking never loses gadgets", deep.total() >= plain.total());
+
+    let mut art = Artifact::new("ablations", "design-choice ablations");
+    if let Some(&(w, _)) = rows.iter().filter(|(_, ok)| *ok).min_by_key(|(w, _)| *w) {
+        art.num("min_oracle_window", u64::from(w));
+    }
+    art.field("system_counter_blind", Value::Bool(!outcomes[0].1));
+    art.field("multithread_timer_works", Value::Bool(outcomes[1].1));
+    art.table("pac_width_sweep", &t);
+    art.num("pac_bits_53va", u64::from(pac_field_bits(53)))
+        .num("pac_bits_48va", u64::from(pac_field_bits(48)))
+        .num("pac_bits_33va", u64::from(pac_field_bits(33)))
+        .num("register_only_gadgets", plain.total() as u64)
+        .num("stack_tracking_gadgets", deep.total() as u64)
+        .num("stack_tracking_gain", (deep.total() - plain.total()) as u64);
+    art.write();
 }

@@ -1,6 +1,6 @@
 //! Figure 5(b): cache/TLB interaction sweep (raw-stride loads).
 
-use pacman_bench::{banner, check, compare};
+use pacman_bench::{banner, check, compare, Artifact};
 use pacman_core::report::AsciiChart;
 use pacman_core::sweep::{cache_tlb_sweep, experiment_machine};
 
@@ -22,6 +22,24 @@ fn main() {
     let l1d = &series[0];
     let dtlb = &series[1];
     let l2 = &series[2];
+
+    let mut art = Artifact::new("fig5b", "Figure 5(b) - cache/TLB interaction sweep");
+    art.chart("latency_vs_n", &chart);
+    art.num("baseline_cycles", l1d.at(2).unwrap());
+    art.num("l1d_conflict_plateau_cycles", l1d.at(6).unwrap());
+    art.num("dtlb_plateau_cycles", dtlb.at(14).unwrap());
+    art.num("l2_tlb_plateau_cycles", l2.at(25).unwrap());
+    if let Some(n) = l1d.knee_above(75) {
+        art.num("l1d_knee_n", n as u64);
+    }
+    if let Some(n) = dtlb.knee_above(105) {
+        art.num("dtlb_knee_n", n as u64);
+    }
+    if let Some(n) = l2.knee_above(125) {
+        art.num("l2_tlb_knee_n", n as u64);
+    }
+    art.write();
+
     compare(
         "L1D-conflict plateau (stride 256x128B, N>=4)",
         "~80 cycles",

@@ -1,6 +1,6 @@
 //! Figure 5(c): iTLB sweep via branch targets, reload measured as data.
 
-use pacman_bench::{banner, check, compare};
+use pacman_bench::{banner, check, compare, Artifact};
 use pacman_core::report::AsciiChart;
 use pacman_core::sweep::{experiment_machine, itlb_sweep};
 
@@ -21,6 +21,22 @@ fn main() {
     let s32 = &series[0];
     let s256 = &series[1];
     let s2048 = &series[2];
+
+    let mut art = Artifact::new("fig5c", "Figure 5(c) - instruction-fetch iTLB sweep");
+    art.chart("latency_vs_n", &chart);
+    art.num("itlb_resident_cycles", s32.at(1).unwrap());
+    art.num("post_eviction_cycles", s32.at(6).unwrap());
+    if let Some(n) = s32.knee_below(90) {
+        art.num("itlb_knee_n", n as u64);
+    }
+    art.field(
+        "migrated_visible_at_n30",
+        pacman_telemetry::json::Value::Bool(s32.at(30).unwrap() < 90),
+    );
+    art.num("dtlb_conflict_cycles", s256.at(30).unwrap());
+    art.num("l2_conflict_cycles", s2048.at(30).unwrap());
+    art.write();
+
     compare("iTLB-resident reload (N<4)", ">110 cycles", &format!("{} cycles", s32.at(1).unwrap()));
     compare(
         "after iTLB eviction (stride 32x16KB, N>=4)",

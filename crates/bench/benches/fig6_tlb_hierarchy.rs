@@ -1,7 +1,8 @@
 //! Figure 6: the TLB hierarchy, derived from timing alone.
 
-use pacman_bench::{banner, check, compare};
+use pacman_bench::{banner, check, compare, Artifact};
 use pacman_core::sweep::{derive_hierarchy, experiment_machine};
+use pacman_telemetry::json::Value;
 use pacman_uarch::ClusterTlbs;
 
 fn main() {
@@ -19,6 +20,13 @@ fn main() {
         f.itlb_victims_visible_to_loads
     );
     println!();
+
+    let mut art = Artifact::new("fig6", "Figure 6 - TLB hierarchy recovered by measurement");
+    art.num("itlb_ways", f.itlb_ways as u64)
+        .num("dtlb_ways", f.dtlb_ways as u64)
+        .num("l2_ways", f.l2_ways as u64)
+        .field("itlb_victims_visible_to_loads", Value::Bool(f.itlb_victims_visible_to_loads));
+    art.write();
 
     compare("L1 iTLB ways (finding 3)", "4", &f.itlb_ways.to_string());
     compare("L1 dTLB ways (finding 1)", "12", &f.dtlb_ways.to_string());

@@ -1,7 +1,8 @@
 //! Figure 7: latency distributions under PMC0 and the multi-thread timer.
 
-use pacman_bench::{banner, check, compare, quiet_system, scale};
+use pacman_bench::{banner, check, compare, quiet_system, scale, Artifact};
 use pacman_core::timing::evaluate_timer;
+use pacman_telemetry::json::Value;
 use pacman_uarch::TimingSource;
 
 fn print_histogram(label: &str, h: &pacman_core::timing::LatencyHistogram) {
@@ -36,6 +37,20 @@ fn main() {
     print_histogram("dTLB miss / L2 TLB hit", &b.dtlb_misses);
     print_histogram("page-table walk", &b.walks);
     println!();
+
+    let mut art = Artifact::new("fig7", "Figure 7 - access-latency distributions per timer");
+    art.num("samples", samples as u64);
+    art.num("pmc_hit_median_cycles", a.dtlb_hits.median().unwrap_or(0));
+    art.num("pmc_miss_median_cycles", a.dtlb_misses.median().unwrap_or(0));
+    art.num("pmc_walk_median_cycles", a.walks.median().unwrap_or(0));
+    art.num("mt_hit_max_ticks", b.dtlb_hits.max().unwrap_or(0));
+    art.num("mt_miss_min_ticks", b.dtlb_misses.min().unwrap_or(0));
+    if let Some(t) = b.threshold {
+        art.num("mt_threshold_ticks", t);
+    }
+    art.field("pmc_usable", Value::Bool(a.is_usable()));
+    art.field("mt_usable", Value::Bool(b.is_usable()));
+    art.write();
 
     compare(
         "PMC0 hit/miss medians",

@@ -1,7 +1,8 @@
 //! Figure 8(a): PAC-oracle miss-count distributions, data PACMAN gadget.
 
-use pacman_bench::{banner, check, compare, noisy_system, scale};
+use pacman_bench::{banner, check, compare, noisy_system, scale, Artifact};
 use pacman_core::oracle::{DataPacOracle, PacOracle, CORRECT_MISS_THRESHOLD};
+use pacman_telemetry::json::Value;
 
 fn main() {
     banner("F8a", "Figure 8(a) - PAC oracle via the data PACMAN gadget");
@@ -36,6 +37,17 @@ fn main() {
     let clean: usize = incorrect[..=1].iter().sum();
     let good_pct = 100.0 * good as f64 / trials as f64;
     let clean_pct = 100.0 * clean as f64 / trials as f64;
+    let miss_hist = |h: &[usize]| Value::Array(h.iter().map(|&n| Value::UInt(n as u64)).collect());
+    let mut art = Artifact::new("fig8a", "Figure 8(a) - PAC oracle, data PACMAN gadget");
+    art.num("trials", trials as u64)
+        .num("threshold_misses", CORRECT_MISS_THRESHOLD as u64)
+        .float("correct_detect_pct", good_pct)
+        .float("incorrect_clean_pct", clean_pct)
+        .num("crashes", sys.kernel.crash_count())
+        .field("correct_miss_histogram", miss_hist(&correct))
+        .field("incorrect_miss_histogram", miss_hist(&incorrect));
+    art.write();
+
     compare("correct-PAC trials with >=5 misses", "99.6%", &format!("{good_pct:.1}%"));
     compare("incorrect-PAC trials with <=1 miss", "99.2%", &format!("{clean_pct:.1}%"));
     compare("kernel crashes", "0", &sys.kernel.crash_count().to_string());

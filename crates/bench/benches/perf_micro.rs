@@ -1,7 +1,7 @@
 //! Criterion microbenchmarks of the workspace's own hot paths: QARMA
 //! throughput, simulator instruction rate, and end-to-end oracle latency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use pacman_core::oracle::{DataPacOracle, PacOracle};
 use pacman_core::telemetry::{recorded_test_pac, TrialLog};
 use pacman_core::{System, SystemConfig};
@@ -118,4 +118,59 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_qarma, bench_simulator, bench_oracle, bench_oracle_telemetry
 }
-criterion_main!(perf);
+
+/// Mean ns/iteration of `f` over a fixed batch (the artefact's own
+/// quick measurement — the criterion report stays the reference
+/// numbers; these mirror them machine-readably).
+fn time_ns<O>(iters: u32, mut f: impl FnMut() -> O) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn write_artifact() {
+    let cipher = Qarma64::new(QarmaKey::new(0x0123456789abcdef, 0xfedcba9876543210));
+    let mut x = 0u64;
+    let qarma_ns = time_ns(200_000, || {
+        x = cipher.encrypt(std::hint::black_box(x), 0x42);
+        x
+    });
+
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    let mut sys = System::boot(cfg);
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target);
+    let mut oracle = DataPacOracle::new(&mut sys).expect("oracle");
+    let oracle_ns = time_ns(50, || oracle.trial(&mut sys, target, true_pac).expect("trial"));
+
+    let mut off_log = TrialLog::disabled();
+    let off_ns = time_ns(50, || {
+        recorded_test_pac(&mut oracle, &mut sys, &mut off_log, target, true_pac, Some(true_pac))
+            .expect("trial")
+    });
+    sys.telemetry.set_enabled(true);
+    let mut on_log = TrialLog::new();
+    let on_ns = time_ns(50, || {
+        let v =
+            recorded_test_pac(&mut oracle, &mut sys, &mut on_log, target, true_pac, Some(true_pac))
+                .expect("trial");
+        std::hint::black_box(on_log.take());
+        v
+    });
+
+    let mut art = pacman_bench::Artifact::new("perf_micro", "workspace hot-path wall-clock");
+    art.float("qarma_encrypt_ns", qarma_ns)
+        .float("oracle_guess_ns", oracle_ns)
+        .float("oracle_guess_telemetry_off_ns", off_ns)
+        .float("oracle_guess_telemetry_on_ns", on_ns);
+    art.write();
+}
+
+fn main() {
+    perf();
+    write_artifact();
+}

@@ -1,6 +1,6 @@
 //! §4.3: the PACMAN-gadget census over a synthetic PA-enabled image.
 
-use pacman_bench::{banner, check, compare, scale};
+use pacman_bench::{banner, check, compare, scale, Artifact};
 use pacman_core::report::Table;
 use pacman_gadget::{scan_image, synthesize, ImageSpec, ScanConfig};
 
@@ -26,6 +26,25 @@ fn main() {
     println!("{t}");
 
     let ratio = report.instruction_count() as f64 / report.data_count().max(1) as f64;
+    let clean_total = {
+        let clean = synthesize(&ImageSpec { pa_percent: 0, ..spec });
+        scan_image(&clean.bytes, &ScanConfig::default()).total()
+    };
+
+    let mut art = Artifact::new("sec43", "Section 4.3 - PACMAN-gadget census");
+    art.table("census", &t);
+    art.num("functions", functions as u64)
+        .num("instructions", image.instructions as u64)
+        .num("conditional_branches", report.conditional_branches as u64)
+        .num("total_gadgets", report.total() as u64)
+        .num("data_gadgets", report.data_count() as u64)
+        .num("instruction_gadgets", report.instruction_count() as u64)
+        .float("gadgets_per_function", report.total() as f64 / functions as f64)
+        .float("instr_to_data_ratio", ratio)
+        .float("mean_distance", report.mean_distance())
+        .num("gadgets_without_pa", clean_total as u64);
+    art.write();
+
     compare("total gadgets (XNU 12.2.1)", "55,159", &report.total().to_string());
     compare(
         "data / instruction split",
@@ -38,8 +57,5 @@ fn main() {
     check("gadgets are abundant (> 1 per function on average)", report.total() > functions);
     check("instruction gadgets dominate", report.instruction_count() > report.data_count());
     check("distances are short (< 32-inst window, mean < 20)", report.mean_distance() < 20.0);
-    check("no gadgets without PA", {
-        let clean = synthesize(&ImageSpec { pa_percent: 0, ..spec });
-        scan_image(&clean.bytes, &ScanConfig::default()).total() == 0
-    });
+    check("no gadgets without PA", clean_total == 0);
 }

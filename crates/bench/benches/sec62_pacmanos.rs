@@ -1,9 +1,10 @@
 //! §6.2: PacmanOS — bare-metal experiments, including the automated
 //! rediscovery of the Figure 6 TLB organisation with no priors.
 
-use pacman_bench::{banner, check, compare};
+use pacman_bench::{banner, check, compare, Artifact};
 use pacman_os::experiments::{MsrInventory, TimerResolution, TlbParameterSearch, TlbSearchResult};
 use pacman_os::{BareMetal, Runner};
+use pacman_telemetry::json::Value;
 
 fn main() {
     banner("OS62", "Section 6.2 - PacmanOS bare-metal experiment environment");
@@ -22,6 +23,17 @@ fn main() {
     let mut tlb = TlbParameterSearch::new();
     let r3 = runner.run(&mut tlb);
     print!("{r3}");
+    let mut art = Artifact::new("sec62", "Section 6.2 - PacmanOS bare-metal experiments");
+    art.field("msr_ok", Value::Bool(r1.ok)).field("timer_ok", Value::Bool(r2.ok));
+    art.field("search_ok", Value::Bool(r3.ok));
+    for (name, found) in [("dtlb", tlb.dtlb), ("l2", tlb.l2), ("itlb", tlb.itlb)] {
+        if let Some(r) = found {
+            art.num(&format!("{name}_sets"), r.sets);
+            art.num(&format!("{name}_ways"), r.ways as u64);
+        }
+    }
+    art.write();
+
     compare("dTLB (search, no priors)", "12w x 256s", &format!("{:?}", tlb.dtlb));
     compare("L2 TLB (search, no priors)", "23w x 2048s", &format!("{:?}", tlb.l2));
     compare("iTLB (search, no priors)", "4w x 32s", &format!("{:?}", tlb.itlb));

@@ -1,6 +1,6 @@
 //! §8.2: brute-force accuracy under noise — TP / FP / FN over many runs.
 
-use pacman_bench::{banner, check, compare, noisy_system, scale};
+use pacman_bench::{banner, check, compare, noisy_system, scale, Artifact};
 use pacman_core::brute::{BruteForcer, BruteVerdict};
 use pacman_core::oracle::DataPacOracle;
 
@@ -38,6 +38,15 @@ fn main() {
     println!("  false positives: {fp}");
     println!("  false negatives: {fneg}");
     println!();
+    let mut art = Artifact::new("sec82_accuracy", "Section 8.2 - brute-force accuracy");
+    art.num("runs", runs as u64)
+        .num("true_positives", tp as u64)
+        .num("false_positives", fp as u64)
+        .num("false_negatives", fneg as u64)
+        .float("tp_rate_pct", 100.0 * tp as f64 / runs as f64)
+        .num("crashes", sys.kernel.crash_count());
+    art.write();
+
     compare(
         "true-positive rate",
         "90% (45/50)",

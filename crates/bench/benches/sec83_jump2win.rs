@@ -1,8 +1,9 @@
 //! §8.3: the Jump2Win control-flow hijack, measured end to end.
 
-use pacman_bench::{banner, check, compare, quiet_system, scale};
+use pacman_bench::{banner, check, compare, quiet_system, scale, Artifact};
 use pacman_core::jump2win::Jump2Win;
 use pacman_isa::PacKey;
+use pacman_telemetry::json::Value;
 
 fn main() {
     banner("J83", "Section 8.3 - Jump2Win control-flow hijack against the PA-enabled kernel");
@@ -37,14 +38,24 @@ fn main() {
     println!("  simulated attack time:  {secs:.3} s");
     println!();
 
+    let pacs_ok = report.pac_win == sys.true_pac_with_salt(PacKey::Ia, sys.cpp.win_fn)
+        && report.pac_vtable == sys.true_pac_with_salt(PacKey::Da, sys.cpp.obj1);
+    let mut art = Artifact::new("sec83", "Section 8.3 - Jump2Win control-flow hijack");
+    art.num("pac_win", u64::from(report.pac_win))
+        .num("pac_vtable", u64::from(report.pac_vtable))
+        .num("guesses_tested", report.guesses_tested)
+        .num("syscalls", report.syscalls)
+        .num("crashes", report.crashes)
+        .float("attack_seconds", secs)
+        .field("hijacked", Value::Bool(report.hijacked))
+        .field("pacs_authenticate", Value::Bool(pacs_ok));
+    art.write();
+
     compare("control-flow hijacked (win() at EL1)", "yes", &report.hijacked.to_string());
     compare("kernel crashes during the attack", "0", &report.crashes.to_string());
     compare("PACs recovered via", "PACMAN oracle", "PACMAN oracle (speculative, crash-free)");
 
     check("win() executed at EL1", report.hijacked);
     check("zero kernel crashes", report.crashes == 0);
-    check("both recovered PACs authenticate", {
-        report.pac_win == sys.true_pac_with_salt(PacKey::Ia, sys.cpp.win_fn)
-            && report.pac_vtable == sys.true_pac_with_salt(PacKey::Da, sys.cpp.obj1)
-    });
+    check("both recovered PACs authenticate", pacs_ok);
 }

@@ -60,7 +60,15 @@ fn main() {
         lazy.surface == AttackSurface::DataGadgetOnly,
     );
 
+    let baseline_eval =
+        evals.iter().find(|e| e.report.mitigation == Mitigation::None).expect("baseline");
+    let all_protect = evals
+        .iter()
+        .filter(|e| e.report.mitigation != Mitigation::None)
+        .all(|e| e.surface == AttackSurface::Protected);
     art.float("fence_after_aut_overhead_pct", fence_overhead);
+    art.text("baseline_surface", &format!("{:?}", baseline_eval.surface));
+    art.field("all_mitigations_protect", pacman_telemetry::json::Value::Bool(all_protect));
     art.text("lazy_squash_surface", &format!("{:?}", lazy.surface));
     art.write();
 }

@@ -1,6 +1,6 @@
 //! Table 2: cache configurations read from the simulated config registers.
 
-use pacman_bench::{banner, check, compare};
+use pacman_bench::{banner, check, compare, Artifact};
 use pacman_core::report::Table;
 use pacman_uarch::{ClusterCaches, CoreKind};
 
@@ -25,6 +25,20 @@ fn main() {
 
     let p = ClusterCaches::for_core(CoreKind::PCore);
     let e = ClusterCaches::for_core(CoreKind::ECore);
+
+    let mut art = Artifact::new("table2", "Table 2 - cache configurations via system registers");
+    art.table("caches", &t);
+    art.num("pcore_l1i_kb", p.l1i.total_bytes() / 1024)
+        .num("pcore_l1d_kb", p.l1d.total_bytes() / 1024)
+        .num("pcore_l2_mb", p.l2.total_bytes() / 1024 / 1024)
+        .num("ecore_l1i_kb", e.l1i.total_bytes() / 1024)
+        .num("ecore_l1d_kb", e.l1d.total_bytes() / 1024)
+        .num("ecore_l2_mb", e.l2.total_bytes() / 1024 / 1024)
+        .num("l1_line_bytes", p.l1d.line)
+        .num("l2_line_bytes", p.l2.line)
+        .num("pcore_l1d_effective_ways", p.l1d_effective_ways as u64);
+    art.write();
+
     compare(
         "p-core L1I/L1D/L2",
         "192KB/128KB/12MB",

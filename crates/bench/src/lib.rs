@@ -17,6 +17,8 @@ use pacman_core::report::{AsciiChart, Table};
 use pacman_core::{System, SystemConfig};
 use pacman_telemetry::json::Value;
 
+pub mod claims;
+
 /// Boots the standard experiment system (OS noise enabled, the attack's
 /// default timing source).
 pub fn noisy_system() -> System {
@@ -175,13 +177,26 @@ impl Artifact {
     }
 
     /// Writes the artefact to `$PACMAN_BENCH_DIR` (default: current
-    /// directory) and prints where it landed; failures are reported but
-    /// never fail the experiment.
+    /// directory) and prints where it landed.
+    ///
+    /// A failed write always lands on stderr. When `$PACMAN_BENCH_DIR`
+    /// was set explicitly the caller asked for the artefact (CI is
+    /// collecting them for `pacman-cli verify`), so the failure is fatal:
+    /// the process exits nonzero instead of letting a bad directory turn
+    /// into a silently missing artefact.
     pub fn write(&self) {
-        let dir = std::env::var("PACMAN_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        let dir = std::env::var("PACMAN_BENCH_DIR").ok();
+        let strict = dir.is_some();
+        let dir = dir.unwrap_or_else(|| ".".into());
         match self.write_to(Path::new(&dir)) {
             Ok(path) => println!("  artefact: {}", path.display()),
-            Err(e) => eprintln!("  artefact: write failed ({e})"),
+            Err(e) => {
+                eprintln!("error: failed to write BENCH_{}.json into '{dir}': {e}", self.id);
+                if strict {
+                    eprintln!("error: $PACMAN_BENCH_DIR was set explicitly; aborting");
+                    std::process::exit(2);
+                }
+            }
         }
     }
 }
@@ -242,6 +257,15 @@ mod tests {
         let parsed = pacman_telemetry::json::parse(text.trim()).expect("valid JSON");
         assert_eq!(parsed.get("answer").and_then(Value::as_u64), Some(42));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_write_to_surfaces_io_errors() {
+        let mut art = Artifact::new("unit_err", "error-path test");
+        art.num("answer", 42);
+        let missing = std::env::temp_dir().join("pacman-bench-no-such-dir-913/deeper");
+        let err = art.write_to(&missing).expect_err("missing directory must error");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
     }
 
     #[test]

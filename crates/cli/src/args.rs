@@ -85,6 +85,17 @@ impl Args {
         self.options.get(name).map(String::as_str)
     }
 
+    /// Names of every `--key value` option present (per-command
+    /// validation rejects names the command does not define).
+    pub fn option_names(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+
+    /// Names of every bare flag present.
+    pub fn flag_names(&self) -> impl Iterator<Item = &str> {
+        self.flags.iter().map(String::as_str)
+    }
+
     /// A parsed numeric option with default.
     ///
     /// # Errors
@@ -151,6 +162,16 @@ mod tests {
     #[test]
     fn extra_positionals_are_rejected() {
         assert!(matches!(parse("oracle stray"), Err(ArgsError::UnexpectedPositional(_))));
+    }
+
+    #[test]
+    fn option_and_flag_names_enumerate() {
+        let a = parse("oracle --trials 3 --channel data --json --quiet-noise").unwrap();
+        let mut opts: Vec<&str> = a.option_names().collect();
+        opts.sort_unstable();
+        assert_eq!(opts, ["channel", "trials"]);
+        let flags: Vec<&str> = a.flag_names().collect();
+        assert_eq!(flags, ["json", "quiet-noise"]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 
+use pacman_bench::claims;
 use pacman_core::brute::BruteForcer;
 use pacman_core::cache_probe::CacheDataPacOracle;
 use pacman_core::jump2win::Jump2Win;
@@ -36,19 +37,60 @@ commands:
   mitigations  the section-9 countermeasure matrix
   os           PacmanOS (section 6.2) bare-metal experiments
   timeline     print the Figure 3 speculation-event timelines
+  verify       diff BENCH_<id>.json artifacts against the paper claims
 
 options:
   --seed N        kernel key seed          --quiet-noise   disable OS noise
   --channel C     data|instr|cache         --trials N      oracle trials
   --window N      brute candidate window   --full          sweep all 65536
   --functions N   census image size        --track-stack   deep census dataflow
+  --dir D         verify artifact dir      --help          this text
   --json          emit JSONL on stdout     --metrics-out F write JSONL to file F
-  --help          this text
 
-With --json (or --metrics-out) the oracle, brute, sweep and timeline
-commands emit one JSON record per trial/event followed by a final
-'metrics' record holding the full counter/histogram snapshot.
+Every command emits JSONL when --json (or --metrics-out) is given: one
+JSON record per trial/event/row, and - for commands that drive the
+simulated machine - a final 'metrics' record holding the full
+counter/histogram snapshot. 'verify' ends with a 'verify_summary'
+record and exits nonzero if any paper claim is out of tolerance.
 ";
+
+/// The `--key value` options and bare flags each command accepts.
+/// Anything else is a usage error: a misspelled option must fail
+/// loudly, not parse as an ignored key.
+fn command_spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
+    Some(match command {
+        "oracle" => (&["seed", "trials", "channel", "metrics-out"], &["json", "quiet-noise"]),
+        "brute" => (&["seed", "window", "metrics-out"], &["json", "quiet-noise", "full"]),
+        "jump2win" => (&["seed", "window", "metrics-out"], &["json", "quiet-noise", "full"]),
+        // --quiet-noise is a no-op for sweep (its machines already run
+        // noise-free) but stays accepted for invocation compatibility.
+        "sweep" => (&["metrics-out"], &["json", "quiet-noise"]),
+        "census" => (&["functions", "metrics-out"], &["json", "track-stack"]),
+        "mitigations" => (&["metrics-out"], &["json"]),
+        "os" => (&["metrics-out"], &["json"]),
+        "timeline" => (&["seed", "metrics-out"], &["json", "quiet-noise"]),
+        "verify" => (&["dir", "metrics-out"], &["json"]),
+        _ => return None,
+    })
+}
+
+/// Rejects options/flags the command does not define.
+fn validate_options(command: &str, args: &Args) -> CliResult {
+    let Some((options, flags)) = command_spec(command) else {
+        return Err(format!("unknown command '{command}' (try --help)").into());
+    };
+    for name in args.option_names() {
+        if !options.contains(&name) {
+            return Err(format!("unknown option --{name} for '{command}' (try --help)").into());
+        }
+    }
+    for name in args.flag_names() {
+        if name != "help" && !flags.contains(&name) {
+            return Err(format!("unknown flag --{name} for '{command}' (try --help)").into());
+        }
+    }
+    Ok(())
+}
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -58,17 +100,19 @@ type CliResult = Result<(), Box<dyn Error>>;
 ///
 /// Any subcommand failure (bad options, oracle errors, failed attacks).
 pub fn dispatch(args: &Args) -> CliResult {
-    match args.command.as_deref() {
-        Some("oracle") => cmd_oracle(args),
-        Some("brute") => cmd_brute(args),
-        Some("jump2win") => cmd_jump2win(args),
-        Some("sweep") => cmd_sweep(args),
-        Some("census") => cmd_census(args),
-        Some("mitigations") => cmd_mitigations(args),
-        Some("os") => cmd_os(args),
-        Some("timeline") => cmd_timeline(args),
-        Some(other) => Err(format!("unknown command '{other}' (try --help)").into()),
-        None => unreachable!("main prints usage for empty command"),
+    let command = args.command.as_deref().expect("main prints usage for empty command");
+    validate_options(command, args)?;
+    match command {
+        "oracle" => cmd_oracle(args),
+        "brute" => cmd_brute(args),
+        "jump2win" => cmd_jump2win(args),
+        "sweep" => cmd_sweep(args),
+        "census" => cmd_census(args),
+        "mitigations" => cmd_mitigations(args),
+        "os" => cmd_os(args),
+        "timeline" => cmd_timeline(args),
+        "verify" => cmd_verify(args),
+        other => unreachable!("validate_options rejected '{other}'"),
     }
 }
 
@@ -85,22 +129,29 @@ fn boot(args: &Args) -> Result<System, Box<dyn Error>> {
 /// when neither was requested, at the cost of one branch per record.
 struct Emitter {
     json_stdout: bool,
-    out_path: Option<String>,
-    lines: Vec<String>,
+    out: Option<(String, std::fs::File)>,
+    write_error: Option<std::io::Error>,
 }
 
 impl Emitter {
-    fn from_args(args: &Args) -> Self {
-        Self {
-            json_stdout: args.flag("json"),
-            out_path: args.get("metrics-out").map(String::from),
-            lines: Vec::new(),
-        }
+    /// Builds the sink, creating the `--metrics-out` file *eagerly*: an
+    /// unwritable path must fail before any trials run, not after the
+    /// whole experiment has completed.
+    fn from_args(args: &Args) -> Result<Self, Box<dyn Error>> {
+        let out = match args.get("metrics-out") {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create --metrics-out file '{path}': {e}"))?;
+                Some((path.to_string(), file))
+            }
+            None => None,
+        };
+        Ok(Self { json_stdout: args.flag("json"), out, write_error: None })
     }
 
     /// Whether any JSONL output was requested.
     fn active(&self) -> bool {
-        self.json_stdout || self.out_path.is_some()
+        self.json_stdout || self.out.is_some()
     }
 
     /// Whether the human-readable report should be suppressed (stdout is
@@ -117,21 +168,51 @@ impl Emitter {
         if self.json_stdout {
             print!("{line}");
         }
-        self.lines.push(line);
+        if let Some((_, file)) = &mut self.out {
+            use std::io::Write;
+            if let Err(e) = file.write_all(line.as_bytes()) {
+                // Remember the first failure; close() surfaces it.
+                self.write_error.get_or_insert(e);
+            }
+        }
     }
 
-    /// Appends the final `metrics` record built from `snap`, then writes
-    /// the accumulated stream to `--metrics-out` if given.
-    fn finish(mut self, snap: &Snapshot) -> Result<(), Box<dyn Error>> {
+    /// Appends the final `metrics` record built from `snap`, then closes.
+    fn finish(mut self, snap: &Snapshot) -> CliResult {
         let mut fields = vec![("record".to_string(), Value::str("metrics"))];
         if let Value::Object(rest) = snap.to_json() {
             fields.extend(rest);
         }
         self.record(&Value::Object(fields));
-        if let Some(path) = &self.out_path {
-            std::fs::write(path, self.lines.concat())?;
+        self.close()
+    }
+
+    /// Flushes the stream and reports any write failure (commands whose
+    /// final record is not a machine snapshot end with this directly).
+    fn close(mut self) -> CliResult {
+        if let Some((path, file)) = &mut self.out {
+            use std::io::Write;
+            let flushed = file.flush();
+            if let Some(e) = self.write_error.take() {
+                return Err(format!("writing --metrics-out file '{path}' failed: {e}").into());
+            }
+            flushed.map_err(|e| format!("flushing --metrics-out file '{path}' failed: {e}"))?;
         }
         Ok(())
+    }
+}
+
+/// The values `--channel` accepts.
+const CHANNELS: &[&str] = &["data", "instr", "cache"];
+
+/// Rejects an unknown `--channel` up front, before the system boots and
+/// trials run.
+fn validate_channel(args: &Args) -> CliResult {
+    let channel = args.get("channel").unwrap_or("data");
+    if CHANNELS.contains(&channel) {
+        Ok(())
+    } else {
+        Err(format!("unknown channel '{channel}' (data|instr|cache)").into())
     }
 }
 
@@ -145,8 +226,9 @@ fn make_oracle(args: &Args, sys: &mut System) -> Result<Box<dyn PacOracle>, Box<
 }
 
 fn cmd_oracle(args: &Args) -> CliResult {
+    validate_channel(args)?;
     let trials: usize = args.get_num("trials", 50)?;
-    let mut emit = Emitter::from_args(args);
+    let mut emit = Emitter::from_args(args)?;
     let mut sys = boot(args)?;
     if emit.active() {
         sys.telemetry.set_enabled(true);
@@ -198,7 +280,7 @@ fn cmd_oracle(args: &Args) -> CliResult {
 
 fn cmd_brute(args: &Args) -> CliResult {
     let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
-    let mut emit = Emitter::from_args(args);
+    let mut emit = Emitter::from_args(args)?;
     let mut sys = boot(args)?;
     if emit.active() {
         sys.telemetry.set_enabled(true);
@@ -246,7 +328,11 @@ fn cmd_brute(args: &Args) -> CliResult {
 
 fn cmd_jump2win(args: &Args) -> CliResult {
     let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
+    let mut emit = Emitter::from_args(args)?;
     let mut sys = boot(args)?;
+    if emit.active() {
+        sys.telemetry.set_enabled(true);
+    }
     let mut driver = Jump2Win::new().with_samples(3).with_train_iters(16);
     if window < 65536 {
         let t1 = sys.true_pac_with_salt(PacKey::Ia, sys.cpp.win_fn);
@@ -255,11 +341,26 @@ fn cmd_jump2win(args: &Args) -> CliResult {
         driver.phase_windows = Some([centre(t1), centre(t2)]);
     }
     let report = driver.run(&mut sys)?;
-    println!("PAC(win, IA)    = {:#06x}", report.pac_win);
-    println!("PAC(vtable, DA) = {:#06x}", report.pac_vtable);
-    println!("guesses tested  = {}", report.guesses_tested);
-    println!("hijacked        = {}", report.hijacked);
-    println!("kernel crashes  = {}", report.crashes);
+    emit.record(&Value::Object(vec![
+        ("record".into(), Value::str("jump2win")),
+        ("pac_win".into(), Value::UInt(u64::from(report.pac_win))),
+        ("pac_vtable".into(), Value::UInt(u64::from(report.pac_vtable))),
+        ("guesses_tested".into(), Value::UInt(report.guesses_tested)),
+        ("syscalls".into(), Value::UInt(report.syscalls)),
+        ("cycles".into(), Value::UInt(report.cycles)),
+        ("crashes".into(), Value::UInt(report.crashes)),
+        ("hijacked".into(), Value::Bool(report.hijacked)),
+    ]));
+    if !emit.quiet() {
+        println!("PAC(win, IA)    = {:#06x}", report.pac_win);
+        println!("PAC(vtable, DA) = {:#06x}", report.pac_vtable);
+        println!("guesses tested  = {}", report.guesses_tested);
+        println!("hijacked        = {}", report.hijacked);
+        println!("kernel crashes  = {}", report.crashes);
+    }
+    // Flush the JSONL stream before reporting the attack verdict, so a
+    // failed hijack still leaves complete machine-readable evidence.
+    emit.finish(&sys.telemetry_snapshot())?;
     if !report.hijacked {
         return Err("control flow was not hijacked".into());
     }
@@ -267,7 +368,7 @@ fn cmd_jump2win(args: &Args) -> CliResult {
 }
 
 fn cmd_sweep(args: &Args) -> CliResult {
-    let mut emit = Emitter::from_args(args);
+    let mut emit = Emitter::from_args(args)?;
     let mut m = experiment_machine();
     if !emit.quiet() {
         println!("Figure 5(a) knees:");
@@ -326,46 +427,86 @@ fn cmd_sweep(args: &Args) -> CliResult {
 
 fn cmd_census(args: &Args) -> CliResult {
     let functions: usize = args.get_num("functions", 2000)?;
+    let mut emit = Emitter::from_args(args)?;
     let image = synthesize(&ImageSpec { functions, seed: 0xC0DE, ..ImageSpec::default() });
     let config = ScanConfig { track_stack: args.flag("track-stack"), ..ScanConfig::default() };
     let report = scan_image(&image.bytes, &config);
-    println!("image: {} functions, {} instructions", functions, image.instructions);
-    println!(
-        "gadgets: {} total ({} data, {} instruction)",
-        report.total(),
-        report.data_count(),
-        report.instruction_count()
-    );
-    println!("mean branch->transmit distance: {:.1}", report.mean_distance());
-    Ok(())
+    emit.record(&Value::Object(vec![
+        ("record".into(), Value::str("census")),
+        ("functions".into(), Value::UInt(functions as u64)),
+        ("instructions".into(), Value::UInt(image.instructions as u64)),
+        ("total_gadgets".into(), Value::UInt(report.total() as u64)),
+        ("data_gadgets".into(), Value::UInt(report.data_count() as u64)),
+        ("instruction_gadgets".into(), Value::UInt(report.instruction_count() as u64)),
+        ("track_stack".into(), Value::Bool(config.track_stack)),
+        ("mean_distance".into(), Value::Float(report.mean_distance())),
+    ]));
+    if !emit.quiet() {
+        println!("image: {} functions, {} instructions", functions, image.instructions);
+        println!(
+            "gadgets: {} total ({} data, {} instruction)",
+            report.total(),
+            report.data_count(),
+            report.instruction_count()
+        );
+        println!("mean branch->transmit distance: {:.1}", report.mean_distance());
+    }
+    emit.close()
 }
 
-fn cmd_mitigations(_args: &Args) -> CliResult {
+fn cmd_mitigations(args: &Args) -> CliResult {
+    let mut emit = Emitter::from_args(args)?;
     let evals = evaluate_all();
     let baseline = evals[0].benign_cycles as f64;
     let mut t = Table::new("mitigation matrix", &["mitigation", "surface", "benign overhead"]);
     for e in &evals {
         let overhead = 100.0 * (e.benign_cycles as f64 - baseline) / baseline;
+        emit.record(&Value::Object(vec![
+            ("record".into(), Value::str("mitigation")),
+            ("mitigation".into(), Value::str(format!("{:?}", e.report.mitigation))),
+            ("surface".into(), Value::str(format!("{:?}", e.surface))),
+            ("data_oracle_works".into(), Value::Bool(e.report.data_oracle_works)),
+            ("instr_oracle_works".into(), Value::Bool(e.report.instr_oracle_works)),
+            ("benign_cycles".into(), Value::UInt(e.benign_cycles)),
+            ("benign_overhead_pct".into(), Value::Float(overhead)),
+        ]));
         t.row(&[
             format!("{:?}", e.report.mitigation),
             format!("{:?}", e.surface),
             format!("{overhead:+.1}%"),
         ]);
     }
-    println!("{t}");
-    Ok(())
+    if !emit.quiet() {
+        println!("{t}");
+    }
+    emit.close()
 }
 
-fn cmd_os(_args: &Args) -> CliResult {
+fn cmd_os(args: &Args) -> CliResult {
+    let mut emit = Emitter::from_args(args)?;
     let mut runner = Runner::new(BareMetal::boot_default());
-    print!("{}", runner.run(&mut MsrInventory::new()));
-    print!("{}", runner.run(&mut TimerResolution::new()));
-    print!("{}", runner.run(&mut TlbParameterSearch::new()));
-    Ok(())
+    let mut msr = MsrInventory::new();
+    let mut timer = TimerResolution::new();
+    let mut tlb = TlbParameterSearch::new();
+    let experiments: [&mut dyn pacman_os::Experiment; 3] = [&mut msr, &mut timer, &mut tlb];
+    for experiment in experiments {
+        let report = runner.run(experiment);
+        emit.record(&Value::Object(vec![
+            ("record".into(), Value::str("os_experiment")),
+            ("name".into(), Value::str(report.name)),
+            ("cycles".into(), Value::UInt(report.cycles)),
+            ("ok".into(), Value::Bool(report.ok)),
+            ("lines".into(), Value::Array(report.lines.iter().map(Value::str).collect())),
+        ]));
+        if !emit.quiet() {
+            print!("{report}");
+        }
+    }
+    emit.close()
 }
 
 fn cmd_timeline(args: &Args) -> CliResult {
-    let mut emit = Emitter::from_args(args);
+    let mut emit = Emitter::from_args(args)?;
     let mut sys = boot(args)?;
     let set = sys.pick_quiet_dtlb_set();
     let target = sys.alloc_target(set);
@@ -398,6 +539,137 @@ fn cmd_timeline(args: &Args) -> CliResult {
         }
     }
     emit.finish(&sys.telemetry_snapshot())
+}
+
+/// Renders the actual value of one claim field for the matrix, truncated
+/// so serialized tables/charts do not blow the column out.
+fn render_got(value: Option<&Value>) -> String {
+    match value {
+        None => "-".into(),
+        Some(v) => {
+            let s = v.to_string();
+            if s.chars().count() > 24 {
+                let head: String = s.chars().take(21).collect();
+                format!("{head}...")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// One JSONL `verdict` record of the verification stream.
+fn verdict_record(
+    artifact: &str,
+    field: &str,
+    paper: &str,
+    expected: &str,
+    got: &str,
+    status: &str,
+) -> Value {
+    Value::Object(vec![
+        ("record".into(), Value::str("verdict")),
+        ("artifact".into(), Value::str(artifact)),
+        ("field".into(), Value::str(field)),
+        ("paper".into(), Value::str(paper)),
+        ("expected".into(), Value::str(expected)),
+        ("got".into(), Value::str(got)),
+        ("status".into(), Value::str(status)),
+    ])
+}
+
+fn cmd_verify(args: &Args) -> CliResult {
+    let mut emit = Emitter::from_args(args)?;
+    let dir = match args.get("dir") {
+        Some(d) => d.to_string(),
+        None => std::env::var("PACMAN_BENCH_DIR").unwrap_or_else(|_| ".".into()),
+    };
+    let mut table = Table::new(
+        format!("paper-claims verification ({dir})"),
+        &["artifact", "field", "paper claim", "expected", "got", "status"],
+    );
+    let (mut pass, mut fail, mut missing) = (0usize, 0usize, 0usize);
+    let mut artifacts_loaded = 0usize;
+    for id in claims::ARTIFACT_IDS {
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{id}.json"));
+        let artifact = match std::fs::read_to_string(&path) {
+            Ok(text) => match pacman_telemetry::json::parse(text.trim()) {
+                Ok(v) => v,
+                Err(e) => {
+                    fail += 1;
+                    let why = format!("unparseable: {e}");
+                    table.row_of(&[id, "(artifact)", "-", "valid JSON", why.as_str(), "fail"]);
+                    emit.record(&verdict_record(id, "(artifact)", "-", "valid JSON", &why, "fail"));
+                    continue;
+                }
+            },
+            Err(_) => {
+                missing += 1;
+                table.row_of(&[id, "(artifact)", "-", "file present", "absent", "missing"]);
+                emit.record(&verdict_record(
+                    id,
+                    "(artifact)",
+                    "-",
+                    "file present",
+                    "absent",
+                    "missing",
+                ));
+                continue;
+            }
+        };
+        artifacts_loaded += 1;
+        for claim in claims::for_artifact(id) {
+            let verdict = claim.check(&artifact);
+            match verdict {
+                claims::Verdict::Pass => pass += 1,
+                claims::Verdict::Fail(_) => fail += 1,
+                claims::Verdict::Missing => missing += 1,
+            }
+            let got = render_got(artifact.get(claim.field));
+            let expected = claim.expect.describe();
+            table.row_of(&[
+                claim.artifact,
+                claim.field,
+                claim.paper,
+                expected.as_str(),
+                got.as_str(),
+                verdict.status(),
+            ]);
+            emit.record(&verdict_record(
+                id,
+                claim.field,
+                claim.paper,
+                &expected,
+                &got,
+                verdict.status(),
+            ));
+        }
+    }
+    let ok = fail == 0 && missing == 0;
+    if !emit.quiet() {
+        println!("{table}");
+        println!(
+            "claims: {pass} pass, {fail} fail, {missing} missing \
+             ({artifacts_loaded}/{} artifacts loaded from '{dir}')",
+            claims::ARTIFACT_IDS.len()
+        );
+        println!("verdict: {}", if ok { "all claims in tolerance" } else { "OUT OF TOLERANCE" });
+    }
+    emit.record(&Value::Object(vec![
+        ("record".into(), Value::str("verify_summary")),
+        ("dir".into(), Value::str(dir)),
+        ("artifacts_expected".into(), Value::UInt(claims::ARTIFACT_IDS.len() as u64)),
+        ("artifacts_loaded".into(), Value::UInt(artifacts_loaded as u64)),
+        ("pass".into(), Value::UInt(pass as u64)),
+        ("fail".into(), Value::UInt(fail as u64)),
+        ("missing".into(), Value::UInt(missing as u64)),
+        ("ok".into(), Value::Bool(ok)),
+    ]));
+    emit.close()?;
+    if !ok {
+        return Err(format!("{fail} claim(s) out of tolerance, {missing} missing").into());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -491,6 +763,141 @@ mod tests {
             assert!(v.is_some_and(|v| v > 0), "counter {series} missing or zero: {v:?}");
         }
         assert!(metrics.get("histograms").and_then(|h| h.get("oracle.trial.cycles")).is_some());
+    }
+
+    /// Fresh temp dir for one test; removed by the caller.
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pacman_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn read_jsonl(path: &std::path::Path) -> Vec<Value> {
+        let text = std::fs::read_to_string(path).expect("metrics file written");
+        pacman_telemetry::json::parse_jsonl(&text).expect("valid JSONL")
+    }
+
+    #[test]
+    fn unknown_options_and_flags_are_rejected() {
+        let err = dispatch(&parse("oracle --banana 1")).expect_err("unknown option");
+        assert!(err.to_string().contains("--banana"), "{err}");
+        let err = dispatch(&parse("sweep --track-stack")).expect_err("foreign flag");
+        assert!(err.to_string().contains("--track-stack"), "{err}");
+        let err = dispatch(&parse("census --trials 3")).expect_err("foreign option");
+        assert!(err.to_string().contains("--trials"), "{err}");
+    }
+
+    #[test]
+    fn metrics_out_fails_eagerly_for_unwritable_paths() {
+        let err = dispatch(&parse(
+            "oracle --trials 1 --metrics-out /nonexistent-dir-3313/deeper/out.jsonl",
+        ))
+        .expect_err("unwritable metrics path");
+        assert!(err.to_string().contains("cannot create --metrics-out"), "{err}");
+    }
+
+    #[test]
+    fn jump2win_metrics_out_includes_report_and_snapshot() {
+        let dir = temp_dir("jump2win");
+        let path = dir.join("out.jsonl");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        dispatch(&parse(&format!("jump2win --window 12 --quiet-noise --metrics-out {path_str}")))
+            .expect("jump2win runs");
+        let records = read_jsonl(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        let j2w = records
+            .iter()
+            .find(|r| r.get("record").and_then(Value::as_str) == Some("jump2win"))
+            .expect("jump2win record");
+        assert_eq!(j2w.get("hijacked").and_then(Value::as_bool), Some(true));
+        assert!(j2w.get("guesses_tested").and_then(Value::as_u64).unwrap() > 0);
+        let metrics = records.last().expect("metrics record");
+        assert_eq!(metrics.get("record").and_then(Value::as_str), Some("metrics"));
+    }
+
+    #[test]
+    fn census_mitigations_and_os_emit_jsonl() {
+        let dir = temp_dir("humanonly");
+        let path = dir.join("out.jsonl");
+        let path_str = path.to_str().expect("utf-8 temp path");
+
+        dispatch(&parse(&format!("census --functions 50 --metrics-out {path_str}")))
+            .expect("census runs");
+        let records = read_jsonl(&path);
+        assert_eq!(records[0].get("record").and_then(Value::as_str), Some("census"));
+        assert!(records[0].get("total_gadgets").and_then(Value::as_u64).unwrap() > 0);
+
+        dispatch(&parse(&format!("mitigations --metrics-out {path_str}")))
+            .expect("mitigations runs");
+        let records = read_jsonl(&path);
+        assert!(records.len() > 3, "one record per mitigation row");
+        for r in &records {
+            assert_eq!(r.get("record").and_then(Value::as_str), Some("mitigation"));
+            assert!(r.get("surface").and_then(Value::as_str).is_some());
+        }
+
+        dispatch(&parse(&format!("os --metrics-out {path_str}"))).expect("os runs");
+        let records = read_jsonl(&path);
+        assert_eq!(records.len(), 3, "one record per PacmanOS experiment");
+        for r in &records {
+            assert_eq!(r.get("record").and_then(Value::as_str), Some("os_experiment"));
+            assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_passes_over_example_artifacts() {
+        let dir = temp_dir("verify_pass");
+        for id in claims::ARTIFACT_IDS {
+            claims::example_artifact(id).write_to(&dir).expect("example artifact");
+        }
+        let out = dir.join("verdicts.jsonl");
+        let cmd = format!("verify --dir {} --metrics-out {}", dir.display(), out.display());
+        dispatch(&parse(&cmd)).expect("all example artifacts verify");
+        let records = read_jsonl(&out);
+        std::fs::remove_dir_all(&dir).ok();
+        let summary = records.last().expect("verify_summary record");
+        assert_eq!(summary.get("record").and_then(Value::as_str), Some("verify_summary"));
+        assert_eq!(summary.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            summary.get("artifacts_loaded").and_then(Value::as_u64),
+            Some(claims::ARTIFACT_IDS.len() as u64)
+        );
+        let verdicts =
+            records.iter().filter(|r| r.get("record").and_then(Value::as_str) == Some("verdict"));
+        let statuses: Vec<_> = verdicts
+            .map(|r| r.get("status").and_then(Value::as_str).unwrap().to_string())
+            .collect();
+        assert!(!statuses.is_empty());
+        assert!(statuses.iter().all(|s| s == "pass"), "all verdicts pass: {statuses:?}");
+    }
+
+    #[test]
+    fn verify_fails_on_a_perturbed_artifact() {
+        let dir = temp_dir("verify_fail");
+        for id in claims::ARTIFACT_IDS {
+            claims::example_artifact(id).write_to(&dir).expect("example artifact");
+        }
+        // Perturb one structural value out of tolerance.
+        std::fs::write(
+            dir.join("BENCH_fig6.json"),
+            "{\"record\":\"bench\",\"experiment\":\"fig6\",\"itlb_ways\":99}\n",
+        )
+        .expect("perturbed artifact");
+        let err = dispatch(&parse(&format!("verify --dir {}", dir.display())))
+            .expect_err("perturbed artifact must fail verification");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(err.to_string().contains("out of tolerance"), "{err}");
+    }
+
+    #[test]
+    fn verify_reports_missing_artifacts() {
+        let dir = temp_dir("verify_missing");
+        let err = dispatch(&parse(&format!("verify --dir {}", dir.display())))
+            .expect_err("empty artifact dir must fail verification");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(err.to_string().contains("missing"), "{err}");
     }
 
     #[test]

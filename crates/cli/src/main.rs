@@ -12,6 +12,7 @@
 //!   mitigations  the §9 countermeasure matrix
 //!   os           PacmanOS (§6.2) bare-metal experiments
 //!   timeline     print the Figure 3 speculation-event timelines
+//!   verify       diff `BENCH_<id>.json` artefacts against the paper claims
 //!
 //! common options:
 //!   --seed N          kernel key seed (default 0xA11CE)
@@ -22,10 +23,18 @@
 //!                     --full sweeps all 65536)
 //!   --functions N     census image size (default 2000)
 //!   --track-stack     census: enable stack-slot dataflow
+//!   --dir D           verify: artefact directory (default `$PACMAN_BENCH_DIR`,
+//!                     then the current directory)
 //!   --json            emit JSONL records on stdout (one per trial/event,
 //!                     final metrics snapshot last)
 //!   --metrics-out F   write the same JSONL stream to file F
 //! ```
+//!
+//! Every command speaks JSONL when `--json` or `--metrics-out` is given.
+//! `verify` loads the `BENCH_<id>.json` artefacts a `cargo bench` run
+//! wrote, diffs each field against the paper's claims with per-metric
+//! tolerance bands (see `pacman_bench::claims`), prints the pass/fail
+//! matrix, and exits nonzero if anything is out of tolerance or missing.
 
 mod args;
 mod commands;

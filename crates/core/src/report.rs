@@ -30,6 +30,13 @@ impl Table {
         self
     }
 
+    /// Appends a row of borrowed cells (convenience over [`Table::row`]
+    /// when the caller mixes literals and formatted strings).
+    pub fn row_of(&mut self, cells: &[impl AsRef<str>]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|c| c.as_ref().to_string()).collect();
+        self.row(&owned)
+    }
+
     fn widths(&self) -> Vec<usize> {
         let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
@@ -115,6 +122,16 @@ mod tests {
         // Both rows render the same width.
         let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
         assert_eq!(lines[0].len(), lines[1].len().max(lines[0].len()));
+    }
+
+    #[test]
+    fn row_of_accepts_borrowed_cells() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row_of(&["literal", "7"]);
+        let formatted = format!("{:.1}", 2.5);
+        t.row_of(&["mixed", formatted.as_str()]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][1], "2.5");
     }
 
     #[test]

@@ -506,6 +506,30 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_empty_stream_parses_to_nothing() {
+        assert_eq!(parse_jsonl("").expect("empty"), vec![]);
+        assert_eq!(parse_jsonl("\n\n  \n").expect("blank lines"), vec![]);
+    }
+
+    #[test]
+    fn jsonl_truncated_final_line_is_an_error() {
+        // A crashed writer leaves a half-record on the last line; the
+        // stream as a whole must be rejected, not silently shortened.
+        let stream = "{\"trial\":0}\n{\"trial\":1,\"cyc";
+        let err = parse_jsonl(stream).expect_err("truncated record");
+        assert!(err.reason.contains("unterminated") || err.reason.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_interleaved_non_json_is_an_error() {
+        let stream = "{\"trial\":0}\nlog: something human-readable\n{\"trial\":1}\n";
+        assert!(parse_jsonl(stream).is_err());
+        // Same stream with the stray line removed parses fine.
+        let clean = "{\"trial\":0}\n{\"trial\":1}\n";
+        assert_eq!(parse_jsonl(clean).expect("clean stream").len(), 2);
+    }
+
+    #[test]
     fn object_lookup_misses_cleanly() {
         let v = parse(r#"{"a":1}"#).unwrap();
         assert!(v.get("missing").is_none());
