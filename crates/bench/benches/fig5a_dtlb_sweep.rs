@@ -1,13 +1,13 @@
 //! Figure 5(a): dTLB / L2 TLB stride sweep (cache-conflict-free loads).
 
-use pacman_bench::{banner, check, compare, Artifact};
+use pacman_bench::{banner, check, compare, jobs, Artifact};
+use pacman_core::parallel::{parallel_sweep, SweepKind};
 use pacman_core::report::AsciiChart;
-use pacman_core::sweep::{data_tlb_sweep, experiment_machine};
 
 fn main() {
     banner("F5a", "Figure 5(a) - data-load sweep, addr[i] = x + i*stride + i*128B");
-    let mut m = experiment_machine();
-    let series = data_tlb_sweep(&mut m, &[1, 32, 256, 2048]).expect("sweep");
+    let jobs = jobs();
+    let (series, _) = parallel_sweep(SweepKind::DataTlb, &[1, 32, 256, 2048], jobs).expect("sweep");
 
     let mut chart = AsciiChart::new("median reload latency (cycles) vs N");
     for s in &series {

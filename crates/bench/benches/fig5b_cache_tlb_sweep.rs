@@ -1,14 +1,14 @@
 //! Figure 5(b): cache/TLB interaction sweep (raw-stride loads).
 
-use pacman_bench::{banner, check, compare, Artifact};
+use pacman_bench::{banner, check, compare, jobs, Artifact};
+use pacman_core::parallel::{parallel_sweep, SweepKind};
 use pacman_core::report::AsciiChart;
-use pacman_core::sweep::{cache_tlb_sweep, experiment_machine};
 
 fn main() {
     banner("F5b", "Figure 5(b) - data-load sweep, addr[i] = x + i*stride");
-    let mut m = experiment_machine();
+    let jobs = jobs();
     let strides = [256 * 128, 256 * 16384, 2048 * 16384];
-    let series = cache_tlb_sweep(&mut m, &strides).expect("sweep");
+    let (series, _) = parallel_sweep(SweepKind::CacheTlb, &strides, jobs).expect("sweep");
 
     let mut chart = AsciiChart::new("median reload latency (cycles) vs N");
     for s in &series {

@@ -1,29 +1,23 @@
 //! Figure 8(b): PAC-oracle miss-count distributions, instruction gadget.
 
-use pacman_bench::{banner, check, compare, noisy_system, scale, Artifact};
-use pacman_core::oracle::{InstrPacOracle, PacOracle, CORRECT_MISS_THRESHOLD};
+use pacman_bench::{banner, check, compare, jobs, noisy_config, scale, Artifact};
+use pacman_core::oracle::CORRECT_MISS_THRESHOLD;
+use pacman_core::parallel::{oracle_distribution, Channel};
 use pacman_telemetry::json::Value;
 
 fn main() {
     banner("F8b", "Figure 8(b) - PAC oracle via the instruction PACMAN gadget");
     let trials = scale("TRIALS", 300);
-    let mut sys = noisy_system();
-    let set = sys.pick_quiet_dtlb_set();
-    let target = sys.alloc_target(set);
-    let true_pac = sys.true_pac(target);
-    let mut oracle = InstrPacOracle::new(&mut sys).expect("oracle");
+    let jobs = jobs();
+    let out =
+        oracle_distribution(&noisy_config(), Channel::Instr, 1, trials, jobs, false, |i, tp| {
+            tp ^ ((i as u16).wrapping_mul(40503) | 1)
+        })
+        .expect("oracle distribution");
 
-    let mut correct = vec![0usize; 13];
-    let mut incorrect = vec![0usize; 13];
-    for i in 0..trials {
-        let c = oracle.trial(&mut sys, target, true_pac).expect("trial");
-        correct[c.min(12)] += 1;
-        let wrong = true_pac ^ ((i as u16).wrapping_mul(40503) | 1);
-        let w = oracle.trial(&mut sys, target, wrong).expect("trial");
-        incorrect[w.min(12)] += 1;
-    }
-
-    for (name, hist) in [("correct PAC", &correct), ("incorrect PAC", &incorrect)] {
+    for (name, hist) in
+        [("correct PAC", &out.correct_misses), ("incorrect PAC", &out.incorrect_misses)]
+    {
         println!("\n  {name} ({trials} trials): misses -> frequency");
         for (m, &n) in hist.iter().enumerate() {
             if n > 0 {
@@ -33,26 +27,27 @@ fn main() {
     }
     println!();
 
-    let good: usize = correct[CORRECT_MISS_THRESHOLD..].iter().sum();
-    let clean: usize = incorrect[..=1].iter().sum();
+    let good: u64 = out.correct_misses[CORRECT_MISS_THRESHOLD..].iter().sum();
+    let clean: u64 = out.incorrect_misses[..=1].iter().sum();
     let good_pct = 100.0 * good as f64 / trials as f64;
     let clean_pct = 100.0 * clean as f64 / trials as f64;
-    let miss_hist = |h: &[usize]| Value::Array(h.iter().map(|&n| Value::UInt(n as u64)).collect());
+    let miss_hist = |h: &[u64]| Value::Array(h.iter().map(|&n| Value::UInt(n)).collect());
     let mut art = Artifact::new("fig8b", "Figure 8(b) - PAC oracle, instruction PACMAN gadget");
     art.num("trials", trials as u64)
+        .num("jobs", jobs as u64)
         .num("threshold_misses", CORRECT_MISS_THRESHOLD as u64)
         .float("correct_detect_pct", good_pct)
         .float("incorrect_clean_pct", clean_pct)
-        .num("crashes", sys.kernel.crash_count())
-        .field("correct_miss_histogram", miss_hist(&correct))
-        .field("incorrect_miss_histogram", miss_hist(&incorrect));
+        .num("crashes", out.crashes)
+        .field("correct_miss_histogram", miss_hist(&out.correct_misses))
+        .field("incorrect_miss_histogram", miss_hist(&out.incorrect_misses));
     art.write();
 
     compare("correct-PAC trials with >=5 misses", "99.8%", &format!("{good_pct:.1}%"));
     compare("incorrect-PAC trials with <=1 miss", "99.2%", &format!("{clean_pct:.1}%"));
-    compare("kernel crashes", "0", &sys.kernel.crash_count().to_string());
+    compare("kernel crashes", "0", &out.crashes.to_string());
 
     check("correct-PAC detection >= 99%", good_pct >= 99.0);
     check("incorrect-PAC cleanliness >= 99%", clean_pct >= 99.0);
-    check("zero crashes", sys.kernel.crash_count() == 0);
+    check("zero crashes", out.crashes == 0);
 }

@@ -3,11 +3,12 @@
 
 use criterion::{criterion_group, Criterion};
 use pacman_core::oracle::{DataPacOracle, PacOracle};
+use pacman_core::parallel::{oracle_distribution, Channel};
 use pacman_core::telemetry::{recorded_test_pac, TrialLog};
 use pacman_core::{System, SystemConfig};
 use pacman_isa::{Asm, Inst, Reg};
 use pacman_qarma::{PacComputer, Qarma64, QarmaKey};
-use pacman_uarch::{Machine, MachineConfig, Perms};
+use pacman_uarch::{Cache, CacheParams, Machine, MachineConfig, Perms, Tlb, TlbEntry, TlbParams};
 
 fn bench_qarma(c: &mut Criterion) {
     let cipher = Qarma64::new(QarmaKey::new(0x0123456789abcdef, 0xfedcba9876543210));
@@ -170,7 +171,106 @@ fn write_artifact() {
     art.write();
 }
 
+/// Trial pairs for the serial-vs-parallel throughput comparison: enough
+/// work per shard that thread startup is amortised, small enough to stay
+/// seconds-long on one core.
+const PARALLEL_TRIALS: usize = 240;
+
+/// Wrong-guess schedule shared by both timed runs (and thus by every
+/// shard): a pure function of the global trial index.
+fn wrong_guess(i: usize, true_pac: u16) -> u16 {
+    true_pac ^ (1 + i as u16)
+}
+
+/// One timed `oracle_distribution` run; returns (seconds, trials/sec).
+fn timed_distribution(cfg: &SystemConfig, jobs: usize) -> (f64, f64) {
+    let start = std::time::Instant::now();
+    let out = oracle_distribution(cfg, Channel::Data, 1, PARALLEL_TRIALS, jobs, false, wrong_guess)
+        .expect("distribution");
+    assert_eq!(out.trials as usize, PARALLEL_TRIALS);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (secs, PARALLEL_TRIALS as f64 / secs)
+}
+
+/// Hot-loop ns/access of the flat-storage TLB (insert+lookup over a
+/// working set that spans every set and overflows the ways, so the
+/// rotation/eviction paths are exercised, not just the MRU hit).
+fn tlb_access_ns() -> f64 {
+    let mut tlb = Tlb::new(TlbParams { ways: 12, sets: 256 });
+    let perms = Perms::user_rwx();
+    let span = 256 * 16; // 16 conflicting entries per set
+    let mut vpn = 0u64;
+    time_ns(400_000, || {
+        vpn = (vpn + 257) % span;
+        tlb.insert(TlbEntry { vpn, pfn: vpn ^ 0x5a5a, perms });
+        tlb.lookup(vpn.wrapping_mul(0x9e37) % span)
+    })
+}
+
+/// Hot-loop ns/access of the flat-storage L1D model (same mixed
+/// fill/probe pattern over a conflict-heavy footprint).
+fn cache_access_ns() -> f64 {
+    let mut cache = Cache::new(CacheParams { ways: 8, sets: 128, line: 64 }, Some(4));
+    let span = 128u64 * 64 * 16;
+    let mut pa = 0u64;
+    time_ns(400_000, || {
+        pa = (pa + 64 * 129) % span;
+        cache.access(pa)
+    })
+}
+
+/// The PR's headline measurement: serial vs sharded trial throughput
+/// plus the allocation-free set-storage access latencies, written as the
+/// `perf_parallel` artifact. With one resolved worker the parallel path
+/// *is* the serial path (inline execution), so the speedup is reported
+/// as exactly 1.0; real scaling needs real cores.
+fn write_parallel_artifact() {
+    let jobs = pacman_bench::jobs();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+
+    let (serial_secs, serial_tps) = timed_distribution(&cfg, 1);
+    let (parallel_tps, speedup) = if jobs <= 1 {
+        (serial_tps, 1.0)
+    } else {
+        let (par_secs, par_tps) = timed_distribution(&cfg, jobs);
+        // On a single core, extra workers can only measure scheduler
+        // contention, not scaling — the speedup attributable to
+        // parallelism is 1.0 by definition there (the raw throughputs
+        // above still expose the contention).
+        (par_tps, if cores < 2 { 1.0 } else { serial_secs / par_secs })
+    };
+    let tlb_ns = tlb_access_ns();
+    let cache_ns = cache_access_ns();
+
+    println!("serial:   {serial_tps:8.1} trial pairs/sec (jobs=1)");
+    println!("parallel: {parallel_tps:8.1} trial pairs/sec (jobs={jobs}, {cores} cores)");
+    println!("speedup:  {speedup:.2}x");
+    println!("tlb access:   {tlb_ns:.1} ns  |  cache access: {cache_ns:.1} ns");
+
+    let mut art =
+        pacman_bench::Artifact::new("perf_parallel", "parallel runner + flat set storage");
+    art.num("jobs", jobs as u64)
+        .num("cores", cores as u64)
+        .num("trials", PARALLEL_TRIALS as u64)
+        .float("trials_per_sec_serial", serial_tps)
+        .float("trials_per_sec_parallel", parallel_tps)
+        .float("speedup", speedup)
+        .float("tlb_access_ns", tlb_ns)
+        .float("cache_access_ns", cache_ns);
+    art.write();
+
+    // The CI gate: with real parallelism available, sharding must never
+    // be a slowdown.
+    assert!(
+        jobs < 2 || cores < 2 || speedup >= 1.0,
+        "parallel execution slower than serial: {speedup:.2}x at jobs={jobs} on {cores} cores"
+    );
+}
+
 fn main() {
     perf();
     write_artifact();
+    write_parallel_artifact();
 }

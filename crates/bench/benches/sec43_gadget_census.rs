@@ -1,20 +1,20 @@
 //! §4.3: the PACMAN-gadget census over a synthetic PA-enabled image.
 
-use pacman_bench::{banner, check, compare, scale, Artifact};
+use pacman_bench::{banner, check, compare, jobs, scale, Artifact};
 use pacman_core::report::Table;
-use pacman_gadget::{scan_image, synthesize, ImageSpec, ScanConfig};
+use pacman_gadget::{parallel_census, ImageSpec, ScanConfig};
 
 fn main() {
     banner("G43", "Section 4.3 - gadget census (Ghidra-style scan, 32-inst window)");
     let functions = scale("FUNCTIONS", 4000);
+    let jobs = jobs();
     let spec = ImageSpec { functions, seed: 0xC0DE, ..ImageSpec::default() };
-    let image = synthesize(&spec);
-    let report = scan_image(&image.bytes, &ScanConfig::default());
+    let report = parallel_census(&spec, &ScanConfig::default(), jobs);
 
     let mut t = Table::new(
         format!(
             "census over {} synthetic functions ({} instructions)",
-            functions, image.instructions
+            functions, report.instructions
         ),
         &["metric", "value"],
     );
@@ -26,15 +26,14 @@ fn main() {
     println!("{t}");
 
     let ratio = report.instruction_count() as f64 / report.data_count().max(1) as f64;
-    let clean_total = {
-        let clean = synthesize(&ImageSpec { pa_percent: 0, ..spec });
-        scan_image(&clean.bytes, &ScanConfig::default()).total()
-    };
+    let clean_total =
+        parallel_census(&ImageSpec { pa_percent: 0, ..spec }, &ScanConfig::default(), jobs).total();
 
     let mut art = Artifact::new("sec43", "Section 4.3 - PACMAN-gadget census");
     art.table("census", &t);
     art.num("functions", functions as u64)
-        .num("instructions", image.instructions as u64)
+        .num("jobs", jobs as u64)
+        .num("instructions", report.instructions as u64)
         .num("conditional_branches", report.conditional_branches as u64)
         .num("total_gadgets", report.total() as u64)
         .num("data_gadgets", report.data_count() as u64)

@@ -1,37 +1,22 @@
 //! §8.2: brute-force accuracy under noise — TP / FP / FN over many runs.
 
-use pacman_bench::{banner, check, compare, noisy_system, scale, Artifact};
-use pacman_core::brute::{BruteForcer, BruteVerdict};
-use pacman_core::oracle::DataPacOracle;
+use pacman_bench::{banner, check, compare, jobs, noisy_config, scale, Artifact};
+use pacman_core::parallel::{parallel_accuracy, Channel};
 
 fn main() {
     banner("B82a", "Section 8.2 - brute-force accuracy (5 samples/guess, median rule, noise on)");
     let runs = scale("RUNS", 50);
-    let mut sys = noisy_system();
-    let set = sys.pick_quiet_dtlb_set();
-    let target = sys.alloc_target(set);
-    let true_pac = sys.true_pac(target);
+    let jobs = jobs();
 
-    let oracle = DataPacOracle::new(&mut sys).expect("oracle").with_samples(5);
-    let mut bf = BruteForcer::new(oracle);
-
-    let mut tp = 0;
-    let mut fp = 0;
-    let mut fneg = 0;
-    for run in 0..runs {
-        // Each run sweeps a small window containing the true PAC (the
-        // full-space sweep visits it eventually; the window keeps the
-        // bench minutes-long with identical per-guess behaviour).
-        let start = true_pac.wrapping_sub(3).wrapping_add((run % 3) as u16);
-        let outcome =
-            bf.brute(&mut sys, target, (0..8u16).map(|i| start.wrapping_add(i))).expect("run");
-        assert_eq!(outcome.crashes, 0, "run {run} crashed the kernel");
-        match BruteForcer::<DataPacOracle>::classify(&outcome, true_pac) {
-            BruteVerdict::TruePositive => tp += 1,
-            BruteVerdict::FalsePositive => fp += 1,
-            BruteVerdict::FalseNegative => fneg += 1,
-        }
-    }
+    // Each run sweeps a small window containing the true PAC (the
+    // full-space sweep visits it eventually; the window keeps the bench
+    // minutes-long with identical per-guess behaviour).
+    let out = parallel_accuracy(&noisy_config(), Channel::Data, 5, runs, jobs, |run, tp| {
+        let start = tp.wrapping_sub(3).wrapping_add((run % 3) as u16);
+        (0..8u16).map(|i| start.wrapping_add(i)).collect()
+    })
+    .expect("accuracy runs");
+    let (tp, fp, fneg) = (out.true_positives, out.false_positives, out.false_negatives);
 
     println!("  runs:            {runs}");
     println!("  true positives:  {tp}");
@@ -40,11 +25,12 @@ fn main() {
     println!();
     let mut art = Artifact::new("sec82_accuracy", "Section 8.2 - brute-force accuracy");
     art.num("runs", runs as u64)
-        .num("true_positives", tp as u64)
-        .num("false_positives", fp as u64)
-        .num("false_negatives", fneg as u64)
+        .num("jobs", jobs as u64)
+        .num("true_positives", tp)
+        .num("false_positives", fp)
+        .num("false_negatives", fneg)
         .float("tp_rate_pct", 100.0 * tp as f64 / runs as f64)
-        .num("crashes", sys.kernel.crash_count());
+        .num("crashes", out.crashes);
     art.write();
 
     compare(
@@ -56,6 +42,6 @@ fn main() {
     compare("false negatives", "10% (tolerable, retry)", &format!("{fneg}"));
 
     check("no false positives", fp == 0);
-    check("true-positive rate >= 90%", tp * 10 >= runs * 9);
-    check("zero kernel crashes", sys.kernel.crash_count() == 0);
+    check("true-positive rate >= 90%", tp * 10 >= runs as u64 * 9);
+    check("zero kernel crashes", out.crashes == 0);
 }

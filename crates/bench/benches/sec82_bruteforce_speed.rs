@@ -1,25 +1,29 @@
 //! §8.2: brute-force speed — time per PAC guess and full-space estimate.
 
-use pacman_bench::{banner, check, compare, quiet_system, scale, Artifact};
-use pacman_core::brute::BruteForcer;
-use pacman_core::oracle::DataPacOracle;
+use pacman_bench::{banner, check, compare, jobs, quiet_config, scale, Artifact};
+use pacman_core::parallel::{parallel_brute, Channel};
+use pacman_core::System;
 
 fn main() {
     banner("B82s", "Section 8.2 - brute-force speed (64 training iterations/guess)");
     let guesses = scale("GUESSES", 64) as u16;
-    let mut sys = quiet_system();
-    let set = sys.pick_quiet_dtlb_set();
-    let target = sys.alloc_target(set);
-    let true_pac = sys.true_pac(target);
+    let jobs = jobs();
+    let cfg = quiet_config();
 
     // Sweep a window that deliberately excludes the true PAC so every
-    // guess pays the full test cost.
-    let oracle = DataPacOracle::new(&mut sys).expect("oracle");
-    let mut bf = BruteForcer::new(oracle);
+    // guess pays the full test cost. The target and its true PAC are a
+    // function of the kernel seed, so a probe boot sees the same values
+    // as every worker shard.
+    let mut probe = System::boot(cfg.clone());
+    let set = probe.pick_quiet_dtlb_set();
+    let target = probe.alloc_target(set);
+    let true_pac = probe.true_pac(target);
     let window: Vec<u16> = (0..guesses).map(|i| true_pac ^ (0x4000 + i)).collect();
-    let outcome = bf.brute(&mut sys, target, window).expect("sweep");
 
-    let clock = sys.machine.config().clock_hz;
+    let out = parallel_brute(&cfg, Channel::Data, 1, &window, jobs, false).expect("sweep");
+    let outcome = out.outcome;
+
+    let clock = probe.machine.config().clock_hz;
     let ms = outcome.ms_per_guess(clock);
     let minutes = outcome.minutes_for_full_space(clock);
     println!("  guesses tested:            {}", outcome.guesses_tested);
@@ -31,6 +35,7 @@ fn main() {
 
     let mut art = Artifact::new("sec82_speed", "Section 8.2 - brute-force speed");
     art.num("guesses_tested", outcome.guesses_tested)
+        .num("jobs", jobs as u64)
         .num("syscalls", outcome.syscalls)
         .num("cycles", outcome.cycles)
         .num("crashes", outcome.crashes)

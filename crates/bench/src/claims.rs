@@ -160,7 +160,7 @@ impl Claim {
 }
 
 /// Every artefact id a full bench run produces (one per bench target).
-pub const ARTIFACT_IDS: [&str; 17] = [
+pub const ARTIFACT_IDS: [&str; 18] = [
     "fig5a",
     "fig5b",
     "fig5c",
@@ -178,6 +178,7 @@ pub const ARTIFACT_IDS: [&str; 17] = [
     "sec9",
     "ablations",
     "perf_micro",
+    "perf_parallel",
 ];
 
 use Expectation::{AtLeast, AtMost, Bool, F64Range, Present, Str, U64Range, U64};
@@ -388,6 +389,14 @@ pub fn all() -> Vec<Claim> {
         c("perf_micro", "oracle_guess_ns", "end-to-end oracle latency", AtLeast(0.1)),
         c("perf_micro", "oracle_guess_telemetry_off_ns", "telemetry-off hot path", AtLeast(0.1)),
         c("perf_micro", "oracle_guess_telemetry_on_ns", "telemetry-on hot path", AtLeast(0.1)),
+        // ---- perf_parallel (sharded runner + flat set storage) ---------
+        c("perf_parallel", "jobs", "resolved worker count", AtLeast(1.0)),
+        c("perf_parallel", "cores", "available parallelism", AtLeast(1.0)),
+        c("perf_parallel", "trials_per_sec_serial", "serial trial throughput", AtLeast(0.1)),
+        c("perf_parallel", "trials_per_sec_parallel", "sharded trial throughput", AtLeast(0.1)),
+        c("perf_parallel", "speedup", "sharding is never a slowdown", AtLeast(1.0)),
+        c("perf_parallel", "tlb_access_ns", "flat-storage TLB hot path", AtLeast(0.1)),
+        c("perf_parallel", "cache_access_ns", "flat-storage cache hot path", AtLeast(0.1)),
     ]
 }
 

@@ -19,17 +19,36 @@ use pacman_telemetry::json::Value;
 
 pub mod claims;
 
+/// The standard experiment configuration (OS noise enabled, the attack's
+/// default timing source).
+pub fn noisy_config() -> SystemConfig {
+    SystemConfig::default()
+}
+
+/// A noise-free configuration for experiments that need clean statistics.
+pub fn quiet_config() -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    cfg
+}
+
 /// Boots the standard experiment system (OS noise enabled, the attack's
 /// default timing source).
 pub fn noisy_system() -> System {
-    System::boot(SystemConfig::default())
+    System::boot(noisy_config())
 }
 
 /// Boots a noise-free system for experiments that need clean statistics.
 pub fn quiet_system() -> System {
-    let mut cfg = SystemConfig::default();
-    cfg.machine.os_noise = 0.0;
-    System::boot(cfg)
+    System::boot(quiet_config())
+}
+
+/// The worker count for parallelised experiments (`PACMAN_JOBS`, default:
+/// available parallelism), echoed so runs are self-describing.
+pub fn jobs() -> usize {
+    let jobs = pacman_runner::default_jobs();
+    println!("  jobs: {jobs} (override with PACMAN_JOBS)");
+    jobs
 }
 
 /// Prints the experiment banner.

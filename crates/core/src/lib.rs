@@ -18,6 +18,8 @@
 //! - [`sweep`] — the §7 reverse-engineering sweeps (Figure 5) and the
 //!   Figure 6 parameter derivation;
 //! - [`jump2win`] — the §8.3 control-flow hijack;
+//! - [`parallel`] — sharded, deterministic parallel drivers for the
+//!   above experiments (the `pacman-runner` execution layer);
 //! - [`report`] — table/series rendering for the bench harness;
 //! - [`telemetry`] — per-trial oracle records and the `oracle.*` /
 //!   `brute.*` metrics series (JSONL export via `pacman-cli --json`).
@@ -48,6 +50,7 @@ pub mod cache_probe;
 pub mod evict;
 pub mod jump2win;
 pub mod oracle;
+pub mod parallel;
 pub mod probe;
 pub mod report;
 pub mod sweep;

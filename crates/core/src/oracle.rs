@@ -150,6 +150,32 @@ pub trait PacOracle {
     }
 }
 
+/// Boxed oracles forward everything to the inner oracle, including
+/// `test_pac` (the cache channel overrides it with its own threshold),
+/// so channel-generic drivers can hold a `Box<dyn PacOracle>`.
+impl<O: PacOracle + ?Sized> PacOracle for Box<O> {
+    fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {
+        (**self).trial(sys, target, pac)
+    }
+
+    fn samples(&self) -> usize {
+        (**self).samples()
+    }
+
+    fn channel(&self) -> &'static str {
+        (**self).channel()
+    }
+
+    fn test_pac(
+        &mut self,
+        sys: &mut System,
+        target: u64,
+        pac: u16,
+    ) -> Result<OracleVerdict, OracleError> {
+        (**self).test_pac(sys, target, pac)
+    }
+}
+
 fn check_quiet(sys: &System, target: u64) -> Result<(), OracleError> {
     let set = pacman_isa::ptr::VirtualAddress::new(target).vpn() % 256;
     if sys.hot_dtlb_sets().contains(&set) {
@@ -172,8 +198,11 @@ struct ProbeCache {
 }
 
 impl ProbeCache {
-    fn get(&mut self, sys: &mut System, target: u64) -> PrimeProbe {
-        self.by_target.entry(target).or_insert_with(|| PrimeProbe::for_target(sys, target)).clone()
+    /// The Prime+Probe state for `target`, built on first use. Returns a
+    /// borrow (not a clone): the eviction-set vectors are invariant
+    /// across guesses, so trials must not re-materialise them.
+    fn get<'a>(&'a mut self, sys: &mut System, target: u64) -> &'a PrimeProbe {
+        self.by_target.entry(target).or_insert_with(|| PrimeProbe::for_target(sys, target))
     }
 }
 
@@ -213,10 +242,11 @@ impl PacOracle for DataPacOracle {
 
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {
         check_quiet(sys, target)?;
+        let train_iters = self.train_iters;
         let pp = self.probes.get(sys, target);
         let sc = sys.gadget.data_gadget;
         // (1) train
-        for _ in 0..self.train_iters {
+        for _ in 0..train_iters {
             sys.kernel.syscall(&mut sys.machine, sc, &[0, 0, 1])?;
         }
         // (2) reset, (3) prime
@@ -260,13 +290,18 @@ impl InstrPacOracle {
         self
     }
 
-    fn pads_for(&mut self, sys: &mut System, target: u64) -> JumpPads {
-        self.pads
-            .entry(target)
-            .or_insert_with(|| {
-                JumpPads::install_for_target(&mut sys.kernel, &mut sys.machine, target, 4)
-            })
-            .clone()
+    /// The jump pads for `target`, installed on first use. Borrowed, not
+    /// cloned, for the same reason as [`ProbeCache::get`]; an associated
+    /// function over the map field so the caller can hold this borrow
+    /// and the probe-cache borrow simultaneously.
+    fn pads_for<'a>(
+        pads: &'a mut HashMap<u64, JumpPads>,
+        sys: &mut System,
+        target: u64,
+    ) -> &'a JumpPads {
+        pads.entry(target).or_insert_with(|| {
+            JumpPads::install_for_target(&mut sys.kernel, &mut sys.machine, target, 4)
+        })
     }
 }
 
@@ -281,10 +316,11 @@ impl PacOracle for InstrPacOracle {
 
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {
         check_quiet(sys, target)?;
+        let train_iters = self.train_iters;
         let pp = self.probes.get(sys, target);
-        let pads = self.pads_for(sys, target);
+        let pads = Self::pads_for(&mut self.pads, sys, target);
         let sc = sys.gadget.instr_gadget;
-        for _ in 0..self.train_iters {
+        for _ in 0..train_iters {
             sys.kernel.syscall(&mut sys.machine, sc, &[0, 0, 1])?;
         }
         pp.reset(sys)?;

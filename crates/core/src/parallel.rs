@@ -1,0 +1,646 @@
+//! Parallel experiment drivers over the `pacman-runner` execution layer.
+//!
+//! Every driver here follows the same recipe:
+//!
+//! 1. cut the trial space into [`pacman_runner::DEFAULT_SHARDS`]
+//!    contiguous shards (a pure function of the workload and the base
+//!    seed — never of the worker count);
+//! 2. boot one fresh [`System`] per shard whose *machine* seed is the
+//!    shard seed (`base ^ shard_index`) while the *kernel* seed is
+//!    untouched, so PAC keys, target addresses and ground truth are
+//!    identical on every shard and only the noise/jitter streams differ;
+//! 3. run the shard's trials independently;
+//! 4. merge the per-shard outputs **in shard order** with
+//!    order-insensitive operations: counters add, histograms fold
+//!    bucket-wise ([`Registry::merge`]), trial logs concatenate and
+//!    reindex.
+//!
+//! Consequence: for a fixed base seed the merged aggregate is identical
+//! for `jobs = 1` and `jobs = N` — the determinism contract the
+//! `parallel_determinism` integration tests pin.
+
+use pacman_runner::{run_shards, shard_plan, Shard, DEFAULT_SHARDS};
+use pacman_telemetry::Registry;
+use pacman_uarch::Trap;
+
+use crate::brute::{BruteForcer, BruteOutcome, BruteVerdict};
+use crate::cache_probe::{quiet_target_offset, CacheDataPacOracle};
+use crate::jump2win::{Jump2Win, Jump2WinError, Jump2WinReport};
+use crate::oracle::{DataPacOracle, InstrPacOracle, OracleError, PacOracle};
+use crate::sweep::{
+    cache_tlb_series, data_tlb_series, experiment_machine, itlb_series, SweepSeries,
+};
+use crate::system::{System, SystemConfig};
+use crate::telemetry::{recorded_test_pac, TrialLog, TrialRecord};
+
+/// Transmission channel selector for the parallel oracle drivers.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum Channel {
+    /// dTLB channel, data PACMAN gadget (Figure 8(a)).
+    Data,
+    /// iTLB channel, instruction PACMAN gadget (Figure 8(b)).
+    Instr,
+    /// L1 data-cache channel (§4.1 generality).
+    Cache,
+}
+
+impl Channel {
+    /// Builds the channel's oracle with the given per-test sample count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures from the oracle.
+    pub fn oracle(
+        self,
+        sys: &mut System,
+        samples: usize,
+    ) -> Result<Box<dyn PacOracle>, OracleError> {
+        Ok(match self {
+            Channel::Data => Box::new(DataPacOracle::new(sys)?.with_samples(samples)),
+            Channel::Instr => Box::new(InstrPacOracle::new(sys)?.with_samples(samples)),
+            Channel::Cache => Box::new(CacheDataPacOracle::new(sys)?.with_samples(samples)),
+        })
+    }
+
+    /// The target-page offset this channel monitors (the cache channel
+    /// needs a quiet L1D set inside the page).
+    fn target_offset(self) -> u64 {
+        match self {
+            Channel::Cache => quiet_target_offset(),
+            _ => 0,
+        }
+    }
+}
+
+/// Boots one shard's [`System`]: the machine seed becomes the shard seed
+/// (decorrelating noise streams), the kernel seed stays the caller's (so
+/// keys, layout and ground truth match across shards).
+pub fn shard_system(base: &SystemConfig, shard_seed: u64, record: bool) -> System {
+    let mut cfg = base.clone();
+    cfg.machine.seed = shard_seed;
+    let mut sys = System::boot(cfg);
+    if record {
+        sys.telemetry.set_enabled(true);
+    }
+    sys
+}
+
+/// Captures a shard's full registry (attack-level series + the machine's
+/// microarchitectural totals) for merging into the aggregate.
+fn shard_registry(sys: &System) -> Registry {
+    let mut reg = sys.telemetry.clone();
+    reg.set_enabled(true);
+    sys.machine.export_telemetry(&mut reg);
+    reg
+}
+
+/// Lifts per-shard fallible results into one result, reporting the
+/// error from the lowest-indexed failing shard (deterministic).
+fn collect_shards<T>(results: Vec<Result<T, OracleError>>) -> Result<Vec<T>, OracleError> {
+    results.into_iter().collect()
+}
+
+/// Concatenates shard trial logs in shard order and reindexes them into
+/// one global sequence.
+fn merge_logs(logs: impl IntoIterator<Item = Vec<TrialRecord>>) -> Vec<TrialRecord> {
+    let mut out: Vec<TrialRecord> = logs.into_iter().flatten().collect();
+    for (i, r) in out.iter_mut().enumerate() {
+        r.index = i as u64;
+    }
+    out
+}
+
+/// Number of miss-count buckets in the Figure 8 distributions (0..=12,
+/// last bucket saturating).
+pub const MISS_BUCKETS: usize = 13;
+
+/// Merged result of a parallel oracle-distribution run.
+#[derive(Clone, Debug)]
+pub struct OracleDistribution {
+    /// Trial pairs executed (one correct + one wrong guess each).
+    pub trials: u64,
+    /// Correct-guess tests the oracle classified as correct.
+    pub correct_detected: u64,
+    /// Wrong-guess tests the oracle classified as incorrect.
+    pub incorrect_clean: u64,
+    /// Miss-count histogram of the correct-guess tests
+    /// ([`MISS_BUCKETS`] buckets, last saturating).
+    pub correct_misses: Vec<u64>,
+    /// Miss-count histogram of the wrong-guess tests.
+    pub incorrect_misses: Vec<u64>,
+    /// Kernel crashes across all shards (must be zero).
+    pub crashes: u64,
+    /// Concatenated, reindexed per-trial records (empty unless recording).
+    pub records: Vec<TrialRecord>,
+    /// Merged attack + machine telemetry of every shard.
+    pub telemetry: Registry,
+    /// The (shard-invariant) target address and its true PAC.
+    pub target: u64,
+    /// Ground-truth PAC of [`OracleDistribution::target`].
+    pub true_pac: u16,
+}
+
+struct OracleShardOut {
+    correct_detected: u64,
+    incorrect_clean: u64,
+    correct_misses: [u64; MISS_BUCKETS],
+    incorrect_misses: [u64; MISS_BUCKETS],
+    crashes: u64,
+    records: Vec<TrialRecord>,
+    telemetry: Registry,
+    target: u64,
+    true_pac: u16,
+}
+
+/// Runs `trials` correct/wrong oracle test pairs sharded across `jobs`
+/// workers (Figure 8 and the CLI `oracle` command).
+///
+/// `wrong_for(i, true_pac)` derives the wrong guess for global trial
+/// index `i`, so the guess sequence is independent of sharding. With
+/// `record` set, per-trial records and `oracle.*` telemetry are kept.
+///
+/// # Errors
+///
+/// Propagates the first [`OracleError`] in shard order.
+pub fn oracle_distribution<F>(
+    base: &SystemConfig,
+    channel: Channel,
+    samples: usize,
+    trials: usize,
+    jobs: usize,
+    record: bool,
+    wrong_for: F,
+) -> Result<OracleDistribution, OracleError>
+where
+    F: Fn(usize, u16) -> u16 + Sync,
+{
+    let plan = shard_plan(trials, DEFAULT_SHARDS, base.machine.seed);
+    let shard_outs =
+        run_shards(&plan, jobs, |shard: &Shard| -> Result<OracleShardOut, OracleError> {
+            let mut sys = shard_system(base, shard.seed, record);
+            let set = sys.pick_quiet_dtlb_set();
+            let target = sys.alloc_target(set) + channel.target_offset();
+            let true_pac = sys.true_pac(target);
+            let mut oracle = channel.oracle(&mut sys, samples)?;
+            let mut log = if record { TrialLog::new() } else { TrialLog::disabled() };
+            let mut out = OracleShardOut {
+                correct_detected: 0,
+                incorrect_clean: 0,
+                correct_misses: [0; MISS_BUCKETS],
+                incorrect_misses: [0; MISS_BUCKETS],
+                crashes: 0,
+                records: Vec::new(),
+                telemetry: Registry::disabled(),
+                target,
+                true_pac,
+            };
+            for i in shard.range() {
+                let v = recorded_test_pac(
+                    oracle.as_mut(),
+                    &mut sys,
+                    &mut log,
+                    target,
+                    true_pac,
+                    Some(true_pac),
+                )?;
+                if v.is_correct() {
+                    out.correct_detected += 1;
+                }
+                out.correct_misses[v.median_misses.min(MISS_BUCKETS - 1)] += 1;
+                let wrong = wrong_for(i, true_pac);
+                let v = recorded_test_pac(
+                    oracle.as_mut(),
+                    &mut sys,
+                    &mut log,
+                    target,
+                    wrong,
+                    Some(true_pac),
+                )?;
+                if !v.is_correct() {
+                    out.incorrect_clean += 1;
+                }
+                out.incorrect_misses[v.median_misses.min(MISS_BUCKETS - 1)] += 1;
+            }
+            out.crashes = sys.kernel.crash_count();
+            out.records = log.take();
+            if record {
+                out.telemetry = shard_registry(&sys);
+            }
+            Ok(out)
+        });
+    let shard_outs = collect_shards(shard_outs)?;
+
+    let mut merged = OracleDistribution {
+        trials: trials as u64,
+        correct_detected: 0,
+        incorrect_clean: 0,
+        correct_misses: vec![0; MISS_BUCKETS],
+        incorrect_misses: vec![0; MISS_BUCKETS],
+        crashes: 0,
+        records: Vec::new(),
+        telemetry: if record { Registry::new() } else { Registry::disabled() },
+        target: 0,
+        true_pac: 0,
+    };
+    let mut logs = Vec::with_capacity(shard_outs.len());
+    for (si, s) in shard_outs.into_iter().enumerate() {
+        if si == 0 {
+            merged.target = s.target;
+            merged.true_pac = s.true_pac;
+        }
+        merged.correct_detected += s.correct_detected;
+        merged.incorrect_clean += s.incorrect_clean;
+        for b in 0..MISS_BUCKETS {
+            merged.correct_misses[b] += s.correct_misses[b];
+            merged.incorrect_misses[b] += s.incorrect_misses[b];
+        }
+        merged.crashes += s.crashes;
+        merged.telemetry.merge(&s.telemetry);
+        logs.push(s.records);
+    }
+    merged.records = merge_logs(logs);
+    Ok(merged)
+}
+
+/// Merged result of a parallel brute-force sweep.
+#[derive(Clone, Debug)]
+pub struct ParallelBrute {
+    /// Aggregate outcome: costs summed over every shard; `found` is the
+    /// hit from the lowest candidate range (shards never early-exit each
+    /// other, so the aggregate is jobs-independent).
+    pub outcome: BruteOutcome,
+    /// The (shard-invariant) target address.
+    pub target: u64,
+    /// Ground-truth PAC of the target.
+    pub true_pac: u16,
+    /// Merged attack + machine telemetry of every shard.
+    pub telemetry: Registry,
+}
+
+/// Shards `candidates` contiguously and sweeps every shard to completion
+/// (§8.2 speed protocol and the CLI `brute` command).
+///
+/// Unlike the serial [`BruteForcer::brute`], a hit in one shard does not
+/// stop the others — total work is therefore a pure function of the
+/// candidate list, which is what makes the jobs=1 and jobs=N aggregates
+/// identical (and what a real parallel attacker pays anyway, since
+/// cross-worker cancellation is racy).
+///
+/// # Errors
+///
+/// Propagates the first [`OracleError`] in shard order.
+pub fn parallel_brute(
+    base: &SystemConfig,
+    channel: Channel,
+    samples: usize,
+    candidates: &[u16],
+    jobs: usize,
+    record: bool,
+) -> Result<ParallelBrute, OracleError> {
+    struct ShardOut {
+        outcome: BruteOutcome,
+        target: u64,
+        true_pac: u16,
+        telemetry: Registry,
+    }
+    let plan = shard_plan(candidates.len(), DEFAULT_SHARDS, base.machine.seed);
+    let shard_outs = run_shards(&plan, jobs, |shard: &Shard| -> Result<ShardOut, OracleError> {
+        let mut sys = shard_system(base, shard.seed, record);
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set) + channel.target_offset();
+        let true_pac = sys.true_pac(target);
+        let oracle = channel.oracle(&mut sys, samples)?;
+        let mut bf = BruteForcer::new(oracle);
+        let outcome = bf.brute(&mut sys, target, candidates[shard.range()].iter().copied())?;
+        let telemetry = if record { shard_registry(&sys) } else { Registry::disabled() };
+        Ok(ShardOut { outcome, target, true_pac, telemetry })
+    });
+    let shard_outs = collect_shards(shard_outs)?;
+
+    let mut merged = ParallelBrute {
+        outcome: BruteOutcome {
+            found: None,
+            guesses_tested: 0,
+            syscalls: 0,
+            cycles: 0,
+            crashes: 0,
+        },
+        target: 0,
+        true_pac: 0,
+        telemetry: if record { Registry::new() } else { Registry::disabled() },
+    };
+    for (si, s) in shard_outs.into_iter().enumerate() {
+        if si == 0 {
+            merged.target = s.target;
+            merged.true_pac = s.true_pac;
+        }
+        if merged.outcome.found.is_none() {
+            merged.outcome.found = s.outcome.found;
+        }
+        merged.outcome.guesses_tested += s.outcome.guesses_tested;
+        merged.outcome.syscalls += s.outcome.syscalls;
+        merged.outcome.cycles += s.outcome.cycles;
+        merged.outcome.crashes += s.outcome.crashes;
+        merged.telemetry.merge(&s.telemetry);
+    }
+    Ok(merged)
+}
+
+/// Merged result of a parallel accuracy evaluation (§8.2).
+#[derive(Clone, Debug)]
+pub struct AccuracyOutcome {
+    /// Brute-force runs executed.
+    pub runs: u64,
+    /// Runs that found the true PAC.
+    pub true_positives: u64,
+    /// Runs that reported a wrong PAC (intolerable).
+    pub false_positives: u64,
+    /// Runs that found nothing (tolerable, retry).
+    pub false_negatives: u64,
+    /// Kernel crashes across all shards.
+    pub crashes: u64,
+    /// Merged attack + machine telemetry of every shard.
+    pub telemetry: Registry,
+}
+
+/// Runs `runs` independent brute-force windows sharded across `jobs`
+/// workers and tallies TP/FP/FN (the §8.2 accuracy protocol).
+///
+/// `window_for(run, true_pac)` builds run `run`'s candidate window, so
+/// the windows are independent of sharding.
+///
+/// # Errors
+///
+/// Propagates the first [`OracleError`] in shard order.
+pub fn parallel_accuracy<F>(
+    base: &SystemConfig,
+    channel: Channel,
+    samples: usize,
+    runs: usize,
+    jobs: usize,
+    window_for: F,
+) -> Result<AccuracyOutcome, OracleError>
+where
+    F: Fn(usize, u16) -> Vec<u16> + Sync,
+{
+    struct ShardOut {
+        tp: u64,
+        fp: u64,
+        fneg: u64,
+        crashes: u64,
+        telemetry: Registry,
+    }
+    let plan = shard_plan(runs, DEFAULT_SHARDS, base.machine.seed);
+    let shard_outs = run_shards(&plan, jobs, |shard: &Shard| -> Result<ShardOut, OracleError> {
+        let mut sys = shard_system(base, shard.seed, true);
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set) + channel.target_offset();
+        let true_pac = sys.true_pac(target);
+        let oracle = channel.oracle(&mut sys, samples)?;
+        let mut bf = BruteForcer::new(oracle);
+        let (mut tp, mut fp, mut fneg) = (0u64, 0u64, 0u64);
+        for run in shard.range() {
+            let window = window_for(run, true_pac);
+            let outcome = bf.brute(&mut sys, target, window)?;
+            match BruteForcer::<Box<dyn PacOracle>>::classify(&outcome, true_pac) {
+                BruteVerdict::TruePositive => tp += 1,
+                BruteVerdict::FalsePositive => fp += 1,
+                BruteVerdict::FalseNegative => fneg += 1,
+            }
+        }
+        let crashes = sys.kernel.crash_count();
+        let telemetry = shard_registry(&sys);
+        Ok(ShardOut { tp, fp, fneg, crashes, telemetry })
+    });
+    let shard_outs = collect_shards(shard_outs)?;
+
+    let mut merged = AccuracyOutcome {
+        runs: runs as u64,
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+        crashes: 0,
+        telemetry: Registry::new(),
+    };
+    for s in shard_outs {
+        merged.true_positives += s.tp;
+        merged.false_positives += s.fp;
+        merged.false_negatives += s.fneg;
+        merged.crashes += s.crashes;
+        merged.telemetry.merge(&s.telemetry);
+    }
+    Ok(merged)
+}
+
+/// Which §7 sweep to run in parallel.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum SweepKind {
+    /// Figure 5(a): data loads, cache-conflict-avoiding stride formula.
+    DataTlb,
+    /// Figure 5(b): data loads, raw strides (cache/TLB interaction).
+    CacheTlb,
+    /// Figure 5(c): instruction fetches, reload measured as data.
+    Itlb,
+}
+
+/// Runs one §7 sweep with one fresh experiment machine **per stride**,
+/// sharded across `jobs` workers. Series come back in stride order with
+/// the same per-stride VA layout as the serial sweeps (the stride index
+/// is passed through), and the experiment machines are noise-free with
+/// PMC0 timing, so the medians are exactly reproducible at any job
+/// count. Also returns the merged machine telemetry.
+///
+/// # Errors
+///
+/// Propagates the first [`Trap`] in stride order.
+pub fn parallel_sweep(
+    kind: SweepKind,
+    strides: &[u64],
+    jobs: usize,
+) -> Result<(Vec<SweepSeries>, Registry), Trap> {
+    // One work unit per stride: stride counts are tiny (3-4), and each
+    // stride is the natural isolation boundary (disjoint VA region).
+    let plan = shard_plan(strides.len(), strides.len(), 0);
+    let outs = run_shards(&plan, jobs, |shard: &Shard| -> Result<(SweepSeries, Registry), Trap> {
+        let mut m = experiment_machine();
+        let si = shard.index;
+        let series = match kind {
+            SweepKind::DataTlb => data_tlb_series(&mut m, si, strides[si])?,
+            SweepKind::CacheTlb => cache_tlb_series(&mut m, si, strides[si])?,
+            SweepKind::Itlb => itlb_series(&mut m, si, strides[si])?,
+        };
+        let mut reg = Registry::new();
+        m.export_telemetry(&mut reg);
+        Ok((series, reg))
+    });
+    let mut series = Vec::with_capacity(strides.len());
+    let mut telemetry = Registry::new();
+    for out in outs {
+        let (s, reg) = out?;
+        series.push(s);
+        telemetry.merge(&reg);
+    }
+    Ok((series, telemetry))
+}
+
+/// Runs the §8.3 Jump2Win attack with its two independent brute-force
+/// phases (IA-key `win()` PAC, DA-key vtable PAC) executing in parallel
+/// on separate shard systems, then plants and dispatches on a fresh
+/// system. Costs are summed over the phases plus the final dispatch.
+///
+/// # Errors
+///
+/// See [`Jump2WinError`]; phase errors surface in phase order.
+pub fn parallel_jump2win(
+    base: &SystemConfig,
+    driver: &Jump2Win,
+    jobs: usize,
+    record: bool,
+) -> Result<(Jump2WinReport, Registry), Jump2WinError> {
+    use pacman_isa::PacKey;
+
+    struct PhaseOut {
+        pac: u16,
+        guesses: u64,
+        syscalls: u64,
+        cycles: u64,
+        crashes: u64,
+        telemetry: Registry,
+    }
+    // Two work units: the two brute-force phases.
+    let plan = shard_plan(2, 2, base.machine.seed);
+    let outs = run_shards(&plan, jobs, |shard: &Shard| -> Result<PhaseOut, Jump2WinError> {
+        let mut sys = shard_system(base, shard.seed, record);
+        let phase = shard.index;
+        let (sc, target, key) = if phase == 0 {
+            (sys.cpp.gadget_ia, sys.cpp.win_fn, PacKey::Ia)
+        } else {
+            (sys.cpp.gadget_da, sys.cpp.obj1, PacKey::Da)
+        };
+        let syscalls0 = sys.machine.stats.syscalls;
+        let cycles0 = sys.machine.cycles;
+        let crashes0 = sys.kernel.crash_count();
+        let mut guesses = 0u64;
+        let pac = driver.brute_phase(&mut sys, sc, target, key, phase, &mut guesses)?;
+        Ok(PhaseOut {
+            pac,
+            guesses,
+            syscalls: sys.machine.stats.syscalls - syscalls0,
+            cycles: sys.machine.cycles - cycles0,
+            crashes: sys.kernel.crash_count() - crashes0,
+            telemetry: if record { shard_registry(&sys) } else { Registry::disabled() },
+        })
+    });
+    let mut outs = outs.into_iter();
+    let ia = outs.next().expect("two phase shards")?;
+    let da = outs.next().expect("two phase shards")?;
+
+    // Phases 3-4 on a fresh system with the caller's exact config (the
+    // planted pointers only depend on the kernel seed, shared by all).
+    let mut sys = shard_system(base, base.machine.seed, record);
+    let syscalls0 = sys.machine.stats.syscalls;
+    let cycles0 = sys.machine.cycles;
+    let crashes0 = sys.kernel.crash_count();
+    let hijacked = Jump2Win::plant_and_dispatch(&mut sys, ia.pac, da.pac)?;
+
+    let mut telemetry = if record { Registry::new() } else { Registry::disabled() };
+    telemetry.merge(&ia.telemetry);
+    telemetry.merge(&da.telemetry);
+    if record {
+        telemetry.merge(&shard_registry(&sys));
+    }
+    let report = Jump2WinReport {
+        pac_win: ia.pac,
+        pac_vtable: da.pac,
+        guesses_tested: ia.guesses + da.guesses,
+        syscalls: ia.syscalls + da.syscalls + (sys.machine.stats.syscalls - syscalls0),
+        cycles: ia.cycles + da.cycles + (sys.machine.cycles - cycles0),
+        crashes: ia.crashes + da.crashes + (sys.kernel.crash_count() - crashes0),
+        hijacked,
+    };
+    Ok((report, telemetry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CORRECT_MISS_THRESHOLD;
+
+    fn quiet_config() -> SystemConfig {
+        let mut cfg = SystemConfig::default();
+        cfg.machine.os_noise = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn oracle_distribution_classifies_both_classes() {
+        let out = oracle_distribution(&quiet_config(), Channel::Data, 1, 12, 2, false, |i, tp| {
+            tp ^ (1 + i as u16)
+        })
+        .expect("distribution");
+        assert_eq!(out.trials, 12);
+        assert_eq!(out.correct_detected, 12);
+        assert_eq!(out.incorrect_clean, 12);
+        assert_eq!(out.crashes, 0);
+        let good: u64 = out.correct_misses[CORRECT_MISS_THRESHOLD..].iter().sum();
+        assert_eq!(good, 12);
+        assert!(out.records.is_empty(), "not recording");
+    }
+
+    #[test]
+    fn oracle_distribution_records_and_reindexes() {
+        let out = oracle_distribution(&quiet_config(), Channel::Data, 1, 6, 3, true, |i, tp| {
+            tp ^ (1 + i as u16)
+        })
+        .expect("distribution");
+        assert_eq!(out.records.len(), 12, "two records per trial pair");
+        for (i, r) in out.records.iter().enumerate() {
+            assert_eq!(r.index, i as u64, "records are reindexed in shard order");
+        }
+        assert_eq!(out.telemetry.counter_value("oracle.trials"), 12);
+    }
+
+    #[test]
+    fn parallel_brute_finds_the_pac_and_sums_costs() {
+        let cfg = quiet_config();
+        // Probe the true PAC's window; every shard sweeps its own slice.
+        let mut probe = System::boot(cfg.clone());
+        let set = probe.pick_quiet_dtlb_set();
+        let target = probe.alloc_target(set);
+        let true_pac = probe.true_pac(target);
+        let candidates: Vec<u16> =
+            (0..24u16).map(|i| true_pac.wrapping_sub(11).wrapping_add(i)).collect();
+        let out =
+            parallel_brute(&cfg, Channel::Data, 1, &candidates, 2, false).expect("parallel brute");
+        assert_eq!(out.target, target);
+        assert_eq!(out.true_pac, true_pac);
+        assert_eq!(out.outcome.found, Some(true_pac));
+        assert_eq!(out.outcome.crashes, 0);
+        assert!(out.outcome.syscalls > 0 && out.outcome.cycles > 0);
+        // Shards past the hit still sweep: total >= the serial early-exit count.
+        assert!(out.outcome.guesses_tested >= 12);
+    }
+
+    #[test]
+    fn parallel_accuracy_tallies_runs() {
+        let out = parallel_accuracy(&quiet_config(), Channel::Data, 1, 6, 2, |run, tp| {
+            let start = tp.wrapping_sub(2).wrapping_add((run % 2) as u16);
+            (0..6u16).map(|i| start.wrapping_add(i)).collect()
+        })
+        .expect("accuracy");
+        assert_eq!(out.runs, 6);
+        assert_eq!(out.true_positives + out.false_positives + out.false_negatives, 6);
+        assert_eq!(out.false_positives, 0);
+        assert_eq!(out.crashes, 0);
+    }
+
+    #[test]
+    fn parallel_sweep_reproduces_the_serial_knees() {
+        let (series, reg) = parallel_sweep(SweepKind::DataTlb, &[256, 2048], 2).expect("sweep");
+        assert_eq!(series[0].knee_above(90), Some(12), "finding 1 survives parallelism");
+        assert_eq!(series[1].knee_above(110), Some(23), "finding 2 survives parallelism");
+        assert!(!reg.is_empty(), "machine telemetry merged");
+        let (instr, _) = parallel_sweep(SweepKind::Itlb, &[32], 2).expect("itlb sweep");
+        assert_eq!(instr[0].knee_below(90), Some(4), "finding 3 survives parallelism");
+    }
+}

@@ -106,28 +106,36 @@ fn map_sweep_addresses(m: &mut Machine, x: u64, addrs: &[u64]) {
 ///
 /// Propagates traps from the experiment's own loads (mapping bugs only).
 pub fn data_tlb_sweep(m: &mut Machine, stride_pages: &[u64]) -> Result<Vec<SweepSeries>, Trap> {
-    let mut out = Vec::new();
-    for (si, &sp) in stride_pages.iter().enumerate() {
-        let stride = sp * PAGE_SIZE;
-        let x = SWEEP_BASE + (si as u64) * 0x100_0000_0000;
-        let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride + i * 128).collect();
-        map_sweep_addresses(m, x, &addrs);
-        let mut points = Vec::new();
-        for n in 1..=MAX_N {
-            let mut samples = Vec::with_capacity(SAMPLES);
-            for _ in 0..SAMPLES {
-                flush_microarch(m);
-                m.user_load(x)?;
-                for &a in &addrs[..n] {
-                    m.user_load(a)?;
-                }
-                samples.push(m.timed_user_load(x)?);
+    stride_pages.iter().enumerate().map(|(si, &sp)| data_tlb_series(m, si, sp)).collect()
+}
+
+/// One stride's Figure 5(a) series. `si` is the stride's position in the
+/// experiment (it selects a disjoint VA region), passed explicitly so a
+/// parallel driver can reproduce the exact serial addresses with one
+/// fresh machine per stride.
+///
+/// # Errors
+///
+/// Propagates traps from the experiment's own loads (mapping bugs only).
+pub fn data_tlb_series(m: &mut Machine, si: usize, stride_pages: u64) -> Result<SweepSeries, Trap> {
+    let stride = stride_pages * PAGE_SIZE;
+    let x = SWEEP_BASE + (si as u64) * 0x100_0000_0000;
+    let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride + i * 128).collect();
+    map_sweep_addresses(m, x, &addrs);
+    let mut points = Vec::new();
+    for n in 1..=MAX_N {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            flush_microarch(m);
+            m.user_load(x)?;
+            for &a in &addrs[..n] {
+                m.user_load(a)?;
             }
-            points.push(SweepPoint { n, median: median(samples) });
+            samples.push(m.timed_user_load(x)?);
         }
-        out.push(SweepSeries { label: format!("{sp} x 16KB"), stride, points });
+        points.push(SweepPoint { n, median: median(samples) });
     }
-    Ok(out)
+    Ok(SweepSeries { label: format!("{stride_pages} x 16KB"), stride, points })
 }
 
 /// Figure 5(b): cache/TLB interaction sweep with the raw formula
@@ -137,32 +145,37 @@ pub fn data_tlb_sweep(m: &mut Machine, stride_pages: &[u64]) -> Result<Vec<Sweep
 ///
 /// Propagates traps from the experiment's own loads.
 pub fn cache_tlb_sweep(m: &mut Machine, strides: &[u64]) -> Result<Vec<SweepSeries>, Trap> {
-    let mut out = Vec::new();
-    for (si, &stride) in strides.iter().enumerate() {
-        let x = SWEEP_BASE + 0x2000_0000_0000 + (si as u64) * 0x100_0000_0000;
-        let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride).collect();
-        map_sweep_addresses(m, x, &addrs);
-        let mut points = Vec::new();
-        for n in 1..=MAX_N {
-            let mut samples = Vec::with_capacity(SAMPLES);
-            for _ in 0..SAMPLES {
-                flush_microarch(m);
-                m.user_load(x)?;
-                for &a in &addrs[..n] {
-                    m.user_load(a)?;
-                }
-                samples.push(m.timed_user_load(x)?);
+    strides.iter().enumerate().map(|(si, &stride)| cache_tlb_series(m, si, stride)).collect()
+}
+
+/// One stride's Figure 5(b) series (`si` as in [`data_tlb_series`]).
+///
+/// # Errors
+///
+/// Propagates traps from the experiment's own loads.
+pub fn cache_tlb_series(m: &mut Machine, si: usize, stride: u64) -> Result<SweepSeries, Trap> {
+    let x = SWEEP_BASE + 0x2000_0000_0000 + (si as u64) * 0x100_0000_0000;
+    let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride).collect();
+    map_sweep_addresses(m, x, &addrs);
+    let mut points = Vec::new();
+    for n in 1..=MAX_N {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            flush_microarch(m);
+            m.user_load(x)?;
+            for &a in &addrs[..n] {
+                m.user_load(a)?;
             }
-            points.push(SweepPoint { n, median: median(samples) });
+            samples.push(m.timed_user_load(x)?);
         }
-        let label = if stride % PAGE_SIZE == 0 {
-            format!("{} x 16KB", stride / PAGE_SIZE)
-        } else {
-            format!("{} x 128B", stride / 128)
-        };
-        out.push(SweepSeries { label, stride, points });
+        points.push(SweepPoint { n, median: median(samples) });
     }
-    Ok(out)
+    let label = if stride.is_multiple_of(PAGE_SIZE) {
+        format!("{} x 16KB", stride / PAGE_SIZE)
+    } else {
+        format!("{} x 128B", stride / 128)
+    };
+    Ok(SweepSeries { label, stride, points })
 }
 
 /// Figure 5(c): instruction-fetch sweep. The target `x` is *branched to*
@@ -174,28 +187,33 @@ pub fn cache_tlb_sweep(m: &mut Machine, strides: &[u64]) -> Result<Vec<SweepSeri
 ///
 /// Propagates traps from the experiment's own accesses.
 pub fn itlb_sweep(m: &mut Machine, stride_pages: &[u64]) -> Result<Vec<SweepSeries>, Trap> {
-    let mut out = Vec::new();
-    for (si, &sp) in stride_pages.iter().enumerate() {
-        let stride = sp * PAGE_SIZE;
-        let x = SWEEP_BASE + 0x4000_0000_0000 + (si as u64) * 0x100_0000_0000;
-        let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride + i * 128).collect();
-        map_sweep_addresses(m, x, &addrs);
-        let mut points = Vec::new();
-        for n in 1..=MAX_N {
-            let mut samples = Vec::with_capacity(SAMPLES);
-            for _ in 0..SAMPLES {
-                flush_microarch(m);
-                m.user_fetch(x)?; // step 2: fetch x as an instruction
-                for &a in &addrs[..n] {
-                    m.user_fetch(a)?; // step 3: instruction eviction set
-                }
-                samples.push(m.timed_user_load(x)?); // step 4: reload as data
+    stride_pages.iter().enumerate().map(|(si, &sp)| itlb_series(m, si, sp)).collect()
+}
+
+/// One stride's Figure 5(c) series (`si` as in [`data_tlb_series`]).
+///
+/// # Errors
+///
+/// Propagates traps from the experiment's own accesses.
+pub fn itlb_series(m: &mut Machine, si: usize, stride_pages: u64) -> Result<SweepSeries, Trap> {
+    let stride = stride_pages * PAGE_SIZE;
+    let x = SWEEP_BASE + 0x4000_0000_0000 + (si as u64) * 0x100_0000_0000;
+    let addrs: Vec<u64> = (1..=MAX_N as u64).map(|i| x + i * stride + i * 128).collect();
+    map_sweep_addresses(m, x, &addrs);
+    let mut points = Vec::new();
+    for n in 1..=MAX_N {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            flush_microarch(m);
+            m.user_fetch(x)?; // step 2: fetch x as an instruction
+            for &a in &addrs[..n] {
+                m.user_fetch(a)?; // step 3: instruction eviction set
             }
-            points.push(SweepPoint { n, median: median(samples) });
+            samples.push(m.timed_user_load(x)?); // step 4: reload as data
         }
-        out.push(SweepSeries { label: format!("{sp} x 16KB"), stride, points });
+        points.push(SweepPoint { n, median: median(samples) });
     }
-    Ok(out)
+    Ok(SweepSeries { label: format!("{stride_pages} x 16KB"), stride, points })
 }
 
 /// The Figure 6 / findings 1–3 summary, derived from the sweeps.

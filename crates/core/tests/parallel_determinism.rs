@@ -1,0 +1,136 @@
+//! Determinism contract of the parallel execution layer: for a fixed
+//! base seed, every parallel driver produces **identical aggregates** at
+//! `jobs = 1` and `jobs = 4`. The shard plan is a pure function of the
+//! workload and the base seed — the job count only controls how many
+//! worker threads drain it — so results must not depend on parallelism.
+
+use pacman_core::jump2win::Jump2Win;
+use pacman_core::parallel::{
+    oracle_distribution, parallel_accuracy, parallel_brute, parallel_jump2win, parallel_sweep,
+    Channel, SweepKind,
+};
+use pacman_core::{System, SystemConfig};
+
+fn quiet_config() -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    cfg
+}
+
+fn noisy_config() -> SystemConfig {
+    // Default config has OS noise on: the harder determinism case,
+    // because every shard runs its own noise RNG stream.
+    SystemConfig::default()
+}
+
+#[test]
+fn oracle_distribution_is_jobs_invariant() {
+    for cfg in [quiet_config(), noisy_config()] {
+        let wrong = |i: usize, tp: u16| tp ^ (1 + i as u16);
+        let serial =
+            oracle_distribution(&cfg, Channel::Data, 3, 10, 1, true, wrong).expect("jobs=1");
+        let parallel =
+            oracle_distribution(&cfg, Channel::Data, 3, 10, 4, true, wrong).expect("jobs=4");
+        assert_eq!(serial.correct_detected, parallel.correct_detected);
+        assert_eq!(serial.incorrect_clean, parallel.incorrect_clean);
+        assert_eq!(serial.correct_misses, parallel.correct_misses);
+        assert_eq!(serial.incorrect_misses, parallel.incorrect_misses);
+        assert_eq!(serial.crashes, parallel.crashes);
+        assert_eq!(serial.target, parallel.target);
+        assert_eq!(serial.true_pac, parallel.true_pac);
+        assert_eq!(serial.records.len(), parallel.records.len());
+        for (s, p) in serial.records.iter().zip(&parallel.records) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(s.guess, p.guess);
+            assert_eq!(s.misses, p.misses, "trial {} miss vector differs", s.index);
+        }
+        assert_eq!(
+            serial.telemetry.snapshot(),
+            parallel.telemetry.snapshot(),
+            "merged telemetry must be jobs-invariant"
+        );
+    }
+}
+
+#[test]
+fn oracle_distribution_is_jobs_invariant_on_other_channels() {
+    let cfg = quiet_config();
+    for channel in [Channel::Instr, Channel::Cache] {
+        let wrong = |i: usize, tp: u16| tp ^ (1 + i as u16);
+        let serial = oracle_distribution(&cfg, channel, 1, 6, 1, true, wrong).expect("jobs=1");
+        let parallel = oracle_distribution(&cfg, channel, 1, 6, 4, true, wrong).expect("jobs=4");
+        assert_eq!(serial.correct_detected, parallel.correct_detected);
+        assert_eq!(serial.incorrect_clean, parallel.incorrect_clean);
+        assert_eq!(serial.correct_misses, parallel.correct_misses);
+        assert_eq!(serial.incorrect_misses, parallel.incorrect_misses);
+        assert_eq!(serial.telemetry.snapshot(), parallel.telemetry.snapshot());
+    }
+}
+
+#[test]
+fn parallel_brute_is_jobs_invariant() {
+    let cfg = noisy_config();
+    let mut probe = System::boot(cfg.clone());
+    let set = probe.pick_quiet_dtlb_set();
+    let target = probe.alloc_target(set);
+    let true_pac = probe.true_pac(target);
+    let candidates: Vec<u16> =
+        (0..32u16).map(|i| true_pac.wrapping_sub(13).wrapping_add(i)).collect();
+    let serial = parallel_brute(&cfg, Channel::Data, 3, &candidates, 1, true).expect("jobs=1");
+    let parallel = parallel_brute(&cfg, Channel::Data, 3, &candidates, 4, true).expect("jobs=4");
+    assert_eq!(serial.outcome.found, parallel.outcome.found);
+    assert_eq!(serial.outcome.found, Some(true_pac));
+    assert_eq!(serial.outcome.guesses_tested, parallel.outcome.guesses_tested);
+    assert_eq!(serial.outcome.syscalls, parallel.outcome.syscalls);
+    assert_eq!(serial.outcome.cycles, parallel.outcome.cycles);
+    assert_eq!(serial.outcome.crashes, parallel.outcome.crashes);
+    assert_eq!(serial.telemetry.snapshot(), parallel.telemetry.snapshot());
+}
+
+#[test]
+fn parallel_accuracy_is_jobs_invariant() {
+    let cfg = noisy_config();
+    let window = |run: usize, tp: u16| -> Vec<u16> {
+        let start = tp.wrapping_sub(3).wrapping_add((run % 3) as u16);
+        (0..8u16).map(|i| start.wrapping_add(i)).collect()
+    };
+    let serial = parallel_accuracy(&cfg, Channel::Data, 3, 8, 1, window).expect("jobs=1");
+    let parallel = parallel_accuracy(&cfg, Channel::Data, 3, 8, 4, window).expect("jobs=4");
+    assert_eq!(serial.true_positives, parallel.true_positives);
+    assert_eq!(serial.false_positives, parallel.false_positives);
+    assert_eq!(serial.false_negatives, parallel.false_negatives);
+    assert_eq!(serial.crashes, parallel.crashes);
+    assert_eq!(serial.telemetry.snapshot(), parallel.telemetry.snapshot());
+}
+
+#[test]
+fn parallel_sweep_is_jobs_invariant() {
+    for kind in [SweepKind::DataTlb, SweepKind::CacheTlb, SweepKind::Itlb] {
+        let strides: &[u64] = match kind {
+            SweepKind::DataTlb => &[256, 2048],
+            SweepKind::CacheTlb => &[256 * 128, 2048 * 16384],
+            SweepKind::Itlb => &[32],
+        };
+        let (serial, sreg) = parallel_sweep(kind, strides, 1).expect("jobs=1");
+        let (parallel, preg) = parallel_sweep(kind, strides, 4).expect("jobs=4");
+        assert_eq!(serial, parallel, "{kind:?} series differ across job counts");
+        assert_eq!(sreg.snapshot(), preg.snapshot());
+    }
+}
+
+#[test]
+fn parallel_jump2win_is_jobs_invariant() {
+    let cfg = noisy_config();
+    let probe = System::boot(cfg.clone());
+    let true_win = probe.true_pac_with_salt(pacman_isa::PacKey::Ia, probe.cpp.win_fn);
+    let true_vt = probe.true_pac_with_salt(pacman_isa::PacKey::Da, probe.cpp.obj1);
+    let mut driver = Jump2Win::new().with_samples(3).with_train_iters(16);
+    driver.phase_windows = Some([(true_win.wrapping_sub(2), 6), (true_vt.wrapping_sub(2), 6)]);
+    let (serial, sreg) = parallel_jump2win(&cfg, &driver, 1, true).expect("jobs=1");
+    let (parallel, preg) = parallel_jump2win(&cfg, &driver, 4, true).expect("jobs=4");
+    assert!(serial.hijacked && parallel.hijacked);
+    assert_eq!(serial, parallel, "full report must be jobs-invariant");
+    assert_eq!(serial.pac_win, true_win);
+    assert_eq!(serial.pac_vtable, true_vt);
+    assert_eq!(sreg.snapshot(), preg.snapshot());
+}

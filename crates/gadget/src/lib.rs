@@ -13,7 +13,8 @@
 //! regenerated at any scale:
 //!
 //! - [`scan`] — the scanner;
-//! - [`synth`] — the synthetic kernel-image generator.
+//! - [`synth`] — the synthetic kernel-image generator;
+//! - [`census`] — the sharded, jobs-invariant parallel census driver.
 //!
 //! # Example
 //!
@@ -29,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod census;
 pub mod scan;
 pub mod synth;
 
+pub use census::parallel_census;
 pub use scan::{scan_image, Gadget, GadgetKind, ScanConfig, ScanReport};
 pub use synth::{synthesize, ImageSpec, SynthImage};

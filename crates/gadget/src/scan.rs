@@ -92,6 +92,18 @@ impl ScanReport {
         }
         self.gadgets.iter().map(|g| g.distance()).sum::<usize>() as f64 / self.gadgets.len() as f64
     }
+
+    /// Folds another report into this one: gadget lists concatenate,
+    /// branch and instruction counts add. Gadget indices stay relative to
+    /// their source image (a merged census spans several images), which
+    /// leaves every derived statistic — counts, kind split, distances —
+    /// exact. Merging is associative and, for the census aggregates,
+    /// order-insensitive.
+    pub fn merge(&mut self, other: &ScanReport) {
+        self.gadgets.extend_from_slice(&other.gadgets);
+        self.conditional_branches += other.conditional_branches;
+        self.instructions += other.instructions;
+    }
 }
 
 /// Decodes a little-endian image into instructions; undecodable words

@@ -290,6 +290,27 @@ impl Registry {
         }
     }
 
+    /// Folds every series of `other` into this registry: counters add
+    /// (saturating), gauges take `other`'s value (last-writer-wins, in
+    /// merge order), histograms fold bucket-wise via
+    /// [`Histogram::merge`]. Merging respects this registry's enabled
+    /// flag, so a disabled aggregate stays empty.
+    pub fn merge(&mut self, other: &Registry) {
+        if !self.enabled {
+            return;
+        }
+        for (name, &delta) in &other.counters {
+            let c = entry_or_default(&mut self.counters, name);
+            *c = c.saturating_add(delta);
+        }
+        for (name, &value) in &other.gauges {
+            *entry_or_default(&mut self.gauges, name) = value;
+        }
+        for (name, h) in &other.histograms {
+            entry_or_default(&mut self.histograms, name).merge(h);
+        }
+    }
+
     /// Captures every series into an immutable [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -456,6 +477,70 @@ mod tests {
             prev = v;
         }
         assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn registry_merge_folds_all_series() {
+        let mut a = Registry::new();
+        a.incr_by("shared", 2);
+        a.incr_by("only_a", 1);
+        a.gauge("depth", 3);
+        a.observe("lat", 4);
+        let mut b = Registry::new();
+        b.incr_by("shared", 40);
+        b.incr_by("only_b", 7);
+        b.gauge("depth", -9);
+        b.observe("lat", 1000);
+        b.observe("other", 2);
+        a.merge(&b);
+        assert_eq!(a.counter_value("shared"), 42);
+        assert_eq!(a.counter_value("only_a"), 1);
+        assert_eq!(a.counter_value("only_b"), 7);
+        assert_eq!(a.gauge_value("depth"), -9);
+        let lat = a.histogram("lat").expect("merged");
+        assert_eq!((lat.count(), lat.sum(), lat.min(), lat.max()), (2, 1004, 4, 1000));
+        assert_eq!(a.histogram("other").map(Histogram::count), Some(1));
+    }
+
+    #[test]
+    fn registry_merge_is_order_insensitive_for_counters_and_histograms() {
+        let mut shards = Vec::new();
+        for s in 0..4u64 {
+            let mut r = Registry::new();
+            r.incr_by("trials", s + 1);
+            r.observe("misses", s * 100);
+            shards.push(r);
+        }
+        let mut fwd = Registry::new();
+        for r in &shards {
+            fwd.merge(r);
+        }
+        let mut rev = Registry::new();
+        for r in shards.iter().rev() {
+            rev.merge(r);
+        }
+        assert_eq!(fwd.counter_value("trials"), rev.counter_value("trials"));
+        assert_eq!(fwd.snapshot().counters, rev.snapshot().counters);
+        assert_eq!(fwd.histogram("misses"), rev.histogram("misses"));
+    }
+
+    #[test]
+    fn registry_merge_respects_disabled_aggregate() {
+        let mut src = Registry::new();
+        src.incr("c");
+        let mut off = Registry::disabled();
+        off.merge(&src);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn registry_merge_saturates_counters() {
+        let mut a = Registry::new();
+        a.incr_by("c", u64::MAX - 1);
+        let mut b = Registry::new();
+        b.incr_by("c", 10);
+        a.merge(&b);
+        assert_eq!(a.counter_value("c"), u64::MAX);
     }
 
     #[test]

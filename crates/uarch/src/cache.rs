@@ -26,61 +26,76 @@ impl CacheParams {
 #[derive(Clone, Debug)]
 pub(crate) struct SetAssoc {
     ways: usize,
-    sets: usize,
-    /// Per set, MRU-first vector of tags.
-    lines: Vec<Vec<u64>>,
+    /// Cached `sets - 1` (sets are a power of two).
+    set_mask: usize,
+    /// Flat MRU-first tag storage, indexed `set * ways + way`. Only the
+    /// first `occ[set]` ways of each set are live; everything runs on
+    /// slice rotations, so no access ever allocates.
+    lines: Vec<u64>,
+    /// Live-way count per set.
+    occ: Vec<u16>,
 }
 
 impl SetAssoc {
     pub(crate) fn new(ways: usize, sets: usize) -> Self {
         assert!(ways > 0 && sets.is_power_of_two(), "need ways>0 and power-of-two sets");
-        Self { ways, sets, lines: vec![Vec::new(); sets] }
+        Self { ways, set_mask: sets - 1, lines: vec![0; ways * sets], occ: vec![0; sets] }
     }
 
     pub(crate) fn set_index(&self, key: u64) -> usize {
-        (key as usize) & (self.sets - 1)
+        (key as usize) & self.set_mask
     }
 
     /// Looks up `key`; on hit, promotes it to MRU and returns true.
     pub(crate) fn touch(&mut self, key: u64) -> bool {
         let set = self.set_index(key);
-        let ways = &mut self.lines[set];
-        if let Some(pos) = ways.iter().position(|&t| t == key) {
-            let tag = ways.remove(pos);
-            ways.insert(0, tag);
-            true
-        } else {
-            false
+        let base = set * self.ways;
+        let n = self.occ[set] as usize;
+        let live = &mut self.lines[base..base + n];
+        match live.iter().position(|&t| t == key) {
+            Some(pos) => {
+                live[..=pos].rotate_right(1);
+                true
+            }
+            None => false,
         }
     }
 
     /// Checks for presence without perturbing LRU state.
     pub(crate) fn probe(&self, key: u64) -> bool {
-        self.lines[self.set_index(key)].contains(&key)
+        let set = self.set_index(key);
+        let base = set * self.ways;
+        self.lines[base..base + self.occ[set] as usize].contains(&key)
     }
 
     /// Inserts `key` as MRU; returns the evicted LRU victim if the set was
     /// full. Inserting a present key just promotes it.
     pub(crate) fn insert(&mut self, key: u64) -> Option<u64> {
         let set = self.set_index(key);
-        let ways = &mut self.lines[set];
-        if let Some(pos) = ways.iter().position(|&t| t == key) {
-            let tag = ways.remove(pos);
-            ways.insert(0, tag);
+        let base = set * self.ways;
+        let n = self.occ[set] as usize;
+        let ways = &mut self.lines[base..base + self.ways];
+        if let Some(pos) = ways[..n].iter().position(|&t| t == key) {
+            ways[..=pos].rotate_right(1);
             return None;
         }
-        ways.insert(0, key);
-        if ways.len() > self.ways {
-            ways.pop()
+        if n == ways.len() {
+            let victim = ways[n - 1];
+            ways.rotate_right(1);
+            ways[0] = key;
+            Some(victim)
         } else {
+            ways[..=n].rotate_right(1);
+            ways[0] = key;
+            self.occ[set] += 1;
             None
         }
     }
 
     pub(crate) fn flush(&mut self) {
-        for set in &mut self.lines {
-            set.clear();
-        }
+        // Dead tags beyond the live prefix are never read; clearing the
+        // occupancy counters is the whole invalidate.
+        self.occ.fill(0);
     }
 }
 

@@ -37,17 +37,41 @@ pub struct TlbEntry {
 }
 
 /// A single set-associative, true-LRU TLB.
+///
+/// Entries live in one flat allocation indexed `set * ways + way`, with
+/// way 0 the MRU; only the first `occ[set]` ways of a set are live. LRU
+/// maintenance is slice rotation within the set's window, so lookups,
+/// fills and invalidates never allocate — this structure sits on every
+/// simulated memory access.
 #[derive(Clone, Debug)]
 pub struct Tlb {
     params: TlbParams,
-    sets: Vec<Vec<TlbEntry>>,
+    /// Cached `sets - 1` (sets are a power of two).
+    set_mask: usize,
+    /// Flat MRU-first entry storage; slots beyond a set's occupancy are
+    /// dead and never read.
+    entries: Vec<TlbEntry>,
+    /// Live-way count per set.
+    occ: Vec<u16>,
 }
+
+/// Placeholder filling dead slots (never observable through the API).
+const DEAD: TlbEntry = TlbEntry {
+    vpn: 0,
+    pfn: 0,
+    perms: Perms { read: false, write: false, execute: false, user: false },
+};
 
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new(params: TlbParams) -> Self {
         assert!(params.ways > 0 && params.sets.is_power_of_two());
-        Self { params, sets: vec![Vec::new(); params.sets] }
+        Self {
+            params,
+            set_mask: params.sets - 1,
+            entries: vec![DEAD; params.ways * params.sets],
+            occ: vec![0; params.sets],
+        }
     }
 
     /// This TLB's geometry.
@@ -57,36 +81,49 @@ impl Tlb {
 
     /// The set index a virtual page number maps to.
     pub fn set_of(&self, vpn: u64) -> usize {
-        (vpn as usize) & (self.params.sets - 1)
+        (vpn as usize) & self.set_mask
     }
 
     /// Looks up a translation, promoting it to MRU on hit.
     pub fn lookup(&mut self, vpn: u64) -> Option<TlbEntry> {
         let set = self.set_of(vpn);
-        let ways = &mut self.sets[set];
-        let pos = ways.iter().position(|e| e.vpn == vpn)?;
-        let entry = ways.remove(pos);
-        ways.insert(0, entry);
-        Some(entry)
+        let base = set * self.params.ways;
+        let n = self.occ[set] as usize;
+        let live = &mut self.entries[base..base + n];
+        let pos = live.iter().position(|e| e.vpn == vpn)?;
+        live[..=pos].rotate_right(1);
+        Some(live[0])
     }
 
     /// Presence check without LRU side effects.
     pub fn contains(&self, vpn: u64) -> bool {
-        self.sets[self.set_of(vpn)].iter().any(|e| e.vpn == vpn)
+        let set = self.set_of(vpn);
+        let base = set * self.params.ways;
+        self.entries[base..base + self.occ[set] as usize].iter().any(|e| e.vpn == vpn)
     }
 
     /// Inserts an entry as MRU, returning the evicted LRU victim if the
     /// set overflowed. Re-inserting an existing vpn replaces it.
     pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         let set = self.set_of(entry.vpn);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|e| e.vpn == entry.vpn) {
-            ways.remove(pos);
+        let base = set * self.params.ways;
+        let mut n = self.occ[set] as usize;
+        let ways = &mut self.entries[base..base + self.params.ways];
+        if let Some(pos) = ways[..n].iter().position(|e| e.vpn == entry.vpn) {
+            // Remove in place (the replacement may carry a new pfn/perms).
+            ways[pos..n].rotate_left(1);
+            n -= 1;
+            self.occ[set] -= 1;
         }
-        ways.insert(0, entry);
-        if ways.len() > self.params.ways {
-            ways.pop()
+        if n == ways.len() {
+            let victim = ways[n - 1];
+            ways.rotate_right(1);
+            ways[0] = entry;
+            Some(victim)
         } else {
+            ways[..=n].rotate_right(1);
+            ways[0] = entry;
+            self.occ[set] += 1;
             None
         }
     }
@@ -94,9 +131,12 @@ impl Tlb {
     /// Drops the entry for `vpn` if present.
     pub fn invalidate(&mut self, vpn: u64) -> bool {
         let set = self.set_of(vpn);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|e| e.vpn == vpn) {
-            ways.remove(pos);
+        let base = set * self.params.ways;
+        let n = self.occ[set] as usize;
+        let live = &mut self.entries[base..base + n];
+        if let Some(pos) = live.iter().position(|e| e.vpn == vpn) {
+            live[pos..].rotate_left(1);
+            self.occ[set] -= 1;
             true
         } else {
             false
@@ -105,14 +145,12 @@ impl Tlb {
 
     /// Drops everything (a `tlbi`-style full invalidate).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.occ.fill(0);
     }
 
     /// Number of valid entries currently in `set`.
     pub fn occupancy(&self, set: usize) -> usize {
-        self.sets[set].len()
+        self.occ[set] as usize
     }
 }
 
