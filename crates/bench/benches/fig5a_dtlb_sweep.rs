@@ -1,13 +1,15 @@
 //! Figure 5(a): dTLB / L2 TLB stride sweep (cache-conflict-free loads).
 
-use pacman_bench::{banner, check, compare, jobs, Artifact};
+use pacman_bench::{banner, check, compare, jobs, tolerance, Artifact};
 use pacman_core::parallel::{parallel_sweep, SweepKind};
 use pacman_core::report::AsciiChart;
 
 fn main() {
     banner("F5a", "Figure 5(a) - data-load sweep, addr[i] = x + i*stride + i*128B");
     let jobs = jobs();
-    let (series, _) = parallel_sweep(SweepKind::DataTlb, &[1, 32, 256, 2048], jobs).expect("sweep");
+    let tol = tolerance();
+    let (series, _) =
+        parallel_sweep(SweepKind::DataTlb, &[1, 32, 256, 2048], jobs, &tol).expect("sweep");
 
     let mut chart = AsciiChart::new("median reload latency (cycles) vs N");
     for s in &series {

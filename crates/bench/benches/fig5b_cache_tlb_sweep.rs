@@ -1,6 +1,6 @@
 //! Figure 5(b): cache/TLB interaction sweep (raw-stride loads).
 
-use pacman_bench::{banner, check, compare, jobs, Artifact};
+use pacman_bench::{banner, check, compare, jobs, tolerance, Artifact};
 use pacman_core::parallel::{parallel_sweep, SweepKind};
 use pacman_core::report::AsciiChart;
 
@@ -8,7 +8,8 @@ fn main() {
     banner("F5b", "Figure 5(b) - data-load sweep, addr[i] = x + i*stride");
     let jobs = jobs();
     let strides = [256 * 128, 256 * 16384, 2048 * 16384];
-    let (series, _) = parallel_sweep(SweepKind::CacheTlb, &strides, jobs).expect("sweep");
+    let tol = tolerance();
+    let (series, _) = parallel_sweep(SweepKind::CacheTlb, &strides, jobs, &tol).expect("sweep");
 
     let mut chart = AsciiChart::new("median reload latency (cycles) vs N");
     for s in &series {

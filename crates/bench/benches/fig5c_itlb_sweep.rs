@@ -1,13 +1,14 @@
 //! Figure 5(c): iTLB sweep via branch targets, reload measured as data.
 
-use pacman_bench::{banner, check, compare, jobs, Artifact};
+use pacman_bench::{banner, check, compare, jobs, tolerance, Artifact};
 use pacman_core::parallel::{parallel_sweep, SweepKind};
 use pacman_core::report::AsciiChart;
 
 fn main() {
     banner("F5c", "Figure 5(c) - instruction-fetch sweep, reload as data");
     let jobs = jobs();
-    let (series, _) = parallel_sweep(SweepKind::Itlb, &[32, 256, 2048], jobs).expect("sweep");
+    let tol = tolerance();
+    let (series, _) = parallel_sweep(SweepKind::Itlb, &[32, 256, 2048], jobs, &tol).expect("sweep");
 
     let mut chart = AsciiChart::new("median reload latency (cycles) vs N");
     for s in &series {

@@ -1,6 +1,6 @@
 //! Figure 8(a): PAC-oracle miss-count distributions, data PACMAN gadget.
 
-use pacman_bench::{banner, check, compare, jobs, noisy_config, scale, Artifact};
+use pacman_bench::{banner, check, compare, jobs, noisy_config, scale, tolerance, Artifact};
 use pacman_core::oracle::CORRECT_MISS_THRESHOLD;
 use pacman_core::parallel::{oracle_distribution, Channel};
 use pacman_telemetry::json::Value;
@@ -9,11 +9,18 @@ fn main() {
     banner("F8a", "Figure 8(a) - PAC oracle via the data PACMAN gadget");
     let trials = scale("TRIALS", 500);
     let jobs = jobs();
-    let out =
-        oracle_distribution(&noisy_config(), Channel::Data, 1, trials, jobs, false, |i, tp| {
-            tp ^ ((i as u16).wrapping_mul(2654435761u32 as u16) | 1)
-        })
-        .expect("oracle distribution");
+    let tol = tolerance();
+    let out = oracle_distribution(
+        &noisy_config(),
+        Channel::Data,
+        1,
+        trials,
+        jobs,
+        false,
+        &tol,
+        |i, tp| tp ^ ((i as u16).wrapping_mul(2654435761u32 as u16) | 1),
+    )
+    .expect("oracle distribution");
 
     for (name, hist) in
         [("correct PAC", &out.correct_misses), ("incorrect PAC", &out.incorrect_misses)]

@@ -1,6 +1,6 @@
 //! Figure 8(b): PAC-oracle miss-count distributions, instruction gadget.
 
-use pacman_bench::{banner, check, compare, jobs, noisy_config, scale, Artifact};
+use pacman_bench::{banner, check, compare, jobs, noisy_config, scale, tolerance, Artifact};
 use pacman_core::oracle::CORRECT_MISS_THRESHOLD;
 use pacman_core::parallel::{oracle_distribution, Channel};
 use pacman_telemetry::json::Value;
@@ -9,11 +9,17 @@ fn main() {
     banner("F8b", "Figure 8(b) - PAC oracle via the instruction PACMAN gadget");
     let trials = scale("TRIALS", 300);
     let jobs = jobs();
-    let out =
-        oracle_distribution(&noisy_config(), Channel::Instr, 1, trials, jobs, false, |i, tp| {
-            tp ^ ((i as u16).wrapping_mul(40503) | 1)
-        })
-        .expect("oracle distribution");
+    let out = oracle_distribution(
+        &noisy_config(),
+        Channel::Instr,
+        1,
+        trials,
+        jobs,
+        false,
+        &tolerance(),
+        |i, tp| tp ^ ((i as u16).wrapping_mul(40503) | 1),
+    )
+    .expect("oracle distribution");
 
     for (name, hist) in
         [("correct PAC", &out.correct_misses), ("incorrect PAC", &out.incorrect_misses)]

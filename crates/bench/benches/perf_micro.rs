@@ -185,8 +185,10 @@ fn wrong_guess(i: usize, true_pac: u16) -> u16 {
 /// One timed `oracle_distribution` run; returns (seconds, trials/sec).
 fn timed_distribution(cfg: &SystemConfig, jobs: usize) -> (f64, f64) {
     let start = std::time::Instant::now();
-    let out = oracle_distribution(cfg, Channel::Data, 1, PARALLEL_TRIALS, jobs, false, wrong_guess)
-        .expect("distribution");
+    let tol = pacman_core::fault::Tolerance::from_env();
+    let out =
+        oracle_distribution(cfg, Channel::Data, 1, PARALLEL_TRIALS, jobs, false, &tol, wrong_guess)
+            .expect("distribution");
     assert_eq!(out.trials as usize, PARALLEL_TRIALS);
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     (secs, PARALLEL_TRIALS as f64 / secs)

@@ -1,6 +1,6 @@
 //! §8.2: brute-force accuracy under noise — TP / FP / FN over many runs.
 
-use pacman_bench::{banner, check, compare, jobs, noisy_config, scale, Artifact};
+use pacman_bench::{banner, check, compare, jobs, noisy_config, scale, tolerance, Artifact};
 use pacman_core::parallel::{parallel_accuracy, Channel};
 
 fn main() {
@@ -11,7 +11,8 @@ fn main() {
     // Each run sweeps a small window containing the true PAC (the
     // full-space sweep visits it eventually; the window keeps the bench
     // minutes-long with identical per-guess behaviour).
-    let out = parallel_accuracy(&noisy_config(), Channel::Data, 5, runs, jobs, |run, tp| {
+    let tol = tolerance();
+    let out = parallel_accuracy(&noisy_config(), Channel::Data, 5, runs, jobs, &tol, |run, tp| {
         let start = tp.wrapping_sub(3).wrapping_add((run % 3) as u16);
         (0..8u16).map(|i| start.wrapping_add(i)).collect()
     })

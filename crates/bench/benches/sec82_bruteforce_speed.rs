@@ -1,6 +1,6 @@
 //! §8.2: brute-force speed — time per PAC guess and full-space estimate.
 
-use pacman_bench::{banner, check, compare, jobs, quiet_config, scale, Artifact};
+use pacman_bench::{banner, check, compare, jobs, quiet_config, scale, tolerance, Artifact};
 use pacman_core::parallel::{parallel_brute, Channel};
 use pacman_core::System;
 
@@ -20,7 +20,8 @@ fn main() {
     let true_pac = probe.true_pac(target);
     let window: Vec<u16> = (0..guesses).map(|i| true_pac ^ (0x4000 + i)).collect();
 
-    let out = parallel_brute(&cfg, Channel::Data, 1, &window, jobs, false).expect("sweep");
+    let tol = tolerance();
+    let out = parallel_brute(&cfg, Channel::Data, 1, &window, jobs, false, &tol).expect("sweep");
     let outcome = out.outcome;
 
     let clock = probe.machine.config().clock_hz;

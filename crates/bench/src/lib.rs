@@ -13,6 +13,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
+use pacman_core::fault::{mix64, FaultPlan, FaultSite, RetryPolicy, Tolerance};
 use pacman_core::report::{AsciiChart, Table};
 use pacman_core::{System, SystemConfig};
 use pacman_telemetry::json::Value;
@@ -49,6 +50,22 @@ pub fn jobs() -> usize {
     let jobs = pacman_runner::default_jobs();
     println!("  jobs: {jobs} (override with PACMAN_JOBS)");
     jobs
+}
+
+/// The fault-tolerance policy for parallelised experiments
+/// (`PACMAN_FAULT_SEED` / `PACMAN_FAULT_RATE`; faults are off unless the
+/// environment opts in), echoed when active so runs are self-describing.
+pub fn tolerance() -> Tolerance {
+    let tol = Tolerance::from_env();
+    if tol.faults.is_active() {
+        println!(
+            "  fault injection: ACTIVE (seed {:#x}, rate {}) — retry budget {}",
+            tol.faults.seed(),
+            tol.faults.rate(),
+            tol.retry.max_attempts
+        );
+    }
+    tol
 }
 
 /// Prints the experiment banner.
@@ -195,8 +212,50 @@ impl Artifact {
         Ok(path)
     }
 
+    /// The artefact's fault-stream index: a stable hash of its id, so
+    /// each artefact sees its own deterministic injected-IO decisions.
+    fn fault_index(&self) -> u64 {
+        self.id.bytes().fold(0u64, |acc, b| mix64(acc, u64::from(b)))
+    }
+
+    /// [`Artifact::write_to`] under a fault plan: injected IO errors
+    /// (and real ones) retry within the policy's budget; the last error
+    /// surfaces only after the budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's failure — injected or real — once `retry`'s
+    /// budget is spent.
+    pub fn write_tolerant(
+        &self,
+        dir: &Path,
+        faults: &FaultPlan,
+        retry: RetryPolicy,
+    ) -> io::Result<PathBuf> {
+        let index = self.fault_index();
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..retry.max_attempts.max(1) {
+            let fault_attempt = if retry.reseed { attempt } else { 0 };
+            if faults.fires(FaultSite::ArtifactWrite, index, fault_attempt) {
+                last = Some(io::Error::other(format!(
+                    "injected fault: artifact write for BENCH_{} (attempt {attempt})",
+                    self.id
+                )));
+                continue;
+            }
+            match self.write_to(dir) {
+                Ok(path) => return Ok(path),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("artifact write: empty retry budget")))
+    }
+
     /// Writes the artefact to `$PACMAN_BENCH_DIR` (default: current
-    /// directory) and prints where it landed.
+    /// directory) and prints where it landed. Runs under the
+    /// environment's fault plan: injected write failures retry within
+    /// the default budget, and the artefact records whether faults were
+    /// active (`faults_active`).
     ///
     /// A failed write always lands on stderr. When `$PACMAN_BENCH_DIR`
     /// was set explicitly the caller asked for the artefact (CI is
@@ -204,10 +263,13 @@ impl Artifact {
     /// the process exits nonzero instead of letting a bad directory turn
     /// into a silently missing artefact.
     pub fn write(&self) {
+        let faults = FaultPlan::from_env();
+        let mut art = self.clone();
+        art.field("faults_active", Value::Bool(faults.is_active()));
         let dir = std::env::var("PACMAN_BENCH_DIR").ok();
         let strict = dir.is_some();
         let dir = dir.unwrap_or_else(|| ".".into());
-        match self.write_to(Path::new(&dir)) {
+        match art.write_tolerant(Path::new(&dir), &faults, RetryPolicy::default()) {
             Ok(path) => println!("  artefact: {}", path.display()),
             Err(e) => {
                 eprintln!("error: failed to write BENCH_{}.json into '{dir}': {e}", self.id);
@@ -275,6 +337,61 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         let parsed = pacman_telemetry::json::parse(text.trim()).expect("valid JSON");
         assert_eq!(parsed.get("answer").and_then(Value::as_u64), Some(42));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_write_tolerant_retries_injected_faults_within_budget() {
+        let dir = std::env::temp_dir().join(format!("pacman-bench-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut art = Artifact::new("fault_unit", "tolerant write test");
+        art.num("answer", 42);
+        let index = art.fault_index();
+        // A seed whose artifact-write stream fires on attempt 0 but not
+        // attempt 1: the write must succeed on the retry.
+        let seed = (0..500u64)
+            .find(|&s| {
+                let probe = FaultPlan::new(s, 0.5);
+                probe.fires(FaultSite::ArtifactWrite, index, 0)
+                    && !probe.fires(FaultSite::ArtifactWrite, index, 1)
+            })
+            .expect("a qualifying seed exists in 0..500");
+        let plan = FaultPlan::new(seed, 0.5);
+        let path = art.write_tolerant(&dir, &plan, RetryPolicy::default()).expect("retry succeeds");
+        assert!(path.ends_with("BENCH_fault_unit.json"));
+        assert!(plan.injected() >= 1, "the first attempt was injected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_write_tolerant_exhausts_on_permanent_faults() {
+        let dir = std::env::temp_dir().join(format!("pacman-bench-fault2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut art = Artifact::new("fault_unit2", "budget exhaustion test");
+        art.num("answer", 42);
+        // Rate 1.0 without reseeding replays the firing decision every
+        // attempt: the budget must exhaust with the injected error.
+        let plan = FaultPlan::new(9, 1.0);
+        let err = art
+            .write_tolerant(&dir, &plan, RetryPolicy { max_attempts: 3, reseed: false })
+            .expect_err("rate-1.0 faults exhaust the budget");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert!(!dir.join("BENCH_fault_unit2.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_write_tolerant_passes_through_without_faults() {
+        let dir = std::env::temp_dir().join(format!("pacman-bench-fault3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut art = Artifact::new("fault_unit3", "disabled-plan test");
+        art.num("answer", 42);
+        let plan = FaultPlan::disabled();
+        let path = art
+            .write_tolerant(&dir, &plan, RetryPolicy::default())
+            .expect("disabled plan never blocks a write");
+        assert!(path.ends_with("BENCH_fault_unit3.json"));
+        assert_eq!(plan.injected(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,9 +3,11 @@
 use std::error::Error;
 
 use pacman_bench::claims;
+use pacman_core::fault::{FaultPlan, Tolerance};
 use pacman_core::jump2win::Jump2Win;
 use pacman_core::parallel::{
-    oracle_distribution, parallel_brute, parallel_jump2win, parallel_sweep, Channel, SweepKind,
+    oracle_distribution, parallel_brute, parallel_jump2win, parallel_sweep, Channel,
+    ExperimentError, SweepKind,
 };
 use pacman_core::report::Table;
 use pacman_core::sweep::{derive_hierarchy, experiment_machine};
@@ -46,16 +48,28 @@ options:
   --dir D         verify artifact dir      --help          this text
   --json          emit JSONL on stdout     --metrics-out F write JSONL to file F
   --jobs N        worker threads (default: PACMAN_JOBS, else all cores)
+  --fault-rate R  injected fault rate in [0,1] (default: PACMAN_FAULT_RATE
+                  when PACMAN_FAULT_SEED is set, else off; 0 disables)
 
 Trial-driving commands (oracle, brute, jump2win, sweep, census) shard
 their work across --jobs worker threads; for a fixed --seed the merged
 result is identical at every job count.
 
+Sharded commands run fault-tolerantly: a panicking or faulted shard is
+retried within a bounded budget, and a shard that exhausts it surfaces
+as a typed partial-result error (per-shard 'shard_failure' JSONL
+records, nonzero exit) instead of a crash. Setting PACMAN_FAULT_SEED
+(with PACMAN_FAULT_RATE or --fault-rate) deterministically injects
+shard panics, timing-noise spikes and artifact-write errors to exercise
+those paths; retried runs stay bit-identical to fault-free ones.
+
 Every command emits JSONL when --json (or --metrics-out) is given: one
 JSON record per trial/event/row, and - for commands that drive the
 simulated machine - a final 'metrics' record holding the full
-counter/histogram snapshot. 'verify' ends with a 'verify_summary'
-record and exits nonzero if any paper claim is out of tolerance.
+counter/histogram snapshot (including the runner.retries /
+runner.shard_failures / runner.faults_injected execution counters).
+'verify' ends with a 'verify_summary' record and exits nonzero if any
+paper claim is out of tolerance.
 ";
 
 /// The `--key value` options and bare flags each command accepts.
@@ -63,16 +77,21 @@ record and exits nonzero if any paper claim is out of tolerance.
 /// loudly, not parse as an ignored key.
 fn command_spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
     Some(match command {
-        "oracle" => {
-            (&["seed", "trials", "channel", "jobs", "metrics-out"], &["json", "quiet-noise"])
-        }
-        "brute" => (&["seed", "window", "jobs", "metrics-out"], &["json", "quiet-noise", "full"]),
-        "jump2win" => {
-            (&["seed", "window", "jobs", "metrics-out"], &["json", "quiet-noise", "full"])
-        }
+        "oracle" => (
+            &["seed", "trials", "channel", "jobs", "fault-rate", "metrics-out"],
+            &["json", "quiet-noise"],
+        ),
+        "brute" => (
+            &["seed", "window", "jobs", "fault-rate", "metrics-out"],
+            &["json", "quiet-noise", "full"],
+        ),
+        "jump2win" => (
+            &["seed", "window", "jobs", "fault-rate", "metrics-out"],
+            &["json", "quiet-noise", "full"],
+        ),
         // --quiet-noise is a no-op for sweep (its machines already run
         // noise-free) but stays accepted for invocation compatibility.
-        "sweep" => (&["jobs", "metrics-out"], &["json", "quiet-noise"]),
+        "sweep" => (&["jobs", "fault-rate", "metrics-out"], &["json", "quiet-noise"]),
         "census" => (&["functions", "jobs", "metrics-out"], &["json", "track-stack"]),
         "mitigations" => (&["metrics-out"], &["json"]),
         "os" => (&["metrics-out"], &["json"]),
@@ -141,6 +160,53 @@ fn boot(args: &Args) -> Result<System, Box<dyn Error>> {
 /// the machine's available parallelism).
 fn jobs(args: &Args) -> Result<usize, Box<dyn Error>> {
     Ok(args.get_num("jobs", pacman_runner::default_jobs())?.max(1))
+}
+
+/// The resolved fault-tolerance policy: `PACMAN_FAULT_SEED` /
+/// `PACMAN_FAULT_RATE` from the environment, with `--fault-rate`
+/// overriding the rate (0 disables injection even when the environment
+/// enables it; the retry budget applies either way).
+fn tolerance(args: &Args) -> Result<Tolerance, Box<dyn Error>> {
+    let mut tol = Tolerance::from_env();
+    if let Some(raw) = args.get("fault-rate") {
+        let rate: f64 = raw.parse().map_err(|_| format!("--fault-rate '{raw}' is not a number"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--fault-rate {rate} is outside [0, 1]").into());
+        }
+        tol.faults = tol.faults.with_rate(rate);
+    }
+    Ok(tol)
+}
+
+/// Reports a sharded experiment failure: one `shard_failure` JSONL
+/// record per permanently failed or cancelled shard, a closing
+/// `partial_failure` summary, then the (nonzero-exit) error. Everything
+/// already emitted stays flushed — partial evidence is the point.
+fn fail_sharded(mut emit: Emitter, err: ExperimentError) -> Box<dyn Error> {
+    if let ExperimentError::Shards(partial) = &err {
+        for f in &partial.failures {
+            emit.record(&Value::Object(vec![
+                ("record".into(), Value::str("shard_failure")),
+                ("shard".into(), Value::UInt(f.shard as u64)),
+                ("attempts".into(), Value::UInt(u64::from(f.attempts))),
+                ("panicked".into(), Value::Bool(f.panicked)),
+                ("cancelled".into(), Value::Bool(f.cancelled)),
+                ("message".into(), Value::str(f.message.clone())),
+            ]));
+        }
+        emit.record(&Value::Object(vec![
+            ("record".into(), Value::str("partial_failure")),
+            ("shards_total".into(), Value::UInt(partial.total as u64)),
+            ("shards_completed".into(), Value::UInt(partial.completed as u64)),
+            ("retries".into(), Value::UInt(partial.retries)),
+            ("failures".into(), Value::UInt(partial.failures.len() as u64)),
+        ]));
+        eprintln!("error: {partial}");
+    }
+    if let Err(close_err) = emit.close() {
+        eprintln!("error: {close_err}");
+    }
+    Box::new(err)
 }
 
 /// JSONL sink for `--json` (stdout) and `--metrics-out` (file). Inactive
@@ -247,12 +313,22 @@ fn cmd_oracle(args: &Args) -> CliResult {
     validate_channel(args)?;
     let trials: usize = args.get_num("trials", 50)?;
     let jobs = jobs(args)?;
+    let tol = tolerance(args)?;
     let mut emit = Emitter::from_args(args)?;
     let cfg = config(args)?;
-    let out =
-        oracle_distribution(&cfg, channel_of(args), 1, trials, jobs, emit.active(), |i, tp| {
-            tp ^ (1 + i as u16)
-        })?;
+    let out = match oracle_distribution(
+        &cfg,
+        channel_of(args),
+        1,
+        trials,
+        jobs,
+        emit.active(),
+        &tol,
+        |i, tp| tp ^ (1 + i as u16),
+    ) {
+        Ok(out) => out,
+        Err(e) => return Err(fail_sharded(emit, e)),
+    };
     if !emit.quiet() {
         println!("target {:#x}, {trials} trials per class, {jobs} jobs", out.target);
     }
@@ -270,6 +346,7 @@ fn cmd_oracle(args: &Args) -> CliResult {
 fn cmd_brute(args: &Args) -> CliResult {
     let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
     let jobs = jobs(args)?;
+    let tol = tolerance(args)?;
     let mut emit = Emitter::from_args(args)?;
     let cfg = config(args)?;
     // A probe boot positions the demo window around the true PAC (the
@@ -284,7 +361,10 @@ fn cmd_brute(args: &Args) -> CliResult {
     if !emit.quiet() {
         println!("sweeping {window} candidates for the PAC of {target:#x} ({jobs} jobs) ...");
     }
-    let out = parallel_brute(&cfg, Channel::Data, 5, &candidates, jobs, emit.active())?;
+    let out = match parallel_brute(&cfg, Channel::Data, 5, &candidates, jobs, emit.active(), &tol) {
+        Ok(out) => out,
+        Err(e) => return Err(fail_sharded(emit, e)),
+    };
     let outcome = out.outcome;
     emit.record(&Value::Object(vec![
         ("record".into(), Value::str("brute")),
@@ -320,6 +400,7 @@ fn cmd_brute(args: &Args) -> CliResult {
 fn cmd_jump2win(args: &Args) -> CliResult {
     let window: u32 = if args.flag("full") { 65536 } else { args.get_num("window", 512)? };
     let jobs = jobs(args)?;
+    let tol = tolerance(args)?;
     let mut emit = Emitter::from_args(args)?;
     let cfg = config(args)?;
     let mut driver = Jump2Win::new().with_samples(3).with_train_iters(16);
@@ -332,7 +413,10 @@ fn cmd_jump2win(args: &Args) -> CliResult {
         let centre = |t: u16| (t.wrapping_sub((window / 2) as u16), window);
         driver.phase_windows = Some([centre(t1), centre(t2)]);
     }
-    let (report, telemetry) = parallel_jump2win(&cfg, &driver, jobs, emit.active())?;
+    let (report, telemetry) = match parallel_jump2win(&cfg, &driver, jobs, emit.active(), &tol) {
+        Ok(out) => out,
+        Err(e) => return Err(fail_sharded(emit, e)),
+    };
     emit.record(&Value::Object(vec![
         ("record".into(), Value::str("jump2win")),
         ("jobs".into(), Value::UInt(jobs as u64)),
@@ -362,12 +446,17 @@ fn cmd_jump2win(args: &Args) -> CliResult {
 
 fn cmd_sweep(args: &Args) -> CliResult {
     let jobs = jobs(args)?;
+    let tol = tolerance(args)?;
     let mut emit = Emitter::from_args(args)?;
     if !emit.quiet() {
         println!("Figure 5(a) knees:");
     }
-    let (data, mut reg) = parallel_sweep(SweepKind::DataTlb, &[256, 2048], jobs)?;
-    let (instr, instr_reg) = parallel_sweep(SweepKind::Itlb, &[32], jobs)?;
+    let swept = parallel_sweep(SweepKind::DataTlb, &[256, 2048], jobs, &tol)
+        .and_then(|data| Ok((data, parallel_sweep(SweepKind::Itlb, &[32], jobs, &tol)?)));
+    let ((data, mut reg), (instr, instr_reg)) = match swept {
+        Ok(out) => out,
+        Err(e) => return Err(fail_sharded(emit, e)),
+    };
     reg.merge(&instr_reg);
     for series in data.iter().chain(instr.iter()) {
         emit.record(&Value::Object(vec![
@@ -685,9 +774,16 @@ fn cmd_verify(args: &Args) -> CliResult {
         );
         println!("verdict: {}", if ok { "all claims in tolerance" } else { "OUT OF TOLERANCE" });
     }
-    let timestamp = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_secs());
+    let timestamp = match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(e) => {
+            // A clock before the Unix epoch is a host misconfiguration
+            // worth hearing about, but not worth failing a verification
+            // whose claims all passed: record the sentinel 0 instead.
+            eprintln!("warning: system clock predates the Unix epoch ({e}); recording timestamp 0");
+            0
+        }
+    };
     let summary = Value::Object(vec![
         ("record".into(), Value::str("verify_summary")),
         ("commit".into(), Value::str(current_commit())),
@@ -698,6 +794,7 @@ fn cmd_verify(args: &Args) -> CliResult {
         ("pass".into(), Value::UInt(pass as u64)),
         ("fail".into(), Value::UInt(fail as u64)),
         ("missing".into(), Value::UInt(missing as u64)),
+        ("faults_active".into(), Value::Bool(FaultPlan::from_env().is_active())),
         ("ok".into(), Value::Bool(ok)),
     ]);
     // Cross-PR history: append this run (keyed by commit + timestamp) to
@@ -1005,5 +1102,157 @@ mod tests {
         let walks =
             metrics.get("counters").and_then(|c| c.get("tlb.walks")).and_then(Value::as_u64);
         assert!(walks.is_some_and(|w| w > 0), "sweeps must cause page walks: {walks:?}");
+    }
+
+    /// Drops `runner.*` counters from every metrics record so a faulted
+    /// run can be compared bit-for-bit against its fault-free baseline:
+    /// the retry bookkeeping is the only permitted difference.
+    fn without_runner_counters(records: &[Value]) -> Vec<Value> {
+        records
+            .iter()
+            .cloned()
+            .map(|record| match record {
+                Value::Object(fields) => Value::Object(
+                    fields
+                        .into_iter()
+                        .map(|(key, value)| match (key.as_str(), value) {
+                            ("counters", Value::Object(counters)) => (
+                                key,
+                                Value::Object(
+                                    counters
+                                        .into_iter()
+                                        .filter(|(name, _)| !name.starts_with("runner."))
+                                        .collect(),
+                                ),
+                            ),
+                            (_, value) => (key, value),
+                        })
+                        .collect(),
+                ),
+                other => other,
+            })
+            .collect()
+    }
+
+    fn runner_counter(records: &[Value], name: &str) -> u64 {
+        records
+            .last()
+            .expect("metrics record")
+            .get("counters")
+            .expect("counters object")
+            .get(name)
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn faulted_runs_within_budget_match_fault_free_baselines() {
+        let dir = temp_dir("faults_budget");
+        for (tag, cmd) in [
+            ("oracle", "oracle --trials 4 --jobs 4 --quiet-noise"),
+            ("brute", "brute --window 8 --jobs 4 --quiet-noise"),
+        ] {
+            let base = dir.join(format!("{tag}_base.jsonl"));
+            dispatch(&parse(&format!("{cmd} --fault-rate 0 --metrics-out {}", base.display())))
+                .expect("fault-free baseline");
+            let baseline = read_jsonl(&base);
+            // Fault decisions are a pure function of (plan seed, rate,
+            // site, shard, attempt) — not of wall-clock or scheduling —
+            // so walking a small rate ladder deterministically finds a
+            // rate that injects at least one fault while every shard
+            // still survives its retry budget. The ladder, not a pinned
+            // rate, keeps this test valid under any PACMAN_FAULT_SEED
+            // the environment may export.
+            let mut matched = false;
+            for rate in ["0.2", "0.25", "0.3", "0.35"] {
+                let out = dir.join(format!("{tag}_{rate}.jsonl"));
+                let run = dispatch(&parse(&format!(
+                    "{cmd} --fault-rate {rate} --metrics-out {}",
+                    out.display()
+                )));
+                if run.is_err() {
+                    continue; // budget exhausted at this rate; try lower odds elsewhere
+                }
+                let faulted = read_jsonl(&out);
+                if runner_counter(&faulted, "runner.retries") == 0 {
+                    continue; // no fault fired; climb the ladder
+                }
+                assert!(runner_counter(&faulted, "runner.faults_injected") > 0);
+                assert_eq!(runner_counter(&faulted, "runner.shard_failures"), 0);
+                assert_eq!(
+                    without_runner_counters(&faulted),
+                    without_runner_counters(&baseline),
+                    "{tag}: retried aggregates must be bit-identical to the fault-free run"
+                );
+                matched = true;
+                break;
+            }
+            assert!(matched, "{tag}: no ladder rate injected faults within the retry budget");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_rate_one_exhausts_the_budget_with_a_typed_partial_failure() {
+        let dir = temp_dir("faults_exhaust");
+        let out = dir.join("out.jsonl");
+        // Rate 1.0 fires on every (shard, attempt) decision regardless of
+        // seed, so every shard must exhaust its budget: a typed partial
+        // failure with per-shard evidence, never a panic.
+        let err = dispatch(&parse(&format!(
+            "oracle --trials 4 --jobs 2 --quiet-noise --fault-rate 1 --metrics-out {}",
+            out.display()
+        )))
+        .expect_err("rate 1.0 must exhaust every shard's retry budget");
+        let records = read_jsonl(&out);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(err.to_string().contains("shards completed"), "{err}");
+        let failures: Vec<_> = records
+            .iter()
+            .filter(|r| r.get("record").and_then(Value::as_str) == Some("shard_failure"))
+            .collect();
+        assert!(!failures.is_empty(), "per-shard failure evidence must be recorded");
+        for f in &failures {
+            assert!(f.get("shard").and_then(Value::as_u64).is_some());
+            assert!(f.get("attempts").and_then(Value::as_u64).is_some());
+            assert!(f.get("panicked").and_then(Value::as_bool).is_some());
+            assert!(f.get("message").and_then(Value::as_str).is_some());
+        }
+        let partial = records
+            .iter()
+            .find(|r| r.get("record").and_then(Value::as_str) == Some("partial_failure"))
+            .expect("partial_failure summary record");
+        assert_eq!(partial.get("shards_completed").and_then(Value::as_u64), Some(0));
+        assert!(partial.get("shards_total").and_then(Value::as_u64).unwrap() > 0);
+        assert_eq!(
+            partial.get("failures").and_then(Value::as_u64),
+            partial.get("shards_total").and_then(Value::as_u64)
+        );
+    }
+
+    #[test]
+    fn fault_rate_option_is_validated() {
+        let err = dispatch(&parse("oracle --trials 1 --fault-rate 1.5")).expect_err("rate > 1");
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+        let err = dispatch(&parse("oracle --trials 1 --fault-rate nan-ish")).expect_err("garbage");
+        assert!(err.to_string().contains("not a number"), "{err}");
+        let err = dispatch(&parse("census --fault-rate 0.5")).expect_err("foreign option");
+        assert!(err.to_string().contains("--fault-rate"), "{err}");
+    }
+
+    #[test]
+    fn verify_summary_records_whether_faults_were_active() {
+        let dir = temp_dir("verify_faults_field");
+        for id in claims::ARTIFACT_IDS {
+            claims::example_artifact(id).write_to(&dir).expect("example artifact");
+        }
+        let out = dir.join("verdicts.jsonl");
+        let cmd = format!("verify --dir {} --metrics-out {}", dir.display(), out.display());
+        dispatch(&parse(&cmd)).expect("verify runs");
+        let records = read_jsonl(&out);
+        std::fs::remove_dir_all(&dir).ok();
+        let summary = records.last().expect("verify_summary record");
+        let faults_active = summary.get("faults_active").and_then(Value::as_bool);
+        assert_eq!(faults_active, Some(pacman_core::FaultPlan::from_env().is_active()));
     }
 }

@@ -20,6 +20,8 @@
 //! - [`jump2win`] — the §8.3 control-flow hijack;
 //! - [`parallel`] — sharded, deterministic parallel drivers for the
 //!   above experiments (the `pacman-runner` execution layer);
+//! - [`fault`] — deterministic fault injection and the retry/tolerance
+//!   policy the parallel drivers run under;
 //! - [`report`] — table/series rendering for the bench harness;
 //! - [`telemetry`] — per-trial oracle records and the `oracle.*` /
 //!   `brute.*` metrics series (JSONL export via `pacman-cli --json`).
@@ -48,6 +50,7 @@
 pub mod brute;
 pub mod cache_probe;
 pub mod evict;
+pub mod fault;
 pub mod jump2win;
 pub mod oracle;
 pub mod parallel;
@@ -58,4 +61,6 @@ pub mod system;
 pub mod telemetry;
 pub mod timing;
 
+pub use fault::{FaultPlan, Tolerance};
+pub use parallel::ExperimentError;
 pub use system::{System, SystemConfig};

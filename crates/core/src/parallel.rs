@@ -6,25 +6,36 @@
 //!    contiguous shards (a pure function of the workload and the base
 //!    seed — never of the worker count);
 //! 2. boot one fresh [`System`] per shard whose *machine* seed is the
-//!    shard seed (`base ^ shard_index`) while the *kernel* seed is
+//!    shard seed (`mix64(base, shard_index)`) while the *kernel* seed is
 //!    untouched, so PAC keys, target addresses and ground truth are
 //!    identical on every shard and only the noise/jitter streams differ;
-//! 3. run the shard's trials independently;
+//! 3. run the shard's trials independently under the caller's
+//!    [`Tolerance`]: panics are isolated per attempt, transient failures
+//!    (including deterministically injected ones) retry within the
+//!    [`RetryPolicy`](crate::fault::RetryPolicy) budget, and a shard
+//!    that exhausts its budget surfaces as a typed
+//!    [`ExperimentError::Shards`] partial-result report instead of a
+//!    process abort;
 //! 4. merge the per-shard outputs **in shard order** with
 //!    order-insensitive operations: counters add, histograms fold
 //!    bucket-wise ([`Registry::merge`]), trial logs concatenate and
 //!    reindex.
 //!
 //! Consequence: for a fixed base seed the merged aggregate is identical
-//! for `jobs = 1` and `jobs = N` — the determinism contract the
-//! `parallel_determinism` integration tests pin.
+//! for `jobs = 1` and `jobs = N` — and, because a retried attempt reruns
+//! the identical shard work on the identical experiment seed, identical
+//! to the fault-free run even when injected faults forced retries. The
+//! `parallel_determinism` integration tests pin both properties.
 
-use pacman_runner::{run_shards, shard_plan, Shard, DEFAULT_SHARDS};
+use pacman_runner::{
+    run_shards_tolerant, shard_plan, RunnerError, Shard, ShardedOutcome, DEFAULT_SHARDS,
+};
 use pacman_telemetry::Registry;
 use pacman_uarch::Trap;
 
 use crate::brute::{BruteForcer, BruteOutcome, BruteVerdict};
 use crate::cache_probe::{quiet_target_offset, CacheDataPacOracle};
+use crate::fault::{FaultSite, Tolerance, SPIKE_CYCLES};
 use crate::jump2win::{Jump2Win, Jump2WinError, Jump2WinReport};
 use crate::oracle::{DataPacOracle, InstrPacOracle, OracleError, PacOracle};
 use crate::sweep::{
@@ -32,6 +43,104 @@ use crate::sweep::{
 };
 use crate::system::{System, SystemConfig};
 use crate::telemetry::{recorded_test_pac, TrialLog, TrialRecord};
+
+pub use pacman_runner::ShardError;
+
+/// A typed partial-result report: what completed, what failed and why,
+/// after the retry budget ran out on at least one shard.
+#[derive(Clone, Debug)]
+pub struct PartialFailure {
+    /// Shards in the plan.
+    pub total: usize,
+    /// Shards that completed (their results are discarded — a partial
+    /// aggregate would silently change the experiment's statistics).
+    pub completed: usize,
+    /// Retries spent across all shards before giving up.
+    pub retries: u64,
+    /// Permanent per-shard failures, in shard order (cancelled shards
+    /// included).
+    pub failures: Vec<ShardError>,
+}
+
+impl std::fmt::Display for PartialFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let permanent = self.failures.iter().filter(|e| !e.cancelled).count();
+        let cancelled = self.failures.len() - permanent;
+        write!(
+            f,
+            "{} of {} shards completed ({} failed permanently, {} cancelled, {} retries)",
+            self.completed, self.total, permanent, cancelled, self.retries
+        )
+    }
+}
+
+/// The workspace experiment error: everything a parallel driver can
+/// fail with, typed.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// An oracle build/measure error escaped a shard (only via the
+    /// shard-failure path; see [`ExperimentError::Shards`]).
+    Oracle(OracleError),
+    /// An architectural trap from a sweep machine.
+    Trap(Trap),
+    /// A Jump2Win phase error.
+    Jump2Win(Jump2WinError),
+    /// The execution engine itself failed (poisoned/unfilled slots).
+    Runner(RunnerError),
+    /// An injected timing-noise spike corrupted this attempt's
+    /// measurements; the attempt is discarded and retried.
+    InjectedSpike {
+        /// The spiked shard.
+        shard: usize,
+        /// Timed accesses the spike inflated during the attempt.
+        spikes: u64,
+    },
+    /// At least one shard exhausted its retry budget: the experiment
+    /// aborted with a partial-result report instead of a panic.
+    Shards(PartialFailure),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Oracle(e) => write!(f, "oracle error: {e}"),
+            ExperimentError::Trap(t) => write!(f, "machine trap: {t:?}"),
+            ExperimentError::Jump2Win(e) => write!(f, "jump2win error: {e}"),
+            ExperimentError::Runner(e) => write!(f, "runner error: {e}"),
+            ExperimentError::InjectedSpike { shard, spikes } => write!(
+                f,
+                "injected timing-noise spike corrupted {spikes} timed accesses on shard {shard}"
+            ),
+            ExperimentError::Shards(p) => write!(f, "sharded experiment failed: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<OracleError> for ExperimentError {
+    fn from(e: OracleError) -> Self {
+        ExperimentError::Oracle(e)
+    }
+}
+
+impl From<Trap> for ExperimentError {
+    fn from(t: Trap) -> Self {
+        ExperimentError::Trap(t)
+    }
+}
+
+impl From<Jump2WinError> for ExperimentError {
+    fn from(e: Jump2WinError) -> Self {
+        ExperimentError::Jump2Win(e)
+    }
+}
+
+impl From<RunnerError> for ExperimentError {
+    fn from(e: RunnerError) -> Self {
+        ExperimentError::Runner(e)
+    }
+}
 
 /// Transmission channel selector for the parallel oracle drivers.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -76,8 +185,23 @@ impl Channel {
 /// (decorrelating noise streams), the kernel seed stays the caller's (so
 /// keys, layout and ground truth match across shards).
 pub fn shard_system(base: &SystemConfig, shard_seed: u64, record: bool) -> System {
+    shard_system_faulted(base, shard_seed, record, false)
+}
+
+/// [`shard_system`], optionally arming the injected timing-noise spike
+/// on the shard machine (the attempt will run — exercising the uarch
+/// path — and then be discarded).
+fn shard_system_faulted(
+    base: &SystemConfig,
+    shard_seed: u64,
+    record: bool,
+    spiked: bool,
+) -> System {
     let mut cfg = base.clone();
     cfg.machine.seed = shard_seed;
+    if spiked {
+        cfg.machine.latency.fault_spike = SPIKE_CYCLES;
+    }
     let mut sys = System::boot(cfg);
     if record {
         sys.telemetry.set_enabled(true);
@@ -94,10 +218,39 @@ fn shard_registry(sys: &System) -> Registry {
     reg
 }
 
-/// Lifts per-shard fallible results into one result, reporting the
-/// error from the lowest-indexed failing shard (deterministic).
-fn collect_shards<T>(results: Vec<Result<T, OracleError>>) -> Result<Vec<T>, OracleError> {
-    results.into_iter().collect()
+/// Splits a tolerant outcome into values + retry count, or a typed
+/// [`PartialFailure`] if any shard failed permanently.
+fn collect_tolerant<T>(outcome: ShardedOutcome<T>) -> Result<(Vec<T>, u64), ExperimentError> {
+    let retries = outcome.retries;
+    let total = outcome.results.len();
+    let mut values = Vec::with_capacity(total);
+    let mut failures = Vec::new();
+    for r in outcome.results {
+        match r {
+            Ok(v) => values.push(v),
+            Err(e) => failures.push(e),
+        }
+    }
+    if failures.is_empty() {
+        Ok((values, retries))
+    } else {
+        Err(ExperimentError::Shards(PartialFailure {
+            total,
+            completed: values.len(),
+            retries,
+            failures,
+        }))
+    }
+}
+
+/// Records the execution-layer counters every JSONL metrics export
+/// carries: retries spent, permanent shard failures (always 0 on the
+/// success path — a permanent failure aborts with
+/// [`ExperimentError::Shards`]) and injected faults.
+fn record_runner_counters(reg: &mut Registry, retries: u64, tol: &Tolerance) {
+    reg.incr_by("runner.retries", retries);
+    reg.incr_by("runner.shard_failures", 0);
+    reg.incr_by("runner.faults_injected", tol.faults.injected());
 }
 
 /// Concatenates shard trial logs in shard order and reindexes them into
@@ -158,10 +311,14 @@ struct OracleShardOut {
 /// `wrong_for(i, true_pac)` derives the wrong guess for global trial
 /// index `i`, so the guess sequence is independent of sharding. With
 /// `record` set, per-trial records and `oracle.*` telemetry are kept.
+/// `tol` supplies the retry budget and (optional) fault injection.
 ///
 /// # Errors
 ///
-/// Propagates the first [`OracleError`] in shard order.
+/// [`ExperimentError::Shards`] with a partial-result report when a
+/// shard exhausts its retry budget; [`ExperimentError::Runner`] for
+/// engine failures.
+#[allow(clippy::too_many_arguments)]
 pub fn oracle_distribution<F>(
     base: &SystemConfig,
     channel: Channel,
@@ -169,15 +326,22 @@ pub fn oracle_distribution<F>(
     trials: usize,
     jobs: usize,
     record: bool,
+    tol: &Tolerance,
     wrong_for: F,
-) -> Result<OracleDistribution, OracleError>
+) -> Result<OracleDistribution, ExperimentError>
 where
     F: Fn(usize, u16) -> u16 + Sync,
 {
     let plan = shard_plan(trials, DEFAULT_SHARDS, base.machine.seed);
-    let shard_outs =
-        run_shards(&plan, jobs, |shard: &Shard| -> Result<OracleShardOut, OracleError> {
-            let mut sys = shard_system(base, shard.seed, record);
+    let shard_outs = run_shards_tolerant(
+        &plan,
+        jobs,
+        tol.retry,
+        |shard: &Shard, attempt: u32| -> Result<OracleShardOut, ExperimentError> {
+            let fa = tol.fault_attempt(attempt);
+            tol.faults.maybe_panic(shard.index, fa);
+            let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
+            let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
             let set = sys.pick_quiet_dtlb_set();
             let target = sys.alloc_target(set) + channel.target_offset();
             let true_pac = sys.true_pac(target);
@@ -226,9 +390,20 @@ where
             if record {
                 out.telemetry = shard_registry(&sys);
             }
+            if spiked {
+                // The attempt ran to completion (exercising the spiked
+                // timing path) but its measurements are corrupted: fail
+                // the attempt so the whole shard — telemetry included —
+                // is discarded and retried.
+                return Err(ExperimentError::InjectedSpike {
+                    shard: shard.index,
+                    spikes: sys.machine.stats.fault_spikes,
+                });
+            }
             Ok(out)
-        });
-    let shard_outs = collect_shards(shard_outs)?;
+        },
+    )?;
+    let (shard_outs, retries) = collect_tolerant(shard_outs)?;
 
     let mut merged = OracleDistribution {
         trials: trials as u64,
@@ -259,6 +434,7 @@ where
         logs.push(s.records);
     }
     merged.records = merge_logs(logs);
+    record_runner_counters(&mut merged.telemetry, retries, tol);
     Ok(merged)
 }
 
@@ -288,7 +464,8 @@ pub struct ParallelBrute {
 ///
 /// # Errors
 ///
-/// Propagates the first [`OracleError`] in shard order.
+/// [`ExperimentError::Shards`] with a partial-result report when a
+/// shard exhausts its retry budget.
 pub fn parallel_brute(
     base: &SystemConfig,
     channel: Channel,
@@ -296,7 +473,8 @@ pub fn parallel_brute(
     candidates: &[u16],
     jobs: usize,
     record: bool,
-) -> Result<ParallelBrute, OracleError> {
+    tol: &Tolerance,
+) -> Result<ParallelBrute, ExperimentError> {
     struct ShardOut {
         outcome: BruteOutcome,
         target: u64,
@@ -304,18 +482,32 @@ pub fn parallel_brute(
         telemetry: Registry,
     }
     let plan = shard_plan(candidates.len(), DEFAULT_SHARDS, base.machine.seed);
-    let shard_outs = run_shards(&plan, jobs, |shard: &Shard| -> Result<ShardOut, OracleError> {
-        let mut sys = shard_system(base, shard.seed, record);
-        let set = sys.pick_quiet_dtlb_set();
-        let target = sys.alloc_target(set) + channel.target_offset();
-        let true_pac = sys.true_pac(target);
-        let oracle = channel.oracle(&mut sys, samples)?;
-        let mut bf = BruteForcer::new(oracle);
-        let outcome = bf.brute(&mut sys, target, candidates[shard.range()].iter().copied())?;
-        let telemetry = if record { shard_registry(&sys) } else { Registry::disabled() };
-        Ok(ShardOut { outcome, target, true_pac, telemetry })
-    });
-    let shard_outs = collect_shards(shard_outs)?;
+    let shard_outs = run_shards_tolerant(
+        &plan,
+        jobs,
+        tol.retry,
+        |shard: &Shard, attempt: u32| -> Result<ShardOut, ExperimentError> {
+            let fa = tol.fault_attempt(attempt);
+            tol.faults.maybe_panic(shard.index, fa);
+            let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
+            let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
+            let set = sys.pick_quiet_dtlb_set();
+            let target = sys.alloc_target(set) + channel.target_offset();
+            let true_pac = sys.true_pac(target);
+            let oracle = channel.oracle(&mut sys, samples)?;
+            let mut bf = BruteForcer::new(oracle);
+            let outcome = bf.brute(&mut sys, target, candidates[shard.range()].iter().copied())?;
+            let telemetry = if record { shard_registry(&sys) } else { Registry::disabled() };
+            if spiked {
+                return Err(ExperimentError::InjectedSpike {
+                    shard: shard.index,
+                    spikes: sys.machine.stats.fault_spikes,
+                });
+            }
+            Ok(ShardOut { outcome, target, true_pac, telemetry })
+        },
+    )?;
+    let (shard_outs, retries) = collect_tolerant(shard_outs)?;
 
     let mut merged = ParallelBrute {
         outcome: BruteOutcome {
@@ -343,6 +535,7 @@ pub fn parallel_brute(
         merged.outcome.crashes += s.outcome.crashes;
         merged.telemetry.merge(&s.telemetry);
     }
+    record_runner_counters(&mut merged.telemetry, retries, tol);
     Ok(merged)
 }
 
@@ -371,15 +564,17 @@ pub struct AccuracyOutcome {
 ///
 /// # Errors
 ///
-/// Propagates the first [`OracleError`] in shard order.
+/// [`ExperimentError::Shards`] with a partial-result report when a
+/// shard exhausts its retry budget.
 pub fn parallel_accuracy<F>(
     base: &SystemConfig,
     channel: Channel,
     samples: usize,
     runs: usize,
     jobs: usize,
+    tol: &Tolerance,
     window_for: F,
-) -> Result<AccuracyOutcome, OracleError>
+) -> Result<AccuracyOutcome, ExperimentError>
 where
     F: Fn(usize, u16) -> Vec<u16> + Sync,
 {
@@ -391,28 +586,42 @@ where
         telemetry: Registry,
     }
     let plan = shard_plan(runs, DEFAULT_SHARDS, base.machine.seed);
-    let shard_outs = run_shards(&plan, jobs, |shard: &Shard| -> Result<ShardOut, OracleError> {
-        let mut sys = shard_system(base, shard.seed, true);
-        let set = sys.pick_quiet_dtlb_set();
-        let target = sys.alloc_target(set) + channel.target_offset();
-        let true_pac = sys.true_pac(target);
-        let oracle = channel.oracle(&mut sys, samples)?;
-        let mut bf = BruteForcer::new(oracle);
-        let (mut tp, mut fp, mut fneg) = (0u64, 0u64, 0u64);
-        for run in shard.range() {
-            let window = window_for(run, true_pac);
-            let outcome = bf.brute(&mut sys, target, window)?;
-            match BruteForcer::<Box<dyn PacOracle>>::classify(&outcome, true_pac) {
-                BruteVerdict::TruePositive => tp += 1,
-                BruteVerdict::FalsePositive => fp += 1,
-                BruteVerdict::FalseNegative => fneg += 1,
+    let shard_outs = run_shards_tolerant(
+        &plan,
+        jobs,
+        tol.retry,
+        |shard: &Shard, attempt: u32| -> Result<ShardOut, ExperimentError> {
+            let fa = tol.fault_attempt(attempt);
+            tol.faults.maybe_panic(shard.index, fa);
+            let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
+            let mut sys = shard_system_faulted(base, shard.seed, true, spiked);
+            let set = sys.pick_quiet_dtlb_set();
+            let target = sys.alloc_target(set) + channel.target_offset();
+            let true_pac = sys.true_pac(target);
+            let oracle = channel.oracle(&mut sys, samples)?;
+            let mut bf = BruteForcer::new(oracle);
+            let (mut tp, mut fp, mut fneg) = (0u64, 0u64, 0u64);
+            for run in shard.range() {
+                let window = window_for(run, true_pac);
+                let outcome = bf.brute(&mut sys, target, window)?;
+                match BruteForcer::<Box<dyn PacOracle>>::classify(&outcome, true_pac) {
+                    BruteVerdict::TruePositive => tp += 1,
+                    BruteVerdict::FalsePositive => fp += 1,
+                    BruteVerdict::FalseNegative => fneg += 1,
+                }
             }
-        }
-        let crashes = sys.kernel.crash_count();
-        let telemetry = shard_registry(&sys);
-        Ok(ShardOut { tp, fp, fneg, crashes, telemetry })
-    });
-    let shard_outs = collect_shards(shard_outs)?;
+            let crashes = sys.kernel.crash_count();
+            let telemetry = shard_registry(&sys);
+            if spiked {
+                return Err(ExperimentError::InjectedSpike {
+                    shard: shard.index,
+                    spikes: sys.machine.stats.fault_spikes,
+                });
+            }
+            Ok(ShardOut { tp, fp, fneg, crashes, telemetry })
+        },
+    )?;
+    let (shard_outs, retries) = collect_tolerant(shard_outs)?;
 
     let mut merged = AccuracyOutcome {
         runs: runs as u64,
@@ -429,6 +638,7 @@ where
         merged.crashes += s.crashes;
         merged.telemetry.merge(&s.telemetry);
     }
+    record_runner_counters(&mut merged.telemetry, retries, tol);
     Ok(merged)
 }
 
@@ -450,36 +660,49 @@ pub enum SweepKind {
 /// PMC0 timing, so the medians are exactly reproducible at any job
 /// count. Also returns the merged machine telemetry.
 ///
+/// Fault injection here covers shard panics only: the sweep machines
+/// are deliberately noise-free (PMC0, no timer jitter), so the
+/// timing-spike site does not apply.
+///
 /// # Errors
 ///
-/// Propagates the first [`Trap`] in stride order.
+/// [`ExperimentError::Shards`] with a partial-result report (carrying
+/// any underlying [`Trap`] messages) when a shard exhausts its budget.
 pub fn parallel_sweep(
     kind: SweepKind,
     strides: &[u64],
     jobs: usize,
-) -> Result<(Vec<SweepSeries>, Registry), Trap> {
+    tol: &Tolerance,
+) -> Result<(Vec<SweepSeries>, Registry), ExperimentError> {
     // One work unit per stride: stride counts are tiny (3-4), and each
     // stride is the natural isolation boundary (disjoint VA region).
     let plan = shard_plan(strides.len(), strides.len(), 0);
-    let outs = run_shards(&plan, jobs, |shard: &Shard| -> Result<(SweepSeries, Registry), Trap> {
-        let mut m = experiment_machine();
-        let si = shard.index;
-        let series = match kind {
-            SweepKind::DataTlb => data_tlb_series(&mut m, si, strides[si])?,
-            SweepKind::CacheTlb => cache_tlb_series(&mut m, si, strides[si])?,
-            SweepKind::Itlb => itlb_series(&mut m, si, strides[si])?,
-        };
-        let mut reg = Registry::new();
-        m.export_telemetry(&mut reg);
-        Ok((series, reg))
-    });
+    let outs = run_shards_tolerant(
+        &plan,
+        jobs,
+        tol.retry,
+        |shard: &Shard, attempt: u32| -> Result<(SweepSeries, Registry), ExperimentError> {
+            tol.faults.maybe_panic(shard.index, tol.fault_attempt(attempt));
+            let mut m = experiment_machine();
+            let si = shard.index;
+            let series = match kind {
+                SweepKind::DataTlb => data_tlb_series(&mut m, si, strides[si])?,
+                SweepKind::CacheTlb => cache_tlb_series(&mut m, si, strides[si])?,
+                SweepKind::Itlb => itlb_series(&mut m, si, strides[si])?,
+            };
+            let mut reg = Registry::new();
+            m.export_telemetry(&mut reg);
+            Ok((series, reg))
+        },
+    )?;
+    let (outs, retries) = collect_tolerant(outs)?;
     let mut series = Vec::with_capacity(strides.len());
     let mut telemetry = Registry::new();
-    for out in outs {
-        let (s, reg) = out?;
+    for (s, reg) in outs {
         series.push(s);
         telemetry.merge(&reg);
     }
+    record_runner_counters(&mut telemetry, retries, tol);
     Ok((series, telemetry))
 }
 
@@ -490,13 +713,15 @@ pub fn parallel_sweep(
 ///
 /// # Errors
 ///
-/// See [`Jump2WinError`]; phase errors surface in phase order.
+/// [`ExperimentError::Shards`] when a phase exhausts its retry budget;
+/// [`ExperimentError::Jump2Win`] from the plant/dispatch phase.
 pub fn parallel_jump2win(
     base: &SystemConfig,
     driver: &Jump2Win,
     jobs: usize,
     record: bool,
-) -> Result<(Jump2WinReport, Registry), Jump2WinError> {
+    tol: &Tolerance,
+) -> Result<(Jump2WinReport, Registry), ExperimentError> {
     use pacman_isa::PacKey;
 
     struct PhaseOut {
@@ -509,31 +734,45 @@ pub fn parallel_jump2win(
     }
     // Two work units: the two brute-force phases.
     let plan = shard_plan(2, 2, base.machine.seed);
-    let outs = run_shards(&plan, jobs, |shard: &Shard| -> Result<PhaseOut, Jump2WinError> {
-        let mut sys = shard_system(base, shard.seed, record);
-        let phase = shard.index;
-        let (sc, target, key) = if phase == 0 {
-            (sys.cpp.gadget_ia, sys.cpp.win_fn, PacKey::Ia)
-        } else {
-            (sys.cpp.gadget_da, sys.cpp.obj1, PacKey::Da)
-        };
-        let syscalls0 = sys.machine.stats.syscalls;
-        let cycles0 = sys.machine.cycles;
-        let crashes0 = sys.kernel.crash_count();
-        let mut guesses = 0u64;
-        let pac = driver.brute_phase(&mut sys, sc, target, key, phase, &mut guesses)?;
-        Ok(PhaseOut {
-            pac,
-            guesses,
-            syscalls: sys.machine.stats.syscalls - syscalls0,
-            cycles: sys.machine.cycles - cycles0,
-            crashes: sys.kernel.crash_count() - crashes0,
-            telemetry: if record { shard_registry(&sys) } else { Registry::disabled() },
-        })
-    });
-    let mut outs = outs.into_iter();
-    let ia = outs.next().expect("two phase shards")?;
-    let da = outs.next().expect("two phase shards")?;
+    let outs = run_shards_tolerant(
+        &plan,
+        jobs,
+        tol.retry,
+        |shard: &Shard, attempt: u32| -> Result<PhaseOut, ExperimentError> {
+            let fa = tol.fault_attempt(attempt);
+            tol.faults.maybe_panic(shard.index, fa);
+            let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
+            let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
+            let phase = shard.index;
+            let (sc, target, key) = if phase == 0 {
+                (sys.cpp.gadget_ia, sys.cpp.win_fn, PacKey::Ia)
+            } else {
+                (sys.cpp.gadget_da, sys.cpp.obj1, PacKey::Da)
+            };
+            let syscalls0 = sys.machine.stats.syscalls;
+            let cycles0 = sys.machine.cycles;
+            let crashes0 = sys.kernel.crash_count();
+            let mut guesses = 0u64;
+            let pac = driver.brute_phase(&mut sys, sc, target, key, phase, &mut guesses)?;
+            if spiked {
+                return Err(ExperimentError::InjectedSpike {
+                    shard: shard.index,
+                    spikes: sys.machine.stats.fault_spikes,
+                });
+            }
+            Ok(PhaseOut {
+                pac,
+                guesses,
+                syscalls: sys.machine.stats.syscalls - syscalls0,
+                cycles: sys.machine.cycles - cycles0,
+                crashes: sys.kernel.crash_count() - crashes0,
+                telemetry: if record { shard_registry(&sys) } else { Registry::disabled() },
+            })
+        },
+    )?;
+    let (mut outs, retries) = collect_tolerant(outs)?;
+    let da = outs.pop().ok_or(ExperimentError::Runner(RunnerError::MissingResult { shard: 1 }))?;
+    let ia = outs.pop().ok_or(ExperimentError::Runner(RunnerError::MissingResult { shard: 0 }))?;
 
     // Phases 3-4 on a fresh system with the caller's exact config (the
     // planted pointers only depend on the kernel seed, shared by all).
@@ -549,6 +788,7 @@ pub fn parallel_jump2win(
     if record {
         telemetry.merge(&shard_registry(&sys));
     }
+    record_runner_counters(&mut telemetry, retries, tol);
     let report = Jump2WinReport {
         pac_win: ia.pac,
         pac_vtable: da.pac,
@@ -564,6 +804,7 @@ pub fn parallel_jump2win(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, RetryPolicy};
     use crate::oracle::CORRECT_MISS_THRESHOLD;
 
     fn quiet_config() -> SystemConfig {
@@ -572,11 +813,22 @@ mod tests {
         cfg
     }
 
+    fn no_faults() -> Tolerance {
+        Tolerance::default()
+    }
+
     #[test]
     fn oracle_distribution_classifies_both_classes() {
-        let out = oracle_distribution(&quiet_config(), Channel::Data, 1, 12, 2, false, |i, tp| {
-            tp ^ (1 + i as u16)
-        })
+        let out = oracle_distribution(
+            &quiet_config(),
+            Channel::Data,
+            1,
+            12,
+            2,
+            false,
+            &no_faults(),
+            |i, tp| tp ^ (1 + i as u16),
+        )
         .expect("distribution");
         assert_eq!(out.trials, 12);
         assert_eq!(out.correct_detected, 12);
@@ -589,15 +841,24 @@ mod tests {
 
     #[test]
     fn oracle_distribution_records_and_reindexes() {
-        let out = oracle_distribution(&quiet_config(), Channel::Data, 1, 6, 3, true, |i, tp| {
-            tp ^ (1 + i as u16)
-        })
+        let out = oracle_distribution(
+            &quiet_config(),
+            Channel::Data,
+            1,
+            6,
+            3,
+            true,
+            &no_faults(),
+            |i, tp| tp ^ (1 + i as u16),
+        )
         .expect("distribution");
         assert_eq!(out.records.len(), 12, "two records per trial pair");
         for (i, r) in out.records.iter().enumerate() {
             assert_eq!(r.index, i as u64, "records are reindexed in shard order");
         }
         assert_eq!(out.telemetry.counter_value("oracle.trials"), 12);
+        assert_eq!(out.telemetry.counter_value("runner.retries"), 0);
+        assert_eq!(out.telemetry.counter_value("runner.faults_injected"), 0);
     }
 
     #[test]
@@ -610,8 +871,8 @@ mod tests {
         let true_pac = probe.true_pac(target);
         let candidates: Vec<u16> =
             (0..24u16).map(|i| true_pac.wrapping_sub(11).wrapping_add(i)).collect();
-        let out =
-            parallel_brute(&cfg, Channel::Data, 1, &candidates, 2, false).expect("parallel brute");
+        let out = parallel_brute(&cfg, Channel::Data, 1, &candidates, 2, false, &no_faults())
+            .expect("parallel brute");
         assert_eq!(out.target, target);
         assert_eq!(out.true_pac, true_pac);
         assert_eq!(out.outcome.found, Some(true_pac));
@@ -623,11 +884,12 @@ mod tests {
 
     #[test]
     fn parallel_accuracy_tallies_runs() {
-        let out = parallel_accuracy(&quiet_config(), Channel::Data, 1, 6, 2, |run, tp| {
-            let start = tp.wrapping_sub(2).wrapping_add((run % 2) as u16);
-            (0..6u16).map(|i| start.wrapping_add(i)).collect()
-        })
-        .expect("accuracy");
+        let out =
+            parallel_accuracy(&quiet_config(), Channel::Data, 1, 6, 2, &no_faults(), |run, tp| {
+                let start = tp.wrapping_sub(2).wrapping_add((run % 2) as u16);
+                (0..6u16).map(|i| start.wrapping_add(i)).collect()
+            })
+            .expect("accuracy");
         assert_eq!(out.runs, 6);
         assert_eq!(out.true_positives + out.false_positives + out.false_negatives, 6);
         assert_eq!(out.false_positives, 0);
@@ -636,11 +898,123 @@ mod tests {
 
     #[test]
     fn parallel_sweep_reproduces_the_serial_knees() {
-        let (series, reg) = parallel_sweep(SweepKind::DataTlb, &[256, 2048], 2).expect("sweep");
+        let (series, reg) =
+            parallel_sweep(SweepKind::DataTlb, &[256, 2048], 2, &no_faults()).expect("sweep");
         assert_eq!(series[0].knee_above(90), Some(12), "finding 1 survives parallelism");
         assert_eq!(series[1].knee_above(110), Some(23), "finding 2 survives parallelism");
         assert!(!reg.is_empty(), "machine telemetry merged");
-        let (instr, _) = parallel_sweep(SweepKind::Itlb, &[32], 2).expect("itlb sweep");
+        let (instr, _) = parallel_sweep(SweepKind::Itlb, &[32], 2, &no_faults()).expect("itlb");
         assert_eq!(instr[0].knee_below(90), Some(4), "finding 3 survives parallelism");
+    }
+
+    /// Replays the driver's per-shard fault decisions: the attempts a
+    /// shard needs before one is clean, or `None` if the budget (with
+    /// reseeding) would be exhausted.
+    fn attempts_to_survive(seed: u64, rate: f64, shard: u64, budget: u32) -> Option<u32> {
+        let probe = FaultPlan::new(seed, rate);
+        (0..budget).find(|&a| {
+            !probe.fires(FaultSite::ShardPanic, shard, a)
+                && !probe.fires(FaultSite::TimingSpike, shard, a)
+        })
+    }
+
+    #[test]
+    fn injected_faults_within_budget_leave_aggregates_bit_identical() {
+        let cfg = quiet_config();
+        let wrong = |i: usize, tp: u16| tp ^ (1 + i as u16);
+        let baseline = oracle_distribution(&cfg, Channel::Data, 1, 8, 2, true, &no_faults(), wrong)
+            .expect("fault-free run");
+        // Deterministically pick a seed whose rate-0.3 fault pattern
+        // forces at least one retry on the 8-shard plan but exhausts no
+        // shard's budget (both properties are pure functions of the
+        // seed, so the chosen run is reproducible).
+        let budget = RetryPolicy::default().max_attempts;
+        let seed = (0..500u64)
+            .find(|&s| {
+                let survived: Vec<_> =
+                    (0..8u64).map(|sh| attempts_to_survive(s, 0.3, sh, budget)).collect();
+                survived.iter().all(Option::is_some)
+                    && survived.iter().map(|a| u64::from(a.unwrap())).sum::<u64>() > 0
+            })
+            .expect("a qualifying seed exists in 0..500");
+        let tol = Tolerance { retry: RetryPolicy::default(), faults: FaultPlan::new(seed, 0.3) };
+        let faulted = oracle_distribution(&cfg, Channel::Data, 1, 8, 4, true, &tol, wrong)
+            .expect("faults within the retry budget must not fail the run");
+        assert!(
+            faulted.telemetry.counter_value("runner.retries") > 0,
+            "the fault plan must actually have forced retries"
+        );
+        assert!(faulted.telemetry.counter_value("runner.faults_injected") > 0);
+        assert_eq!(baseline.correct_detected, faulted.correct_detected);
+        assert_eq!(baseline.incorrect_clean, faulted.incorrect_clean);
+        assert_eq!(baseline.correct_misses, faulted.correct_misses);
+        assert_eq!(baseline.incorrect_misses, faulted.incorrect_misses);
+        assert_eq!(baseline.crashes, faulted.crashes);
+        assert_eq!(baseline.records.len(), faulted.records.len());
+        for (b, f) in baseline.records.iter().zip(&faulted.records) {
+            assert_eq!(b.guess, f.guess);
+            assert_eq!(b.misses, f.misses);
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_yields_a_typed_partial_failure() {
+        // Rate 1.0 without reseeding: every shard panics on every
+        // attempt, so every shard exhausts its budget deterministically.
+        let tol = Tolerance {
+            retry: RetryPolicy { max_attempts: 2, reseed: false },
+            faults: FaultPlan::new(1, 1.0),
+        };
+        let err =
+            oracle_distribution(&quiet_config(), Channel::Data, 1, 8, 2, false, &tol, |i, tp| {
+                tp ^ (1 + i as u16)
+            })
+            .expect_err("rate-1.0 faults must exhaust the budget");
+        let ExperimentError::Shards(partial) = err else {
+            panic!("expected a partial-failure report, got: {err}");
+        };
+        assert_eq!(partial.completed, 0);
+        assert!(partial.retries > 0);
+        let permanent: Vec<_> = partial.failures.iter().filter(|f| !f.cancelled).collect();
+        assert!(!permanent.is_empty());
+        for f in &permanent {
+            assert!(f.panicked, "injected shard faults panic");
+            assert_eq!(f.attempts, 2);
+            assert!(f.message.contains("injected fault"), "{}", f.message);
+        }
+    }
+
+    #[test]
+    fn injected_spikes_are_observed_then_discarded() {
+        // A seed where shard 0's attempt 0 is spiked (not panicked) and
+        // both of the plan's shards then survive within the budget, so
+        // the run recovers with clean aggregates.
+        let budget = RetryPolicy::default().max_attempts;
+        let seed = (0..500u64)
+            .find(|&s| {
+                let probe = FaultPlan::new(s, 0.5);
+                !probe.fires(FaultSite::ShardPanic, 0, 0)
+                    && probe.fires(FaultSite::TimingSpike, 0, 0)
+                    && (0..2u64).all(|sh| attempts_to_survive(s, 0.5, sh, budget).is_some())
+            })
+            .expect("a qualifying seed exists in 0..500");
+        let cfg = quiet_config();
+        let wrong = |i: usize, tp: u16| tp ^ (1 + i as u16);
+        let baseline = oracle_distribution(&cfg, Channel::Data, 1, 2, 1, true, &no_faults(), wrong)
+            .expect("fault-free");
+        // Trials=2 => the plan has 2 single-trial shards; only shard 0's
+        // attempt 0 is spiked under the chosen seed's spike stream (other
+        // shards may retry too — irrelevant, aggregates must match).
+        let tol = Tolerance { retry: RetryPolicy::default(), faults: FaultPlan::new(seed, 0.5) };
+        let spiked = oracle_distribution(&cfg, Channel::Data, 1, 2, 1, true, &tol, wrong)
+            .expect("spiked attempts retry within budget");
+        assert_eq!(baseline.correct_detected, spiked.correct_detected);
+        assert_eq!(baseline.correct_misses, spiked.correct_misses);
+        assert_eq!(
+            spiked.telemetry.counter_value("uarch.fault_spikes"),
+            0,
+            "spiked attempts are discarded, so no spike survives into the aggregate"
+        );
+        assert!(spiked.telemetry.counter_value("runner.retries") > 0);
     }
 }

@@ -8,28 +8,36 @@
 //!
 //! - [`shard_plan`] cuts `total` work items into a **fixed** number of
 //!   contiguous shards ([`DEFAULT_SHARDS`] unless overridden), each with
-//!   its own derived RNG seed (`base_seed ^ shard_index`). The plan
-//!   depends only on the work size and base seed — never on the worker
-//!   count — so jobs=1 and jobs=N execute the exact same shards.
-//! - [`run_shards`] maps a closure over the shards on a hand-rolled
-//!   [`std::thread::scope`] pool (no external dependencies; the crates
-//!   registry is unreachable in this environment, see ROADMAP) and
-//!   returns the results **in shard order**, regardless of which worker
-//!   finished first.
+//!   its own derived RNG seed ([`mix64`]`(base_seed, shard_index)`). The
+//!   plan depends only on the work size and base seed — never on the
+//!   worker count — so jobs=1 and jobs=N execute the exact same shards.
+//! - [`run_shards_tolerant`] maps a fallible closure over the shards on
+//!   a hand-rolled [`std::thread::scope`] pool (no external
+//!   dependencies; the crates registry is unreachable in this
+//!   environment, see ROADMAP), isolating panics with `catch_unwind`,
+//!   retrying each shard under a bounded [`RetryPolicy`], and returning
+//!   per-shard `Result<T, ShardError>`s in **shard order** regardless of
+//!   which worker finished first. [`run_shards`] is the legacy
+//!   infallible wrapper.
 //! - [`default_jobs`] resolves the worker count from `PACMAN_JOBS` or
 //!   [`std::thread::available_parallelism`].
 //!
 //! Determinism contract: a driver gives each shard its own simulated
 //! `Machine` seeded from [`Shard::seed`] and merges per-shard outputs in
 //! shard order with order-insensitive operations (counter addition,
-//! histogram merges, log concatenation). Under that contract the merged
-//! aggregate is a pure function of `(total, base_seed)` and the worker
-//! count only changes wall-clock time.
+//! histogram merges, log concatenation). The *experiment* seed is
+//! attempt-invariant — a retried attempt reruns the identical work — so
+//! under that contract the merged aggregate is a pure function of
+//! `(total, base_seed)` and neither the worker count nor transient
+//! (retried-away) failures change it. [`RetryPolicy::reseed`] varies
+//! only the *fault-decision* stream across attempts (see its docs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Fixed shard count used by every parallelised experiment.
@@ -42,14 +50,35 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// Environment variable overriding the worker count.
 pub const JOBS_ENV: &str = "PACMAN_JOBS";
 
+/// A splitmix64-style finalizer mixing `salt` into `seed`.
+///
+/// Used for every derived-seed decision in the workspace: shard seeds
+/// (`mix64(base_seed, index)`), per-attempt fault streams
+/// (`mix64(seed, attempt)`). Unlike the earlier `base ^ index`
+/// derivation it has no cheap collisions — `(seed 5, shard 3)` and
+/// `(seed 7, shard 1)` XOR to the same stream (`6`) but mix to
+/// unrelated ones — and no degenerate fixed point at `(0, 0)`.
+#[must_use]
+pub fn mix64(seed: u64, salt: u64) -> u64 {
+    // splitmix64: advance the state by (salt + 1) golden-gamma steps,
+    // then run the standard avalanche finalizer.
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// One contiguous slice of a sharded workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Shard {
     /// Position of this shard in the plan (0-based).
     pub index: usize,
-    /// Per-shard RNG seed: `base_seed ^ index`. Drivers feed this to the
-    /// shard-local `Machine` so noise streams are decorrelated across
-    /// shards yet reproducible for a given base seed.
+    /// Per-shard RNG seed: [`mix64`]`(base_seed, index)`. Drivers feed
+    /// this to the shard-local `Machine` so noise streams are
+    /// decorrelated across shards yet reproducible for a given base
+    /// seed.
     pub seed: u64,
     /// Global index of the first work item owned by this shard.
     pub start: usize,
@@ -81,64 +110,338 @@ pub fn shard_plan(total: usize, shards: usize, base_seed: u64) -> Vec<Shard> {
         if len == 0 {
             break;
         }
-        plan.push(Shard { index, seed: base_seed ^ index as u64, start, len });
+        plan.push(Shard { index, seed: mix64(base_seed, index as u64), start, len });
         start += len;
     }
     plan
 }
 
+/// Parses a `PACMAN_JOBS`-style worker count: a positive integer,
+/// surrounding whitespace tolerated. `0`, empty and non-numeric values
+/// are rejected (`None`).
+#[must_use]
+pub fn parse_jobs(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The machine's available parallelism (1 when undeterminable).
+fn available_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// The worker count: `PACMAN_JOBS` when set to a positive integer,
 /// otherwise the machine's available parallelism (1 on failure).
+///
+/// An invalid or `0` value warns on stderr and falls back to available
+/// parallelism, exactly like the unset case — a typo in the environment
+/// must not silently serialise a campaign onto one worker.
 pub fn default_jobs() -> usize {
     match std::env::var(JOBS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => 1,
-        },
-        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        Ok(v) => parse_jobs(&v).unwrap_or_else(|| {
+            let fallback = available_jobs();
+            eprintln!(
+                "warning: {JOBS_ENV}='{v}' is not a positive worker count; \
+                 using available parallelism ({fallback})"
+            );
+            fallback
+        }),
+        Err(_) => available_jobs(),
     }
 }
 
-/// Maps `work` over every shard on up to `jobs` scoped threads and
-/// returns the results in **shard order**.
+/// Bounded per-shard retry policy for [`run_shards_tolerant`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per shard (first try included). Clamped to >= 1.
+    pub max_attempts: u32,
+    /// Whether each retry re-derives the *fault-decision* stream
+    /// ([`mix64`]`(seed, attempt)`), so a transient injected fault
+    /// clears on the next attempt. The shard's *experiment* seed is
+    /// attempt-invariant either way — a retried attempt reruns the
+    /// identical work, which is what keeps retried aggregates
+    /// bit-identical to fault-free runs. With `reseed: false` every
+    /// attempt replays attempt 0's fault decisions, so a faulting shard
+    /// faults forever — the deterministic way to exercise the
+    /// budget-exhaustion path.
+    pub reseed: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 5, reseed: true }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with no retries: one attempt, fail fast.
+    #[must_use]
+    pub fn no_retries() -> Self {
+        Self { max_attempts: 1, reseed: true }
+    }
+}
+
+/// Why one shard permanently failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardError {
+    /// The failing shard's index in the plan.
+    pub shard: usize,
+    /// Attempts actually executed (0 for cancelled shards).
+    pub attempts: u32,
+    /// Whether the final attempt panicked (vs. returned an error).
+    pub panicked: bool,
+    /// Whether the shard was never run because another shard had
+    /// already failed permanently (queue drain, see
+    /// [`run_shards_tolerant`]).
+    pub cancelled: bool,
+    /// The final attempt's error display or panic message.
+    pub message: String,
+}
+
+impl ShardError {
+    fn cancelled(shard: usize) -> Self {
+        Self {
+            shard,
+            attempts: 0,
+            panicked: false,
+            cancelled: true,
+            message: "cancelled after another shard failed permanently".into(),
+        }
+    }
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cancelled {
+            write!(f, "shard {} cancelled: {}", self.shard, self.message)
+        } else {
+            let kind = if self.panicked { "panicked" } else { "failed" };
+            write!(
+                f,
+                "shard {} {kind} after {} attempt(s): {}",
+                self.shard, self.attempts, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Infrastructure failures of the execution engine itself (as opposed
+/// to [`ShardError`]s, which describe the workload failing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunnerError {
+    /// A worker panicked *outside* the `catch_unwind` bracket while
+    /// holding a result slot's lock — the slot contents cannot be
+    /// trusted.
+    SlotPoisoned {
+        /// Index of the poisoned slot.
+        shard: usize,
+    },
+    /// A shard's slot was never filled even though no failure was
+    /// recorded — a scheduling bug, not a workload error.
+    MissingResult {
+        /// Index of the empty slot.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::SlotPoisoned { shard } => {
+                write!(f, "result slot for shard {shard} was poisoned")
+            }
+            RunnerError::MissingResult { shard } => {
+                write!(f, "shard {shard} produced no result and no error")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+/// Everything [`run_shards_tolerant`] knows after the pool drains: one
+/// `Result` per shard **in shard order**, plus the retry total.
+#[derive(Debug)]
+pub struct ShardedOutcome<T> {
+    /// Per-shard results in shard order.
+    pub results: Vec<Result<T, ShardError>>,
+    /// Attempts beyond the first, summed over every shard.
+    pub retries: u64,
+}
+
+impl<T> ShardedOutcome<T> {
+    /// Shards that produced a value.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Permanent per-shard failures, in shard order.
+    pub fn failures(&self) -> impl Iterator<Item = &ShardError> {
+        self.results.iter().filter_map(|r| r.as_ref().err())
+    }
+}
+
+/// Renders a `catch_unwind` payload (the common `&str` / `String`
+/// payloads of `panic!`) into a message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Maps the fallible `work` closure over every shard on up to `jobs`
+/// scoped threads with panic isolation and bounded retries, returning
+/// per-shard results in **shard order**.
 ///
-/// `jobs <= 1` runs inline on the calling thread (no spawn overhead);
-/// otherwise `min(jobs, shards.len())` workers pull shards from an
-/// atomic queue. The closure is shared by reference across workers, so
-/// it must be `Sync` and build any per-shard mutable state (a fresh
-/// `Machine`) internally from the [`Shard`] it receives.
+/// Each attempt runs under `catch_unwind`: a panicking shard is caught,
+/// retried up to [`RetryPolicy::max_attempts`] times, and only then
+/// recorded as a [`ShardError`] — it never aborts sibling shards
+/// mid-flight or unwinds into the caller. `work` receives the shard and
+/// the 0-based attempt number (drivers feed the attempt into their
+/// fault-decision stream; the experiment seed itself must stay
+/// attempt-invariant, see [`RetryPolicy::reseed`]).
 ///
-/// # Panics
+/// On the first *permanent* (budget-exhausted) shard failure a shared
+/// flag stops idle workers from pulling further shards; shards never
+/// started are recorded as cancelled [`ShardError`]s. Shards already
+/// in flight still complete, so every result that does come back is
+/// valid.
 ///
-/// A panic inside `work` on any worker propagates to the caller when
-/// the scope joins.
-pub fn run_shards<T, F>(shards: &[Shard], jobs: usize, work: F) -> Vec<T>
+/// `jobs <= 1` runs inline on the calling thread (no spawn overhead)
+/// and drains the queue in shard order, which makes the cancellation
+/// boundary deterministic: every shard after the first permanent
+/// failure is cancelled.
+///
+/// # Errors
+///
+/// [`RunnerError`] for engine-level failures (poisoned or unfilled
+/// result slots). Workload failures are *not* errors at this level —
+/// they come back as `Err(ShardError)` entries in the outcome.
+pub fn run_shards_tolerant<T, E, F>(
+    shards: &[Shard],
+    jobs: usize,
+    policy: RetryPolicy,
+    work: F,
+) -> Result<ShardedOutcome<T>, RunnerError>
 where
     T: Send,
-    F: Fn(&Shard) -> T + Sync,
+    E: fmt::Display,
+    F: Fn(&Shard, u32) -> Result<T, E> + Sync,
 {
+    let failed = AtomicBool::new(false);
+    let retries = AtomicU64::new(0);
+    let max_attempts = policy.max_attempts.max(1);
+
+    // The per-shard retry loop, shared by the inline and pooled paths.
+    let attempt_shard = |shard: &Shard| -> Result<T, ShardError> {
+        let mut attempt = 0u32;
+        loop {
+            let run = catch_unwind(AssertUnwindSafe(|| work(shard, attempt)));
+            let (panicked, message) = match run {
+                Ok(Ok(value)) => return Ok(value),
+                Ok(Err(e)) => (false, e.to_string()),
+                Err(payload) => (true, panic_message(payload.as_ref())),
+            };
+            attempt += 1;
+            if attempt >= max_attempts {
+                return Err(ShardError {
+                    shard: shard.index,
+                    attempts: attempt,
+                    panicked,
+                    cancelled: false,
+                    message,
+                });
+            }
+            retries.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
     if jobs <= 1 || shards.len() <= 1 {
-        return shards.iter().map(&work).collect();
+        let mut results = Vec::with_capacity(shards.len());
+        for shard in shards {
+            if failed.load(Ordering::Relaxed) {
+                results.push(Err(ShardError::cancelled(shard.index)));
+                continue;
+            }
+            let r = attempt_shard(shard);
+            if r.is_err() {
+                failed.store(true, Ordering::Relaxed);
+            }
+            results.push(r);
+        }
+        return Ok(ShardedOutcome { results, retries: retries.into_inner() });
     }
-    let slots: Vec<Mutex<Option<T>>> = shards.iter().map(|_| Mutex::new(None)).collect();
+
+    let slots: Vec<Mutex<Option<Result<T, ShardError>>>> =
+        shards.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = jobs.min(shards.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(shard) = shards.get(i) else { break };
-                let out = work(shard);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                let r = attempt_shard(shard);
+                if r.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(r);
+                }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner().expect("result slot poisoned").expect("every shard produces a result")
-        })
-        .collect()
+    let drained = failed.load(Ordering::Relaxed);
+    let mut results = Vec::with_capacity(shards.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let inner = slot.into_inner().map_err(|_| RunnerError::SlotPoisoned { shard: i })?;
+        match inner {
+            Some(r) => results.push(r),
+            // Workers only leave a slot unfilled when draining the queue
+            // after a permanent failure elsewhere.
+            None if drained => results.push(Err(ShardError::cancelled(i))),
+            None => return Err(RunnerError::MissingResult { shard: i }),
+        }
+    }
+    Ok(ShardedOutcome { results, retries: retries.into_inner() })
+}
+
+/// Maps the infallible `work` over every shard and returns the results
+/// in **shard order** (the legacy single-attempt interface, now a
+/// wrapper over [`run_shards_tolerant`]).
+///
+/// # Panics
+///
+/// A panic inside `work` on any worker is re-raised here (with the
+/// original message) after the pool has drained — sibling shards are no
+/// longer aborted mid-flight, but the caller-visible contract is
+/// unchanged.
+pub fn run_shards<T, F>(shards: &[Shard], jobs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Shard) -> T + Sync,
+{
+    let outcome = run_shards_tolerant::<T, std::convert::Infallible, _>(
+        shards,
+        jobs,
+        RetryPolicy::no_retries(),
+        |shard, _attempt| Ok(work(shard)),
+    )
+    .unwrap_or_else(|e| panic!("sharded execution failed: {e}"));
+    // Re-raise the *originating* failure, not a cancellation record.
+    if let Some(e) = outcome.failures().find(|e| !e.cancelled) {
+        panic!("{e}");
+    }
+    outcome.results.into_iter().map(|r| r.unwrap_or_else(|e| panic!("{e}"))).collect()
 }
 
 /// [`shard_plan`] + [`run_shards`] in one call with [`DEFAULT_SHARDS`].
@@ -178,10 +481,32 @@ mod tests {
     }
 
     #[test]
-    fn plan_seeds_are_base_xor_index() {
+    fn plan_seeds_are_mixed_from_base_and_index() {
         let plan = shard_plan(64, 8, 0xFF00);
         for s in &plan {
-            assert_eq!(s.seed, 0xFF00 ^ s.index as u64);
+            assert_eq!(s.seed, mix64(0xFF00, s.index as u64));
+        }
+        let seeds: std::collections::HashSet<u64> = plan.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), plan.len(), "derived seeds must be distinct");
+    }
+
+    #[test]
+    fn mixed_seeds_do_not_collide_across_experiments() {
+        // The old `base ^ index` derivation gave (seed 5, shard 3) and
+        // (seed 7, shard 1) the same RNG stream (5^3 == 7^1 == 6). The
+        // mixer must not.
+        assert_eq!(5u64 ^ 3, 7u64 ^ 1);
+        assert_ne!(mix64(5, 3), mix64(7, 1));
+        let a = shard_plan(64, 8, 5);
+        let b = shard_plan(64, 8, 7);
+        for sa in &a {
+            for sb in &b {
+                assert_ne!(
+                    sa.seed, sb.seed,
+                    "seed 5 shard {} vs seed 7 shard {}",
+                    sa.index, sb.index
+                );
+            }
         }
     }
 
@@ -222,9 +547,145 @@ mod tests {
     }
 
     #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs("0"), None);
+        assert_eq!(parse_jobs("abc"), None);
+        assert_eq!(parse_jobs(" 4 "), Some(4));
+        assert_eq!(parse_jobs(""), None);
+        assert_eq!(parse_jobs("-2"), None);
+        assert_eq!(parse_jobs("16"), Some(16));
+    }
+
+    #[test]
     fn jobs_env_parsing() {
         // default_jobs reads the environment; exercise only the
         // documented fallback shape (>= 1 always).
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_salt_sensitive() {
+        assert_eq!(mix64(1, 2), mix64(1, 2));
+        assert_ne!(mix64(1, 2), mix64(1, 3));
+        assert_ne!(mix64(1, 2), mix64(2, 2));
+        // mix64(0, 0) must not be the degenerate 0 of a plain XOR chain.
+        assert_ne!(mix64(0, 0), 0);
+    }
+
+    #[test]
+    fn tolerant_returns_values_in_shard_order() {
+        let plan = shard_plan(100, DEFAULT_SHARDS, 3);
+        let out = run_shards_tolerant::<_, std::convert::Infallible, _>(
+            &plan,
+            4,
+            RetryPolicy::default(),
+            |s, _| Ok(s.index),
+        )
+        .expect("engine ok");
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.completed(), plan.len());
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("ok"), i);
+        }
+    }
+
+    #[test]
+    fn tolerant_retries_transient_panics_deterministically() {
+        use std::sync::atomic::AtomicU32;
+        let plan = shard_plan(8, 8, 11);
+        let attempts_seen: Vec<AtomicU32> = plan.iter().map(|_| AtomicU32::new(0)).collect();
+        let out = run_shards_tolerant::<_, std::convert::Infallible, _>(
+            &plan,
+            2,
+            RetryPolicy::default(),
+            |s, attempt| {
+                attempts_seen[s.index].fetch_add(1, Ordering::Relaxed);
+                // Shards 2 and 5 fail on their first two attempts, then
+                // recover — inside the default budget of 5.
+                if (s.index == 2 || s.index == 5) && attempt < 2 {
+                    panic!("injected transient failure");
+                }
+                Ok(s.seed)
+            },
+        )
+        .expect("engine ok");
+        assert_eq!(out.retries, 4, "two shards x two failed attempts");
+        assert_eq!(out.completed(), 8);
+        for (i, seen) in attempts_seen.iter().enumerate() {
+            let expect = if i == 2 || i == 5 { 3 } else { 1 };
+            assert_eq!(seen.load(Ordering::Relaxed), expect, "shard {i}");
+        }
+        // The recovered values match a failure-free run.
+        for (s, r) in plan.iter().zip(&out.results) {
+            assert_eq!(*r.as_ref().expect("recovered"), s.seed);
+        }
+    }
+
+    #[test]
+    fn tolerant_reports_exhausted_budget_as_shard_error() {
+        let plan = shard_plan(4, 4, 0);
+        let out = run_shards_tolerant::<u64, _, _>(
+            &plan,
+            1,
+            RetryPolicy { max_attempts: 3, reseed: false },
+            |s, _| if s.index == 1 { Err("deterministic workload error") } else { Ok(s.seed) },
+        )
+        .expect("engine ok");
+        assert_eq!(out.retries, 2, "shard 1 burns its whole budget");
+        let failures: Vec<&ShardError> = out.failures().collect();
+        // Inline (jobs=1) drain: shard 1 fails, shards 2 and 3 cancel.
+        assert_eq!(failures.len(), 3);
+        assert_eq!(failures[0].shard, 1);
+        assert_eq!(failures[0].attempts, 3);
+        assert!(!failures[0].panicked);
+        assert!(!failures[0].cancelled);
+        assert!(failures[0].message.contains("deterministic workload error"));
+        for f in &failures[1..] {
+            assert!(f.cancelled, "shard {} should be cancelled", f.shard);
+            assert_eq!(f.attempts, 0);
+        }
+        assert_eq!(out.completed(), 1);
+    }
+
+    #[test]
+    fn tolerant_cancellation_stops_parallel_workers() {
+        use std::sync::atomic::AtomicU32;
+        let plan = shard_plan(64, 64, 0);
+        let executed = AtomicU32::new(0);
+        let out = run_shards_tolerant::<u64, _, _>(&plan, 2, RetryPolicy::no_retries(), |s, _| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if s.index == 0 {
+                return Err("permanent failure on the first shard");
+            }
+            // Give the failing worker time to raise the flag before
+            // this worker loops for its next shard.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Ok(s.seed)
+        })
+        .expect("engine ok");
+        assert_eq!(out.results.len(), 64, "every shard is accounted for");
+        assert!(out.failures().any(|f| f.shard == 0 && !f.cancelled));
+        assert!(out.failures().any(|f| f.cancelled), "queue must drain");
+        assert!(
+            executed.load(Ordering::Relaxed) < 64,
+            "workers must stop pulling shards after a permanent failure"
+        );
+    }
+
+    #[test]
+    fn legacy_run_shards_propagates_the_original_panic_message() {
+        let plan = shard_plan(8, 8, 0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_shards(&plan, 2, |s: &Shard| {
+                if s.index == 3 {
+                    panic!("boom in shard three");
+                }
+                s.seed
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = panic_message(payload.as_ref());
+        assert!(message.contains("boom in shard three"), "{message}");
+        assert!(message.contains("shard 3"), "{message}");
     }
 }

@@ -87,6 +87,12 @@ pub struct LatencyModel {
     pub syscall_transition: u64,
     /// Uniform measurement noise added to timed accesses: `0..=noise`.
     pub noise: u64,
+    /// Injected timing-noise spike added to every timed access (0 =
+    /// disabled). Set only by the fault-injection layer to make a
+    /// shard's measurements unmistakably corrupted; the spiked attempt
+    /// is then discarded and retried, so the field never influences a
+    /// surviving aggregate.
+    pub fault_spike: u64,
 }
 
 impl Default for LatencyModel {
@@ -106,6 +112,7 @@ impl Default for LatencyModel {
             // 2.69 ms/guess, dominated by syscall overhead on macOS).
             syscall_transition: 65_000,
             noise: 2,
+            fault_spike: 0,
         }
     }
 }

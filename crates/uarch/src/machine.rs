@@ -355,6 +355,11 @@ pub struct MachineStats {
     pub fences_injected: u64,
     /// Syscall round trips.
     pub syscalls: u64,
+    /// Timed accesses inflated by an injected timing-noise spike
+    /// ([`crate::config::LatencyModel::fault_spike`]); nonzero only
+    /// under fault injection, and only on attempts that are discarded
+    /// and retried.
+    pub fault_spikes: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -542,6 +547,7 @@ impl Machine {
             ("mitigations.fences_injected", s.fences_injected),
             ("cpu.retired", s.retired),
             ("cpu.syscalls", s.syscalls),
+            ("uarch.fault_spikes", s.fault_spikes),
         ];
         for (name, value) in counters {
             reg.incr_by(name, value);
@@ -689,6 +695,10 @@ impl Machine {
             self.read_timer().ok_or(Trap::SysRegAccess { reg: source_reg(source), el: El::El0 })?;
         self.cycles += self.config.latency.measure_overhead;
         self.cycles += self.noise();
+        if self.config.latency.fault_spike > 0 {
+            self.cycles += self.config.latency.fault_spike;
+            self.stats.fault_spikes += 1;
+        }
         self.user_load(va)?;
         let t2 =
             self.read_timer().ok_or(Trap::SysRegAccess { reg: source_reg(source), el: El::El0 })?;
