@@ -1,0 +1,57 @@
+//! Differential conformance: the speculative core versus the in-order
+//! architectural reference machine, plus the injected-bug self-test.
+//!
+//! Not a paper table — this artefact underwrites all the others: every
+//! figure rides on the simulator committing exactly the architectural
+//! state an in-order machine would (the paper's §5–6 boundary).
+
+use pacman_bench::{banner, check, jobs, scale, tolerance, Artifact};
+use pacman_core::conformance::{run_conformance, ConformConfig};
+use pacman_core::report::Table;
+use pacman_ref::self_test;
+use pacman_telemetry::json::Value;
+
+fn main() {
+    banner("CONF", "Differential conformance - reference machine vs speculative core");
+    let programs = scale("CONFORM_PROGRAMS", 500);
+    let jobs = jobs();
+    let tol = tolerance();
+    let cfg = ConformConfig { programs, ..ConformConfig::default() };
+    let report = run_conformance(&cfg, jobs, &tol).expect("conformance run");
+    let self_results = self_test(cfg.seed, 64, cfg.max_steps);
+    let detected = self_results.iter().filter(|r| r.detected()).count();
+
+    let mut t = Table::new(
+        format!("{programs} seeded programs, lockstep retire-boundary equivalence"),
+        &["metric", "value"],
+    );
+    t.row(&["programs".into(), report.programs.to_string()]);
+    t.row(&["divergences".into(), report.divergences.len().to_string()]);
+    t.row(&["runner retries".into(), report.retries.to_string()]);
+    for r in &self_results {
+        t.row(&[
+            format!("self-test: {}", r.name),
+            match &r.divergence {
+                Some(d) => format!("detected ({} at step {})", d.kind, d.step),
+                None => "NOT DETECTED".into(),
+            },
+        ]);
+    }
+    println!("{t}");
+
+    let ok = report.conforms() && detected == self_results.len();
+    let mut art = Artifact::new("conform", "differential conformance harness");
+    art.table("conformance", &t);
+    art.num("programs", report.programs)
+        .num("jobs", jobs as u64)
+        .num("divergences", report.divergences.len() as u64)
+        .num("retries", report.retries)
+        .num("self_test_bugs_detected", detected as u64)
+        .num("self_test_expected", self_results.len() as u64)
+        .field("ok", Value::Bool(ok));
+    art.write();
+
+    check("speculative core conforms on every program", report.conforms());
+    check("self-test detects the eager-squash bug", self_results[0].detected());
+    check("self-test detects the fault-suppression bug", self_results[1].detected());
+}

@@ -160,7 +160,7 @@ impl Claim {
 }
 
 /// Every artefact id a full bench run produces (one per bench target).
-pub const ARTIFACT_IDS: [&str; 18] = [
+pub const ARTIFACT_IDS: [&str; 19] = [
     "fig5a",
     "fig5b",
     "fig5c",
@@ -179,6 +179,7 @@ pub const ARTIFACT_IDS: [&str; 18] = [
     "ablations",
     "perf_micro",
     "perf_parallel",
+    "conform",
 ];
 
 use Expectation::{AtLeast, AtMost, Bool, F64Range, Present, Str, U64Range, U64};
@@ -397,6 +398,14 @@ pub fn all() -> Vec<Claim> {
         c("perf_parallel", "speedup", "sharding is never a slowdown", AtLeast(1.0)),
         c("perf_parallel", "tlb_access_ns", "flat-storage TLB hot path", AtLeast(0.1)),
         c("perf_parallel", "cache_access_ns", "flat-storage cache hot path", AtLeast(0.1)),
+        // ---- conform: differential conformance harness -----------------
+        // Not a paper table: the harness underwrites the simulator the
+        // paper claims ride on (§5-6 committed-vs-speculative boundary).
+        c("conform", "programs", "seeded differential program count", AtLeast(1.0)),
+        c("conform", "divergences", "speculative core matches the reference", U64(0)),
+        c("conform", "self_test_bugs_detected", "oracle catches both injected bugs", U64(2)),
+        c("conform", "self_test_expected", "both sabotaged cores were exercised", U64(2)),
+        c("conform", "ok", "conformance + self-test verdict", Bool(true)),
     ]
 }
 

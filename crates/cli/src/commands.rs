@@ -3,6 +3,7 @@
 use std::error::Error;
 
 use pacman_bench::claims;
+use pacman_core::conformance::{run_conformance, ConformConfig};
 use pacman_core::fault::{FaultPlan, Tolerance};
 use pacman_core::jump2win::Jump2Win;
 use pacman_core::parallel::{
@@ -18,6 +19,7 @@ use pacman_isa::PacKey;
 use pacman_mitigations::evaluate_all;
 use pacman_os::experiments::{MsrInventory, TimerResolution, TlbParameterSearch};
 use pacman_os::{BareMetal, Runner};
+use pacman_ref::{self_test, Divergence, SelfTestResult};
 use pacman_telemetry::json::{to_jsonl_line, Value};
 use pacman_telemetry::Snapshot;
 
@@ -35,6 +37,8 @@ commands:
   jump2win     the section-8.3 end-to-end control-flow hijack
   sweep        the section-7 reverse-engineering sweeps (Figures 5-6)
   census       the section-4.3 gadget census over a synthetic image
+  conform      differential conformance fuzzing of the speculative core
+               against the architectural reference machine
   mitigations  the section-9 countermeasure matrix
   os           PacmanOS (section 6.2) bare-metal experiments
   timeline     print the Figure 3 speculation-event timelines
@@ -45,15 +49,25 @@ options:
   --channel C     data|instr|cache         --trials N      oracle trials
   --window N      brute candidate window   --full          sweep all 65536
   --functions N   census image size        --track-stack   deep census dataflow
+  --programs N    conform program count    --steps N       conform step budget
+  --skip-self-test  conform: skip the injected-bug self-test
   --dir D         verify artifact dir      --help          this text
   --json          emit JSONL on stdout     --metrics-out F write JSONL to file F
   --jobs N        worker threads (default: PACMAN_JOBS, else all cores)
   --fault-rate R  injected fault rate in [0,1] (default: PACMAN_FAULT_RATE
                   when PACMAN_FAULT_SEED is set, else off; 0 disables)
 
-Trial-driving commands (oracle, brute, jump2win, sweep, census) shard
-their work across --jobs worker threads; for a fixed --seed the merged
-result is identical at every job count.
+Trial-driving commands (oracle, brute, jump2win, sweep, census,
+conform) shard their work across --jobs worker threads; for a fixed
+--seed the merged result is identical at every job count.
+
+'conform' runs seeded random programs on the speculative core and on an
+in-order architectural reference machine in lockstep, asserting
+committed-state equivalence (registers, memory, exception PC/cause) at
+every retire boundary. Any diverging program is shrunk to a minimal
+reproducer ('conform' JSONL records). Unless --skip-self-test is given
+it then re-runs the harness against deliberately broken speculative
+cores and fails unless every injected bug is detected.
 
 Sharded commands run fault-tolerantly: a panicking or faulted shard is
 retried within a bounded budget, and a shard that exhausts it surfaces
@@ -93,6 +107,10 @@ fn command_spec(command: &str) -> Option<(&'static [&'static str], &'static [&'s
         // noise-free) but stays accepted for invocation compatibility.
         "sweep" => (&["jobs", "fault-rate", "metrics-out"], &["json", "quiet-noise"]),
         "census" => (&["functions", "jobs", "metrics-out"], &["json", "track-stack"]),
+        "conform" => (
+            &["programs", "seed", "steps", "jobs", "fault-rate", "metrics-out"],
+            &["json", "skip-self-test"],
+        ),
         "mitigations" => (&["metrics-out"], &["json"]),
         "os" => (&["metrics-out"], &["json"]),
         "timeline" => (&["seed", "metrics-out"], &["json", "quiet-noise"]),
@@ -135,6 +153,7 @@ pub fn dispatch(args: &Args) -> CliResult {
         "jump2win" => cmd_jump2win(args),
         "sweep" => cmd_sweep(args),
         "census" => cmd_census(args),
+        "conform" => cmd_conform(args),
         "mitigations" => cmd_mitigations(args),
         "os" => cmd_os(args),
         "timeline" => cmd_timeline(args),
@@ -536,6 +555,138 @@ fn cmd_census(args: &Args) -> CliResult {
         println!("mean branch->transmit distance: {:.1}", report.mean_distance());
     }
     emit.close()
+}
+
+/// One `conform` JSONL record per (minimized) divergence: the full
+/// repro — scenario seed, retire step, mismatch kind/detail and the
+/// program/handler listings — so a CI failure ships its own test case.
+fn divergence_record(d: &Divergence) -> Value {
+    let listing = |insts: &[String]| Value::Array(insts.iter().map(Value::str).collect());
+    Value::Object(vec![
+        ("record".into(), Value::str("conform")),
+        ("seed".into(), Value::UInt(d.seed)),
+        ("step".into(), Value::UInt(d.step)),
+        ("pc".into(), Value::UInt(d.pc)),
+        ("kind".into(), Value::str(d.kind)),
+        ("detail".into(), Value::str(d.detail.clone())),
+        ("program".into(), listing(&d.program_text())),
+        ("handler".into(), listing(&d.handler_text())),
+    ])
+}
+
+/// One `conform_self_test` JSONL record per deliberately broken core.
+fn self_test_record(r: &SelfTestResult) -> Value {
+    let mut fields = vec![
+        ("record".into(), Value::str("conform_self_test")),
+        ("bug".into(), Value::str(r.name)),
+        ("scenarios_run".into(), Value::UInt(r.scenarios_run)),
+        ("detected".into(), Value::Bool(r.detected())),
+    ];
+    if let Some(d) = &r.divergence {
+        fields.push(("seed".into(), Value::UInt(d.seed)));
+        fields.push(("kind".into(), Value::str(d.kind)));
+        fields.push(("detail".into(), Value::str(d.detail.clone())));
+        fields.push((
+            "program".into(),
+            Value::Array(d.program_text().iter().map(|s| Value::str(s.clone())).collect()),
+        ));
+    }
+    Value::Object(fields)
+}
+
+/// Scenarios per broken configuration the self-test may burn before
+/// giving up (detection typically lands within the first handful).
+const SELF_TEST_BUDGET: u64 = 64;
+
+fn cmd_conform(args: &Args) -> CliResult {
+    let programs: usize = args.get_num("programs", 500)?;
+    let seed: u64 = args.get_num("seed", 7)?;
+    let max_steps: u64 = args.get_num("steps", 512)?;
+    let jobs = jobs(args)?;
+    let tol = tolerance(args)?;
+    let mut emit = Emitter::from_args(args)?;
+    let cfg = ConformConfig { programs, seed, max_steps, ..ConformConfig::default() };
+    if !emit.quiet() {
+        println!(
+            "differential conformance: {programs} programs, seed {seed:#x}, \
+             {max_steps}-step budget, {jobs} jobs ..."
+        );
+    }
+    let report = match run_conformance(&cfg, jobs, &tol) {
+        Ok(report) => report,
+        Err(e) => return Err(fail_sharded(emit, e)),
+    };
+    for d in &report.divergences {
+        emit.record(&divergence_record(d));
+        if !emit.quiet() {
+            println!(
+                "DIVERGENCE seed {:#x} step {} pc {:#x} [{}]: {}",
+                d.seed, d.step, d.pc, d.kind, d.detail
+            );
+            for line in d.program_text() {
+                println!("    {line}");
+            }
+        }
+    }
+    if !emit.quiet() {
+        println!("programs: {}, divergences: {}", report.programs, report.divergences.len());
+    }
+
+    let self_results = if args.flag("skip-self-test") {
+        Vec::new()
+    } else {
+        self_test(seed, SELF_TEST_BUDGET, max_steps)
+    };
+    let detected = self_results.iter().filter(|r| r.detected()).count();
+    for r in &self_results {
+        emit.record(&self_test_record(r));
+        if !emit.quiet() {
+            match &r.divergence {
+                Some(d) => println!(
+                    "self-test {}: detected after {} scenarios ({} at step {})",
+                    r.name, r.scenarios_run, d.kind, d.step
+                ),
+                None => println!(
+                    "self-test {}: NOT detected within {} scenarios",
+                    r.name, r.scenarios_run
+                ),
+            }
+        }
+    }
+
+    let self_test_ok = detected == self_results.len();
+    let ok = report.conforms() && self_test_ok;
+    emit.record(&Value::Object(vec![
+        ("record".into(), Value::str("conform_summary")),
+        ("programs".into(), Value::UInt(report.programs)),
+        ("seed".into(), Value::UInt(seed)),
+        ("jobs".into(), Value::UInt(jobs as u64)),
+        ("divergences".into(), Value::UInt(report.divergences.len() as u64)),
+        ("self_test_bugs_detected".into(), Value::UInt(detected as u64)),
+        ("self_test_expected".into(), Value::UInt(self_results.len() as u64)),
+        ("retries".into(), Value::UInt(report.retries)),
+        ("ok".into(), Value::Bool(ok)),
+    ]));
+    // Flush the JSONL stream (divergence repros included) before the
+    // verdict decides the exit code, like jump2win does.
+    emit.finish(&report.telemetry.snapshot())?;
+    if !report.conforms() {
+        return Err(format!(
+            "speculative core diverged from the reference machine on {} of {} programs",
+            report.divergences.len(),
+            report.programs
+        )
+        .into());
+    }
+    if !self_test_ok {
+        return Err(format!(
+            "conformance self-test missed {} of {} injected bugs",
+            self_results.len() - detected,
+            self_results.len()
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn cmd_mitigations(args: &Args) -> CliResult {

@@ -9,6 +9,8 @@
 //!   jump2win     the §8.3 end-to-end control-flow hijack
 //!   sweep        the §7 reverse-engineering sweeps (Figures 5–6)
 //!   census       the §4.3 gadget census over a synthetic image
+//!   conform      differential conformance fuzzing of the speculative
+//!                core against the architectural reference machine
 //!   mitigations  the §9 countermeasure matrix
 //!   os           PacmanOS (§6.2) bare-metal experiments
 //!   timeline     print the Figure 3 speculation-event timelines

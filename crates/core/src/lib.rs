@@ -20,6 +20,9 @@
 //! - [`jump2win`] — the §8.3 control-flow hijack;
 //! - [`parallel`] — sharded, deterministic parallel drivers for the
 //!   above experiments (the `pacman-runner` execution layer);
+//! - [`conformance`] — seeded differential fuzzing of the speculative
+//!   core against the `pacman-ref` architectural reference machine,
+//!   sharded over the same execution layer;
 //! - [`fault`] — deterministic fault injection and the retry/tolerance
 //!   policy the parallel drivers run under;
 //! - [`report`] — table/series rendering for the bench harness;
@@ -49,6 +52,7 @@
 
 pub mod brute;
 pub mod cache_probe;
+pub mod conformance;
 pub mod evict;
 pub mod fault;
 pub mod jump2win;

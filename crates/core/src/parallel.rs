@@ -220,7 +220,9 @@ fn shard_registry(sys: &System) -> Registry {
 
 /// Splits a tolerant outcome into values + retry count, or a typed
 /// [`PartialFailure`] if any shard failed permanently.
-fn collect_tolerant<T>(outcome: ShardedOutcome<T>) -> Result<(Vec<T>, u64), ExperimentError> {
+pub(crate) fn collect_tolerant<T>(
+    outcome: ShardedOutcome<T>,
+) -> Result<(Vec<T>, u64), ExperimentError> {
     let retries = outcome.retries;
     let total = outcome.results.len();
     let mut values = Vec::with_capacity(total);
@@ -247,7 +249,7 @@ fn collect_tolerant<T>(outcome: ShardedOutcome<T>) -> Result<(Vec<T>, u64), Expe
 /// carries: retries spent, permanent shard failures (always 0 on the
 /// success path — a permanent failure aborts with
 /// [`ExperimentError::Shards`]) and injected faults.
-fn record_runner_counters(reg: &mut Registry, retries: u64, tol: &Tolerance) {
+pub(crate) fn record_runner_counters(reg: &mut Registry, retries: u64, tol: &Tolerance) {
     reg.incr_by("runner.retries", retries);
     reg.incr_by("runner.shard_failures", 0);
     reg.incr_by("runner.faults_injected", tol.faults.injected());

@@ -164,10 +164,64 @@ fn parallel_jump2win_is_jobs_invariant() {
 
 mod fault_tolerance_properties {
     use super::*;
+    use pacman_gadget::{parallel_census, ImageSpec, ScanConfig};
     use proptest::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The gadget census is a pure function of the image spec: for
+        /// any synthetic image and any scan configuration, the sharded
+        /// census at jobs=4 reproduces the serial report exactly —
+        /// gadget list, branch and instruction counts included.
+        #[test]
+        fn census_parity_holds_for_any_image(
+            functions in 50usize..300,
+            seed in any::<u64>(),
+            pa_percent in 0u8..=100,
+            track_stack in any::<bool>(),
+        ) {
+            let spec = ImageSpec { functions, seed, pa_percent, ..ImageSpec::default() };
+            let cfg = ScanConfig { track_stack, ..ScanConfig::default() };
+            let serial = parallel_census(&spec, &cfg, 1);
+            let sharded = parallel_census(&spec, &cfg, 4);
+            prop_assert_eq!(serial, sharded);
+        }
+
+        /// Jump2Win under injected faults: any fault pattern that stays
+        /// within the retry budget leaves the full report (recovered
+        /// PACs, summed costs, hijack verdict) bit-identical to the
+        /// fault-free serial run; an exhausted budget must surface as
+        /// the typed partial failure.
+        #[test]
+        fn faulted_jump2win_matches_fault_free_serial(
+            seed in 0u64..(1u64 << 48),
+            rate_milli in 50u64..350,
+        ) {
+            let cfg = quiet_config();
+            let probe = System::boot(cfg.clone());
+            let true_win = probe.true_pac_with_salt(pacman_isa::PacKey::Ia, probe.cpp.win_fn);
+            let true_vt = probe.true_pac_with_salt(pacman_isa::PacKey::Da, probe.cpp.obj1);
+            let mut driver = Jump2Win::new().with_samples(1).with_train_iters(16);
+            driver.phase_windows =
+                Some([(true_win.wrapping_sub(1), 4), (true_vt.wrapping_sub(1), 4)]);
+            let (baseline, _) = parallel_jump2win(&cfg, &driver, 1, false, &no_faults())
+                .expect("fault-free serial run");
+            let tol = Tolerance {
+                retry: RetryPolicy::default(),
+                faults: FaultPlan::new(seed, rate_milli as f64 / 1000.0),
+            };
+            match parallel_jump2win(&cfg, &driver, 4, false, &tol) {
+                Ok((faulted, _)) => prop_assert_eq!(baseline, faulted),
+                Err(ExperimentError::Shards(partial)) => {
+                    prop_assert!(partial.completed < partial.total);
+                    prop_assert!(!partial.failures.is_empty());
+                }
+                Err(other) => return Err(TestCaseError::fail(format!(
+                    "unexpected error class: {other}"
+                ))),
+            }
+        }
 
         /// Satellite property: for any fault seed and any rate below the
         /// practical retry ceiling, the retried parallel oracle aggregate

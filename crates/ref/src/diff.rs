@@ -1,0 +1,400 @@
+//! The differential driver: lockstep execution, the equivalence
+//! relation, counterexample shrinking, and the harness self-test.
+//!
+//! The equivalence relation checked at every retire boundary is
+//! *committed architectural state*: the register file (X0..=X30, both
+//! stack pointers), the program counter, the exception level, the lazy
+//! compare flags, the saved EL0 context, and every byte the retired
+//! instruction wrote. Traps must agree in cause *and* architectural
+//! position (same retire boundary, same precise PC). Microarchitectural
+//! state — caches, TLBs, predictors, cycle counts — is deliberately
+//! outside the relation; that is the whole point of the oracle.
+
+use pacman_isa::ptr::PAGE_SIZE;
+use pacman_isa::Inst;
+use pacman_uarch::{Machine, MachineConfig};
+
+use crate::gen::{generate, scenario_seed, Scenario, CODE_BASE, DATA_BASE, DATA_LEN};
+use crate::machine::RefMachine;
+
+/// The machine configuration conformance runs under: the default attack
+/// platform with OS noise off (noise only perturbs microarchitectural
+/// state, but quiet runs keep the cycle stream deterministic too).
+#[must_use]
+pub fn quiet_config() -> MachineConfig {
+    MachineConfig { os_noise: 0.0, ..MachineConfig::default() }
+}
+
+/// One detected divergence between the reference machine and the
+/// speculative core, with the (possibly minimized) reproducer inline.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The scenario seed that reproduces this divergence.
+    pub seed: u64,
+    /// Retire boundary (0-based instruction count) where state split.
+    pub step: u64,
+    /// The reference machine's committed PC at the divergence.
+    pub pc: u64,
+    /// Which component of the equivalence relation failed:
+    /// `regs`/`sp`/`pc`/`el`/`cmp`/`saved`/`memory`/`trap`/`stop`.
+    pub kind: &'static str,
+    /// Human-readable mismatch description (ref vs core values).
+    pub detail: String,
+    /// The reproducing EL0 program.
+    pub program: Vec<Inst>,
+    /// The reproducing EL1 handler (empty if none installed).
+    pub handler: Vec<Inst>,
+}
+
+impl Divergence {
+    /// The program rendered as one assembly line per instruction.
+    #[must_use]
+    pub fn program_text(&self) -> Vec<String> {
+        self.program.iter().map(ToString::to_string).collect()
+    }
+
+    /// The handler rendered as one assembly line per instruction.
+    #[must_use]
+    pub fn handler_text(&self) -> Vec<String> {
+        self.handler.iter().map(ToString::to_string).collect()
+    }
+}
+
+/// Compares committed register/flag/context state, returning the first
+/// mismatch as `(kind, detail)`.
+fn state_mismatch(r: &RefMachine, m: &Machine) -> Option<(&'static str, String)> {
+    for i in 0..31 {
+        if r.cpu.regs[i] != m.cpu.regs[i] {
+            return Some((
+                "regs",
+                format!("x{i}: ref {:#x} vs core {:#x}", r.cpu.regs[i], m.cpu.regs[i]),
+            ));
+        }
+    }
+    for (el, (a, b)) in r.cpu.sp.iter().zip(m.cpu.sp.iter()).enumerate() {
+        if a != b {
+            return Some(("sp", format!("sp_el{el}: ref {a:#x} vs core {b:#x}")));
+        }
+    }
+    if r.cpu.pc != m.cpu.pc {
+        return Some(("pc", format!("ref {:#x} vs core {:#x}", r.cpu.pc, m.cpu.pc)));
+    }
+    if r.cpu.el != m.cpu.el {
+        return Some(("el", format!("ref {:?} vs core {:?}", r.cpu.el, m.cpu.el)));
+    }
+    if r.cpu.cmp != m.cpu.cmp {
+        return Some(("cmp", format!("ref {:?} vs core {:?}", r.cpu.cmp, m.cpu.cmp)));
+    }
+    match (&r.cpu.saved, &m.cpu.saved) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            if a.regs != b.regs || a.sp != b.sp || a.pc != b.pc {
+                return Some(("saved", "saved EL0 contexts differ".into()));
+            }
+        }
+        (a, b) => {
+            return Some((
+                "saved",
+                format!("saved context: ref {} vs core {}", ctx(a.is_some()), ctx(b.is_some())),
+            ));
+        }
+    }
+    None
+}
+
+fn ctx(present: bool) -> &'static str {
+    if present {
+        "present"
+    } else {
+        "absent"
+    }
+}
+
+/// Compares the bytes most recently stored by the reference machine
+/// against the speculative core's memory.
+fn store_mismatch(r: &RefMachine, m: &Machine) -> Option<(&'static str, String)> {
+    for &(va, len) in &r.last_stores {
+        for k in 0..len {
+            let a = r.debug_read_u8(va + k);
+            let b = m.mem.debug_read_u8(va + k);
+            if a != b {
+                return Some(("memory", format!("byte at {:#x}: ref {a:?} vs core {b:?}", va + k)));
+            }
+        }
+    }
+    None
+}
+
+/// Full-region memory sweep (code page + data region), run when a
+/// scenario ends; every retire boundary in between is covered by the
+/// incremental store check.
+fn sweep_mismatch(r: &RefMachine, m: &Machine) -> Option<(&'static str, String)> {
+    let regions = [(CODE_BASE, PAGE_SIZE), (DATA_BASE, DATA_LEN)];
+    for (base, len) in regions {
+        let mut va = base;
+        while va < base + len {
+            let a = r.debug_read_u64(va);
+            let b = m.mem.debug_read_u64(va);
+            if a != b {
+                return Some(("memory", format!("word at {va:#x}: ref {a:?} vs core {b:?}")));
+            }
+            va += 8;
+        }
+    }
+    None
+}
+
+/// Runs one scenario on both machines in lockstep, returning the first
+/// divergence (with the *unminimized* reproducer) or `None` if the
+/// machines conform for the whole run.
+#[must_use]
+pub fn run_scenario(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    max_steps: u64,
+) -> Option<Divergence> {
+    let mut r = RefMachine::new();
+    let mut m = Machine::new(config.clone());
+    scenario.install_ref(&mut r);
+    scenario.install_uarch(&mut m);
+
+    let divergence = |step: u64, pc: u64, kind: &'static str, detail: String| Divergence {
+        seed: scenario.seed,
+        step,
+        pc,
+        kind,
+        detail,
+        program: scenario.program.clone(),
+        handler: scenario.handler.clone(),
+    };
+
+    for step in 0..max_steps {
+        let pc = r.cpu.pc;
+        let ro = r.step();
+        let uo = m.step();
+        let done = match (ro, uo) {
+            (Err(a), Err(b)) => {
+                if a != b {
+                    return Some(divergence(step, pc, "trap", format!("ref {a:?} vs core {b:?}")));
+                }
+                true
+            }
+            (Err(a), Ok(_)) => {
+                return Some(divergence(
+                    step,
+                    pc,
+                    "trap",
+                    format!("ref trapped ({a:?}), core retired"),
+                ));
+            }
+            (Ok(_), Err(b)) => {
+                return Some(divergence(
+                    step,
+                    pc,
+                    "trap",
+                    format!("ref retired, core trapped ({b:?})"),
+                ));
+            }
+            (Ok(a), Ok(b)) => {
+                if a.is_some() != b.is_some() {
+                    return Some(divergence(step, pc, "stop", format!("ref {a:?} vs core {b:?}")));
+                }
+                a.is_some()
+            }
+        };
+        if let Some((kind, detail)) = state_mismatch(&r, &m).or_else(|| store_mismatch(&r, &m)) {
+            return Some(divergence(step, r.cpu.pc, kind, detail));
+        }
+        if done {
+            return sweep_mismatch(&r, &m)
+                .map(|(kind, detail)| divergence(step, r.cpu.pc, kind, detail));
+        }
+    }
+    sweep_mismatch(&r, &m).map(|(kind, detail)| divergence(max_steps, r.cpu.pc, kind, detail))
+}
+
+/// Shrinks a diverging scenario to a minimal reproducer: instructions
+/// are replaced with `NOP` (layout-preserving, so branch offsets keep
+/// their meaning) and the program tail is truncated, as long as the
+/// divergence persists. Returns the minimized scenario and its
+/// divergence.
+///
+/// # Panics
+///
+/// Panics if `scenario` does not diverge under `config` — minimizing a
+/// conforming scenario is a caller bug.
+#[must_use]
+pub fn minimize(
+    scenario: &Scenario,
+    config: &MachineConfig,
+    max_steps: u64,
+) -> (Scenario, Divergence) {
+    let mut best = scenario.clone();
+    let mut witness =
+        run_scenario(&best, config, max_steps).expect("minimize requires a diverging scenario");
+    loop {
+        let mut changed = false;
+        // NOP out program instructions, most recent first (later
+        // instructions are more often incidental).
+        for i in (0..best.program.len()).rev() {
+            if best.program[i] == Inst::Nop {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.program[i] = Inst::Nop;
+            if let Some(d) = run_scenario(&candidate, config, max_steps) {
+                best = candidate;
+                witness = d;
+                changed = true;
+            }
+        }
+        for i in (0..best.handler.len()).rev() {
+            if best.handler[i] == Inst::Nop {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.handler[i] = Inst::Nop;
+            if let Some(d) = run_scenario(&candidate, config, max_steps) {
+                best = candidate;
+                witness = d;
+                changed = true;
+            }
+        }
+        // Truncate the tail while the divergence survives.
+        while best.program.len() > 1 {
+            let mut candidate = best.clone();
+            candidate.program.pop();
+            match run_scenario(&candidate, config, max_steps) {
+                Some(d) => {
+                    best = candidate;
+                    witness = d;
+                    changed = true;
+                }
+                None => break,
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (best, witness)
+}
+
+/// A deliberately broken speculative-core configuration the self-test
+/// must catch.
+#[derive(Clone, Debug)]
+pub struct BrokenConfig {
+    /// Stable name for reports (`eager-squash-disabled`, ...).
+    pub name: &'static str,
+    /// The sabotaged machine configuration.
+    pub config: MachineConfig,
+}
+
+/// The broken configurations the self-test runs: eager squash disabled
+/// (wrong-path registers leak into committed state) and speculative
+/// fault suppression disabled (wrong-path faults trap architecturally).
+#[must_use]
+pub fn broken_configs() -> Vec<BrokenConfig> {
+    let mut eager_squash_off = quiet_config();
+    eager_squash_off.bugs.leak_squashed_registers = true;
+    let mut suppression_off = quiet_config();
+    suppression_off.bugs.commit_suppressed_faults = true;
+    vec![
+        BrokenConfig { name: "eager-squash-disabled", config: eager_squash_off },
+        BrokenConfig { name: "fault-suppression-disabled", config: suppression_off },
+    ]
+}
+
+/// Outcome of the self-test for one broken configuration.
+#[derive(Clone, Debug)]
+pub struct SelfTestResult {
+    /// The broken configuration's name.
+    pub name: &'static str,
+    /// Scenarios run before the first divergence (or the whole budget).
+    pub scenarios_run: u64,
+    /// The minimized divergence, if the harness caught the bug.
+    pub divergence: Option<Divergence>,
+}
+
+impl SelfTestResult {
+    /// Whether the injected bug was detected.
+    #[must_use]
+    pub fn detected(&self) -> bool {
+        self.divergence.is_some()
+    }
+}
+
+/// Proves the oracle has teeth: runs generated scenarios against each
+/// deliberately broken configuration until the harness flags a
+/// divergence (then minimizes it) or the budget runs out.
+#[must_use]
+pub fn self_test(seed: u64, budget: u64, max_steps: u64) -> Vec<SelfTestResult> {
+    broken_configs()
+        .into_iter()
+        .map(|broken| {
+            for i in 0..budget {
+                let scenario = generate(scenario_seed(seed ^ 0x5E1F_7E57, i));
+                if run_scenario(&scenario, &broken.config, max_steps).is_some() {
+                    let (_, witness) = minimize(&scenario, &broken.config, max_steps);
+                    return SelfTestResult {
+                        name: broken.name,
+                        scenarios_run: i + 1,
+                        divergence: Some(witness),
+                    };
+                }
+            }
+            SelfTestResult { name: broken.name, scenarios_run: budget, divergence: None }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_core_conforms_over_a_seed_batch() {
+        let cfg = quiet_config();
+        for i in 0..24u64 {
+            let s = generate(scenario_seed(0x00C0_FFEE, i));
+            let d = run_scenario(&s, &cfg, 512);
+            assert!(
+                d.is_none(),
+                "seed {}: unexpected divergence: {:?}",
+                s.seed,
+                d.map(|d| (d.kind, d.detail))
+            );
+        }
+    }
+
+    #[test]
+    fn self_test_catches_both_injected_bugs() {
+        let results = self_test(7, 64, 512);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.detected(), "{} must be detected within the budget", r.name);
+            let d = r.divergence.as_ref().unwrap();
+            assert!(!d.program.is_empty());
+            assert!(
+                d.program.iter().any(|i| *i != Inst::Nop),
+                "minimized repro should retain the triggering instructions"
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_the_divergence() {
+        let broken = &broken_configs()[0];
+        let diverging = (0..256u64)
+            .map(|i| generate(scenario_seed(11, i)))
+            .find(|s| run_scenario(s, &broken.config, 512).is_some())
+            .expect("a divergence must exist in 256 scenarios");
+        let (minimized, witness) = minimize(&diverging, &broken.config, 512);
+        assert!(minimized.program.len() <= diverging.program.len());
+        assert_eq!(witness.seed, diverging.seed);
+        assert!(
+            run_scenario(&minimized, &broken.config, 512).is_some(),
+            "the minimized scenario still diverges"
+        );
+    }
+}

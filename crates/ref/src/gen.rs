@@ -1,0 +1,323 @@
+//! Seeded scenario generation for the conformance harness.
+//!
+//! A [`Scenario`] is everything both machines need to start from the
+//! same architectural state: a generated EL0 program, an optional EL1
+//! syscall handler, initial register/stack values, and a fixed memory
+//! layout. Generation is a pure function of the seed, so any divergence
+//! the harness finds is reproducible from `(seed, machine config)`
+//! alone.
+//!
+//! Programs are deliberately branchy and trappy: wrong guesses about
+//! squash behaviour show up fastest around mispredicted branches,
+//! faulting wild loads, and PAC sign/authenticate chains. The generator
+//! avoids only what an untimed reference machine cannot model — reads of
+//! the cycle-dependent counters `CNTPCT_EL0` and `PMC0`.
+
+use pacman_isa::ptr::PAGE_SIZE;
+use pacman_isa::{encode, Cond, Inst, PacKey, PacModifier, Reg, SysReg};
+use pacman_uarch::{Machine, Perms};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::machine::RefMachine;
+
+/// Base of the generated EL0 program (one page, user RWX — writable so
+/// generated stores can self-modify code, which both machines must
+/// agree on).
+pub const CODE_BASE: u64 = 0x0000_0000_0040_0000;
+
+/// Base of the user data region.
+pub const DATA_BASE: u64 = 0x0000_0000_1000_0000;
+
+/// Length of the user data region (two pages).
+pub const DATA_LEN: u64 = 2 * PAGE_SIZE;
+
+/// Base of the EL1 handler page (a canonical kernel address).
+pub const HANDLER_BASE: u64 = 0xFFFF_8000_0000_0000;
+
+/// SplitMix64 finalizer: derives per-scenario seeds from a base seed
+/// and an index without correlation between neighbours.
+#[must_use]
+pub fn scenario_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One generated conformance scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The seed this scenario was generated from.
+    pub seed: u64,
+    /// Initial X0..=X30.
+    pub regs: [u64; 31],
+    /// Initial EL0 stack pointer.
+    pub sp: u64,
+    /// The EL0 program at [`CODE_BASE`] (always ends with `HLT`).
+    pub program: Vec<Inst>,
+    /// The EL1 syscall handler at [`HANDLER_BASE`]; empty means no
+    /// handler is installed (`VBAR` stays 0, so `SVC` traps).
+    pub handler: Vec<Inst>,
+}
+
+impl Scenario {
+    /// Installs the scenario on the speculative machine. The mapping
+    /// order here must match [`Scenario::install_ref`] exactly so both
+    /// machines' bump allocators produce the same physical frame layout
+    /// (page-straddling accesses then read the same bytes on both).
+    pub fn install_uarch(&self, m: &mut Machine) {
+        m.map_region(CODE_BASE, PAGE_SIZE, Perms::user_rwx());
+        m.map_region(DATA_BASE, DATA_LEN, Perms::user_rw());
+        m.load_program(CODE_BASE, &self.program);
+        if !self.handler.is_empty() {
+            m.map_region(HANDLER_BASE, PAGE_SIZE, Perms::kernel_rx());
+            m.load_program(HANDLER_BASE, &self.handler);
+            m.set_vbar(HANDLER_BASE);
+        }
+        m.cpu.regs = self.regs;
+        m.cpu.sp[0] = self.sp;
+        m.cpu.pc = CODE_BASE;
+    }
+
+    /// Installs the scenario on the reference machine (same order as
+    /// [`Scenario::install_uarch`]).
+    pub fn install_ref(&self, m: &mut RefMachine) {
+        m.map_region(CODE_BASE, PAGE_SIZE, Perms::user_rwx());
+        m.map_region(DATA_BASE, DATA_LEN, Perms::user_rw());
+        m.load_program(CODE_BASE, &self.program);
+        if !self.handler.is_empty() {
+            m.map_region(HANDLER_BASE, PAGE_SIZE, Perms::kernel_rx());
+            m.load_program(HANDLER_BASE, &self.handler);
+            m.set_vbar(HANDLER_BASE);
+        }
+        m.cpu.regs = self.regs;
+        m.cpu.sp[0] = self.sp;
+        m.cpu.pc = CODE_BASE;
+    }
+}
+
+/// System registers generated programs may touch. Excludes the
+/// cycle-dependent `CNTPCT_EL0`/`PMC0` (see module docs); everything
+/// else either has a deterministic architectural value or traps
+/// identically on both machines.
+const SYSREGS: [SysReg; 6] = [
+    SysReg::CurrentEl,
+    SysReg::CntfrqEl0,
+    SysReg::Pmc1,
+    SysReg::Pmcr0,
+    SysReg::ApiaKeyLo,
+    SysReg::ApdbKeyHi,
+];
+
+fn reg(rng: &mut SmallRng) -> Reg {
+    // Mostly GPRs; occasionally SP or XZR to exercise their special
+    // read/write semantics.
+    match rng.gen_range(0..10u32) {
+        0 => Reg::SP,
+        1 => Reg::XZR,
+        _ => Reg::x(rng.gen_range(0..=30u8)),
+    }
+}
+
+fn pac_key(rng: &mut SmallRng) -> PacKey {
+    PacKey::ALL[rng.gen_range(0..4usize)]
+}
+
+fn modifier(rng: &mut SmallRng) -> PacModifier {
+    if rng.gen_bool(0.5) {
+        PacModifier::Zero
+    } else {
+        PacModifier::Reg(reg(rng))
+    }
+}
+
+/// A branch offset from instruction `i`, usually landing inside the
+/// program, occasionally a few instructions past either end.
+fn branch_offset(rng: &mut SmallRng, i: usize, len: usize) -> i32 {
+    if rng.gen_bool(0.9) {
+        let target = rng.gen_range(0..=len as i64);
+        (target - i as i64) as i32
+    } else {
+        rng.gen_range(-8..=16i32)
+    }
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn arb_inst(rng: &mut SmallRng, i: usize, len: usize) -> Inst {
+    let inst = match rng.gen_range(0..100u32) {
+        0..=7 => Inst::MovZ { rd: reg(rng), imm: rng.gen(), shift: rng.gen_range(0..=3) },
+        8..=11 => Inst::MovK { rd: reg(rng), imm: rng.gen(), shift: rng.gen_range(0..=3) },
+        12..=13 => Inst::MovN { rd: reg(rng), imm: rng.gen(), shift: rng.gen_range(0..=3) },
+        14..=16 => Inst::MovReg { rd: reg(rng), rn: reg(rng) },
+        17..=19 => Inst::AddImm { rd: reg(rng), rn: reg(rng), imm: rng.gen_range(0..=4095) },
+        20..=21 => Inst::SubImm { rd: reg(rng), rn: reg(rng), imm: rng.gen_range(0..=4095) },
+        22..=24 => Inst::AddReg { rd: reg(rng), rn: reg(rng), rm: reg(rng) },
+        25..=26 => Inst::SubReg { rd: reg(rng), rn: reg(rng), rm: reg(rng) },
+        27..=28 => Inst::AndReg { rd: reg(rng), rn: reg(rng), rm: reg(rng) },
+        29..=30 => Inst::OrrReg { rd: reg(rng), rn: reg(rng), rm: reg(rng) },
+        31..=32 => Inst::EorReg { rd: reg(rng), rn: reg(rng), rm: reg(rng) },
+        33..=34 => Inst::LslImm { rd: reg(rng), rn: reg(rng), shift: rng.gen_range(0..=63) },
+        35..=36 => Inst::LsrImm { rd: reg(rng), rn: reg(rng), shift: rng.gen_range(0..=63) },
+        37 => Inst::Mul { rd: reg(rng), rn: reg(rng), rm: reg(rng) },
+        38..=40 => Inst::CmpImm { rn: reg(rng), imm: rng.gen_range(0..=4095) },
+        41..=43 => Inst::CmpReg { rn: reg(rng), rm: reg(rng) },
+        44 => Inst::Csel { rd: reg(rng), rn: reg(rng), rm: reg(rng), cond: cond(rng) },
+        45..=52 => Inst::Ldr { rt: reg(rng), rn: reg(rng), offset: mem_offset(rng) },
+        53..=54 => Inst::Ldrb { rt: reg(rng), rn: reg(rng), offset: mem_offset(rng) },
+        55..=61 => Inst::Str { rt: reg(rng), rn: reg(rng), offset: mem_offset(rng) },
+        62..=63 => Inst::Strb { rt: reg(rng), rn: reg(rng), offset: mem_offset(rng) },
+        64..=65 => Inst::Ldp {
+            rt: reg(rng),
+            rt2: reg(rng),
+            rn: reg(rng),
+            offset: rng.gen_range(-32..=31i16) * 8,
+        },
+        66..=67 => Inst::Stp {
+            rt: reg(rng),
+            rt2: reg(rng),
+            rn: reg(rng),
+            offset: rng.gen_range(-32..=31i16) * 8,
+        },
+        68..=71 => Inst::B { offset: branch_offset(rng, i, len) },
+        72..=73 => Inst::Bl { offset: branch_offset(rng, i, len) },
+        74..=80 => Inst::BCond { cond: cond(rng), offset: branch_offset(rng, i, len) },
+        81..=83 => Inst::Cbz { rt: reg(rng), offset: branch_offset(rng, i, len) },
+        84..=86 => Inst::Cbnz { rt: reg(rng), offset: branch_offset(rng, i, len) },
+        87 => Inst::Tbz {
+            rt: reg(rng),
+            bit: rng.gen_range(0..=63),
+            offset: branch_offset(rng, i, len),
+        },
+        88 => Inst::Tbnz {
+            rt: reg(rng),
+            bit: rng.gen_range(0..=63),
+            offset: branch_offset(rng, i, len),
+        },
+        89 => Inst::Br { rn: reg(rng) },
+        90 => Inst::Blr { rn: reg(rng) },
+        91 => Inst::Ret,
+        92..=93 => Inst::Pac { key: pac_key(rng), rd: reg(rng), modifier: modifier(rng) },
+        94..=95 => Inst::Aut { key: pac_key(rng), rd: reg(rng), modifier: modifier(rng) },
+        96 => Inst::Xpac { data: rng.gen(), rd: reg(rng) },
+        97 => Inst::Pacga { rd: reg(rng), rn: reg(rng), rm: reg(rng) },
+        98 => Inst::Mrs { rd: reg(rng), sysreg: SYSREGS[rng.gen_range(0..SYSREGS.len())] },
+        _ => Inst::Svc { imm: rng.gen_range(0..16) },
+    };
+    // Anything that slips outside an encodable field degrades to a NOP:
+    // both machines run only what the loader can actually encode.
+    if encode(&inst).is_ok() {
+        inst
+    } else {
+        Inst::Nop
+    }
+}
+
+fn cond(rng: &mut SmallRng) -> Cond {
+    Cond::ALL[rng.gen_range(0..Cond::ALL.len())]
+}
+
+/// A load/store byte offset: usually small and 8-aligned, occasionally
+/// unaligned or large enough to cross a page.
+fn mem_offset(rng: &mut SmallRng) -> i16 {
+    match rng.gen_range(0..10u32) {
+        0..=6 => rng.gen_range(-64..=64i16) * 8,
+        7..=8 => rng.gen_range(-512..=511i16),
+        _ => rng.gen_range(-2048..=2047i16),
+    }
+}
+
+/// An interesting initial register value: zero, a small integer, a
+/// data/code pointer (aligned or not), or 64 wild bits.
+fn seed_value(rng: &mut SmallRng) -> u64 {
+    match rng.gen_range(0..10u32) {
+        0 => 0,
+        1..=2 => rng.gen_range(1..=64),
+        3..=6 => DATA_BASE + (rng.gen_range(0..DATA_LEN - 16) & !7),
+        7 => DATA_BASE + rng.gen_range(0..DATA_LEN - 16),
+        8 => CODE_BASE + 4 * rng.gen_range(0..32u64),
+        _ => rng.gen(),
+    }
+}
+
+/// Generates the scenario for `seed` (a pure function of it).
+#[must_use]
+pub fn generate(seed: u64) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = rng.gen_range(12..=40usize);
+    let mut program: Vec<Inst> = (0..len).map(|i| arb_inst(&mut rng, i, len)).collect();
+    program.push(Inst::Hlt);
+
+    let handler = if rng.gen_bool(0.5) {
+        let hlen = rng.gen_range(1..=5usize);
+        let mut h: Vec<Inst> = (0..hlen).map(|_| handler_inst(&mut rng)).collect();
+        h.push(Inst::Eret);
+        h
+    } else {
+        Vec::new()
+    };
+
+    let mut regs = [0u64; 31];
+    for r in &mut regs {
+        *r = seed_value(&mut rng);
+    }
+    let sp = DATA_BASE + PAGE_SIZE + u64::from(rng.gen_range(0..256u32)) * 8;
+    Scenario { seed, regs, sp, program, handler }
+}
+
+/// Handler instructions: ALU work plus the EL1-only system-register
+/// writes (PAC key halves, `PMCR0`) that EL0 programs can never reach.
+fn handler_inst(rng: &mut SmallRng) -> Inst {
+    let inst = match rng.gen_range(0..10u32) {
+        0..=2 => Inst::AddImm { rd: reg(rng), rn: reg(rng), imm: rng.gen_range(0..=4095) },
+        3..=4 => Inst::MovZ { rd: reg(rng), imm: rng.gen(), shift: rng.gen_range(0..=3) },
+        5 => Inst::EorReg { rd: reg(rng), rn: reg(rng), rm: reg(rng) },
+        6..=7 => Inst::Msr { sysreg: SYSREGS[rng.gen_range(0..SYSREGS.len())], rn: reg(rng) },
+        8 => Inst::Mrs { rd: reg(rng), sysreg: SYSREGS[rng.gen_range(0..SYSREGS.len())] },
+        _ => Inst::Str { rt: reg(rng), rn: reg(rng), offset: rng.gen_range(-8..=8i16) * 8 },
+    };
+    if encode(&inst).is_ok() {
+        inst
+    } else {
+        Inst::Nop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.handler, b.handler);
+            assert_eq!(a.regs, b.regs);
+            assert_eq!(a.sp, b.sp);
+        }
+    }
+
+    #[test]
+    fn programs_terminate_with_hlt_and_encode() {
+        for seed in 0..64u64 {
+            let s = generate(seed);
+            assert_eq!(*s.program.last().unwrap(), Inst::Hlt);
+            for inst in s.program.iter().chain(s.handler.iter()) {
+                assert!(encode(inst).is_ok(), "seed {seed}: {inst:?} must encode");
+            }
+            if !s.handler.is_empty() {
+                assert_eq!(*s.handler.last().unwrap(), Inst::Eret);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_seeds_decorrelate_indices() {
+        let a = scenario_seed(7, 0);
+        let b = scenario_seed(7, 1);
+        assert_ne!(a, b);
+        assert_eq!(scenario_seed(7, 0), a, "pure function");
+    }
+}

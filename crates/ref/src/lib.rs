@@ -1,0 +1,49 @@
+//! The architectural reference machine and differential conformance
+//! harness.
+//!
+//! Every paper claim the workspace verifies rests on the assumption that
+//! `pacman-uarch`'s speculative core is *architecturally* correct: wrong
+//! paths, eager squashes, and suppressed speculative faults must never
+//! leak into committed state (paper §5–6 — the attack lives exactly on
+//! that boundary). This crate provides the oracle for that assumption:
+//!
+//! - [`RefMachine`] — a small in-order, non-speculative interpreter over
+//!   the `pacman-isa` instruction set with precise exceptions, PAC via
+//!   `pacman-qarma`, and the same 16 KB paging — but no caches, no TLBs,
+//!   no predictors and no speculation window. One instruction per
+//!   [`RefMachine::step`]; what you see is committed state.
+//! - [`Scenario`] / [`generate`] — a seeded program/scenario generator
+//!   producing branchy, trappy, PAC-heavy programs plus an optional EL1
+//!   syscall handler, installed identically on both machines.
+//! - [`run_scenario`] / [`minimize`] — the differential driver: steps the
+//!   reference machine and the speculative [`pacman_uarch::Machine`] in
+//!   lockstep, asserting committed-state equivalence (registers, memory,
+//!   exception PC/cause) at every retire boundary, and shrinks any
+//!   counterexample to a minimal reproducer.
+//! - [`self_test`] — runs the harness against deliberately broken
+//!   speculative cores ([`pacman_uarch::InjectedBugs`]) and reports
+//!   whether each injected bug was caught, proving the oracle has teeth.
+//!
+//! # Example
+//!
+//! ```
+//! use pacman_ref::{generate, quiet_config, run_scenario};
+//!
+//! let scenario = generate(7);
+//! let cfg = quiet_config();
+//! assert!(run_scenario(&scenario, &cfg, 512).is_none(), "no divergence");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod gen;
+pub mod machine;
+
+pub use diff::{
+    broken_configs, minimize, quiet_config, run_scenario, self_test, BrokenConfig, Divergence,
+    SelfTestResult,
+};
+pub use gen::{generate, scenario_seed, Scenario, CODE_BASE, DATA_BASE, DATA_LEN, HANDLER_BASE};
+pub use machine::RefMachine;

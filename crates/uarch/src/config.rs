@@ -55,6 +55,34 @@ pub enum Mitigation {
     DelayOnMiss,
 }
 
+/// Deliberately broken squash/recovery behaviours, used by the
+/// conformance harness's self-test (`pacman-ref`) to prove the
+/// differential oracle detects wrong-path state leaking into committed
+/// state. Every knob is off by default; enabling one makes the machine
+/// *architecturally wrong on purpose*, so nothing outside the self-test
+/// should ever turn one on.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct InjectedBugs {
+    /// Skip the register-file restore when a speculation shadow closes:
+    /// the wrong path's shadow registers (including SP and the compare
+    /// flags) are copied back into committed state, modelling a broken
+    /// eager squash.
+    pub leak_squashed_registers: bool,
+    /// Deliver suppressed wrong-path faults architecturally: a fault
+    /// that speculation should squash silently is instead raised as a
+    /// precise trap at the next retire boundary, modelling broken
+    /// speculative-fault suppression.
+    pub commit_suppressed_faults: bool,
+}
+
+impl InjectedBugs {
+    /// Whether any deliberate bug is armed.
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.leak_squashed_registers || self.commit_suppressed_faults
+    }
+}
+
 /// Cycle costs of the memory hierarchy and measurement path.
 ///
 /// The constants are calibrated so that the *measured* latency plateaus
@@ -146,6 +174,9 @@ pub struct MachineConfig {
     /// avoided false positives; keep this non-zero for honest accuracy
     /// numbers.
     pub os_noise: f64,
+    /// Deliberately broken squash behaviours for the conformance
+    /// self-test (all off by default — see [`InjectedBugs`]).
+    pub bugs: InjectedBugs,
 }
 
 impl Default for MachineConfig {
@@ -160,6 +191,7 @@ impl Default for MachineConfig {
             clock_hz: 3_200_000_000,
             system_counter_hz: 24_000_000,
             os_noise: 0.02,
+            bugs: InjectedBugs::default(),
         }
     }
 }

@@ -51,7 +51,8 @@ pub mod trace;
 
 pub use cache::{Cache, CacheParams, CacheStats};
 pub use config::{
-    ClusterCaches, ClusterTlbs, CoreKind, LatencyModel, MachineConfig, Mitigation, SquashPolicy,
+    ClusterCaches, ClusterTlbs, CoreKind, InjectedBugs, LatencyModel, MachineConfig, Mitigation,
+    SquashPolicy,
 };
 pub use cpu::{AccessKind, Cpu, El, Trap};
 pub use machine::{AccessOutcome, CacheHit, Machine, MachineStats, MemorySystem, Stop, TlbHit};

@@ -434,6 +434,10 @@ pub struct Machine {
     rng: SmallRng,
     timing_source: TimingSource,
     vbar: u64,
+    /// A wrong-path fault latched for architectural delivery by the
+    /// `commit_suppressed_faults` injected bug. Always `None` unless the
+    /// conformance self-test armed that knob.
+    pending_spec_fault: Option<Trap>,
 }
 
 impl Machine {
@@ -459,6 +463,7 @@ impl Machine {
             rng,
             timing_source: TimingSource::default(),
             vbar: 0,
+            pending_spec_fault: None,
         }
     }
 
@@ -722,7 +727,20 @@ impl Machine {
         Ok(Stop::InstLimit)
     }
 
-    fn step(&mut self) -> Result<Option<Stop>, Trap> {
+    /// Fetches, decodes and retires exactly one instruction — the retire
+    /// boundary the differential conformance harness (`pacman-ref`)
+    /// compares committed state at.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural [`Trap`] raised by this instruction.
+    pub fn step(&mut self) -> Result<Option<Stop>, Trap> {
+        if let Some(trap) = self.pending_spec_fault.take() {
+            // Only reachable under the `commit_suppressed_faults`
+            // injected bug: the wrong-path fault the squash should have
+            // discarded is delivered architecturally instead.
+            return Err(trap);
+        }
         let pc = self.cpu.pc;
         let el = self.cpu.el;
         let (fetch_outcome, pa) =
@@ -1124,28 +1142,40 @@ impl Machine {
                     pa
                 }
                 SpecAccess::Fault => {
-                    self.stats.spec_faults_suppressed += 1;
+                    self.suppress_spec_fault(pc, el, AccessKind::Fetch);
                     self.trace.record(SpecEvent::FaultSuppressed { pc, va: pc });
-                    self.close_shadow(executed);
-                    return;
+                    break;
                 }
-                SpecAccess::Blocked => {
-                    self.close_shadow(executed);
-                    return;
-                }
+                SpecAccess::Blocked => break,
             };
             let Ok(inst) = decode(self.mem.phys.read_u32(pa)) else {
-                self.close_shadow(executed);
-                return;
+                break;
             };
             self.stats.spec_insts += 1;
             executed += 1;
             if !self.spec_exec(&mut shadow, &mut pc, el, inst, mit) {
-                self.close_shadow(executed);
-                return;
+                break;
             }
         }
+        if self.config.bugs.leak_squashed_registers {
+            // Injected bug (conformance self-test only): the squash
+            // "forgets" to restore the register file, so wrong-path
+            // results leak into committed state.
+            self.cpu.regs = shadow.regs;
+            self.cpu.sp[self.cpu.el as usize] = shadow.sp;
+            self.cpu.cmp = shadow.cmp;
+        }
         self.close_shadow(executed);
+    }
+
+    /// Suppresses a wrong-path fault: counted, and — under the
+    /// `commit_suppressed_faults` injected bug — latched for precise
+    /// architectural delivery at the next retire boundary.
+    fn suppress_spec_fault(&mut self, va: u64, el: El, access: AccessKind) {
+        self.stats.spec_faults_suppressed += 1;
+        if self.config.bugs.commit_suppressed_faults && self.pending_spec_fault.is_none() {
+            self.pending_spec_fault = Some(Trap::TranslationFault { va, el, access });
+        }
     }
 
     /// Ends a speculation shadow: records the squash in the trace and the
@@ -1282,7 +1312,7 @@ impl Machine {
                         *pc = next;
                     }
                     SpecAccess::Fault => {
-                        self.stats.spec_faults_suppressed += 1;
+                        self.suppress_spec_fault(va, el, AccessKind::Load);
                         self.trace.record(SpecEvent::FaultSuppressed { pc: *pc, va });
                         return false;
                     }
@@ -1314,7 +1344,7 @@ impl Machine {
                         *pc = next;
                     }
                     SpecAccess::Fault => {
-                        self.stats.spec_faults_suppressed += 1;
+                        self.suppress_spec_fault(va, el, AccessKind::Store);
                         self.trace.record(SpecEvent::FaultSuppressed { pc: *pc, va });
                         return false;
                     }
@@ -1368,7 +1398,7 @@ impl Machine {
                             shadow.set_taint(reg, false);
                         }
                         SpecAccess::Fault => {
-                            self.stats.spec_faults_suppressed += 1;
+                            self.suppress_spec_fault(addr, el, AccessKind::Load);
                             return false;
                         }
                         SpecAccess::Blocked => {
@@ -1392,7 +1422,7 @@ impl Machine {
                         *pc = next;
                     }
                     SpecAccess::Fault => {
-                        self.stats.spec_faults_suppressed += 1;
+                        self.suppress_spec_fault(base, el, AccessKind::Store);
                         return false;
                     }
                     SpecAccess::Blocked => {
@@ -1441,7 +1471,7 @@ impl Machine {
                         *pc = actual;
                     }
                     SpecAccess::Fault => {
-                        self.stats.spec_faults_suppressed += 1;
+                        self.suppress_spec_fault(actual, el, AccessKind::Fetch);
                         self.trace.record(SpecEvent::FaultSuppressed { pc: *pc, va: actual });
                         return false;
                     }

@@ -11,6 +11,8 @@
 //! - [`uarch`] — the Apple-M1-like speculative microarchitecture model
 //! - [`kernel`] — the XNU-like kernel model (EL0/EL1, kexts, signed vtables)
 //! - [`attack`] — the PACMAN attack library itself (the paper's contribution)
+//! - [`reference`] — the in-order architectural reference machine and the
+//!   differential conformance harness that checks the speculative core
 //! - [`gadget`] — the static PACMAN-gadget scanner (§4.3)
 //! - [`os`] — PacmanOS, the bare-metal experiment environment (§6.2)
 //! - [`mitigations`] — the §9 countermeasure evaluation harness
@@ -49,6 +51,7 @@ pub use pacman_kernel as kernel;
 pub use pacman_mitigations as mitigations;
 pub use pacman_os as os;
 pub use pacman_qarma as qarma;
+pub use pacman_ref as reference;
 pub use pacman_uarch as uarch;
 
 /// Convenience re-exports covering the common attack workflow.

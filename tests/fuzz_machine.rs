@@ -4,14 +4,32 @@
 //! adopted simulator must clear, and it exercises paths the curated
 //! attack code never hits (wild addresses, SP arithmetic overflow,
 //! self-jumps, nested syscalls...).
+//!
+//! Reproducibility: every case's program is derived from a single u64
+//! seed. The base seed comes from `PACMAN_FUZZ_SEED` (decimal or
+//! `0x`-hex; fixed default otherwise), and when a case fails the harness
+//! prints the exact per-case seed plus the full program listing, so
+//!
+//! ```text
+//! PACMAN_FUZZ_SEED=<printed seed> cargo test -p pacman --test fuzz_machine
+//! ```
+//!
+//! replays the failing program as case #0.
 
 #![allow(clippy::field_reassign_with_default)] // building configs by mutation is the intended style
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use pacman::isa::{encode, Cond, Inst, PacKey, PacModifier, Reg, SysReg};
 use pacman::uarch::{El, Machine, MachineConfig, Perms};
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 const CODE: u64 = 0x40_0000;
+
+/// Base seed when `PACMAN_FUZZ_SEED` is unset.
+const DEFAULT_SEED: u64 = 0xF422_5EED;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
     (0u8..33).prop_map(|i| Reg::from_index(i).expect("< 33"))
@@ -83,50 +101,94 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// The base fuzz seed: `PACMAN_FUZZ_SEED` (decimal or `0x`-hex), or the
+/// fixed default.
+fn fuzz_seed() -> u64 {
+    match std::env::var("PACMAN_FUZZ_SEED") {
+        Err(_) => DEFAULT_SEED,
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("PACMAN_FUZZ_SEED {s:?} is not a u64"))
+        }
+    }
+}
 
-    #[test]
-    fn random_programs_never_panic_the_simulator(
-        program in prop::collection::vec(arb_inst(), 1..64),
-        seed_regs in prop::collection::vec(any::<u64>(), 4),
-    ) {
+/// splitmix64 — decorrelates the sequential per-case seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runs `cases` fuzz cases. Each case samples a program (and whatever
+/// extras `exec` draws) from an RNG seeded with `base ^ index`, so a
+/// failing case replays as case #0 under `PACMAN_FUZZ_SEED=<base ^ index>`.
+/// On panic the failing seed and full program listing are printed before
+/// the panic is propagated.
+fn fuzz_cases(label: &str, cases: u64, max_len: usize, exec: impl Fn(&[Inst], &mut SmallRng)) {
+    let base = fuzz_seed();
+    let strategy = prop::collection::vec(arb_inst(), 1..max_len);
+    for index in 0..cases {
+        let case_seed = base ^ index;
+        let mut rng = SmallRng::seed_from_u64(splitmix64(case_seed));
+        let program = strategy.sample(&mut rng);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| exec(&program, &mut rng))) {
+            eprintln!("fuzz '{label}' failed at case #{index} (base seed {base:#x})");
+            eprintln!("reproduce with: PACMAN_FUZZ_SEED={case_seed:#x}");
+            eprintln!("program ({} instructions):", program.len());
+            for (i, inst) in program.iter().enumerate() {
+                eprintln!("  {i:3}: {inst}");
+            }
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[test]
+fn random_programs_never_panic_the_simulator() {
+    fuzz_cases("never_panic", 96, 64, |program, rng| {
         let mut cfg = MachineConfig::default();
         cfg.seed = 7;
         let mut m = Machine::new(cfg);
         m.map_region(CODE, 4 * program.len() as u64 + 64, Perms::user_rwx());
         m.map_region(0x80_0000, 0x10000, Perms::user_rw());
         // Every instruction the generator produces must encode.
-        for inst in &program {
-            prop_assert!(encode(inst).is_ok(), "unencodable {inst}");
+        for inst in program {
+            assert!(encode(inst).is_ok(), "unencodable {inst}");
         }
-        m.load_program(CODE, &program);
+        m.load_program(CODE, program);
         m.cpu.pc = CODE;
         m.cpu.el = El::El0;
+        let seed_regs: Vec<u64> = prop::collection::vec(any::<u64>(), 4).sample(rng);
         for (i, &v) in seed_regs.iter().enumerate() {
             m.cpu.set(Reg::x(i as u8), v);
         }
         m.cpu.set(Reg::SP, 0x80_8000);
         // Any Ok/Err outcome is acceptable; a Rust panic is the bug.
         let _ = m.run(2_000);
-    }
+    });
+}
 
-    #[test]
-    fn random_programs_are_deterministic(
-        program in prop::collection::vec(arb_inst(), 1..32),
-    ) {
+#[test]
+fn random_programs_are_deterministic() {
+    fuzz_cases("deterministic", 64, 32, |program, _rng| {
         let run = || {
             let mut cfg = MachineConfig::default();
             cfg.seed = 3;
             let mut m = Machine::new(cfg);
             m.map_region(CODE, 4 * program.len() as u64 + 64, Perms::user_rwx());
             m.map_region(0x80_0000, 0x10000, Perms::user_rw());
-            m.load_program(CODE, &program);
+            m.load_program(CODE, program);
             m.cpu.pc = CODE;
             m.cpu.set(Reg::SP, 0x80_8000);
             let outcome = m.run(500);
             (format!("{outcome:?}"), m.cpu.regs, m.cycles, m.stats.retired)
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run(), "two identical runs diverged");
+    });
 }

@@ -1,0 +1,106 @@
+//! Golden-trace snapshots of the Figure 8 gadgets' speculation-event
+//! sequences.
+//!
+//! For a fixed kernel seed and a quiet machine the wrong-path episode a
+//! PACMAN gadget executes is fully deterministic, so its traced event
+//! sequence is a behavioural fingerprint of the speculative core: any
+//! change to the shadow window, eager squash, fault suppression or the
+//! gadget kexts shows up as a diff here before it shows up as a silently
+//! different oracle distribution.
+//!
+//! Snapshots live in `tests/snapshots/`. To (re-)bless after an
+//! *intentional* microarchitectural change:
+//!
+//! ```text
+//! PACMAN_BLESS=1 cargo test --test golden_traces
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use pacman::attack::{System, SystemConfig};
+use pacman::isa::ptr::with_pac_field;
+
+/// Training iterations before the traced trigger (same protocol as the
+/// oracles and the `timeline` CLI command).
+const TRAIN_ITERS: usize = 16;
+
+fn quiet_system() -> System {
+    let mut cfg = SystemConfig::default();
+    cfg.machine.os_noise = 0.0;
+    System::boot(cfg)
+}
+
+/// Runs one traced gadget invocation and renders the event sequence,
+/// one `SpecEvent` per line.
+fn gadget_trace(sys: &mut System, sc: u64, pac: u16, target: u64) -> String {
+    for _ in 0..TRAIN_ITERS {
+        sys.kernel.syscall(&mut sys.machine, sc, &[0, 0, 1]).expect("training syscall");
+    }
+    let mut payload = [0u8; 24];
+    payload[16..].copy_from_slice(&with_pac_field(target, pac).to_le_bytes());
+    let buf = sys.write_payload(&payload);
+    let kernel = &mut sys.kernel;
+    let (result, events) = sys.machine.with_trace(|m| kernel.syscall(m, sc, &[buf, 24, 0]));
+    result.expect("traced gadget syscall");
+    let mut out = String::new();
+    for e in &events {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Diffs `actual` against `tests/snapshots/<name>`, or rewrites the
+/// snapshot when `PACMAN_BLESS=1` is set.
+fn check_snapshot(name: &str, actual: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots");
+    let path = dir.join(name);
+    if std::env::var_os("PACMAN_BLESS").is_some_and(|v| v == "1") {
+        fs::create_dir_all(&dir).expect("create snapshot dir");
+        fs::write(&path, actual).expect("bless snapshot");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing snapshot {}; create it with PACMAN_BLESS=1", path.display())
+    });
+    assert_eq!(
+        expected, actual,
+        "golden trace '{name}' diverged; if the change is intentional, \
+         re-bless with PACMAN_BLESS=1"
+    );
+}
+
+/// One named (gadget, guess) trace on a freshly booted quiet system.
+fn snapshot_case(name: &str, instr: bool, correct: bool) {
+    let mut sys = quiet_system();
+    let set = sys.pick_quiet_dtlb_set();
+    let target = sys.alloc_target(set);
+    let true_pac = sys.true_pac(target);
+    let sc = if instr { sys.gadget.instr_gadget } else { sys.gadget.data_gadget };
+    let pac = if correct { true_pac } else { true_pac ^ 5 };
+    let trace = gadget_trace(&mut sys, sc, pac, target);
+    assert!(!trace.is_empty(), "the traced gadget produced no speculation events");
+    check_snapshot(name, &trace);
+    assert_eq!(sys.kernel.crash_count(), 0, "tracing must stay crash-free");
+}
+
+#[test]
+fn fig8a_data_gadget_correct_guess_trace_is_golden() {
+    snapshot_case("fig8a_correct.txt", false, true);
+}
+
+#[test]
+fn fig8a_data_gadget_wrong_guess_trace_is_golden() {
+    snapshot_case("fig8a_wrong.txt", false, false);
+}
+
+#[test]
+fn fig8b_instr_gadget_correct_guess_trace_is_golden() {
+    snapshot_case("fig8b_correct.txt", true, true);
+}
+
+#[test]
+fn fig8b_instr_gadget_wrong_guess_trace_is_golden() {
+    snapshot_case("fig8b_wrong.txt", true, false);
+}
