@@ -1,0 +1,137 @@
+//! Tracing/profiling overhead benches: the flight recorder and the
+//! per-opcode retire profiler must cost (near) nothing when disabled.
+//!
+//! The `perf_trace` artefact pins that promise as a claim:
+//! `disabled_overhead_ratio` compares the same simulated workload with
+//! the profiler compiled in but *off* against the profiler *on* — the
+//! disabled run must never be appreciably slower (any excess means the
+//! "disabled" path is doing work). The per-call cost of a disabled
+//! flight-recorder span is measured directly, and the Chrome-trace
+//! exporter is gated on an in-process round-trip through its own
+//! parser.
+
+use criterion::{criterion_group, Criterion};
+use pacman_isa::{Asm, Inst, Reg};
+use pacman_telemetry::json::Value;
+use pacman_telemetry::{trace, FlightRecorder};
+use pacman_uarch::{Machine, MachineConfig, Perms};
+
+const CODE: u64 = 0x40_0000;
+const DATA: u64 = 0x1000_0000;
+
+/// A machine running a load/ALU/branch loop (decode, dispatch and
+/// memory phases all exercised), with the retire profiler on or off.
+fn machine(profile: bool) -> Machine {
+    let cfg = MachineConfig { os_noise: 0.0, profile, ..MachineConfig::default() };
+    let mut m = Machine::new(cfg);
+    m.map_region(CODE, 4096, Perms::user_rwx());
+    m.map_region(DATA, 4096, Perms::user_rw());
+    let mut a = Asm::new();
+    let top = a.new_label();
+    a.mov_imm64(Reg::X0, 200);
+    a.mov_imm64(Reg::X2, DATA);
+    a.bind(top);
+    a.push(Inst::Ldr { rt: Reg::X1, rn: Reg::X2, offset: 0 });
+    a.push(Inst::AddImm { rd: Reg::X3, rn: Reg::X3, imm: 1 });
+    a.push(Inst::SubImm { rd: Reg::X0, rn: Reg::X0, imm: 1 });
+    a.cbnz(Reg::X0, top);
+    a.push(Inst::Hlt);
+    m.load_program(CODE, &a.assemble().unwrap());
+    m
+}
+
+fn run_once(m: &mut Machine) {
+    m.cpu.pc = CODE;
+    m.run(4_000).expect("program runs");
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let mut off = machine(false);
+    c.bench_function("simulator_loop_profile_off", |b| b.iter(|| run_once(&mut off)));
+    let mut on = machine(true);
+    c.bench_function("simulator_loop_profile_on", |b| b.iter(|| run_once(&mut on)));
+}
+
+fn bench_disabled_recorder(c: &mut Criterion) {
+    let rec = FlightRecorder::disabled(1024);
+    c.bench_function("flight_recorder_disabled_span", |b| {
+        b.iter(|| rec.complete("bench", "bench", 0, None, 0, Vec::new()))
+    });
+}
+
+criterion_group! {
+    name = perf;
+    config = Criterion::default().sample_size(20);
+    targets = bench_profiler, bench_disabled_recorder
+}
+
+/// Mean ns/iteration of `f` over a fixed batch (mirrors the criterion
+/// numbers machine-readably for the artefact).
+fn time_ns<O>(iters: u32, mut f: impl FnMut() -> O) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Minimum of three measurements: the claim band compares two wall-clock
+/// numbers, so each side gets its best (least scheduler-disturbed) run.
+fn min3(mut measure: impl FnMut() -> f64) -> f64 {
+    (0..3).map(|_| measure()).fold(f64::INFINITY, f64::min)
+}
+
+/// Records a couple of spans on a private recorder and gates the
+/// exporter on `parse(export(events)) == events`.
+fn round_trip_gate() -> usize {
+    let rec = FlightRecorder::new(1024);
+    let t0 = rec.now_us();
+    rec.complete("gate.span", "bench", 0, Some(1), t0, vec![("k".into(), Value::UInt(7))]);
+    rec.instant("gate.instant", "bench", 1, None, Vec::new());
+    let events = rec.take();
+    let text = trace::chrome_trace_json(&events);
+    let back = trace::parse_chrome_trace(&text).expect("exported trace parses");
+    assert_eq!(back, events, "chrome-trace export must round-trip exactly");
+    events.len()
+}
+
+fn write_artifact() {
+    let iters = pacman_bench::scale("TRACE_ITERS", 200) as u32;
+    let mut plain = machine(false);
+    let mut profiled = machine(true);
+    run_once(&mut plain);
+    run_once(&mut profiled);
+    let plain_ns = min3(|| time_ns(iters, || run_once(&mut plain)));
+    let profiled_ns = min3(|| time_ns(iters, || run_once(&mut profiled)));
+    let rec = FlightRecorder::disabled(1024);
+    let disabled_span_ns =
+        min3(|| time_ns(1_000_000, || rec.complete("bench", "bench", 0, None, 0, Vec::new())));
+    let disabled_overhead_ratio = plain_ns / profiled_ns.max(1e-9);
+    let trace_events = round_trip_gate();
+
+    println!("simulator loop: profile off {plain_ns:10.1} ns/run");
+    println!("                profile on  {profiled_ns:10.1} ns/run");
+    println!("disabled span call: {disabled_span_ns:.2} ns");
+    println!("disabled/enabled ratio: {disabled_overhead_ratio:.3}");
+
+    let mut art =
+        pacman_bench::Artifact::new("perf_trace", "flight-recorder / self-profiler overhead");
+    art.float("plain_run_ns", plain_ns)
+        .float("profiled_run_ns", profiled_ns)
+        .float("disabled_span_ns", disabled_span_ns)
+        .float("disabled_overhead_ratio", disabled_overhead_ratio)
+        .num("trace_events", trace_events as u64);
+    art.write();
+
+    // The CI gate, mirroring the claims-table band: a disabled profiler
+    // must not make the simulator slower than running it enabled.
+    assert!(
+        disabled_overhead_ratio <= 1.25,
+        "profiler-off run slower than profiler-on: ratio {disabled_overhead_ratio:.3}"
+    );
+}
+
+fn main() {
+    perf();
+    write_artifact();
+}

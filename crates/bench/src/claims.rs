@@ -160,7 +160,7 @@ impl Claim {
 }
 
 /// Every artefact id a full bench run produces (one per bench target).
-pub const ARTIFACT_IDS: [&str; 19] = [
+pub const ARTIFACT_IDS: [&str; 20] = [
     "fig5a",
     "fig5b",
     "fig5c",
@@ -179,6 +179,7 @@ pub const ARTIFACT_IDS: [&str; 19] = [
     "ablations",
     "perf_micro",
     "perf_parallel",
+    "perf_trace",
     "conform",
 ];
 
@@ -398,6 +399,22 @@ pub fn all() -> Vec<Claim> {
         c("perf_parallel", "speedup", "sharding is never a slowdown", AtLeast(1.0)),
         c("perf_parallel", "tlb_access_ns", "flat-storage TLB hot path", AtLeast(0.1)),
         c("perf_parallel", "cache_access_ns", "flat-storage cache hot path", AtLeast(0.1)),
+        // ---- perf_trace (flight recorder + self-profiler overhead) -----
+        c("perf_trace", "plain_run_ns", "profiler-off simulator loop", AtLeast(0.1)),
+        c("perf_trace", "profiled_run_ns", "profiler-on simulator loop", AtLeast(0.1)),
+        c(
+            "perf_trace",
+            "disabled_span_ns",
+            "disabled recorder span call",
+            F64Range { min: 0.0, max: 1000.0 },
+        ),
+        c(
+            "perf_trace",
+            "disabled_overhead_ratio",
+            "tracing disabled costs nothing",
+            F64Range { min: 0.0, max: 1.25 },
+        ),
+        c("perf_trace", "trace_events", "chrome-trace export round-trips", AtLeast(1.0)),
         // ---- conform: differential conformance harness -----------------
         // Not a paper table: the harness underwrites the simulator the
         // paper claims ride on (§5-6 committed-vs-speculative boundary).

@@ -8,6 +8,10 @@ use std::fmt;
 pub struct Args {
     /// The subcommand (first non-option token).
     pub command: Option<String>,
+    /// An optional positional sub-argument after the subcommand
+    /// (e.g. the experiment name in `profile oracle`). Commands that
+    /// take no subject reject it during option validation.
+    pub subject: Option<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -68,6 +72,8 @@ impl Args {
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else if out.subject.is_none() {
+                out.subject = Some(tok);
             } else {
                 return Err(ArgsError::UnexpectedPositional(tok));
             }
@@ -160,8 +166,12 @@ mod tests {
     }
 
     #[test]
-    fn extra_positionals_are_rejected() {
-        assert!(matches!(parse("oracle stray"), Err(ArgsError::UnexpectedPositional(_))));
+    fn one_subject_parses_and_a_second_positional_is_rejected() {
+        let a = parse("profile oracle --top 5").unwrap();
+        assert_eq!(a.command.as_deref(), Some("profile"));
+        assert_eq!(a.subject.as_deref(), Some("oracle"));
+        assert_eq!(a.get_num("top", 0usize).unwrap(), 5);
+        assert!(matches!(parse("oracle stray extra"), Err(ArgsError::UnexpectedPositional(_))));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use pacman_os::experiments::{MsrInventory, TimerResolution, TlbParameterSearch};
 use pacman_os::{BareMetal, Runner};
 use pacman_ref::{self_test, Divergence, SelfTestResult};
 use pacman_telemetry::json::{to_jsonl_line, Value};
-use pacman_telemetry::Snapshot;
+use pacman_telemetry::{trace, Snapshot};
 
 use crate::args::Args;
 
@@ -39,6 +39,9 @@ commands:
   census       the section-4.3 gadget census over a synthetic image
   conform      differential conformance fuzzing of the speculative core
                against the architectural reference machine
+  profile      run an experiment (oracle|brute) with the simulator
+               self-profiler and flight recorder armed, write a Chrome
+               trace and print hot-opcode/hot-block reports
   mitigations  the section-9 countermeasure matrix
   os           PacmanOS (section 6.2) bare-metal experiments
   timeline     print the Figure 3 speculation-event timelines
@@ -52,10 +55,15 @@ options:
   --programs N    conform program count    --steps N       conform step budget
   --skip-self-test  conform: skip the injected-bug self-test
   --dir D         verify artifact dir      --help          this text
+  --only ID       verify: check a single artifact's claims (skips history)
   --json          emit JSONL on stdout     --metrics-out F write JSONL to file F
   --jobs N        worker threads (default: PACMAN_JOBS, else all cores)
   --fault-rate R  injected fault rate in [0,1] (default: PACMAN_FAULT_RATE
                   when PACMAN_FAULT_SEED is set, else off; 0 disables)
+  --trace-out F   record shard/fault lifecycle spans during the run and
+                  write them as Chrome trace-event JSON to F (open in
+                  Perfetto or chrome://tracing)
+  --top N         profile: rows per hot-opcode/hot-block table (def. 10)
 
 Trial-driving commands (oracle, brute, jump2win, sweep, census,
 conform) shard their work across --jobs worker threads; for a fixed
@@ -77,6 +85,12 @@ records, nonzero exit) instead of a crash. Setting PACMAN_FAULT_SEED
 shard panics, timing-noise spikes and artifact-write errors to exercise
 those paths; retried runs stay bit-identical to fault-free ones.
 
+'profile <experiment>' reruns oracle or brute with the per-opcode
+retire profiler and the flight recorder enabled: it writes --trace-out
+(default trace.json) and prints top-N hot-opcode and hot-basic-block
+tables plus a decode/dispatch/memory/QARMA phase breakdown attributing
+simulated cycles and wall-clock time.
+
 Every command emits JSONL when --json (or --metrics-out) is given: one
 JSON record per trial/event/row, and - for commands that drive the
 simulated machine - a final 'metrics' record holding the full
@@ -92,11 +106,11 @@ paper claim is out of tolerance.
 fn command_spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
     Some(match command {
         "oracle" => (
-            &["seed", "trials", "channel", "jobs", "fault-rate", "metrics-out"],
+            &["seed", "trials", "channel", "jobs", "fault-rate", "metrics-out", "trace-out"],
             &["json", "quiet-noise"],
         ),
         "brute" => (
-            &["seed", "window", "jobs", "fault-rate", "metrics-out"],
+            &["seed", "window", "jobs", "fault-rate", "metrics-out", "trace-out"],
             &["json", "quiet-noise", "full"],
         ),
         "jump2win" => (
@@ -105,25 +119,47 @@ fn command_spec(command: &str) -> Option<(&'static [&'static str], &'static [&'s
         ),
         // --quiet-noise is a no-op for sweep (its machines already run
         // noise-free) but stays accepted for invocation compatibility.
-        "sweep" => (&["jobs", "fault-rate", "metrics-out"], &["json", "quiet-noise"]),
+        "sweep" => (&["jobs", "fault-rate", "metrics-out", "trace-out"], &["json", "quiet-noise"]),
         "census" => (&["functions", "jobs", "metrics-out"], &["json", "track-stack"]),
         "conform" => (
-            &["programs", "seed", "steps", "jobs", "fault-rate", "metrics-out"],
+            &["programs", "seed", "steps", "jobs", "fault-rate", "metrics-out", "trace-out"],
             &["json", "skip-self-test"],
+        ),
+        "profile" => (
+            &[
+                "seed",
+                "trials",
+                "window",
+                "channel",
+                "jobs",
+                "fault-rate",
+                "metrics-out",
+                "trace-out",
+                "top",
+            ],
+            &["json", "quiet-noise"],
         ),
         "mitigations" => (&["metrics-out"], &["json"]),
         "os" => (&["metrics-out"], &["json"]),
         "timeline" => (&["seed", "metrics-out"], &["json", "quiet-noise"]),
-        "verify" => (&["dir", "metrics-out"], &["json"]),
+        "verify" => (&["dir", "only", "metrics-out"], &["json"]),
         _ => return None,
     })
 }
+
+/// Commands that take a positional subject after the command word.
+const SUBJECT_COMMANDS: &[&str] = &["profile"];
 
 /// Rejects options/flags the command does not define.
 fn validate_options(command: &str, args: &Args) -> CliResult {
     let Some((options, flags)) = command_spec(command) else {
         return Err(format!("unknown command '{command}' (try --help)").into());
     };
+    if let Some(subject) = &args.subject {
+        if !SUBJECT_COMMANDS.contains(&command) {
+            return Err(format!("unexpected argument '{subject}' for '{command}'").into());
+        }
+    }
     for name in args.option_names() {
         if !options.contains(&name) {
             return Err(format!("unknown option --{name} for '{command}' (try --help)").into());
@@ -154,6 +190,7 @@ pub fn dispatch(args: &Args) -> CliResult {
         "sweep" => cmd_sweep(args),
         "census" => cmd_census(args),
         "conform" => cmd_conform(args),
+        "profile" => cmd_profile(args),
         "mitigations" => cmd_mitigations(args),
         "os" => cmd_os(args),
         "timeline" => cmd_timeline(args),
@@ -228,11 +265,47 @@ fn fail_sharded(mut emit: Emitter, err: ExperimentError) -> Box<dyn Error> {
     Box::new(err)
 }
 
+/// The `--metrics-out` file with line-commit durability: every record
+/// is written and flushed as one complete line, and a write that fails
+/// partway is rolled back to the last committed line boundary. The
+/// partial-failure and panic-isolation paths rely on this — records
+/// emitted before a shard failure must survive on disk as parseable
+/// JSONL with no truncated trailing line, even if the process dies
+/// before `close()` runs.
+struct MetricsFile {
+    path: String,
+    file: std::fs::File,
+    /// Bytes known to hold complete, flushed JSONL lines.
+    committed: u64,
+}
+
+impl MetricsFile {
+    /// Appends one complete line, flushing it through to the OS. On any
+    /// failure the file is truncated back to the last committed line so
+    /// no torn tail is ever observable.
+    fn append_line(&mut self, line: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        let result = self.file.write_all(line).and_then(|()| self.file.flush());
+        match result {
+            Ok(()) => {
+                self.committed += line.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Best effort: a failed rollback leaves the tail torn,
+                // but the write error is surfaced either way.
+                let _ = self.file.set_len(self.committed);
+                Err(e)
+            }
+        }
+    }
+}
+
 /// JSONL sink for `--json` (stdout) and `--metrics-out` (file). Inactive
 /// when neither was requested, at the cost of one branch per record.
 struct Emitter {
     json_stdout: bool,
-    out: Option<(String, std::fs::File)>,
+    out: Option<MetricsFile>,
     write_error: Option<std::io::Error>,
 }
 
@@ -245,7 +318,7 @@ impl Emitter {
             Some(path) => {
                 let file = std::fs::File::create(path)
                     .map_err(|e| format!("cannot create --metrics-out file '{path}': {e}"))?;
-                Some((path.to_string(), file))
+                Some(MetricsFile { path: path.to_string(), file, committed: 0 })
             }
             None => None,
         };
@@ -271,11 +344,13 @@ impl Emitter {
         if self.json_stdout {
             print!("{line}");
         }
-        if let Some((_, file)) = &mut self.out {
-            use std::io::Write;
-            if let Err(e) = file.write_all(line.as_bytes()) {
-                // Remember the first failure; close() surfaces it.
-                self.write_error.get_or_insert(e);
+        // After a write error the file stays frozen at its last
+        // committed line; close() surfaces the first failure.
+        if self.write_error.is_none() {
+            if let Some(out) = &mut self.out {
+                if let Err(e) = out.append_line(line.as_bytes()) {
+                    self.write_error = Some(e);
+                }
             }
         }
     }
@@ -290,19 +365,39 @@ impl Emitter {
         self.close()
     }
 
-    /// Flushes the stream and reports any write failure (commands whose
-    /// final record is not a machine snapshot end with this directly).
+    /// Reports any write failure (every record line was already flushed
+    /// through when it was committed).
     fn close(mut self) -> CliResult {
-        if let Some((path, file)) = &mut self.out {
-            use std::io::Write;
-            let flushed = file.flush();
+        if let Some(out) = &self.out {
             if let Some(e) = self.write_error.take() {
-                return Err(format!("writing --metrics-out file '{path}' failed: {e}").into());
+                return Err(format!("writing --metrics-out file '{}' failed: {e}", out.path).into());
             }
-            flushed.map_err(|e| format!("flushing --metrics-out file '{path}' failed: {e}"))?;
         }
         Ok(())
     }
+}
+
+/// Arms the process-wide flight recorder when `--trace-out` was given,
+/// returning the destination path. Stale events from an earlier
+/// in-process command are discarded — the trace should cover exactly
+/// this run.
+fn trace_arm(args: &Args) -> Option<String> {
+    let path = args.get("trace-out")?.to_string();
+    trace::recorder().take();
+    trace::enable();
+    Some(path)
+}
+
+/// Stops recording and writes the collected spans as a Chrome
+/// trace-event JSON file (no-op when `--trace-out` was absent). Runs on
+/// the failure path too: a faulted run's trace is exactly the one worth
+/// opening in Perfetto.
+fn trace_write(path: Option<&String>) -> CliResult {
+    let Some(path) = path else { return Ok(()) };
+    trace::disable();
+    let events = trace::recorder().take();
+    std::fs::write(path, trace::chrome_trace_json(&events))
+        .map_err(|e| format!("cannot write --trace-out file '{path}': {e}").into())
 }
 
 /// The values `--channel` accepts.
@@ -334,6 +429,7 @@ fn cmd_oracle(args: &Args) -> CliResult {
     let jobs = jobs(args)?;
     let tol = tolerance(args)?;
     let mut emit = Emitter::from_args(args)?;
+    let tr = trace_arm(args);
     let cfg = config(args)?;
     let out = match oracle_distribution(
         &cfg,
@@ -346,7 +442,10 @@ fn cmd_oracle(args: &Args) -> CliResult {
         |i, tp| tp ^ (1 + i as u16),
     ) {
         Ok(out) => out,
-        Err(e) => return Err(fail_sharded(emit, e)),
+        Err(e) => {
+            let _ = trace_write(tr.as_ref());
+            return Err(fail_sharded(emit, e));
+        }
     };
     if !emit.quiet() {
         println!("target {:#x}, {trials} trials per class, {jobs} jobs", out.target);
@@ -359,7 +458,8 @@ fn cmd_oracle(args: &Args) -> CliResult {
         println!("wrong PAC rejected:     {}/{trials}", out.incorrect_clean);
         println!("kernel crashes:         {}", out.crashes);
     }
-    emit.finish(&out.telemetry.snapshot())
+    emit.finish(&out.telemetry.snapshot())?;
+    trace_write(tr.as_ref())
 }
 
 fn cmd_brute(args: &Args) -> CliResult {
@@ -367,6 +467,7 @@ fn cmd_brute(args: &Args) -> CliResult {
     let jobs = jobs(args)?;
     let tol = tolerance(args)?;
     let mut emit = Emitter::from_args(args)?;
+    let tr = trace_arm(args);
     let cfg = config(args)?;
     // A probe boot positions the demo window around the true PAC (the
     // kernel seed pins the layout, so every shard sees the same target).
@@ -382,7 +483,10 @@ fn cmd_brute(args: &Args) -> CliResult {
     }
     let out = match parallel_brute(&cfg, Channel::Data, 5, &candidates, jobs, emit.active(), &tol) {
         Ok(out) => out,
-        Err(e) => return Err(fail_sharded(emit, e)),
+        Err(e) => {
+            let _ = trace_write(tr.as_ref());
+            return Err(fail_sharded(emit, e));
+        }
     };
     let outcome = out.outcome;
     emit.record(&Value::Object(vec![
@@ -413,7 +517,8 @@ fn cmd_brute(args: &Args) -> CliResult {
             outcome.crashes
         );
     }
-    emit.finish(&out.telemetry.snapshot())
+    emit.finish(&out.telemetry.snapshot())?;
+    trace_write(tr.as_ref())
 }
 
 fn cmd_jump2win(args: &Args) -> CliResult {
@@ -467,6 +572,7 @@ fn cmd_sweep(args: &Args) -> CliResult {
     let jobs = jobs(args)?;
     let tol = tolerance(args)?;
     let mut emit = Emitter::from_args(args)?;
+    let tr = trace_arm(args);
     if !emit.quiet() {
         println!("Figure 5(a) knees:");
     }
@@ -474,7 +580,10 @@ fn cmd_sweep(args: &Args) -> CliResult {
         .and_then(|data| Ok((data, parallel_sweep(SweepKind::Itlb, &[32], jobs, &tol)?)));
     let ((data, mut reg), (instr, instr_reg)) = match swept {
         Ok(out) => out,
-        Err(e) => return Err(fail_sharded(emit, e)),
+        Err(e) => {
+            let _ = trace_write(tr.as_ref());
+            return Err(fail_sharded(emit, e));
+        }
     };
     reg.merge(&instr_reg);
     for series in data.iter().chain(instr.iter()) {
@@ -523,7 +632,8 @@ fn cmd_sweep(args: &Args) -> CliResult {
     // driver already merged their microarchitectural totals, so only the
     // hierarchy-derivation machine still needs a hand export.
     m2.export_telemetry(&mut reg);
-    emit.finish(&reg.snapshot())
+    emit.finish(&reg.snapshot())?;
+    trace_write(tr.as_ref())
 }
 
 fn cmd_census(args: &Args) -> CliResult {
@@ -605,6 +715,7 @@ fn cmd_conform(args: &Args) -> CliResult {
     let jobs = jobs(args)?;
     let tol = tolerance(args)?;
     let mut emit = Emitter::from_args(args)?;
+    let tr = trace_arm(args);
     let cfg = ConformConfig { programs, seed, max_steps, ..ConformConfig::default() };
     if !emit.quiet() {
         println!(
@@ -614,7 +725,10 @@ fn cmd_conform(args: &Args) -> CliResult {
     }
     let report = match run_conformance(&cfg, jobs, &tol) {
         Ok(report) => report,
-        Err(e) => return Err(fail_sharded(emit, e)),
+        Err(e) => {
+            let _ = trace_write(tr.as_ref());
+            return Err(fail_sharded(emit, e));
+        }
     };
     for d in &report.divergences {
         emit.record(&divergence_record(d));
@@ -670,6 +784,7 @@ fn cmd_conform(args: &Args) -> CliResult {
     // Flush the JSONL stream (divergence repros included) before the
     // verdict decides the exit code, like jump2win does.
     emit.finish(&report.telemetry.snapshot())?;
+    trace_write(tr.as_ref())?;
     if !report.conforms() {
         return Err(format!(
             "speculative core diverged from the reference machine on {} of {} programs",
@@ -687,6 +802,175 @@ fn cmd_conform(args: &Args) -> CliResult {
         .into());
     }
     Ok(())
+}
+
+/// Experiments `profile` can rerun with the self-profiler armed (the
+/// System-driven attacks; sweep and census build their machines outside
+/// the config path the profile flag rides on).
+const PROFILE_EXPERIMENTS: &[&str] = &["oracle", "brute"];
+
+/// Groups `profile.<kind>.<key>.<field>` counters from a snapshot by
+/// their middle component (mnemonic, block PC, or phase name).
+fn profile_family<'a>(
+    snap: &'a Snapshot,
+    prefix: &str,
+) -> std::collections::BTreeMap<&'a str, std::collections::BTreeMap<&'a str, u64>> {
+    let mut out: std::collections::BTreeMap<&str, std::collections::BTreeMap<&str, u64>> =
+        std::collections::BTreeMap::new();
+    for (name, &v) in &snap.counters {
+        let Some(rest) = name.strip_prefix(prefix) else { continue };
+        let Some((key, field)) = rest.rsplit_once('.') else { continue };
+        out.entry(key).or_default().insert(field, v);
+    }
+    out
+}
+
+fn cmd_profile(args: &Args) -> CliResult {
+    let experiment = args.subject.as_deref().unwrap_or("oracle");
+    if !PROFILE_EXPERIMENTS.contains(&experiment) {
+        return Err(format!("profile cannot run '{experiment}' (oracle|brute)").into());
+    }
+    validate_channel(args)?;
+    let top = args.get_num("top", 10usize)?.max(1);
+    let jobs = jobs(args)?;
+    let tol = tolerance(args)?;
+    let trials: usize = args.get_num("trials", 8)?;
+    let window: u32 = args.get_num("window", 64)?;
+    let mut emit = Emitter::from_args(args)?;
+    // Profiling exists to produce the trace and the report, so the
+    // recorder is always armed; --trace-out only moves the destination.
+    let trace_path = args.get("trace-out").unwrap_or("trace.json").to_string();
+    trace::recorder().take();
+    trace::enable();
+    let mut cfg = config(args)?;
+    cfg.machine.profile = true;
+    if !emit.quiet() {
+        println!("profiling '{experiment}' ({jobs} jobs) ...");
+    }
+    let run = match experiment {
+        "oracle" => {
+            oracle_distribution(&cfg, channel_of(args), 1, trials, jobs, true, &tol, |i, tp| {
+                tp ^ (1 + i as u16)
+            })
+            .map(|out| out.telemetry)
+        }
+        _ => {
+            // Same probe-boot window placement as cmd_brute.
+            let mut probe = System::boot(cfg.clone());
+            let set = probe.pick_quiet_dtlb_set();
+            let target = probe.alloc_target(set);
+            let start = probe.true_pac(target).wrapping_sub((window / 2) as u16);
+            let candidates: Vec<u16> = (0..window).map(|i| start.wrapping_add(i as u16)).collect();
+            parallel_brute(&cfg, Channel::Data, 5, &candidates, jobs, true, &tol)
+                .map(|out| out.telemetry)
+        }
+    };
+    let registry = match run {
+        Ok(reg) => reg,
+        Err(e) => {
+            let _ = trace_write(Some(&trace_path));
+            return Err(fail_sharded(emit, e));
+        }
+    };
+    let snap = registry.snapshot();
+    trace::disable();
+    let dropped = trace::recorder().dropped();
+    let events = trace::recorder().take();
+    std::fs::write(&trace_path, trace::chrome_trace_json(&events))
+        .map_err(|e| format!("cannot write --trace-out file '{trace_path}': {e}"))?;
+
+    let opcodes = profile_family(&snap, "profile.opcode.");
+    let blocks = profile_family(&snap, "profile.block.");
+    let phases = profile_family(&snap, "profile.phase.");
+    let field = |f: &std::collections::BTreeMap<&str, u64>, k: &str| f.get(k).copied().unwrap_or(0);
+    let mut op_rows: Vec<(&str, u64, u64)> =
+        opcodes.iter().map(|(k, f)| (*k, field(f, "retired"), field(f, "cycles"))).collect();
+    op_rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    op_rows.truncate(top);
+    let mut block_rows: Vec<(&str, u64, u64, u64)> = blocks
+        .iter()
+        .map(|(k, f)| (*k, field(f, "entries"), field(f, "insts"), field(f, "cycles")))
+        .collect();
+    block_rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(b.0)));
+    block_rows.truncate(top);
+
+    for (rank, (mnem, retired, cycles)) in op_rows.iter().enumerate() {
+        emit.record(&Value::Object(vec![
+            ("record".into(), Value::str("profile_opcode")),
+            ("rank".into(), Value::UInt(rank as u64 + 1)),
+            ("opcode".into(), Value::str(*mnem)),
+            ("retired".into(), Value::UInt(*retired)),
+            ("cycles".into(), Value::UInt(*cycles)),
+        ]));
+    }
+    for (rank, (pc, entries, insts, cycles)) in block_rows.iter().enumerate() {
+        emit.record(&Value::Object(vec![
+            ("record".into(), Value::str("profile_block")),
+            ("rank".into(), Value::UInt(rank as u64 + 1)),
+            ("pc".into(), Value::str(*pc)),
+            ("entries".into(), Value::UInt(*entries)),
+            ("insts".into(), Value::UInt(*insts)),
+            ("cycles".into(), Value::UInt(*cycles)),
+        ]));
+    }
+    for (phase, f) in &phases {
+        emit.record(&Value::Object(vec![
+            ("record".into(), Value::str("profile_phase")),
+            ("phase".into(), Value::str(*phase)),
+            ("events".into(), Value::UInt(field(f, "events"))),
+            ("cycles".into(), Value::UInt(field(f, "cycles"))),
+            ("wall_ns".into(), Value::UInt(field(f, "wall_ns"))),
+        ]));
+    }
+    emit.record(&Value::Object(vec![
+        ("record".into(), Value::str("profile_summary")),
+        ("experiment".into(), Value::str(experiment)),
+        ("trace_path".into(), Value::str(trace_path.clone())),
+        ("trace_events".into(), Value::UInt(events.len() as u64)),
+        ("trace_dropped".into(), Value::UInt(dropped)),
+        ("opcodes_seen".into(), Value::UInt(opcodes.len() as u64)),
+        ("blocks_seen".into(), Value::UInt(blocks.len() as u64)),
+    ]));
+
+    if !emit.quiet() {
+        let mut t = Table::new(
+            format!("hot opcodes (top {} of {} by simulated cycles)", op_rows.len(), opcodes.len()),
+            &["opcode", "retired", "cycles", "cyc/inst"],
+        );
+        for (mnem, retired, cycles) in &op_rows {
+            t.row(&[
+                (*mnem).to_string(),
+                retired.to_string(),
+                cycles.to_string(),
+                format!("{:.1}", *cycles as f64 / (*retired).max(1) as f64),
+            ]);
+        }
+        println!("{t}");
+        let mut t = Table::new(
+            format!(
+                "hot blocks (top {} of {} by simulated cycles)",
+                block_rows.len(),
+                blocks.len()
+            ),
+            &["block", "entries", "insts", "cycles"],
+        );
+        for (pc, entries, insts, cycles) in &block_rows {
+            t.row(&[(*pc).to_string(), entries.to_string(), insts.to_string(), cycles.to_string()]);
+        }
+        println!("{t}");
+        let mut t = Table::new("pipeline phases", &["phase", "events", "sim cycles", "wall ns"]);
+        for (phase, f) in &phases {
+            t.row(&[
+                (*phase).to_string(),
+                field(f, "events").to_string(),
+                field(f, "cycles").to_string(),
+                field(f, "wall_ns").to_string(),
+            ]);
+        }
+        println!("{t}");
+        println!("trace: {trace_path} ({} events, {dropped} dropped)", events.len());
+    }
+    emit.finish(&snap)
 }
 
 fn cmd_mitigations(args: &Args) -> CliResult {
@@ -854,13 +1138,25 @@ fn cmd_verify(args: &Args) -> CliResult {
         Some(d) => d.to_string(),
         None => std::env::var("PACMAN_BENCH_DIR").unwrap_or_else(|_| ".".into()),
     };
+    let only = match args.get("only") {
+        Some(id) if !claims::ARTIFACT_IDS.contains(&id) => {
+            return Err(format!(
+                "--only got unknown artifact '{id}' (expected one of: {})",
+                claims::ARTIFACT_IDS.join(", ")
+            )
+            .into());
+        }
+        other => other,
+    };
+    let checked: Vec<&str> =
+        claims::ARTIFACT_IDS.iter().copied().filter(|id| only.is_none_or(|o| o == *id)).collect();
     let mut table = Table::new(
         format!("paper-claims verification ({dir})"),
         &["artifact", "field", "paper claim", "expected", "got", "status"],
     );
     let (mut pass, mut fail, mut missing) = (0usize, 0usize, 0usize);
     let mut artifacts_loaded = 0usize;
-    for id in claims::ARTIFACT_IDS {
+    for id in checked.iter().copied() {
         let path = std::path::Path::new(&dir).join(format!("BENCH_{id}.json"));
         let artifact = match std::fs::read_to_string(&path) {
             Ok(text) => match pacman_telemetry::json::parse(text.trim()) {
@@ -921,7 +1217,7 @@ fn cmd_verify(args: &Args) -> CliResult {
         println!(
             "claims: {pass} pass, {fail} fail, {missing} missing \
              ({artifacts_loaded}/{} artifacts loaded from '{dir}')",
-            claims::ARTIFACT_IDS.len()
+            checked.len()
         );
         println!("verdict: {}", if ok { "all claims in tolerance" } else { "OUT OF TOLERANCE" });
     }
@@ -940,7 +1236,7 @@ fn cmd_verify(args: &Args) -> CliResult {
         ("commit".into(), Value::str(current_commit())),
         ("timestamp".into(), Value::UInt(timestamp)),
         ("dir".into(), Value::str(dir.clone())),
-        ("artifacts_expected".into(), Value::UInt(claims::ARTIFACT_IDS.len() as u64)),
+        ("artifacts_expected".into(), Value::UInt(checked.len() as u64)),
         ("artifacts_loaded".into(), Value::UInt(artifacts_loaded as u64)),
         ("pass".into(), Value::UInt(pass as u64)),
         ("fail".into(), Value::UInt(fail as u64)),
@@ -951,11 +1247,14 @@ fn cmd_verify(args: &Args) -> CliResult {
     // Cross-PR history: append this run (keyed by commit + timestamp) to
     // the history file and diff it against the previous entry. A history
     // write error must not mask an out-of-tolerance verdict, so it is
-    // deferred below the claims check.
+    // deferred below the claims check. `--only` runs check a subset, so
+    // recording them would make the pass/fail trend incomparable across
+    // entries — they stay out of the history.
     let history_path = std::path::Path::new(&dir).join(VERIFY_HISTORY);
     let previous = last_history_entry(&history_path);
-    let history_result = append_history(&history_path, &summary);
-    if !emit.quiet() {
+    let history_result =
+        if only.is_none() { append_history(&history_path, &summary) } else { Ok(()) };
+    if !emit.quiet() && only.is_none() {
         match &previous {
             Some(prev) => {
                 let num = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
@@ -1229,6 +1528,37 @@ mod tests {
     }
 
     #[test]
+    fn verify_only_checks_one_artifact_and_skips_history() {
+        let dir = temp_dir("verify_only");
+        claims::example_artifact("perf_trace").write_to(&dir).expect("example artifact");
+        let out = dir.join("only.jsonl");
+        let cmd = format!(
+            "verify --dir {} --only perf_trace --metrics-out {}",
+            dir.display(),
+            out.display()
+        );
+        dispatch(&parse(&cmd)).expect("single present artifact passes despite 19 absent ones");
+        let records = read_jsonl(&out);
+        let history = dir.join(VERIFY_HISTORY);
+        let history_exists = history.exists();
+        let err = dispatch(&parse(&format!("verify --dir {} --only nonsense", dir.display())))
+            .expect_err("unknown --only id");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(!history_exists, "--only runs must not pollute the verify history");
+        assert!(err.to_string().contains("unknown artifact 'nonsense'"), "{err}");
+        let summary = records.last().expect("verify_summary");
+        assert_eq!(summary.get("record").and_then(Value::as_str), Some("verify_summary"));
+        assert_eq!(summary.get("artifacts_expected").and_then(Value::as_u64), Some(1));
+        assert_eq!(summary.get("missing").and_then(Value::as_u64), Some(0));
+        assert_eq!(summary.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(records.iter().all(|r| r
+            .get("artifact")
+            .and_then(Value::as_str)
+            .unwrap_or("perf_trace")
+            == "perf_trace"));
+    }
+
+    #[test]
     fn verify_reports_missing_artifacts() {
         let dir = temp_dir("verify_missing");
         let err = dispatch(&parse(&format!("verify --dir {}", dir.display())))
@@ -1389,6 +1719,150 @@ mod tests {
         assert!(err.to_string().contains("not a number"), "{err}");
         let err = dispatch(&parse("census --fault-rate 0.5")).expect_err("foreign option");
         assert!(err.to_string().contains("--fault-rate"), "{err}");
+    }
+
+    /// Serializes tests that arm the process-wide flight recorder: two
+    /// concurrent `trace_arm`/`take` sequences would steal each other's
+    /// events. Tests that never enable tracing are unaffected.
+    static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+        TRACE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn profile_command_writes_a_round_trippable_trace_and_hot_reports() {
+        let _guard = trace_lock();
+        let dir = temp_dir("profile");
+        let trace_path = dir.join("trace.json");
+        let out = dir.join("out.jsonl");
+        dispatch(&parse(&format!(
+            "profile oracle --trials 2 --quiet-noise --top 5 --trace-out {} --metrics-out {}",
+            trace_path.display(),
+            out.display()
+        )))
+        .expect("profile oracle runs");
+        let text = std::fs::read_to_string(&trace_path).expect("trace written");
+        let events = trace::parse_chrome_trace(&text).expect("trace round-trips");
+        // Concurrent tests may add events to the global recorder, so
+        // assert supersets only: this run's lifecycle spans must be in.
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|e| e.name == "shards.run"), "run-level span present");
+        assert!(events.iter().any(|e| e.name == "shard.exec"), "per-shard spans present");
+        let records = read_jsonl(&out);
+        let opcode_rows: Vec<_> = records
+            .iter()
+            .filter(|r| r.get("record").and_then(Value::as_str) == Some("profile_opcode"))
+            .collect();
+        assert!(!opcode_rows.is_empty() && opcode_rows.len() <= 5, "top-N opcode rows");
+        for r in &opcode_rows {
+            assert!(r.get("retired").and_then(Value::as_u64).unwrap() > 0);
+            assert!(r.get("cycles").and_then(Value::as_u64).unwrap() > 0);
+        }
+        assert!(records
+            .iter()
+            .any(|r| r.get("record").and_then(Value::as_str) == Some("profile_block")));
+        let phase_rows: Vec<_> = records
+            .iter()
+            .filter(|r| r.get("record").and_then(Value::as_str) == Some("profile_phase"))
+            .collect();
+        assert_eq!(phase_rows.len(), 4, "decode/dispatch/memory/qarma");
+        let summary = records
+            .iter()
+            .find(|r| r.get("record").and_then(Value::as_str) == Some("profile_summary"))
+            .expect("profile_summary record");
+        assert!(summary.get("trace_events").and_then(Value::as_u64).unwrap() > 0);
+        // The merged machine snapshot carries the raw profile counters.
+        let metrics = records.last().expect("metrics record");
+        assert_eq!(metrics.get("record").and_then(Value::as_str), Some("metrics"));
+        let counters = metrics.get("counters").expect("counters object");
+        assert!(
+            counters.get("profile.opcode.ldr.retired").and_then(Value::as_u64).unwrap() > 0,
+            "profiled loads must be attributed"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_rejects_unknown_experiments_and_foreign_subjects() {
+        let err = dispatch(&parse("profile sweep")).expect_err("unsupported experiment");
+        assert!(err.to_string().contains("profile cannot run"), "{err}");
+        let err = dispatch(&parse("oracle extra --trials 1")).expect_err("foreign subject");
+        assert!(err.to_string().contains("unexpected argument 'extra'"), "{err}");
+    }
+
+    #[test]
+    fn trace_out_on_oracle_emits_a_valid_chrome_trace() {
+        let _guard = trace_lock();
+        let dir = temp_dir("trace_out");
+        let trace_path = dir.join("oracle_trace.json");
+        dispatch(&parse(&format!(
+            "oracle --trials 2 --quiet-noise --trace-out {}",
+            trace_path.display()
+        )))
+        .expect("oracle runs");
+        let text = std::fs::read_to_string(&trace_path).expect("trace written");
+        let events = trace::parse_chrome_trace(&text).expect("trace parses");
+        assert!(events.iter().any(|e| e.name == "shard.queue_wait"));
+        assert!(events.iter().any(|e| e.name == "shards.run"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_out_survives_a_faulted_partial_failure() {
+        let _guard = trace_lock();
+        let dir = temp_dir("trace_fault");
+        let trace_path = dir.join("faulted_trace.json");
+        dispatch(&parse(&format!(
+            "oracle --trials 2 --jobs 2 --quiet-noise --fault-rate 1 --trace-out {}",
+            trace_path.display()
+        )))
+        .expect_err("rate 1.0 exhausts the budget");
+        let text = std::fs::read_to_string(&trace_path).expect("trace written on failure too");
+        let events = trace::parse_chrome_trace(&text).expect("trace parses");
+        assert!(events.iter().any(|e| e.name == "shard.retry"), "injected faults visible");
+        assert!(events.iter().any(|e| e.name == "shard.fail"), "permanent failures visible");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_out_has_no_truncated_trailing_line_after_partial_failure() {
+        let dir = temp_dir("faults_durability");
+        let out = dir.join("out.jsonl");
+        dispatch(&parse(&format!(
+            "oracle --trials 4 --jobs 2 --quiet-noise --fault-rate 1 --metrics-out {}",
+            out.display()
+        )))
+        .expect_err("rate 1.0 must exhaust every shard's retry budget");
+        let text = std::fs::read_to_string(&out).expect("metrics file written");
+        std::fs::remove_dir_all(&dir).ok();
+        // Every record emitted before the failure must be durable as a
+        // complete line: newline-terminated, no torn tail.
+        assert!(!text.is_empty(), "partial evidence must be on disk");
+        assert!(text.ends_with('\n'), "no truncated trailing line");
+        let records = pacman_telemetry::json::parse_jsonl(&text).expect("valid JSONL");
+        assert!(records
+            .iter()
+            .any(|r| r.get("record").and_then(Value::as_str) == Some("shard_failure")));
+    }
+
+    #[test]
+    fn emitter_latches_write_errors_and_freezes_the_file() {
+        let dir = temp_dir("emitter_errors");
+        let path = dir.join("frozen.jsonl");
+        std::fs::write(&path, "").expect("create");
+        // A read-only handle makes every write fail, exercising the
+        // error-latching path without faking a full disk.
+        let file = std::fs::OpenOptions::new().read(true).open(&path).expect("read-only open");
+        let out = MetricsFile { path: path.display().to_string(), file, committed: 0 };
+        let mut emit = Emitter { json_stdout: false, out: Some(out), write_error: None };
+        emit.record(&Value::Object(vec![("record".into(), Value::str("a"))]));
+        emit.record(&Value::Object(vec![("record".into(), Value::str("b"))]));
+        let err = emit.close().expect_err("write failure surfaces on close");
+        assert!(err.to_string().contains("frozen.jsonl"), "{err}");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(text.is_empty(), "nothing past the committed boundary: {text:?}");
     }
 
     #[test]

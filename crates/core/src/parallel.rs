@@ -188,6 +188,19 @@ pub fn shard_system(base: &SystemConfig, shard_seed: u64, record: bool) -> Syste
     shard_system_faulted(base, shard_seed, record, false)
 }
 
+/// Marks an armed timing-spike fault on the global flight recorder so a
+/// fault drill's corrupted attempts show up on the trace timeline right
+/// next to the `shard.retry` instants they cause.
+fn note_spike(shard: usize, attempt: u32) {
+    pacman_telemetry::trace::recorder().instant(
+        "fault.spike",
+        "fault",
+        0,
+        Some(shard as u64),
+        vec![("attempt".to_string(), pacman_telemetry::json::Value::UInt(u64::from(attempt)))],
+    );
+}
+
 /// [`shard_system`], optionally arming the injected timing-noise spike
 /// on the shard machine (the attempt will run — exercising the uarch
 /// path — and then be discarded).
@@ -343,6 +356,9 @@ where
             let fa = tol.fault_attempt(attempt);
             tol.faults.maybe_panic(shard.index, fa);
             let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
+            if spiked {
+                note_spike(shard.index, fa);
+            }
             let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
             let set = sys.pick_quiet_dtlb_set();
             let target = sys.alloc_target(set) + channel.target_offset();
@@ -492,6 +508,9 @@ pub fn parallel_brute(
             let fa = tol.fault_attempt(attempt);
             tol.faults.maybe_panic(shard.index, fa);
             let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
+            if spiked {
+                note_spike(shard.index, fa);
+            }
             let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
             let set = sys.pick_quiet_dtlb_set();
             let target = sys.alloc_target(set) + channel.target_offset();
@@ -596,6 +615,9 @@ where
             let fa = tol.fault_attempt(attempt);
             tol.faults.maybe_panic(shard.index, fa);
             let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
+            if spiked {
+                note_spike(shard.index, fa);
+            }
             let mut sys = shard_system_faulted(base, shard.seed, true, spiked);
             let set = sys.pick_quiet_dtlb_set();
             let target = sys.alloc_target(set) + channel.target_offset();
@@ -744,6 +766,9 @@ pub fn parallel_jump2win(
             let fa = tol.fault_attempt(attempt);
             tol.faults.maybe_panic(shard.index, fa);
             let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
+            if spiked {
+                note_spike(shard.index, fa);
+            }
             let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
             let phase = shard.index;
             let (sc, target, key) = if phase == 0 {

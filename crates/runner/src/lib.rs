@@ -32,9 +32,19 @@
 //! (retried-away) failures change it. [`RetryPolicy::reseed`] varies
 //! only the *fault-decision* stream across attempts (see its docs).
 
+//!
+//! Observability: when the process-wide flight recorder
+//! (`pacman_telemetry::trace`) is enabled, the engine emits spans for
+//! each shard's queue wait and execution attempts plus instant markers
+//! for retries, permanent failures, and cancellations — the raw
+//! material of the `trace.json` fault-drill timelines. Disabled (the
+//! default), each hook is one atomic load.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use pacman_telemetry::json::Value;
+use pacman_telemetry::trace;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -337,12 +347,31 @@ where
     let failed = AtomicBool::new(false);
     let retries = AtomicU64::new(0);
     let max_attempts = policy.max_attempts.max(1);
+    let rec = trace::recorder();
+    let run_start = rec.now_us();
 
     // The per-shard retry loop, shared by the inline and pooled paths.
-    let attempt_shard = |shard: &Shard| -> Result<T, ShardError> {
+    // `tid` is the worker slot (0 on the inline path), used only for
+    // span attribution.
+    let attempt_shard = |shard: &Shard, tid: u64| -> Result<T, ShardError> {
+        let sid = Some(shard.index as u64);
+        // Queue wait: run entry -> this worker picking the shard up.
+        rec.complete("shard.queue_wait", "runner", tid, sid, run_start, Vec::new());
         let mut attempt = 0u32;
         loop {
+            let exec_start = rec.now_us();
             let run = catch_unwind(AssertUnwindSafe(|| work(shard, attempt)));
+            rec.complete(
+                "shard.exec",
+                "runner",
+                tid,
+                sid,
+                exec_start,
+                vec![
+                    ("attempt".into(), Value::UInt(u64::from(attempt))),
+                    ("ok".into(), Value::Bool(matches!(run, Ok(Ok(_))))),
+                ],
+            );
             let (panicked, message) = match run {
                 Ok(Ok(value)) => return Ok(value),
                 Ok(Err(e)) => (false, e.to_string()),
@@ -350,6 +379,17 @@ where
             };
             attempt += 1;
             if attempt >= max_attempts {
+                rec.instant(
+                    "shard.fail",
+                    "runner",
+                    tid,
+                    sid,
+                    vec![
+                        ("attempts".into(), Value::UInt(u64::from(attempt))),
+                        ("panicked".into(), Value::Bool(panicked)),
+                        ("error".into(), Value::str(message.clone())),
+                    ],
+                );
                 return Err(ShardError {
                     shard: shard.index,
                     attempts: attempt,
@@ -359,23 +399,51 @@ where
                 });
             }
             retries.fetch_add(1, Ordering::Relaxed);
+            rec.instant(
+                "shard.retry",
+                "runner",
+                tid,
+                sid,
+                vec![
+                    ("attempt".into(), Value::UInt(u64::from(attempt))),
+                    ("panicked".into(), Value::Bool(panicked)),
+                    ("error".into(), Value::str(message.clone())),
+                ],
+            );
         }
+    };
+
+    let finish = |results: Vec<Result<T, ShardError>>, retries: u64| {
+        rec.complete(
+            "shards.run",
+            "runner",
+            0,
+            None,
+            run_start,
+            vec![
+                ("shards".into(), Value::UInt(shards.len() as u64)),
+                ("jobs".into(), Value::UInt(jobs as u64)),
+                ("retries".into(), Value::UInt(retries)),
+            ],
+        );
+        Ok(ShardedOutcome { results, retries })
     };
 
     if jobs <= 1 || shards.len() <= 1 {
         let mut results = Vec::with_capacity(shards.len());
         for shard in shards {
             if failed.load(Ordering::Relaxed) {
+                rec.instant("shard.cancelled", "runner", 0, Some(shard.index as u64), Vec::new());
                 results.push(Err(ShardError::cancelled(shard.index)));
                 continue;
             }
-            let r = attempt_shard(shard);
+            let r = attempt_shard(shard, 0);
             if r.is_err() {
                 failed.store(true, Ordering::Relaxed);
             }
             results.push(r);
         }
-        return Ok(ShardedOutcome { results, retries: retries.into_inner() });
+        return finish(results, retries.into_inner());
     }
 
     let slots: Vec<Mutex<Option<Result<T, ShardError>>>> =
@@ -383,14 +451,16 @@ where
     let next = AtomicUsize::new(0);
     let workers = jobs.min(shards.len());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for worker in 0..workers {
+            let tid = worker as u64;
+            let (failed, next, slots, attempt_shard) = (&failed, &next, &slots, &attempt_shard);
+            scope.spawn(move || loop {
                 if failed.load(Ordering::Relaxed) {
                     break;
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(shard) = shards.get(i) else { break };
-                let r = attempt_shard(shard);
+                let r = attempt_shard(shard, tid);
                 if r.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -408,11 +478,14 @@ where
             Some(r) => results.push(r),
             // Workers only leave a slot unfilled when draining the queue
             // after a permanent failure elsewhere.
-            None if drained => results.push(Err(ShardError::cancelled(i))),
+            None if drained => {
+                rec.instant("shard.cancelled", "runner", 0, Some(i as u64), Vec::new());
+                results.push(Err(ShardError::cancelled(i)));
+            }
             None => return Err(RunnerError::MissingResult { shard: i }),
         }
     }
-    Ok(ShardedOutcome { results, retries: retries.into_inner() })
+    finish(results, retries.into_inner())
 }
 
 /// Maps the infallible `work` over every shard and returns the results
@@ -670,6 +743,48 @@ mod tests {
             executed.load(Ordering::Relaxed) < 64,
             "workers must stop pulling shards after a permanent failure"
         );
+    }
+
+    #[test]
+    fn tolerant_emits_lifecycle_spans_when_tracing() {
+        // The global recorder is process-wide, so assert supersets:
+        // concurrent tests may add events but cannot remove ours.
+        let rec = trace::recorder();
+        rec.set_enabled(true);
+        let plan = shard_plan(20, 5, 0xCAFE);
+        let out = run_shards_tolerant::<_, std::convert::Infallible, _>(
+            &plan,
+            1,
+            RetryPolicy::default(),
+            |s, attempt| {
+                if s.index == 2 && attempt == 0 {
+                    panic!("transient for the trace");
+                }
+                Ok(s.seed)
+            },
+        )
+        .expect("engine ok");
+        rec.set_enabled(false);
+        assert_eq!(out.completed(), 5);
+        let events = rec.take();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert!(count("shard.queue_wait") >= 5, "one queue-wait per shard");
+        assert!(count("shard.exec") >= 6, "5 shards + 1 retried attempt");
+        assert!(count("shard.retry") >= 1);
+        assert!(count("shards.run") >= 1);
+        // Find *our* retry marker by its distinctive message (other
+        // concurrent tests may emit their own).
+        let retry = events
+            .iter()
+            .find(|e| {
+                e.name == "shard.retry"
+                    && e.args
+                        .iter()
+                        .any(|(k, v)| k == "error" && v.as_str() == Some("transient for the trace"))
+            })
+            .expect("our retry marker is recorded");
+        assert_eq!(retry.shard, Some(2));
+        assert!(retry.dur_us.is_none(), "retries are instant markers");
     }
 
     #[test]

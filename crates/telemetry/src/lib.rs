@@ -12,7 +12,11 @@
 //! - [`Snapshot`] / [`Snapshot::diff`] — point-in-time captures with
 //!   interval semantics, so a caller can meter one experiment phase;
 //! - [`json`] — a hand-rolled serializer *and* minimal parser (the
-//!   workspace deliberately has no serde), plus JSONL helpers.
+//!   workspace deliberately has no serde), plus JSONL helpers;
+//! - [`span`] — timed span events with thread+shard attribution and a
+//!   bounded ring-buffer [`FlightRecorder`](span::FlightRecorder);
+//! - [`trace`] — the process-wide recorder plus a Chrome trace-event
+//!   exporter/parser (`trace.json`, viewable in Perfetto).
 //!
 //! Cost discipline mirrors `SpecTrace`: every mutating entry point
 //! branches on [`Registry::is_enabled`] first, so a disabled registry
@@ -26,6 +30,9 @@
 pub mod json;
 mod registry;
 mod snapshot;
+pub mod span;
+pub mod trace;
 
 pub use registry::{Histogram, HistogramSummary, Registry, ScopedTimer};
 pub use snapshot::Snapshot;
+pub use span::{FlightRecorder, SpanEvent};

@@ -91,11 +91,26 @@ impl Histogram {
 
     /// Bucket-resolution quantile: the midpoint of the bucket holding the
     /// rank-`q` observation, clamped into `[min, max]`. `q` is in `[0, 1]`.
+    ///
+    /// Boundary behaviour (pinned by tests):
+    /// - **empty histogram** — returns 0, indistinguishable from a
+    ///   histogram of zeros; check [`count`](Self::count) first when
+    ///   the distinction matters;
+    /// - **`q = 0.0`** (and anything below, including `-∞`) — the
+    ///   midpoint of the smallest observation's bucket, clamped into
+    ///   `[min, max]`; bucket resolution, so not necessarily exactly
+    ///   [`min`](Self::min);
+    /// - **`q = 1.0`** (and anything above, including `+∞`) — the
+    ///   midpoint of the largest observation's bucket, clamped into
+    ///   `[min, max]`; never exceeds [`max`](Self::max) but may fall
+    ///   below it;
+    /// - **NaN** — treated as `q = 0.0` (rank of the smallest
+    ///   observation), not a panic and not a sentinel.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -477,6 +492,47 @@ mod tests {
             prev = v;
         }
         assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn quantile_boundaries_are_pinned() {
+        // Empty: 0 for every q, finite or not.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 1.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+
+        let mut h = Histogram::new();
+        for v in [3u64, 50, 700, 9001] {
+            h.observe(v);
+        }
+        // q=0 (and anything at or below it): bucket [2,3] has midpoint
+        // 2, clamped up to min=3. Out-of-range q behaves like 0.0.
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(-1.0), 3);
+        assert_eq!(h.quantile(f64::NEG_INFINITY), 3);
+        // q=1 (and anything at or above it): bucket [8192,16383] has
+        // midpoint 12287, clamped down to max=9001.
+        assert_eq!(h.quantile(1.0), 9001);
+        assert_eq!(h.quantile(2.0), 9001);
+        assert_eq!(h.quantile(f64::INFINITY), 9001);
+        // NaN behaves as q=0, without panicking.
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+
+        // Bucket resolution, made visible: with observations {33, 50}
+        // the q=0 answer is the [32,63] midpoint 47, NOT min=33.
+        let mut coarse = Histogram::new();
+        coarse.observe(33);
+        coarse.observe(50);
+        assert_eq!(coarse.quantile(0.0), 47);
+        assert_eq!(coarse.quantile(1.0), 47);
+
+        // A single observation answers every quantile with itself.
+        let mut one = Histogram::new();
+        one.observe(42);
+        for q in [0.0, 0.25, 0.5, 1.0, f64::NAN] {
+            assert_eq!(one.quantile(q), 42, "single-sample histogram at q={q}");
+        }
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Span events and the bounded flight recorder.
+//!
+//! A [`SpanEvent`] is one timed (or instantaneous) occurrence with
+//! thread and shard attribution; the [`FlightRecorder`] is a fixed-size
+//! ring that keeps the most recent events and counts what it had to
+//! drop. The recorder is `Sync` (atomics + one mutex), so one instance
+//! can be shared by every worker thread of a sharded run, and the cost
+//! discipline matches [`Registry`](crate::Registry): every recording
+//! entry point branches on the enabled flag first, so a disabled
+//! recorder costs one atomic load per call site.
+
+use crate::json::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One trace event: a completed span (`dur_us` present) or an instant
+/// marker (`dur_us` absent). Timestamps are microseconds since the
+/// owning recorder's epoch, matching the Chrome trace-event clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Event name (e.g. `"shard.exec"`).
+    pub name: String,
+    /// Category, used by trace viewers to group and filter.
+    pub cat: String,
+    /// Logical thread of execution (worker slot, not OS thread id).
+    pub tid: u64,
+    /// Shard attribution, when the event belongs to one shard.
+    pub shard: Option<u64>,
+    /// Start timestamp, µs since the recorder epoch.
+    pub start_us: u64,
+    /// Duration in µs for completed spans; `None` marks an instant.
+    pub dur_us: Option<u64>,
+    /// Free-form key/value annotations (emitted as Chrome `args`).
+    pub args: Vec<(String, Value)>,
+}
+
+/// A bounded in-memory event ring ("flight recorder"): the newest
+/// events survive, the oldest are overwritten, and the number of
+/// casualties is counted. See the [module docs](self) for the cost
+/// discipline.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    epoch: Instant,
+    capacity: usize,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<SpanEvent>>,
+}
+
+impl FlightRecorder {
+    /// An enabled recorder holding at most `capacity` events
+    /// (`capacity` 0 is promoted to 1 so the ring is never degenerate).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            enabled: AtomicBool::new(true),
+            epoch: Instant::now(),
+            capacity,
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// A disabled recorder: every recording call is a no-op until
+    /// [`set_enabled`](Self::set_enabled) turns it on.
+    pub fn disabled(capacity: usize) -> Self {
+        let r = Self::new(capacity);
+        r.enabled.store(false, Ordering::Release);
+        r
+    }
+
+    /// Whether recording calls take effect.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Turns recording on or off; already-recorded events are kept.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Microseconds since the recorder's epoch (0 when disabled, so
+    /// callers can sample unconditionally before a span).
+    pub fn now_us(&self) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records a raw event, overwriting the oldest when full.
+    pub fn record(&self, event: SpanEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Records a completed span that started at `start_us` (a prior
+    /// [`now_us`](Self::now_us) sample) and ends now.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &self,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        tid: u64,
+        shard: Option<u64>,
+        start_us: u64,
+        args: Vec<(String, Value)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let end = self.now_us();
+        self.record(SpanEvent {
+            name: name.into(),
+            cat: cat.into(),
+            tid,
+            shard,
+            start_us,
+            dur_us: Some(end.saturating_sub(start_us)),
+            args,
+        });
+    }
+
+    /// Records an instantaneous marker event.
+    pub fn instant(
+        &self,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        tid: u64,
+        shard: Option<u64>,
+        args: Vec<(String, Value)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let now = self.now_us();
+        self.record(SpanEvent {
+            name: name.into(),
+            cat: cat.into(),
+            tid,
+            shard,
+            start_us: now,
+            dur_us: None,
+            args,
+        });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight recorder poisoned").len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drains every retained event in recording order and resets the
+    /// dropped counter (the enabled flag is untouched).
+    pub fn take(&self) -> Vec<SpanEvent> {
+        self.dropped.store(0, Ordering::Relaxed);
+        self.ring.lock().expect("flight recorder poisoned").drain(..).collect()
+    }
+
+    /// Clones every retained event in recording order, leaving the ring
+    /// intact.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        self.ring.lock().expect("flight recorder poisoned").iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, start: u64) -> SpanEvent {
+        SpanEvent {
+            name: name.into(),
+            cat: "test".into(),
+            tid: 0,
+            shard: None,
+            start_us: start,
+            dur_us: Some(1),
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(ev("e", i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r.take().into_iter().map(|e| e.start_us).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 0, "take resets the drop counter");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = FlightRecorder::disabled(8);
+        r.record(ev("e", 0));
+        r.instant("i", "t", 0, None, Vec::new());
+        r.complete("c", "t", 0, None, 0, Vec::new());
+        assert!(r.is_empty());
+        assert_eq!(r.now_us(), 0);
+        r.set_enabled(true);
+        r.instant("i", "t", 0, Some(3), Vec::new());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.snapshot()[0].shard, Some(3));
+    }
+
+    #[test]
+    fn complete_measures_a_nonnegative_duration() {
+        let r = FlightRecorder::new(8);
+        let t0 = r.now_us();
+        r.complete("span", "test", 2, Some(1), t0, vec![("k".into(), Value::UInt(7))]);
+        let events = r.take();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!((e.tid, e.shard, &e.name[..]), (2, Some(1), "span"));
+        assert!(e.dur_us.is_some());
+        assert_eq!(e.args[0], ("k".to_string(), Value::UInt(7)));
+    }
+
+    #[test]
+    fn snapshot_leaves_the_ring_intact() {
+        let r = FlightRecorder::new(4);
+        r.record(ev("a", 0));
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_promoted_to_one() {
+        let r = FlightRecorder::new(0);
+        r.record(ev("a", 0));
+        r.record(ev("b", 1));
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let r = FlightRecorder::new(64);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let r = &r;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        r.instant("tick", "test", t, Some(t), Vec::new());
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 32);
+    }
+}

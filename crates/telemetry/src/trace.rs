@@ -1,0 +1,287 @@
+//! The process-wide flight recorder and the Chrome trace-event
+//! exporter/parser.
+//!
+//! The exporter emits the subset of the [Chrome trace-event format]
+//! that Perfetto and `chrome://tracing` render directly: one top-level
+//! object with a `traceEvents` array of `"X"` (complete span), `"i"`
+//! (instant), and `"M"` (metadata) events, timestamps and durations in
+//! microseconds. The parser accepts the same subset (wrapper object or
+//! bare array) and reconstructs [`SpanEvent`]s, so a written
+//! `trace.json` can be validated by round-trip.
+//!
+//! The [`recorder`] global exists so deep layers (the shard runner, the
+//! simulator) can emit spans without threading a handle through every
+//! signature; it starts disabled, and a disabled recorder costs one
+//! atomic load per call site.
+//!
+//! [Chrome trace-event format]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::{self, Value};
+use crate::span::{FlightRecorder, SpanEvent};
+use std::sync::OnceLock;
+
+/// Ring capacity of the [`recorder`] global: large enough for every
+/// span of a full sweep (hundreds of shards × a handful of spans each)
+/// with generous headroom, small enough (< 10 MB worst case) that an
+/// always-allocated ring is harmless.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// The single `pid` this in-process tracer emits (the workspace is one
+/// process; "processes" in the viewer are not meaningful here).
+pub const TRACE_PID: u64 = 1;
+
+static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-wide flight recorder. Starts disabled; call
+/// [`enable`] (or `set_enabled(true)` on the returned handle) to start
+/// collecting.
+pub fn recorder() -> &'static FlightRecorder {
+    RECORDER.get_or_init(|| FlightRecorder::disabled(DEFAULT_CAPACITY))
+}
+
+/// Turns the global recorder on.
+pub fn enable() {
+    recorder().set_enabled(true);
+}
+
+/// Turns the global recorder off (retained events are kept).
+pub fn disable() {
+    recorder().set_enabled(false);
+}
+
+/// Whether the global recorder is collecting.
+pub fn is_enabled() -> bool {
+    recorder().is_enabled()
+}
+
+/// Serializes events as a Chrome trace-event document: metadata
+/// (`thread_name`) events for every distinct `tid` first, then the
+/// spans in recording order. Shard attribution rides in `args.shard`.
+pub fn chrome_trace(events: &[SpanEvent]) -> Value {
+    let mut out = Vec::with_capacity(events.len() + 4);
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let name = if tid == 0 { "main".to_string() } else { format!("worker-{tid}") };
+        out.push(Value::Object(vec![
+            ("name".into(), Value::str("thread_name")),
+            ("ph".into(), Value::str("M")),
+            ("pid".into(), Value::UInt(TRACE_PID)),
+            ("tid".into(), Value::UInt(tid)),
+            ("args".into(), Value::Object(vec![("name".into(), Value::str(name))])),
+        ]));
+    }
+    for e in events {
+        let mut fields = vec![
+            ("name".into(), Value::str(e.name.clone())),
+            ("cat".into(), Value::str(e.cat.clone())),
+            ("ph".into(), Value::str(if e.dur_us.is_some() { "X" } else { "i" })),
+            ("ts".into(), Value::UInt(e.start_us)),
+        ];
+        if let Some(dur) = e.dur_us {
+            fields.push(("dur".into(), Value::UInt(dur)));
+        } else {
+            // Instant events need a scope; "t" (thread) renders as a
+            // tick on the emitting track.
+            fields.push(("s".into(), Value::str("t")));
+        }
+        fields.push(("pid".into(), Value::UInt(TRACE_PID)));
+        fields.push(("tid".into(), Value::UInt(e.tid)));
+        let mut args = Vec::with_capacity(e.args.len() + 1);
+        if let Some(shard) = e.shard {
+            args.push(("shard".into(), Value::UInt(shard)));
+        }
+        args.extend(e.args.iter().cloned());
+        fields.push(("args".into(), Value::Object(args)));
+        out.push(Value::Object(fields));
+    }
+    Value::Object(vec![("traceEvents".into(), Value::Array(out))])
+}
+
+/// [`chrome_trace`] rendered as compact JSON text.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    chrome_trace(events).to_string()
+}
+
+/// Why [`parse_chrome_trace`] rejected its input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Not JSON at all.
+    Json(json::ParseError),
+    /// JSON, but not a recognizable trace-event document.
+    Shape(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "trace is not valid JSON: {e}"),
+            TraceError::Shape(s) => write!(f, "trace shape error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn shape(msg: impl Into<String>) -> TraceError {
+    TraceError::Shape(msg.into())
+}
+
+/// Parses (and thereby validates) a Chrome trace-event document
+/// produced by [`chrome_trace_json`] — or any document in the same
+/// subset: a `{"traceEvents": [...]}` wrapper or a bare event array,
+/// with `"X"`/`"i"`/`"M"` phases. Metadata events are validated and
+/// skipped; `args.shard` is lifted back into [`SpanEvent::shard`], so
+/// `parse_chrome_trace(&chrome_trace_json(events))` reproduces
+/// `events` exactly.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<SpanEvent>, TraceError> {
+    let doc = json::parse(text).map_err(TraceError::Json)?;
+    let raw = match &doc {
+        Value::Array(items) => items.as_slice(),
+        Value::Object(_) => doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .ok_or_else(|| shape("top-level object lacks a traceEvents array"))?,
+        _ => return Err(shape("expected an object or array at top level")),
+    };
+    let mut events = Vec::with_capacity(raw.len());
+    for (i, item) in raw.iter().enumerate() {
+        let field_u64 = |key: &str| {
+            item.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| shape(format!("event {i}: missing numeric '{key}'")))
+        };
+        let name = item
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| shape(format!("event {i}: missing string 'name'")))?;
+        let ph = item
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| shape(format!("event {i}: missing string 'ph'")))?;
+        let tid = field_u64("tid")?;
+        field_u64("pid")?;
+        let dur_us = match ph {
+            "M" => continue,
+            "X" => Some(field_u64("dur")?),
+            "i" | "I" => None,
+            other => return Err(shape(format!("event {i}: unsupported phase {other:?}"))),
+        };
+        let start_us = field_u64("ts")?;
+        let cat = item.get("cat").and_then(Value::as_str).unwrap_or("").to_string();
+        let mut shard = None;
+        let mut args = Vec::new();
+        if let Some(Value::Object(fields)) = item.get("args") {
+            for (k, v) in fields {
+                if k == "shard" && shard.is_none() {
+                    if let Some(s) = v.as_u64() {
+                        shard = Some(s);
+                        continue;
+                    }
+                }
+                args.push((k.clone(), v.clone()));
+            }
+        }
+        events.push(SpanEvent { name: name.to_string(), cat, tid, shard, start_us, dur_us, args });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "shard.exec".into(),
+                cat: "runner".into(),
+                tid: 1,
+                shard: Some(3),
+                start_us: 10,
+                dur_us: Some(250),
+                args: vec![("attempt".into(), Value::UInt(0))],
+            },
+            SpanEvent {
+                name: "shard.retry".into(),
+                cat: "runner".into(),
+                tid: 2,
+                shard: Some(4),
+                start_us: 40,
+                dur_us: None,
+                args: vec![("error".into(), Value::str("injected panic"))],
+            },
+            SpanEvent {
+                name: "experiment".into(),
+                cat: "cli".into(),
+                tid: 0,
+                shard: None,
+                start_us: 0,
+                dur_us: Some(999),
+                args: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let events = sample_events();
+        let text = chrome_trace_json(&events);
+        let back = parse_chrome_trace(&text).expect("round-trip parses");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn export_emits_thread_metadata_and_phases() {
+        let doc = chrome_trace(&sample_events());
+        let items = doc.get("traceEvents").and_then(Value::as_array).expect("wrapper");
+        // 3 distinct tids -> 3 metadata events, then the 3 spans.
+        assert_eq!(items.len(), 6);
+        let phases: Vec<&str> =
+            items.iter().filter_map(|e| e.get("ph").and_then(Value::as_str)).collect();
+        assert_eq!(phases, vec!["M", "M", "M", "X", "i", "X"]);
+        let instant = &items[4];
+        assert_eq!(instant.get("s").and_then(Value::as_str), Some("t"));
+        assert_eq!(
+            instant.get("args").and_then(|a| a.get("shard")).and_then(Value::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn bare_arrays_parse_too() {
+        let events = sample_events();
+        let doc = chrome_trace(&events);
+        let array = doc.get("traceEvents").expect("wrapper").clone();
+        let back = parse_chrome_trace(&array.to_string()).expect("bare array parses");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected_with_shape_errors() {
+        assert!(matches!(parse_chrome_trace("not json"), Err(TraceError::Json(_))));
+        for text in [
+            "42",
+            "{\"events\":[]}",
+            "[{\"ph\":\"X\"}]",
+            "[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"pid\":1,\"tid\":0}]",
+            "[{\"name\":\"a\",\"ph\":\"Q\",\"ts\":0,\"dur\":1,\"pid\":1,\"tid\":0}]",
+        ] {
+            assert!(
+                matches!(parse_chrome_trace(text), Err(TraceError::Shape(_))),
+                "should reject {text}"
+            );
+        }
+        assert_eq!(parse_chrome_trace("[]").expect("empty trace"), vec![]);
+    }
+
+    #[test]
+    fn global_recorder_starts_disabled() {
+        // Other tests may have enabled it; the OnceLock is process-wide.
+        // Assert only the stable property: the handle is a singleton.
+        assert!(std::ptr::eq(recorder(), recorder()));
+        assert_eq!(recorder().capacity(), DEFAULT_CAPACITY);
+    }
+}

@@ -84,6 +84,67 @@ proptest! {
     }
 
     #[test]
+    fn merge_is_commutative_over_counters_and_histograms(
+        ops_a in prop::collection::vec(arb_op(), 0..48),
+        ops_b in prop::collection::vec(arb_op(), 0..48),
+    ) {
+        // Shard merge order must not change exported counters or
+        // histograms. (Gauges are deliberately excluded: they are
+        // last-writer-wins, so merge order is their semantics.)
+        let mut a = Registry::new();
+        apply(&mut a, &ops_a);
+        let mut b = Registry::new();
+        apply(&mut b, &ops_b);
+
+        let mut ab = Registry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Registry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+
+        let (sab, sba) = (ab.snapshot(), ba.snapshot());
+        prop_assert_eq!(&sab.counters, &sba.counters);
+        prop_assert_eq!(&sab.histograms, &sba.histograms);
+    }
+
+    #[test]
+    fn merge_is_associative_over_all_series(
+        ops_a in prop::collection::vec(arb_op(), 0..32),
+        ops_b in prop::collection::vec(arb_op(), 0..32),
+        ops_c in prop::collection::vec(arb_op(), 0..32),
+    ) {
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c), exported-snapshot-wise. This one
+        // covers gauges too: last-writer-wins is associative as long as
+        // left-to-right order is preserved.
+        let mut a = Registry::new();
+        apply(&mut a, &ops_a);
+        let mut b = Registry::new();
+        apply(&mut b, &ops_b);
+        let mut c = Registry::new();
+        apply(&mut c, &ops_c);
+
+        let mut left = Registry::new();
+        left.merge(&a);
+        left.merge(&b);
+        let mut left_total = Registry::new();
+        left_total.merge(&left);
+        left_total.merge(&c);
+
+        let mut right = Registry::new();
+        right.merge(&b);
+        right.merge(&c);
+        let mut right_total = Registry::new();
+        right_total.merge(&a);
+        right_total.merge(&right);
+
+        let (sl, sr) = (left_total.snapshot(), right_total.snapshot());
+        prop_assert_eq!(&sl.counters, &sr.counters);
+        prop_assert_eq!(&sl.gauges, &sr.gauges);
+        prop_assert_eq!(&sl.histograms, &sr.histograms);
+    }
+
+    #[test]
     fn snapshot_json_round_trips(ops in prop::collection::vec(arb_op(), 0..64)) {
         let mut reg = Registry::new();
         apply(&mut reg, &ops);

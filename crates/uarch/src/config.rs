@@ -177,6 +177,11 @@ pub struct MachineConfig {
     /// Deliberately broken squash behaviours for the conformance
     /// self-test (all off by default — see [`InjectedBugs`]).
     pub bugs: InjectedBugs,
+    /// Enables the retire-loop self-profiler (per-opcode and hot-block
+    /// attribution — see `profiler`). Off by default: the profiler adds
+    /// two `Instant` reads per retired instruction when on, and a
+    /// single predicted branch when off.
+    pub profile: bool,
 }
 
 impl Default for MachineConfig {
@@ -192,6 +197,7 @@ impl Default for MachineConfig {
             system_counter_hz: 24_000_000,
             os_noise: 0.02,
             bugs: InjectedBugs::default(),
+            profile: false,
         }
     }
 }

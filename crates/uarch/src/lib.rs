@@ -45,6 +45,7 @@ pub mod machine;
 pub mod mem;
 pub mod paging;
 pub mod predict;
+pub mod profiler;
 pub mod timer;
 pub mod tlb;
 pub mod trace;
@@ -58,6 +59,7 @@ pub use cpu::{AccessKind, Cpu, El, Trap};
 pub use machine::{AccessOutcome, CacheHit, Machine, MachineStats, MemorySystem, Stop, TlbHit};
 pub use paging::{PageTables, Perms};
 pub use predict::{Bimodal, Btb, PredictStats, Rsb};
+pub use profiler::{Phase, Profiler};
 pub use timer::{Timers, TimingSource};
 pub use tlb::{FetchWorld, Tlb, TlbEntry, TlbHierarchy, TlbParams, TlbStats};
 pub use trace::{SpecEvent, SpecTrace};

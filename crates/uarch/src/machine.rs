@@ -25,6 +25,7 @@ use crate::cpu::{AccessKind, Cpu, El, SavedContext, Trap};
 use crate::mem::PhysMemory;
 use crate::paging::{PageTables, Perms};
 use crate::predict::{Bimodal, Btb, PredictStats, Rsb};
+use crate::profiler::{ProfTimer, Profiler};
 use crate::timer::{Timers, TimingSource};
 use crate::tlb::{DataLookup, FetchLookup, FetchWorld, TlbHierarchy};
 use crate::trace::{SpecEvent, SpecTrace};
@@ -428,6 +429,10 @@ pub struct Machine {
     pub spec_depth: Histogram,
     /// Optional speculation-event recorder (Figure 3 timelines).
     pub trace: SpecTrace,
+    /// Retire-loop self-profiler (per-opcode / hot-block / phase
+    /// attribution). Enabled via `MachineConfig::profile`; off, it
+    /// costs one predicted branch per retired instruction.
+    pub profiler: Profiler,
     /// Global cycle count.
     pub cycles: u64,
     config: MachineConfig,
@@ -458,6 +463,7 @@ impl Machine {
             predict_stats: PredictStats::default(),
             spec_depth: Histogram::new(),
             trace: SpecTrace::default(),
+            profiler: Profiler::new(config.profile),
             cycles: 0,
             config,
             rng,
@@ -570,6 +576,7 @@ impl Machine {
         }
         reg.gauge("cpu.cycles", i64::try_from(self.cycles).unwrap_or(i64::MAX));
         reg.merge_histogram("spec.depth", &self.spec_depth);
+        self.profiler.export_into(reg);
     }
 
     /// Maps a fresh zeroed page at `va` (page-aligned) and returns its
@@ -743,6 +750,9 @@ impl Machine {
         }
         let pc = self.cpu.pc;
         let el = self.cpu.el;
+        let profiling = self.profiler.is_enabled();
+        let step_start = self.cycles;
+        let decode_timer = ProfTimer::start(profiling);
         let (fetch_outcome, pa) =
             self.mem.fetch_access(pc, el).map_err(|f| f.into_trap(pc, el, AccessKind::Fetch))?;
         self.cycles += fetch_outcome.cycles;
@@ -750,7 +760,21 @@ impl Machine {
         let inst = decode(word).map_err(|_| Trap::Decode { pc })?;
         self.cycles += self.config.latency.alu;
         self.stats.retired += 1;
-        self.exec(pc, el, inst)
+        if !profiling {
+            return self.exec(pc, el, inst);
+        }
+        self.profiler.record_decode(self.cycles - step_start, decode_timer.elapsed_ns());
+        let exec_start = self.cycles;
+        let exec_timer = ProfTimer::start(true);
+        let out = self.exec(pc, el, inst);
+        self.profiler.record_retire(
+            &inst,
+            pc,
+            self.cycles - step_start,
+            self.cycles - exec_start,
+            exec_timer.elapsed_ns(),
+        );
+        out
     }
 
     fn exec(&mut self, pc: u64, el: El, inst: Inst) -> Result<Option<Stop>, Trap> {
@@ -1585,6 +1609,52 @@ mod tests {
         m.cpu.pc = USER_CODE;
         m.cpu.el = El::El0;
         m.run(100_000).expect("program must not trap");
+    }
+
+    #[test]
+    fn profiler_attributes_retired_work_when_enabled() {
+        let mut m = Machine::new(MachineConfig {
+            os_noise: 0.0,
+            profile: true,
+            ..MachineConfig::default()
+        });
+        m.map_page(USER_DATA, Perms::user_rw());
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.mov_imm64(Reg::X0, 8);
+        a.mov_imm64(Reg::X1, USER_DATA);
+        a.bind(top);
+        a.push(Inst::Ldr { rt: Reg::X2, rn: Reg::X1, offset: 0 });
+        a.push(Inst::SubImm { rd: Reg::X0, rn: Reg::X0, imm: 1 });
+        a.cbnz(Reg::X0, top);
+        a.push(Inst::Hlt);
+        let program = a.assemble().unwrap();
+        run_user(&mut m, &program);
+
+        let prof = &m.profiler;
+        assert_eq!(prof.opcodes()["ldr"].retired, 8);
+        assert_eq!(prof.opcodes()["sub_imm"].retired, 8);
+        assert!(prof.phase(crate::profiler::Phase::Memory).cycles > 0);
+        assert!(prof.phase(crate::profiler::Phase::Decode).events > 0);
+        // The loop body re-enters its block once per iteration.
+        let loop_block = prof.blocks().values().map(|b| b.entries).max().expect("blocks recorded");
+        assert!(loop_block >= 7, "loop entries recorded: {loop_block}");
+
+        let mut reg = Registry::new();
+        m.export_telemetry(&mut reg);
+        assert_eq!(reg.counter_value("profile.opcode.ldr.retired"), 8);
+        assert!(reg.counter_value("profile.phase.dispatch.cycles") > 0);
+
+        // Same program with the profiler off: identical architectural
+        // outcome, no profile.* series at all.
+        let mut off = machine();
+        off.map_page(USER_DATA, Perms::user_rw());
+        run_user(&mut off, &program);
+        assert!(off.profiler.is_empty());
+        let mut reg_off = Registry::new();
+        off.export_telemetry(&mut reg_off);
+        assert!(!reg_off.snapshot().counters.keys().any(|k| k.starts_with("profile.")));
+        assert_eq!(off.cycles, m.cycles, "profiling must not change simulated time");
     }
 
     #[test]
