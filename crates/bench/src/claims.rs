@@ -160,7 +160,7 @@ impl Claim {
 }
 
 /// Every artefact id a full bench run produces (one per bench target).
-pub const ARTIFACT_IDS: [&str; 20] = [
+pub const ARTIFACT_IDS: [&str; 21] = [
     "fig5a",
     "fig5b",
     "fig5c",
@@ -180,6 +180,7 @@ pub const ARTIFACT_IDS: [&str; 20] = [
     "perf_micro",
     "perf_parallel",
     "perf_trace",
+    "perf_exec_engine",
     "conform",
 ];
 
@@ -415,6 +416,58 @@ pub fn all() -> Vec<Claim> {
             F64Range { min: 0.0, max: 1.25 },
         ),
         c("perf_trace", "trace_events", "chrome-trace export round-trips", AtLeast(1.0)),
+        // ---- perf_exec_engine (block cache + PAC memo + bitslice) ------
+        // Not a paper table: the engine-rewrite regression gate. Bands
+        // match the bench's own checks so a printed PASS always verifies.
+        c(
+            "perf_exec_engine",
+            "oracle_instr_per_sec_cached",
+            "cached-engine oracle-loop throughput",
+            AtLeast(0.1),
+        ),
+        c(
+            "perf_exec_engine",
+            "oracle_instr_per_sec_interpreted",
+            "pre-PR interpreter oracle-loop throughput",
+            AtLeast(0.1),
+        ),
+        c(
+            "perf_exec_engine",
+            "oracle_speedup",
+            "block cache + memo >=5x on the oracle loop",
+            AtLeast(5.0),
+        ),
+        c(
+            "perf_exec_engine",
+            "brute_guesses_per_sec_cached",
+            "rewritten warm-sweep brute throughput",
+            AtLeast(0.1),
+        ),
+        c(
+            "perf_exec_engine",
+            "brute_guesses_per_sec_interpreted",
+            "pre-PR cold-retrain brute throughput",
+            AtLeast(0.1),
+        ),
+        c(
+            "perf_exec_engine",
+            "brute_speedup",
+            "§8.2 sweep >=10x the pre-PR pipeline",
+            AtLeast(10.0),
+        ),
+        c("perf_exec_engine", "bitslice_lanes", "64 PAC guesses per cipher pass", U64(64)),
+        c(
+            "perf_exec_engine",
+            "bitslice_speedup",
+            "bitsliced QARMA beats 64 scalar calls",
+            AtLeast(2.0),
+        ),
+        c(
+            "perf_exec_engine",
+            "block_cache_hit_rate_pct",
+            "steady-state dispatches come from the arena",
+            AtLeast(90.0),
+        ),
         // ---- conform: differential conformance harness -----------------
         // Not a paper table: the harness underwrites the simulator the
         // paper claims ride on (§5-6 committed-vs-speculative boundary).

@@ -7,6 +7,8 @@
 //! (wrong PAC reported — intolerable, it would crash the final exploit)
 //! and false negative (nothing found — tolerable, just retry).
 
+use pacman_isa::PacKey;
+
 use crate::oracle::{OracleError, PacOracle};
 use crate::system::System;
 
@@ -57,12 +59,36 @@ pub enum BruteVerdict {
 #[derive(Debug)]
 pub struct BruteForcer<O> {
     oracle: O,
+    /// `Some(iters)` enables the warm sweep: full training on the first
+    /// guess of each sweep, `iters` re-training syscalls per guess after.
+    warm_retrain_iters: Option<usize>,
 }
+
+/// Re-training syscalls per warm-sweep guess. The trigger's single
+/// wrong-path execution decays the gadget's 2-bit counter by one step at
+/// most, so even one taken syscall restores saturation; four gives slack
+/// for multi-sample trials.
+pub const WARM_RETRAIN_ITERS: usize = 4;
 
 impl<O: PacOracle> BruteForcer<O> {
     /// Wraps an oracle (configure its sample count first; §8.2 uses 5).
     pub fn new(oracle: O) -> Self {
-        Self { oracle }
+        Self { oracle, warm_retrain_iters: None }
+    }
+
+    /// Enables the warm sweep: the paper's protocol re-trains the
+    /// gadget's branch from scratch for every guess, but the predictor
+    /// state survives between guesses — a sweep only needs full training
+    /// once, then `iters` syscalls per guess to re-saturate the counter.
+    /// Classification quality is unchanged (the trigger still runs
+    /// predicted-taken with `cond = 0`); per-guess simulated cost drops
+    /// roughly `TRAIN_ITERS / iters`, so this mode must not feed the
+    /// paper-faithful §8.2 timing claims — it exists for throughput
+    /// (sweeping many candidates per host second).
+    pub fn with_warm_sweep(mut self, iters: usize) -> Self {
+        assert!(iters >= 1, "the trigger decays the counter; retraining cannot be skipped");
+        self.warm_retrain_iters = Some(iters);
+        self
     }
 
     /// Gives back the oracle.
@@ -83,17 +109,41 @@ impl<O: PacOracle> BruteForcer<O> {
         target: u64,
         candidates: impl IntoIterator<Item = u16>,
     ) -> Result<BruteOutcome, OracleError> {
+        // Every guess authenticates the same canonical pointer — only the
+        // embedded PAC field differs — so the machine's AUT needs exactly
+        // one QARMA evaluation for the whole sweep. Warm it through the
+        // bitsliced path (Ia + zero modifier is what the gadget kext
+        // verifies) so even the first trial's speculative AUT hits the
+        // PAC memo instead of paying a scalar cipher pass mid-trial.
+        Self::warm_targets(sys, &[target]);
         let syscalls0 = sys.machine.stats.syscalls;
         let cycles0 = sys.machine.cycles;
         let crashes0 = sys.kernel.crash_count();
+        let cold_iters = self.oracle.train_iters();
         let mut tested = 0u64;
         let mut found = None;
         for pac in candidates {
-            tested += 1;
-            if self.oracle.test_pac(sys, target, pac)?.is_correct() {
-                found = Some(pac);
-                break;
+            if let Some(warm) = self.warm_retrain_iters {
+                // First guess trains cold; later guesses only re-saturate.
+                self.oracle.set_train_iters(if tested == 0 { cold_iters } else { warm });
             }
+            tested += 1;
+            match self.oracle.test_pac(sys, target, pac) {
+                Ok(v) if v.is_correct() => {
+                    found = Some(pac);
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    if self.warm_retrain_iters.is_some() {
+                        self.oracle.set_train_iters(cold_iters);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if self.warm_retrain_iters.is_some() {
+            self.oracle.set_train_iters(cold_iters);
         }
         sys.telemetry.incr("brute.sweeps");
         sys.telemetry.incr_by("brute.guesses_tested", tested);
@@ -107,6 +157,15 @@ impl<O: PacOracle> BruteForcer<O> {
             cycles: sys.machine.cycles - cycles0,
             crashes: sys.kernel.crash_count() - crashes0,
         })
+    }
+
+    /// Pre-computes the expected PACs of `targets` under the kernel IA
+    /// key (zero modifier — the gadget kext's verification) into the
+    /// machine's PAC memo, 64 pointers per bitsliced cipher pass.
+    /// Call before sweeping many distinct targets (e.g. one brute-force
+    /// run per victim function) to amortise the QARMA cost ~64×.
+    pub fn warm_targets(sys: &mut System, targets: &[u64]) {
+        sys.machine.warm_pac_memo(PacKey::Ia, targets, 0);
     }
 
     /// Classifies a finished run against the ground-truth PAC.
@@ -181,6 +240,39 @@ mod tests {
         );
         assert_eq!(outcome.crashes, 0, "PACMAN brute force must not crash the kernel");
         assert!(outcome.syscalls > 0 && outcome.cycles > 0);
+    }
+
+    #[test]
+    fn warm_sweep_matches_the_cold_sweep_verdict_with_fewer_syscalls() {
+        let mut sys = quiet_system();
+        let set = sys.pick_quiet_dtlb_set();
+        let target = sys.alloc_target(set);
+        let true_pac = sys.true_pac(target);
+        let window: Vec<u16> = (0..24u16).map(|i| true_pac ^ (0x2000 + i)).collect();
+
+        let oracle = DataPacOracle::new(&mut sys).unwrap();
+        let mut cold = BruteForcer::new(oracle);
+        let cold_out = cold.brute(&mut sys, target, window.iter().copied()).unwrap();
+
+        let oracle = DataPacOracle::new(&mut sys).unwrap();
+        let mut warm = BruteForcer::new(oracle).with_warm_sweep(WARM_RETRAIN_ITERS);
+        let warm_out = warm.brute(&mut sys, target, window.iter().copied()).unwrap();
+
+        // Same verdict on a miss window, and the warm sweep still finds
+        // the true PAC when it is present.
+        assert_eq!(cold_out.found, None);
+        assert_eq!(warm_out.found, None);
+        assert!(
+            warm_out.syscalls * 4 < cold_out.syscalls,
+            "warm sweep must retire far fewer training syscalls ({} vs {})",
+            warm_out.syscalls,
+            cold_out.syscalls
+        );
+        assert_eq!(warm_out.crashes, 0);
+
+        let lo = true_pac.saturating_sub(4);
+        let hit = warm.brute(&mut sys, target, lo..=lo.saturating_add(8)).unwrap();
+        assert_eq!(hit.found, Some(true_pac), "warm sweep classification is unchanged");
     }
 
     #[test]

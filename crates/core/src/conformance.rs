@@ -1,7 +1,7 @@
 //! Sharded differential-conformance driver: seeded fuzz parity between
 //! the architectural reference machine and the speculative core.
 //!
-//! The `pacman-ref` crate supplies the oracle ([`run_scenario`]) and the
+//! The `pacman-ref` crate supplies the oracle ([`ScenarioArena`]) and the
 //! generator ([`pacman_ref::generate`]); this module turns them into a
 //! workspace experiment that follows the exact [`crate::parallel`]
 //! recipe: the program space is cut into [`DEFAULT_SHARDS`] contiguous
@@ -16,7 +16,7 @@
 //! Any diverging program is shrunk with [`pacman_ref::minimize`] before
 //! it is reported, so the JSONL repro dump carries minimal programs.
 
-use pacman_ref::{generate, minimize, quiet_config, run_scenario, scenario_seed, Divergence};
+use pacman_ref::{generate, minimize, quiet_config, scenario_seed, Divergence, ScenarioArena};
 use pacman_runner::{run_shards_tolerant, shard_plan, Shard, DEFAULT_SHARDS};
 use pacman_telemetry::Registry;
 use pacman_uarch::MachineConfig;
@@ -92,10 +92,14 @@ pub fn run_conformance(
         tol.retry,
         |shard: &Shard, attempt: u32| -> Result<Vec<Divergence>, ExperimentError> {
             tol.faults.maybe_panic(shard.index, tol.fault_attempt(attempt));
+            // One lockstep pair per shard, reset between scenarios:
+            // frames, page tables and the block-cache arena are recycled
+            // instead of reallocated for each of the shard's programs.
+            let mut arena = ScenarioArena::new(&cfg.machine);
             let mut divergences = Vec::new();
             for i in shard.range() {
                 let scenario = generate(scenario_seed(cfg.seed, i as u64));
-                if let Some(found) = run_scenario(&scenario, &cfg.machine, cfg.max_steps) {
+                if let Some(found) = arena.run(&scenario, cfg.max_steps) {
                     if cfg.minimize {
                         let (_, witness) = minimize(&scenario, &cfg.machine, cfg.max_steps);
                         divergences.push(witness);

@@ -131,6 +131,21 @@ pub trait PacOracle {
         "oracle"
     }
 
+    /// Current per-trial branch-training iteration count.
+    fn train_iters(&self) -> usize {
+        TRAIN_ITERS
+    }
+
+    /// Overrides the per-trial branch-training iteration count.
+    ///
+    /// The gadget's conditional sits behind a 2-bit bimodal counter that
+    /// persists across trials: one wrong-path trigger only decays it from
+    /// strongly- to weakly-taken, so after a cold full training a handful
+    /// of re-training syscalls restore saturation. The §8.2 warm brute
+    /// sweep ([`crate::brute::BruteForcer::with_warm_sweep`]) exploits
+    /// this; oracles without persistent training state ignore the call.
+    fn set_train_iters(&mut self, _iters: usize) {}
+
     /// Tests one PAC guess for `target`, returning the verdict.
     ///
     /// # Errors
@@ -156,6 +171,14 @@ pub trait PacOracle {
 impl<O: PacOracle + ?Sized> PacOracle for Box<O> {
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {
         (**self).trial(sys, target, pac)
+    }
+
+    fn train_iters(&self) -> usize {
+        (**self).train_iters()
+    }
+
+    fn set_train_iters(&mut self, iters: usize) {
+        (**self).set_train_iters(iters);
     }
 
     fn samples(&self) -> usize {
@@ -240,6 +263,14 @@ impl PacOracle for DataPacOracle {
         "dtlb-data"
     }
 
+    fn train_iters(&self) -> usize {
+        self.train_iters
+    }
+
+    fn set_train_iters(&mut self, iters: usize) {
+        self.train_iters = iters;
+    }
+
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {
         check_quiet(sys, target)?;
         let train_iters = self.train_iters;
@@ -312,6 +343,14 @@ impl PacOracle for InstrPacOracle {
 
     fn channel(&self) -> &'static str {
         "itlb-instr"
+    }
+
+    fn train_iters(&self) -> usize {
+        self.train_iters
+    }
+
+    fn set_train_iters(&mut self, iters: usize) {
+        self.train_iters = iters;
     }
 
     fn trial(&mut self, sys: &mut System, target: u64, pac: u16) -> Result<usize, OracleError> {

@@ -4,7 +4,7 @@ use pacman_isa::PacKey;
 use pacman_kernel::kext::{CppKext, GadgetKext, PmcKext};
 use pacman_kernel::{layout, Kernel};
 use pacman_telemetry::{Registry, Snapshot};
-use pacman_uarch::{Machine, MachineConfig, Perms, TimingSource};
+use pacman_uarch::{FramePool, Machine, MachineConfig, Perms, TimingSource};
 
 /// Configuration for [`System::boot`].
 #[derive(Clone, Debug)]
@@ -47,6 +47,8 @@ pub struct System {
     /// [`Registry::set_enabled`] — e.g. for the CLI's `--json` mode).
     pub telemetry: Registry,
     next_user_va: u64,
+    /// The boot configuration, kept for [`System::reboot`].
+    config: SystemConfig,
 }
 
 /// Base of the attacker's private user mappings (eviction sets, JIT
@@ -56,7 +58,14 @@ pub const ATTACKER_REGION: u64 = 0x0000_2000_0000_0000;
 impl System {
     /// Boots the platform: machine, kernel, kexts.
     pub fn boot(config: SystemConfig) -> Self {
-        let mut machine = Machine::new(config.machine);
+        Self::boot_with_pool(config, FramePool::default())
+    }
+
+    /// [`System::boot`] recycling physical frames from `pool`. The boot
+    /// sequence and machine seed are identical, so a pooled boot is
+    /// bit-identical to a fresh one.
+    fn boot_with_pool(config: SystemConfig, pool: FramePool) -> Self {
+        let mut machine = Machine::new_with_pool(config.machine.clone(), pool);
         machine.set_timing_source(config.timing);
         let mut kernel = Kernel::boot(&mut machine, config.kernel_seed);
         let gadget = GadgetKext::install(&mut kernel, &mut machine);
@@ -70,7 +79,20 @@ impl System {
             pmc,
             telemetry: Registry::disabled(),
             next_user_va: ATTACKER_REGION,
+            config,
         }
+    }
+
+    /// Reboots the platform in place with its original configuration,
+    /// recycling the machine's physical frames instead of returning them
+    /// to the host allocator. The result is bit-identical to a fresh
+    /// [`System::boot`] with the same config: same keys, same layout,
+    /// same ground truth, fresh telemetry. This is what per-trial
+    /// experiment loops use to get a pristine system without paying a
+    /// full allocation cycle per trial.
+    pub fn reboot(&mut self) {
+        let pool = self.machine.mem.phys.take_frame_pool();
+        *self = Self::boot_with_pool(self.config.clone(), pool);
     }
 
     /// A combined metrics snapshot: the attack-level `oracle.*` /
@@ -192,6 +214,33 @@ mod tests {
         assert!(b >= a + 10 * pacman_isa::ptr::PAGE_SIZE);
         assert_eq!(VirtualAddress::new(a).vpn() % 2048, 0);
         assert_eq!(VirtualAddress::new(b).vpn() % 2048, 0);
+    }
+
+    #[test]
+    fn reboot_reproduces_a_fresh_boot_bit_for_bit() {
+        let cfg = SystemConfig::default();
+        let mut fresh = System::boot(cfg.clone());
+        let tf = fresh.alloc_target(5);
+        let pf = fresh.true_pac(tf);
+        fresh.kernel.syscall(&mut fresh.machine, fresh.gadget.data_gadget, &[0, 0, 1]).unwrap();
+        let fresh_cycles = fresh.machine.cycles;
+        let fresh_frames = fresh.machine.mem.phys.frame_count();
+
+        let mut sys = System::boot(cfg);
+        // Dirty the system thoroughly, then reboot in place.
+        let _ = sys.alloc_target(9);
+        for _ in 0..5 {
+            sys.kernel.syscall(&mut sys.machine, sys.gadget.data_gadget, &[0, 0, 1]).unwrap();
+        }
+        sys.reboot();
+        let t = sys.alloc_target(5);
+        let p = sys.true_pac(t);
+        sys.kernel.syscall(&mut sys.machine, sys.gadget.data_gadget, &[0, 0, 1]).unwrap();
+
+        assert_eq!((t, p), (tf, pf), "layout and ground truth reproduce");
+        assert_eq!(sys.machine.cycles, fresh_cycles, "pooled reboot is cycle-identical");
+        assert_eq!(sys.machine.mem.phys.frame_count(), fresh_frames);
+        assert_eq!(sys.kernel.crash_count(), 0);
     }
 
     #[test]

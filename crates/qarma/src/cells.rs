@@ -56,7 +56,7 @@ pub(crate) fn rot4(cell: u8, r: u32) -> u8 {
 ///
 /// Entry 0 denotes the zero element of the ring (no contribution), not the
 /// identity rotation; entries 1 and 2 are rotations by that many bits.
-const MIX_EXP: [u32; 4] = [0, 1, 2, 1];
+pub(crate) const MIX_EXP: [u32; 4] = [0, 1, 2, 1];
 
 /// MixColumns with the involutory matrix `M = circ(0, rho, rho^2, rho)`.
 ///

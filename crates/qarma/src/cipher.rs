@@ -7,7 +7,7 @@ use crate::tweak;
 
 /// Round constants, taken from the digits of pi as in the PRINCE/QARMA
 /// lineage. `C[0]` is zero so the first round is the "short" round.
-const C: [u64; 8] = [
+pub(crate) const C: [u64; 8] = [
     0x0000000000000000,
     0x13198A2E03707344,
     0xA4093822299F31D0,
@@ -20,7 +20,7 @@ const C: [u64; 8] = [
 
 /// The reflection constant alpha that breaks the alpha-reflection symmetry
 /// between the forward and backward halves.
-const ALPHA: u64 = 0xC0AC29B7C97C50DD;
+pub(crate) const ALPHA: u64 = 0xC0AC29B7C97C50DD;
 
 /// Number of forward rounds (the cipher runs `2r + 2` S-box layers total).
 ///
@@ -130,12 +130,27 @@ impl Qarma64 {
 
     /// Creates a cipher with explicit round count and S-box choice.
     pub fn with_params(key: QarmaKey, rounds: Rounds, sigma: Sigma) -> Self {
-        Self { key, rounds, sbox: *sigma.table(), sbox_inv: sigma.inverse_table() }
+        Self { key, rounds, sbox: *sigma.table(), sbox_inv: *sigma.inverse_table() }
     }
 
     /// The key this instance was constructed with.
     pub fn key(&self) -> QarmaKey {
         self.key
+    }
+
+    /// S-box tables for the bitsliced engine (forward, inverse).
+    pub(crate) fn sbox_tables(&self) -> (&[u8; 16], &[u8; 16]) {
+        (&self.sbox, &self.sbox_inv)
+    }
+
+    /// Forward-round count for the bitsliced engine.
+    pub(crate) fn rounds_count(&self) -> usize {
+        self.rounds.count()
+    }
+
+    /// The full key schedule `(w0, k0, w1, k1)` for the bitsliced engine.
+    pub(crate) fn schedule_keys(&self) -> (u64, u64, u64, u64) {
+        (self.key.w0, self.key.k0, self.key.w1(), self.key.k1())
     }
 
     /// One forward round: add round tweakey, then (except in the short

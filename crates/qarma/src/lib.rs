@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitslice;
 mod cells;
 mod cipher;
 mod pac;
 mod sbox;
 mod tweak;
 
+pub use bitslice::LANES as BITSLICE_LANES;
 pub use cipher::{Qarma64, QarmaKey, Rounds};
 pub use pac::{pac_field_bits, PacComputer};
 pub use sbox::Sigma;

@@ -86,9 +86,13 @@ impl PacComputer {
     pub fn pac(&self, pointer: u64, modifier: u64) -> u64 {
         let canonical = pointer & !self.pac_mask();
         let ct = self.cipher.encrypt(canonical, modifier);
-        // Fold the full ciphertext into the field width so every ciphertext
-        // bit influences the PAC (hardware truncates; folding keeps the
-        // 16-bit PAC sensitive to all 64 output bits, strictly stronger).
+        self.fold(ct)
+    }
+
+    /// Folds the full ciphertext into the field width so every ciphertext
+    /// bit influences the PAC (hardware truncates; folding keeps the
+    /// 16-bit PAC sensitive to all 64 output bits, strictly stronger).
+    fn fold(&self, ct: u64) -> u64 {
         let bits = self.pac_bits();
         let mut folded = ct;
         let mut width = 64;
@@ -97,6 +101,31 @@ impl PacComputer {
             folded = (folded ^ (folded >> width)) & ((1u64 << width) - 1);
         }
         folded & ((1u64 << bits) - 1)
+    }
+
+    /// Computes the PACs of 64 pointers under one shared modifier in a
+    /// single bitsliced cipher pass ([`crate::bitslice::LANES`] lanes).
+    /// Lane `j` of the result equals `self.pac(pointers[j], modifier)`.
+    pub fn pac_batch(&self, pointers: &[u64; 64], modifier: u64) -> [u64; 64] {
+        let mask = !self.pac_mask();
+        let canonical: [u64; 64] = std::array::from_fn(|j| pointers[j] & mask);
+        let cts = self.cipher.encrypt64(&canonical, &[modifier; 64]);
+        std::array::from_fn(|j| self.fold(cts[j]))
+    }
+
+    /// [`PacComputer::pac_batch`] over an arbitrary-length slice: chunks
+    /// of 64 run bitsliced (a short tail pads with zero pointers whose
+    /// results are discarded). Element `j` equals
+    /// `self.pac(pointers[j], modifier)`.
+    pub fn pac_many(&self, pointers: &[u64], modifier: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(pointers.len());
+        for chunk in pointers.chunks(64) {
+            let mut block = [0u64; 64];
+            block[..chunk.len()].copy_from_slice(chunk);
+            let pacs = self.pac_batch(&block, modifier);
+            out.extend_from_slice(&pacs[..chunk.len()]);
+        }
+        out
     }
 }
 

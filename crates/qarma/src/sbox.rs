@@ -21,6 +21,21 @@ const SIGMA0: [u8; 16] = [0, 14, 2, 10, 9, 15, 8, 11, 6, 4, 3, 7, 13, 12, 1, 5];
 const SIGMA1: [u8; 16] = [10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4];
 const SIGMA2: [u8; 16] = [11, 6, 8, 15, 12, 0, 9, 14, 3, 7, 4, 5, 13, 2, 1, 10];
 
+/// Compile-time inversion of a 4-bit S-box table.
+const fn invert(fwd: [u8; 16]) -> [u8; 16] {
+    let mut inv = [0u8; 16];
+    let mut x = 0;
+    while x < 16 {
+        inv[fwd[x] as usize] = x as u8;
+        x += 1;
+    }
+    inv
+}
+
+const SIGMA0_INV: [u8; 16] = invert(SIGMA0);
+const SIGMA1_INV: [u8; 16] = invert(SIGMA1);
+const SIGMA2_INV: [u8; 16] = invert(SIGMA2);
+
 impl Sigma {
     /// Returns the forward lookup table of this S-box.
     pub fn table(self) -> &'static [u8; 16] {
@@ -31,14 +46,15 @@ impl Sigma {
         }
     }
 
-    /// Computes the inverse lookup table of this S-box.
-    pub fn inverse_table(self) -> [u8; 16] {
-        let fwd = self.table();
-        let mut inv = [0u8; 16];
-        for (x, &y) in fwd.iter().enumerate() {
-            inv[y as usize] = x as u8;
+    /// Returns the inverse lookup table of this S-box. The inverses are
+    /// computed at compile time; this is a table reference, not a
+    /// per-call recomputation.
+    pub fn inverse_table(self) -> &'static [u8; 16] {
+        match self {
+            Sigma::Sigma0 => &SIGMA0_INV,
+            Sigma::Sigma1 => &SIGMA1_INV,
+            Sigma::Sigma2 => &SIGMA2_INV,
         }
-        inv
     }
 
     /// Applies the S-box to a single 4-bit cell.

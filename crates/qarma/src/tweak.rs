@@ -14,7 +14,7 @@ pub(crate) const H: [usize; 16] = [6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9,
 pub(crate) const H_INV: [usize; 16] = [4, 5, 6, 7, 11, 1, 0, 8, 12, 13, 14, 15, 9, 10, 2, 3];
 
 /// Cells to which the LFSR is applied on every tweak update.
-const LFSR_CELLS: [usize; 4] = [0, 1, 3, 4];
+pub(crate) const LFSR_CELLS: [usize; 4] = [0, 1, 3, 4];
 
 /// One step of the 4-bit maximal-period LFSR `omega`:
 /// `(b3, b2, b1, b0) -> (b0 XOR b1, b3, b2, b1)`.

@@ -144,73 +144,112 @@ fn sweep_mismatch(r: &RefMachine, m: &Machine) -> Option<(&'static str, String)>
     None
 }
 
-/// Runs one scenario on both machines in lockstep, returning the first
-/// divergence (with the *unminimized* reproducer) or `None` if the
-/// machines conform for the whole run.
+/// A reusable lockstep pair: one reference machine plus one speculative
+/// core, reset in place between scenarios so their heap state (physical
+/// frames, page tables, block-cache arena) is recycled instead of
+/// reallocated. A conformance shard runs thousands of scenarios; keeping
+/// the host allocator off that path is where the fuzz throughput comes
+/// from. Resetting is bit-identical to building fresh machines (pinned
+/// by `arena_reuse_matches_fresh_machines`).
+#[derive(Debug)]
+pub struct ScenarioArena {
+    r: RefMachine,
+    m: Machine,
+}
+
+impl ScenarioArena {
+    /// Creates the lockstep pair for `config`.
+    #[must_use]
+    pub fn new(config: &MachineConfig) -> Self {
+        Self { r: RefMachine::new(), m: Machine::new(config.clone()) }
+    }
+
+    /// Runs one scenario on both machines in lockstep (resetting both
+    /// first), returning the first divergence (with the *unminimized*
+    /// reproducer) or `None` if the machines conform for the whole run.
+    pub fn run(&mut self, scenario: &Scenario, max_steps: u64) -> Option<Divergence> {
+        self.r.reset();
+        self.m.reset();
+        let (r, m) = (&mut self.r, &mut self.m);
+        scenario.install_ref(r);
+        scenario.install_uarch(m);
+
+        let divergence = |step: u64, pc: u64, kind: &'static str, detail: String| Divergence {
+            seed: scenario.seed,
+            step,
+            pc,
+            kind,
+            detail,
+            program: scenario.program.clone(),
+            handler: scenario.handler.clone(),
+        };
+
+        for step in 0..max_steps {
+            let pc = r.cpu.pc;
+            let ro = r.step();
+            let uo = m.step();
+            let done = match (ro, uo) {
+                (Err(a), Err(b)) => {
+                    if a != b {
+                        return Some(divergence(
+                            step,
+                            pc,
+                            "trap",
+                            format!("ref {a:?} vs core {b:?}"),
+                        ));
+                    }
+                    true
+                }
+                (Err(a), Ok(_)) => {
+                    return Some(divergence(
+                        step,
+                        pc,
+                        "trap",
+                        format!("ref trapped ({a:?}), core retired"),
+                    ));
+                }
+                (Ok(_), Err(b)) => {
+                    return Some(divergence(
+                        step,
+                        pc,
+                        "trap",
+                        format!("ref retired, core trapped ({b:?})"),
+                    ));
+                }
+                (Ok(a), Ok(b)) => {
+                    if a.is_some() != b.is_some() {
+                        return Some(divergence(
+                            step,
+                            pc,
+                            "stop",
+                            format!("ref {a:?} vs core {b:?}"),
+                        ));
+                    }
+                    a.is_some()
+                }
+            };
+            if let Some((kind, detail)) = state_mismatch(r, m).or_else(|| store_mismatch(r, m)) {
+                return Some(divergence(step, r.cpu.pc, kind, detail));
+            }
+            if done {
+                return sweep_mismatch(r, m)
+                    .map(|(kind, detail)| divergence(step, r.cpu.pc, kind, detail));
+            }
+        }
+        sweep_mismatch(r, m).map(|(kind, detail)| divergence(max_steps, r.cpu.pc, kind, detail))
+    }
+}
+
+/// Runs one scenario on a fresh machine pair in lockstep — a one-shot
+/// [`ScenarioArena`]; batch callers should hold an arena and call
+/// [`ScenarioArena::run`] to recycle machine state between scenarios.
 #[must_use]
 pub fn run_scenario(
     scenario: &Scenario,
     config: &MachineConfig,
     max_steps: u64,
 ) -> Option<Divergence> {
-    let mut r = RefMachine::new();
-    let mut m = Machine::new(config.clone());
-    scenario.install_ref(&mut r);
-    scenario.install_uarch(&mut m);
-
-    let divergence = |step: u64, pc: u64, kind: &'static str, detail: String| Divergence {
-        seed: scenario.seed,
-        step,
-        pc,
-        kind,
-        detail,
-        program: scenario.program.clone(),
-        handler: scenario.handler.clone(),
-    };
-
-    for step in 0..max_steps {
-        let pc = r.cpu.pc;
-        let ro = r.step();
-        let uo = m.step();
-        let done = match (ro, uo) {
-            (Err(a), Err(b)) => {
-                if a != b {
-                    return Some(divergence(step, pc, "trap", format!("ref {a:?} vs core {b:?}")));
-                }
-                true
-            }
-            (Err(a), Ok(_)) => {
-                return Some(divergence(
-                    step,
-                    pc,
-                    "trap",
-                    format!("ref trapped ({a:?}), core retired"),
-                ));
-            }
-            (Ok(_), Err(b)) => {
-                return Some(divergence(
-                    step,
-                    pc,
-                    "trap",
-                    format!("ref retired, core trapped ({b:?})"),
-                ));
-            }
-            (Ok(a), Ok(b)) => {
-                if a.is_some() != b.is_some() {
-                    return Some(divergence(step, pc, "stop", format!("ref {a:?} vs core {b:?}")));
-                }
-                a.is_some()
-            }
-        };
-        if let Some((kind, detail)) = state_mismatch(&r, &m).or_else(|| store_mismatch(&r, &m)) {
-            return Some(divergence(step, r.cpu.pc, kind, detail));
-        }
-        if done {
-            return sweep_mismatch(&r, &m)
-                .map(|(kind, detail)| divergence(step, r.cpu.pc, kind, detail));
-        }
-    }
-    sweep_mismatch(&r, &m).map(|(kind, detail)| divergence(max_steps, r.cpu.pc, kind, detail))
+    ScenarioArena::new(config).run(scenario, max_steps)
 }
 
 /// Shrinks a diverging scenario to a minimal reproducer: instructions
@@ -229,9 +268,9 @@ pub fn minimize(
     config: &MachineConfig,
     max_steps: u64,
 ) -> (Scenario, Divergence) {
+    let mut arena = ScenarioArena::new(config);
     let mut best = scenario.clone();
-    let mut witness =
-        run_scenario(&best, config, max_steps).expect("minimize requires a diverging scenario");
+    let mut witness = arena.run(&best, max_steps).expect("minimize requires a diverging scenario");
     loop {
         let mut changed = false;
         // NOP out program instructions, most recent first (later
@@ -242,7 +281,7 @@ pub fn minimize(
             }
             let mut candidate = best.clone();
             candidate.program[i] = Inst::Nop;
-            if let Some(d) = run_scenario(&candidate, config, max_steps) {
+            if let Some(d) = arena.run(&candidate, max_steps) {
                 best = candidate;
                 witness = d;
                 changed = true;
@@ -254,7 +293,7 @@ pub fn minimize(
             }
             let mut candidate = best.clone();
             candidate.handler[i] = Inst::Nop;
-            if let Some(d) = run_scenario(&candidate, config, max_steps) {
+            if let Some(d) = arena.run(&candidate, max_steps) {
                 best = candidate;
                 witness = d;
                 changed = true;
@@ -264,7 +303,7 @@ pub fn minimize(
         while best.program.len() > 1 {
             let mut candidate = best.clone();
             candidate.program.pop();
-            match run_scenario(&candidate, config, max_steps) {
+            match arena.run(&candidate, max_steps) {
                 Some(d) => {
                     best = candidate;
                     witness = d;
@@ -332,9 +371,10 @@ pub fn self_test(seed: u64, budget: u64, max_steps: u64) -> Vec<SelfTestResult> 
     broken_configs()
         .into_iter()
         .map(|broken| {
+            let mut arena = ScenarioArena::new(&broken.config);
             for i in 0..budget {
                 let scenario = generate(scenario_seed(seed ^ 0x5E1F_7E57, i));
-                if run_scenario(&scenario, &broken.config, max_steps).is_some() {
+                if arena.run(&scenario, max_steps).is_some() {
                     let (_, witness) = minimize(&scenario, &broken.config, max_steps);
                     return SelfTestResult {
                         name: broken.name,
@@ -351,6 +391,24 @@ pub fn self_test(seed: u64, budget: u64, max_steps: u64) -> Vec<SelfTestResult> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pacman_isa::{Inst, Reg};
+    use pacman_uarch::{AccessKind, El, ExecEngine, Perms, Trap};
+
+    /// A hand-built scenario (fixed registers, no handler) for the
+    /// directed conformance cases below.
+    fn directed(program: Vec<Inst>) -> Scenario {
+        Scenario { seed: 0, regs: [0; 31], sp: DATA_BASE + PAGE_SIZE, program, handler: Vec::new() }
+    }
+
+    /// Runs `m` until it halts or traps, with a step budget.
+    fn run_machine(m: &mut Machine, max_steps: u64) {
+        for _ in 0..max_steps {
+            match m.step() {
+                Ok(None) => {}
+                Ok(Some(_)) | Err(_) => return,
+            }
+        }
+    }
 
     #[test]
     fn healthy_core_conforms_over_a_seed_batch() {
@@ -379,6 +437,140 @@ mod tests {
                 d.program.iter().any(|i| *i != Inst::Nop),
                 "minimized repro should retain the triggering instructions"
             );
+        }
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_machines() {
+        // The same seeds through one recycled arena and through one-shot
+        // fresh pairs must agree divergence-for-divergence. A broken
+        // config guarantees the batch contains real divergences, so this
+        // pins reset (frame pool, block cache, page tables) as
+        // behaviour-preserving — not just on conforming runs.
+        let broken = &broken_configs()[0];
+        let mut arena = ScenarioArena::new(&broken.config);
+        let mut diverged = 0;
+        for i in 0..48u64 {
+            let s = generate(scenario_seed(0x00A1_2E4A, i));
+            let pooled = arena.run(&s, 512);
+            let fresh = run_scenario(&s, &broken.config, 512);
+            match (&pooled, &fresh) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!((a.step, a.pc, a.kind), (b.step, b.pc, b.kind), "seed {}", s.seed);
+                    diverged += 1;
+                }
+                _ => panic!("seed {}: pooled {pooled:?} vs fresh {fresh:?}", s.seed),
+            }
+        }
+        assert!(diverged > 0, "batch must exercise the diverging path");
+    }
+
+    #[test]
+    fn pc_increment_wraps_identically_at_the_va_edge() {
+        // Pins the VA-edge case behind the wrapping `pc + 4` fixes: an
+        // instruction retired at the last word of the address space must
+        // wrap the PC to zero on both machines, and the wrapped fetch
+        // must raise the same precise translation fault.
+        let top_page = 0u64.wrapping_sub(PAGE_SIZE);
+        let last_word = 0u64.wrapping_sub(4);
+        let program = [Inst::MovZ { rd: Reg::x(7), imm: 1, shift: 0 }];
+
+        let mut r = RefMachine::new();
+        let mut m = Machine::new(quiet_config());
+        r.map_region(top_page, PAGE_SIZE, Perms::user_rwx());
+        m.map_region(top_page, PAGE_SIZE, Perms::user_rwx());
+        r.load_program(last_word, &program);
+        m.load_program(last_word, &program);
+        r.cpu.pc = last_word;
+        m.cpu.pc = last_word;
+
+        assert_eq!(r.step(), Ok(None));
+        assert_eq!(m.step(), Ok(None));
+        assert_eq!(r.cpu.pc, 0, "reference PC wraps past the VA edge");
+        assert_eq!(m.cpu.pc, 0, "core PC wraps past the VA edge");
+        assert_eq!(r.cpu.regs[7], 1);
+        assert_eq!(m.cpu.regs[7], 1);
+
+        let rt = r.step().expect_err("wrapped fetch faults on the reference");
+        let mt = m.step().expect_err("wrapped fetch faults on the core");
+        assert_eq!(rt, Trap::TranslationFault { va: 0, el: El::El0, access: AccessKind::Fetch });
+        assert_eq!(rt, mt, "both machines raise the identical precise trap");
+    }
+
+    /// A program that patches two of its own later instruction slots
+    /// with a single 64-bit store, then executes them: the directed
+    /// seed for block-cache invalidation (the cached engine pre-decodes
+    /// past the patch site before the store retires).
+    fn self_modifying_program() -> Vec<Inst> {
+        let patched = u64::from(
+            pacman_isa::encode(&Inst::MovZ { rd: Reg::x(5), imm: 42, shift: 0 }).expect("encodes"),
+        ) | (u64::from(pacman_isa::encode(&Inst::Nop).expect("encodes")) << 32);
+        #[allow(clippy::cast_possible_truncation)]
+        let mut program = vec![
+            Inst::MovZ { rd: Reg::x(0), imm: 0x40, shift: 1 }, // X0 = CODE_BASE
+            Inst::MovZ { rd: Reg::x(1), imm: patched as u16, shift: 0 },
+            Inst::MovK { rd: Reg::x(1), imm: (patched >> 16) as u16, shift: 1 },
+            Inst::MovK { rd: Reg::x(1), imm: (patched >> 32) as u16, shift: 2 },
+            Inst::MovK { rd: Reg::x(1), imm: (patched >> 48) as u16, shift: 3 },
+            Inst::Str { rt: Reg::x(1), rn: Reg::x(0), offset: 4 * 10 }, // patch slots 10..=11
+        ];
+        while program.len() < 10 {
+            program.push(Inst::Nop);
+        }
+        program.push(Inst::MovZ { rd: Reg::x(5), imm: 7, shift: 0 }); // overwritten pre-execution
+        program.push(Inst::MovZ { rd: Reg::x(5), imm: 9, shift: 0 }); // overwritten pre-execution
+        program.push(Inst::Hlt);
+        program
+    }
+
+    #[test]
+    fn self_modifying_code_conforms_under_both_engines() {
+        let scenario = directed(self_modifying_program());
+
+        // The patch must actually land: the retired X5 is the *stored*
+        // immediate, not either placeholder.
+        let mut m = Machine::new(quiet_config());
+        scenario.install_uarch(&mut m);
+        run_machine(&mut m, 512);
+        assert_eq!(m.cpu.regs[5], 42, "the patched instruction must execute");
+        assert!(m.block_cache_stats().invalidations >= 1, "the store must invalidate the cache");
+
+        for engine in [ExecEngine::Cached, ExecEngine::Interpreted] {
+            let cfg = MachineConfig { engine, ..quiet_config() };
+            let d = run_scenario(&scenario, &cfg, 512);
+            assert!(d.is_none(), "{engine:?}: {:?}", d.map(|d| (d.kind, d.detail)));
+        }
+    }
+
+    #[test]
+    fn straddling_fetch_conforms_under_the_cached_engine() {
+        // Branch to a misaligned PC two bytes before the end of the code
+        // page: the fetched word straddles the frame boundary, which the
+        // block cache must bypass rather than mis-slot. The low half of
+        // the straddled word comes from the (zero) tail of the code page
+        // and the high half from bytes this program stores at DATA_BASE —
+        // both machines must agree on whatever that word does.
+        let program = vec![
+            Inst::MovZ { rd: Reg::x(1), imm: 0x1000, shift: 1 }, // X1 = DATA_BASE
+            Inst::MovZ { rd: Reg::x(2), imm: 0xD503, shift: 0 },
+            Inst::Str { rt: Reg::x(2), rn: Reg::x(1), offset: 0 },
+            Inst::MovZ { rd: Reg::x(0), imm: 0x3FFE, shift: 0 },
+            Inst::MovK { rd: Reg::x(0), imm: 0x40, shift: 1 }, // X0 = CODE_BASE + PAGE_SIZE - 2
+            Inst::Br { rn: Reg::x(0) },
+            Inst::Hlt,
+        ];
+        let scenario = directed(program);
+
+        let mut m = Machine::new(quiet_config());
+        scenario.install_uarch(&mut m);
+        run_machine(&mut m, 512);
+        assert!(m.block_cache_stats().bypasses >= 1, "the straddling fetch must bypass");
+
+        for engine in [ExecEngine::Cached, ExecEngine::Interpreted] {
+            let cfg = MachineConfig { engine, ..quiet_config() };
+            let d = run_scenario(&scenario, &cfg, 512);
+            assert!(d.is_none(), "{engine:?}: {:?}", d.map(|d| (d.kind, d.detail)));
         }
     }
 

@@ -43,7 +43,7 @@ pub mod machine;
 
 pub use diff::{
     broken_configs, minimize, quiet_config, run_scenario, self_test, BrokenConfig, Divergence,
-    SelfTestResult,
+    ScenarioArena, SelfTestResult,
 };
 pub use gen::{generate, scenario_seed, Scenario, CODE_BASE, DATA_BASE, DATA_LEN, HANDLER_BASE};
 pub use machine::RefMachine;

@@ -21,7 +21,7 @@
 use pacman_isa::ptr::{self, VirtualAddress, PAGE_SIZE};
 use pacman_isa::{decode, encode, Inst, PacModifier, Reg, SysReg};
 use pacman_qarma::{PacComputer, QarmaKey};
-use pacman_uarch::mem::PhysMemory;
+use pacman_uarch::mem::{FramePool, PhysMemory};
 use pacman_uarch::{AccessKind, Cpu, El, PageTables, Perms, Stop, Trap};
 
 /// The reference machine: architectural state plus flat paged memory.
@@ -54,7 +54,15 @@ impl RefMachine {
     /// frequency, and the CPU reset state.
     #[must_use]
     pub fn new() -> Self {
-        let mut phys = PhysMemory::new();
+        Self::new_with_pool(FramePool::default())
+    }
+
+    /// A fresh machine that recycles physical frames from `pool` instead
+    /// of allocating. The bump allocator restarts at the same PFN, so a
+    /// pooled machine is bit-identical to [`RefMachine::new`].
+    #[must_use]
+    pub fn new_with_pool(pool: FramePool) -> Self {
+        let mut phys = PhysMemory::new_with_pool(pool);
         let tables = PageTables::new(&mut phys);
         Self {
             cpu: Cpu::new(),
@@ -68,6 +76,14 @@ impl RefMachine {
         }
     }
 
+    /// Returns this machine to the reset state of [`RefMachine::new`],
+    /// recycling its physical frames through the pool so a conformance
+    /// shard can run thousands of scenarios without per-scenario heap
+    /// allocation.
+    pub fn reset(&mut self) {
+        *self = Self::new_with_pool(self.phys.take_frame_pool());
+    }
+
     /// Installs the syscall entry point (the kernel's exception vector).
     pub fn set_vbar(&mut self, va: u64) {
         self.vbar = va;
@@ -79,12 +95,18 @@ impl RefMachine {
         self.tables.map_fresh(&mut self.phys, VirtualAddress::new(va), perms)
     }
 
-    /// Maps `len` bytes starting at page-aligned `va`.
+    /// Maps `len` bytes starting at page-aligned `va`. Clamped at the top
+    /// of the address space like [`pacman_uarch::Machine::map_region`]
+    /// (`va + len` would overflow for the last page).
     pub fn map_region(&mut self, va: u64, len: u64, perms: Perms) {
         let mut a = va & !(PAGE_SIZE - 1);
-        while a < va + len {
+        let end = va.saturating_add(len);
+        while a < end {
             self.map_page(a, perms);
-            a += PAGE_SIZE;
+            match a.checked_add(PAGE_SIZE) {
+                Some(next) => a = next,
+                None => break,
+            }
         }
     }
 
@@ -97,14 +119,14 @@ impl RefMachine {
     pub fn load_program(&mut self, va: u64, program: &[Inst]) -> u64 {
         for (i, inst) in program.iter().enumerate() {
             let w = encode(inst).expect("program instruction must encode");
-            let addr = va + 4 * i as u64;
+            let addr = va.wrapping_add(4 * i as u64);
             let pa = self
                 .tables
                 .translate(&self.phys, VirtualAddress::new(addr))
                 .expect("program region must be mapped");
             self.phys.write_u32(pa, w);
         }
-        va + 4 * program.len() as u64
+        va.wrapping_add(4 * program.len() as u64)
     }
 
     /// Reads one byte through the page tables with no side effects;
@@ -246,12 +268,13 @@ impl RefMachine {
     }
 
     fn branch(&mut self, pc: u64, taken: bool, offset: i32) {
-        self.cpu.pc = if taken { pc.wrapping_add_signed(4 * i64::from(offset)) } else { pc + 4 };
+        self.cpu.pc =
+            if taken { pc.wrapping_add_signed(4 * i64::from(offset)) } else { pc.wrapping_add(4) };
     }
 
     #[allow(clippy::too_many_lines)]
     fn exec(&mut self, pc: u64, el: El, inst: Inst) -> Result<Option<Stop>, Trap> {
-        let next = pc + 4;
+        let next = pc.wrapping_add(4);
         match inst {
             Inst::Nop | Inst::Isb | Inst::Dsb => self.cpu.pc = next,
             Inst::Hlt => return Ok(Some(Stop::Hlt)),

@@ -47,14 +47,21 @@ impl SetAssoc {
     }
 
     /// Looks up `key`; on hit, promotes it to MRU and returns true.
+    #[inline]
     pub(crate) fn touch(&mut self, key: u64) -> bool {
         let set = self.set_index(key);
         let base = set * self.ways;
         let n = self.occ[set] as usize;
         let live = &mut self.lines[base..base + n];
+        // Re-touching the MRU way is the overwhelmingly common case
+        // (sequential fetches share a line); it needs no promotion.
+        if live.first() == Some(&key) {
+            return true;
+        }
         match live.iter().position(|&t| t == key) {
             Some(pos) => {
-                live[..=pos].rotate_right(1);
+                live.copy_within(..pos, 1);
+                live[0] = key;
                 true
             }
             None => false,

@@ -55,6 +55,65 @@ pub enum Mitigation {
     DelayOnMiss,
 }
 
+/// Which execution engine drives the retire loop.
+///
+/// Both engines are architecturally identical — same cycles, same
+/// microarchitectural side effects, same RNG draws — which the
+/// `pacman-ref` conformance harness proves. The interpreter exists as
+/// the measurable pre-rewrite baseline for the `perf_exec_engine`
+/// bench and as a fallback while bisecting engine bugs.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum ExecEngine {
+    /// Predecoded basic-block cache: each fetched word is decoded once
+    /// into a flat micro-op arena keyed by physical address and
+    /// re-dispatched from the arena on re-entry, with PAC results
+    /// memoised per (key, pointer, modifier). Self-modifying stores
+    /// invalidate affected entries.
+    #[default]
+    Cached,
+    /// The original decode-every-step interpreter, with no PAC memo:
+    /// the faithful pre-rewrite baseline.
+    Interpreted,
+}
+
+/// Typed configuration validation errors, reported by
+/// [`MachineConfig::validate`] before any machine state is built.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ConfigError {
+    /// `clock_hz / system_counter_hz` would be zero: either the system
+    /// counter frequency is zero or it exceeds the core clock, so every
+    /// `CNTPCT` read would divide by zero.
+    InvalidTimerRatio {
+        /// Configured core clock, Hz.
+        clock_hz: u64,
+        /// Configured system counter frequency, Hz.
+        system_counter_hz: u64,
+    },
+    /// A zero speculation window cannot model any speculative shadow.
+    ZeroSpeculationWindow,
+    /// `os_noise` must be a probability in `[0, 1]`.
+    InvalidOsNoise(
+        /// The rejected value.
+        f64,
+    ),
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidTimerRatio { clock_hz, system_counter_hz } => write!(
+                f,
+                "invalid timer ratio: clock_hz {clock_hz} must be >= system_counter_hz \
+                 {system_counter_hz} > 0"
+            ),
+            Self::ZeroSpeculationWindow => write!(f, "speculation_window must be nonzero"),
+            Self::InvalidOsNoise(v) => write!(f, "os_noise {v} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Deliberately broken squash/recovery behaviours, used by the
 /// conformance harness's self-test (`pacman-ref`) to prove the
 /// differential oracle detects wrong-path state leaking into committed
@@ -182,6 +241,9 @@ pub struct MachineConfig {
     /// two `Instant` reads per retired instruction when on, and a
     /// single predicted branch when off.
     pub profile: bool,
+    /// Which execution engine drives the retire loop (architecturally
+    /// identical either way — see [`ExecEngine`]).
+    pub engine: ExecEngine,
 }
 
 impl Default for MachineConfig {
@@ -198,11 +260,31 @@ impl Default for MachineConfig {
             os_noise: 0.02,
             bugs: InjectedBugs::default(),
             profile: false,
+            engine: ExecEngine::default(),
         }
     }
 }
 
 impl MachineConfig {
+    /// Validates the configuration, returning the first violated
+    /// constraint as a typed error. `Machine::try_new` calls this before
+    /// building any state; `Machine::new` panics on the same conditions.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.system_counter_hz == 0 || self.clock_hz < self.system_counter_hz {
+            return Err(ConfigError::InvalidTimerRatio {
+                clock_hz: self.clock_hz,
+                system_counter_hz: self.system_counter_hz,
+            });
+        }
+        if self.speculation_window == 0 {
+            return Err(ConfigError::ZeroSpeculationWindow);
+        }
+        if !(0.0..=1.0).contains(&self.os_noise) {
+            return Err(ConfigError::InvalidOsNoise(self.os_noise));
+        }
+        Ok(())
+    }
+
     /// Cache parameters of the selected core cluster (Table 2).
     pub fn cache_params(&self) -> ClusterCaches {
         ClusterCaches::for_core(self.core)
@@ -311,6 +393,33 @@ mod tests {
         assert_eq!(c.squash, SquashPolicy::Eager);
         assert_eq!(c.mitigation, Mitigation::None);
         assert_eq!(c.system_counter_hz, 24_000_000);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_ratios() {
+        assert_eq!(MachineConfig::default().validate(), Ok(()));
+
+        let inverted = MachineConfig {
+            clock_hz: 24_000_000,
+            system_counter_hz: 3_200_000_000,
+            ..MachineConfig::default()
+        };
+        assert_eq!(
+            inverted.validate(),
+            Err(ConfigError::InvalidTimerRatio {
+                clock_hz: 24_000_000,
+                system_counter_hz: 3_200_000_000,
+            })
+        );
+
+        let zero = MachineConfig { system_counter_hz: 0, ..MachineConfig::default() };
+        assert!(matches!(zero.validate(), Err(ConfigError::InvalidTimerRatio { .. })));
+
+        let noisy = MachineConfig { os_noise: 1.5, ..MachineConfig::default() };
+        assert_eq!(noisy.validate(), Err(ConfigError::InvalidOsNoise(1.5)));
+
+        let err = inverted.validate().unwrap_err().to_string();
+        assert!(err.contains("invalid timer ratio"), "display form: {err}");
     }
 
     #[test]

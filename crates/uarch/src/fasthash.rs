@@ -1,0 +1,66 @@
+//! A minimal multiply-xor hasher for hot-path hash maps keyed by small
+//! integer tuples (the PAC memo). The default SipHash costs more than
+//! the lookups it guards on these paths, and HashDoS resistance buys
+//! nothing for host-side memo tables fed by the simulation itself.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor word hasher (FxHash-style).
+#[derive(Default)]
+pub(crate) struct FxHasher(u64);
+
+/// Build-hasher alias for [`FxHasher`]-keyed maps.
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(SEED);
+    }
+
+    fn write_u128(&mut self, n: u128) {
+        self.write_u64(n as u64);
+        self.write_u64((n >> 64) as u64);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn distinct_tuples_hash_apart_and_round_trip() {
+        let mut m: HashMap<(u128, u64, u64), u16, FxBuild> = HashMap::default();
+        for i in 0..1000u64 {
+            m.insert((u128::from(i) << 64, i, i ^ 7), i as u16);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(u128::from(i) << 64, i, i ^ 7)), Some(&(i as u16)));
+        }
+    }
+}

@@ -38,9 +38,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block_cache;
 pub mod cache;
 pub mod config;
 pub mod cpu;
+mod fasthash;
 pub mod machine;
 pub mod mem;
 pub mod paging;
@@ -50,13 +52,15 @@ pub mod timer;
 pub mod tlb;
 pub mod trace;
 
+pub use block_cache::{BlockCache, BlockCacheStats};
 pub use cache::{Cache, CacheParams, CacheStats};
 pub use config::{
-    ClusterCaches, ClusterTlbs, CoreKind, InjectedBugs, LatencyModel, MachineConfig, Mitigation,
-    SquashPolicy,
+    ClusterCaches, ClusterTlbs, ConfigError, CoreKind, ExecEngine, InjectedBugs, LatencyModel,
+    MachineConfig, Mitigation, SquashPolicy,
 };
 pub use cpu::{AccessKind, Cpu, El, Trap};
 pub use machine::{AccessOutcome, CacheHit, Machine, MachineStats, MemorySystem, Stop, TlbHit};
+pub use mem::{FramePool, PhysMemory};
 pub use paging::{PageTables, Perms};
 pub use predict::{Bimodal, Btb, PredictStats, Rsb};
 pub use profiler::{Phase, Profiler};

@@ -14,15 +14,20 @@
 //!   and redirected to the resolved target (Figure 3(d));
 //! - the §9 mitigations hook into exactly these paths.
 
-use pacman_isa::ptr::{self, VirtualAddress, PAGE_SIZE};
-use pacman_isa::{decode, encode, Inst, PacModifier, Reg, SysReg};
+use std::collections::HashMap;
+
+use pacman_isa::ptr::{self, AuthResult, VirtualAddress, PAGE_SIZE, VA_BITS};
+use pacman_isa::{decode, encode, Inst, PacKey, PacModifier, Reg, SysReg};
+use pacman_qarma::{PacComputer, QarmaKey};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::block_cache::BlockCache;
 use crate::cache::{Cache, CacheOutcome};
-use crate::config::{MachineConfig, Mitigation, SquashPolicy};
+use crate::config::{ConfigError, ExecEngine, MachineConfig, Mitigation, SquashPolicy};
 use crate::cpu::{AccessKind, Cpu, El, SavedContext, Trap};
-use crate::mem::PhysMemory;
+use crate::fasthash::FxBuild;
+use crate::mem::{FramePool, PhysMemory};
 use crate::paging::{PageTables, Perms};
 use crate::predict::{Bimodal, Btb, PredictStats, Rsb};
 use crate::profiler::{ProfTimer, Profiler};
@@ -30,6 +35,10 @@ use crate::timer::{Timers, TimingSource};
 use crate::tlb::{DataLookup, FetchLookup, FetchWorld, TlbHierarchy};
 use crate::trace::{SpecEvent, SpecTrace};
 use pacman_telemetry::{Histogram, Registry};
+
+/// Size bound on the PAC memo; reaching it clears the table (entries are
+/// recomputable on demand, so a flush only costs warm-up).
+const PAC_MEMO_CAP: usize = 1 << 20;
 
 /// Where a translation was satisfied.
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
@@ -111,10 +120,10 @@ pub struct MemorySystem {
 }
 
 impl MemorySystem {
-    fn new(config: &MachineConfig) -> Self {
+    fn new_with_pool(config: &MachineConfig, pool: FramePool) -> Self {
         let caches = config.cache_params();
         let tlbs = config.tlb_params();
-        let mut phys = PhysMemory::new();
+        let mut phys = PhysMemory::new_with_pool(pool);
         let tables = PageTables::new(&mut phys);
         Self {
             phys,
@@ -436,6 +445,20 @@ pub struct Machine {
     /// Global cycle count.
     pub cycles: u64,
     config: MachineConfig,
+    /// Predecoded micro-op arena the [`ExecEngine::Cached`] dispatch path
+    /// fetches from; unused (and empty) under `Interpreted`.
+    block_cache: BlockCache,
+    /// Memoised PAC computations keyed by (key value, canonical pointer,
+    /// modifier). Keying on the key *value* makes invalidation on key
+    /// writes unnecessary: a changed key never matches old entries. Only
+    /// consulted under [`ExecEngine::Cached`].
+    pac_memo: HashMap<(u128, u64, u64), u16, FxBuild>,
+    pac_memo_hits: u64,
+    pac_memo_misses: u64,
+    /// One-entry front cache over the memo: PAC-heavy loops authenticate
+    /// the same triple back to back, and this skips even the hash on
+    /// those. Value-keyed like the memo, so it never needs flushing.
+    pac_last: Option<((u128, u64, u64), u16)>,
     rng: SmallRng,
     timing_source: TimingSource,
     vbar: u64,
@@ -448,8 +471,41 @@ pub struct Machine {
 impl Machine {
     /// Boots a machine with the given configuration. Memory starts empty;
     /// callers map pages and load programs before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`MachineConfig::validate`]
+    /// (use [`Machine::try_new`] for a typed error instead).
     pub fn new(config: MachineConfig) -> Self {
-        let mem = MemorySystem::new(&config);
+        Self::new_with_pool(config, FramePool::default())
+    }
+
+    /// Boots a machine, reporting an invalid configuration as a typed
+    /// [`ConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by
+    /// [`MachineConfig::validate`].
+    pub fn try_new(config: MachineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self::new_with_pool(config, FramePool::default()))
+    }
+
+    /// Boots a machine whose physical memory recycles frames from `pool`
+    /// instead of allocating fresh ones. Recycled frames are zeroed and
+    /// the frame allocator restarts from the same PFN, so the machine is
+    /// bit-identical to one built by [`Machine::new`] — the pool only
+    /// avoids host allocator traffic in trial loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`MachineConfig::validate`].
+    pub fn new_with_pool(config: MachineConfig, pool: FramePool) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid machine configuration: {e}");
+        }
+        let mem = MemorySystem::new_with_pool(&config, pool);
         let timers = Timers::new(config.clock_hz, config.system_counter_hz);
         let rng = SmallRng::seed_from_u64(config.seed);
         Self {
@@ -466,11 +522,35 @@ impl Machine {
             profiler: Profiler::new(config.profile),
             cycles: 0,
             config,
+            block_cache: BlockCache::new(),
+            pac_memo: HashMap::default(),
+            pac_memo_hits: 0,
+            pac_memo_misses: 0,
+            pac_last: None,
             rng,
             timing_source: TimingSource::default(),
             vbar: 0,
             pending_spec_fault: None,
         }
+    }
+
+    /// Rebuilds this machine from scratch with its current configuration,
+    /// recycling the physical frames already allocated. Equivalent to
+    /// `*self = Machine::new(self.config().clone())` but without
+    /// returning frame storage to the host allocator.
+    pub fn reset(&mut self) {
+        let config = self.config.clone();
+        self.reset_with(config);
+    }
+
+    /// [`Machine::reset`] with a (possibly different) configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`MachineConfig::validate`].
+    pub fn reset_with(&mut self, config: MachineConfig) {
+        let pool = self.mem.phys.take_frame_pool();
+        *self = Machine::new_with_pool(config, pool);
     }
 
     /// The active configuration.
@@ -559,6 +639,13 @@ impl Machine {
             ("cpu.retired", s.retired),
             ("cpu.syscalls", s.syscalls),
             ("uarch.fault_spikes", s.fault_spikes),
+            ("exec.block.hits", self.block_cache.stats.hits),
+            ("exec.block.misses", self.block_cache.stats.misses),
+            ("exec.block.decoded", self.block_cache.stats.decoded),
+            ("exec.block.invalidations", self.block_cache.stats.invalidations),
+            ("exec.block.bypasses", self.block_cache.stats.bypasses),
+            ("exec.pac.memo_hits", self.pac_memo_hits),
+            ("exec.pac.memo_misses", self.pac_memo_misses),
         ];
         for (name, value) in counters {
             reg.incr_by(name, value);
@@ -598,12 +685,18 @@ impl Machine {
         self.mem.phys.alloc_frame()
     }
 
-    /// Maps `len` bytes starting at page-aligned `va`.
+    /// Maps `len` bytes starting at page-aligned `va`. Regions touching
+    /// the top of the address space are clamped there rather than
+    /// wrapping (`va + len` would overflow for the last page).
     pub fn map_region(&mut self, va: u64, len: u64, perms: Perms) {
         let mut a = va & !(PAGE_SIZE - 1);
-        while a < va + len {
+        let end = va.saturating_add(len);
+        while a < end {
             self.map_page(a, perms);
-            a += PAGE_SIZE;
+            match a.checked_add(PAGE_SIZE) {
+                Some(next) => a = next,
+                None => break,
+            }
         }
     }
 
@@ -617,7 +710,7 @@ impl Machine {
     pub fn load_program(&mut self, va: u64, program: &[Inst]) -> u64 {
         for (i, inst) in program.iter().enumerate() {
             let w = encode(inst).expect("program instruction must encode");
-            let addr = va + 4 * i as u64;
+            let addr = va.wrapping_add(4 * i as u64);
             let pa = self
                 .mem
                 .tables
@@ -625,7 +718,7 @@ impl Machine {
                 .expect("program region must be mapped");
             self.mem.phys.write_u32(pa, w);
         }
-        va + 4 * program.len() as u64
+        va.wrapping_add(4 * program.len() as u64)
     }
 
     /// Reads the active timing source. Returns `None` if the source traps
@@ -756,8 +849,17 @@ impl Machine {
         let (fetch_outcome, pa) =
             self.mem.fetch_access(pc, el).map_err(|f| f.into_trap(pc, el, AccessKind::Fetch))?;
         self.cycles += fetch_outcome.cycles;
-        let word = self.mem.phys.read_u32(pa);
-        let inst = decode(word).map_err(|_| Trap::Decode { pc })?;
+        // The engines are bit-identical: the cached path only skips the
+        // re-read + re-decode of the fetched word, never any simulated
+        // cost (timing was already charged by `fetch_access` above).
+        let inst = match self.config.engine {
+            ExecEngine::Cached => {
+                self.block_cache.fetch(pa, &mut self.mem.phys).ok_or(Trap::Decode { pc })?
+            }
+            ExecEngine::Interpreted => {
+                decode(self.mem.phys.read_u32(pa)).map_err(|_| Trap::Decode { pc })?
+            }
+        };
         self.cycles += self.config.latency.alu;
         self.stats.retired += 1;
         if !profiling {
@@ -778,12 +880,11 @@ impl Machine {
     }
 
     fn exec(&mut self, pc: u64, el: El, inst: Inst) -> Result<Option<Stop>, Trap> {
-        let lat = self.config.latency;
-        let next = pc + 4;
+        let next = pc.wrapping_add(4);
         match inst {
             Inst::Nop => self.cpu.pc = next,
             Inst::Isb | Inst::Dsb => {
-                self.cycles += lat.fence;
+                self.cycles += self.config.latency.fence;
                 self.cpu.pc = next;
             }
             Inst::Hlt => return Ok(Some(Stop::Hlt)),
@@ -792,7 +893,7 @@ impl Machine {
                     return Err(Trap::BadSvc { pc });
                 }
                 self.stats.syscalls += 1;
-                self.cycles += lat.syscall_transition;
+                self.cycles += self.config.latency.syscall_transition;
                 self.os_noise_tick();
                 self.cpu.saved = Some(SavedContext {
                     regs: self.cpu.regs,
@@ -807,7 +908,7 @@ impl Machine {
                     return Err(Trap::BadEret { pc });
                 }
                 let saved = self.cpu.saved.take().ok_or(Trap::BadEret { pc })?;
-                self.cycles += lat.syscall_transition;
+                self.cycles += self.config.latency.syscall_transition;
                 // Return values in x0/x1 survive the context restore, as on
                 // a real syscall ABI.
                 let (x0, x1) = (self.cpu.regs[0], self.cpu.regs[1]);
@@ -1021,8 +1122,7 @@ impl Machine {
                     PacModifier::Reg(m) => self.cpu.get(m),
                     PacModifier::Zero => 0,
                 };
-                let pacs = self.cpu.pac_computer(key);
-                let signed = ptr::sign(&pacs, self.cpu.get(rd), modifier);
+                let signed = self.sign_pac(key, self.cpu.get(rd), modifier);
                 self.cpu.set(rd, signed);
                 self.cpu.pc = next;
             }
@@ -1031,12 +1131,11 @@ impl Machine {
                     PacModifier::Reg(m) => self.cpu.get(m),
                     PacModifier::Zero => 0,
                 };
-                let pacs = self.cpu.pac_computer(key);
-                let result = ptr::authenticate(&pacs, self.cpu.get(rd), modifier, key);
+                let result = self.auth_pac(key, self.cpu.get(rd), modifier);
                 self.cpu.set(rd, result.pointer());
                 if self.config.mitigation == Mitigation::FenceAfterAut {
                     self.stats.fences_injected += 1;
-                    self.cycles += lat.fence;
+                    self.cycles += self.config.latency.fence;
                 }
                 self.cpu.pc = next;
             }
@@ -1046,8 +1145,7 @@ impl Machine {
                 self.cpu.pc = next;
             }
             Inst::Pacga { rd, rn, rm } => {
-                let pacs = self.cpu.pacga_computer();
-                let tag = pacs.pac(self.cpu.get(rn), self.cpu.get(rm));
+                let tag = self.pacga_tag(self.cpu.get(rn), self.cpu.get(rm));
                 self.cpu.set(rd, tag << 48);
                 self.cpu.pc = next;
             }
@@ -1105,6 +1203,93 @@ impl Machine {
         }
     }
 
+    /// The memoised PAC of `(key value, pointer, modifier)`. The memo is
+    /// sound because QARMA is a pure function of exactly this triple;
+    /// keying on the key *value* (not the register name) means entries
+    /// written under an old key can never be served after a key change.
+    /// Under [`ExecEngine::Interpreted`] the memo is bypassed entirely so
+    /// that engine stays a faithful pre-cache baseline.
+    fn pac_of(&mut self, keyval: u128, pointer: u64, modifier: u64) -> u16 {
+        if self.config.engine == ExecEngine::Interpreted {
+            let pacs = PacComputer::new(QarmaKey::from_u128(keyval), VA_BITS);
+            return pacs.pac(pointer, modifier) as u16;
+        }
+        let triple = (keyval, pointer, modifier);
+        if let Some((last, pac)) = self.pac_last {
+            if last == triple {
+                self.pac_memo_hits += 1;
+                return pac;
+            }
+        }
+        if let Some(&pac) = self.pac_memo.get(&triple) {
+            self.pac_memo_hits += 1;
+            self.pac_last = Some((triple, pac));
+            return pac;
+        }
+        self.pac_memo_misses += 1;
+        let pacs = PacComputer::new(QarmaKey::from_u128(keyval), VA_BITS);
+        let pac = pacs.pac(pointer, modifier) as u16;
+        if self.pac_memo.len() >= PAC_MEMO_CAP {
+            self.pac_memo.clear();
+        }
+        self.pac_memo.insert(triple, pac);
+        self.pac_last = Some((triple, pac));
+        pac
+    }
+
+    /// `PAC*`-family semantics via the memo; mirrors [`ptr::sign`].
+    fn sign_pac(&mut self, key: PacKey, ptr_value: u64, modifier: u64) -> u64 {
+        let canonical = ptr::canonicalize(ptr_value);
+        let keyval = self.cpu.keys.get(key);
+        let pac = self.pac_of(keyval, canonical, modifier);
+        ptr::with_pac_field(canonical, pac)
+    }
+
+    /// `AUT*`-family semantics via the memo; mirrors [`ptr::authenticate`].
+    fn auth_pac(&mut self, key: PacKey, ptr_value: u64, modifier: u64) -> AuthResult {
+        let canonical = ptr::canonicalize(ptr_value);
+        let keyval = self.cpu.keys.get(key);
+        let expected = self.pac_of(keyval, canonical, modifier);
+        if ptr::pac_field(ptr_value) == expected {
+            AuthResult::Valid(canonical)
+        } else {
+            AuthResult::Corrupt(ptr::corrupt(canonical, key))
+        }
+    }
+
+    /// `PACGA` tag via the memo (generic authentication signs raw
+    /// register values, no canonicalisation).
+    fn pacga_tag(&mut self, rn_val: u64, rm_val: u64) -> u64 {
+        let keyval = self.cpu.keys.ga();
+        u64::from(self.pac_of(keyval, rn_val, rm_val))
+    }
+
+    /// Precomputes the PACs of `pointers` under `key` and `modifier` into
+    /// the memo using the bitsliced QARMA path (64 pointers per cipher
+    /// pass). A no-op under [`ExecEngine::Interpreted`]. The §8.2
+    /// brute-forcer warms the candidate set this way before replaying the
+    /// PACMAN gadget, turning per-guess cipher work into a table lookup.
+    pub fn warm_pac_memo(&mut self, key: PacKey, pointers: &[u64], modifier: u64) {
+        if self.config.engine == ExecEngine::Interpreted {
+            return;
+        }
+        let keyval = self.cpu.keys.get(key);
+        let pacs = PacComputer::new(QarmaKey::from_u128(keyval), VA_BITS);
+        let canonicals: Vec<u64> = pointers.iter().map(|&p| ptr::canonicalize(p)).collect();
+        if self.pac_memo.len() + canonicals.len() > PAC_MEMO_CAP {
+            self.pac_memo.clear();
+        }
+        for (canonical, pac) in canonicals.iter().zip(pacs.pac_many(&canonicals, modifier)) {
+            self.pac_memo.insert((keyval, *canonical, modifier), pac as u16);
+        }
+    }
+
+    /// Block-cache dispatch counters (all zero under
+    /// [`ExecEngine::Interpreted`]).
+    pub fn block_cache_stats(&self) -> crate::block_cache::BlockCacheStats {
+        self.block_cache.stats
+    }
+
     /// Background kernel activity occasionally perturbing a random dTLB
     /// set (paper §8.2 evaluates under web-browsing/video-call noise).
     fn os_noise_tick(&mut self) {
@@ -1122,7 +1307,7 @@ impl Machine {
         let predicted = self.bimodal.predict(pc);
         self.bimodal.train(pc, taken);
         let target = pc.wrapping_add_signed(4 * i64::from(offset));
-        let fallthrough = pc + 4;
+        let fallthrough = pc.wrapping_add(4);
         if predicted != taken {
             self.predict_stats.bimodal_mispredicts += 1;
             self.cycles += self.config.latency.mispredict_penalty;
@@ -1172,7 +1357,11 @@ impl Machine {
                 }
                 SpecAccess::Blocked => break,
             };
-            let Ok(inst) = decode(self.mem.phys.read_u32(pa)) else {
+            let decoded = match self.config.engine {
+                ExecEngine::Cached => self.block_cache.fetch(pa, &mut self.mem.phys),
+                ExecEngine::Interpreted => decode(self.mem.phys.read_u32(pa)).ok(),
+            };
+            let Some(inst) = decoded else {
                 break;
             };
             self.stats.spec_insts += 1;
@@ -1219,7 +1408,7 @@ impl Machine {
         inst: Inst,
         mit: Mitigation,
     ) -> bool {
-        let next = *pc + 4;
+        let next = pc.wrapping_add(4);
         match inst {
             Inst::Nop => *pc = next,
             // Serialising or privilege-transferring instructions end
@@ -1514,8 +1703,7 @@ impl Machine {
                     PacModifier::Reg(m) => shadow.get(m),
                     PacModifier::Zero => 0,
                 };
-                let pacs = self.cpu.pac_computer(key);
-                let v = ptr::sign(&pacs, shadow.get(rd), modifier);
+                let v = self.sign_pac(key, shadow.get(rd), modifier);
                 shadow.set(rd, v);
                 *pc = next;
             }
@@ -1535,8 +1723,7 @@ impl Machine {
                             PacModifier::Reg(m) => shadow.get(m),
                             PacModifier::Zero => 0,
                         };
-                        let pacs = self.cpu.pac_computer(key);
-                        let result = ptr::authenticate(&pacs, shadow.get(rd), modifier, key);
+                        let result = self.auth_pac(key, shadow.get(rd), modifier);
                         self.trace.record(SpecEvent::AutExecuted {
                             pc: *pc,
                             valid: result.is_valid(),
@@ -1566,8 +1753,7 @@ impl Machine {
                 *pc = next;
             }
             Inst::Pacga { rd, rn, rm } => {
-                let pacs = self.cpu.pacga_computer();
-                let tag = pacs.pac(shadow.get(rn), shadow.get(rm));
+                let tag = self.pacga_tag(shadow.get(rn), shadow.get(rm));
                 shadow.set(rd, tag << 48);
                 *pc = next;
             }
@@ -2025,5 +2211,125 @@ mod tests {
         assert!(events.iter().any(|e| matches!(e, SpecEvent::ShadowOpened { .. })));
         assert!(m.trace.is_enabled(), "prior enabled flag restored");
         assert!(m.trace.events().is_empty(), "scoped events must not leak out");
+    }
+
+    /// A program that patches two of its own instruction slots with one
+    /// 64-bit store before control reaches them, then runs a PAC/AUT loop
+    /// (exercising both block-cache invalidation and the PAC memo).
+    fn self_modifying_pac_program() -> Vec<Inst> {
+        let patched = encode(&Inst::MovZ { rd: Reg::X5, imm: 42, shift: 0 }).unwrap();
+        let nop = encode(&Inst::Nop).unwrap();
+        let patch_words = u64::from(patched) | (u64::from(nop) << 32);
+        let mut a = Asm::new();
+        a.mov_imm64(Reg::X1, USER_CODE + 4 * 16); // patch site: slots 16 and 17
+        a.mov_imm64(Reg::X2, patch_words);
+        a.push(Inst::Str { rt: Reg::X2, rn: Reg::X1, offset: 0 });
+        a.mov_imm64(Reg::X0, 5); // PAC/AUT loop count
+        a.mov_imm64(Reg::X3, USER_DATA + 8);
+        while a.len() < 16 {
+            a.push(Inst::Nop);
+        }
+        // Slots 16/17: overwritten by the store above before first fetch.
+        a.push(Inst::MovZ { rd: Reg::X5, imm: 7, shift: 0 });
+        a.push(Inst::MovZ { rd: Reg::X5, imm: 9, shift: 0 });
+        let top = a.new_label();
+        a.bind(top);
+        a.push(Inst::Pac { key: PacKey::Ia, rd: Reg::X3, modifier: PacModifier::Zero });
+        a.push(Inst::Aut { key: PacKey::Ia, rd: Reg::X3, modifier: PacModifier::Zero });
+        a.push(Inst::SubImm { rd: Reg::X0, rn: Reg::X0, imm: 1 });
+        a.cbnz(Reg::X0, top);
+        a.push(Inst::Hlt);
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn cached_engine_is_bit_identical_to_interpreted() {
+        let program = self_modifying_pac_program();
+        let mut cached = machine();
+        cached.cpu.keys.write_half(SysReg::ApiaKeyLo, 0xfeed);
+        let mut interp = Machine::new(MachineConfig {
+            os_noise: 0.0,
+            engine: ExecEngine::Interpreted,
+            ..MachineConfig::default()
+        });
+        interp.cpu.keys.write_half(SysReg::ApiaKeyLo, 0xfeed);
+        run_user(&mut cached, &program);
+        run_user(&mut interp, &program);
+
+        assert_eq!(cached.cpu.get(Reg::X5), 42, "patched instruction must execute");
+        assert_eq!(cached.cpu.regs, interp.cpu.regs);
+        assert_eq!(cached.cpu.pc, interp.cpu.pc);
+        assert_eq!(cached.cycles, interp.cycles, "engines must agree on simulated time");
+        assert_eq!(cached.stats.retired, interp.stats.retired);
+
+        let bs = cached.block_cache_stats();
+        assert!(bs.hits > 0, "the PAC/AUT loop must dispatch from the arena");
+        assert!(bs.invalidations >= 1, "the self-modifying store must flush the cache");
+        assert!(cached.pac_memo_hits > 0, "repeated AUTs must hit the memo");
+        let ibs = interp.block_cache_stats();
+        assert_eq!((ibs.hits, ibs.misses, ibs.decoded), (0, 0, 0));
+        assert_eq!(interp.pac_memo_hits + interp.pac_memo_misses, 0);
+    }
+
+    #[test]
+    fn memoised_pac_matches_ptr_semantics_and_survives_key_changes() {
+        let mut m = machine();
+        m.cpu.keys.write_half(SysReg::ApiaKeyLo, 0xdead_beef);
+        let pointers = [USER_DATA, USER_DATA + 8, 0xFFFF_FFF0_0000_0010u64, 0];
+        m.warm_pac_memo(PacKey::Ia, &pointers, 0x77);
+        for &p in &pointers {
+            let pacs = m.cpu.pac_computer(PacKey::Ia);
+            assert_eq!(m.sign_pac(PacKey::Ia, p, 0x77), ptr::sign(&pacs, p, 0x77));
+            let signed = m.sign_pac(PacKey::Ia, p, 0x77);
+            assert_eq!(
+                m.auth_pac(PacKey::Ia, signed, 0x77),
+                ptr::authenticate(&pacs, signed, 0x77, PacKey::Ia)
+            );
+        }
+        assert!(m.pac_memo_hits >= pointers.len() as u64, "warming must pre-fill the memo");
+
+        // Changing the key must not serve stale PACs (the memo is keyed
+        // by key value, so no explicit flush exists to get wrong).
+        let before = m.sign_pac(PacKey::Ia, USER_DATA, 0x77);
+        m.cpu.keys.write_half(SysReg::ApiaKeyLo, 0x1234_5678);
+        let after = m.sign_pac(PacKey::Ia, USER_DATA, 0x77);
+        let pacs = m.cpu.pac_computer(PacKey::Ia);
+        assert_eq!(after, ptr::sign(&pacs, USER_DATA, 0x77));
+        assert_ne!(before, after, "key change must change the PAC");
+    }
+
+    #[test]
+    fn reset_recycles_frames_bit_identically() {
+        let program = self_modifying_pac_program();
+        let mut pooled = machine();
+        run_user(&mut pooled, &program);
+        let first_cycles = pooled.cycles;
+        let frames_before = pooled.mem.phys.frame_count();
+        pooled.reset();
+        assert_eq!(pooled.cycles, 0, "reset must rebuild from scratch");
+        run_user(&mut pooled, &program);
+
+        let mut fresh = machine();
+        run_user(&mut fresh, &program);
+        assert_eq!(pooled.cycles, first_cycles);
+        assert_eq!(pooled.cycles, fresh.cycles, "pooled reset must be bit-identical");
+        assert_eq!(pooled.cpu.regs, fresh.cpu.regs);
+        assert_eq!(pooled.mem.phys.frame_count(), frames_before, "same frame layout");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine configuration")]
+    fn constructor_rejects_invalid_timer_ratio() {
+        let _ =
+            Machine::new(MachineConfig { system_counter_hz: u64::MAX, ..MachineConfig::default() });
+    }
+
+    #[test]
+    fn try_new_reports_typed_config_errors() {
+        let err =
+            Machine::try_new(MachineConfig { system_counter_hz: 0, ..MachineConfig::default() })
+                .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidTimerRatio { .. }));
+        assert!(Machine::try_new(MachineConfig::default()).is_ok());
     }
 }

@@ -1,32 +1,94 @@
 //! Sparse physical memory.
 
-use std::collections::HashMap;
-
 use pacman_isa::ptr::PAGE_SIZE;
 
 /// Physical frame number.
 pub type Pfn = u64;
 
-/// Byte-addressable sparse physical memory organised in 16 KB frames, with
-/// a bump allocator for fresh frames.
+/// Recycled frame storage handed between machine generations so a shard
+/// can run thousands of trials without returning to the host allocator.
+/// Obtained from [`PhysMemory::take_frame_pool`] and consumed by
+/// [`PhysMemory::new_with_pool`]; frames are re-zeroed on reuse, so a
+/// pooled machine is bit-identical to a freshly allocated one.
+#[derive(Debug, Default)]
+pub struct FramePool(Vec<Box<[u8]>>);
+
+impl FramePool {
+    /// Number of recycled frames available.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the pool holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Byte-addressable physical memory organised in 16 KB frames, with a
+/// bump allocator for fresh frames.
+///
+/// Frames are bump-allocated contiguously from PFN 1, so storage is a
+/// dense vector indexed by `pfn - 1` — the per-access frame lookup on
+/// the simulator's hottest path is one bounds-checked index, never a
+/// hash.
+///
+/// Frames that hold predecoded code (registered by the execution engine's
+/// block cache via [`PhysMemory::note_code_frame`]) are tracked so that
+/// any write into them bumps a global code-write generation; the block
+/// cache compares generations on every dispatch, which is how
+/// self-modifying stores invalidate stale decoded entries.
 #[derive(Debug, Default)]
 pub struct PhysMemory {
-    frames: HashMap<Pfn, Box<[u8]>>,
-    next_pfn: Pfn,
+    /// Frame `pfn` lives at index `pfn - 1` (PFN 0 is reserved).
+    frames: Vec<Box<[u8]>>,
+    /// Per-frame "holds predecoded code" flags, parallel to `frames`
+    /// (shorter vectors read as all-false).
+    code_flags: Vec<bool>,
+    /// Whether any frame is flagged — lets the write path skip the flag
+    /// check entirely until the block cache first decodes something.
+    any_code: bool,
+    code_write_gen: u64,
+    /// Recycled frame storage for `alloc_frame`.
+    pool: Vec<Box<[u8]>>,
 }
 
 impl PhysMemory {
     /// Creates empty physical memory.
     pub fn new() -> Self {
-        Self { frames: HashMap::new(), next_pfn: 1 } // PFN 0 reserved
+        Self::default()
+    }
+
+    /// Creates empty physical memory that recycles frames from `pool`
+    /// before touching the host allocator. Recycled frames are zeroed on
+    /// allocation and the bump allocator restarts at PFN 1, so the frame
+    /// layout is identical to [`PhysMemory::new`].
+    pub fn new_with_pool(pool: FramePool) -> Self {
+        Self { pool: pool.0, ..Self::default() }
+    }
+
+    /// Tears down this memory, returning every frame (allocated or already
+    /// pooled) as recycled storage for the next machine generation.
+    pub fn take_frame_pool(&mut self) -> FramePool {
+        let mut pool = std::mem::take(&mut self.pool);
+        pool.append(&mut self.frames);
+        self.code_flags.clear();
+        self.any_code = false;
+        self.code_write_gen = 0;
+        FramePool(pool)
     }
 
     /// Allocates a zeroed frame and returns its frame number.
     pub fn alloc_frame(&mut self) -> Pfn {
-        let pfn = self.next_pfn;
-        self.next_pfn += 1;
-        self.frames.insert(pfn, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
-        pfn
+        let frame = match self.pool.pop() {
+            Some(mut f) => {
+                f.fill(0);
+                f
+            }
+            None => vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+        };
+        self.frames.push(frame);
+        self.frames.len() as Pfn
     }
 
     /// Number of allocated frames.
@@ -34,12 +96,44 @@ impl PhysMemory {
         self.frames.len()
     }
 
-    fn frame(&self, pa: u64) -> Option<&[u8]> {
-        self.frames.get(&(pa / PAGE_SIZE)).map(|f| &f[..])
+    /// Registers `pfn` as holding predecoded code: subsequent writes into
+    /// it bump the code-write generation. Registration is sticky for the
+    /// lifetime of this memory (decoded entries for the frame may persist
+    /// in the block cache until invalidated). Unallocated frames cannot be
+    /// registered — the block cache never caches from them.
+    pub fn note_code_frame(&mut self, pfn: Pfn) {
+        if pfn >= 1 && pfn <= self.frames.len() as Pfn {
+            if self.code_flags.len() < self.frames.len() {
+                self.code_flags.resize(self.frames.len(), false);
+            }
+            self.code_flags[(pfn - 1) as usize] = true;
+            self.any_code = true;
+        }
     }
 
-    fn frame_mut(&mut self, pa: u64) -> Option<&mut [u8]> {
-        self.frames.get_mut(&(pa / PAGE_SIZE)).map(|f| &mut f[..])
+    /// Whether `pfn` is a currently allocated frame.
+    pub fn is_backed(&self, pfn: Pfn) -> bool {
+        pfn >= 1 && pfn <= self.frames.len() as Pfn
+    }
+
+    /// Generation counter bumped by every write that lands in a
+    /// registered code frame. A block-cache entry decoded at generation
+    /// `g` is valid iff the counter still reads `g`.
+    pub fn code_write_gen(&self) -> u64 {
+        self.code_write_gen
+    }
+
+    #[inline]
+    fn frame(&self, pa: u64) -> Option<&[u8]> {
+        let pfn = pa / PAGE_SIZE;
+        self.frames.get((pfn.wrapping_sub(1)) as usize).map(|f| &f[..])
+    }
+
+    #[inline]
+    fn bump_if_code(&mut self, pfn: Pfn) {
+        if self.any_code && self.code_flags.get((pfn - 1) as usize) == Some(&true) {
+            self.code_write_gen += 1;
+        }
     }
 
     /// Reads one byte of physical memory (zero for unbacked addresses).
@@ -49,13 +143,24 @@ impl PhysMemory {
 
     /// Writes one byte; silently ignored for unbacked addresses.
     pub fn write_u8(&mut self, pa: u64, v: u8) {
-        if let Some(f) = self.frame_mut(pa) {
+        let pfn = pa / PAGE_SIZE;
+        if let Some(f) = self.frames.get_mut((pfn.wrapping_sub(1)) as usize) {
             f[(pa % PAGE_SIZE) as usize] = v;
+            self.bump_if_code(pfn);
         }
     }
 
     /// Reads a little-endian 32-bit word (may straddle frames).
+    #[inline]
     pub fn read_u32(&self, pa: u64) -> u32 {
+        let off = (pa % PAGE_SIZE) as usize;
+        if off + 4 <= PAGE_SIZE as usize {
+            // Within one frame: a single lookup covers all four bytes (an
+            // unbacked frame reads as zero, matching the byte path).
+            return self.frame(pa).map_or(0, |f| {
+                u32::from_le_bytes(f[off..off + 4].try_into().expect("4-byte slice"))
+            });
+        }
         let mut b = [0u8; 4];
         for (i, slot) in b.iter_mut().enumerate() {
             *slot = self.read_u8(pa + i as u64);
@@ -71,7 +176,14 @@ impl PhysMemory {
     }
 
     /// Reads a little-endian 64-bit word.
+    #[inline]
     pub fn read_u64(&self, pa: u64) -> u64 {
+        let off = (pa % PAGE_SIZE) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            return self.frame(pa).map_or(0, |f| {
+                u64::from_le_bytes(f[off..off + 8].try_into().expect("8-byte slice"))
+            });
+        }
         let mut b = [0u8; 8];
         for (i, slot) in b.iter_mut().enumerate() {
             *slot = self.read_u8(pa + i as u64);
@@ -81,6 +193,15 @@ impl PhysMemory {
 
     /// Writes a little-endian 64-bit word.
     pub fn write_u64(&mut self, pa: u64, v: u64) {
+        let pfn = pa / PAGE_SIZE;
+        let off = (pa % PAGE_SIZE) as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            if let Some(f) = self.frames.get_mut((pfn.wrapping_sub(1)) as usize) {
+                f[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                self.bump_if_code(pfn);
+            }
+            return;
+        }
         for (i, byte) in v.to_le_bytes().iter().enumerate() {
             self.write_u8(pa + i as u64, *byte);
         }
@@ -126,6 +247,7 @@ mod tests {
         let boundary = b * PAGE_SIZE - 4;
         m.write_u64(boundary, 0xA1B2_C3D4_E5F6_0718);
         assert_eq!(m.read_u64(boundary), 0xA1B2_C3D4_E5F6_0718);
+        assert_eq!(m.read_u32(boundary + 2), (0xA1B2_C3D4_E5F6_0718u64 >> 16) as u32);
     }
 
     #[test]
@@ -133,6 +255,10 @@ mod tests {
         let mut m = PhysMemory::new();
         m.write_u64(0x8000_0000, 42);
         assert_eq!(m.read_u64(0x8000_0000), 0);
+        // PFN 0 is reserved and never backed.
+        m.write_u64(8, 42);
+        assert_eq!(m.read_u64(8), 0);
+        assert!(!m.is_backed(0));
     }
 
     #[test]
@@ -141,5 +267,70 @@ mod tests {
         let base = m.alloc_frame() * PAGE_SIZE;
         m.write_bytes(base, &[1, 2, 3, 4]);
         assert_eq!(m.read_u32(base), u32::from_le_bytes([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn code_write_generation_tracks_only_registered_frames() {
+        let mut m = PhysMemory::new();
+        let code = m.alloc_frame();
+        let data = m.alloc_frame();
+        assert_eq!(m.code_write_gen(), 0);
+
+        // Unregistered writes never move the generation.
+        m.write_u64(data * PAGE_SIZE, 1);
+        m.write_u8(code * PAGE_SIZE, 1);
+        assert_eq!(m.code_write_gen(), 0);
+
+        m.note_code_frame(code);
+        m.write_u64(data * PAGE_SIZE + 8, 2);
+        assert_eq!(m.code_write_gen(), 0, "data-frame writes are free");
+        m.write_u8(code * PAGE_SIZE + 4, 0xAA);
+        assert_eq!(m.code_write_gen(), 1);
+        m.write_u64(code * PAGE_SIZE + 8, 0xBB);
+        assert_eq!(m.code_write_gen(), 2);
+        // A straddling write that clips the code frame still bumps.
+        m.write_u64(code * PAGE_SIZE + PAGE_SIZE - 4, 0xCC);
+        assert!(m.code_write_gen() >= 3);
+    }
+
+    #[test]
+    fn code_frames_registered_after_later_allocs_still_track() {
+        let mut m = PhysMemory::new();
+        let code = m.alloc_frame();
+        for _ in 0..4 {
+            m.alloc_frame();
+        }
+        m.note_code_frame(code);
+        m.write_u8(code * PAGE_SIZE, 1);
+        assert_eq!(m.code_write_gen(), 1);
+        // Unallocated frames cannot be registered.
+        m.note_code_frame(99);
+        m.write_u8(99 * PAGE_SIZE, 1);
+        assert_eq!(m.code_write_gen(), 1);
+    }
+
+    #[test]
+    fn frame_pool_recycles_with_identical_layout() {
+        let mut m = PhysMemory::new();
+        let a = m.alloc_frame();
+        let b = m.alloc_frame();
+        m.write_u64(a * PAGE_SIZE, 0xDEAD);
+        m.write_u64(b * PAGE_SIZE + 16, 0xBEEF);
+
+        let pool = m.take_frame_pool();
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+        assert_eq!(m.frame_count(), 0);
+
+        let mut m2 = PhysMemory::new_with_pool(pool);
+        let a2 = m2.alloc_frame();
+        let b2 = m2.alloc_frame();
+        assert_eq!((a2, b2), (a, b), "bump layout must repeat across generations");
+        assert_eq!(m2.read_u64(a2 * PAGE_SIZE), 0, "recycled frames are zeroed");
+        assert_eq!(m2.read_u64(b2 * PAGE_SIZE + 16), 0);
+        // Pool exhausted: the third frame falls back to fresh allocation.
+        let c = m2.alloc_frame();
+        assert_eq!(c, b2 + 1);
+        assert_eq!(m2.read_u64(c * PAGE_SIZE), 0);
     }
 }

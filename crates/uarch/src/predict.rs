@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use crate::fasthash::FxBuild;
+
 /// A 2-bit saturating counter.
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 struct Counter2(u8);
@@ -30,7 +32,7 @@ impl Counter2 {
 /// Bimodal (per-PC 2-bit counter) conditional branch predictor.
 #[derive(Clone, Debug, Default)]
 pub struct Bimodal {
-    table: HashMap<u64, Counter2>,
+    table: HashMap<u64, Counter2, FxBuild>,
 }
 
 impl Bimodal {
@@ -58,7 +60,7 @@ impl Bimodal {
 /// Branch target buffer for indirect branches.
 #[derive(Clone, Debug, Default)]
 pub struct Btb {
-    table: HashMap<u64, u64>,
+    table: HashMap<u64, u64, FxBuild>,
 }
 
 impl Btb {

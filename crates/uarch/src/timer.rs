@@ -28,10 +28,11 @@ pub enum TimingSource {
 /// Converts the global cycle count into each timer's reading.
 #[derive(Clone, Debug)]
 pub struct Timers {
-    /// Core clock, Hz.
-    clock_hz: u64,
     /// `CNTFRQ_EL0` value (24 MHz).
     system_counter_hz: u64,
+    /// Core cycles per system-counter tick, precomputed at construction
+    /// so `cntpct` divides by a value known to be nonzero.
+    cycles_per_tick: u64,
     /// Whether a kext has made `PMC0` readable at EL0 (`PMCR0` bit).
     pub pmc0_el0_enabled: bool,
     /// Multi-thread counter increments per cycle, expressed as a rational
@@ -46,10 +47,22 @@ pub struct Timers {
 
 impl Timers {
     /// Creates the timer block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `system_counter_hz` is zero or faster than `clock_hz`:
+    /// the cycles-per-tick ratio would be zero and every `cntpct` read
+    /// would divide by it. `MachineConfig::validate` reports the same
+    /// condition as a typed error before any `Timers` is built.
     pub fn new(clock_hz: u64, system_counter_hz: u64) -> Self {
+        assert!(
+            system_counter_hz > 0 && clock_hz >= system_counter_hz,
+            "timer ratio invalid: clock_hz {clock_hz} must be >= system_counter_hz \
+             {system_counter_hz} > 0 (cycles-per-tick would be zero)"
+        );
         Self {
-            clock_hz,
             system_counter_hz,
+            cycles_per_tick: clock_hz / system_counter_hz,
             pmc0_el0_enabled: false,
             mt_rate: (2, 5),
             mt_jitter: 1,
@@ -65,7 +78,7 @@ impl Timers {
     /// The `CNTPCT_EL0` reading at `cycles`.
     pub fn cntpct(&self, cycles: u64) -> u64 {
         // 3.2 GHz / 24 MHz ≈ 133 cycles per tick.
-        cycles / (self.clock_hz / self.system_counter_hz)
+        cycles / self.cycles_per_tick
     }
 
     /// The `PMC0` reading (raw cycles).
@@ -180,5 +193,19 @@ mod tests {
     #[test]
     fn cntfrq_reports_24mhz() {
         assert_eq!(timers().cntfrq(), 24_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "timer ratio invalid")]
+    fn inverted_ratio_is_rejected_at_construction() {
+        // clock slower than the system counter: cycles-per-tick would be 0
+        // and the old code divided by it on every `cntpct` read.
+        let _ = Timers::new(24_000_000, 3_200_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "timer ratio invalid")]
+    fn zero_counter_frequency_is_rejected_at_construction() {
+        let _ = Timers::new(3_200_000_000, 0);
     }
 }

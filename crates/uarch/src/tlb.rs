@@ -85,14 +85,24 @@ impl Tlb {
     }
 
     /// Looks up a translation, promoting it to MRU on hit.
+    #[inline]
     pub fn lookup(&mut self, vpn: u64) -> Option<TlbEntry> {
         let set = self.set_of(vpn);
         let base = set * self.params.ways;
         let n = self.occ[set] as usize;
         let live = &mut self.entries[base..base + n];
-        let pos = live.iter().position(|e| e.vpn == vpn)?;
-        live[..=pos].rotate_right(1);
-        Some(live[0])
+        // Re-touching the MRU way (consecutive accesses to one page) needs
+        // no promotion.
+        match live.first() {
+            Some(e) if e.vpn == vpn => Some(*e),
+            _ => {
+                let pos = live.iter().position(|e| e.vpn == vpn)?;
+                let hit = live[pos];
+                live.copy_within(..pos, 1);
+                live[0] = hit;
+                Some(hit)
+            }
+        }
     }
 
     /// Presence check without LRU side effects.
@@ -242,6 +252,17 @@ pub struct TlbHierarchy {
     itlb_kernel: Tlb,
     dtlb: Tlb,
     l2: Tlb,
+    /// One-entry fetch fast path: the last fetch lookup's world, vpn and
+    /// entry, valid only while that entry is still the MRU way of its
+    /// iTLB set. A fast-path hit performs exactly the counter updates the
+    /// full scan would and promotes nothing (the entry is already MRU),
+    /// so it is invisible to the simulation; any iTLB insert or flush
+    /// clears it.
+    fetch_fast: Option<(FetchWorld, u64, TlbEntry)>,
+    /// One-entry data-side fast path with the same contract as
+    /// `fetch_fast`: valid only while the entry is the dTLB set's MRU
+    /// way; any dTLB insert or flush clears it.
+    data_fast: Option<(u64, TlbEntry)>,
     /// Counters (public for experiment reporting).
     pub stats: TlbStats,
 }
@@ -254,6 +275,8 @@ impl TlbHierarchy {
             itlb_kernel: Tlb::new(itlb),
             dtlb: Tlb::new(dtlb),
             l2: Tlb::new(l2),
+            fetch_fast: None,
+            data_fast: None,
             stats: TlbStats::default(),
         }
     }
@@ -286,8 +309,15 @@ impl TlbHierarchy {
 
     /// Data-side lookup for a load/store.
     pub fn lookup_data(&mut self, vpn: u64) -> DataLookup {
+        if let Some((v, e)) = self.data_fast {
+            if v == vpn {
+                self.stats.dtlb_hits += 1;
+                return DataLookup::DtlbHit(e);
+            }
+        }
         if let Some(e) = self.dtlb.lookup(vpn) {
             self.stats.dtlb_hits += 1;
+            self.data_fast = Some((vpn, e));
             return DataLookup::DtlbHit(e);
         }
         self.stats.dtlb_misses += 1;
@@ -309,12 +339,18 @@ impl TlbHierarchy {
 
     /// Instruction-side lookup for a fetch at the given privilege.
     pub fn lookup_fetch(&mut self, world: FetchWorld, vpn: u64) -> FetchLookup {
-        if let Some(e) = self.itlb_mut(world).lookup(vpn) {
-            self.stats.itlb_hits += 1;
-            match world {
-                FetchWorld::User => self.stats.itlb_user_hits += 1,
-                FetchWorld::Kernel => self.stats.itlb_kernel_hits += 1,
+        if let Some((w, v, e)) = self.fetch_fast {
+            // Consecutive fetches overwhelmingly re-touch the same page;
+            // the cached entry is still its set's MRU way, so the full
+            // scan below would hit it without promotion.
+            if w == world && v == vpn {
+                self.count_itlb_hit(world);
+                return FetchLookup::ItlbHit(e);
             }
+        }
+        if let Some(e) = self.itlb_mut(world).lookup(vpn) {
+            self.count_itlb_hit(world);
+            self.fetch_fast = Some((world, vpn, e));
             return FetchLookup::ItlbHit(e);
         }
         self.stats.itlb_misses += 1;
@@ -339,9 +375,21 @@ impl TlbHierarchy {
         self.fill_itlb_with_migration(world, entry);
     }
 
+    #[inline]
+    fn count_itlb_hit(&mut self, world: FetchWorld) {
+        self.stats.itlb_hits += 1;
+        match world {
+            FetchWorld::User => self.stats.itlb_user_hits += 1,
+            FetchWorld::Kernel => self.stats.itlb_kernel_hits += 1,
+        }
+    }
+
     /// The §7.3 behaviour: an iTLB fill whose victim is re-homed into the
     /// shared dTLB, where userspace Prime+Probe can see it.
     fn fill_itlb_with_migration(&mut self, world: FetchWorld, entry: TlbEntry) {
+        // The insert reorders the set (and may replace the cached entry's
+        // pfn/perms under the same vpn), so the fetch fast path dies.
+        self.fetch_fast = None;
         let victim = self.itlb_mut(world).insert(entry);
         match world {
             FetchWorld::User => {
@@ -360,6 +408,9 @@ impl TlbHierarchy {
     }
 
     fn dtlb_insert_counted(&mut self, entry: TlbEntry) {
+        // The insert reorders the set (and may replace the cached entry
+        // in place), so the data fast path dies.
+        self.data_fast = None;
         self.stats.dtlb_fills += 1;
         if self.dtlb.insert(entry).is_some() {
             self.stats.dtlb_evictions += 1;
@@ -375,6 +426,8 @@ impl TlbHierarchy {
 
     /// Full hierarchy invalidate.
     pub fn flush(&mut self) {
+        self.fetch_fast = None;
+        self.data_fast = None;
         self.itlb_user.flush();
         self.itlb_kernel.flush();
         self.dtlb.flush();
