@@ -160,7 +160,7 @@ impl Claim {
 }
 
 /// Every artefact id a full bench run produces (one per bench target).
-pub const ARTIFACT_IDS: [&str; 21] = [
+pub const ARTIFACT_IDS: [&str; 22] = [
     "fig5a",
     "fig5b",
     "fig5c",
@@ -181,6 +181,7 @@ pub const ARTIFACT_IDS: [&str; 21] = [
     "perf_parallel",
     "perf_trace",
     "perf_exec_engine",
+    "perf_campaign",
     "conform",
 ];
 
@@ -467,6 +468,49 @@ pub fn all() -> Vec<Claim> {
             "block_cache_hit_rate_pct",
             "steady-state dispatches come from the arena",
             AtLeast(90.0),
+        ),
+        // ---- perf_campaign (persistent executor + pooled machines) -----
+        // Not a paper table: the executor-rewrite regression gate. Bands
+        // match the bench's own checks so a printed PASS always verifies.
+        c("perf_campaign", "jobs", "measured at real parallelism", AtLeast(4.0)),
+        c(
+            "perf_campaign",
+            "campaigns_per_sec_executor",
+            "pipelined small-campaign throughput",
+            AtLeast(0.1),
+        ),
+        c(
+            "perf_campaign",
+            "campaigns_per_sec_scoped",
+            "spawn-per-campaign baseline throughput",
+            AtLeast(0.1),
+        ),
+        c(
+            "perf_campaign",
+            "throughput_speedup",
+            "persistent executor >=3x on small campaigns",
+            AtLeast(3.0),
+        ),
+        c("perf_campaign", "p50_latency_us", "median campaign latency", Present),
+        c("perf_campaign", "p99_latency_us", "tail campaign latency", Present),
+        c("perf_campaign", "backend_drift_fields", "executor == scoped pool, bit for bit", U64(0)),
+        c(
+            "perf_campaign",
+            "jobs_parity_drift_fields",
+            "jobs=1 == jobs=N on the executor, bit for bit",
+            U64(0),
+        ),
+        c(
+            "perf_campaign",
+            "pool_steady_fresh_boots",
+            "steady-state leases come from the pool",
+            U64(0),
+        ),
+        c(
+            "perf_campaign",
+            "pool_steady_fresh_frames",
+            "steady-state reboots allocate no frames",
+            U64(0),
         ),
         // ---- conform: differential conformance harness -----------------
         // Not a paper table: the harness underwrites the simulator the

@@ -16,13 +16,15 @@
 //! Any diverging program is shrunk with [`pacman_ref::minimize`] before
 //! it is reported, so the JSONL repro dump carries minimal programs.
 
+use std::sync::Arc;
+
 use pacman_ref::{generate, minimize, quiet_config, scenario_seed, Divergence, ScenarioArena};
-use pacman_runner::{run_shards_tolerant, shard_plan, Shard, DEFAULT_SHARDS};
+use pacman_runner::{shard_plan, Shard, DEFAULT_SHARDS};
 use pacman_telemetry::Registry;
 use pacman_uarch::MachineConfig;
 
 use crate::fault::Tolerance;
-use crate::parallel::{collect_tolerant, record_runner_counters, ExperimentError};
+use crate::parallel::{fold_campaign, record_runner_counters, ExperimentError};
 
 /// Workload for one conformance run.
 #[derive(Clone, Debug)]
@@ -85,12 +87,12 @@ pub fn run_conformance(
     jobs: usize,
     tol: &Tolerance,
 ) -> Result<ConformReport, ExperimentError> {
+    let tol = Arc::new(tol.clone());
     let plan = shard_plan(cfg.programs, DEFAULT_SHARDS, cfg.seed);
-    let shard_outs = run_shards_tolerant(
-        &plan,
-        jobs,
-        tol.retry,
-        |shard: &Shard, attempt: u32| -> Result<Vec<Divergence>, ExperimentError> {
+    let work = {
+        let cfg = cfg.clone();
+        let tol = Arc::clone(&tol);
+        move |shard: &Shard, attempt: u32| -> Result<Vec<Divergence>, ExperimentError> {
             tol.faults.maybe_panic(shard.index, tol.fault_attempt(attempt));
             // One lockstep pair per shard, reset between scenarios:
             // frames, page tables and the block-cache arena are recycled
@@ -109,15 +111,20 @@ pub fn run_conformance(
                 }
             }
             Ok(divergences)
-        },
+        }
+    };
+    let (divergences, retries) = fold_campaign(
+        &plan,
+        jobs,
+        tol.retry,
+        work,
+        Vec::new(),
+        |all: &mut Vec<Divergence>, _, found: Vec<Divergence>| all.extend(found),
     )?;
-    let (shard_outs, retries) = collect_tolerant(shard_outs)?;
-
-    let divergences: Vec<Divergence> = shard_outs.into_iter().flatten().collect();
     let mut telemetry = Registry::new();
     telemetry.incr_by("conform.programs", cfg.programs as u64);
     telemetry.incr_by("conform.divergences", divergences.len() as u64);
-    record_runner_counters(&mut telemetry, retries, tol);
+    record_runner_counters(&mut telemetry, retries, &tol);
     Ok(ConformReport { programs: cfg.programs as u64, divergences, retries, telemetry })
 }
 

@@ -77,7 +77,7 @@ impl From<OracleError> for Jump2WinError {
 /// The brute-force phases use the cpp kext's salt-matched Listing-1
 /// gadgets (`gadget_ia`, `gadget_da`), because the PACs consumed by the
 /// dispatch path are salted with the victim object's address.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Jump2Win {
     samples: usize,
     train_iters: usize,

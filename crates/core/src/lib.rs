@@ -20,6 +20,9 @@
 //! - [`jump2win`] — the §8.3 control-flow hijack;
 //! - [`parallel`] — sharded, deterministic parallel drivers for the
 //!   above experiments (the `pacman-runner` execution layer);
+//! - [`pool`] — per-worker pools of booted [`System`]s recycled through
+//!   [`System::reboot_into`] (allocator-free steady state under the
+//!   persistent executor);
 //! - [`conformance`] — seeded differential fuzzing of the speculative
 //!   core against the `pacman-ref` architectural reference machine,
 //!   sharded over the same execution layer;
@@ -58,6 +61,7 @@ pub mod fault;
 pub mod jump2win;
 pub mod oracle;
 pub mod parallel;
+pub mod pool;
 pub mod probe;
 pub mod report;
 pub mod sweep;

@@ -27,8 +27,11 @@
 //! to the fault-free run even when injected faults forced retries. The
 //! `parallel_determinism` integration tests pin both properties.
 
+use std::sync::Arc;
+
 use pacman_runner::{
-    run_shards_tolerant, shard_plan, RunnerError, Shard, ShardedOutcome, DEFAULT_SHARDS,
+    run_shards_tolerant, shard_plan, Executor, RunnerBackend, RunnerError, Shard, ShardedOutcome,
+    DEFAULT_SHARDS,
 };
 use pacman_telemetry::Registry;
 use pacman_uarch::Trap;
@@ -38,6 +41,7 @@ use crate::cache_probe::{quiet_target_offset, CacheDataPacOracle};
 use crate::fault::{FaultSite, Tolerance, SPIKE_CYCLES};
 use crate::jump2win::{Jump2Win, Jump2WinError, Jump2WinReport};
 use crate::oracle::{DataPacOracle, InstrPacOracle, OracleError, PacOracle};
+use crate::pool::{self, PooledSystem};
 use crate::sweep::{
     cache_tlb_series, data_tlb_series, experiment_machine, itlb_series, SweepSeries,
 };
@@ -181,10 +185,13 @@ impl Channel {
     }
 }
 
-/// Boots one shard's [`System`]: the machine seed becomes the shard seed
-/// (decorrelating noise streams), the kernel seed stays the caller's (so
-/// keys, layout and ground truth match across shards).
-pub fn shard_system(base: &SystemConfig, shard_seed: u64, record: bool) -> System {
+/// Leases one shard's [`System`]: the machine seed becomes the shard
+/// seed (decorrelating noise streams), the kernel seed stays the
+/// caller's (so keys, layout and ground truth match across shards). The
+/// system comes from the calling worker's [`pool`] — a warm reboot when
+/// a compatible machine is parked, a fresh boot otherwise; either way
+/// the state is bit-identical to [`System::boot`].
+pub fn shard_system(base: &SystemConfig, shard_seed: u64, record: bool) -> PooledSystem {
     shard_system_faulted(base, shard_seed, record, false)
 }
 
@@ -209,13 +216,13 @@ fn shard_system_faulted(
     shard_seed: u64,
     record: bool,
     spiked: bool,
-) -> System {
+) -> PooledSystem {
     let mut cfg = base.clone();
     cfg.machine.seed = shard_seed;
     if spiked {
         cfg.machine.latency.fault_spike = SPIKE_CYCLES;
     }
-    let mut sys = System::boot(cfg);
+    let mut sys = pool::lease(cfg);
     if record {
         sys.telemetry.set_enabled(true);
     }
@@ -266,6 +273,76 @@ pub(crate) fn record_runner_counters(reg: &mut Registry, retries: u64, tol: &Tol
     reg.incr_by("runner.retries", retries);
     reg.incr_by("runner.shard_failures", 0);
     reg.incr_by("runner.faults_injected", tol.faults.injected());
+}
+
+/// Runs one campaign on the session's [`RunnerBackend`] and folds the
+/// per-shard outputs **in shard order** into an accumulator.
+///
+/// On the scoped-pool backend this is exactly the retained baseline:
+/// [`run_shards_tolerant`] + [`collect_tolerant`] + a merge loop. On the
+/// persistent executor the campaign is submitted to the process-wide
+/// worker pool and the fold consumes the **ordered stream** of shard
+/// events — shard `i` merges as soon as shards `0..=i` have reported,
+/// while later shards still run, so no end-of-run barrier holds the
+/// aggregation back. Both paths produce bit-identical accumulators and
+/// the same typed errors: the fold is order-preserving and a permanent
+/// shard failure still surfaces as [`ExperimentError::Shards`] with the
+/// full partial-result report.
+pub(crate) fn fold_campaign<T, A, F, M>(
+    plan: &[Shard],
+    jobs: usize,
+    retry: crate::fault::RetryPolicy,
+    work: F,
+    init: A,
+    mut merge: M,
+) -> Result<(A, u64), ExperimentError>
+where
+    T: Send + 'static,
+    F: Fn(&Shard, u32) -> Result<T, ExperimentError> + Send + Sync + 'static,
+    M: FnMut(&mut A, usize, T),
+{
+    match RunnerBackend::current() {
+        RunnerBackend::ScopedPool => {
+            let outcome = run_shards_tolerant(plan, jobs, retry, work)?;
+            let (values, retries) = collect_tolerant(outcome)?;
+            let mut acc = init;
+            for (i, v) in values.into_iter().enumerate() {
+                merge(&mut acc, i, v);
+            }
+            Ok((acc, retries))
+        }
+        RunnerBackend::Executor => {
+            let total = plan.len();
+            let handle = Executor::global().submit(plan.to_vec(), jobs, retry, work);
+            let mut acc = init;
+            let mut merged = 0usize;
+            let mut failures: Vec<ShardError> = Vec::new();
+            let mut stream = handle.ordered();
+            for (i, r) in stream.by_ref() {
+                match r {
+                    Ok(v) => {
+                        merge(&mut acc, i, v);
+                        merged += 1;
+                    }
+                    Err(e) => failures.push(e),
+                }
+            }
+            let retries = stream.retries();
+            if let Some(shard) = stream.missing() {
+                return Err(ExperimentError::Runner(RunnerError::MissingResult { shard }));
+            }
+            if failures.is_empty() {
+                Ok((acc, retries))
+            } else {
+                Err(ExperimentError::Shards(PartialFailure {
+                    total,
+                    completed: merged,
+                    retries,
+                    failures,
+                }))
+            }
+        }
+    }
 }
 
 /// Concatenates shard trial logs in shard order and reindexes them into
@@ -345,21 +422,21 @@ pub fn oracle_distribution<F>(
     wrong_for: F,
 ) -> Result<OracleDistribution, ExperimentError>
 where
-    F: Fn(usize, u16) -> u16 + Sync,
+    F: Fn(usize, u16) -> u16 + Send + Sync + 'static,
 {
+    let tol = Arc::new(tol.clone());
     let plan = shard_plan(trials, DEFAULT_SHARDS, base.machine.seed);
-    let shard_outs = run_shards_tolerant(
-        &plan,
-        jobs,
-        tol.retry,
-        |shard: &Shard, attempt: u32| -> Result<OracleShardOut, ExperimentError> {
+    let work = {
+        let base = base.clone();
+        let tol = Arc::clone(&tol);
+        move |shard: &Shard, attempt: u32| -> Result<OracleShardOut, ExperimentError> {
             let fa = tol.fault_attempt(attempt);
             tol.faults.maybe_panic(shard.index, fa);
             let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
             if spiked {
                 note_spike(shard.index, fa);
             }
-            let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
+            let mut sys = shard_system_faulted(&base, shard.seed, record, spiked);
             let set = sys.pick_quiet_dtlb_set();
             let target = sys.alloc_target(set) + channel.target_offset();
             let true_pac = sys.true_pac(target);
@@ -419,11 +496,9 @@ where
                 });
             }
             Ok(out)
-        },
-    )?;
-    let (shard_outs, retries) = collect_tolerant(shard_outs)?;
-
-    let mut merged = OracleDistribution {
+        }
+    };
+    let init = OracleDistribution {
         trials: trials as u64,
         correct_detected: 0,
         incorrect_clean: 0,
@@ -435,24 +510,31 @@ where
         target: 0,
         true_pac: 0,
     };
-    let mut logs = Vec::with_capacity(shard_outs.len());
-    for (si, s) in shard_outs.into_iter().enumerate() {
-        if si == 0 {
-            merged.target = s.target;
-            merged.true_pac = s.true_pac;
-        }
-        merged.correct_detected += s.correct_detected;
-        merged.incorrect_clean += s.incorrect_clean;
-        for b in 0..MISS_BUCKETS {
-            merged.correct_misses[b] += s.correct_misses[b];
-            merged.incorrect_misses[b] += s.incorrect_misses[b];
-        }
-        merged.crashes += s.crashes;
-        merged.telemetry.merge(&s.telemetry);
-        logs.push(s.records);
-    }
+    let ((mut merged, logs), retries) = fold_campaign(
+        &plan,
+        jobs,
+        tol.retry,
+        work,
+        (init, Vec::new()),
+        |acc: &mut (OracleDistribution, Vec<Vec<TrialRecord>>), si, s: OracleShardOut| {
+            let (merged, logs) = acc;
+            if si == 0 {
+                merged.target = s.target;
+                merged.true_pac = s.true_pac;
+            }
+            merged.correct_detected += s.correct_detected;
+            merged.incorrect_clean += s.incorrect_clean;
+            for b in 0..MISS_BUCKETS {
+                merged.correct_misses[b] += s.correct_misses[b];
+                merged.incorrect_misses[b] += s.incorrect_misses[b];
+            }
+            merged.crashes += s.crashes;
+            merged.telemetry.merge(&s.telemetry);
+            logs.push(s.records);
+        },
+    )?;
     merged.records = merge_logs(logs);
-    record_runner_counters(&mut merged.telemetry, retries, tol);
+    record_runner_counters(&mut merged.telemetry, retries, &tol);
     Ok(merged)
 }
 
@@ -499,19 +581,21 @@ pub fn parallel_brute(
         true_pac: u16,
         telemetry: Registry,
     }
+    let tol = Arc::new(tol.clone());
+    let candidates: Arc<[u16]> = candidates.into();
     let plan = shard_plan(candidates.len(), DEFAULT_SHARDS, base.machine.seed);
-    let shard_outs = run_shards_tolerant(
-        &plan,
-        jobs,
-        tol.retry,
-        |shard: &Shard, attempt: u32| -> Result<ShardOut, ExperimentError> {
+    let work = {
+        let base = base.clone();
+        let tol = Arc::clone(&tol);
+        let candidates = Arc::clone(&candidates);
+        move |shard: &Shard, attempt: u32| -> Result<ShardOut, ExperimentError> {
             let fa = tol.fault_attempt(attempt);
             tol.faults.maybe_panic(shard.index, fa);
             let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
             if spiked {
                 note_spike(shard.index, fa);
             }
-            let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
+            let mut sys = shard_system_faulted(&base, shard.seed, record, spiked);
             let set = sys.pick_quiet_dtlb_set();
             let target = sys.alloc_target(set) + channel.target_offset();
             let true_pac = sys.true_pac(target);
@@ -526,11 +610,9 @@ pub fn parallel_brute(
                 });
             }
             Ok(ShardOut { outcome, target, true_pac, telemetry })
-        },
-    )?;
-    let (shard_outs, retries) = collect_tolerant(shard_outs)?;
-
-    let mut merged = ParallelBrute {
+        }
+    };
+    let init = ParallelBrute {
         outcome: BruteOutcome {
             found: None,
             guesses_tested: 0,
@@ -542,21 +624,22 @@ pub fn parallel_brute(
         true_pac: 0,
         telemetry: if record { Registry::new() } else { Registry::disabled() },
     };
-    for (si, s) in shard_outs.into_iter().enumerate() {
-        if si == 0 {
-            merged.target = s.target;
-            merged.true_pac = s.true_pac;
-        }
-        if merged.outcome.found.is_none() {
-            merged.outcome.found = s.outcome.found;
-        }
-        merged.outcome.guesses_tested += s.outcome.guesses_tested;
-        merged.outcome.syscalls += s.outcome.syscalls;
-        merged.outcome.cycles += s.outcome.cycles;
-        merged.outcome.crashes += s.outcome.crashes;
-        merged.telemetry.merge(&s.telemetry);
-    }
-    record_runner_counters(&mut merged.telemetry, retries, tol);
+    let (mut merged, retries) =
+        fold_campaign(&plan, jobs, tol.retry, work, init, |merged: &mut ParallelBrute, si, s| {
+            if si == 0 {
+                merged.target = s.target;
+                merged.true_pac = s.true_pac;
+            }
+            if merged.outcome.found.is_none() {
+                merged.outcome.found = s.outcome.found;
+            }
+            merged.outcome.guesses_tested += s.outcome.guesses_tested;
+            merged.outcome.syscalls += s.outcome.syscalls;
+            merged.outcome.cycles += s.outcome.cycles;
+            merged.outcome.crashes += s.outcome.crashes;
+            merged.telemetry.merge(&s.telemetry);
+        })?;
+    record_runner_counters(&mut merged.telemetry, retries, &tol);
     Ok(merged)
 }
 
@@ -597,7 +680,7 @@ pub fn parallel_accuracy<F>(
     window_for: F,
 ) -> Result<AccuracyOutcome, ExperimentError>
 where
-    F: Fn(usize, u16) -> Vec<u16> + Sync,
+    F: Fn(usize, u16) -> Vec<u16> + Send + Sync + 'static,
 {
     struct ShardOut {
         tp: u64,
@@ -606,19 +689,19 @@ where
         crashes: u64,
         telemetry: Registry,
     }
+    let tol = Arc::new(tol.clone());
     let plan = shard_plan(runs, DEFAULT_SHARDS, base.machine.seed);
-    let shard_outs = run_shards_tolerant(
-        &plan,
-        jobs,
-        tol.retry,
-        |shard: &Shard, attempt: u32| -> Result<ShardOut, ExperimentError> {
+    let work = {
+        let base = base.clone();
+        let tol = Arc::clone(&tol);
+        move |shard: &Shard, attempt: u32| -> Result<ShardOut, ExperimentError> {
             let fa = tol.fault_attempt(attempt);
             tol.faults.maybe_panic(shard.index, fa);
             let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
             if spiked {
                 note_spike(shard.index, fa);
             }
-            let mut sys = shard_system_faulted(base, shard.seed, true, spiked);
+            let mut sys = shard_system_faulted(&base, shard.seed, true, spiked);
             let set = sys.pick_quiet_dtlb_set();
             let target = sys.alloc_target(set) + channel.target_offset();
             let true_pac = sys.true_pac(target);
@@ -643,11 +726,9 @@ where
                 });
             }
             Ok(ShardOut { tp, fp, fneg, crashes, telemetry })
-        },
-    )?;
-    let (shard_outs, retries) = collect_tolerant(shard_outs)?;
-
-    let mut merged = AccuracyOutcome {
+        }
+    };
+    let init = AccuracyOutcome {
         runs: runs as u64,
         true_positives: 0,
         false_positives: 0,
@@ -655,14 +736,15 @@ where
         crashes: 0,
         telemetry: Registry::new(),
     };
-    for s in shard_outs {
-        merged.true_positives += s.tp;
-        merged.false_positives += s.fp;
-        merged.false_negatives += s.fneg;
-        merged.crashes += s.crashes;
-        merged.telemetry.merge(&s.telemetry);
-    }
-    record_runner_counters(&mut merged.telemetry, retries, tol);
+    let (mut merged, retries) =
+        fold_campaign(&plan, jobs, tol.retry, work, init, |merged: &mut AccuracyOutcome, _, s| {
+            merged.true_positives += s.tp;
+            merged.false_positives += s.fp;
+            merged.false_negatives += s.fneg;
+            merged.crashes += s.crashes;
+            merged.telemetry.merge(&s.telemetry);
+        })?;
+    record_runner_counters(&mut merged.telemetry, retries, &tol);
     Ok(merged)
 }
 
@@ -700,12 +782,13 @@ pub fn parallel_sweep(
 ) -> Result<(Vec<SweepSeries>, Registry), ExperimentError> {
     // One work unit per stride: stride counts are tiny (3-4), and each
     // stride is the natural isolation boundary (disjoint VA region).
+    let tol = Arc::new(tol.clone());
+    let strides: Arc<[u64]> = strides.into();
     let plan = shard_plan(strides.len(), strides.len(), 0);
-    let outs = run_shards_tolerant(
-        &plan,
-        jobs,
-        tol.retry,
-        |shard: &Shard, attempt: u32| -> Result<(SweepSeries, Registry), ExperimentError> {
+    let work = {
+        let tol = Arc::clone(&tol);
+        let strides = Arc::clone(&strides);
+        move |shard: &Shard, attempt: u32| -> Result<(SweepSeries, Registry), ExperimentError> {
             tol.faults.maybe_panic(shard.index, tol.fault_attempt(attempt));
             let mut m = experiment_machine();
             let si = shard.index;
@@ -717,16 +800,21 @@ pub fn parallel_sweep(
             let mut reg = Registry::new();
             m.export_telemetry(&mut reg);
             Ok((series, reg))
+        }
+    };
+    let init = (Vec::with_capacity(strides.len()), Registry::new());
+    let ((series, mut telemetry), retries) = fold_campaign(
+        &plan,
+        jobs,
+        tol.retry,
+        work,
+        init,
+        |acc: &mut (Vec<SweepSeries>, Registry), _, (s, reg): (SweepSeries, Registry)| {
+            acc.0.push(s);
+            acc.1.merge(&reg);
         },
     )?;
-    let (outs, retries) = collect_tolerant(outs)?;
-    let mut series = Vec::with_capacity(strides.len());
-    let mut telemetry = Registry::new();
-    for (s, reg) in outs {
-        series.push(s);
-        telemetry.merge(&reg);
-    }
-    record_runner_counters(&mut telemetry, retries, tol);
+    record_runner_counters(&mut telemetry, retries, &tol);
     Ok((series, telemetry))
 }
 
@@ -757,19 +845,20 @@ pub fn parallel_jump2win(
         telemetry: Registry,
     }
     // Two work units: the two brute-force phases.
+    let tol = Arc::new(tol.clone());
     let plan = shard_plan(2, 2, base.machine.seed);
-    let outs = run_shards_tolerant(
-        &plan,
-        jobs,
-        tol.retry,
-        |shard: &Shard, attempt: u32| -> Result<PhaseOut, ExperimentError> {
+    let work = {
+        let base = base.clone();
+        let tol = Arc::clone(&tol);
+        let driver = driver.clone();
+        move |shard: &Shard, attempt: u32| -> Result<PhaseOut, ExperimentError> {
             let fa = tol.fault_attempt(attempt);
             tol.faults.maybe_panic(shard.index, fa);
             let spiked = tol.faults.fires(FaultSite::TimingSpike, shard.index as u64, fa);
             if spiked {
                 note_spike(shard.index, fa);
             }
-            let mut sys = shard_system_faulted(base, shard.seed, record, spiked);
+            let mut sys = shard_system_faulted(&base, shard.seed, record, spiked);
             let phase = shard.index;
             let (sc, target, key) = if phase == 0 {
                 (sys.cpp.gadget_ia, sys.cpp.win_fn, PacKey::Ia)
@@ -795,9 +884,16 @@ pub fn parallel_jump2win(
                 crashes: sys.kernel.crash_count() - crashes0,
                 telemetry: if record { shard_registry(&sys) } else { Registry::disabled() },
             })
-        },
+        }
+    };
+    let (mut outs, retries) = fold_campaign(
+        &plan,
+        jobs,
+        tol.retry,
+        work,
+        Vec::with_capacity(2),
+        |outs: &mut Vec<PhaseOut>, _, s| outs.push(s),
     )?;
-    let (mut outs, retries) = collect_tolerant(outs)?;
     let da = outs.pop().ok_or(ExperimentError::Runner(RunnerError::MissingResult { shard: 1 }))?;
     let ia = outs.pop().ok_or(ExperimentError::Runner(RunnerError::MissingResult { shard: 0 }))?;
 
@@ -815,7 +911,7 @@ pub fn parallel_jump2win(
     if record {
         telemetry.merge(&shard_registry(&sys));
     }
-    record_runner_counters(&mut telemetry, retries, tol);
+    record_runner_counters(&mut telemetry, retries, &tol);
     let report = Jump2WinReport {
         pac_win: ia.pac,
         pac_vtable: da.pac,

@@ -7,7 +7,10 @@ use pacman_telemetry::{Registry, Snapshot};
 use pacman_uarch::{FramePool, Machine, MachineConfig, Perms, TimingSource};
 
 /// Configuration for [`System::boot`].
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` (inherited float fields keep it from being `Eq`) is what
+/// the [`crate::pool`] system pool keys recycled machines by.
+#[derive(Clone, PartialEq, Debug)]
 pub struct SystemConfig {
     /// Machine (microarchitecture) configuration.
     pub machine: MachineConfig,
@@ -93,6 +96,18 @@ impl System {
     pub fn reboot(&mut self) {
         let pool = self.machine.mem.phys.take_frame_pool();
         *self = Self::boot_with_pool(self.config.clone(), pool);
+    }
+
+    /// [`System::reboot`] into a *different* configuration: tears this
+    /// system down, recycles its physical frames, and boots `config` on
+    /// them. Bit-identical to `System::boot(config)` for the same
+    /// reason `reboot` is — the frame pool only changes where frame
+    /// storage comes from, never its (zeroed) contents or layout. This
+    /// is how the executor's per-worker system pool turns a cached
+    /// machine for one campaign into a machine for the next.
+    pub fn reboot_into(&mut self, config: SystemConfig) {
+        let pool = self.machine.mem.phys.take_frame_pool();
+        *self = Self::boot_with_pool(config, pool);
     }
 
     /// A combined metrics snapshot: the attack-level `oracle.*` /
@@ -241,6 +256,39 @@ mod tests {
         assert_eq!(sys.machine.cycles, fresh_cycles, "pooled reboot is cycle-identical");
         assert_eq!(sys.machine.mem.phys.frame_count(), fresh_frames);
         assert_eq!(sys.kernel.crash_count(), 0);
+    }
+
+    #[test]
+    fn reboot_into_a_different_config_matches_a_fresh_boot() {
+        let mut other = SystemConfig::default();
+        other.machine.seed = 0xDEAD_BEEF;
+        other.kernel_seed = 0xB0B;
+
+        let mut fresh = System::boot(other.clone());
+        let tf = fresh.alloc_target(5);
+        let pf = fresh.true_pac(tf);
+        fresh.kernel.syscall(&mut fresh.machine, fresh.gadget.data_gadget, &[0, 0, 1]).unwrap();
+        let fresh_cycles = fresh.machine.cycles;
+
+        // Boot under the *default* config, dirty it, then reboot into
+        // the other config on the recycled frames.
+        let mut sys = System::boot(SystemConfig::default());
+        let _ = sys.alloc_target(9);
+        for _ in 0..3 {
+            sys.kernel.syscall(&mut sys.machine, sys.gadget.data_gadget, &[0, 0, 1]).unwrap();
+        }
+        sys.reboot_into(other);
+        let t = sys.alloc_target(5);
+        let p = sys.true_pac(t);
+        sys.kernel.syscall(&mut sys.machine, sys.gadget.data_gadget, &[0, 0, 1]).unwrap();
+
+        assert_eq!((t, p), (tf, pf), "layout and ground truth reproduce across configs");
+        assert_eq!(sys.machine.cycles, fresh_cycles, "cross-config reboot is cycle-identical");
+        assert_eq!(
+            sys.machine.mem.phys.fresh_alloc_count(),
+            0,
+            "a recycled boot never touches the host allocator"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::oracle::{OracleError, OracleVerdict, PacOracle};
 use crate::system::System;
 
 /// One recorded oracle test: a guess, its measurement and its verdict.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TrialRecord {
     /// Position in the log (0-based).
     pub index: u64,

@@ -1,0 +1,947 @@
+//! Persistent work-stealing executor for sharded campaigns.
+//!
+//! The scoped pool in the crate root spawns a fresh `std::thread::scope`
+//! of OS threads for *every* campaign and holds all results behind an
+//! end-of-run barrier. That is fine for one long experiment, but the
+//! workloads the ROADMAP points at (`pacmand`, thousands of small
+//! campaigns) pay the spawn cost over and over. This module keeps a
+//! process-lifetime pool of workers instead:
+//!
+//! - **Whole shards are the steal units.** Each worker owns a deque of
+//!   pending shard tasks; an idle worker first drains its own deque,
+//!   then refills a chunk from the shared campaign injector, then
+//!   steals half of a sibling's deque. Scheduling only decides *where*
+//!   a shard runs — the shard plan and its [`mix64`](crate::mix64)
+//!   seeds are fixed at submission, so jobs=1 and jobs=N stay
+//!   bit-identical by construction.
+//! - **Batched submission.** [`Executor::submit`] enqueues a campaign
+//!   and returns a [`CampaignHandle`] immediately; many campaigns can
+//!   be in flight at once. The injector hands out chunks round-robin
+//!   across campaigns (fair share), each campaign's in-flight shard
+//!   count is capped by its `jobs` argument, and submission blocks once
+//!   the injector holds `max_pending` undispatched campaigns
+//!   (backpressure).
+//! - **Streaming results.** Every finished shard is sent to the
+//!   handle's channel as a [`ShardEvent`] the moment it completes.
+//!   [`CampaignHandle::ordered`] reassembles shard order incrementally
+//!   so consumers can merge results while later shards still run;
+//!   [`CampaignHandle::wait`] reproduces the scoped pool's
+//!   end-of-run [`ShardedOutcome`] shape.
+//! - **Identical fault-tolerance semantics.** Shard attempts run the
+//!   same `catch_unwind` + [`RetryPolicy`] loop as the scoped pool
+//!   (shared code, shared trace spans). On a permanent failure the
+//!   campaign's cancel flag is raised *before* the failure event is
+//!   sent, so once a consumer observes the failure no later-starting
+//!   task of that campaign runs workload code — it reports itself
+//!   cancelled, mirroring the scoped pool's queue drain.
+//!
+//! Wakeup correctness: every event that makes work runnable (a
+//! submission, tasks pushed into a deque, a completed task freeing
+//! campaign capacity) bumps the scheduler epoch *after* the work is
+//! visible and then notifies. Workers sample the epoch before scanning
+//! and only sleep if it is unchanged, so a wakeup between scan and
+//! sleep is never lost.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+
+use pacman_telemetry::json::Value;
+use pacman_telemetry::trace;
+
+use crate::{
+    default_jobs, lock, run_attempts, RetryPolicy, RunnerError, Shard, ShardError, ShardedOutcome,
+};
+
+/// Environment variable selecting the default runner backend
+/// (`executor` or `scoped`).
+pub const RUNNER_ENV: &str = "PACMAN_RUNNER";
+
+/// A queued shard execution: called with the executing worker's id.
+type Task = Box<dyn FnOnce(u64) + Send>;
+
+/// One campaign's undispatched tail in the injector.
+struct CampaignQueue {
+    tasks: VecDeque<Task>,
+    /// Per-campaign in-flight cap (the campaign's `jobs` argument).
+    limit: usize,
+    /// Shards currently dispatched to workers but not yet finished.
+    in_flight: Arc<AtomicUsize>,
+}
+
+/// Injector state: campaigns with undispatched shards, round-robin
+/// order, plus the wakeup epoch.
+struct Sched {
+    queue: VecDeque<CampaignQueue>,
+    /// Bumped (after the work is visible) by every runnable-work event.
+    epoch: u64,
+}
+
+struct Shared {
+    sched: Mutex<Sched>,
+    work_ready: Condvar,
+    space_ready: Condvar,
+    /// Per-worker task deques: owners pop the front, thieves take the
+    /// back half.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    shutdown: AtomicBool,
+    /// Undispatched-campaign cap before [`Executor::submit`] blocks.
+    max_pending: usize,
+}
+
+/// Per-campaign coordination shared by all its tasks.
+struct CampaignCore {
+    /// Raised before the permanent-failure event is sent; tasks that
+    /// start afterwards skip the workload and report cancelled.
+    cancelled: AtomicBool,
+    /// Attempts beyond the first, shared with the handle for live
+    /// reads.
+    retries: Arc<AtomicU64>,
+    in_flight: Arc<AtomicUsize>,
+    /// Tasks that have not finished yet; the one that drops this to
+    /// zero emits the campaign's `shards.run` span.
+    remaining: AtomicUsize,
+    submitted_us: u64,
+    total: usize,
+    limit: usize,
+    max_attempts: u32,
+}
+
+/// One shard's terminal result, streamed to the consumer the moment
+/// the shard finishes.
+pub struct ShardEvent<T> {
+    /// The shard's index in the plan.
+    pub shard: usize,
+    /// The shard's result (cancellations included, like the scoped
+    /// pool's outcome vector).
+    pub result: Result<T, ShardError>,
+}
+
+/// A submitted campaign: a streaming receiver plus live retry counter.
+///
+/// Dropping the handle detaches the campaign — its shards still run
+/// (and are sent into a closed channel), they are just unobserved.
+pub struct CampaignHandle<T> {
+    rx: Receiver<ShardEvent<T>>,
+    retries: Arc<AtomicU64>,
+    total: usize,
+}
+
+impl<T> CampaignHandle<T> {
+    /// Number of shards in the campaign.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Attempts beyond the first so far (monotonic while running;
+    /// final once every shard has reported).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Blocks for the next completion event, in completion order.
+    /// `None` once every shard has reported.
+    pub fn next_event(&self) -> Option<ShardEvent<T>> {
+        self.rx.recv().ok()
+    }
+
+    /// Streams results reassembled into **shard order**: each item is
+    /// `(shard_index, result)` and consumers can merge incrementally
+    /// while later shards still run.
+    #[must_use]
+    pub fn ordered(self) -> OrderedEvents<T> {
+        OrderedEvents { handle: self, buffer: BTreeMap::new(), next: 0 }
+    }
+
+    /// Blocks until every shard reports and returns the scoped pool's
+    /// end-of-run shape: results in shard order plus the retry total.
+    ///
+    /// # Errors
+    ///
+    /// [`RunnerError::MissingResult`] if a shard never reported (a
+    /// scheduling bug or an executor shut down mid-campaign).
+    pub fn wait(self) -> Result<ShardedOutcome<T>, RunnerError> {
+        let total = self.total;
+        let retries = Arc::clone(&self.retries);
+        let mut slots: Vec<Option<Result<T, ShardError>>> = (0..total).map(|_| None).collect();
+        while let Some(ev) = self.next_event() {
+            if let Some(slot) = slots.get_mut(ev.shard) {
+                *slot = Some(ev.result);
+            }
+        }
+        let mut results = Vec::with_capacity(total);
+        for (i, slot) in slots.into_iter().enumerate() {
+            results.push(slot.ok_or(RunnerError::MissingResult { shard: i })?);
+        }
+        // The channel closed, so every task finished: the counter is
+        // final.
+        Ok(ShardedOutcome { results, retries: retries.load(Ordering::Relaxed) })
+    }
+}
+
+/// Iterator over a campaign's results in shard order (see
+/// [`CampaignHandle::ordered`]). Out-of-order completions are buffered
+/// until the next in-order shard arrives.
+pub struct OrderedEvents<T> {
+    handle: CampaignHandle<T>,
+    buffer: BTreeMap<usize, Result<T, ShardError>>,
+    next: usize,
+}
+
+impl<T> OrderedEvents<T> {
+    /// Attempts beyond the first so far (final once the stream ends).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.handle.retries()
+    }
+
+    /// After the stream ends: the first shard index that never
+    /// reported, if any. A complete campaign returns `None`.
+    #[must_use]
+    pub fn missing(&self) -> Option<usize> {
+        (self.next < self.handle.total).then_some(self.next)
+    }
+}
+
+impl<T> Iterator for OrderedEvents<T> {
+    type Item = (usize, Result<T, ShardError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(r) = self.buffer.remove(&self.next) {
+                self.next += 1;
+                return Some((self.next - 1, r));
+            }
+            let ev = self.handle.next_event()?;
+            self.buffer.insert(ev.shard, ev.result);
+        }
+    }
+}
+
+/// A process-lifetime pool of work-stealing workers executing sharded
+/// campaigns (see the module docs for the scheduling model).
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns a pool of `workers` threads (clamped to >= 1) with the
+    /// default submission queue depth.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self::with_queue(workers, 0)
+    }
+
+    /// Spawns a pool with an explicit `max_pending` undispatched-
+    /// campaign cap (`0` selects the default, `max(workers * 4, 8)`).
+    #[must_use]
+    pub fn with_queue(workers: usize, max_pending: usize) -> Self {
+        let workers = workers.max(1);
+        let max_pending = if max_pending == 0 { (workers * 4).max(8) } else { max_pending };
+        let shared = Arc::new(Shared {
+            sched: Mutex::new(Sched { queue: VecDeque::new(), epoch: 0 }),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shutdown: AtomicBool::new(false),
+            max_pending,
+        });
+        let workers = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pacman-exec-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The process-wide executor, created on first use with
+    /// [`default_jobs`] workers. Campaign parallelism is governed by
+    /// each submission's `jobs` cap, not the pool size, so a shared
+    /// pool never changes results.
+    pub fn global() -> &'static Executor {
+        static GLOBAL: OnceLock<Executor> = OnceLock::new();
+        GLOBAL.get_or_init(|| Executor::new(default_jobs()))
+    }
+
+    /// Worker-thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Enqueues a campaign and returns its streaming handle
+    /// immediately. `jobs` caps the campaign's concurrently running
+    /// shards (`<= 1` serialises it — the executor's jobs=1 mode);
+    /// `policy` is the same per-shard retry budget the scoped pool
+    /// takes. Blocks only when `max_pending` campaigns are already
+    /// waiting for dispatch (backpressure).
+    pub fn submit<T, E, F>(
+        &self,
+        shards: Vec<Shard>,
+        jobs: usize,
+        policy: RetryPolicy,
+        work: F,
+    ) -> CampaignHandle<T>
+    where
+        T: Send + 'static,
+        E: fmt::Display,
+        F: Fn(&Shard, u32) -> Result<T, E> + Send + Sync + 'static,
+    {
+        let total = shards.len();
+        let (tx, rx) = channel();
+        let retries = Arc::new(AtomicU64::new(0));
+        let rec = trace::recorder();
+        let submitted_us = rec.now_us();
+        let limit = jobs.max(1).min(total.max(1));
+        if total == 0 {
+            // Nothing to schedule; mirror the scoped pool's span.
+            rec.complete(
+                "shards.run",
+                "runner",
+                0,
+                None,
+                submitted_us,
+                vec![
+                    ("shards".into(), Value::UInt(0)),
+                    ("jobs".into(), Value::UInt(limit as u64)),
+                    ("retries".into(), Value::UInt(0)),
+                ],
+            );
+            drop(tx);
+            return CampaignHandle { rx, retries, total };
+        }
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let core = Arc::new(CampaignCore {
+            cancelled: AtomicBool::new(false),
+            retries: Arc::clone(&retries),
+            in_flight: Arc::clone(&in_flight),
+            remaining: AtomicUsize::new(total),
+            submitted_us,
+            total,
+            limit,
+            max_attempts: policy.max_attempts.max(1),
+        });
+        let work = Arc::new(work);
+        let mut tasks: VecDeque<Task> = VecDeque::with_capacity(total);
+        for shard in shards {
+            let core = Arc::clone(&core);
+            let work = Arc::clone(&work);
+            let tx = tx.clone();
+            tasks.push_back(Box::new(move |tid| {
+                run_campaign_task(&core, shard, tid, &tx, work.as_ref());
+            }));
+        }
+        drop(tx);
+        let mut g = lock(&self.shared.sched);
+        while g.queue.len() >= self.shared.max_pending {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                // Shutting down: drop the tasks so the handle's channel
+                // closes and `wait` reports MissingResult instead of
+                // hanging.
+                return CampaignHandle { rx, retries, total };
+            }
+            g = self.shared.space_ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        g.queue.push_back(CampaignQueue { tasks, limit, in_flight });
+        g.epoch += 1;
+        drop(g);
+        self.shared.work_ready.notify_all();
+        CampaignHandle { rx, retries, total }
+    }
+
+    /// Submit-and-wait: the drop-in equivalent of
+    /// [`run_shards_tolerant`](crate::run_shards_tolerant) on this
+    /// executor.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CampaignHandle::wait`].
+    pub fn run_tolerant<T, E, F>(
+        &self,
+        shards: &[Shard],
+        jobs: usize,
+        policy: RetryPolicy,
+        work: F,
+    ) -> Result<ShardedOutcome<T>, RunnerError>
+    where
+        T: Send + 'static,
+        E: fmt::Display,
+        F: Fn(&Shard, u32) -> Result<T, E> + Send + Sync + 'static,
+    {
+        self.submit(shards.to_vec(), jobs, policy, work).wait()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        lock(&self.shared.sched).epoch += 1;
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One shard task: cancellation check, queue-wait span, the shared
+/// retry loop, streaming send, and campaign bookkeeping.
+fn run_campaign_task<T, E, F>(
+    core: &CampaignCore,
+    shard: Shard,
+    tid: u64,
+    tx: &Sender<ShardEvent<T>>,
+    work: &F,
+) where
+    E: fmt::Display,
+    F: Fn(&Shard, u32) -> Result<T, E>,
+{
+    let rec = trace::recorder();
+    let result = if core.cancelled.load(Ordering::Acquire) {
+        rec.instant("shard.cancelled", "runner", tid, Some(shard.index as u64), Vec::new());
+        Err(ShardError::cancelled(shard.index))
+    } else {
+        rec.complete(
+            "shard.queue_wait",
+            "runner",
+            tid,
+            Some(shard.index as u64),
+            core.submitted_us,
+            Vec::new(),
+        );
+        let r = run_attempts(&shard, tid, core.max_attempts, &core.retries, work);
+        if r.is_err() {
+            // Raise the flag BEFORE sending the failure event: a
+            // consumer that has observed the permanent failure knows no
+            // later-starting task runs workload code.
+            core.cancelled.store(true, Ordering::Release);
+        }
+        r
+    };
+    let _ = tx.send(ShardEvent { shard: shard.index, result });
+    if core.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        rec.complete(
+            "shards.run",
+            "runner",
+            tid,
+            None,
+            core.submitted_us,
+            vec![
+                ("shards".into(), Value::UInt(core.total as u64)),
+                ("jobs".into(), Value::UInt(core.limit as u64)),
+                ("retries".into(), Value::UInt(core.retries.load(Ordering::Relaxed))),
+            ],
+        );
+    }
+    core.in_flight.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Executes one task with a last-line-of-defense panic bracket (task
+/// bodies contain their own `catch_unwind`; this keeps a defect in the
+/// wrapper itself from killing the worker), then signals the capacity
+/// freed by its completion.
+fn run_task(shared: &Shared, task: Task, me: usize) {
+    let _ = catch_unwind(AssertUnwindSafe(|| task(me as u64)));
+    lock(&shared.sched).epoch += 1;
+    shared.work_ready.notify_all();
+}
+
+/// Pulls a chunk from the round-robin injector: the first campaign
+/// with both undispatched shards and in-flight headroom donates
+/// `min(ceil(remaining / workers), headroom)` tasks. The first runs
+/// immediately, the rest land in our deque for siblings to steal.
+fn refill(shared: &Shared, me: usize) -> bool {
+    let mut taken: VecDeque<Task> = VecDeque::new();
+    {
+        let mut g = lock(&shared.sched);
+        for _ in 0..g.queue.len() {
+            let Some(mut c) = g.queue.pop_front() else { break };
+            let headroom = c.limit.saturating_sub(c.in_flight.load(Ordering::Acquire));
+            if headroom == 0 {
+                g.queue.push_back(c);
+                continue;
+            }
+            let remaining = c.tasks.len();
+            let chunk = remaining.div_ceil(shared.deques.len()).clamp(1, headroom.min(remaining));
+            c.in_flight.fetch_add(chunk, Ordering::AcqRel);
+            taken.extend(c.tasks.drain(..chunk));
+            if c.tasks.is_empty() {
+                // Fully dispatched: retire the campaign from the
+                // injector and open a submission slot.
+                shared.space_ready.notify_all();
+            } else {
+                g.queue.push_back(c);
+            }
+            break;
+        }
+    }
+    let Some(first) = taken.pop_front() else { return false };
+    if !taken.is_empty() {
+        lock(&shared.deques[me]).append(&mut taken);
+        // Stealable work became visible: bump-then-notify.
+        lock(&shared.sched).epoch += 1;
+        shared.work_ready.notify_all();
+    }
+    run_task(shared, first, me);
+    true
+}
+
+/// Steals the back half of the first non-empty sibling deque,
+/// preserving the stolen segment's relative order.
+fn steal(shared: &Shared, me: usize) -> bool {
+    let n = shared.deques.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        let mut stolen: VecDeque<Task> = VecDeque::new();
+        {
+            let mut dq = lock(&shared.deques[victim]);
+            for _ in 0..dq.len().div_ceil(2) {
+                if let Some(task) = dq.pop_back() {
+                    stolen.push_front(task);
+                }
+            }
+        }
+        let Some(first) = stolen.pop_front() else { continue };
+        if !stolen.is_empty() {
+            lock(&shared.deques[me]).append(&mut stolen);
+            lock(&shared.sched).epoch += 1;
+            shared.work_ready.notify_all();
+        }
+        run_task(shared, first, me);
+        return true;
+    }
+    false
+}
+
+/// Worker main loop: local deque, then injector refill, then stealing,
+/// then an epoch-guarded sleep.
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        let epoch = lock(&shared.sched).epoch;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let local = lock(&shared.deques[me]).pop_front();
+        if let Some(task) = local {
+            run_task(shared, task, me);
+            continue;
+        }
+        if refill(shared, me) || steal(shared, me) {
+            continue;
+        }
+        let g = lock(&shared.sched);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if g.epoch == epoch {
+            // No runnable-work event since the scan started; any such
+            // event bumps the epoch after making work visible and then
+            // notifies, so this wait cannot miss one.
+            drop(shared.work_ready.wait(g).unwrap_or_else(PoisonError::into_inner));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend selection
+
+/// Which execution engine sharded drivers route through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunnerBackend {
+    /// The persistent work-stealing pool ([`Executor::global`]) — the
+    /// default.
+    Executor,
+    /// The per-run scoped thread pool
+    /// ([`run_shards_tolerant`](crate::run_shards_tolerant)) — the
+    /// retained baseline.
+    ScopedPool,
+}
+
+/// Process-wide backend override (the CLI's `--runner`).
+static FORCED_BACKEND: Mutex<Option<RunnerBackend>> = Mutex::new(None);
+
+thread_local! {
+    /// Thread-scoped backend override (see [`with_backend`]).
+    static TL_BACKEND: Cell<Option<RunnerBackend>> = const { Cell::new(None) };
+}
+
+impl RunnerBackend {
+    /// Parses a backend name (`executor` / `scoped`, aliases
+    /// included).
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "executor" | "persistent" => Some(Self::Executor),
+            "scoped" | "scoped-pool" | "baseline" => Some(Self::ScopedPool),
+            _ => None,
+        }
+    }
+
+    /// The `PACMAN_RUNNER` resolution, memoized for the process. An
+    /// unrecognised value warns once and falls back to the executor.
+    fn from_env() -> Self {
+        static ENV_BACKEND: OnceLock<RunnerBackend> = OnceLock::new();
+        *ENV_BACKEND.get_or_init(|| match std::env::var(RUNNER_ENV) {
+            Ok(v) => RunnerBackend::parse(&v).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: {RUNNER_ENV}='{v}' is not 'executor' or 'scoped'; \
+                     using the executor"
+                );
+                RunnerBackend::Executor
+            }),
+            Err(_) => RunnerBackend::Executor,
+        })
+    }
+
+    /// The backend the calling thread should use right now:
+    /// [`with_backend`] scope, else [`force_backend`] override, else
+    /// `PACMAN_RUNNER`, else the executor.
+    #[must_use]
+    pub fn current() -> Self {
+        if let Some(b) = TL_BACKEND.with(Cell::get) {
+            return b;
+        }
+        if let Some(b) = *lock(&FORCED_BACKEND) {
+            return b;
+        }
+        Self::from_env()
+    }
+}
+
+/// Sets (or with `None` clears) the process-wide backend override. It
+/// takes precedence over `PACMAN_RUNNER` but not over a
+/// [`with_backend`] scope.
+pub fn force_backend(backend: Option<RunnerBackend>) {
+    *lock(&FORCED_BACKEND) = backend;
+}
+
+/// Runs `f` with the calling thread's backend pinned to `backend`,
+/// restored on exit (panic included) — the A/B lever for parity tests
+/// and benches.
+pub fn with_backend<R>(backend: RunnerBackend, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<RunnerBackend>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TL_BACKEND.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(TL_BACKEND.with(|c| c.replace(Some(backend))));
+    f()
+}
+
+/// Runs a campaign on the backend selected by
+/// [`RunnerBackend::current`] — the single entry point sharded drivers
+/// route through.
+///
+/// # Errors
+///
+/// [`RunnerError`] for engine-level failures; workload failures come
+/// back as `Err(ShardError)` entries in the outcome (same contract as
+/// [`run_shards_tolerant`](crate::run_shards_tolerant)).
+pub fn run_backend_tolerant<T, E, F>(
+    shards: &[Shard],
+    jobs: usize,
+    policy: RetryPolicy,
+    work: F,
+) -> Result<ShardedOutcome<T>, RunnerError>
+where
+    T: Send + 'static,
+    E: fmt::Display,
+    F: Fn(&Shard, u32) -> Result<T, E> + Send + Sync + 'static,
+{
+    match RunnerBackend::current() {
+        RunnerBackend::Executor => Executor::global().run_tolerant(shards, jobs, policy, work),
+        RunnerBackend::ScopedPool => crate::run_shards_tolerant(shards, jobs, policy, work),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_shards_tolerant, shard_plan, DEFAULT_SHARDS};
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn executor_matches_the_scoped_pool_in_shard_order() {
+        let exec = Executor::new(4);
+        let plan = shard_plan(1000, DEFAULT_SHARDS, 42);
+        let work = |s: &Shard, _: u32| -> Result<(usize, u64, usize), std::convert::Infallible> {
+            Ok((s.index, s.seed, s.range().sum()))
+        };
+        let baseline =
+            run_shards_tolerant(&plan, 4, RetryPolicy::default(), work).expect("scoped ok").results;
+        let out = exec.run_tolerant(&plan, 4, RetryPolicy::default(), work).expect("executor ok");
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.results, baseline);
+    }
+
+    #[test]
+    fn jobs_one_and_jobs_n_are_bit_identical() {
+        let exec = Executor::new(4);
+        let plan = shard_plan(333, DEFAULT_SHARDS, 7);
+        let work = |s: &Shard, _: u32| -> Result<u64, std::convert::Infallible> {
+            Ok(s.seed ^ s.start as u64)
+        };
+        let one = exec.run_tolerant(&plan, 1, RetryPolicy::default(), work).expect("jobs=1");
+        let many = exec.run_tolerant(&plan, 4, RetryPolicy::default(), work).expect("jobs=4");
+        assert_eq!(one.results, many.results);
+    }
+
+    #[test]
+    fn the_jobs_cap_limits_in_flight_shards() {
+        let exec = Executor::new(4);
+        let plan = shard_plan(16, 16, 3);
+        let running = Arc::new(AtomicU32::new(0));
+        let peak = Arc::new(AtomicU32::new(0));
+        let out = {
+            let (running, peak) = (Arc::clone(&running), Arc::clone(&peak));
+            exec.run_tolerant::<u64, std::convert::Infallible, _>(
+                &plan,
+                1,
+                RetryPolicy::default(),
+                move |s, _| {
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    Ok(s.seed)
+                },
+            )
+            .expect("executor ok")
+        };
+        assert_eq!(out.completed(), 16);
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "jobs=1 must serialise the campaign");
+    }
+
+    #[test]
+    fn retries_recover_transient_panics() {
+        let exec = Executor::new(2);
+        let plan = shard_plan(8, 8, 11);
+        let out = exec
+            .run_tolerant::<u64, std::convert::Infallible, _>(
+                &plan,
+                2,
+                RetryPolicy::default(),
+                |s, attempt| {
+                    if (s.index == 2 || s.index == 5) && attempt < 2 {
+                        panic!("injected transient failure");
+                    }
+                    Ok(s.seed)
+                },
+            )
+            .expect("executor ok");
+        assert_eq!(out.retries, 4, "two shards x two failed attempts");
+        assert_eq!(out.completed(), 8);
+        for (s, r) in plan.iter().zip(&out.results) {
+            assert_eq!(*r.as_ref().expect("recovered"), s.seed);
+        }
+    }
+
+    #[test]
+    fn cancellation_after_an_observed_failure_is_deterministic() {
+        // jobs=2 on 8 shards: only shards 0 and 1 can be dispatched
+        // before shard 0's permanent failure. The cancel flag is raised
+        // BEFORE the failure event is sent, and the gate below releases
+        // shard 1 only after the consumer has received that event — so
+        // shards 2..7 are always cancelled without running workload
+        // code, and the work closure runs at most twice.
+        let exec = Executor::new(2);
+        let plan = shard_plan(8, 8, 9);
+        let work_runs = Arc::new(AtomicU32::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let handle = {
+            let (work_runs, gate) = (Arc::clone(&work_runs), Arc::clone(&gate));
+            exec.submit::<u64, _, _>(plan, 2, RetryPolicy::no_retries(), move |s, _| {
+                work_runs.fetch_add(1, Ordering::SeqCst);
+                if s.index == 0 {
+                    return Err("permanent failure on shard 0");
+                }
+                let (open, cv) = &*gate;
+                let mut g = lock(open);
+                while !*g {
+                    g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+                Ok(s.seed)
+            })
+        };
+        let mut results: BTreeMap<usize, Result<u64, ShardError>> = BTreeMap::new();
+        while let Some(ev) = handle.next_event() {
+            let failed_zero = ev.shard == 0;
+            results.insert(ev.shard, ev.result);
+            if failed_zero {
+                // The shard-0 failure has been observed: release the
+                // gate (shard 1 may be blocked on it, or may already
+                // have been cancelled — both are fine).
+                let (open, cv) = &*gate;
+                *lock(open) = true;
+                cv.notify_all();
+            }
+        }
+        assert_eq!(results.len(), 8, "every shard reports");
+        let zero = results[&0].as_ref().expect_err("shard 0 fails");
+        assert!(!zero.cancelled);
+        assert_eq!(zero.attempts, 1);
+        for i in 2..8 {
+            let e = results[&i].as_ref().expect_err("post-failure shards cancel");
+            assert!(e.cancelled, "shard {i} must be cancelled, got {e}");
+        }
+        match &results[&1] {
+            Ok(v) => assert_eq!(*v, crate::mix64(9, 1), "shard 1 ran to completion"),
+            Err(e) => assert!(e.cancelled, "shard 1 may only fail by cancellation"),
+        }
+        let runs = work_runs.load(Ordering::SeqCst);
+        assert!((1..=2).contains(&runs), "at most shards 0 and 1 run workload code: {runs}");
+    }
+
+    #[test]
+    fn concurrent_campaigns_from_many_threads_stay_isolated() {
+        let exec = Arc::new(Executor::new(3));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let exec = Arc::clone(&exec);
+                std::thread::spawn(move || {
+                    let plan = shard_plan(100, DEFAULT_SHARDS, t);
+                    let out = exec
+                        .run_tolerant::<u64, std::convert::Infallible, _>(
+                            &plan,
+                            2,
+                            RetryPolicy::default(),
+                            |s, _| Ok(s.seed.wrapping_mul(3)),
+                        )
+                        .expect("executor ok");
+                    (t, out)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (t, out) = h.join().expect("campaign thread");
+            assert_eq!(out.completed(), DEFAULT_SHARDS);
+            for (s, r) in shard_plan(100, DEFAULT_SHARDS, t).iter().zip(&out.results) {
+                assert_eq!(*r.as_ref().expect("ok"), s.seed.wrapping_mul(3));
+            }
+        }
+    }
+
+    #[test]
+    fn backpressure_bounds_pending_campaigns_without_deadlock() {
+        let exec = Executor::with_queue(1, 1);
+        let plans: Vec<_> = (0..6u64).map(|i| shard_plan(16, 8, i)).collect();
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                // With max_pending=1 the later submits block until the
+                // single worker drains earlier campaigns.
+                exec.submit::<u64, std::convert::Infallible, _>(
+                    plan.clone(),
+                    2,
+                    RetryPolicy::default(),
+                    |s, _| Ok(s.seed),
+                )
+            })
+            .collect();
+        for (plan, handle) in plans.iter().zip(handles) {
+            let out = handle.wait().expect("campaign completes");
+            assert_eq!(out.completed(), plan.len());
+        }
+    }
+
+    #[test]
+    fn ordered_streaming_reassembles_shard_order() {
+        let exec = Executor::new(4);
+        let plan = shard_plan(64, DEFAULT_SHARDS, 5);
+        let handle = exec.submit::<u64, std::convert::Infallible, _>(
+            plan,
+            4,
+            RetryPolicy::default(),
+            |s, _| Ok(s.seed),
+        );
+        let mut stream = handle.ordered();
+        let mut seen = Vec::new();
+        for (i, r) in stream.by_ref() {
+            seen.push((i, r.expect("ok")));
+        }
+        assert_eq!(stream.missing(), None);
+        assert_eq!(seen.len(), DEFAULT_SHARDS);
+        for (pos, (i, seed)) in seen.iter().enumerate() {
+            assert_eq!(*i, pos, "stream must be in shard order");
+            assert_eq!(*seed, crate::mix64(5, pos as u64));
+        }
+    }
+
+    #[test]
+    fn empty_plans_complete_immediately() {
+        let exec = Executor::new(2);
+        let out = exec
+            .run_tolerant::<u64, std::convert::Infallible, _>(
+                &[],
+                4,
+                RetryPolicy::default(),
+                |s, _| Ok(s.seed),
+            )
+            .expect("empty campaign");
+        assert!(out.results.is_empty());
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn backend_parsing_and_thread_scoped_override() {
+        assert_eq!(RunnerBackend::parse(" Executor "), Some(RunnerBackend::Executor));
+        assert_eq!(RunnerBackend::parse("scoped"), Some(RunnerBackend::ScopedPool));
+        assert_eq!(RunnerBackend::parse("scoped-pool"), Some(RunnerBackend::ScopedPool));
+        assert_eq!(RunnerBackend::parse("bogus"), None);
+        let inner = with_backend(RunnerBackend::ScopedPool, || {
+            assert_eq!(RunnerBackend::current(), RunnerBackend::ScopedPool);
+            with_backend(RunnerBackend::Executor, RunnerBackend::current)
+        });
+        assert_eq!(inner, RunnerBackend::Executor);
+        // The thread-local override is scoped to this thread only.
+        let other = std::thread::spawn(|| {
+            with_backend(RunnerBackend::ScopedPool, || {
+                std::thread::spawn(RunnerBackend::current).join().expect("inner thread")
+            })
+        })
+        .join()
+        .expect("outer thread");
+        assert_ne!(other, RunnerBackend::ScopedPool, "override must not leak across threads");
+    }
+
+    #[test]
+    fn run_backend_tolerant_dispatches_both_backends() {
+        let plan = shard_plan(40, DEFAULT_SHARDS, 13);
+        let work = |s: &Shard, _: u32| -> Result<u64, std::convert::Infallible> { Ok(s.seed) };
+        let scoped = with_backend(RunnerBackend::ScopedPool, || {
+            run_backend_tolerant(&plan, 2, RetryPolicy::default(), work).expect("scoped")
+        });
+        let exec = with_backend(RunnerBackend::Executor, || {
+            run_backend_tolerant(&plan, 2, RetryPolicy::default(), work).expect("executor")
+        });
+        assert_eq!(scoped.results, exec.results);
+    }
+
+    #[test]
+    fn dropping_the_executor_joins_its_workers() {
+        let exec = Executor::new(3);
+        let plan = shard_plan(24, 8, 1);
+        let out = exec
+            .run_tolerant::<u64, std::convert::Infallible, _>(
+                &plan,
+                4,
+                RetryPolicy::default(),
+                |s, _| Ok(s.seed),
+            )
+            .expect("campaign");
+        assert_eq!(out.completed(), 8);
+        drop(exec); // must not hang
+    }
+}

@@ -39,16 +39,41 @@
 //! for retries, permanent failures, and cancellations — the raw
 //! material of the `trace.json` fault-drill timelines. Disabled (the
 //! default), each hook is one atomic load.
+//!
+//! Two execution backends share those semantics: the per-run scoped
+//! pool in this module (the retained baseline) and the persistent
+//! work-stealing [`Executor`] in [`executor`], which amortises thread
+//! spawns across campaigns, pipelines concurrent submissions, and
+//! streams per-shard results instead of waiting for an end-of-run
+//! barrier. [`RunnerBackend::current`] selects between them
+//! (`PACMAN_RUNNER`, CLI `--runner`, or a [`with_backend`] scope);
+//! [`run_backend_tolerant`] is the dispatching entry point.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod executor;
+
+pub use executor::{
+    force_backend, run_backend_tolerant, with_backend, CampaignHandle, Executor, OrderedEvents,
+    RunnerBackend, ShardEvent, RUNNER_ENV,
+};
 
 use pacman_telemetry::json::Value;
 use pacman_telemetry::trace;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, riding through poisoning. Used for engine-internal
+/// state whose critical sections only perform plain field updates, so a
+/// panic mid-section cannot leave it inconsistent. Result *slots* are
+/// deliberately not locked this way — a poisoned slot stays a typed
+/// [`RunnerError::SlotPoisoned`].
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Fixed shard count used by every parallelised experiment.
 ///
@@ -139,13 +164,34 @@ fn available_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Memoized [`default_jobs`] resolution. A `Mutex<Option<..>>` rather
+/// than a `OnceLock` so [`reset_default_jobs_cache`] can forget it.
+static JOBS_CACHE: Mutex<Option<usize>> = Mutex::new(None);
+
 /// The worker count: `PACMAN_JOBS` when set to a positive integer,
 /// otherwise the machine's available parallelism (1 on failure).
 ///
 /// An invalid or `0` value warns on stderr and falls back to available
 /// parallelism, exactly like the unset case — a typo in the environment
 /// must not silently serialise a campaign onto one worker.
+///
+/// The resolution (including the one-shot warning) is memoized for the
+/// life of the process: hot driver paths call this per campaign, and
+/// the environment is not expected to change underneath a running
+/// process. Tests that do change `PACMAN_JOBS` must call
+/// [`reset_default_jobs_cache`] afterwards.
 pub fn default_jobs() -> usize {
+    let mut cache = lock(&JOBS_CACHE);
+    if let Some(jobs) = *cache {
+        return jobs;
+    }
+    let jobs = resolve_default_jobs();
+    *cache = Some(jobs);
+    jobs
+}
+
+/// The uncached resolution behind [`default_jobs`].
+fn resolve_default_jobs() -> usize {
     match std::env::var(JOBS_ENV) {
         Ok(v) => parse_jobs(&v).unwrap_or_else(|| {
             let fallback = available_jobs();
@@ -157,6 +203,14 @@ pub fn default_jobs() -> usize {
         }),
         Err(_) => available_jobs(),
     }
+}
+
+/// Test-only hook: forgets the memoized [`default_jobs`] resolution so
+/// a test that changes `PACMAN_JOBS` observes the new value (and the
+/// bad-value warning can fire again). Not part of the stable API.
+#[doc(hidden)]
+pub fn reset_default_jobs_cache() {
+    *lock(&JOBS_CACHE) = None;
 }
 
 /// Bounded per-shard retry policy for [`run_shards_tolerant`].
@@ -305,6 +359,92 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The per-shard retry loop shared by the scoped pool and the
+/// persistent [`Executor`]: runs `work` under `catch_unwind` up to
+/// `max_attempts` times, emitting `shard.exec` / `shard.retry` /
+/// `shard.fail` trace events and counting attempts beyond the first
+/// into `retries`. `tid` is the executing worker's id, used only for
+/// span attribution. Callers emit their own `shard.queue_wait` span
+/// (the wait is measured from a backend-specific start point).
+pub(crate) fn run_attempts<T, E, F>(
+    shard: &Shard,
+    tid: u64,
+    max_attempts: u32,
+    retries: &AtomicU64,
+    work: &F,
+) -> Result<T, ShardError>
+where
+    E: fmt::Display,
+    F: Fn(&Shard, u32) -> Result<T, E> + ?Sized,
+{
+    let rec = trace::recorder();
+    let sid = Some(shard.index as u64);
+    let mut attempt = 0u32;
+    loop {
+        let exec_start = rec.now_us();
+        let run = catch_unwind(AssertUnwindSafe(|| work(shard, attempt)));
+        rec.complete(
+            "shard.exec",
+            "runner",
+            tid,
+            sid,
+            exec_start,
+            vec![
+                ("attempt".into(), Value::UInt(u64::from(attempt))),
+                ("ok".into(), Value::Bool(matches!(run, Ok(Ok(_))))),
+            ],
+        );
+        let (panicked, message) = match run {
+            Ok(Ok(value)) => return Ok(value),
+            Ok(Err(e)) => (false, e.to_string()),
+            Err(payload) => (true, panic_message(payload.as_ref())),
+        };
+        attempt += 1;
+        if attempt >= max_attempts {
+            rec.instant(
+                "shard.fail",
+                "runner",
+                tid,
+                sid,
+                vec![
+                    ("attempts".into(), Value::UInt(u64::from(attempt))),
+                    ("panicked".into(), Value::Bool(panicked)),
+                    ("error".into(), Value::str(message.clone())),
+                ],
+            );
+            return Err(ShardError {
+                shard: shard.index,
+                attempts: attempt,
+                panicked,
+                cancelled: false,
+                message,
+            });
+        }
+        retries.fetch_add(1, Ordering::Relaxed);
+        rec.instant(
+            "shard.retry",
+            "runner",
+            tid,
+            sid,
+            vec![
+                ("attempt".into(), Value::UInt(u64::from(attempt))),
+                ("panicked".into(), Value::Bool(panicked)),
+                ("error".into(), Value::str(message.clone())),
+            ],
+        );
+    }
+}
+
+/// Shared pull cursor of the scoped pool. One lock gates both the next
+/// shard index and the failure flag, so "no shard starts after a
+/// permanent failure is recorded" is structural: the failing worker
+/// cancels every never-pulled shard under the same lock a sibling would
+/// need to pull one.
+struct PullState {
+    next: usize,
+    failed: bool,
+}
+
 /// Maps the fallible `work` closure over every shard on up to `jobs`
 /// scoped threads with panic isolation and bounded retries, returning
 /// per-shard results in **shard order**.
@@ -317,11 +457,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// fault-decision stream; the experiment seed itself must stay
 /// attempt-invariant, see [`RetryPolicy::reseed`]).
 ///
-/// On the first *permanent* (budget-exhausted) shard failure a shared
-/// flag stops idle workers from pulling further shards; shards never
-/// started are recorded as cancelled [`ShardError`]s. Shards already
-/// in flight still complete, so every result that does come back is
-/// valid.
+/// On the first *permanent* (budget-exhausted) shard failure the
+/// failing worker — under the same lock that gates shard pulls —
+/// records the failure and cancels every shard nobody has started,
+/// so no new shard can begin once a permanent failure exists. Shards
+/// already in flight still complete, so every result that does come
+/// back is valid.
 ///
 /// `jobs <= 1` runs inline on the calling thread (no spawn overhead)
 /// and drains the queue in shard order, which makes the cancellation
@@ -344,73 +485,24 @@ where
     E: fmt::Display,
     F: Fn(&Shard, u32) -> Result<T, E> + Sync,
 {
-    let failed = AtomicBool::new(false);
     let retries = AtomicU64::new(0);
     let max_attempts = policy.max_attempts.max(1);
     let rec = trace::recorder();
     let run_start = rec.now_us();
 
-    // The per-shard retry loop, shared by the inline and pooled paths.
-    // `tid` is the worker slot (0 on the inline path), used only for
-    // span attribution.
+    // Queue-wait span (run entry -> this worker picking the shard up)
+    // plus the shared retry loop. `tid` is the worker slot (0 on the
+    // inline path), used only for span attribution.
     let attempt_shard = |shard: &Shard, tid: u64| -> Result<T, ShardError> {
-        let sid = Some(shard.index as u64);
-        // Queue wait: run entry -> this worker picking the shard up.
-        rec.complete("shard.queue_wait", "runner", tid, sid, run_start, Vec::new());
-        let mut attempt = 0u32;
-        loop {
-            let exec_start = rec.now_us();
-            let run = catch_unwind(AssertUnwindSafe(|| work(shard, attempt)));
-            rec.complete(
-                "shard.exec",
-                "runner",
-                tid,
-                sid,
-                exec_start,
-                vec![
-                    ("attempt".into(), Value::UInt(u64::from(attempt))),
-                    ("ok".into(), Value::Bool(matches!(run, Ok(Ok(_))))),
-                ],
-            );
-            let (panicked, message) = match run {
-                Ok(Ok(value)) => return Ok(value),
-                Ok(Err(e)) => (false, e.to_string()),
-                Err(payload) => (true, panic_message(payload.as_ref())),
-            };
-            attempt += 1;
-            if attempt >= max_attempts {
-                rec.instant(
-                    "shard.fail",
-                    "runner",
-                    tid,
-                    sid,
-                    vec![
-                        ("attempts".into(), Value::UInt(u64::from(attempt))),
-                        ("panicked".into(), Value::Bool(panicked)),
-                        ("error".into(), Value::str(message.clone())),
-                    ],
-                );
-                return Err(ShardError {
-                    shard: shard.index,
-                    attempts: attempt,
-                    panicked,
-                    cancelled: false,
-                    message,
-                });
-            }
-            retries.fetch_add(1, Ordering::Relaxed);
-            rec.instant(
-                "shard.retry",
-                "runner",
-                tid,
-                sid,
-                vec![
-                    ("attempt".into(), Value::UInt(u64::from(attempt))),
-                    ("panicked".into(), Value::Bool(panicked)),
-                    ("error".into(), Value::str(message.clone())),
-                ],
-            );
-        }
+        rec.complete(
+            "shard.queue_wait",
+            "runner",
+            tid,
+            Some(shard.index as u64),
+            run_start,
+            Vec::new(),
+        );
+        run_attempts(shard, tid, max_attempts, &retries, &work)
     };
 
     let finish = |results: Vec<Result<T, ShardError>>, retries: u64| {
@@ -430,17 +522,16 @@ where
     };
 
     if jobs <= 1 || shards.len() <= 1 {
+        let mut failed = false;
         let mut results = Vec::with_capacity(shards.len());
         for shard in shards {
-            if failed.load(Ordering::Relaxed) {
+            if failed {
                 rec.instant("shard.cancelled", "runner", 0, Some(shard.index as u64), Vec::new());
                 results.push(Err(ShardError::cancelled(shard.index)));
                 continue;
             }
             let r = attempt_shard(shard, 0);
-            if r.is_err() {
-                failed.store(true, Ordering::Relaxed);
-            }
+            failed |= r.is_err();
             results.push(r);
         }
         return finish(results, retries.into_inner());
@@ -448,42 +539,58 @@ where
 
     let slots: Vec<Mutex<Option<Result<T, ShardError>>>> =
         shards.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let pull = Mutex::new(PullState { next: 0, failed: false });
     let workers = jobs.min(shards.len());
     std::thread::scope(|scope| {
         for worker in 0..workers {
             let tid = worker as u64;
-            let (failed, next, slots, attempt_shard) = (&failed, &next, &slots, &attempt_shard);
+            let (pull, slots, attempt_shard) = (&pull, &slots, &attempt_shard);
             scope.spawn(move || loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(shard) = shards.get(i) else { break };
-                let r = attempt_shard(shard, tid);
-                if r.is_err() {
-                    failed.store(true, Ordering::Relaxed);
-                }
+                let i = {
+                    let mut g = lock(pull);
+                    if g.failed || g.next >= shards.len() {
+                        break;
+                    }
+                    g.next += 1;
+                    g.next - 1
+                };
+                let r = attempt_shard(&shards[i], tid);
+                let failed_now = r.is_err();
                 if let Ok(mut slot) = slots[i].lock() {
                     *slot = Some(r);
+                }
+                if failed_now {
+                    let mut g = lock(pull);
+                    if !g.failed {
+                        g.failed = true;
+                        // Cancel every never-pulled shard under the same
+                        // lock a sibling would need to pull one: no shard
+                        // can start after the failure is recorded.
+                        for j in g.next..shards.len() {
+                            let sid = shards[j].index;
+                            rec.instant(
+                                "shard.cancelled",
+                                "runner",
+                                tid,
+                                Some(sid as u64),
+                                Vec::new(),
+                            );
+                            if let Ok(mut slot) = slots[j].lock() {
+                                *slot = Some(Err(ShardError::cancelled(sid)));
+                            }
+                        }
+                        g.next = shards.len();
+                    }
                 }
             });
         }
     });
-    let drained = failed.load(Ordering::Relaxed);
     let mut results = Vec::with_capacity(shards.len());
     for (i, slot) in slots.into_iter().enumerate() {
         let inner = slot.into_inner().map_err(|_| RunnerError::SlotPoisoned { shard: i })?;
-        match inner {
-            Some(r) => results.push(r),
-            // Workers only leave a slot unfilled when draining the queue
-            // after a permanent failure elsewhere.
-            None if drained => {
-                rec.instant("shard.cancelled", "runner", 0, Some(i as u64), Vec::new());
-                results.push(Err(ShardError::cancelled(i)));
-            }
-            None => return Err(RunnerError::MissingResult { shard: i }),
-        }
+        // Every slot is filled by its worker or by the failure drain;
+        // an empty one means the engine lost a shard.
+        results.push(inner.ok_or(RunnerError::MissingResult { shard: i })?);
     }
     finish(results, retries.into_inner())
 }
@@ -723,19 +830,68 @@ mod tests {
     #[test]
     fn tolerant_cancellation_stops_parallel_workers() {
         use std::sync::atomic::AtomicU32;
+        use std::sync::{Arc, Condvar};
+
+        // Channel-free condvar handshake replacing the old 20ms sleep:
+        // a sibling shard announces it started, a helper thread then
+        // releases the gate (or, if no sibling ever starts, the main
+        // thread releases the helper after the run). No timing
+        // assumptions anywhere, so the test cannot flake under load;
+        // the engine's drain-under-lock makes "no pull after a
+        // permanent failure" structural rather than a won race.
+        #[derive(Default)]
+        struct Gate {
+            started: bool,
+            go: bool,
+            over: bool,
+        }
+        fn wait_while(
+            pair: &(Mutex<Gate>, Condvar),
+            mut blocked: impl FnMut(&Gate) -> bool,
+        ) -> std::sync::MutexGuard<'_, Gate> {
+            let (state, cv) = pair;
+            let mut g = lock(state);
+            while blocked(&g) {
+                g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            g
+        }
+
+        let gate = Arc::new((Mutex::new(Gate::default()), Condvar::new()));
         let plan = shard_plan(64, 64, 0);
         let executed = AtomicU32::new(0);
+
+        let helper = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let mut g = wait_while(&gate, |g| !g.started && !g.over);
+                g.go = true;
+                gate.1.notify_all();
+            })
+        };
+
         let out = run_shards_tolerant::<u64, _, _>(&plan, 2, RetryPolicy::no_retries(), |s, _| {
             executed.fetch_add(1, Ordering::Relaxed);
             if s.index == 0 {
                 return Err("permanent failure on the first shard");
             }
-            // Give the failing worker time to raise the flag before
-            // this worker loops for its next shard.
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            {
+                let mut g = lock(&gate.0);
+                g.started = true;
+                gate.1.notify_all();
+            }
+            drop(wait_while(&gate, |g| !g.go));
             Ok(s.seed)
         })
         .expect("engine ok");
+
+        {
+            let mut g = lock(&gate.0);
+            g.over = true;
+            gate.1.notify_all();
+        }
+        helper.join().expect("helper joins");
+
         assert_eq!(out.results.len(), 64, "every shard is accounted for");
         assert!(out.failures().any(|f| f.shard == 0 && !f.cancelled));
         assert!(out.failures().any(|f| f.cancelled), "queue must drain");
@@ -743,6 +899,15 @@ mod tests {
             executed.load(Ordering::Relaxed) < 64,
             "workers must stop pulling shards after a permanent failure"
         );
+    }
+
+    #[test]
+    fn default_jobs_is_memoized_until_reset() {
+        let first = default_jobs();
+        assert!(first >= 1);
+        assert_eq!(default_jobs(), first, "memoized value is stable");
+        reset_default_jobs_cache();
+        assert_eq!(default_jobs(), first, "same environment resolves the same");
     }
 
     #[test]

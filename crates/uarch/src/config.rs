@@ -205,7 +205,10 @@ impl Default for LatencyModel {
 }
 
 /// Top-level machine configuration.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` (not `Eq`: `os_noise` is an `f64`) lets the core system
+/// pool key recycled machines by configuration.
+#[derive(Clone, PartialEq, Debug)]
 pub struct MachineConfig {
     /// Which core cluster to model.
     pub core: CoreKind,

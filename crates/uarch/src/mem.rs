@@ -51,6 +51,14 @@ pub struct PhysMemory {
     code_write_gen: u64,
     /// Recycled frame storage for `alloc_frame`.
     pool: Vec<Box<[u8]>>,
+    /// Frames this memory had to request from the host allocator (pool
+    /// misses) — the counter behind the executor pool's allocator-free
+    /// steady-state claim. Per generation: starts at zero after
+    /// `new_with_pool`, so a fully recycled reboot keeps it at zero.
+    /// `u32` on purpose: it packs into the padding after `any_code`, so
+    /// the struct stays the same size as before the counter existed and
+    /// no hot field downstream in `Machine` shifts cache lines.
+    fresh_allocs: u32,
 }
 
 impl PhysMemory {
@@ -85,10 +93,19 @@ impl PhysMemory {
                 f.fill(0);
                 f
             }
-            None => vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+            None => {
+                self.fresh_allocs += 1;
+                vec![0u8; PAGE_SIZE as usize].into_boxed_slice()
+            }
         };
         self.frames.push(frame);
         self.frames.len() as Pfn
+    }
+
+    /// Frames allocated fresh from the host (pool misses) over this
+    /// memory generation's lifetime.
+    pub fn fresh_alloc_count(&self) -> u64 {
+        u64::from(self.fresh_allocs)
     }
 
     /// Number of allocated frames.
