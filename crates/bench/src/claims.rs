@@ -160,7 +160,7 @@ impl Claim {
 }
 
 /// Every artefact id a full bench run produces (one per bench target).
-pub const ARTIFACT_IDS: [&str; 22] = [
+pub const ARTIFACT_IDS: [&str; 23] = [
     "fig5a",
     "fig5b",
     "fig5c",
@@ -182,6 +182,7 @@ pub const ARTIFACT_IDS: [&str; 22] = [
     "perf_trace",
     "perf_exec_engine",
     "perf_campaign",
+    "service_load",
     "conform",
 ];
 
@@ -512,6 +513,30 @@ pub fn all() -> Vec<Claim> {
             "steady-state reboots allocate no frames",
             U64(0),
         ),
+        // ---- service_load (pacmand multi-tenant daemon) ----------------
+        // Not a paper table: the daemon's production-readiness gate.
+        // Bands match the bench's own checks so a printed PASS always
+        // verifies.
+        c("service_load", "sessions", "concurrent tenant sessions", AtLeast(200.0)),
+        c("service_load", "jobs", "jobs completed under load", AtLeast(1.0)),
+        c("service_load", "jobs_per_sec", "sustained service throughput", AtLeast(0.1)),
+        c("service_load", "p50_latency_us", "median submit-to-done latency", Present),
+        c("service_load", "p99_latency_us", "tail submit-to-done latency", Present),
+        c("service_load", "injected_failures", "the fault drill landed exactly once", U64(1)),
+        c(
+            "service_load",
+            "unexpected_failed_jobs",
+            "no collateral failures in any session",
+            U64(0),
+        ),
+        c("service_load", "panic_isolated", "a tenant panic never leaves its session", Bool(true)),
+        c(
+            "service_load",
+            "daemon_survived",
+            "the daemon keeps serving after the drill",
+            Bool(true),
+        ),
+        c("service_load", "drained_clean", "graceful drain after the load", Bool(true)),
         // ---- conform: differential conformance harness -----------------
         // Not a paper table: the harness underwrites the simulator the
         // paper claims ride on (§5-6 committed-vs-speculative boundary).

@@ -48,7 +48,8 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Options that never take a value.
-const FLAG_NAMES: &[&str] = &["quiet-noise", "full", "track-stack", "json", "help"];
+const FLAG_NAMES: &[&str] =
+    &["quiet-noise", "full", "track-stack", "json", "help", "stdio", "shutdown"];
 
 impl Args {
     /// Parses a token stream (without the program name).

@@ -7,8 +7,8 @@ use pacman_core::conformance::{run_conformance, ConformConfig};
 use pacman_core::fault::{FaultPlan, Tolerance};
 use pacman_core::jump2win::Jump2Win;
 use pacman_core::parallel::{
-    oracle_distribution, parallel_brute, parallel_jump2win, parallel_sweep, Channel,
-    ExperimentError, SweepKind,
+    oracle_distribution, oracle_distribution_observed, parallel_brute, parallel_jump2win,
+    parallel_sweep, Channel, ExperimentError, SweepKind,
 };
 use pacman_core::report::Table;
 use pacman_core::sweep::{derive_hierarchy, experiment_machine};
@@ -24,6 +24,8 @@ use pacman_telemetry::json::{to_jsonl_line, Value};
 use pacman_telemetry::{trace, Snapshot};
 
 use crate::args::Args;
+use crate::jobctx;
+use crate::service;
 
 /// The usage text (also shown for `--help`).
 pub const USAGE: &str = "\
@@ -46,6 +48,12 @@ commands:
   os           PacmanOS (section 6.2) bare-metal experiments
   timeline     print the Figure 3 speculation-event timelines
   verify       diff BENCH_<id>.json artifacts against the paper claims
+  daemon       run pacmand, the multi-tenant experiment daemon: serve
+               sessions over a Unix socket (or --stdio), schedule
+               submitted command lines fair-share across tenants, and
+               stream results back incrementally (DESIGN.md section 12)
+  client       drive a running pacmand: submit one job and stream its
+               session records, ping/status, or request shutdown
 
 options:
   --seed N        kernel key seed          --quiet-noise   disable OS noise
@@ -67,6 +75,18 @@ options:
                   write them as Chrome trace-event JSON to F (open in
                   Perfetto or chrome://tracing)
   --top N         profile: rows per hot-opcode/hot-block table (def. 10)
+
+daemon/client options:
+  --socket P          socket path (default pacmand.sock)
+  --stdio             daemon: serve one session stream on stdin/stdout
+  --workers N         daemon: job worker threads (default: --jobs rules)
+  --session-queue N   daemon: queued jobs per session before
+                      backpressure (default 16)
+  --session-parallel N  daemon: in-flight jobs per session (default 1)
+  --job-attempts N    daemon: attempts per job before job_failed (def. 1)
+  --session S         client: session name (default cli)
+  --submit CMD        client: submit one quoted command line as a job
+  --shutdown          client: ask the daemon to drain and exit
 
 Trial-driving commands (oracle, brute, jump2win, sweep, census,
 conform) shard their work across --jobs worker threads; for a fixed
@@ -169,6 +189,11 @@ fn command_spec(command: &str) -> Option<(&'static [&'static str], &'static [&'s
         "os" => (&["metrics-out"], &["json"]),
         "timeline" => (&["seed", "metrics-out"], &["json", "quiet-noise"]),
         "verify" => (&["dir", "only", "metrics-out"], &["json"]),
+        "daemon" => (
+            &["socket", "workers", "session-queue", "session-parallel", "job-attempts"],
+            &["stdio"],
+        ),
+        "client" => (&["socket", "session", "submit"], &["shutdown"]),
         _ => return None,
     })
 }
@@ -207,7 +232,13 @@ type CliResult = Result<(), Box<dyn Error>>;
 ///
 /// Any subcommand failure (bad options, oracle errors, failed attacks).
 pub fn dispatch(args: &Args) -> CliResult {
-    let command = args.command.as_deref().expect("main prints usage for empty command");
+    // A typed error, not a panic: `main` prints usage before dispatch,
+    // but the daemon feeds client-submitted command lines straight in,
+    // and an empty one must come back as a job failure — never abort
+    // the process.
+    let Some(command) = args.command.as_deref() else {
+        return Err("no command given (try --help)".into());
+    };
     validate_options(command, args)?;
     apply_runner(args)?;
     match command {
@@ -222,6 +253,8 @@ pub fn dispatch(args: &Args) -> CliResult {
         "os" => cmd_os(args),
         "timeline" => cmd_timeline(args),
         "verify" => cmd_verify(args),
+        "daemon" => service::cmd_daemon(args),
+        "client" => service::cmd_client(args),
         other => unreachable!("validate_options rejected '{other}'"),
     }
 }
@@ -364,15 +397,18 @@ impl Emitter {
         Ok(Self { json_stdout: args.flag("json"), out, write_error: None })
     }
 
-    /// Whether any JSONL output was requested.
+    /// Whether any JSONL output was requested. A daemon job context
+    /// counts: the session stream consumes the records even when the
+    /// submitted command line asked for no local sink.
     fn active(&self) -> bool {
-        self.json_stdout || self.out.is_some()
+        self.json_stdout || self.out.is_some() || jobctx::active()
     }
 
-    /// Whether the human-readable report should be suppressed (stdout is
-    /// reserved for JSONL).
+    /// Whether the human-readable report should be suppressed (stdout
+    /// is reserved for JSONL, or belongs to the daemon process, whose
+    /// tenants only see their session stream).
     fn quiet(&self) -> bool {
-        self.json_stdout
+        self.json_stdout || jobctx::active()
     }
 
     fn record(&mut self, value: &Value) {
@@ -380,6 +416,7 @@ impl Emitter {
             return;
         }
         let line = to_jsonl_line(value);
+        jobctx::tee(&line);
         if self.json_stdout {
             print!("{line}");
         }
@@ -470,7 +507,7 @@ fn cmd_oracle(args: &Args) -> CliResult {
     let mut emit = Emitter::from_args(args)?;
     let tr = trace_arm(args);
     let cfg = config(args)?;
-    let out = match oracle_distribution(
+    let out = match oracle_distribution_observed(
         &cfg,
         channel_of(args),
         1,
@@ -479,6 +516,9 @@ fn cmd_oracle(args: &Args) -> CliResult {
         emit.active(),
         &tol,
         |i, tp| tp ^ (1 + i as u16),
+        // Live per-shard progress onto the session stream when running
+        // as a daemon job; a no-op in one-shot runs.
+        |p| jobctx::progress(p.shard, p.shards, p.completed, p.retries),
     ) {
         Ok(out) => out,
         Err(e) => {
@@ -1260,16 +1300,10 @@ fn cmd_verify(args: &Args) -> CliResult {
         );
         println!("verdict: {}", if ok { "all claims in tolerance" } else { "OUT OF TOLERANCE" });
     }
-    let timestamp = match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
-        Ok(d) => d.as_secs(),
-        Err(e) => {
-            // A clock before the Unix epoch is a host misconfiguration
-            // worth hearing about, but not worth failing a verification
-            // whose claims all passed: record the sentinel 0 instead.
-            eprintln!("warning: system clock predates the Unix epoch ({e}); recording timestamp 0");
-            0
-        }
-    };
+    // Pre-epoch clocks warn and record the 0 sentinel — the shared
+    // policy in `pacman_daemon::clock`, which session timestamps use
+    // too.
+    let timestamp = pacman_daemon::clock::unix_seconds_now();
     let summary = Value::Object(vec![
         ("record".into(), Value::str("verify_summary")),
         ("commit".into(), Value::str(current_commit())),
@@ -1328,6 +1362,14 @@ mod tests {
     #[test]
     fn unknown_commands_error() {
         assert!(dispatch(&parse("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn an_empty_command_is_a_usage_error_not_a_panic() {
+        // The daemon reuses dispatch for client-submitted command
+        // lines; an empty line must surface as a typed error.
+        let err = dispatch(&parse("")).expect_err("empty command errors");
+        assert!(err.to_string().contains("no command"), "{err}");
     }
 
     #[test]

@@ -40,6 +40,8 @@
 
 mod args;
 mod commands;
+mod jobctx;
+mod service;
 
 use args::Args;
 

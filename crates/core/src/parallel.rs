@@ -275,6 +275,26 @@ pub(crate) fn record_runner_counters(reg: &mut Registry, retries: u64, tol: &Tol
     reg.incr_by("runner.faults_injected", tol.faults.injected());
 }
 
+/// Per-shard completion notice streamed to campaign observers.
+///
+/// Observed drivers (e.g. [`oracle_distribution_observed`]) call their
+/// observer once per shard, in shard order, the moment that shard's
+/// output merges into the accumulator — on the executor backend that is
+/// *while later shards still run*, riding the ordered event stream, so
+/// a per-session consumer (the `pacmand` daemon) can forward progress
+/// records incrementally instead of waiting for the end-of-run barrier.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct ShardProgress {
+    /// The shard that just merged.
+    pub shard: usize,
+    /// Shards in the campaign plan.
+    pub shards: usize,
+    /// Shards merged so far (this one included).
+    pub completed: usize,
+    /// Attempts beyond the first so far, campaign-wide.
+    pub retries: u64,
+}
+
 /// Runs one campaign on the session's [`RunnerBackend`] and folds the
 /// per-shard outputs **in shard order** into an accumulator.
 ///
@@ -294,13 +314,38 @@ pub(crate) fn fold_campaign<T, A, F, M>(
     retry: crate::fault::RetryPolicy,
     work: F,
     init: A,
-    mut merge: M,
+    merge: M,
 ) -> Result<(A, u64), ExperimentError>
 where
     T: Send + 'static,
     F: Fn(&Shard, u32) -> Result<T, ExperimentError> + Send + Sync + 'static,
     M: FnMut(&mut A, usize, T),
 {
+    fold_campaign_observed(plan, jobs, retry, work, init, merge, &mut |_| {})
+}
+
+/// [`fold_campaign`] with a per-shard merge observer: `observe` fires
+/// once per merged shard, in shard order. On the executor backend it
+/// fires live from the ordered event stream; on the scoped pool the
+/// whole batch has already completed when the merges run, so the
+/// notifications arrive back to back after the barrier — same sequence,
+/// different timing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fold_campaign_observed<T, A, F, M>(
+    plan: &[Shard],
+    jobs: usize,
+    retry: crate::fault::RetryPolicy,
+    work: F,
+    init: A,
+    mut merge: M,
+    observe: &mut dyn FnMut(ShardProgress),
+) -> Result<(A, u64), ExperimentError>
+where
+    T: Send + 'static,
+    F: Fn(&Shard, u32) -> Result<T, ExperimentError> + Send + Sync + 'static,
+    M: FnMut(&mut A, usize, T),
+{
+    let shards = plan.len();
     match RunnerBackend::current() {
         RunnerBackend::ScopedPool => {
             let outcome = run_shards_tolerant(plan, jobs, retry, work)?;
@@ -308,6 +353,7 @@ where
             let mut acc = init;
             for (i, v) in values.into_iter().enumerate() {
                 merge(&mut acc, i, v);
+                observe(ShardProgress { shard: i, shards, completed: i + 1, retries });
             }
             Ok((acc, retries))
         }
@@ -318,11 +364,16 @@ where
             let mut merged = 0usize;
             let mut failures: Vec<ShardError> = Vec::new();
             let mut stream = handle.ordered();
-            for (i, r) in stream.by_ref() {
+            // Not a `for` loop: the observer needs `stream.retries()`
+            // between items, which a held `by_ref` borrow would forbid.
+            #[allow(clippy::while_let_on_iterator)]
+            while let Some((i, r)) = stream.next() {
                 match r {
                     Ok(v) => {
                         merge(&mut acc, i, v);
                         merged += 1;
+                        let retries = stream.retries();
+                        observe(ShardProgress { shard: i, shards, completed: merged, retries });
                     }
                     Err(e) => failures.push(e),
                 }
@@ -424,6 +475,45 @@ pub fn oracle_distribution<F>(
 where
     F: Fn(usize, u16) -> u16 + Send + Sync + 'static,
 {
+    oracle_distribution_observed(
+        base,
+        channel,
+        samples,
+        trials,
+        jobs,
+        record,
+        tol,
+        wrong_for,
+        |_| {},
+    )
+}
+
+/// [`oracle_distribution`] with a per-shard [`ShardProgress`] observer —
+/// the per-session streaming hook the `pacmand` daemon uses to forward
+/// incremental progress records while the campaign runs. On the
+/// executor backend the observer fires as each ordered shard merges,
+/// before later shards complete; results are bit-identical to the
+/// unobserved driver.
+///
+/// # Errors
+///
+/// Same contract as [`oracle_distribution`].
+#[allow(clippy::too_many_arguments)]
+pub fn oracle_distribution_observed<F, O>(
+    base: &SystemConfig,
+    channel: Channel,
+    samples: usize,
+    trials: usize,
+    jobs: usize,
+    record: bool,
+    tol: &Tolerance,
+    wrong_for: F,
+    mut observe: O,
+) -> Result<OracleDistribution, ExperimentError>
+where
+    F: Fn(usize, u16) -> u16 + Send + Sync + 'static,
+    O: FnMut(ShardProgress),
+{
     let tol = Arc::new(tol.clone());
     let plan = shard_plan(trials, DEFAULT_SHARDS, base.machine.seed);
     let work = {
@@ -510,7 +600,7 @@ where
         target: 0,
         true_pac: 0,
     };
-    let ((mut merged, logs), retries) = fold_campaign(
+    let ((mut merged, logs), retries) = fold_campaign_observed(
         &plan,
         jobs,
         tol.retry,
@@ -532,6 +622,7 @@ where
             merged.telemetry.merge(&s.telemetry);
             logs.push(s.records);
         },
+        &mut observe,
     )?;
     merged.records = merge_logs(logs);
     record_runner_counters(&mut merged.telemetry, retries, &tol);
@@ -960,6 +1051,47 @@ mod tests {
         let good: u64 = out.correct_misses[CORRECT_MISS_THRESHOLD..].iter().sum();
         assert_eq!(good, 12);
         assert!(out.records.is_empty(), "not recording");
+    }
+
+    #[test]
+    fn observed_oracle_streams_progress_in_shard_order() {
+        let mut seen: Vec<ShardProgress> = Vec::new();
+        let out = oracle_distribution_observed(
+            &quiet_config(),
+            Channel::Data,
+            1,
+            12,
+            2,
+            false,
+            &no_faults(),
+            |i, tp| tp ^ (1 + i as u16),
+            |p| seen.push(p),
+        )
+        .expect("observed distribution");
+        // One notification per shard, in shard order, completed
+        // counting up — and the merged result is identical to the
+        // unobserved driver's.
+        assert_eq!(seen.len(), DEFAULT_SHARDS);
+        for (i, p) in seen.iter().enumerate() {
+            assert_eq!(p.shard, i);
+            assert_eq!(p.shards, DEFAULT_SHARDS);
+            assert_eq!(p.completed, i + 1);
+            assert_eq!(p.retries, 0);
+        }
+        let plain = oracle_distribution(
+            &quiet_config(),
+            Channel::Data,
+            1,
+            12,
+            2,
+            false,
+            &no_faults(),
+            |i, tp| tp ^ (1 + i as u16),
+        )
+        .expect("unobserved distribution");
+        assert_eq!(out.correct_detected, plain.correct_detected);
+        assert_eq!(out.incorrect_clean, plain.incorrect_clean);
+        assert_eq!(out.true_pac, plain.true_pac);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Wall-clock timestamps with pre-epoch handling in one place.
+//!
+//! Several records in the workspace carry a `timestamp` field in Unix
+//! seconds: `verify_summary` history lines, daemon session lifecycle
+//! records, drain reports. A host clock set before the Unix epoch is a
+//! misconfiguration worth hearing about, but never worth failing work
+//! that otherwise succeeded — every caller wants the same policy: warn
+//! once on stderr, record the sentinel `0`, carry on. This module is
+//! that policy's single home.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Converts a [`SystemTime`] to whole Unix seconds.
+///
+/// A time before the epoch warns on stderr and maps to `0` — a visible
+/// sentinel rather than an error, so timestamping never aborts the
+/// operation it decorates.
+pub fn unix_seconds(now: SystemTime) -> u64 {
+    match now.duration_since(UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(e) => {
+            eprintln!("warning: system clock predates the Unix epoch ({e}); recording timestamp 0");
+            0
+        }
+    }
+}
+
+/// [`unix_seconds`] of the current wall clock.
+pub fn unix_seconds_now() -> u64 {
+    unix_seconds(SystemTime::now())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn post_epoch_times_convert_to_whole_seconds() {
+        let t = UNIX_EPOCH + Duration::new(1_234_567, 890_000_000);
+        assert_eq!(unix_seconds(t), 1_234_567);
+        assert_eq!(unix_seconds(UNIX_EPOCH), 0);
+    }
+
+    #[test]
+    fn pre_epoch_times_map_to_the_zero_sentinel() {
+        let t = UNIX_EPOCH - Duration::from_secs(7);
+        assert_eq!(unix_seconds(t), 0);
+    }
+
+    #[test]
+    fn now_is_after_the_repo_was_started() {
+        // The repo postdates 2020; any sane host clock clears this.
+        assert!(unix_seconds_now() > 1_577_836_800);
+    }
+}

@@ -1,0 +1,811 @@
+//! `pacmand` scheduling core: multi-tenant sessions, fair-share job
+//! queues, and per-session fault isolation.
+//!
+//! The daemon owns a small pool of persistent worker threads. Each
+//! tenant opens a named *session*; jobs submitted to a session queue
+//! behind a bounded per-session queue ([`DaemonConfig::session_queue`])
+//! and run under a per-session in-flight cap
+//! ([`DaemonConfig::session_parallel`]). Workers pick jobs by rotating
+//! round-robin over sessions, so a tenant that floods its queue delays
+//! only itself — the fair-share guarantee a shared
+//! [`Executor::global`](pacman_runner::Executor::global) backend needs.
+//!
+//! Fault isolation is the daemon's core contract: a job that panics or
+//! returns an error is caught on the worker ([`std::panic::catch_unwind`]),
+//! charged against the *job's* retry budget
+//! ([`DaemonConfig::job_attempts`]), and reported as a `job_failed`
+//! record on the *owning session's* stream. The daemon, its workers,
+//! and every other session carry on. Retries re-run on the same
+//! persistent worker thread, whose thread-local machine pool resumes
+//! warm `System` snapshots via `reboot_into` instead of cold-booting.
+//!
+//! Shutdown is a graceful *drain*: stop admitting, run every queued job
+//! to completion, close every session (emitting its final telemetry
+//! snapshot), join the workers, and emit one `daemon_drained` record.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::Instant;
+
+use pacman_telemetry::json::Value;
+use pacman_telemetry::Registry;
+
+use crate::clock::unix_seconds_now;
+use crate::protocol;
+
+/// Sizing and fault-budget knobs for a [`Daemon`].
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Worker threads executing jobs (not the executor's own workers —
+    /// these run whole commands, which internally shard onto
+    /// `Executor::global`).
+    pub workers: usize,
+    /// Queued-job capacity per session; a submit beyond it blocks
+    /// after emitting one `backpressure` record.
+    pub session_queue: usize,
+    /// In-flight job cap per session — the fair-share throttle.
+    pub session_parallel: usize,
+    /// Attempts per job (first run included). Exhausting the budget
+    /// yields `job_failed` on the session stream, nothing more.
+    pub job_attempts: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: pacman_runner::default_jobs(),
+            session_queue: 16,
+            session_parallel: 1,
+            job_attempts: 1,
+        }
+    }
+}
+
+/// Executes one submitted command line. The CLI supplies the real
+/// implementation (its `dispatch` path); tests and the load bench
+/// supply synthetic ones.
+///
+/// Implementations run on daemon worker threads and must confine
+/// failures to their return value or a panic — both are caught and
+/// scoped to the submitting session.
+pub trait JobRunner: Send + Sync {
+    /// Runs `command`, streaming records through `sink`.
+    fn run(&self, command: &str, sink: &JobSink) -> Result<(), String>;
+}
+
+impl<F> JobRunner for F
+where
+    F: Fn(&str, &JobSink) -> Result<(), String> + Send + Sync,
+{
+    fn run(&self, command: &str, sink: &JobSink) -> Result<(), String> {
+        self(command, sink)
+    }
+}
+
+/// A job's handle to its session's record stream.
+///
+/// [`record`](JobSink::record) forwards one verbatim JSONL line inside
+/// a `job_output` envelope; [`progress`](JobSink::progress) streams a
+/// shard-merge notification as the executor's ordered event stream
+/// delivers it. Both are fire-and-forget: a departed client drops the
+/// receiving end and sends become no-ops, never errors.
+#[derive(Clone)]
+pub struct JobSink {
+    session: String,
+    job: u64,
+    tx: Sender<Value>,
+    records: Arc<AtomicU64>,
+}
+
+impl JobSink {
+    /// The owning session's name.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// The job's id within its session.
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    /// Streams one verbatim JSONL record line (no trailing newline).
+    pub fn record(&self, line: &str) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        let _ = self.tx.send(protocol::job_output(&self.session, self.job, line));
+    }
+
+    /// Streams a shard-merge progress notification.
+    pub fn progress(&self, shard: usize, shards: usize, completed: usize, retries: u64) {
+        let _ = self.tx.send(protocol::job_progress(
+            &self.session,
+            self.job,
+            shard,
+            shards,
+            completed,
+            retries,
+        ));
+    }
+}
+
+/// Why a session operation was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DaemonError {
+    /// The daemon is draining and admits no new sessions or jobs.
+    Draining,
+    /// A session with this name is already open.
+    DuplicateSession(String),
+    /// No such session (closed, or never opened).
+    UnknownSession(String),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Draining => write!(f, "daemon is draining"),
+            DaemonError::DuplicateSession(s) => write!(f, "session '{s}' is already open"),
+            DaemonError::UnknownSession(s) => write!(f, "unknown session '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+struct Job {
+    id: u64,
+    command: String,
+}
+
+struct SessionState {
+    queue: VecDeque<Job>,
+    in_flight: usize,
+    next_job: u64,
+    jobs_done: u64,
+    jobs_failed: u64,
+    closing: bool,
+    records: Arc<AtomicU64>,
+    telemetry: Registry,
+    tx: Sender<Value>,
+}
+
+struct SchedState {
+    sessions: HashMap<String, SessionState>,
+    /// Round-robin pick order; the session a worker just served moves
+    /// to the back. Stale names (closed sessions) are dropped lazily.
+    rotation: VecDeque<String>,
+    draining: bool,
+    sessions_served: u64,
+    jobs_done_total: u64,
+    jobs_failed_total: u64,
+    /// Telemetry folded in from closed sessions; live sessions merge
+    /// on top in [`Daemon::metrics`].
+    telemetry: Registry,
+}
+
+struct Inner {
+    state: Mutex<SchedState>,
+    /// A job was queued, or an in-flight slot freed.
+    work_ready: Condvar,
+    /// A session queue gained capacity.
+    space_ready: Condvar,
+    /// A job finished — close/drain waiters re-check here.
+    idle: Condvar,
+    config: DaemonConfig,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The daemon: worker pool plus session table. See the module docs for
+/// the scheduling and isolation contract.
+pub struct Daemon {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Daemon {
+    /// Boots the worker pool and returns the daemon.
+    pub fn start(config: DaemonConfig, runner: Arc<dyn JobRunner>) -> Daemon {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(SchedState {
+                sessions: HashMap::new(),
+                rotation: VecDeque::new(),
+                draining: false,
+                sessions_served: 0,
+                jobs_done_total: 0,
+                jobs_failed_total: 0,
+                telemetry: Registry::new(),
+            }),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            idle: Condvar::new(),
+            config: DaemonConfig { workers, ..config },
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let runner = Arc::clone(&runner);
+                thread::Builder::new()
+                    .name(format!("pacmand-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, runner.as_ref()))
+                    .expect("spawn pacmand worker")
+            })
+            .collect();
+        Daemon { inner, workers: Mutex::new(handles) }
+    }
+
+    /// Opens a named session. The handle is the tenant's side of the
+    /// record stream; its first record is `session_opened`.
+    pub fn open_session(&self, name: &str) -> Result<SessionHandle, DaemonError> {
+        let (tx, rx) = channel();
+        let mut g = self.inner.lock();
+        if g.draining {
+            return Err(DaemonError::Draining);
+        }
+        if g.sessions.contains_key(name) {
+            return Err(DaemonError::DuplicateSession(name.to_string()));
+        }
+        let _ = tx.send(protocol::session_opened(name, unix_seconds_now()));
+        g.sessions.insert(
+            name.to_string(),
+            SessionState {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                next_job: 0,
+                jobs_done: 0,
+                jobs_failed: 0,
+                closing: false,
+                records: Arc::new(AtomicU64::new(0)),
+                telemetry: Registry::new(),
+                tx,
+            },
+        );
+        g.rotation.push_back(name.to_string());
+        g.sessions_served += 1;
+        Ok(SessionHandle { name: name.to_string(), inner: Arc::clone(&self.inner), rx: Some(rx) })
+    }
+
+    /// Daemon-wide telemetry: closed sessions' registries plus a live
+    /// merge of every open session's.
+    pub fn metrics(&self) -> Registry {
+        let g = self.inner.lock();
+        let mut out = g.telemetry.clone();
+        for s in g.sessions.values() {
+            out.merge(&s.telemetry);
+        }
+        out
+    }
+
+    /// A `status` record: session/queue occupancy plus the shared
+    /// executor's queue depth.
+    pub fn status(&self) -> Value {
+        let g = self.inner.lock();
+        let queued: usize = g.sessions.values().map(|s| s.queue.len()).sum();
+        let in_flight: usize = g.sessions.values().map(|s| s.in_flight).sum();
+        let exec = pacman_runner::Executor::global();
+        Value::Object(vec![
+            ("type".into(), Value::str("status")),
+            ("sessions".into(), Value::UInt(g.sessions.len() as u64)),
+            ("queued_jobs".into(), Value::UInt(queued as u64)),
+            ("in_flight_jobs".into(), Value::UInt(in_flight as u64)),
+            ("draining".into(), Value::Bool(g.draining)),
+            ("workers".into(), Value::UInt(self.inner.config.workers as u64)),
+            ("executor_queue_depth".into(), Value::UInt(exec.queue_depth() as u64)),
+            ("executor_max_pending".into(), Value::UInt(exec.max_pending() as u64)),
+        ])
+    }
+
+    /// Gracefully drains: stops admitting, runs every queued job to
+    /// completion, closes every open session, joins the workers, and
+    /// returns the `daemon_drained` record. Idempotent — later calls
+    /// just re-report the totals.
+    pub fn drain(&self) -> Value {
+        {
+            let mut g = self.inner.lock();
+            g.draining = true;
+        }
+        // Unblock submits waiting for queue space (they now fail with
+        // `Draining`) and idle workers (they may exit once queues dry).
+        self.inner.space_ready.notify_all();
+        self.inner.work_ready.notify_all();
+        let names: Vec<String> = self.inner.lock().sessions.keys().cloned().collect();
+        for name in &names {
+            close_named(&self.inner, name);
+        }
+        let handles =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+        let g = self.inner.lock();
+        protocol::daemon_drained(
+            g.sessions_served,
+            g.jobs_done_total,
+            g.jobs_failed_total,
+            unix_seconds_now(),
+        )
+    }
+}
+
+/// A tenant's side of one session: submit jobs, read the record
+/// stream, close.
+pub struct SessionHandle {
+    name: String,
+    inner: Arc<Inner>,
+    rx: Option<Receiver<Value>>,
+}
+
+impl SessionHandle {
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Queues one command line; returns the job id. Blocks while the
+    /// session queue is at capacity, after streaming one
+    /// `backpressure` record so the tenant knows why.
+    pub fn submit(&self, command: &str) -> Result<u64, DaemonError> {
+        let capacity = self.inner.config.session_queue;
+        let mut g = self.inner.lock();
+        let mut warned = false;
+        loop {
+            if g.draining {
+                return Err(DaemonError::Draining);
+            }
+            let Some(sess) = g.sessions.get_mut(&self.name) else {
+                return Err(DaemonError::UnknownSession(self.name.clone()));
+            };
+            if sess.closing {
+                return Err(DaemonError::UnknownSession(self.name.clone()));
+            }
+            if sess.queue.len() < capacity {
+                break;
+            }
+            if !warned {
+                let _ =
+                    sess.tx.send(protocol::backpressure(&self.name, sess.queue.len(), capacity));
+                sess.telemetry.incr("daemon.backpressure");
+                warned = true;
+            }
+            g = self.inner.space_ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        let sess = g.sessions.get_mut(&self.name).expect("session checked above");
+        let id = sess.next_job;
+        sess.next_job += 1;
+        sess.queue.push_back(Job { id, command: command.to_string() });
+        sess.telemetry.incr("daemon.jobs_submitted");
+        let _ = sess.tx.send(protocol::job_accepted(&self.name, id));
+        drop(g);
+        self.inner.work_ready.notify_all();
+        Ok(id)
+    }
+
+    /// Next record on the session stream; `None` once the session is
+    /// closed and the stream is fully drained, or after
+    /// [`take_records`](SessionHandle::take_records) moved the
+    /// receiving end elsewhere.
+    pub fn next_record(&self) -> Option<Value> {
+        self.rx.as_ref().and_then(|rx| rx.recv().ok())
+    }
+
+    /// Non-blocking variant of [`next_record`](SessionHandle::next_record).
+    pub fn try_next_record(&self) -> Option<Value> {
+        self.rx.as_ref().and_then(|rx| rx.try_recv().ok())
+    }
+
+    /// Moves the record receiver out — e.g. to a socket-forwarder
+    /// thread — leaving the handle usable for submit/close.
+    pub fn take_records(&mut self) -> Option<Receiver<Value>> {
+        self.rx.take()
+    }
+
+    /// Closes the session: waits for queued and in-flight jobs to
+    /// finish, folds its telemetry into the daemon-wide registry, and
+    /// returns the `session_closed` record (also streamed as the
+    /// session's final record). `None` if the session was already
+    /// closed elsewhere.
+    pub fn close(mut self) -> Option<Value> {
+        self.rx.take();
+        close_named(&self.inner, &self.name)
+    }
+}
+
+/// Shared close path used by [`SessionHandle::close`] and
+/// [`Daemon::drain`]. Waits for the session to go idle, removes it,
+/// merges telemetry, and emits `session_closed`.
+fn close_named(inner: &Arc<Inner>, name: &str) -> Option<Value> {
+    let mut g = inner.lock();
+    loop {
+        match g.sessions.get_mut(name) {
+            None => return None,
+            Some(s) => {
+                s.closing = true;
+                if s.queue.is_empty() && s.in_flight == 0 {
+                    break;
+                }
+            }
+        }
+        g = inner.idle.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+    let s = g.sessions.remove(name).expect("session present in close loop");
+    g.rotation.retain(|n| n != name);
+    let mut telemetry = s.telemetry;
+    telemetry.incr_by("daemon.records", s.records.load(Ordering::Relaxed));
+    let record = protocol::session_closed(
+        name,
+        s.jobs_done,
+        s.jobs_failed,
+        telemetry.snapshot().to_json(),
+        unix_seconds_now(),
+    );
+    let _ = s.tx.send(record.clone());
+    g.telemetry.merge(&telemetry);
+    g.jobs_done_total += s.jobs_done;
+    g.jobs_failed_total += s.jobs_failed;
+    drop(g);
+    // Submitters blocked on this session must re-check and fail out.
+    inner.space_ready.notify_all();
+    Some(record)
+}
+
+/// A job claimed by a worker, with everything needed to run it without
+/// holding the scheduler lock.
+struct Picked {
+    name: String,
+    job: Job,
+    tx: Sender<Value>,
+    records: Arc<AtomicU64>,
+}
+
+/// Picks the next runnable job round-robin across sessions, bumping
+/// the chosen session's in-flight count. `None` when nothing is
+/// eligible (empty queues or per-session caps reached).
+fn pick_job(g: &mut SchedState, session_parallel: usize) -> Option<Picked> {
+    for _ in 0..g.rotation.len() {
+        let name = g.rotation.pop_front().expect("rotation non-empty inside loop");
+        let Some(sess) = g.sessions.get_mut(&name) else {
+            continue; // stale entry for a closed session: drop it
+        };
+        if sess.in_flight < session_parallel {
+            if let Some(job) = sess.queue.pop_front() {
+                sess.in_flight += 1;
+                let tx = sess.tx.clone();
+                let records = Arc::clone(&sess.records);
+                g.rotation.push_back(name.clone());
+                return Some(Picked { name, job, tx, records });
+            }
+        }
+        g.rotation.push_back(name);
+    }
+    None
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, runner: &dyn JobRunner) {
+    let config = inner.config;
+    loop {
+        let Picked { name, job, tx, records } = {
+            let mut g = inner.lock();
+            loop {
+                if let Some(pick) = pick_job(&mut g, config.session_parallel) {
+                    break pick;
+                }
+                // Exit only when draining *and* every queue is empty;
+                // jobs still queued behind a per-session cap must
+                // outlive this worker's patience, not be abandoned.
+                if g.draining && g.sessions.values().all(|s| s.queue.is_empty()) {
+                    return;
+                }
+                g = inner.work_ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let started = Instant::now();
+        let mut attempt: u32 = 1;
+        let outcome = loop {
+            let sink = JobSink {
+                session: name.clone(),
+                job: job.id,
+                tx: tx.clone(),
+                records: Arc::clone(&records),
+            };
+            // The job's entire execution — campaign shards included —
+            // is fenced here; a panic is the session's problem alone.
+            let result = catch_unwind(AssertUnwindSafe(|| runner.run(&job.command, &sink)));
+            let error = match result {
+                Ok(Ok(())) => break Ok(attempt),
+                Ok(Err(e)) => e,
+                Err(payload) => format!("job panicked: {}", panic_message(payload)),
+            };
+            if attempt >= config.job_attempts.max(1) {
+                break Err(error);
+            }
+            // Retry in place on this same worker thread: its
+            // thread-local machine pool warm-reboots the System
+            // (`reboot_into`) instead of cold-booting a fresh one.
+            attempt += 1;
+        };
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let record = match &outcome {
+            Ok(attempts) => protocol::job_done(&name, job.id, *attempts),
+            Err(error) => protocol::job_failed(&name, job.id, error, attempt),
+        };
+        let _ = tx.send(record);
+        let mut g = inner.lock();
+        if let Some(sess) = g.sessions.get_mut(&name) {
+            sess.in_flight -= 1;
+            sess.telemetry.observe("daemon.job_us", elapsed_us);
+            sess.telemetry.incr_by("daemon.job_retries", u64::from(attempt - 1));
+            match outcome {
+                Ok(_) => sess.telemetry.incr("daemon.jobs_done"),
+                Err(_) => sess.telemetry.incr("daemon.jobs_failed"),
+            }
+            match outcome {
+                Ok(_) => sess.jobs_done += 1,
+                Err(_) => sess.jobs_failed += 1,
+            }
+        }
+        drop(g);
+        // Queue space freed and an in-flight slot opened; close/drain
+        // waiters also need a look.
+        inner.space_ready.notify_all();
+        inner.work_ready.notify_all();
+        inner.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn echo_runner() -> Arc<dyn JobRunner> {
+        Arc::new(|command: &str, sink: &JobSink| {
+            sink.record(&format!("{{\"record\":\"echo\",\"command\":\"{command}\"}}"));
+            Ok(())
+        })
+    }
+
+    fn drain_types(handle: &SessionHandle, until: &str) -> Vec<String> {
+        let mut types = Vec::new();
+        while let Some(r) = handle.next_record() {
+            let t = r.get("type").and_then(Value::as_str).unwrap_or("?").to_string();
+            let done = t == until;
+            types.push(t);
+            if done {
+                break;
+            }
+        }
+        types
+    }
+
+    #[test]
+    fn a_job_streams_output_then_done_in_order() {
+        let daemon =
+            Daemon::start(DaemonConfig { workers: 2, ..DaemonConfig::default() }, echo_runner());
+        let session = daemon.open_session("t").unwrap();
+        session.submit("oracle --trials 4").unwrap();
+        let types = drain_types(&session, "job_done");
+        assert_eq!(types, ["session_opened", "job_accepted", "job_output", "job_done"]);
+        let closed = session.close().unwrap();
+        assert_eq!(closed.get("jobs_done").and_then(Value::as_u64), Some(1));
+        assert_eq!(closed.get("jobs_failed").and_then(Value::as_u64), Some(0));
+        daemon.drain();
+    }
+
+    #[test]
+    fn a_panicking_job_fails_its_session_but_not_its_neighbors() {
+        let runner: Arc<dyn JobRunner> = Arc::new(|command: &str, sink: &JobSink| {
+            if command == "boom" {
+                panic!("injected fault");
+            }
+            sink.record("{\"record\":\"ok\"}");
+            Ok(())
+        });
+        let daemon = Daemon::start(DaemonConfig { workers: 2, ..DaemonConfig::default() }, runner);
+        let victim = daemon.open_session("victim").unwrap();
+        let bystander = daemon.open_session("bystander").unwrap();
+        victim.submit("boom").unwrap();
+        bystander.submit("fine").unwrap();
+
+        let victim_types = drain_types(&victim, "job_failed");
+        assert_eq!(victim_types.last().map(String::as_str), Some("job_failed"));
+        let closed = victim.close().unwrap();
+        assert_eq!(closed.get("jobs_failed").and_then(Value::as_u64), Some(1));
+
+        // The bystander session and the daemon itself are unharmed.
+        let bystander_types = drain_types(&bystander, "job_done");
+        assert_eq!(bystander_types.last().map(String::as_str), Some("job_done"));
+        let closed = bystander.close().unwrap();
+        assert_eq!(closed.get("jobs_failed").and_then(Value::as_u64), Some(0));
+
+        let another = daemon.open_session("after-the-fact").unwrap();
+        another.submit("fine").unwrap();
+        assert_eq!(drain_types(&another, "job_done").last().map(String::as_str), Some("job_done"));
+        let _ = another.close();
+        daemon.drain();
+    }
+
+    #[test]
+    fn a_failing_job_is_retried_up_to_its_budget() {
+        let failures = Arc::new(AtomicUsize::new(0));
+        let counting = Arc::clone(&failures);
+        let runner: Arc<dyn JobRunner> = Arc::new(move |_: &str, _: &JobSink| {
+            if counting.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("transient".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        let daemon = Daemon::start(
+            DaemonConfig { workers: 1, job_attempts: 3, ..DaemonConfig::default() },
+            runner,
+        );
+        let session = daemon.open_session("retry").unwrap();
+        session.submit("flaky").unwrap();
+        let types = drain_types(&session, "job_done");
+        assert_eq!(types.last().map(String::as_str), Some("job_done"));
+        assert_eq!(failures.load(Ordering::SeqCst), 3);
+        let closed = session.close().unwrap();
+        let retries = closed
+            .get("telemetry")
+            .and_then(|t| t.get("counters"))
+            .and_then(|c| c.get("daemon.job_retries"))
+            .and_then(Value::as_u64);
+        assert_eq!(retries, Some(2));
+        daemon.drain();
+    }
+
+    #[test]
+    fn submit_beyond_session_capacity_backpressures_then_completes() {
+        // One worker held busy by a slow job; the queue (capacity 1)
+        // fills, so the third submit must block, emit `backpressure`,
+        // and still land once space frees.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate_for_runner = Arc::clone(&gate);
+        let runner: Arc<dyn JobRunner> = Arc::new(move |command: &str, _: &JobSink| {
+            if command == "slow" {
+                let (lock, cv) = &*gate_for_runner;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }
+            Ok(())
+        });
+        let daemon = Daemon::start(
+            DaemonConfig { workers: 1, session_queue: 1, ..DaemonConfig::default() },
+            runner,
+        );
+        let session = daemon.open_session("t").unwrap();
+        session.submit("slow").unwrap();
+        // Wait until the slow job is in flight so the next submit
+        // occupies the single queue slot.
+        while daemon.status().get("in_flight_jobs").and_then(Value::as_u64) != Some(1) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        session.submit("queued").unwrap();
+        let submit_side = SessionHandle {
+            name: session.name.clone(),
+            inner: Arc::clone(&session.inner),
+            rx: None,
+        };
+        let blocked = thread::spawn(move || submit_side.submit("third"));
+        // The backpressure counter proves the third submit really
+        // blocked before we open the gate.
+        while daemon.metrics().counter_value("daemon.backpressure") == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert_eq!(blocked.join().unwrap(), Ok(2));
+        let mut saw_backpressure = false;
+        while let Some(r) = session.next_record() {
+            if r.get("type").and_then(Value::as_str) == Some("backpressure") {
+                saw_backpressure = true;
+            }
+            if r.get("type").and_then(Value::as_str) == Some("job_accepted")
+                && r.get("job").and_then(Value::as_u64) == Some(2)
+            {
+                break;
+            }
+        }
+        assert!(saw_backpressure, "blocked submit should announce backpressure");
+        let _ = session.close();
+        daemon.drain();
+    }
+
+    #[test]
+    fn drain_runs_queued_work_to_completion_and_reports_totals() {
+        let daemon =
+            Daemon::start(DaemonConfig { workers: 2, ..DaemonConfig::default() }, echo_runner());
+        let a = daemon.open_session("a").unwrap();
+        let b = daemon.open_session("b").unwrap();
+        for _ in 0..3 {
+            a.submit("x").unwrap();
+            b.submit("y").unwrap();
+        }
+        let report = daemon.drain();
+        assert_eq!(report.get("type").and_then(Value::as_str), Some("daemon_drained"));
+        assert_eq!(report.get("sessions").and_then(Value::as_u64), Some(2));
+        assert_eq!(report.get("jobs_done").and_then(Value::as_u64), Some(6));
+        assert_eq!(report.get("jobs_failed").and_then(Value::as_u64), Some(0));
+        // Admission is now refused.
+        assert!(matches!(daemon.open_session("late"), Err(DaemonError::Draining)));
+        assert_eq!(a.submit("x"), Err(DaemonError::Draining));
+        // The streams still replay up to their terminal records.
+        assert!(drain_types(&a, "session_closed").contains(&"session_closed".to_string()));
+        assert!(drain_types(&b, "session_closed").contains(&"session_closed".to_string()));
+    }
+
+    #[test]
+    fn fair_share_interleaves_a_flooded_session_with_a_light_one() {
+        // One worker, one greedy session with many jobs, one light
+        // session submitting after: round-robin must run the light
+        // session's job before the greedy backlog finishes.
+        let order = Arc::new(Mutex::new(Vec::<String>::new()));
+        let order_ref = Arc::clone(&order);
+        let runner: Arc<dyn JobRunner> = Arc::new(move |command: &str, _: &JobSink| {
+            order_ref.lock().unwrap().push(command.to_string());
+            thread::sleep(Duration::from_millis(2));
+            Ok(())
+        });
+        let daemon = Daemon::start(
+            DaemonConfig { workers: 1, session_queue: 32, ..DaemonConfig::default() },
+            runner,
+        );
+        let greedy = daemon.open_session("greedy").unwrap();
+        let light = daemon.open_session("light").unwrap();
+        for i in 0..8 {
+            greedy.submit(&format!("greedy-{i}")).unwrap();
+        }
+        light.submit("light-0").unwrap();
+        let _ = light.close();
+        let _ = greedy.close();
+        daemon.drain();
+        let ran = order.lock().unwrap().clone();
+        let light_pos = ran.iter().position(|c| c == "light-0").unwrap();
+        assert!(
+            light_pos < ran.len() - 1,
+            "light session starved behind the greedy backlog: {ran:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_merge_live_and_closed_sessions() {
+        let daemon =
+            Daemon::start(DaemonConfig { workers: 1, ..DaemonConfig::default() }, echo_runner());
+        let a = daemon.open_session("a").unwrap();
+        a.submit("one").unwrap();
+        drain_types(&a, "job_done");
+        let _ = a.close();
+        let b = daemon.open_session("b").unwrap();
+        b.submit("two").unwrap();
+        drain_types(&b, "job_done");
+        let merged = daemon.metrics();
+        assert_eq!(merged.counter_value("daemon.jobs_done"), 2);
+        assert_eq!(merged.counter_value("daemon.jobs_submitted"), 2);
+        let _ = b.close();
+        daemon.drain();
+    }
+}

@@ -79,6 +79,13 @@ struct Sched {
     queue: VecDeque<CampaignQueue>,
     /// Bumped (after the work is visible) by every runnable-work event.
     epoch: u64,
+    /// Next backpressure ticket to hand out (see [`Executor::submit`]).
+    submit_next: u64,
+    /// Lowest ticket allowed to enqueue. Blocked submitters resume
+    /// strictly in ticket order, so backpressure is FIFO — a session
+    /// that submitted first is admitted first, regardless of condvar
+    /// wakeup order.
+    submit_serving: u64,
 }
 
 struct Shared {
@@ -246,7 +253,12 @@ impl Executor {
         let workers = workers.max(1);
         let max_pending = if max_pending == 0 { (workers * 4).max(8) } else { max_pending };
         let shared = Arc::new(Shared {
-            sched: Mutex::new(Sched { queue: VecDeque::new(), epoch: 0 }),
+            sched: Mutex::new(Sched {
+                queue: VecDeque::new(),
+                epoch: 0,
+                submit_next: 0,
+                submit_serving: 0,
+            }),
             work_ready: Condvar::new(),
             space_ready: Condvar::new(),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -344,20 +356,62 @@ impl Executor {
         }
         drop(tx);
         let mut g = lock(&self.shared.sched);
-        while g.queue.len() >= self.shared.max_pending {
+        // Backpressure is ticketed: every submission takes the next
+        // ticket under the lock (so tickets are issued in arrival
+        // order) and may enqueue only when it is the lowest waiting
+        // ticket AND the queue has space. `notify_all` wakes every
+        // blocked submitter, but all except the ticket holder go
+        // straight back to sleep — blocked submits therefore resume in
+        // strict FIFO order, which the daemon's per-session fairness
+        // depends on.
+        let ticket = g.submit_next;
+        g.submit_next += 1;
+        while g.submit_serving != ticket || g.queue.len() >= self.shared.max_pending {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 // Shutting down: drop the tasks so the handle's channel
                 // closes and `wait` reports MissingResult instead of
-                // hanging.
+                // hanging. Every other waiter exits the same way, so
+                // the unserved ticket stalls nobody.
                 return CampaignHandle { rx, retries, total };
             }
             g = self.shared.space_ready.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
+        g.submit_serving += 1;
         g.queue.push_back(CampaignQueue { tasks, limit, in_flight });
         g.epoch += 1;
         drop(g);
+        // The next ticket holder may find space immediately (the queue
+        // cap can exceed one): let it re-check rather than wait for the
+        // next campaign retirement.
+        self.shared.space_ready.notify_all();
         self.shared.work_ready.notify_all();
         CampaignHandle { rx, retries, total }
+    }
+
+    /// Campaigns currently queued in the injector with undispatched
+    /// shards (admission-control visibility for services layered on the
+    /// executor; the daemon reports it in status records).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.sched).queue.len()
+    }
+
+    /// The undispatched-campaign cap beyond which [`Executor::submit`]
+    /// blocks.
+    #[must_use]
+    pub fn max_pending(&self) -> usize {
+        self.shared.max_pending
+    }
+
+    /// Backpressure ticket counters `(issued, admitted)`: submissions
+    /// that took a ticket, and tickets already served. `issued -
+    /// admitted` is the number of submitters currently blocked. Test
+    /// and introspection hook.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn submit_tickets(&self) -> (u64, u64) {
+        let g = lock(&self.shared.sched);
+        (g.submit_next, g.submit_serving)
     }
 
     /// Submit-and-wait: the drop-in equivalent of
@@ -854,6 +908,154 @@ mod tests {
             let out = handle.wait().expect("campaign completes");
             assert_eq!(out.completed(), plan.len());
         }
+    }
+
+    /// Blocks the single worker behind a gate so queued campaigns pile
+    /// up. Returns the gate and the gated campaign's handle.
+    #[allow(clippy::type_complexity)]
+    fn gate_the_worker(exec: &Executor) -> (Arc<(Mutex<bool>, Condvar)>, CampaignHandle<u64>) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let handle = {
+            let gate = Arc::clone(&gate);
+            exec.submit::<u64, std::convert::Infallible, _>(
+                shard_plan(1, 1, 0),
+                1,
+                RetryPolicy::no_retries(),
+                move |s, _| {
+                    let (open, cv) = &*gate;
+                    let mut g = lock(open);
+                    while !*g {
+                        g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Ok(s.seed)
+                },
+            )
+        };
+        (gate, handle)
+    }
+
+    fn open_gate(gate: &(Mutex<bool>, Condvar)) {
+        let (open, cv) = gate;
+        *lock(open) = true;
+        cv.notify_all();
+    }
+
+    /// Polls until `issued` backpressure tickets exist (i.e. the
+    /// expected number of submitters have at least reached the ticket
+    /// counter), so the test can order its submitter threads.
+    fn await_tickets(exec: &Executor, issued: u64) {
+        while exec.submit_tickets().0 < issued {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn blocked_submits_resume_in_fifo_order() {
+        // One worker, queue cap 1: a gated campaign occupies the
+        // worker, a filler campaign occupies the queue, then three
+        // submitters block in a known order. When the gate opens the
+        // single worker drains campaigns in admission order, so the
+        // recorded execution order proves the blocked submits were
+        // admitted FIFO — notify_all wakes all three at once, and only
+        // the ticket order keeps them straight.
+        let exec = Arc::new(Executor::with_queue(1, 1));
+        let (gate, gated) = gate_the_worker(&exec);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let filler = {
+            let order = Arc::clone(&order);
+            exec.submit::<u64, std::convert::Infallible, _>(
+                shard_plan(1, 1, 1),
+                1,
+                RetryPolicy::no_retries(),
+                move |s, _| {
+                    lock(&order).push("filler");
+                    Ok(s.seed)
+                },
+            )
+        };
+        let (base, _) = exec.submit_tickets();
+        let labels = ["first", "second", "third"];
+        let mut submitters = Vec::new();
+        for (i, &label) in labels.iter().enumerate() {
+            let submit_on = Arc::clone(&exec);
+            let order = Arc::clone(&order);
+            submitters.push(std::thread::spawn(move || {
+                submit_on
+                    .submit::<u64, std::convert::Infallible, _>(
+                        shard_plan(1, 1, 100 + i as u64),
+                        1,
+                        RetryPolicy::no_retries(),
+                        move |s, _| {
+                            lock(&order).push(label);
+                            Ok(s.seed)
+                        },
+                    )
+                    .wait()
+                    .expect("queued campaign completes")
+            }));
+            // The next submitter may not take its ticket before this
+            // one has: tickets are issued under the scheduler lock, so
+            // waiting for the counter pins the arrival order.
+            await_tickets(&exec, base + i as u64 + 1);
+        }
+        open_gate(&gate);
+        gated.wait().expect("gated campaign completes");
+        filler.wait().expect("filler campaign completes");
+        for s in submitters {
+            s.join().expect("submitter thread");
+        }
+        assert_eq!(
+            *lock(&order),
+            vec!["filler", "first", "second", "third"],
+            "blocked submits must be admitted in submission order"
+        );
+    }
+
+    #[test]
+    fn zero_shard_campaigns_complete_while_the_queue_is_saturated() {
+        // A waiting session is blocked behind a full queue; a
+        // zero-shard campaign submitted meanwhile must complete
+        // immediately — it takes no ticket and no queue slot, so it can
+        // never deadlock against the backpressure the session is
+        // waiting out.
+        let exec = Arc::new(Executor::with_queue(1, 1));
+        let (gate, gated) = gate_the_worker(&exec);
+        let filler = exec.submit::<u64, std::convert::Infallible, _>(
+            shard_plan(1, 1, 1),
+            1,
+            RetryPolicy::no_retries(),
+            |s, _| Ok(s.seed),
+        );
+        let (base, _) = exec.submit_tickets();
+        let blocked = {
+            let exec = Arc::clone(&exec);
+            std::thread::spawn(move || {
+                exec.submit::<u64, std::convert::Infallible, _>(
+                    shard_plan(1, 1, 2),
+                    1,
+                    RetryPolicy::no_retries(),
+                    |s, _| Ok(s.seed),
+                )
+                .wait()
+                .expect("blocked session completes after the drain")
+            })
+        };
+        await_tickets(&exec, base + 1);
+        let out = exec
+            .submit::<u64, std::convert::Infallible, _>(
+                Vec::new(),
+                4,
+                RetryPolicy::no_retries(),
+                |s, _| Ok(s.seed),
+            )
+            .wait()
+            .expect("zero-shard campaign returns despite the saturated queue");
+        assert!(out.results.is_empty());
+        assert_eq!(out.retries, 0);
+        open_gate(&gate);
+        gated.wait().expect("gated campaign completes");
+        filler.wait().expect("filler campaign completes");
+        blocked.join().expect("blocked submitter thread");
     }
 
     #[test]

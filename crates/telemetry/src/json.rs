@@ -184,6 +184,58 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Value>, ParseError> {
     text.lines().filter(|l| !l.trim().is_empty()).map(parse).collect()
 }
 
+/// A leniently parsed JSONL stream: the records that parsed, plus the
+/// torn tail (if any) that was truncated away.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonlStream {
+    /// Every record up to the first unparseable trailing line.
+    pub records: Vec<Value>,
+    /// Non-empty lines dropped from the tail (`0` for a clean stream).
+    /// A partially flushed writer tears at most the final line, so this
+    /// is normally `0` or `1`; callers surface it so a truncation never
+    /// passes silently.
+    pub truncated: usize,
+    /// The parse error of the first dropped line, kept for reporting.
+    pub tail_error: Option<ParseError>,
+}
+
+/// Parses a JSONL stream leniently: a torn *tail* is truncated and
+/// reported instead of failing the whole stream.
+///
+/// Daemon clients replay session streams that may have been cut
+/// mid-line (a killed process, a partially flushed file). Every line up
+/// to the tear parses strictly — the lenience never masks corruption in
+/// the middle of a stream.
+///
+/// # Errors
+///
+/// [`ParseError`] of the offending line when an unparseable line is
+/// followed by a *parseable* one: that is interior corruption, not a
+/// torn tail, and truncating it would silently drop records. Strict
+/// consumers (tests, `verify`) should keep using [`parse_jsonl`].
+pub fn parse_jsonl_lossy(text: &str) -> Result<JsonlStream, ParseError> {
+    let mut records = Vec::new();
+    let mut tail: Option<ParseError> = None;
+    let mut truncated = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse(line) {
+            Ok(v) => match tail {
+                // A good line after a bad one is interior corruption,
+                // not a torn tail: fail strictly.
+                Some(err) => return Err(err),
+                None => records.push(v),
+            },
+            Err(e) => {
+                if tail.is_none() {
+                    tail = Some(e);
+                }
+                truncated += 1;
+            }
+        }
+    }
+    Ok(JsonlStream { records, truncated, tail_error: tail })
+}
+
 /// Serializes a value as one JSONL line (no interior newlines possible:
 /// the serializer escapes them).
 pub fn to_jsonl_line(value: &Value) -> String {
@@ -527,6 +579,41 @@ mod tests {
         // Same stream with the stray line removed parses fine.
         let clean = "{\"trial\":0}\n{\"trial\":1}\n";
         assert_eq!(parse_jsonl(clean).expect("clean stream").len(), 2);
+    }
+
+    #[test]
+    fn lossy_jsonl_truncates_and_reports_a_torn_tail() {
+        // The same half-flushed stream the strict parser rejects: the
+        // lenient parser keeps the complete records and surfaces the
+        // drop count so a replaying daemon client degrades gracefully.
+        let stream = "{\"trial\":0}\n{\"trial\":1}\n{\"trial\":2,\"cyc";
+        let out = parse_jsonl_lossy(stream).expect("lenient parse");
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.records[1].get("trial").and_then(Value::as_u64), Some(1));
+        assert_eq!(out.truncated, 1);
+        assert!(out.tail_error.is_some());
+        // Strict mode still refuses the same stream.
+        assert!(parse_jsonl(stream).is_err());
+    }
+
+    #[test]
+    fn lossy_jsonl_passes_clean_streams_through() {
+        let clean = "{\"trial\":0}\n{\"trial\":1}\n";
+        let out = parse_jsonl_lossy(clean).expect("clean stream");
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.truncated, 0);
+        assert!(out.tail_error.is_none());
+        let empty = parse_jsonl_lossy("\n \n").expect("blank stream");
+        assert!(empty.records.is_empty() && empty.truncated == 0);
+    }
+
+    #[test]
+    fn lossy_jsonl_still_rejects_interior_corruption() {
+        // A bad line *followed by a good one* is not a torn tail — the
+        // lenience must not silently drop records from the middle.
+        let stream = "{\"trial\":0}\nlog: human noise\n{\"trial\":1}\n";
+        let err = parse_jsonl_lossy(stream).expect_err("interior corruption");
+        assert!(!err.reason.is_empty());
     }
 
     #[test]
