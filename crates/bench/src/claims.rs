@@ -160,7 +160,7 @@ impl Claim {
 }
 
 /// Every artefact id a full bench run produces (one per bench target).
-pub const ARTIFACT_IDS: [&str; 23] = [
+pub const ARTIFACT_IDS: [&str; 24] = [
     "fig5a",
     "fig5b",
     "fig5c",
@@ -183,6 +183,7 @@ pub const ARTIFACT_IDS: [&str; 23] = [
     "perf_exec_engine",
     "perf_campaign",
     "service_load",
+    "snapshot",
     "conform",
 ];
 
@@ -537,6 +538,20 @@ pub fn all() -> Vec<Claim> {
             Bool(true),
         ),
         c("service_load", "drained_clean", "graceful drain after the load", Bool(true)),
+        // ---- snapshot (durable campaigns, DESIGN.md §13) ---------------
+        // Not a paper table: the durability gate for long campaigns.
+        c("snapshot", "system_snapshot_us", "System snapshot latency", Present),
+        c("snapshot", "system_restore_us", "System restore latency", Present),
+        c("snapshot", "checkpoint_write_us", "daemon checkpoint write latency", Present),
+        c("snapshot", "resume_restore_us", "daemon checkpoint load latency", Present),
+        c("snapshot", "roundtrip_ok", "a restored System is bit-identical", Bool(true)),
+        c("snapshot", "checkpoints_written", "periodic checkpoints cut mid-campaign", AtLeast(1.0)),
+        c(
+            "snapshot",
+            "checkpoint_overhead_pct",
+            "checkpointing costs <=10% of campaign runtime",
+            AtMost(10.0),
+        ),
         // ---- conform: differential conformance harness -----------------
         // Not a paper table: the harness underwrites the simulator the
         // paper claims ride on (§5-6 committed-vs-speculative boundary).

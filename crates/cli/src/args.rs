@@ -48,8 +48,17 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Options that never take a value.
-const FLAG_NAMES: &[&str] =
-    &["quiet-noise", "full", "track-stack", "json", "help", "stdio", "shutdown"];
+const FLAG_NAMES: &[&str] = &[
+    "quiet-noise",
+    "full",
+    "track-stack",
+    "json",
+    "help",
+    "stdio",
+    "shutdown",
+    "resume",
+    "attach",
+];
 
 impl Args {
     /// Parses a token stream (without the program name).

@@ -84,8 +84,16 @@ daemon/client options:
                       backpressure (default 16)
   --session-parallel N  daemon: in-flight jobs per session (default 1)
   --job-attempts N    daemon: attempts per job before job_failed (def. 1)
+  --state-dir D       daemon: durable mode — write checksummed snapshots
+                      of in-flight state to D/pacmand.snapshot
+  --checkpoint-every N  daemon: checkpoint cadence in output records
+                      (default 256; a final checkpoint is cut on drain)
+  --resume            daemon: load the --state-dir snapshot at boot and
+                      continue interrupted sessions mid-stream
   --session S         client: session name (default cli)
   --submit CMD        client: submit one quoted command line as a job
+  --attach            client: reattach to --session (e.g. one resumed by
+                      a restarted daemon) and stream it to completion
   --shutdown          client: ask the daemon to drain and exit
 
 Trial-driving commands (oracle, brute, jump2win, sweep, census,
@@ -190,10 +198,18 @@ fn command_spec(command: &str) -> Option<(&'static [&'static str], &'static [&'s
         "timeline" => (&["seed", "metrics-out"], &["json", "quiet-noise"]),
         "verify" => (&["dir", "only", "metrics-out"], &["json"]),
         "daemon" => (
-            &["socket", "workers", "session-queue", "session-parallel", "job-attempts"],
-            &["stdio"],
+            &[
+                "socket",
+                "workers",
+                "session-queue",
+                "session-parallel",
+                "job-attempts",
+                "state-dir",
+                "checkpoint-every",
+            ],
+            &["stdio", "resume"],
         ),
-        "client" => (&["socket", "session", "submit"], &["shutdown"]),
+        "client" => (&["socket", "session", "submit"], &["shutdown", "attach"]),
         _ => return None,
     })
 }

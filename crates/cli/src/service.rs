@@ -12,7 +12,7 @@ use std::error::Error;
 use std::sync::{Arc, Mutex};
 
 use pacman_daemon::net;
-use pacman_daemon::{Daemon, DaemonConfig, JobRunner, JobSink};
+use pacman_daemon::{CheckpointPolicy, Daemon, DaemonConfig, JobRunner, JobSink};
 use pacman_telemetry::json::{to_jsonl_line, Value};
 
 use crate::args::Args;
@@ -82,11 +82,53 @@ fn daemon_config(args: &Args) -> Result<DaemonConfig, Box<dyn Error>> {
     })
 }
 
+/// Builds the durable-mode [`CheckpointPolicy`] from `--state-dir` /
+/// `--checkpoint-every`, wired to the machine pool: checkpoints carry
+/// donated warm-machine snapshots, and a resumed daemon seeds its pool
+/// from them so the first post-restart leases skip the cold boot.
+fn checkpoint_policy(args: &Args, state_dir: &str) -> Result<CheckpointPolicy, Box<dyn Error>> {
+    let dir = std::path::PathBuf::from(state_dir);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create state dir '{state_dir}': {e}"))?;
+    let mut policy = CheckpointPolicy::new(dir.join("pacmand.snapshot"), {
+        args.get_num("checkpoint-every", 256u64)?.max(1)
+    });
+    pacman_core::pool::arm_donation(true);
+    policy.collect_machines = Some(Arc::new(pacman_core::pool::take_donations));
+    policy.seed_machines = Some(Arc::new(pacman_core::pool::seed));
+    Ok(policy)
+}
+
 /// `pacman-cli daemon`: serve sessions until a client sends `shutdown`
 /// (socket mode) or stdin reaches EOF (`--stdio`), then drain and
-/// print the `daemon_drained` record.
+/// print the `daemon_drained` record. With `--state-dir` the daemon is
+/// durable (periodic snapshots, `--resume` continues a killed run).
 pub fn cmd_daemon(args: &Args) -> CliResult {
-    let daemon = Arc::new(Daemon::start(daemon_config(args)?, Arc::new(DispatchRunner)));
+    let daemon = match args.get("state-dir") {
+        Some(dir) => {
+            let policy = checkpoint_policy(args, dir)?;
+            Arc::new(Daemon::start_durable(
+                daemon_config(args)?,
+                Arc::new(DispatchRunner),
+                policy,
+                args.flag("resume"),
+            ))
+        }
+        None => {
+            if args.flag("resume") {
+                return Err("--resume needs --state-dir to know where the snapshot lives".into());
+            }
+            Arc::new(Daemon::start(daemon_config(args)?, Arc::new(DispatchRunner)))
+        }
+    };
+    // Announce the resume outcome (daemon_resumed or resume_warning)
+    // before serving, so operators and drill scripts see it even though
+    // no client connection exists yet.
+    if let Some(report) = daemon.resume_report() {
+        print!("{}", to_jsonl_line(&report));
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
     if args.flag("stdio") {
         let writer = Arc::new(Mutex::new(std::io::stdout()));
         net::serve_connection(&daemon, std::io::stdin().lock(), Arc::clone(&writer));
@@ -170,6 +212,30 @@ fn client_impl(args: &Args) -> CliResult {
                 Some("session_closed") => break,
                 // A refused open/submit means session_closed never
                 // comes; stop reading instead of hanging.
+                Some("error") => {
+                    job_failed = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+    } else if args.flag("attach") {
+        // Reattach to an existing session — typically one a restarted
+        // daemon resumed from a checkpoint — and stream it to
+        // completion: read until the in-flight job finishes, then close
+        // the session and wait for its terminal record.
+        let session = args.get("session").unwrap_or("cli");
+        writer.write_all(request("open_session", &[("session", session)]).as_bytes())?;
+        writer.flush()?;
+        while let Some(record) = read_record(&mut reader)? {
+            match record.get("type").and_then(Value::as_str) {
+                Some("job_done") => {
+                    writer
+                        .write_all(request("close_session", &[("session", session)]).as_bytes())?;
+                    writer.flush()?;
+                }
+                Some("job_failed") => job_failed = true,
+                Some("session_closed") => break,
                 Some("error") => {
                     job_failed = true;
                     break;

@@ -1,0 +1,224 @@
+//! The crash-kill-restart drill for durable campaigns (DESIGN.md §13).
+//!
+//! A real `pacman-cli daemon` process serves a real campaign over a
+//! Unix socket; the test SIGKILLs it the moment a `checkpoint_written`
+//! record proves a snapshot is durably on disk, restarts it with
+//! `--resume`, reattaches to the interrupted session, and stitches the
+//! two halves of the record stream together. The stitched `job_output`
+//! stream must be *byte-identical* to a one-shot CLI run of the same
+//! command — the durability machinery is only correct if a client
+//! cannot tell the restart ever happened.
+//!
+//! The job is sized so its record count lands strictly between one and
+//! two checkpoint intervals: exactly one periodic checkpoint is ever
+//! cut, so the on-disk watermark cannot race ahead of what reached the
+//! client's socket before the kill.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pacman_telemetry::json::{parse, Value};
+
+const CMD: &str = "oracle --trials 4 --seed 11 --quiet-noise --jobs 1";
+const CHECKPOINT_EVERY: u64 = 5;
+const DEADLINE: Duration = Duration::from_secs(60);
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pacman-cli")
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pacman-restart-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create drill dir");
+    dir
+}
+
+fn spawn_daemon(dir: &Path, resume: bool) -> (Child, PathBuf) {
+    let socket = dir.join("pacmand.sock");
+    let state = dir.join("state");
+    let log = std::fs::File::create(dir.join(if resume { "daemon2.out" } else { "daemon1.out" }))
+        .expect("create daemon log");
+    let mut cmd = Command::new(bin());
+    cmd.arg("daemon")
+        .args(["--socket", socket.to_str().unwrap()])
+        .args(["--state-dir", state.to_str().unwrap()])
+        .args(["--checkpoint-every", &CHECKPOINT_EVERY.to_string()])
+        .args(["--workers", "1"])
+        .stdout(log)
+        .stderr(Stdio::null());
+    if resume {
+        cmd.arg("--resume");
+    }
+    let child = cmd.spawn().expect("spawn pacman-cli daemon");
+    let start = Instant::now();
+    while !socket.exists() {
+        assert!(start.elapsed() < DEADLINE, "daemon never created {}", socket.display());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    (child, socket)
+}
+
+fn connect(socket: &Path) -> (BufReader<UnixStream>, UnixStream) {
+    let start = Instant::now();
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(DEADLINE)).expect("set read timeout");
+                let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                return (reader, stream);
+            }
+            Err(e) => {
+                assert!(start.elapsed() < DEADLINE, "cannot connect to daemon: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn send(writer: &mut UnixStream, line: &str) {
+    writer.write_all(line.as_bytes()).expect("send request");
+    writer.write_all(b"\n").expect("send newline");
+    writer.flush().expect("flush request");
+}
+
+/// Reads one protocol record; `None` on EOF (daemon gone).
+fn read_record(reader: &mut BufReader<UnixStream>) -> Option<Value> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(parse(line.trim_end()).expect("daemon sent unparsable record")),
+        Err(e) => panic!("reading from daemon failed: {e}"),
+    }
+}
+
+fn record_type(v: &Value) -> String {
+    v.get("type").and_then(Value::as_str).unwrap_or("?").to_string()
+}
+
+fn output_line(v: &Value) -> String {
+    v.get("line").and_then(Value::as_str).expect("job_output carries a line").to_string()
+}
+
+fn wait_exit(child: &mut Child) {
+    let start = Instant::now();
+    loop {
+        if child.try_wait().expect("try_wait").is_some() {
+            return;
+        }
+        assert!(start.elapsed() < DEADLINE, "daemon did not exit");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn a_sigkilled_daemon_resumes_with_a_byte_identical_stitched_stream() {
+    let dir = temp_dir();
+
+    // Reference: the same command as a one-shot CLI run.
+    let metrics = dir.join("oneshot.jsonl");
+    let status = Command::new(bin())
+        .args(CMD.split_whitespace())
+        .args(["--metrics-out", metrics.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run one-shot reference");
+    assert!(status.success(), "one-shot reference run failed");
+    let expected: Vec<String> =
+        std::fs::read_to_string(&metrics).unwrap().lines().map(str::to_string).collect();
+    // The drill needs the job to straddle exactly one checkpoint
+    // boundary (see module docs); re-size CMD if this ever fails.
+    assert!(
+        expected.len() as u64 > CHECKPOINT_EVERY && (expected.len() as u64) < 2 * CHECKPOINT_EVERY,
+        "reference run produced {} records; need one checkpoint interval straddled",
+        expected.len()
+    );
+
+    // Phase 1: serve the campaign, SIGKILL on the first durable
+    // checkpoint. Everything already written to the socket is still
+    // readable after the kill; drain it to EOF.
+    let (mut daemon1, socket) = spawn_daemon(&dir, false);
+    let (mut reader, mut writer) = connect(&socket);
+    send(&mut writer, r#"{"type":"open_session","session":"drill"}"#);
+    send(&mut writer, &format!(r#"{{"type":"submit","session":"drill","command":"{CMD}"}}"#));
+    let mut pre: Vec<String> = Vec::new();
+    let mut checkpointed = false;
+    while let Some(record) = read_record(&mut reader) {
+        match record_type(&record).as_str() {
+            "job_output" => pre.push(output_line(&record)),
+            "checkpoint_written" => {
+                daemon1.kill().expect("SIGKILL daemon");
+                checkpointed = true;
+            }
+            "job_failed" | "error" => panic!("daemon refused the drill job: {record:?}"),
+            _ => {}
+        }
+        if checkpointed {
+            // Keep draining delivered-but-unread records until EOF.
+            while let Some(r) = read_record(&mut reader) {
+                if record_type(&r) == "job_output" {
+                    pre.push(output_line(&r));
+                }
+            }
+            break;
+        }
+    }
+    assert!(checkpointed, "stream ended before any checkpoint_written record");
+    wait_exit(&mut daemon1);
+    assert!(
+        pre.len() as u64 >= CHECKPOINT_EVERY,
+        "client saw {} records but the checkpoint counted {CHECKPOINT_EVERY}: \
+         the durable-watermark FIFO ordering is broken",
+        pre.len()
+    );
+
+    // Phase 2: restart with --resume, reattach, and collect the rest.
+    let (mut daemon2, socket) = spawn_daemon(&dir, true);
+    let (mut reader, mut writer) = connect(&socket);
+    send(&mut writer, r#"{"type":"open_session","session":"drill"}"#);
+    let mut emitted: Option<u64> = None;
+    let mut post: Vec<String> = Vec::new();
+    while let Some(record) = read_record(&mut reader) {
+        match record_type(&record).as_str() {
+            "resumed" => {
+                emitted = record.get("emitted").and_then(Value::as_u64);
+            }
+            "job_output" => post.push(output_line(&record)),
+            "job_done" => break,
+            "job_failed" | "error" => panic!("resumed job failed: {record:?}"),
+            _ => {}
+        }
+    }
+    let emitted = emitted.expect("no resumed record before the replayed output") as usize;
+    assert_eq!(emitted as u64, CHECKPOINT_EVERY, "checkpoint watermark");
+
+    // Orderly shutdown: close the session, then drain the daemon.
+    send(&mut writer, r#"{"type":"close_session","session":"drill"}"#);
+    while let Some(record) = read_record(&mut reader) {
+        if record_type(&record) == "session_closed" {
+            break;
+        }
+    }
+    send(&mut writer, r#"{"type":"shutdown"}"#);
+    wait_exit(&mut daemon2);
+
+    // The restarted daemon announced the resumption before serving.
+    let announce = std::fs::read_to_string(dir.join("daemon2.out")).unwrap();
+    assert!(
+        announce.contains("daemon_resumed"),
+        "daemon2 stdout missing the daemon_resumed record: {announce:?}"
+    );
+
+    // Stitch: first `emitted` pre-crash lines, then everything the
+    // resumed daemon streamed. Byte-identical to the one-shot run.
+    pre.truncate(emitted);
+    let stitched: Vec<String> = pre.into_iter().chain(post).collect();
+    assert_eq!(stitched, expected, "stitched stream diverged from the one-shot run");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,6 +21,13 @@
 //! drain that finishes queued work and emits per-session telemetry
 //! snapshots merged into a daemon-wide registry.
 //!
+//! Started with a [`CheckpointPolicy`], the daemon is also *durable*:
+//! it periodically writes a checksummed snapshot of all in-flight state
+//! ([`snapshot`]) and announces each write with a `checkpoint_written`
+//! record, and a killed daemon restarted with `--resume` re-enqueues
+//! the interrupted jobs, suppresses their already-delivered output, and
+//! continues every session's record stream mid-job.
+//!
 //! The crate is transport- and workload-agnostic: it knows how to
 //! schedule and stream, while the actual experiment execution is
 //! injected as a [`JobRunner`] (the CLI's `dispatch`, or a synthetic
@@ -30,5 +37,9 @@ pub mod clock;
 pub mod net;
 pub mod protocol;
 pub mod service;
+pub mod snapshot;
 
-pub use service::{Daemon, DaemonConfig, DaemonError, JobRunner, JobSink, SessionHandle};
+pub use service::{
+    CheckpointPolicy, Daemon, DaemonConfig, DaemonError, JobRunner, JobSink, SessionHandle,
+};
+pub use snapshot::{DaemonSnapshot, SnapshotError};

@@ -174,6 +174,53 @@ pub fn session_closed(
     ])
 }
 
+/// `resumed`: a restarted daemon re-enqueued job `job` from a
+/// checkpoint. The job re-runs from scratch with its first `emitted`
+/// output records suppressed, so the stream continues where the
+/// pre-restart daemon left off; a client stitching across the restart
+/// keeps exactly `emitted` pre-crash `job_output` lines for this job
+/// and appends everything that follows.
+pub fn resumed(session: &str, job: u64, emitted: u64) -> Value {
+    obj(vec![
+        ("type", Value::str("resumed")),
+        ("session", Value::str(session)),
+        ("job", Value::UInt(job)),
+        ("emitted", Value::UInt(emitted)),
+    ])
+}
+
+/// `checkpoint_written`: a snapshot covering at least the first
+/// `records` daemon-wide output records is durably on disk. Sent on the
+/// stream of the session whose record crossed the cadence boundary,
+/// *after* the file rename — per-session FIFO ordering makes it a
+/// durable watermark: every record counted by the checkpoint precedes
+/// it on the wire.
+pub fn checkpoint_written(session: &str, records: u64) -> Value {
+    obj(vec![
+        ("type", Value::str("checkpoint_written")),
+        ("session", Value::str(session)),
+        ("records", Value::UInt(records)),
+    ])
+}
+
+/// `daemon_resumed`: startup summary after a successful snapshot load.
+pub fn daemon_resumed(sessions: u64, jobs: u64, machines: u64) -> Value {
+    obj(vec![
+        ("type", Value::str("daemon_resumed")),
+        ("sessions", Value::UInt(sessions)),
+        ("jobs", Value::UInt(jobs)),
+        ("machines", Value::UInt(machines)),
+    ])
+}
+
+/// `resume_warning`: `--resume` found a snapshot it could not load
+/// (torn, corrupt, or from another format version); the daemon
+/// cold-started instead. The campaign state is lost but the daemon is
+/// healthy.
+pub fn resume_warning(error: &str) -> Value {
+    obj(vec![("type", Value::str("resume_warning")), ("error", Value::str(error))])
+}
+
 /// `pong`: liveness reply.
 pub fn pong() -> Value {
     obj(vec![("type", Value::str("pong"))])
@@ -237,6 +284,25 @@ mod tests {
         for (line, needle) in bad {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "error for {line:?} was {err:?}");
+        }
+    }
+
+    #[test]
+    fn resume_records_carry_their_watermarks() {
+        let r = resumed("s", 4, 117);
+        assert_eq!(r.get("type").and_then(Value::as_str), Some("resumed"));
+        assert_eq!(r.get("job").and_then(Value::as_u64), Some(4));
+        assert_eq!(r.get("emitted").and_then(Value::as_u64), Some(117));
+        let c = checkpoint_written("s", 640);
+        assert_eq!(c.get("type").and_then(Value::as_str), Some("checkpoint_written"));
+        assert_eq!(c.get("records").and_then(Value::as_u64), Some(640));
+        let w = resume_warning("snapshot checksum mismatch");
+        assert_eq!(w.get("type").and_then(Value::as_str), Some("resume_warning"));
+        assert!(w.get("error").and_then(Value::as_str).unwrap().contains("checksum"));
+        // All survive the JSONL wire format.
+        for record in [r, c, w] {
+            let reparsed = parse(to_jsonl_line(&record).trim_end()).unwrap();
+            assert_eq!(reparsed, record);
         }
     }
 

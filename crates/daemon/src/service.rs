@@ -26,6 +26,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -37,6 +38,7 @@ use pacman_telemetry::Registry;
 
 use crate::clock::unix_seconds_now;
 use crate::protocol;
+use crate::snapshot::{DaemonSnapshot, JobSnapshot, SessionSnapshot, SnapshotError};
 
 /// Sizing and fault-budget knobs for a [`Daemon`].
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +66,67 @@ impl Default for DaemonConfig {
             job_attempts: 1,
         }
     }
+}
+
+/// Hook collecting opaque warm-machine snapshot blobs for a checkpoint.
+pub type CollectMachinesFn = Arc<dyn Fn() -> Vec<Vec<u8>> + Send + Sync>;
+
+/// Hook receiving machine blobs recovered from a resumed snapshot.
+pub type SeedMachinesFn = Arc<dyn Fn(Vec<Vec<u8>>) + Send + Sync>;
+
+/// Durability knobs: where checkpoints go and how often they are cut.
+///
+/// `DaemonConfig` stays `Copy`; the checkpoint path and machine hooks
+/// live here and are passed to [`Daemon::start_durable`] separately.
+#[derive(Clone)]
+pub struct CheckpointPolicy {
+    /// Snapshot file path (written atomically; see [`crate::snapshot`]).
+    pub path: PathBuf,
+    /// Cut a checkpoint every this many daemon-wide `job_output`
+    /// records (clamped to at least 1). Each write is announced with a
+    /// `checkpoint_written` record on the triggering session's stream.
+    pub every_records: u64,
+    /// Collects opaque warm-machine snapshot blobs to embed in the
+    /// checkpoint (the CLI wires `pacman_core::pool::take_donations`).
+    /// The daemon itself never interprets the blobs.
+    pub collect_machines: Option<CollectMachinesFn>,
+    /// Receives the machine blobs recovered from a resumed snapshot
+    /// (the CLI wires `pacman_core::pool::seed`).
+    pub seed_machines: Option<SeedMachinesFn>,
+}
+
+impl CheckpointPolicy {
+    /// A policy with no machine hooks.
+    #[must_use]
+    pub fn new(path: PathBuf, every_records: u64) -> Self {
+        CheckpointPolicy { path, every_records, collect_machines: None, seed_machines: None }
+    }
+}
+
+impl fmt::Debug for CheckpointPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointPolicy")
+            .field("path", &self.path)
+            .field("every_records", &self.every_records)
+            .field("collect_machines", &self.collect_machines.is_some())
+            .field("seed_machines", &self.seed_machines.is_some())
+            .finish()
+    }
+}
+
+/// Runtime durability state hung off [`Inner`].
+struct Durable {
+    policy: CheckpointPolicy,
+    /// Monotonic count of delivered `job_output` records; checkpoints
+    /// trigger on multiples of the cadence.
+    records_seen: AtomicU64,
+    /// Last non-empty batch of donated machine blobs, carried forward
+    /// so every checkpoint ships warm machines even when no pool parked
+    /// one since the previous cut.
+    machines: Mutex<Vec<Vec<u8>>>,
+    /// Startup record describing how resume went (`daemon_resumed` or
+    /// `resume_warning`), for the embedder to log.
+    resume_report: Mutex<Option<Value>>,
 }
 
 /// Executes one submitted command line. The CLI supplies the real
@@ -100,6 +163,16 @@ pub struct JobSink {
     job: u64,
     tx: Sender<Value>,
     records: Arc<AtomicU64>,
+    /// Output records this job has produced (across the whole job
+    /// lifetime — a resumed job starts at 0 and counts back up through
+    /// its suppressed replay prefix).
+    emitted: Arc<AtomicU64>,
+    /// Replay suppression: the first `skip` records are dropped because
+    /// the pre-restart daemon already delivered them.
+    skip: u64,
+    /// Back-reference for checkpoint triggering (None on non-durable
+    /// daemons: the plain path pays one branch).
+    inner: Option<Arc<Inner>>,
 }
 
 impl JobSink {
@@ -114,9 +187,31 @@ impl JobSink {
     }
 
     /// Streams one verbatim JSONL record line (no trailing newline).
+    ///
+    /// On a resumed job the first `skip` calls are swallowed — they
+    /// reproduce records the pre-restart daemon already delivered — so
+    /// the session stream continues mid-job without duplicates. On a
+    /// durable daemon, crossing the checkpoint cadence writes a
+    /// snapshot *synchronously* and then queues a `checkpoint_written`
+    /// record behind this one: per-session FIFO turns that record into
+    /// a durable watermark for everything before it.
     pub fn record(&self, line: &str) {
+        let n = self.emitted.fetch_add(1, Ordering::Relaxed);
+        if n < self.skip {
+            return;
+        }
         self.records.fetch_add(1, Ordering::Relaxed);
         let _ = self.tx.send(protocol::job_output(&self.session, self.job, line));
+        if let Some(inner) = &self.inner {
+            if let Some(durable) = &inner.durable {
+                let seen = durable.records_seen.fetch_add(1, Ordering::Relaxed) + 1;
+                if seen % durable.policy.every_records.max(1) == 0
+                    && write_checkpoint(inner).is_ok()
+                {
+                    let _ = self.tx.send(protocol::checkpoint_written(&self.session, seen));
+                }
+            }
+        }
     }
 
     /// Streams a shard-merge progress notification.
@@ -158,6 +253,26 @@ impl std::error::Error for DaemonError {}
 struct Job {
     id: u64,
     command: String,
+    /// Replay suppression carried from a resumed checkpoint; 0 for
+    /// freshly submitted jobs.
+    skip: u64,
+}
+
+/// Bookkeeping for a job currently on a worker, kept so checkpoints can
+/// persist in-flight work as re-runnable.
+struct RunningJob {
+    command: String,
+    skip: u64,
+    emitted: Arc<AtomicU64>,
+}
+
+impl RunningJob {
+    /// Total output records ever delivered for this job — the replay
+    /// watermark a checkpoint stores. While the job is still inside its
+    /// suppressed replay prefix, the pre-restart watermark stands.
+    fn watermark(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed).max(self.skip)
+    }
 }
 
 struct SessionState {
@@ -170,6 +285,12 @@ struct SessionState {
     records: Arc<AtomicU64>,
     telemetry: Registry,
     tx: Sender<Value>,
+    /// Jobs currently on workers, by id.
+    running: HashMap<u64, RunningJob>,
+    /// A resumed session keeps its record receiver parked here until
+    /// the tenant re-opens the session by name and claims it; records
+    /// replayed meanwhile queue up in the channel.
+    parked_rx: Option<Receiver<Value>>,
 }
 
 struct SchedState {
@@ -195,6 +316,8 @@ struct Inner {
     /// A job finished — close/drain waiters re-check here.
     idle: Condvar,
     config: DaemonConfig,
+    /// Present iff the daemon was started with a [`CheckpointPolicy`].
+    durable: Option<Durable>,
 }
 
 impl Inner {
@@ -213,21 +336,78 @@ pub struct Daemon {
 impl Daemon {
     /// Boots the worker pool and returns the daemon.
     pub fn start(config: DaemonConfig, runner: Arc<dyn JobRunner>) -> Daemon {
+        Self::start_inner(config, runner, None, fresh_state())
+    }
+
+    /// Boots a *durable* daemon: checkpoints are cut per `policy`, and
+    /// when `resume` is set an existing snapshot at `policy.path` is
+    /// loaded first — its sessions are rebuilt with their interrupted
+    /// jobs re-enqueued (running jobs at the queue front, with replay
+    /// suppression), its totals and telemetry restored, and its warm
+    /// machine blobs handed to `policy.seed_machines`.
+    ///
+    /// A missing snapshot file is a silent cold start (first boot). A
+    /// snapshot that fails to load — torn, corrupt, or version-skewed —
+    /// is *also* a cold start, with the typed failure preserved as a
+    /// `resume_warning` record in [`Daemon::resume_report`]: a bad file
+    /// must never stop the daemon from serving.
+    pub fn start_durable(
+        config: DaemonConfig,
+        runner: Arc<dyn JobRunner>,
+        policy: CheckpointPolicy,
+        resume: bool,
+    ) -> Daemon {
+        let mut report = None;
+        let mut machines = Vec::new();
+        let state = if resume {
+            match DaemonSnapshot::read_file(&policy.path) {
+                Ok(None) => fresh_state(),
+                Ok(Some(snap)) => {
+                    let jobs: u64 = snap.sessions.iter().map(|s| s.jobs.len() as u64).sum();
+                    report = Some(protocol::daemon_resumed(
+                        snap.sessions.len() as u64,
+                        jobs,
+                        snap.machines.len() as u64,
+                    ));
+                    machines = snap.machines.clone();
+                    if let Some(seed) = &policy.seed_machines {
+                        seed(snap.machines.clone());
+                    }
+                    state_from_snapshot(snap)
+                }
+                Err(e) => {
+                    report = Some(protocol::resume_warning(&e.to_string()));
+                    fresh_state()
+                }
+            }
+        } else {
+            fresh_state()
+        };
+        let durable = Durable {
+            policy,
+            records_seen: AtomicU64::new(
+                state.sessions.values().map(|s| s.records.load(Ordering::Relaxed)).sum(),
+            ),
+            machines: Mutex::new(machines),
+            resume_report: Mutex::new(report),
+        };
+        Self::start_inner(config, runner, Some(durable), state)
+    }
+
+    fn start_inner(
+        config: DaemonConfig,
+        runner: Arc<dyn JobRunner>,
+        durable: Option<Durable>,
+        state: SchedState,
+    ) -> Daemon {
         let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
-            state: Mutex::new(SchedState {
-                sessions: HashMap::new(),
-                rotation: VecDeque::new(),
-                draining: false,
-                sessions_served: 0,
-                jobs_done_total: 0,
-                jobs_failed_total: 0,
-                telemetry: Registry::new(),
-            }),
+            state: Mutex::new(state),
             work_ready: Condvar::new(),
             space_ready: Condvar::new(),
             idle: Condvar::new(),
             config: DaemonConfig { workers, ..config },
+            durable,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -242,15 +422,46 @@ impl Daemon {
         Daemon { inner, workers: Mutex::new(handles) }
     }
 
+    /// The startup record a durable daemon produced while resuming —
+    /// `daemon_resumed` on success, `resume_warning` on a bad snapshot,
+    /// `None` on a cold start. Taken once; the embedder logs it.
+    pub fn resume_report(&self) -> Option<Value> {
+        let durable = self.inner.durable.as_ref()?;
+        durable.resume_report.lock().unwrap_or_else(PoisonError::into_inner).take()
+    }
+
+    /// Cuts a checkpoint now (durable daemons only; no-op otherwise).
+    /// The periodic cadence still applies — this is for embedders that
+    /// want one at a known boundary, e.g. right before exiting.
+    pub fn checkpoint_now(&self) -> Result<(), SnapshotError> {
+        if self.inner.durable.is_some() {
+            write_checkpoint(&self.inner)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Opens a named session. The handle is the tenant's side of the
     /// record stream; its first record is `session_opened`.
+    ///
+    /// Re-opening a session resumed from a checkpoint *reattaches* to
+    /// it instead: the returned handle owns the parked record stream,
+    /// which already carries `session_opened`, the `resumed` watermarks
+    /// and any output replayed since the daemon restarted.
     pub fn open_session(&self, name: &str) -> Result<SessionHandle, DaemonError> {
         let (tx, rx) = channel();
         let mut g = self.inner.lock();
         if g.draining {
             return Err(DaemonError::Draining);
         }
-        if g.sessions.contains_key(name) {
+        if let Some(sess) = g.sessions.get_mut(name) {
+            if let Some(parked) = sess.parked_rx.take() {
+                return Ok(SessionHandle {
+                    name: name.to_string(),
+                    inner: Arc::clone(&self.inner),
+                    rx: Some(parked),
+                });
+            }
             return Err(DaemonError::DuplicateSession(name.to_string()));
         }
         let _ = tx.send(protocol::session_opened(name, unix_seconds_now()));
@@ -266,6 +477,8 @@ impl Daemon {
                 records: Arc::new(AtomicU64::new(0)),
                 telemetry: Registry::new(),
                 tx,
+                running: HashMap::new(),
+                parked_rx: None,
             },
         );
         g.rotation.push_back(name.to_string());
@@ -325,6 +538,10 @@ impl Daemon {
         for h in handles {
             let _ = h.join();
         }
+        // On-drain checkpoint: every session is closed and every job
+        // done, so the snapshot records the final totals — a resume
+        // after a graceful drain is an empty (but accounted) daemon.
+        let _ = self.checkpoint_now();
         let g = self.inner.lock();
         protocol::daemon_drained(
             g.sessions_served,
@@ -333,6 +550,126 @@ impl Daemon {
             unix_seconds_now(),
         )
     }
+}
+
+fn fresh_state() -> SchedState {
+    SchedState {
+        sessions: HashMap::new(),
+        rotation: VecDeque::new(),
+        draining: false,
+        sessions_served: 0,
+        jobs_done_total: 0,
+        jobs_failed_total: 0,
+        telemetry: Registry::new(),
+    }
+}
+
+/// Rebuilds the scheduler state from a loaded snapshot. Every session
+/// gets a fresh channel whose receiver is *parked* until the tenant
+/// re-opens the session by name; the stream starts with
+/// `session_opened` and one `resumed` record per re-enqueued job, so a
+/// reattaching client knows exactly which replay prefix to drop.
+fn state_from_snapshot(snap: DaemonSnapshot) -> SchedState {
+    let mut sessions = HashMap::new();
+    let mut rotation = VecDeque::new();
+    for s in snap.sessions {
+        let (tx, rx) = channel();
+        let _ = tx.send(protocol::session_opened(&s.name, unix_seconds_now()));
+        for j in &s.jobs {
+            let _ = tx.send(protocol::resumed(&s.name, j.id, j.emitted));
+        }
+        let queue = s
+            .jobs
+            .into_iter()
+            .map(|j| Job { id: j.id, command: j.command, skip: j.emitted })
+            .collect();
+        rotation.push_back(s.name.clone());
+        sessions.insert(
+            s.name,
+            SessionState {
+                queue,
+                in_flight: 0,
+                next_job: s.next_job,
+                jobs_done: s.jobs_done,
+                jobs_failed: s.jobs_failed,
+                closing: false,
+                records: Arc::new(AtomicU64::new(s.records)),
+                telemetry: s.telemetry,
+                tx,
+                running: HashMap::new(),
+                parked_rx: Some(rx),
+            },
+        );
+    }
+    SchedState {
+        sessions,
+        rotation,
+        draining: false,
+        sessions_served: snap.sessions_served,
+        jobs_done_total: snap.jobs_done_total,
+        jobs_failed_total: snap.jobs_failed_total,
+        telemetry: snap.telemetry,
+    }
+}
+
+/// Captures the scheduler state and writes it to the policy path
+/// atomically. Runs synchronously on the calling (worker) thread; the
+/// scheduler lock is held only while *capturing*, not while writing.
+fn write_checkpoint(inner: &Inner) -> Result<(), SnapshotError> {
+    let Some(durable) = &inner.durable else { return Ok(()) };
+    if let Some(collect) = &durable.policy.collect_machines {
+        let fresh = collect();
+        if !fresh.is_empty() {
+            *durable.machines.lock().unwrap_or_else(PoisonError::into_inner) = fresh;
+        }
+    }
+    let machines = durable.machines.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    let snap = {
+        let g = inner.lock();
+        let mut sessions: Vec<SessionSnapshot> = g
+            .sessions
+            .iter()
+            .map(|(name, s)| {
+                // Running jobs replay first (ordered by id), then the
+                // still-queued ones in queue order.
+                let mut by_id: Vec<(&u64, &RunningJob)> = s.running.iter().collect();
+                by_id.sort_by_key(|(id, _)| **id);
+                let mut jobs: Vec<JobSnapshot> =
+                    Vec::with_capacity(s.running.len() + s.queue.len());
+                for (id, r) in by_id {
+                    jobs.push(JobSnapshot {
+                        id: *id,
+                        command: r.command.clone(),
+                        emitted: r.watermark(),
+                    });
+                }
+                jobs.extend(s.queue.iter().map(|j| JobSnapshot {
+                    id: j.id,
+                    command: j.command.clone(),
+                    emitted: j.skip,
+                }));
+                SessionSnapshot {
+                    name: name.clone(),
+                    next_job: s.next_job,
+                    jobs_done: s.jobs_done,
+                    jobs_failed: s.jobs_failed,
+                    records: s.records.load(Ordering::Relaxed),
+                    telemetry: s.telemetry.clone(),
+                    jobs,
+                }
+            })
+            .collect();
+        sessions.sort_by(|a, b| a.name.cmp(&b.name));
+        DaemonSnapshot {
+            sessions_served: g.sessions_served,
+            jobs_done_total: g.jobs_done_total,
+            jobs_failed_total: g.jobs_failed_total,
+            telemetry: g.telemetry.clone(),
+            sessions,
+            machines,
+        }
+    };
+    snap.write_atomic(&durable.policy.path)
 }
 
 /// A tenant's side of one session: submit jobs, read the record
@@ -380,7 +717,7 @@ impl SessionHandle {
         let sess = g.sessions.get_mut(&self.name).expect("session checked above");
         let id = sess.next_job;
         sess.next_job += 1;
-        sess.queue.push_back(Job { id, command: command.to_string() });
+        sess.queue.push_back(Job { id, command: command.to_string(), skip: 0 });
         sess.telemetry.incr("daemon.jobs_submitted");
         let _ = sess.tx.send(protocol::job_accepted(&self.name, id));
         drop(g);
@@ -463,6 +800,9 @@ struct Picked {
     job: Job,
     tx: Sender<Value>,
     records: Arc<AtomicU64>,
+    /// Shared with the session's `running` entry so checkpoints read a
+    /// live watermark.
+    emitted: Arc<AtomicU64>,
 }
 
 /// Picks the next runnable job round-robin across sessions, bumping
@@ -479,8 +819,17 @@ fn pick_job(g: &mut SchedState, session_parallel: usize) -> Option<Picked> {
                 sess.in_flight += 1;
                 let tx = sess.tx.clone();
                 let records = Arc::clone(&sess.records);
+                let emitted = Arc::new(AtomicU64::new(0));
+                sess.running.insert(
+                    job.id,
+                    RunningJob {
+                        command: job.command.clone(),
+                        skip: job.skip,
+                        emitted: Arc::clone(&emitted),
+                    },
+                );
                 g.rotation.push_back(name.clone());
-                return Some(Picked { name, job, tx, records });
+                return Some(Picked { name, job, tx, records, emitted });
             }
         }
         g.rotation.push_back(name);
@@ -501,7 +850,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 fn worker_loop(inner: &Arc<Inner>, runner: &dyn JobRunner) {
     let config = inner.config;
     loop {
-        let Picked { name, job, tx, records } = {
+        let Picked { name, job, tx, records, emitted } = {
             let mut g = inner.lock();
             loop {
                 if let Some(pick) = pick_job(&mut g, config.session_parallel) {
@@ -524,6 +873,9 @@ fn worker_loop(inner: &Arc<Inner>, runner: &dyn JobRunner) {
                 job: job.id,
                 tx: tx.clone(),
                 records: Arc::clone(&records),
+                emitted: Arc::clone(&emitted),
+                skip: job.skip,
+                inner: Some(Arc::clone(inner)),
             };
             // The job's entire execution — campaign shards included —
             // is fenced here; a panic is the session's problem alone.
@@ -550,6 +902,7 @@ fn worker_loop(inner: &Arc<Inner>, runner: &dyn JobRunner) {
         let mut g = inner.lock();
         if let Some(sess) = g.sessions.get_mut(&name) {
             sess.in_flight -= 1;
+            sess.running.remove(&job.id);
             sess.telemetry.observe("daemon.job_us", elapsed_us);
             sess.telemetry.incr_by("daemon.job_retries", u64::from(attempt - 1));
             match outcome {
@@ -789,6 +1142,155 @@ mod tests {
             light_pos < ran.len() - 1,
             "light session starved behind the greedy backlog: {ran:?}"
         );
+    }
+
+    fn temp_snapshot_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pacmand-svc-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("state.snapshot")
+    }
+
+    /// A deterministic 10-line job that can be made to stall once after
+    /// its fifth record — long enough for a checkpoint to capture it
+    /// mid-stream, exactly like a daemon killed mid-campaign.
+    fn stalling_runner(
+        armed: Arc<std::sync::atomic::AtomicBool>,
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    ) -> Arc<dyn JobRunner> {
+        Arc::new(move |command: &str, sink: &JobSink| {
+            for i in 0..10u32 {
+                if i == 5 && armed.swap(false, Ordering::SeqCst) {
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                }
+                sink.record(&format!("{{\"record\":\"trial\",\"cmd\":\"{command}\",\"i\":{i}}}"));
+            }
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn a_durable_daemon_checkpoints_and_resumes_mid_stream() {
+        let path = temp_snapshot_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let runner = stalling_runner(Arc::clone(&armed), Arc::clone(&gate));
+
+        // "Pre-crash" daemon: checkpoint every 5 records, job stalls
+        // right after the fifth, so the checkpoint sees it running.
+        let daemon = Daemon::start_durable(
+            DaemonConfig { workers: 1, ..DaemonConfig::default() },
+            Arc::clone(&runner),
+            CheckpointPolicy::new(path.clone(), 5),
+            false,
+        );
+        assert!(daemon.resume_report().is_none(), "cold start has no report");
+        let session = daemon.open_session("s").unwrap();
+        session.submit("oracle").unwrap();
+        let mut pre_lines = Vec::new();
+        loop {
+            let r = session.next_record().unwrap();
+            match r.get("type").and_then(Value::as_str) {
+                Some("job_output") => {
+                    pre_lines.push(r.get("line").and_then(Value::as_str).unwrap().to_string());
+                }
+                Some("checkpoint_written") => break,
+                _ => {}
+            }
+        }
+        assert_eq!(pre_lines.len(), 5, "checkpoint cut at the cadence boundary");
+        // The durable-watermark contract: at `checkpoint_written`, the
+        // snapshot is already on disk and covers those 5 records.
+        let frozen = std::fs::read(&path).expect("snapshot exists at checkpoint_written");
+        let snap = DaemonSnapshot::load(&frozen).unwrap();
+        assert_eq!(snap.sessions.len(), 1);
+        assert_eq!(
+            snap.sessions[0].jobs,
+            vec![JobSnapshot { id: 0, command: "oracle".into(), emitted: 5 }]
+        );
+
+        // Let the stalled job finish and tear the first daemon down,
+        // then put the mid-stream snapshot back — as if the process had
+        // been SIGKILLed at the checkpoint instead of draining.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        drain_types(&session, "job_done");
+        let _ = session.close();
+        daemon.drain();
+        std::fs::write(&path, &frozen).unwrap();
+
+        // Restarted daemon: resumes, re-runs job 0 with the first 5
+        // records suppressed, and the stream picks up mid-job.
+        let restarted = Daemon::start_durable(
+            DaemonConfig { workers: 1, ..DaemonConfig::default() },
+            runner,
+            CheckpointPolicy::new(path.clone(), 5),
+            true,
+        );
+        let report = restarted.resume_report().expect("resumed from a snapshot");
+        assert_eq!(report.get("type").and_then(Value::as_str), Some("daemon_resumed"));
+        assert_eq!(report.get("jobs").and_then(Value::as_u64), Some(1));
+
+        let session = restarted.open_session("s").expect("reattach to the resumed session");
+        let mut resumed_watermark = None;
+        let mut post_lines = Vec::new();
+        loop {
+            let r = session.next_record().unwrap();
+            match r.get("type").and_then(Value::as_str) {
+                Some("resumed") => {
+                    resumed_watermark = r.get("emitted").and_then(Value::as_u64);
+                }
+                Some("job_output") => {
+                    post_lines.push(r.get("line").and_then(Value::as_str).unwrap().to_string());
+                }
+                Some("job_done") => break,
+                _ => {}
+            }
+        }
+        assert_eq!(resumed_watermark, Some(5), "client told where the stream resumes");
+
+        // Stitched stream == the uninterrupted 10-line run, byte for byte.
+        let stitched: Vec<String> = pre_lines.into_iter().chain(post_lines).collect();
+        let expected: Vec<String> = (0..10)
+            .map(|i| format!("{{\"record\":\"trial\",\"cmd\":\"oracle\",\"i\":{i}}}"))
+            .collect();
+        assert_eq!(stitched, expected);
+
+        let closed = session.close().unwrap();
+        assert_eq!(closed.get("jobs_done").and_then(Value::as_u64), Some(1));
+        restarted.drain();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_corrupt_snapshot_cold_starts_with_a_warning() {
+        let path = temp_snapshot_path("corrupt");
+        std::fs::write(&path, b"PACMANDS\x63\x00garbage-checksum-and-body").unwrap();
+        let daemon = Daemon::start_durable(
+            DaemonConfig { workers: 1, ..DaemonConfig::default() },
+            echo_runner(),
+            CheckpointPolicy::new(path.clone(), 100),
+            true,
+        );
+        let report = daemon.resume_report().expect("a warning is reported");
+        assert_eq!(report.get("type").and_then(Value::as_str), Some("resume_warning"));
+        assert!(report.get("error").and_then(Value::as_str).unwrap().contains("version"));
+        // The daemon is healthy: a full session lifecycle works.
+        let session = daemon.open_session("t").unwrap();
+        session.submit("job").unwrap();
+        assert_eq!(drain_types(&session, "job_done").last().map(String::as_str), Some("job_done"));
+        let _ = session.close();
+        daemon.drain();
+        // The drain checkpoint replaced the corrupt file with a valid one.
+        assert!(DaemonSnapshot::read_file(&path).unwrap().is_some());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -163,7 +163,18 @@ impl<T> CampaignHandle<T> {
     /// while later shards still run.
     #[must_use]
     pub fn ordered(self) -> OrderedEvents<T> {
-        OrderedEvents { handle: self, buffer: BTreeMap::new(), next: 0 }
+        self.ordered_from(0)
+    }
+
+    /// [`CampaignHandle::ordered`] resuming at shard `next`: shards
+    /// below it were already merged by a previous incarnation of the
+    /// consumer (e.g. before a daemon checkpoint), so their completions
+    /// are discarded instead of buffered or re-emitted. The stream
+    /// yields each of `next..total` exactly once, in order, regardless
+    /// of how out-of-order the underlying completions arrive.
+    #[must_use]
+    pub fn ordered_from(self, next: usize) -> OrderedEvents<T> {
+        OrderedEvents { handle: self, buffer: BTreeMap::new(), next }
     }
 
     /// Blocks until every shard reports and returns the scoped pool's
@@ -208,6 +219,15 @@ impl<T> OrderedEvents<T> {
         self.handle.retries()
     }
 
+    /// The next shard index the stream will yield — the checkpoint
+    /// watermark a resumable consumer persists. Feeding it back into
+    /// [`CampaignHandle::ordered_from`] continues the merge without
+    /// emitting any shard twice.
+    #[must_use]
+    pub fn next_index(&self) -> usize {
+        self.next
+    }
+
     /// After the stream ends: the first shard index that never
     /// reported, if any. A complete campaign returns `None`.
     #[must_use]
@@ -226,7 +246,11 @@ impl<T> Iterator for OrderedEvents<T> {
                 return Some((self.next - 1, r));
             }
             let ev = self.handle.next_event()?;
-            self.buffer.insert(ev.shard, ev.result);
+            // Completions below the resume point were merged by a
+            // previous incarnation of the consumer: drop, don't buffer.
+            if ev.shard >= self.next {
+                self.buffer.insert(ev.shard, ev.result);
+            }
         }
     }
 }
@@ -856,6 +880,68 @@ mod tests {
         }
         let runs = work_runs.load(Ordering::SeqCst);
         assert!((1..=2).contains(&runs), "at most shards 0 and 1 run workload code: {runs}");
+    }
+
+    #[test]
+    fn ordered_from_resumes_without_duplicating_or_skipping_shards() {
+        // Simulates a daemon restart mid-campaign: the first consumer
+        // merged shards 0..3 and checkpointed `next_index() == 3`; the
+        // resumed consumer re-submits the campaign and continues from
+        // there. Shards complete wildly out of order (workers race),
+        // yet the resumed stream must yield exactly 3..16, in order.
+        let exec = Executor::new(4);
+        let work = |s: &Shard, _: u32| -> Result<u64, std::convert::Infallible> {
+            // Uneven spinning scrambles completion order across runs.
+            for _ in 0..(s.index % 5) * 50 {
+                std::hint::spin_loop();
+            }
+            Ok(s.seed.wrapping_mul(7))
+        };
+        let plan = shard_plan(640, 16, 77);
+
+        // First incarnation: merge three shards, note the watermark.
+        let mut first =
+            exec.submit::<u64, _, _>(plan.clone(), 4, RetryPolicy::default(), work).ordered();
+        let mut merged: Vec<(usize, u64)> = Vec::new();
+        for _ in 0..3 {
+            let (i, r) = first.next().expect("shard available");
+            merged.push((i, r.expect("ok")));
+        }
+        let watermark = first.next_index();
+        assert_eq!(watermark, 3);
+        drop(first); // the "crash": remaining completions unobserved
+
+        // Second incarnation resumes at the watermark.
+        let resumed = exec
+            .submit::<u64, _, _>(plan.clone(), 4, RetryPolicy::default(), work)
+            .ordered_from(watermark);
+        for (i, r) in resumed {
+            merged.push((i, r.expect("ok")));
+        }
+
+        let indices: Vec<usize> = merged.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, (0..16).collect::<Vec<_>>(), "no shard doubled or skipped");
+        for ((_, got), s) in merged.iter().zip(plan.iter()) {
+            assert_eq!(*got, s.seed.wrapping_mul(7), "shard payloads merge in plan order");
+        }
+    }
+
+    #[test]
+    fn ordered_from_discards_stale_completions_below_the_resume_point() {
+        let exec = Executor::new(2);
+        let plan = shard_plan(64, 8, 5);
+        let work = |s: &Shard, _: u32| -> Result<usize, std::convert::Infallible> { Ok(s.index) };
+        let mut stream =
+            exec.submit::<usize, _, _>(plan, 2, RetryPolicy::default(), work).ordered_from(5);
+        let yielded: Vec<usize> = stream
+            .by_ref()
+            .map(|(i, r)| {
+                assert_eq!(r.expect("ok"), i);
+                i
+            })
+            .collect();
+        assert_eq!(yielded, vec![5, 6, 7], "shards 0..5 discarded, never re-emitted");
+        assert_eq!(stream.missing(), None, "a complete resumed campaign reports nothing missing");
     }
 
     #[test]

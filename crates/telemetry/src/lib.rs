@@ -13,6 +13,8 @@
 //!   interval semantics, so a caller can meter one experiment phase;
 //! - [`json`] — a hand-rolled serializer *and* minimal parser (the
 //!   workspace deliberately has no serde), plus JSONL helpers;
+//! - [`bin`] — the little-endian binary codec snapshot files encode
+//!   through, with typed truncation/corruption errors;
 //! - [`span`] — timed span events with thread+shard attribution and a
 //!   bounded ring-buffer [`FlightRecorder`](span::FlightRecorder);
 //! - [`trace`] — the process-wide recorder plus a Chrome trace-event
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bin;
 pub mod json;
 mod registry;
 mod snapshot;

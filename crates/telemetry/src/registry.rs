@@ -137,6 +137,46 @@ impl Histogram {
         }
     }
 
+    /// Serialises the histogram through the binary snapshot codec.
+    /// Sparse encoding: only non-empty buckets are written.
+    pub fn save_bin(&self, w: &mut crate::bin::Writer) {
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+        let live = self.buckets.iter().filter(|&&n| n > 0).count();
+        w.usize(live);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                w.u8(i as u8);
+                w.u64(n);
+            }
+        }
+    }
+
+    /// Rebuilds a histogram written by [`Histogram::save_bin`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::bin::BinError`] on a truncated stream or an
+    /// out-of-range bucket index.
+    pub fn load_bin(r: &mut crate::bin::Reader<'_>) -> Result<Self, crate::bin::BinError> {
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let mut buckets = [0u64; BUCKETS];
+        for _ in 0..r.usize()? {
+            let i = r.u8()? as usize;
+            let n = r.u64()?;
+            let slot = buckets
+                .get_mut(i)
+                .ok_or_else(|| crate::bin::BinError::Corrupt(format!("bucket index {i}")))?;
+            *slot = n;
+        }
+        Ok(Self { count, sum, min, max, buckets })
+    }
+
     /// Condensed view with the standard percentiles.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -324,6 +364,52 @@ impl Registry {
         for (name, h) in &other.histograms {
             entry_or_default(&mut self.histograms, name).merge(h);
         }
+    }
+
+    /// Serialises every series (and the enabled flag) through the
+    /// binary snapshot codec.
+    pub fn save_bin(&self, w: &mut crate::bin::Writer) {
+        w.bool(self.enabled);
+        w.usize(self.counters.len());
+        for (name, &v) in &self.counters {
+            w.str(name);
+            w.u64(v);
+        }
+        w.usize(self.gauges.len());
+        for (name, &v) in &self.gauges {
+            w.str(name);
+            w.i64(v);
+        }
+        w.usize(self.histograms.len());
+        for (name, h) in &self.histograms {
+            w.str(name);
+            h.save_bin(w);
+        }
+    }
+
+    /// Rebuilds a registry written by [`Registry::save_bin`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::bin::BinError`] on a truncated or corrupt stream.
+    pub fn load_bin(r: &mut crate::bin::Reader<'_>) -> Result<Self, crate::bin::BinError> {
+        let enabled = r.bool()?;
+        let mut counters = BTreeMap::new();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            counters.insert(name, r.u64()?);
+        }
+        let mut gauges = BTreeMap::new();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            gauges.insert(name, r.i64()?);
+        }
+        let mut histograms = BTreeMap::new();
+        for _ in 0..r.usize()? {
+            let name = r.str()?;
+            histograms.insert(name, Histogram::load_bin(r)?);
+        }
+        Ok(Self { enabled, counters, gauges, histograms })
     }
 
     /// Captures every series into an immutable [`Snapshot`].
@@ -614,5 +700,32 @@ mod tests {
         r.clear();
         assert!(r.is_empty());
         assert!(r.is_enabled());
+    }
+
+    #[test]
+    fn registries_round_trip_through_the_binary_codec() {
+        let mut reg = Registry::new();
+        reg.incr_by("jobs.done", 41);
+        reg.gauge("queue.depth", -3);
+        for v in [1u64, 1, 8, 1 << 40, u64::MAX] {
+            reg.observe("lat.ns", v);
+        }
+        let mut w = crate::bin::Writer::new();
+        reg.save_bin(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::bin::Reader::new(&bytes);
+        let back = Registry::load_bin(&mut r).unwrap();
+        assert!(r.is_done());
+        assert_eq!(back.counter_value("jobs.done"), 41);
+        assert_eq!(back.gauge_value("queue.depth"), -3);
+        let (a, b) = (reg.histogram("lat.ns").unwrap(), back.histogram("lat.ns").unwrap());
+        assert_eq!(a.summary(), b.summary());
+        assert!(back.is_enabled());
+
+        // Truncation at every byte boundary is an error, never a panic.
+        for cut in 0..bytes.len() {
+            let mut r = crate::bin::Reader::new(&bytes[..cut]);
+            assert!(Registry::load_bin(&mut r).is_err(), "cut at {cut}");
+        }
     }
 }
